@@ -1,0 +1,14 @@
+"""Benchmark harness helpers.
+
+Every benchmark regenerates one of the paper's tables or figures and
+prints it (run with ``pytest benchmarks/ --benchmark-only -s`` to see
+the output inline); assertions pin the qualitative *shape* the paper
+reports — who wins, in what order, by roughly what factor (DESIGN.md).
+"""
+
+from __future__ import annotations
+
+
+def banner(title: str) -> str:
+    rule = "=" * len(title)
+    return f"\n{rule}\n{title}\n{rule}"

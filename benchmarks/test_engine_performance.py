@@ -1,0 +1,67 @@
+"""Library performance characteristics (not a paper artifact).
+
+Times the hot paths a downstream user exercises: parsing a description,
+interpreting one (per scasb search), applying a guarded transformation,
+replaying a full analysis, compiling and simulating a program.  Useful
+for catching performance regressions in the engine.
+"""
+
+import pytest
+
+from repro.analyses import scasb_rigel
+from repro.codegen import ir, target_for
+from repro.isdl import parse_description
+from repro.machines.i8086 import descriptions as i8086
+from repro.semantics import Interpreter
+from repro.transform import Session
+
+
+def test_parse_description(benchmark):
+    desc = benchmark(parse_description, i8086.SCASB_TEXT)
+    assert desc.name == "scasb.instruction"
+
+
+def test_interpret_search(benchmark):
+    interp = Interpreter(i8086.scasb())
+    memory = {100 + i: (i * 7) % 251 for i in range(64)}
+    inputs = {
+        "rf": 1, "rfz": 0, "df": 0, "zf": 0,
+        "di": 100, "cx": 64, "al": 250,
+    }
+    result = benchmark(interp.run, inputs, memory)
+    assert result.outputs[0] in (0, 1)
+
+
+def test_apply_guarded_transformation(benchmark):
+    def apply_once():
+        session = Session(i8086.scasb())
+        session.apply("fix_operand", operand="df", value=0)
+        return session
+
+    session = benchmark(apply_once)
+    assert session.steps == 1
+
+
+def test_full_analysis_replay(benchmark):
+    outcome = benchmark(scasb_rigel.run, verify=False)
+    assert outcome.succeeded
+
+
+def test_compile_and_simulate(benchmark):
+    target = target_for("i8086")
+    prog = (
+        ir.StringIndex(
+            result="idx",
+            base=ir.Param("s", 0, 60000),
+            length=ir.Param("n", 0, 60000),
+            char=ir.Param("c", 0, 255),
+        ),
+    )
+    memory = {100 + i: (i * 3) % 256 for i in range(32)}
+
+    def run():
+        asm = target.compile(prog)
+        return target.simulate(asm, {"s": 100, "n": 32, "c": 93}, memory)
+
+    result = benchmark(run)
+    assert "idx" in result.results

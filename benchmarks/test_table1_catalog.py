@@ -1,0 +1,32 @@
+"""Table 1 — exotic instruction statistics (paper §2).
+
+Regenerates the per-machine counts of string and list processing exotic
+instructions on the six sampled machines, and checks them against the
+numbers printed in the paper (6 + 5 + 21 + 7 + 16 + 12 = 67).
+"""
+
+from repro.analysis import format_table
+from repro.machines import MACHINES, PAPER_COUNTS, PAPER_TOTAL, table1_rows
+
+from conftest import banner
+
+
+def regenerate():
+    rows = [
+        (name, str(ours), str(paper))
+        for name, ours, paper in table1_rows()
+    ]
+    rows.append(("Total", str(sum(m.count for m in MACHINES)), str(PAPER_TOTAL)))
+    return rows
+
+
+def test_table1(benchmark):
+    rows = benchmark(regenerate)
+    print(banner("Table 1: Exotic Instruction Statistics"))
+    print(
+        format_table(
+            rows, ("Machine", "Number of Exotic Instructions", "Paper")
+        )
+    )
+    for name, ours, paper in rows:
+        assert ours == paper, name

@@ -1,0 +1,77 @@
+"""EXTRA — Exotic Instruction Transformational Analysis System.
+
+A full reproduction of Morgan & Rowe, *Analyzing Exotic Instructions
+for a Retargetable Code Generator* (SIGPLAN Symposium on Compiler
+Construction, 1982), as a Python library:
+
+* :mod:`repro.isdl` — the ISPS-like description language,
+* :mod:`repro.semantics` — executable semantics for descriptions,
+* :mod:`repro.dataflow` — the analyses behind transformation guards,
+* :mod:`repro.transform` — the transformation library and engine,
+* :mod:`repro.analysis` — EXTRA proper: sessions, matcher, bindings,
+  differential verification,
+* :mod:`repro.machines` / :mod:`repro.languages` — instruction and
+  operator descriptions, the Table 1 catalog, target simulators,
+* :mod:`repro.analyses` — recorded scripts for every Table 2 row,
+  the documented failures, and the §7 extension,
+* :mod:`repro.codegen` — the retargetable code generator consuming the
+  bindings (§6), with the constraint-satisfaction rewriting rules and
+  optimizations.
+
+Quick start::
+
+    from repro.analyses import scasb_rigel
+    outcome = scasb_rigel.run()
+    print(outcome.binding.describe())
+
+    from repro.codegen import target_for, ir
+    target = target_for("i8086")
+    asm = target.compile((ir.StringIndex(
+        result="idx", base=ir.Param("s", 0, 65535),
+        length=ir.Param("n", 0, 65535), char=ir.Param("c", 0, 255)),))
+    print(asm.listing())
+"""
+
+from . import constraints
+from .analysis import (
+    AnalysisInfo,
+    AnalysisOutcome,
+    AnalysisSession,
+    Binding,
+    BindingLibrary,
+    MatchFailure,
+    VerificationFailure,
+    verify_binding,
+)
+from .constraints import (
+    ComplexConstraint,
+    LanguageFact,
+    OffsetConstraint,
+    RangeConstraint,
+    UnsupportedConstraintError,
+    ValueConstraint,
+)
+from .isdl import format_description, parse_description
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "constraints",
+    "AnalysisInfo",
+    "AnalysisOutcome",
+    "AnalysisSession",
+    "Binding",
+    "BindingLibrary",
+    "MatchFailure",
+    "VerificationFailure",
+    "verify_binding",
+    "ComplexConstraint",
+    "LanguageFact",
+    "OffsetConstraint",
+    "RangeConstraint",
+    "UnsupportedConstraintError",
+    "ValueConstraint",
+    "format_description",
+    "parse_description",
+    "__version__",
+]

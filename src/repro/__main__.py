@@ -1,0 +1,246 @@
+"""Command-line interface to the EXTRA reproduction.
+
+Usage::
+
+    python -m repro table1                 # Table 1 catalog counts
+    python -m repro table2 [--no-verify]   # replay all 11 analyses
+    python -m repro analyze scasb_rigel    # one analysis, full report
+    python -m repro figures                # regenerate figures 2-5
+    python -m repro failures               # the documented failures
+    python -m repro compile i8086          # demo codegen + simulation
+    python -m repro list                   # available analyses
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+
+
+def cmd_table1(_args) -> int:
+    from .analysis import format_table
+    from .machines import PAPER_TOTAL, table1_rows, total_count
+
+    rows = [(n, str(o), str(p)) for n, o, p in table1_rows()]
+    rows.append(("Total", str(total_count()), str(PAPER_TOTAL)))
+    print(format_table(rows, ("Machine", "Count", "Paper")))
+    return 0
+
+
+def cmd_table2(args) -> int:
+    from .analyses import TABLE2
+    from .analysis import format_table, table2_row
+
+    rows = []
+    for module in TABLE2:
+        outcome = module.run(verify=not args.no_verify, trials=args.trials)
+        machine, instruction, language, operation, steps = table2_row(outcome)
+        rows.append(
+            (
+                machine,
+                instruction,
+                language,
+                operation,
+                steps,
+                str(module.PAPER_STEPS),
+            )
+        )
+    print(
+        format_table(
+            rows,
+            ("Machine", "Instruction", "Language", "Operation", "Steps", "Paper"),
+        )
+    )
+    return 0
+
+
+def _analysis_modules():
+    from . import analyses
+
+    modules = {}
+    for module in analyses.TABLE2 + analyses.FAILURES + analyses.EXTENSIONS:
+        modules[module.__name__.rsplit(".", 1)[-1]] = module
+    return modules
+
+
+def cmd_list(_args) -> int:
+    from . import analyses
+
+    for group, members in (
+        ("Table 2", analyses.TABLE2),
+        ("failures", analyses.FAILURES),
+        ("extensions", analyses.EXTENSIONS),
+    ):
+        print(f"{group}:")
+        for module in members:
+            name = module.__name__.rsplit(".", 1)[-1]
+            print(f"  {name:28s} {module.INFO.machine} {module.INFO.instruction} "
+                  f"vs {module.INFO.language} {module.INFO.operation}")
+    return 0
+
+
+def cmd_analyze(args) -> int:
+    from .analysis import full_report
+
+    modules = _analysis_modules()
+    if args.name not in modules:
+        print(f"unknown analysis {args.name!r}; try: python -m repro list")
+        return 2
+    outcome = modules[args.name].run(verify=not args.no_verify, trials=args.trials)
+    print(full_report(outcome))
+    if args.log and outcome.log:
+        print("transformation log:")
+        print(outcome.log)
+    return 0 if outcome.succeeded else 1
+
+
+def cmd_figures(_args) -> int:
+    from .analyses.scasb_rigel import INFO, augment_scasb, simplify_scasb
+    from .analysis import AnalysisSession
+    from .isdl import format_description
+    from .languages import rigel
+    from .machines.i8086 import descriptions as i8086
+
+    print("--- Figure 2: Rigel index operator ---\n")
+    print(format_description(rigel.index()))
+    print("--- Figure 3: Intel 8086 scasb ---\n")
+    print(format_description(i8086.scasb()))
+    session = AnalysisSession(INFO, rigel.index(), i8086.scasb())
+    simplify_scasb(session)
+    print("--- Figure 4: simplified scasb ---\n")
+    print(format_description(session.instruction.description))
+    augment_scasb(session)
+    print("--- Figure 5: augmented scasb ---\n")
+    print(format_description(session.instruction.description))
+    return 0
+
+
+def cmd_failures(_args) -> int:
+    from .analyses import run_failures
+
+    ok = True
+    for outcome in run_failures():
+        title = (
+            f"{outcome.machine} {outcome.instruction} vs "
+            f"{outcome.language} {outcome.operation}"
+        )
+        print(title)
+        if outcome.succeeded:
+            print("  UNEXPECTEDLY SUCCEEDED")
+            ok = False
+        else:
+            print(f"  failed (as the paper documents): {outcome.failure}\n")
+    return 0 if ok else 1
+
+
+def _compile_b4800(target, args) -> int:
+    from .codegen import ir
+
+    program = (
+        ir.ListSearch(
+            result="node",
+            head=ir.Param("head", 0, 250),
+            key=ir.Param("key", 0, 255),
+            key_offset=ir.Const(1),
+            link_offset=ir.Const(0),
+        ),
+    )
+    asm = target.compile(program, use_exotic=not args.decomposed)
+    print(asm.listing())
+    nodes = [16 + i * 4 for i in range(args.length)]
+    memory = {}
+    for index, addr in enumerate(nodes):
+        memory[addr] = nodes[index + 1] if index + 1 < len(nodes) else 0
+        memory[addr + 1] = index
+    result = target.simulate(
+        asm, {"head": nodes[0], "key": args.length - 1}, memory
+    )
+    print(f"; simulated: {result.cycles} cycles")
+    print(f"; result node = {result.results['node']}")
+    return 0
+
+
+def cmd_compile(args) -> int:
+    from .codegen import ir, target_for
+
+    target = target_for(args.machine, with_extensions=args.extensions)
+    if args.machine == "b4800":
+        return _compile_b4800(target, args)
+    program = (
+        ir.StringMove(
+            dst=ir.Param("dst", 0, 30000),
+            src=ir.Param("src", 0, 30000),
+            length=ir.Const(args.length),
+        ),
+        ir.StringIndex(
+            result="idx",
+            base=ir.Param("dst", 0, 30000),
+            length=ir.Const(args.length),
+            char=ir.Const(ord("|")),
+        )
+        if args.machine != "ibm370"
+        else ir.StringMove(
+            dst=ir.Add(ir.Param("dst", 0, 30000), ir.Const(args.length)),
+            src=ir.Param("dst", 0, 30000),
+            length=ir.Const(args.length),
+        ),
+    )
+    asm = target.compile(program, use_exotic=not args.decomposed)
+    print(asm.listing())
+    data = (b"abc|" * (args.length // 4 + 1))[: args.length]
+    memory = {100 + i: byte for i, byte in enumerate(data)}
+    result = target.simulate(asm, {"src": 100, "dst": 10000}, memory)
+    print(f"; simulated: {result.cycles} cycles, "
+          f"{result.instructions_executed} instructions executed")
+    for name, value in result.results.items():
+        print(f"; result {name} = {value}")
+    return 0
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(
+        prog="python -m repro",
+        description="EXTRA: exotic-instruction analysis (Morgan & Rowe 1982)",
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    sub.add_parser("table1", help="Table 1 catalog counts")
+
+    p_table2 = sub.add_parser("table2", help="replay all Table 2 analyses")
+    p_table2.add_argument("--no-verify", action="store_true")
+    p_table2.add_argument("--trials", type=int, default=60)
+
+    sub.add_parser("list", help="list available analyses")
+
+    p_analyze = sub.add_parser("analyze", help="run one analysis")
+    p_analyze.add_argument("name")
+    p_analyze.add_argument("--no-verify", action="store_true")
+    p_analyze.add_argument("--trials", type=int, default=120)
+    p_analyze.add_argument("--log", action="store_true")
+
+    sub.add_parser("figures", help="regenerate figures 2-5")
+    sub.add_parser("failures", help="run the documented failure attempts")
+
+    p_compile = sub.add_parser("compile", help="demo code generation")
+    p_compile.add_argument(
+        "machine", choices=["i8086", "vax11", "ibm370", "b4800"]
+    )
+    p_compile.add_argument("--length", type=int, default=16)
+    p_compile.add_argument("--decomposed", action="store_true")
+    p_compile.add_argument("--extensions", action="store_true")
+
+    args = parser.parse_args(argv)
+    handlers = {
+        "table1": cmd_table1,
+        "table2": cmd_table2,
+        "list": cmd_list,
+        "analyze": cmd_analyze,
+        "figures": cmd_figures,
+        "failures": cmd_failures,
+        "compile": cmd_compile,
+    }
+    return handlers[args.command](args)
+
+
+if __name__ == "__main__":
+    sys.exit(main())

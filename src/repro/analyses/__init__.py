@@ -1,0 +1,79 @@
+"""Recorded analysis scripts — one per Table 2 row, plus the failures.
+
+Each module plays the role of the paper's interactive user: a recorded
+sequence of transformation steps driving an
+:class:`~repro.analysis.AnalysisSession` to a common form.  The engine
+validates every step's guards, the matcher proves the final forms
+identical modulo renaming, and the differential verifier executes both
+descriptions on randomized machine states.
+
+``TABLE2`` lists the eleven successful analyses in the paper's Table 2
+order; ``FAILURES`` the two documented failures (§4.3 movc3/sassign and
+§5 Eclipse); ``EXTENSIONS`` the §7 language-fact extension and the §1
+B4800 list-search example.
+"""
+
+from . import (
+    clc_pascal,
+    cmpc3_pascal,
+    cmpsb_pascal,
+    eclipse_failure,
+    mva_pascal,
+    locc_clu,
+    locc_rigel,
+    movc3_pc2,
+    movc3_sassign_extension,
+    movc3_sassign_failure,
+    movc5_pc2,
+    movsb_pascal,
+    movsb_pl1,
+    mvc_pascal,
+    scasb_clu,
+    scasb_rigel,
+    skpc_pl1,
+    srl_listsearch,
+    stosb_pc2,
+    tr_pascal,
+)
+
+#: the eleven Table 2 rows, in the paper's order.
+TABLE2 = (
+    movsb_pascal,
+    movsb_pl1,
+    scasb_rigel,
+    scasb_clu,
+    cmpsb_pascal,
+    movc3_pc2,
+    movc5_pc2,
+    locc_rigel,
+    locc_clu,
+    cmpc3_pascal,
+    mvc_pascal,
+)
+
+#: the paper's documented failures.
+FAILURES = (
+    movc3_sassign_failure,
+    eclipse_failure,
+)
+
+#: beyond Table 2: the §7 extension and the §1 B4800 example.
+EXTENSIONS = (
+    movc3_sassign_extension,
+    srl_listsearch,
+    stosb_pc2,
+    mva_pascal,
+    clc_pascal,
+    skpc_pl1,
+    tr_pascal,
+)
+
+
+def run_table2(verify: bool = True, trials: int = 120):
+    """Run every Table 2 analysis; returns the outcomes in order."""
+    return [module.run(verify=verify, trials=trials) for module in TABLE2]
+
+
+def run_failures():
+    """Run the two documented failure attempts."""
+    return [module.run() for module in FAILURES]

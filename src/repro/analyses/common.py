@@ -1,0 +1,71 @@
+"""Shared driver for the recorded analysis scripts.
+
+Each analysis module defines ``INFO`` (the Table 2 row), ``SCENARIO``
+(the differential-testing recipe), a ``PAPER_STEPS`` count (what the
+1982 system needed), and a ``script(session)`` function that applies
+the transformation sequence.  :func:`run_analysis` plays the script,
+matches, verifies, and wraps everything in an
+:class:`~repro.analysis.report.AnalysisOutcome`.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Optional, Sequence
+
+from ..analysis import (
+    AnalysisInfo,
+    AnalysisOutcome,
+    AnalysisSession,
+    MatchFailure,
+    verify_binding,
+)
+from ..constraints import LanguageFact, UnsupportedConstraintError
+from ..isdl import ast
+from ..semantics.randomgen import ScenarioSpec
+from ..transform import TransformError
+
+
+def run_analysis(
+    info: AnalysisInfo,
+    operator_desc: ast.Description,
+    instruction_desc: ast.Description,
+    script: Callable[[AnalysisSession], None],
+    scenario: Optional[ScenarioSpec] = None,
+    verify: bool = True,
+    trials: int = 120,
+    language_facts: Sequence[LanguageFact] = (),
+) -> AnalysisOutcome:
+    """Play one analysis script end to end.
+
+    Failures of the kinds the paper documents (an unsupported complex
+    constraint, a transformation whose guard refuses, a match failure)
+    are captured in the outcome rather than raised; anything else is a
+    bug in this reproduction and propagates.
+    """
+    session = AnalysisSession(
+        info, operator_desc, instruction_desc, language_facts=language_facts
+    )
+    try:
+        script(session)
+        binding = session.finish()
+    except (UnsupportedConstraintError, TransformError, MatchFailure) as error:
+        return AnalysisOutcome(
+            machine=info.machine,
+            instruction=info.instruction,
+            language=info.language,
+            operation=info.operation,
+            failure=f"{type(error).__name__}: {error}",
+            log=session.log(),
+        )
+    verification = None
+    if verify and scenario is not None:
+        verification = verify_binding(binding, scenario, trials=trials)
+    return AnalysisOutcome(
+        machine=info.machine,
+        instruction=info.instruction,
+        language=info.language,
+        operation=info.operation,
+        binding=binding,
+        verification=verification,
+        log=session.log(),
+    )

@@ -1,0 +1,37 @@
+"""The §7 future-work extension: language facts discharge overlap.
+
+"EXTRA should be extended to understand source language characteristics
+such as overlap that result in complex constraints.  … The no-overlap
+condition is a property of Pascal and can never be violated by any
+Pascal program.  Thus, the analysis system is the appropriate place to
+deal with it" (paper §4.3/§7).
+
+This module re-runs the movc3/sassign analysis with the ``no-overlap``
+:class:`~repro.constraints.LanguageFact` declared.  The fact discharges
+the complex constraint, ``select_forward_copy`` resolves movc3's
+direction branch, and the analysis completes — verified differentially
+on (non-overlapping, as Pascal guarantees) randomized states.
+"""
+
+from __future__ import annotations
+
+from ..analysis import AnalysisOutcome
+from ..constraints import LanguageFact
+from . import movc3_sassign_failure
+
+INFO = movc3_sassign_failure.INFO
+SCENARIO = movc3_sassign_failure.SCENARIO
+
+#: Pascal strings can never overlap — a property of the source
+#: language, declared rather than proven.
+NO_OVERLAP = LanguageFact(
+    name="no-overlap",
+    description="Pascal string variables never overlap in storage",
+)
+
+
+def run(verify: bool = True, trials: int = 120) -> AnalysisOutcome:
+    return movc3_sassign_failure.run(
+        verify=verify, trials=trials, language_facts=(NO_OVERLAP,)
+    )
+FIELD_MAP = dict(movc3_sassign_failure.FIELD_MAP)

@@ -1,0 +1,30 @@
+"""EXTRA proper: analysis sessions, the matcher, bindings, verification.
+
+This package is the paper's primary contribution: proving exotic
+instructions equivalent to high-level language operators through
+source-to-source transformation, and packaging the result (with its
+constraints) for a retargetable code generator.
+"""
+
+from .binding import Binding, BindingLibrary
+from .matcher import Matcher, MatchFailure, MatchResult
+from .report import AnalysisOutcome, format_table, full_report, table2_row
+from .session import AnalysisInfo, AnalysisSession
+from .verify import VerificationFailure, VerificationReport, verify_binding
+
+__all__ = [
+    "Binding",
+    "BindingLibrary",
+    "Matcher",
+    "MatchFailure",
+    "MatchResult",
+    "AnalysisOutcome",
+    "format_table",
+    "full_report",
+    "table2_row",
+    "AnalysisInfo",
+    "AnalysisSession",
+    "VerificationFailure",
+    "VerificationReport",
+    "verify_binding",
+]

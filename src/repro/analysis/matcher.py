@@ -1,0 +1,294 @@
+"""The common-form matcher.
+
+Two descriptions are equivalent when "they are identical except for
+variable and register names" (paper §3).  The matcher walks the entry
+routines of an operator description and an instruction description in
+lockstep, building a name bijection; routines bind through their call
+sites and are compared the same way.
+
+During matching, "variables in the language operator description are
+bound to real registers in the instruction description.  This binding
+may result in further constraints … operands will be constrained to
+have values in the range determined by the size of the register."  The
+matcher therefore emits a :class:`~repro.constraints.RangeConstraint`
+for every unbounded operator variable bound to a finite register.
+
+``assert`` statements are auxiliary facts, not semantics; the matcher
+skips them on both sides.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Tuple
+
+from ..constraints import RangeConstraint
+from ..isdl import ast
+
+
+class MatchFailure(Exception):
+    """The two descriptions are not in a common form."""
+
+    def __init__(self, message: str, detail: str = ""):
+        super().__init__(message if not detail else f"{message}: {detail}")
+        self.detail = detail
+
+
+@dataclass
+class _Bijection:
+    """A consistent two-way name mapping."""
+
+    forward: Dict[str, str] = field(default_factory=dict)
+    backward: Dict[str, str] = field(default_factory=dict)
+
+    def bind(self, left: str, right: str, what: str) -> None:
+        if self.forward.get(left, right) != right:
+            raise MatchFailure(
+                f"{what} {left!r} is already bound to "
+                f"{self.forward[left]!r}, cannot bind to {right!r}"
+            )
+        if self.backward.get(right, left) != left:
+            raise MatchFailure(
+                f"{what} {right!r} is already bound to "
+                f"{self.backward[right]!r}, cannot bind to {left!r}"
+            )
+        self.forward[left] = right
+        self.backward[right] = left
+
+
+@dataclass(frozen=True)
+class MatchResult:
+    """A successful common-form proof."""
+
+    #: operator name -> instruction name, for registers and routines.
+    name_map: Dict[str, str]
+    #: operator operand name -> instruction register, input positions.
+    operand_map: Dict[str, str]
+    constraints: Tuple[RangeConstraint, ...]
+
+
+def _strip_asserts(stmts: Tuple[ast.Stmt, ...]) -> Tuple[ast.Stmt, ...]:
+    return tuple(stmt for stmt in stmts if not isinstance(stmt, ast.Assert))
+
+
+class Matcher:
+    """Compares an operator description against an instruction description."""
+
+    def __init__(self, operator: ast.Description, instruction: ast.Description):
+        self._operator = operator
+        self._instruction = instruction
+        self._bijection = _Bijection()
+        self._matched_routines: Dict[str, str] = {}
+        self._pending_routines: List[Tuple[str, str]] = []
+        self._constraints: List[RangeConstraint] = []
+        self._operand_names: List[str] = []
+
+    def match(self) -> MatchResult:
+        """Prove common form or raise :class:`MatchFailure`."""
+        op_entry = self._operator.entry_routine()
+        in_entry = self._instruction.entry_routine()
+        self._bind_routine_names(op_entry.name, in_entry.name)
+        self._match_routine_pair(op_entry.name, in_entry.name)
+        while self._pending_routines:
+            left, right = self._pending_routines.pop()
+            self._match_routine_pair(left, right)
+        self._check_widths()
+        operand_map = {
+            name: self._bijection.forward[name] for name in self._operand_names
+        }
+        return MatchResult(
+            name_map=dict(self._bijection.forward),
+            operand_map=operand_map,
+            constraints=tuple(self._constraints),
+        )
+
+    # ------------------------------------------------------------------
+
+    def _bind_routine_names(self, left: str, right: str) -> None:
+        self._bijection.bind(left, right, "routine")
+        if left not in self._matched_routines:
+            self._matched_routines[left] = right
+            self._pending_routines.append((left, right))
+        elif self._matched_routines[left] != right:
+            raise MatchFailure(
+                f"routine {left!r} bound to two different routines"
+            )
+
+    def _match_routine_pair(self, left_name: str, right_name: str) -> None:
+        try:
+            left = self._operator.routine(left_name)
+            right = self._instruction.routine(right_name)
+        except KeyError as error:
+            raise MatchFailure(str(error))
+        if len(left.params) != len(right.params):
+            raise MatchFailure(
+                f"routines {left_name!r}/{right_name!r} differ in arity"
+            )
+        for param_left, param_right in zip(left.params, right.params):
+            self._bijection.bind(param_left, param_right, "parameter")
+        self._match_bodies(
+            _strip_asserts(left.body),
+            _strip_asserts(right.body),
+            f"{left_name}/{right_name}",
+        )
+
+    def _match_bodies(self, left, right, where: str) -> None:
+        if len(left) != len(right):
+            raise MatchFailure(
+                f"{where}: statement counts differ ({len(left)} vs {len(right)})"
+            )
+        for stmt_left, stmt_right in zip(left, right):
+            self._match_stmt(stmt_left, stmt_right, where)
+
+    def _match_stmt(self, left: ast.Stmt, right: ast.Stmt, where: str) -> None:
+        if type(left) is not type(right):
+            raise MatchFailure(
+                f"{where}: {type(left).__name__} vs {type(right).__name__}"
+            )
+        if isinstance(left, ast.Assign):
+            self._match_lvalue(left.target, right.target, where)
+            self._match_expr(left.expr, right.expr, where)
+        elif isinstance(left, ast.If):
+            self._match_expr(left.cond, right.cond, where)
+            self._match_bodies(
+                _strip_asserts(left.then), _strip_asserts(right.then), where
+            )
+            self._match_bodies(
+                _strip_asserts(left.els), _strip_asserts(right.els), where
+            )
+        elif isinstance(left, ast.Repeat):
+            self._match_bodies(
+                _strip_asserts(left.body), _strip_asserts(right.body), where
+            )
+        elif isinstance(left, ast.ExitWhen):
+            self._match_expr(left.cond, right.cond, where)
+        elif isinstance(left, ast.Input):
+            if len(left.names) != len(right.names):
+                raise MatchFailure(
+                    f"{where}: operand counts differ "
+                    f"({len(left.names)} vs {len(right.names)})"
+                )
+            for name_left, name_right in zip(left.names, right.names):
+                self._bijection.bind(name_left, name_right, "operand")
+                if name_left not in self._operand_names:
+                    self._operand_names.append(name_left)
+        elif isinstance(left, ast.Output):
+            if len(left.exprs) != len(right.exprs):
+                raise MatchFailure(f"{where}: output arities differ")
+            for expr_left, expr_right in zip(left.exprs, right.exprs):
+                self._match_expr(expr_left, expr_right, where)
+        else:
+            raise MatchFailure(f"{where}: unsupported statement {type(left).__name__}")
+
+    def _match_lvalue(self, left, right, where: str) -> None:
+        if isinstance(left, ast.MemRead) and isinstance(right, ast.MemRead):
+            self._match_expr(left.addr, right.addr, where)
+            return
+        if isinstance(left, ast.Var) and isinstance(right, ast.Var):
+            self._bijection.bind(left.name, right.name, "register")
+            return
+        raise MatchFailure(f"{where}: assignment target kinds differ")
+
+    def _match_expr(self, left: ast.Expr, right: ast.Expr, where: str) -> None:
+        if type(left) is not type(right):
+            raise MatchFailure(
+                f"{where}: expression {type(left).__name__} vs "
+                f"{type(right).__name__}"
+            )
+        if isinstance(left, ast.Const):
+            if left.value != right.value:
+                raise MatchFailure(
+                    f"{where}: constants differ ({left.value} vs {right.value})"
+                )
+        elif isinstance(left, ast.Var):
+            self._bijection.bind(left.name, right.name, "register")
+        elif isinstance(left, ast.MemRead):
+            self._match_expr(left.addr, right.addr, where)
+        elif isinstance(left, ast.Call):
+            self._bind_routine_names(left.name, right.name)
+            if len(left.args) != len(right.args):
+                raise MatchFailure(f"{where}: call arities differ")
+            for arg_left, arg_right in zip(left.args, right.args):
+                self._match_expr(arg_left, arg_right, where)
+        elif isinstance(left, ast.BinOp):
+            if left.op != right.op:
+                raise MatchFailure(
+                    f"{where}: operators differ ({left.op!r} vs {right.op!r})"
+                )
+            self._match_expr(left.left, right.left, where)
+            self._match_expr(left.right, right.right, where)
+        elif isinstance(left, ast.UnOp):
+            if left.op != right.op:
+                raise MatchFailure(
+                    f"{where}: operators differ ({left.op!r} vs {right.op!r})"
+                )
+            self._match_expr(left.operand, right.operand, where)
+        else:
+            raise MatchFailure(f"{where}: unsupported expression")
+
+    # ------------------------------------------------------------------
+    # width compatibility -> range constraints
+
+    def _check_widths(self) -> None:
+        operator_widths = self._collect_widths(self._operator)
+        instruction_widths = self._collect_widths(self._instruction)
+        for left, right in self._bijection.forward.items():
+            width_left = operator_widths.get(left)
+            width_right = instruction_widths.get(right)
+            if width_left is None or width_right is None:
+                continue  # routine params without declarations
+            self._check_width_pair(left, right, width_left, width_right)
+
+    @staticmethod
+    def _collect_widths(description: ast.Description) -> Dict[str, Optional[ast.Width]]:
+        widths: Dict[str, Optional[ast.Width]] = {}
+        for decl in description.registers():
+            widths[decl.name] = decl.width
+        for routine in description.routines():
+            if routine.width is not None:
+                widths[routine.name] = routine.width
+        return widths
+
+    def _check_width_pair(
+        self, left: str, right: str, width_left: ast.Width, width_right: ast.Width
+    ) -> None:
+        is_operand = left in self._operand_names
+        if isinstance(width_left, ast.BitWidth) and isinstance(
+            width_right, ast.BitWidth
+        ):
+            if width_left.bits != width_right.bits:
+                raise MatchFailure(
+                    f"register widths differ for {left!r} ({width_left.bits}b) "
+                    f"vs {right!r} ({width_right.bits}b)"
+                )
+            return
+        if isinstance(width_left, ast.TypeWidth) and isinstance(
+            width_right, ast.TypeWidth
+        ):
+            if width_left.typename != width_right.typename:
+                raise MatchFailure(
+                    f"types differ for {left!r}/{right!r}"
+                )
+            return
+        # Abstract operator type bound to a concrete register.
+        abstract, concrete = (
+            (width_left, width_right)
+            if isinstance(width_left, ast.TypeWidth)
+            else (width_right, width_left)
+        )
+        if not isinstance(concrete, ast.BitWidth):
+            raise MatchFailure(f"widths incompatible for {left!r}/{right!r}")
+        if abstract.typename == "character":
+            if concrete.bits != 8:
+                raise MatchFailure(
+                    f"character {left!r} bound to {concrete.bits}-bit register"
+                )
+            return
+        self._constraints.append(
+            RangeConstraint.from_bits(
+                left,
+                concrete.bits,
+                is_operand=is_operand,
+                note=f"bound to {right}<{concrete.bits - 1}:0>",
+            )
+        )

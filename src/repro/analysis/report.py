@@ -1,0 +1,93 @@
+"""Human-readable reports for completed and failed analyses.
+
+The benchmark harness uses these to print Table 2 rows and the failure
+narratives of §4.3/§5; examples use them to show users what an analysis
+produced.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Optional, Sequence, Tuple
+
+from ..constraints import UnsupportedConstraintError
+from ..isdl import format_description
+from .binding import Binding
+from .matcher import MatchFailure
+from .verify import VerificationReport
+
+
+@dataclass(frozen=True)
+class AnalysisOutcome:
+    """One analysis attempt: a binding, or a documented failure."""
+
+    machine: str
+    instruction: str
+    language: str
+    operation: str
+    binding: Optional[Binding] = None
+    failure: Optional[str] = None
+    verification: Optional[VerificationReport] = None
+    #: the combined per-step transformation log of both sessions.
+    log: Optional[str] = None
+
+    @property
+    def succeeded(self) -> bool:
+        return self.binding is not None
+
+    @property
+    def steps(self) -> Optional[int]:
+        return self.binding.steps if self.binding else None
+
+
+def table2_row(outcome: AnalysisOutcome) -> Tuple[str, str, str, str, str]:
+    """One row of Table 2: machine, instruction, language, operation, steps."""
+    steps = str(outcome.steps) if outcome.succeeded else "failed"
+    return (
+        outcome.machine,
+        outcome.instruction,
+        outcome.language,
+        outcome.operation,
+        steps,
+    )
+
+
+def format_table(
+    rows: Sequence[Tuple[str, ...]], headers: Tuple[str, ...]
+) -> str:
+    """Render an aligned text table (used by every benchmark)."""
+    widths = [len(header) for header in headers]
+    for row in rows:
+        for index, cell in enumerate(row):
+            widths[index] = max(widths[index], len(cell))
+    lines = []
+    header_line = "  ".join(
+        header.ljust(widths[index]) for index, header in enumerate(headers)
+    )
+    lines.append(header_line)
+    lines.append("  ".join("-" * width for width in widths))
+    for row in rows:
+        lines.append(
+            "  ".join(cell.ljust(widths[index]) for index, cell in enumerate(row))
+        )
+    return "\n".join(lines)
+
+
+def full_report(outcome: AnalysisOutcome) -> str:
+    """Complete narrative for one analysis."""
+    title = (
+        f"{outcome.machine} {outcome.instruction} vs "
+        f"{outcome.language} {outcome.operation}"
+    )
+    lines = [title, "=" * len(title)]
+    if not outcome.succeeded:
+        lines.append(f"ANALYSIS FAILED: {outcome.failure}")
+        return "\n".join(lines)
+    binding = outcome.binding
+    lines.append(binding.describe())
+    if outcome.verification is not None:
+        lines.append(f"verified: {outcome.verification}")
+    lines.append("")
+    lines.append("final augmented instruction description:")
+    lines.append(format_description(binding.augmented_instruction))
+    return "\n".join(lines)

@@ -1,0 +1,138 @@
+"""Target-level assembly representation shared by emitters and simulators.
+
+The three targets (Intel 8086, VAX-11, IBM 370) use the same structural
+vocabulary — registers, immediates, runtime parameters, register-indirect
+memory references, label references — with machine-specific mnemonics and
+cost models.  Programs are flat instruction lists with interspersed
+labels, which is all the generated code needs (no sections, no
+relocations).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import List, Optional, Tuple, Union
+
+
+@dataclass(frozen=True)
+class Reg:
+    """A machine register operand."""
+
+    name: str
+
+    def __str__(self) -> str:
+        return self.name
+
+
+@dataclass(frozen=True)
+class Imm:
+    """An immediate constant operand."""
+
+    value: int
+
+    def __str__(self) -> str:
+        return str(self.value)
+
+
+@dataclass(frozen=True)
+class ParamRef:
+    """A runtime parameter, bound when the program is simulated.
+
+    Stands in for addressing a compiler-allocated home location; the
+    simulators charge it like an immediate/memory load.
+    """
+
+    name: str
+
+    def __str__(self) -> str:
+        return f"${self.name}"
+
+
+@dataclass(frozen=True)
+class MemRef:
+    """A register-indirect memory reference, optionally displaced."""
+
+    base: Reg
+    disp: int = 0
+
+    def __str__(self) -> str:
+        if self.disp:
+            return f"{self.disp}({self.base})"
+        return f"({self.base})"
+
+
+@dataclass(frozen=True)
+class LabelRef:
+    """A reference to a label (branch target)."""
+
+    name: str
+
+    def __str__(self) -> str:
+        return self.name
+
+
+Operand = Union[Reg, Imm, ParamRef, MemRef, LabelRef]
+
+
+@dataclass(frozen=True)
+class Instr:
+    """One machine instruction."""
+
+    mnemonic: str
+    operands: Tuple[Operand, ...] = ()
+    comment: Optional[str] = None
+
+    def __str__(self) -> str:
+        text = self.mnemonic
+        if self.operands:
+            text += " " + ", ".join(str(op) for op in self.operands)
+        if self.comment:
+            text = f"{text:<32}; {self.comment}"
+        return text
+
+
+@dataclass(frozen=True)
+class Label:
+    """A branch target in the instruction stream."""
+
+    name: str
+
+    def __str__(self) -> str:
+        return f"{self.name}:"
+
+
+Line = Union[Instr, Label]
+
+
+@dataclass
+class AsmProgram:
+    """A generated program for one target machine."""
+
+    machine: str
+    lines: List[Line] = field(default_factory=list)
+
+    def emit(
+        self,
+        mnemonic: str,
+        *operands: Operand,
+        comment: Optional[str] = None,
+    ) -> None:
+        self.lines.append(Instr(mnemonic, tuple(operands), comment))
+
+    def label(self, name: str) -> None:
+        self.lines.append(Label(name))
+
+    def instructions(self) -> List[Instr]:
+        return [line for line in self.lines if isinstance(line, Instr)]
+
+    def listing(self) -> str:
+        rendered = [f"; target: {self.machine}"]
+        for line in self.lines:
+            if isinstance(line, Label):
+                rendered.append(str(line))
+            else:
+                rendered.append(f"    {line}")
+        return "\n".join(rendered) + "\n"
+
+    def __len__(self) -> int:
+        return len(self.instructions())

@@ -1,0 +1,70 @@
+"""The retargetable code generator (paper §6).
+
+Consumes the bindings EXTRA produced: a high-level internal form with
+explicit string/block operators, binding-driven instruction selection
+with constraint checking, constraint-satisfaction rewriting (chunking),
+decomposition rules as the fallback, and the three §6 optimizations
+(constant folding, rewrite/augment integration, dedicated-register
+reuse).  Generated code runs on cycle-costed simulators of the three
+target machines.
+"""
+
+from . import ir
+from ..asm import AsmProgram, Imm, Instr, Label, LabelRef, MemRef, ParamRef, Reg
+from .bindings_db import library_for
+from .emitter import Target
+from .errors import CodegenError, ConstraintNotSatisfied
+from .rewrite import chunk_operation, rewrite_for
+from .select import Selection, check_binding, plan, select
+from .target_b4800 import B4800Target
+from .target_i8086 import I8086Target
+from .target_ibm370 import Ibm370Target
+from .target_vax11 import Vax11Target
+
+__all__ = [
+    "ir",
+    "AsmProgram",
+    "Imm",
+    "Instr",
+    "Label",
+    "LabelRef",
+    "MemRef",
+    "ParamRef",
+    "Reg",
+    "library_for",
+    "Target",
+    "CodegenError",
+    "ConstraintNotSatisfied",
+    "chunk_operation",
+    "rewrite_for",
+    "Selection",
+    "check_binding",
+    "plan",
+    "select",
+    "B4800Target",
+    "I8086Target",
+    "Ibm370Target",
+    "Vax11Target",
+]
+
+
+def target_for(machine: str, with_extensions: bool = False, **options) -> Target:
+    """Construct a ready-to-use back end for ``machine``.
+
+    ``machine`` is one of ``"i8086"``, ``"vax11"``, ``"ibm370"``.
+    ``with_extensions`` adds the §7 language-fact bindings (currently:
+    movc3 implementing ``string.move`` on the VAX).  Remaining keyword
+    options go to the target constructor (``fold_constants``,
+    ``reuse_registers``).
+    """
+    classes = {
+        "i8086": I8086Target,
+        "vax11": Vax11Target,
+        "ibm370": Ibm370Target,
+        "b4800": B4800Target,
+    }
+    try:
+        cls = classes[machine]
+    except KeyError:
+        raise KeyError(f"unknown machine {machine!r}; known: {sorted(classes)}")
+    return cls(library_for(machine, with_extensions), **options)

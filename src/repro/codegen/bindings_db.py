@@ -1,0 +1,70 @@
+"""Binding database: the analyses' output, packaged for the compiler.
+
+Runs the recorded analysis scripts (without the differential-testing
+pass — that is the test suite's job) and collects the resulting
+bindings per target machine.  This is the hand-off the paper describes:
+"the results of the analysis are passed to a retargetable code
+generator as part of the instruction repertoire of the machine" (§3).
+
+The VAX library optionally includes the §7 extension binding
+(movc3 implementing ``string.move`` under the no-overlap language
+fact); without it, a VAX compiler must decompose plain string moves —
+exactly the stock-EXTRA situation.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+from functools import lru_cache
+
+from ..analysis import Binding, BindingLibrary
+from ..analyses import (
+    clc_pascal,
+    cmpc3_pascal,
+    cmpsb_pascal,
+    locc_rigel,
+    movc3_pc2,
+    movc3_sassign_extension,
+    movc5_pc2,
+    movsb_pascal,
+    mva_pascal,
+    mvc_pascal,
+    scasb_rigel,
+    srl_listsearch,
+    stosb_pc2,
+    tr_pascal,
+)
+
+
+def _binding_from(module) -> Binding:
+    outcome = module.run(verify=False)
+    if not outcome.succeeded:
+        raise RuntimeError(
+            f"analysis {module.__name__} failed: {outcome.failure}"
+        )
+    return dataclasses.replace(outcome.binding, field_map=dict(module.FIELD_MAP))
+
+
+#: machine name -> analysis modules whose bindings it gets.
+_MACHINE_ANALYSES = {
+    "i8086": (movsb_pascal, scasb_rigel, cmpsb_pascal, stosb_pc2),
+    "vax11": (movc3_pc2, movc5_pc2, locc_rigel, cmpc3_pascal),
+    "ibm370": (mvc_pascal, clc_pascal, tr_pascal),
+    "b4800": (srl_listsearch, mva_pascal),
+}
+
+
+@lru_cache(maxsize=None)
+def library_for(machine: str, with_extensions: bool = False) -> BindingLibrary:
+    """All bindings for ``machine`` (cached)."""
+    try:
+        modules = _MACHINE_ANALYSES[machine]
+    except KeyError:
+        raise KeyError(f"no bindings known for machine {machine!r}")
+    paper_machine = _binding_from(modules[0]).machine
+    library = BindingLibrary(machine=paper_machine)
+    for module in modules:
+        library.add(_binding_from(module))
+    if with_extensions and machine == "vax11":
+        library.add(_binding_from(movc3_sassign_extension))
+    return library

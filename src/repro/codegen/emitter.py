@@ -1,0 +1,207 @@
+"""Target emitter base: operand materialization and compilation driving.
+
+A target subclass provides machine-specific hooks (how to load a
+register, add to one, move register to register) plus one emitter per
+(operator, exotic-instruction) pair and one decomposed emitter per
+operator.  This base drives selection, folds operand expressions, and
+runs the value-number register-reuse optimization of
+:mod:`repro.codegen.optimize`.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Mapping, Optional, Sequence
+
+from ..analysis import Binding, BindingLibrary
+from . import ir
+from ..asm import AsmProgram, Imm, ParamRef, Reg
+from .errors import CodegenError
+from .optimize import RegisterValues, ValueNumber, vn_of
+from .select import Selection, plan
+
+
+class Target:
+    """Base class for the three machine back ends."""
+
+    #: machine key ("i8086", "vax11", "ibm370").
+    name: str = ""
+    #: scratch registers usable for operand expression evaluation.
+    SCRATCH: tuple = ()
+    #: simulator class (subclass of machines.simbase.Simulator).
+    simulator_class = None
+
+    def __init__(
+        self,
+        library: BindingLibrary,
+        fold_constants: bool = True,
+        reuse_registers: bool = True,
+    ):
+        self.library = library
+        self.fold_constants = fold_constants
+        self.regs = RegisterValues(enabled=reuse_registers)
+        self._label_counter = 0
+
+    # ------------------------------------------------------------------
+    # machine hooks (subclasses implement)
+
+    def emit_load(self, asm: AsmProgram, reg: str, operand) -> None:
+        """Load an Imm/ParamRef into a register."""
+        raise NotImplementedError
+
+    def emit_move(self, asm: AsmProgram, dst: str, src: str) -> None:
+        """Register-to-register move."""
+        raise NotImplementedError
+
+    def emit_add(self, asm: AsmProgram, reg: str, operand) -> None:
+        """Add an Imm/Reg to a register."""
+        raise NotImplementedError
+
+    def emit_sub(self, asm: AsmProgram, reg: str, operand) -> None:
+        """Subtract an Imm/Reg from a register."""
+        raise NotImplementedError
+
+    #: operator -> method emitting the exotic-instruction form.
+    EXOTIC: Dict[str, str] = {}
+    #: operator -> method emitting the decomposed loop.
+    DECOMPOSED: Dict[str, str] = {}
+
+    # ------------------------------------------------------------------
+    # compilation
+
+    def compile(
+        self,
+        program: Sequence[ir.Operation],
+        use_exotic: bool = True,
+        rewrite: bool = True,
+    ) -> AsmProgram:
+        """Compile an IR program to target assembly."""
+        asm = AsmProgram(machine=self.name)
+        self.regs.clear()
+        self._label_counter = 0
+        for selection in plan(self.library, program, use_exotic, rewrite):
+            self._emit_selection(asm, selection)
+        return asm
+
+    def _emit_selection(self, asm: AsmProgram, selection: Selection) -> None:
+        op = selection.op
+        if selection.binding is not None:
+            method_name = self.EXOTIC.get(op.operator)
+            if method_name is None:
+                raise CodegenError(
+                    f"{self.name}: no exotic emitter for {op.operator}"
+                )
+            getattr(self, method_name)(asm, op, selection.binding)
+            return
+        method_name = self.DECOMPOSED.get(op.operator)
+        if method_name is None:
+            raise CodegenError(
+                f"{self.name}: no decomposition for {op.operator} "
+                f"({selection.reason})"
+            )
+        getattr(self, method_name)(asm, op)
+
+    # ------------------------------------------------------------------
+    # operand materialization with value-number reuse
+
+    def _prepare(self, expr: ir.ValueExpr) -> ir.ValueExpr:
+        return ir.fold(expr) if self.fold_constants else expr
+
+    def materialize_into(self, asm: AsmProgram, expr: ir.ValueExpr, reg: str) -> None:
+        """Put the value of ``expr`` into the *specific* register ``reg``."""
+        expr = self._prepare(expr)
+        vn = vn_of(expr)
+        if self.regs.known(reg) == vn:
+            return  # already there — nothing to emit
+        holder = self.regs.holding(vn)
+        if holder is not None and holder != reg:
+            self.emit_move(asm, reg, holder)
+            self.regs.set(reg, vn)
+            return
+        self._compute(asm, expr, reg)
+        self.regs.set(reg, vn)
+
+    def materialize_any(self, asm: AsmProgram, expr: ir.ValueExpr, avoid=()) -> str:
+        """Put ``expr`` into *some* register and return its name.
+
+        Reuses a register already holding the value when possible (the
+        dedicated-register optimization for machines whose string
+        instructions take general register operands).  ``avoid`` names
+        registers already carrying sibling operands of the same
+        instruction.
+        """
+        expr = self._prepare(expr)
+        vn = vn_of(expr)
+        holder = self.regs.holding(vn)
+        if holder is not None:
+            return holder
+        reg = self._pick_scratch(avoid=avoid)
+        self._compute(asm, expr, reg)
+        self.regs.set(reg, vn)
+        return reg
+
+    def _pick_scratch(self, avoid) -> str:
+        """A scratch register, preferring ones holding nothing tracked.
+
+        Falls back to evicting a tracked scratch (clearing its value
+        number) when every scratch register is occupied.
+        """
+        for reg in self.SCRATCH:
+            if reg not in avoid and self.regs.known(reg) is None:
+                return reg
+        for reg in self.SCRATCH:
+            if reg not in avoid:
+                self.regs.clobber(reg)
+                return reg
+        raise CodegenError(f"{self.name}: out of scratch registers")
+
+    def _compute(
+        self, asm: AsmProgram, expr: ir.ValueExpr, reg: str, avoid=()
+    ) -> None:
+        """Evaluate ``expr`` into ``reg`` (no reuse checks — callers did)."""
+        self.regs.clobber(reg)
+        if isinstance(expr, ir.Const):
+            self.emit_load(asm, reg, Imm(expr.value))
+            return
+        if isinstance(expr, ir.Param):
+            self.emit_load(asm, reg, ParamRef(expr.name))
+            return
+        # Binary: left into reg, then add/sub the right side.
+        self._compute(asm, expr.left, reg, avoid)
+        right = expr.right
+        emit = self.emit_add if isinstance(expr, ir.Add) else self.emit_sub
+        if isinstance(right, ir.Const):
+            emit(asm, reg, Imm(right.value))
+            return
+        scratch = self._pick_scratch(avoid=(reg,) + tuple(avoid))
+        self._compute(asm, right, scratch, avoid + (reg,))
+        emit(asm, reg, Reg(scratch))
+
+    # ------------------------------------------------------------------
+    # misc helpers
+
+    def new_label(self, stem: str) -> str:
+        self._label_counter += 1
+        return f"{stem}_{self._label_counter}"
+
+    def check_fixed(self, binding: Binding, operand: str, value: int) -> None:
+        """Assert the analysis fixed ``operand`` to ``value``.
+
+        Ties emission templates back to the bindings they lower: the
+        8086 emitter refuses to emit ``cld`` unless the binding really
+        recorded ``df = 0``.
+        """
+        for constraint in binding.value_constraints():
+            if constraint.operand == operand and constraint.value == value:
+                return
+        raise CodegenError(
+            f"binding {binding.instruction} does not fix {operand} = {value}"
+        )
+
+    def simulate(
+        self,
+        asm: AsmProgram,
+        params: Optional[Mapping[str, int]] = None,
+        memory: Optional[Mapping[int, int]] = None,
+    ):
+        """Run the generated program on the target's simulator."""
+        return self.simulator_class().run(asm, params, memory)

@@ -1,0 +1,16 @@
+"""Code-generator error types."""
+
+from __future__ import annotations
+
+
+class CodegenError(Exception):
+    """The program cannot be compiled for the target."""
+
+
+class ConstraintNotSatisfied(CodegenError):
+    """A binding's constraint could not be discharged for an operation.
+
+    Raised internally during selection; the selector catches it and
+    falls back to rewriting or decomposition, re-raising only when no
+    fallback exists and strict mode demands the exotic instruction.
+    """

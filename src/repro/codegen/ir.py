@@ -1,0 +1,192 @@
+"""The compiler's high-level internal form.
+
+"In order to use this binding information the compiler must have an
+internal form that allows high-level language operators to be
+represented explicitly" (paper §6).  This IR is exactly that: string
+and block operators appear as single operations, and the instruction
+selector decides per operation whether an exotic-instruction binding
+applies (constraints dischargeable) or the operator must be decomposed
+into a loop of low-level operations.
+
+Operands are expression trees over compile-time constants and runtime
+parameters; a parameter may declare a static range (``lo``/``hi``),
+which is how "data flow information can … show that constraints on the
+values of operands are already satisfied in the source program".
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Optional, Tuple, Union
+
+# ---------------------------------------------------------------------------
+# operand expressions
+
+
+@dataclass(frozen=True)
+class Const:
+    """A compile-time constant."""
+
+    value: int
+
+
+@dataclass(frozen=True)
+class Param:
+    """A runtime parameter with an optional statically-known range."""
+
+    name: str
+    lo: Optional[int] = None
+    hi: Optional[int] = None
+
+
+@dataclass(frozen=True)
+class Add:
+    """Sum of two operand expressions."""
+
+    left: "ValueExpr"
+    right: "ValueExpr"
+
+
+@dataclass(frozen=True)
+class Sub:
+    """Difference of two operand expressions."""
+
+    left: "ValueExpr"
+    right: "ValueExpr"
+
+
+ValueExpr = Union[Const, Param, Add, Sub]
+
+
+def static_range(expr: ValueExpr) -> Tuple[Optional[int], Optional[int]]:
+    """Conservative (lo, hi) bounds of an operand expression."""
+    if isinstance(expr, Const):
+        return expr.value, expr.value
+    if isinstance(expr, Param):
+        return expr.lo, expr.hi
+    left_lo, left_hi = static_range(expr.left)
+    right_lo, right_hi = static_range(expr.right)
+    if isinstance(expr, Add):
+        lo = None if left_lo is None or right_lo is None else left_lo + right_lo
+        hi = None if left_hi is None or right_hi is None else left_hi + right_hi
+        return lo, hi
+    lo = None if left_lo is None or right_hi is None else left_lo - right_hi
+    hi = None if left_hi is None or right_lo is None else left_hi - right_lo
+    return lo, hi
+
+
+def fold(expr: ValueExpr) -> ValueExpr:
+    """Constant-fold an operand expression."""
+    if isinstance(expr, (Const, Param)):
+        return expr
+    left = fold(expr.left)
+    right = fold(expr.right)
+    if isinstance(left, Const) and isinstance(right, Const):
+        if isinstance(expr, Add):
+            return Const(left.value + right.value)
+        return Const(left.value - right.value)
+    return type(expr)(left, right)
+
+
+def const_value(expr: ValueExpr) -> Optional[int]:
+    """The expression's value when it folds to a constant, else None."""
+    folded = fold(expr)
+    return folded.value if isinstance(folded, Const) else None
+
+
+# ---------------------------------------------------------------------------
+# operations
+
+
+@dataclass(frozen=True)
+class StringMove:
+    """Move ``length`` bytes from ``src`` to ``dst`` (non-overlapping)."""
+
+    dst: ValueExpr
+    src: ValueExpr
+    length: ValueExpr
+
+    operator = "string.move"
+
+
+@dataclass(frozen=True)
+class BlockCopy:
+    """Copy ``length`` bytes; regions may overlap (memmove semantics)."""
+
+    dst: ValueExpr
+    src: ValueExpr
+    length: ValueExpr
+
+    operator = "block.copy"
+
+
+@dataclass(frozen=True)
+class BlockClear:
+    """Zero ``length`` bytes at ``dst``."""
+
+    dst: ValueExpr
+    length: ValueExpr
+
+    operator = "block.clear"
+
+
+@dataclass(frozen=True)
+class StringIndex:
+    """1-based index of ``char`` in the string, or 0; stored in ``result``."""
+
+    result: str
+    base: ValueExpr
+    length: ValueExpr
+    char: ValueExpr
+
+    operator = "string.index"
+
+
+@dataclass(frozen=True)
+class StringEqual:
+    """1 when the two strings of ``length`` bytes are equal, else 0."""
+
+    result: str
+    a: ValueExpr
+    b: ValueExpr
+    length: ValueExpr
+
+    operator = "string.equal"
+
+
+@dataclass(frozen=True)
+class StringTranslate:
+    """Translate ``length`` bytes at ``base`` in place through ``table``."""
+
+    base: ValueExpr
+    table: ValueExpr
+    length: ValueExpr
+
+    operator = "string.translate"
+
+
+@dataclass(frozen=True)
+class ListSearch:
+    """Address of the list record whose key matches, or 0."""
+
+    result: str
+    head: ValueExpr
+    key: ValueExpr
+    key_offset: ValueExpr
+    link_offset: ValueExpr
+
+    operator = "list.search"
+
+
+Operation = Union[
+    StringMove,
+    BlockCopy,
+    BlockClear,
+    StringIndex,
+    StringEqual,
+    StringTranslate,
+    ListSearch,
+]
+
+#: A compiler input: a straight-line sequence of high-level operations.
+Program = Tuple[Operation, ...]

@@ -1,0 +1,87 @@
+"""Code-quality optimizations (paper §6).
+
+Three optimizations are implemented, matching the paper's list:
+
+* **Constant folding / constant propagation**: operand expressions are
+  folded before emission (``ir.fold``), so chunk addresses and coding
+  constraint offsets cost nothing at run time.
+* **Integration of rewriting rules with augment code**: the rewriting
+  rules produce expression trees rather than emitted arithmetic; the
+  folding above and the value-number reuse below erase the redundant
+  computation where the pieces meet.
+* **Intelligent (dedicated) register allocation**:
+  :class:`RegisterValues` tracks, per machine register, a symbolic
+  value number for what it currently holds.  Exotic instructions
+  publish their architected final register values (VAX movc3 leaves
+  ``R1 = src + len``), so cascaded string operations skip reloading
+  operands a previous instruction already left in the right register —
+  "if exotic instructions are cascaded or put in loops, additional
+  loads of the registers are not necessary."
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, Optional, Tuple
+
+from . import ir
+
+#: A value number: a hashable symbolic description of a value.
+ValueNumber = Tuple
+
+
+def vn_of(expr: ir.ValueExpr) -> ValueNumber:
+    """Symbolic value number of an operand expression (after folding)."""
+    expr = ir.fold(expr)
+    if isinstance(expr, ir.Const):
+        return ("const", expr.value)
+    if isinstance(expr, ir.Param):
+        return ("param", expr.name)
+    left = vn_of(expr.left)
+    right = vn_of(expr.right)
+    if isinstance(expr, ir.Add):
+        # Addition commutes; normalize so (a+b) and (b+a) coincide.
+        first, second = sorted((left, right))
+        return ("add", first, second)
+    return ("sub", left, right)
+
+
+def vn_add(left: ValueNumber, right: ValueNumber) -> ValueNumber:
+    """Value number of the sum of two already-numbered values."""
+    if left[0] == "const" and right[0] == "const":
+        return ("const", left[1] + right[1])
+    first, second = sorted((left, right))
+    return ("add", first, second)
+
+
+@dataclass
+class RegisterValues:
+    """Tracks which symbolic value each machine register holds."""
+
+    enabled: bool = True
+    _held: Dict[str, ValueNumber] = field(default_factory=dict)
+
+    def holding(self, vn: ValueNumber) -> Optional[str]:
+        """A register currently holding ``vn``, if any."""
+        if not self.enabled:
+            return None
+        for register, value in self._held.items():
+            if value == vn:
+                return register
+        return None
+
+    def set(self, register: str, vn: Optional[ValueNumber]) -> None:
+        if vn is None:
+            self._held.pop(register, None)
+        else:
+            self._held[register] = vn
+
+    def clobber(self, *registers: str) -> None:
+        for register in registers:
+            self._held.pop(register, None)
+
+    def clear(self) -> None:
+        self._held.clear()
+
+    def known(self, register: str) -> Optional[ValueNumber]:
+        return self._held.get(register)

@@ -1,0 +1,121 @@
+"""Constraint-satisfaction rewriting rules.
+
+"Constraints can also be satisfied by constraint satisfaction rewriting
+rules.  These rules rewrite the language operator to put it in a
+context where the constraints are satisfied.  For example, a string
+move operator that is constrained to move strings of at most 65K bytes
+can be rewritten to move consecutive substrings of size less than or
+equal to 65K" (paper §6).
+
+The implemented rule chunks constant-length moves/copies/clears whose
+length exceeds a binding's range limit into consecutive pieces of the
+maximum satisfiable size.  Chunk addresses are expression trees
+(``base + k*chunk``) that the emitter's constant-folding optimization
+collapses at compile time — the "integration of rewriting rules with
+augment code" plus "constant folding" of §6's optimization list.
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional, Sequence
+
+from ..analysis import BindingLibrary
+from . import ir
+
+#: operators the chunking rule understands, with their length field.
+_CHUNKABLE = {
+    "string.move": "length",
+    "block.copy": "length",
+    "block.clear": "length",
+    "string.translate": "length",
+}
+
+
+def _chunk_limits(library: BindingLibrary, op: ir.Operation):
+    """(lo, hi) length range of the best chunkable binding, if any."""
+    best = None
+    for binding in library.candidates(op.operator):
+        for constraint in binding.range_constraints():
+            if not constraint.is_operand:
+                continue
+            if binding.field_for_operand(constraint.operand) == _CHUNKABLE.get(
+                op.operator
+            ):
+                if best is None or constraint.hi > best[1]:
+                    best = (constraint.lo, constraint.hi)
+    return best
+
+
+def _offset_expr(base: ir.ValueExpr, offset: int) -> ir.ValueExpr:
+    # Left unfolded: the emitter's constant-folding pass (when enabled)
+    # collapses these — that collapse is exactly the "integration of
+    # rewriting rules" optimization the §6 ablation measures.
+    if offset == 0:
+        return base
+    return ir.Add(base, ir.Const(offset))
+
+
+def chunk_operation(op: ir.Operation, chunk_size: int) -> List[ir.Operation]:
+    """Split a constant-length operation into <= chunk_size pieces."""
+    length_field = _CHUNKABLE[op.operator]
+    total = ir.const_value(getattr(op, length_field))
+    if total is None:
+        raise ValueError("only constant lengths can be chunked statically")
+    pieces: List[ir.Operation] = []
+    moved = 0
+    while moved < total:
+        size = min(chunk_size, total - moved)
+        if isinstance(op, (ir.StringMove, ir.BlockCopy)):
+            pieces.append(
+                type(op)(
+                    dst=_offset_expr(op.dst, moved),
+                    src=_offset_expr(op.src, moved),
+                    length=ir.Const(size),
+                )
+            )
+        elif isinstance(op, ir.BlockClear):
+            pieces.append(
+                ir.BlockClear(
+                    dst=_offset_expr(op.dst, moved), length=ir.Const(size)
+                )
+            )
+        elif isinstance(op, ir.StringTranslate):
+            pieces.append(
+                ir.StringTranslate(
+                    base=_offset_expr(op.base, moved),
+                    table=op.table,
+                    length=ir.Const(size),
+                )
+            )
+        else:
+            raise ValueError(f"cannot chunk {op.operator}")
+        moved += size
+    return pieces
+
+
+def rewrite_for(
+    library: BindingLibrary, op: ir.Operation
+) -> Optional[List[ir.Operation]]:
+    """Rewrite ``op`` so a binding's constraints become satisfiable.
+
+    Returns the replacement operations, or None when no rule applies.
+    Currently: constant-length chunking for moves/copies/clears whose
+    length exceeds the binding's limit (and dropping zero-length
+    operations below a binding's minimum — a move of nothing is no code).
+    """
+    if op.operator not in _CHUNKABLE:
+        return None
+    limits = _chunk_limits(library, op)
+    if limits is None:
+        return None
+    lo, hi = limits
+    total = ir.const_value(getattr(op, _CHUNKABLE[op.operator]))
+    if total is None:
+        return None
+    if total == 0:
+        return []  # nothing to move: no code at all
+    if total > hi:
+        return chunk_operation(op, hi)
+    if total < lo:
+        return None
+    return None

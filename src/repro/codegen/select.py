@@ -1,0 +1,139 @@
+"""Binding-driven instruction selection.
+
+"The code generator can then generate an exotic instruction when a
+high-level operator is encountered in the internal form and any
+constraints can be satisfied.  If there is no exotic instruction … or
+if the constraints can not be satisfied, then the compiler must include
+decomposition rules" (paper §6).
+
+For each operation the selector tries, in order:
+
+1. every binding registered for the operator, checking each range
+   constraint against the operand's statically-known range,
+2. the constraint-satisfaction rewriting rules (``rewrite.py``) — e.g.
+   a constant-length move longer than mvc's limit becomes consecutive
+   chunk moves, each individually satisfiable,
+3. decomposition into a low-level loop.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List, Optional, Sequence, Tuple
+
+from ..analysis import Binding, BindingLibrary
+from . import ir
+from .errors import CodegenError, ConstraintNotSatisfied
+
+
+@dataclass(frozen=True)
+class Selection:
+    """What the selector decided for one operation."""
+
+    op: ir.Operation
+    #: the binding to use, or None for decomposition.
+    binding: Optional[Binding]
+    #: why the exotic instruction was not used (for reports/tests).
+    reason: str = ""
+
+
+def operand_expr(op: ir.Operation, field: str) -> ir.ValueExpr:
+    """The IR expression feeding operand ``field`` of ``op``."""
+    return getattr(op, field)
+
+
+def check_binding(binding: Binding, op: ir.Operation) -> None:
+    """Raise :class:`ConstraintNotSatisfied` unless all constraints hold.
+
+    Value constraints are the emitter's job (it sets the fixed operands
+    when emitting); offset constraints are encoding directives; range
+    constraints must be discharged *here*, from the operands' static
+    ranges — "data flow information can often be used by the compiler to
+    show that constraints on the values of operands are already
+    satisfied" (§6).
+    """
+    # Value constraints on *operator* operands (e.g. the B4800 list
+    # search requires LinkOff = 0 — the record-layout constraint of §1):
+    # the IR operand must be provably that constant.  Value constraints
+    # on instruction-internal operands (flags like df/rf) have no field
+    # mapping and are the emitter's to set.
+    for constraint in binding.value_constraints():
+        field = binding.field_for_operand(constraint.operand)
+        if field is None or not hasattr(op, field):
+            continue
+        value = ir.const_value(operand_expr(op, field))
+        if value != constraint.value:
+            raise ConstraintNotSatisfied(
+                f"{binding.instruction}: operand {constraint.operand} "
+                f"({field}) must be the constant {constraint.value}, "
+                f"got {value if value is not None else 'a runtime value'}"
+            )
+    for constraint in binding.range_constraints():
+        if not constraint.is_operand:
+            continue
+        field = binding.field_for_operand(constraint.operand)
+        if field is None or not hasattr(op, field):
+            continue
+        expr = operand_expr(op, field)
+        lo, hi = ir.static_range(expr)
+        if lo is None or hi is None:
+            raise ConstraintNotSatisfied(
+                f"{binding.instruction}: operand {constraint.operand} "
+                f"({field}) has no static range; needs "
+                f"[{constraint.lo}, {constraint.hi}]"
+            )
+        if lo < constraint.lo or hi > constraint.hi:
+            raise ConstraintNotSatisfied(
+                f"{binding.instruction}: operand {constraint.operand} "
+                f"({field}) range [{lo}, {hi}] exceeds "
+                f"[{constraint.lo}, {constraint.hi}]"
+            )
+
+
+def select(
+    library: BindingLibrary, op: ir.Operation, use_exotic: bool = True
+) -> Selection:
+    """Choose a binding (or decomposition) for one operation."""
+    if not use_exotic:
+        return Selection(op=op, binding=None, reason="exotic disabled")
+    reasons: List[str] = []
+    for binding in library.candidates(op.operator):
+        try:
+            check_binding(binding, op)
+        except ConstraintNotSatisfied as error:
+            reasons.append(str(error))
+            continue
+        return Selection(op=op, binding=binding)
+    if not reasons:
+        reasons.append(f"no binding for operator {op.operator!r}")
+    return Selection(op=op, binding=None, reason="; ".join(reasons))
+
+
+def plan(
+    library: BindingLibrary,
+    program: Sequence[ir.Operation],
+    use_exotic: bool = True,
+    rewrite: bool = True,
+) -> List[Selection]:
+    """Selection plan for a whole program, applying rewrites.
+
+    When an operation's constraints fail but a rewriting rule can split
+    it into satisfiable pieces, the pieces replace it (each selected
+    independently); otherwise the operation decomposes.
+    """
+    from .rewrite import rewrite_for
+
+    selections: List[Selection] = []
+    for op in program:
+        selection = select(library, op, use_exotic)
+        if selection.binding is not None or not use_exotic:
+            selections.append(selection)
+            continue
+        pieces = rewrite_for(library, op) if rewrite else None
+        if pieces is None:
+            selections.append(selection)
+            continue
+        for piece in pieces:
+            piece_selection = select(library, piece, use_exotic)
+            selections.append(piece_selection)
+    return selections

@@ -1,0 +1,156 @@
+"""Constraint model shared by the analysis engine and the code generator.
+
+The paper's EXTRA system supports exactly three simple constraint forms
+(§4.3): an operand fixed to a value, an operand restricted to a range,
+and an operand offset by a constant (the IBM 370 "coding constraint").
+Anything else — like the no-overlap condition movc3/sassign would need —
+is a *complex constraint*, which the stock system cannot represent and
+therefore reports as an analysis failure.
+
+Constraints flow in one direction: transformations create them during an
+analysis, the resulting :class:`~repro.analysis.binding.Binding` carries
+them, and the retargetable code generator must discharge every one of
+them (statically, or by emitting fix-up code) before it may emit the
+exotic instruction.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Optional, Tuple
+
+
+class UnsupportedConstraintError(Exception):
+    """Raised when an analysis needs a constraint EXTRA cannot represent.
+
+    The paper's §4.3 example: proving VAX-11 ``movc3`` equivalent to
+    Pascal ``sassign`` needs the multi-operand condition
+    ``(Src.Base + Src.Length <= Dst.Base) or (Dst.Base + Dst.Length <=
+    Src.Base)`` — EXTRA "has no ability to deal with complicated
+    constraints that involve more than one operand".
+    """
+
+    def __init__(self, message: str, constraint: Optional["ComplexConstraint"] = None):
+        super().__init__(message)
+        self.constraint = constraint
+
+
+@dataclass(frozen=True)
+class ValueConstraint:
+    """An instruction operand fixed to one value (a *simplification*).
+
+    Example: the 8086 string instructions are simplified by forcing the
+    direction flag ``df`` to 0 so strings are always processed low to
+    high; the simplified instruction has one less operand.
+    """
+
+    operand: str
+    value: int
+    note: str = ""
+
+    def describe(self) -> str:
+        text = f"operand {self.operand} fixed to {self.value}"
+        return f"{text} ({self.note})" if self.note else text
+
+
+@dataclass(frozen=True)
+class RangeConstraint:
+    """An operator operand must lie in a range.
+
+    The common source is binding an unbounded ``integer`` operator
+    variable to a finite machine register — e.g. the Rigel ``index``
+    string length bound to ``cx`` must fit in 16 bits
+    (:meth:`from_bits`).  Coding constraints produce shifted ranges: the
+    IBM 370 ``mvc`` length must lie in [1, 256] so its encoding
+    ``length - 1`` fits the 8-bit field.  ``is_operand`` distinguishes
+    real operator operands from internal temporaries whose ranges are
+    implied by the operand constraints.
+    """
+
+    operand: str
+    lo: int
+    hi: int
+    is_operand: bool = True
+    note: str = ""
+
+    @classmethod
+    def from_bits(
+        cls, operand: str, bits: int, is_operand: bool = True, note: str = ""
+    ) -> "RangeConstraint":
+        return cls(
+            operand=operand,
+            lo=0,
+            hi=(1 << bits) - 1,
+            is_operand=is_operand,
+            note=note or f"bound to a {bits}-bit register",
+        )
+
+    def satisfied_by(self, value: int) -> bool:
+        return self.lo <= value <= self.hi
+
+    def describe(self) -> str:
+        kind = "operand" if self.is_operand else "internal value"
+        text = f"{kind} {self.operand} must lie in [{self.lo}, {self.hi}]"
+        return f"{text} ({self.note})" if self.note else text
+
+
+@dataclass(frozen=True)
+class OffsetConstraint:
+    """A *coding constraint*: the compiler must offset an operand.
+
+    The IBM 370 ``mvc`` length field encodes ``count - 1``; the compiler
+    is directed to add ``offset`` to the operator's operand before using
+    it as the instruction operand (§4.2).
+    """
+
+    operand: str
+    offset: int
+    note: str = ""
+
+    def encode(self, value: int) -> int:
+        """Operator-level value -> instruction-level encoding."""
+        return value + self.offset
+
+    def describe(self) -> str:
+        sign = "+" if self.offset >= 0 else ""
+        text = f"operand {self.operand} encoded as value {sign}{self.offset}"
+        return f"{text} ({self.note})" if self.note else text
+
+
+@dataclass(frozen=True)
+class ComplexConstraint:
+    """A multi-operand condition EXTRA cannot represent (§4.3).
+
+    Kept as data so failure reports can show *what* was needed; creating
+    one inside a stock analysis raises
+    :class:`UnsupportedConstraintError`.
+    """
+
+    operands: Tuple[str, ...]
+    condition: str
+    note: str = ""
+
+    def describe(self) -> str:
+        text = f"complex constraint over {', '.join(self.operands)}: {self.condition}"
+        return f"{text} ({self.note})" if self.note else text
+
+
+@dataclass(frozen=True)
+class LanguageFact:
+    """A declared source-language characteristic (§7 future work).
+
+    The paper proposes extending EXTRA "to understand source language
+    characteristics such as overlap that result in complex constraints".
+    This reproduction implements that extension behind an explicit flag:
+    an analysis session constructed with a set of language facts may
+    discharge a matching :class:`ComplexConstraint` instead of failing.
+    """
+
+    name: str  # e.g. "no-overlap"
+    description: str = ""
+
+    def discharges(self, constraint: ComplexConstraint) -> bool:
+        return constraint.note == self.name or constraint.condition == self.name
+
+
+Constraint = object  # Union of the four dataclasses above; kept loose for typing.

@@ -1,0 +1,34 @@
+"""Dataflow analyses over ISDL routines.
+
+The paper's transformations "utilize various types of data flow
+information that is used to determine whether a transformation is valid
+at a particular point" (§5).  This package supplies that information:
+control-flow graphs, effect summaries (with routine calls expanded),
+def/use sets, liveness, reaching definitions, and available copies.
+"""
+
+from .cfg import Cfg, CfgNode, build_cfg
+from .copies import AvailableCopies, Copy, CopySource
+from .defuse import DefUse, cfg_defuse, node_defuse
+from .effects import MEM, OUT, EffectAnalysis, Effects
+from .liveness import Liveness
+from .reaching import Definition, ReachingDefinitions
+
+__all__ = [
+    "Cfg",
+    "CfgNode",
+    "build_cfg",
+    "AvailableCopies",
+    "Copy",
+    "CopySource",
+    "DefUse",
+    "cfg_defuse",
+    "node_defuse",
+    "MEM",
+    "OUT",
+    "EffectAnalysis",
+    "Effects",
+    "Liveness",
+    "Definition",
+    "ReachingDefinitions",
+]

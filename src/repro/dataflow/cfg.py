@@ -1,0 +1,214 @@
+"""Control-flow graphs for ISDL routines.
+
+The description language is fully structured (``if``, ``repeat`` /
+``exit_when`` — no goto), so a CFG could be avoided, but the standard
+worklist formulation of liveness, reaching definitions, and copy
+propagation is far easier to get right on an explicit graph.  Each CFG
+node remembers the AST path of the statement it came from, so the
+transformation guards can ask questions about specific tree positions.
+
+Node kinds:
+
+* ``entry`` / ``exit`` — unique synthetic endpoints,
+* ``stmt``  — a simple statement (assign / input / output / assert),
+* ``branch`` — the condition of an ``if`` (true/false successors),
+* ``looptest`` — the condition of an ``exit_when`` (exit/continue
+  successors).
+
+``repeat`` itself contributes no node: its body's last statement simply
+flows back to its first.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Set, Tuple
+
+from ..isdl import ast
+from ..isdl.visitor import Path
+
+
+@dataclass
+class CfgNode:
+    """One vertex of the control-flow graph."""
+
+    node_id: int
+    kind: str  # "entry" | "exit" | "stmt" | "branch" | "looptest"
+    stmt: Optional[ast.Stmt] = None
+    path: Optional[Path] = None
+    succs: List[int] = field(default_factory=list)
+    preds: List[int] = field(default_factory=list)
+    #: for ``looptest`` nodes: ids of every node inside the enclosing
+    #: ``repeat``.  A successor outside this set is the loop-exit edge.
+    loop_members: Optional[frozenset] = None
+
+    def exit_successors(self) -> List[int]:
+        """Successors reached when this ``exit_when`` fires."""
+        if self.loop_members is None:
+            raise ValueError("exit_successors is only defined for looptest nodes")
+        return [succ for succ in self.succs if succ not in self.loop_members]
+
+
+@dataclass
+class Cfg:
+    """A routine's control-flow graph."""
+
+    nodes: Dict[int, CfgNode]
+    entry: int
+    exit: int
+    #: AST path of a statement -> CFG node id
+    by_path: Dict[Path, int]
+
+    def node(self, node_id: int) -> CfgNode:
+        return self.nodes[node_id]
+
+    def node_for_path(self, path: Path) -> CfgNode:
+        return self.nodes[self.by_path[path]]
+
+    def rpo(self) -> List[int]:
+        """Reverse postorder from entry (good iteration order forward)."""
+        seen: Set[int] = set()
+        order: List[int] = []
+
+        def visit(node_id: int) -> None:
+            # Iterative DFS to avoid recursion limits on long bodies.
+            stack: List[Tuple[int, int]] = [(node_id, 0)]
+            while stack:
+                current, child_index = stack.pop()
+                if child_index == 0:
+                    if current in seen:
+                        continue
+                    seen.add(current)
+                succs = self.nodes[current].succs
+                if child_index < len(succs):
+                    stack.append((current, child_index + 1))
+                    successor = succs[child_index]
+                    if successor not in seen:
+                        stack.append((successor, 0))
+                else:
+                    order.append(current)
+
+        visit(self.entry)
+        return list(reversed(order))
+
+
+class _Builder:
+    def __init__(self) -> None:
+        self._nodes: Dict[int, CfgNode] = {}
+        self._next_id = 0
+        self._by_path: Dict[Path, int] = {}
+
+    def new_node(
+        self,
+        kind: str,
+        stmt: Optional[ast.Stmt] = None,
+        path: Optional[Path] = None,
+    ) -> int:
+        node_id = self._next_id
+        self._next_id += 1
+        self._nodes[node_id] = CfgNode(node_id=node_id, kind=kind, stmt=stmt, path=path)
+        if path is not None:
+            self._by_path[path] = node_id
+        return node_id
+
+    def edge(self, src: int, dst: int) -> None:
+        self._nodes[src].succs.append(dst)
+        self._nodes[dst].preds.append(src)
+
+
+def build_cfg(routine: ast.RoutineDecl, base_path: Path = ()) -> Cfg:
+    """Build the CFG of ``routine``.
+
+    ``base_path`` is the AST path of the routine inside its description,
+    so node paths are valid against the whole description tree.
+    """
+    builder = _Builder()
+    entry = builder.new_node("entry")
+    exit_node = builder.new_node("exit")
+    frontier = _lower_block(
+        builder, routine.body, base_path + (("body", None),), [entry], None
+    )
+    for node_id in frontier:
+        builder.edge(node_id, exit_node)
+    return Cfg(
+        nodes=builder._nodes,
+        entry=entry,
+        exit=exit_node,
+        by_path=builder._by_path,
+    )
+
+
+def _lower_block(
+    builder: _Builder,
+    stmts: Tuple[ast.Stmt, ...],
+    tuple_path: Path,
+    frontier: List[int],
+    loop_exit_collector: Optional[List[int]],
+) -> List[int]:
+    """Lower a statement tuple.
+
+    ``tuple_path`` ends with ``(field, None)`` naming the tuple field;
+    each statement's real path replaces that last step with
+    ``(field, index)``.
+    """
+    field_name = tuple_path[-1][0]
+    prefix = tuple_path[:-1]
+    for index, stmt in enumerate(stmts):
+        path = prefix + ((field_name, index),)
+        frontier = _lower_stmt(builder, stmt, path, frontier, loop_exit_collector)
+    return frontier
+
+
+def _lower_stmt(
+    builder: _Builder,
+    stmt: ast.Stmt,
+    path: Path,
+    frontier: List[int],
+    loop_exit_collector: Optional[List[int]],
+) -> List[int]:
+    if isinstance(stmt, (ast.Assign, ast.Input, ast.Output, ast.Assert)):
+        node = builder.new_node("stmt", stmt, path)
+        for pred in frontier:
+            builder.edge(pred, node)
+        return [node]
+    if isinstance(stmt, ast.If):
+        node = builder.new_node("branch", stmt, path)
+        for pred in frontier:
+            builder.edge(pred, node)
+        then_frontier = _lower_block(
+            builder, stmt.then, path + (("then", None),), [node], loop_exit_collector
+        )
+        else_frontier = _lower_block(
+            builder, stmt.els, path + (("els", None),), [node], loop_exit_collector
+        )
+        return then_frontier + else_frontier
+    if isinstance(stmt, ast.Repeat):
+        exits: List[int] = []
+        # A header placeholder lets the back edge land somewhere even when
+        # the body's first statement is itself compound.
+        first_loop_id = builder._next_id
+        header = builder.new_node("stmt", None, None)
+        for pred in frontier:
+            builder.edge(pred, header)
+        body_frontier = _lower_block(
+            builder, stmt.body, path + (("body", None),), [header], exits
+        )
+        for node_id in body_frontier:
+            builder.edge(node_id, header)
+        members = frozenset(range(first_loop_id, builder._next_id))
+        for node_id in exits:
+            builder._nodes[node_id].loop_members = members
+        if not exits:
+            # An infinite loop: control never reaches past it.  Keep the
+            # graph well-formed by treating it as having no fallthrough.
+            return []
+        return exits
+    if isinstance(stmt, ast.ExitWhen):
+        if loop_exit_collector is None:
+            raise ValueError("exit_when outside of repeat")
+        node = builder.new_node("looptest", stmt, path)
+        for pred in frontier:
+            builder.edge(pred, node)
+        loop_exit_collector.append(node)
+        return [node]
+    raise TypeError(f"cannot lower {type(stmt).__name__}")

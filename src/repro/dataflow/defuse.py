@@ -1,0 +1,72 @@
+"""Def/use sets per CFG node.
+
+A thin layer over :mod:`repro.dataflow.effects` that attributes reads and
+writes to individual CFG nodes, ready for the worklist analyses.  Memory
+is the single pseudo-location :data:`~repro.dataflow.effects.MEM`.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, FrozenSet
+
+from ..isdl import ast
+from .cfg import Cfg
+from .effects import MEM, OUT, EffectAnalysis
+
+
+@dataclass(frozen=True)
+class DefUse:
+    """Defs and uses of one CFG node."""
+
+    defs: FrozenSet[str]
+    uses: FrozenSet[str]
+
+
+def node_defuse(analysis: EffectAnalysis, stmt: ast.Stmt) -> DefUse:
+    """Def/use sets of one simple statement or condition node.
+
+    Unlike :meth:`EffectAnalysis.stmt_effects`, this must *not* recurse
+    into the bodies of ``if``/``repeat`` (those have their own CFG nodes),
+    so compound statements contribute only their condition.
+    """
+    if isinstance(stmt, ast.If):
+        effects = analysis.expr_effects(stmt.cond)
+        return DefUse(defs=effects.writes, uses=effects.reads)
+    if isinstance(stmt, (ast.ExitWhen, ast.Assert)):
+        effects = analysis.expr_effects(stmt.cond)
+        return DefUse(defs=effects.writes, uses=effects.reads)
+    if isinstance(stmt, ast.Assign):
+        effects = analysis.expr_effects(stmt.expr)
+        uses = set(effects.reads)
+        defs = set(effects.writes)
+        if isinstance(stmt.target, ast.MemRead):
+            addr = analysis.expr_effects(stmt.target.addr)
+            uses |= addr.reads
+            defs |= addr.writes | {MEM}
+        else:
+            defs.add(stmt.target.name)
+        return DefUse(defs=frozenset(defs), uses=frozenset(uses))
+    if isinstance(stmt, ast.Input):
+        return DefUse(defs=frozenset(stmt.names), uses=frozenset())
+    if isinstance(stmt, ast.Output):
+        uses = set()
+        defs = {OUT}
+        for expr in stmt.exprs:
+            effects = analysis.expr_effects(expr)
+            uses |= effects.reads
+            defs |= effects.writes
+        return DefUse(defs=frozenset(defs), uses=frozenset(uses))
+    raise TypeError(f"no def/use for {type(stmt).__name__}")
+
+
+def cfg_defuse(cfg: Cfg, analysis: EffectAnalysis) -> Dict[int, DefUse]:
+    """Def/use sets for every node of a CFG."""
+    result: Dict[int, DefUse] = {}
+    empty = DefUse(defs=frozenset(), uses=frozenset())
+    for node_id, node in cfg.nodes.items():
+        if node.stmt is None:
+            result[node_id] = empty
+        else:
+            result[node_id] = node_defuse(analysis, node.stmt)
+    return result

@@ -1,0 +1,65 @@
+"""Backward liveness analysis over a routine CFG.
+
+A variable is *live* at a point when some path from that point reads it
+before writing it.  The paper's dead-variable-elimination transformation
+and several reordering guards are driven by this analysis.
+
+``output`` statements are uses like any other; values a description
+produces only through ``output`` die immediately afterwards.  Anything
+live at routine exit must be declared via ``live_out`` (useful when a
+fragment is analyzed in isolation).
+"""
+
+from __future__ import annotations
+
+from typing import Dict, FrozenSet, Iterable, Set
+
+from .cfg import Cfg
+from .defuse import DefUse, cfg_defuse
+from .effects import EffectAnalysis
+
+
+class Liveness:
+    """Per-node live-in/live-out sets."""
+
+    def __init__(
+        self,
+        cfg: Cfg,
+        analysis: EffectAnalysis,
+        live_out: Iterable[str] = (),
+    ):
+        self._cfg = cfg
+        self._defuse: Dict[int, DefUse] = cfg_defuse(cfg, analysis)
+        self._live_in: Dict[int, Set[str]] = {n: set() for n in cfg.nodes}
+        self._live_out: Dict[int, Set[str]] = {n: set() for n in cfg.nodes}
+        self._live_out[cfg.exit] = set(live_out)
+        self._solve()
+
+    def _solve(self) -> None:
+        # Standard backward worklist iteration; the graph is tiny (tens of
+        # nodes), so simple repeated sweeps converge immediately.
+        order = list(reversed(self._cfg.rpo()))
+        changed = True
+        while changed:
+            changed = False
+            for node_id in order:
+                node = self._cfg.nodes[node_id]
+                out: Set[str] = set(self._live_out[node_id])
+                for successor in node.succs:
+                    out |= self._live_in[successor]
+                du = self._defuse[node_id]
+                new_in = du.uses | (out - du.defs)
+                if out != self._live_out[node_id] or new_in != self._live_in[node_id]:
+                    self._live_out[node_id] = out
+                    self._live_in[node_id] = set(new_in)
+                    changed = True
+
+    def live_in(self, node_id: int) -> FrozenSet[str]:
+        return frozenset(self._live_in[node_id])
+
+    def live_out(self, node_id: int) -> FrozenSet[str]:
+        return frozenset(self._live_out[node_id])
+
+    def is_dead_after(self, node_id: int, name: str) -> bool:
+        """True when ``name``'s value is never read after this node."""
+        return name not in self._live_out[node_id]

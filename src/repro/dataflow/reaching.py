@@ -1,0 +1,83 @@
+"""Reaching-definitions analysis over a routine CFG.
+
+A definition is a (variable, CFG node) pair; the entry node counts as the
+initial definition of every register (registers start at zero).  The
+constant- and copy-propagation transformations use this to check that a
+use is reached by exactly one definition — the one being propagated.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, FrozenSet, Iterable, Set, Tuple
+
+from .cfg import Cfg
+from .defuse import cfg_defuse
+from .effects import MEM, EffectAnalysis
+
+#: A definition: (variable name, defining CFG node id).
+Definition = Tuple[str, int]
+
+
+class ReachingDefinitions:
+    """Per-node reaching-definition sets."""
+
+    def __init__(
+        self,
+        cfg: Cfg,
+        analysis: EffectAnalysis,
+        all_names: Iterable[str],
+    ):
+        self._cfg = cfg
+        self._defuse = cfg_defuse(cfg, analysis)
+        names = set(all_names) | {MEM}
+        # IN/OUT sets of definitions per node.
+        self._in: Dict[int, Set[Definition]] = {n: set() for n in cfg.nodes}
+        self._out: Dict[int, Set[Definition]] = {n: set() for n in cfg.nodes}
+        # Entry defines everything (initial zero values / initial memory).
+        self._out[cfg.entry] = {(name, cfg.entry) for name in names}
+        self._solve()
+
+    def _solve(self) -> None:
+        order = self._cfg.rpo()
+        changed = True
+        while changed:
+            changed = False
+            for node_id in order:
+                if node_id == self._cfg.entry:
+                    continue
+                node = self._cfg.nodes[node_id]
+                incoming: Set[Definition] = set()
+                for pred in node.preds:
+                    incoming |= self._out[pred]
+                du = self._defuse[node_id]
+                outgoing = {
+                    (name, definer)
+                    for name, definer in incoming
+                    if name not in du.defs
+                }
+                outgoing |= {(name, node_id) for name in du.defs}
+                if incoming != self._in[node_id] or outgoing != self._out[node_id]:
+                    self._in[node_id] = incoming
+                    self._out[node_id] = outgoing
+                    changed = True
+
+    def reaching_in(self, node_id: int) -> FrozenSet[Definition]:
+        return frozenset(self._in[node_id])
+
+    def defs_of(self, node_id: int, name: str) -> FrozenSet[int]:
+        """Node ids of the definitions of ``name`` reaching ``node_id``."""
+        return frozenset(
+            definer for var, definer in self._in[node_id] if var == name
+        )
+
+    def sole_definer(self, node_id: int, name: str) -> int:
+        """The unique definition of ``name`` reaching ``node_id``.
+
+        Raises :class:`ValueError` when zero or several definitions reach.
+        """
+        definers = self.defs_of(node_id, name)
+        if len(definers) != 1:
+            raise ValueError(
+                f"{name!r} has {len(definers)} reaching definitions, not 1"
+            )
+        return next(iter(definers))

@@ -1,0 +1,52 @@
+"""ISDL — the ISPS-like description language of the EXTRA system.
+
+Instructions and language operators are both written in this notation
+(paper §3).  The package provides the lexer, parser, AST, pretty-printer,
+and programmatic builders; executable semantics live in
+:mod:`repro.semantics`.
+"""
+
+from . import ast, builder
+from .errors import IsdlError, LexError, ParseError, SemanticError, SourceLocation
+from .lexer import tokenize
+from .parser import parse_description, parse_expr, parse_stmts
+from .printer import format_description, format_expr, format_stmts
+from .visitor import (
+    Path,
+    children,
+    find_all,
+    insert_at,
+    node_at,
+    remove_at,
+    replace_at,
+    strip_comments,
+    structurally_equal,
+    walk,
+)
+
+__all__ = [
+    "ast",
+    "builder",
+    "IsdlError",
+    "LexError",
+    "ParseError",
+    "SemanticError",
+    "SourceLocation",
+    "tokenize",
+    "parse_description",
+    "parse_expr",
+    "parse_stmts",
+    "format_description",
+    "format_expr",
+    "format_stmts",
+    "Path",
+    "children",
+    "find_all",
+    "insert_at",
+    "node_at",
+    "remove_at",
+    "replace_at",
+    "strip_comments",
+    "structurally_equal",
+    "walk",
+]

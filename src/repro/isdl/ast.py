@@ -1,0 +1,303 @@
+"""AST node classes for the ISDL description language.
+
+All nodes are immutable (frozen dataclasses).  Transformations never mutate
+a tree; they build new trees sharing unchanged subtrees, which keeps every
+intermediate form of an analysis available for printing and for the
+differential-testing verifier.
+
+A description mirrors the paper's figures:
+
+* a :class:`Description` has a dotted name and a list of sections,
+* a :class:`Section` (``** SOURCE.ACCESS **`` etc.) holds register and
+  routine declarations,
+* routines contain structured statements: assignment, ``if``, ``repeat``
+  with ``exit_when``, and the explicit ``input``/``output`` statements the
+  paper uses to mark instruction operands and results.
+
+Widths: registers declare ``<hi:lo>`` bit ranges (``<>`` means one bit);
+language-operator descriptions may instead declare abstract ``integer`` or
+``character`` types.  Binding an ``integer`` variable to a finite register
+is what produces the paper's range constraints.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Optional, Tuple, Union
+
+# ---------------------------------------------------------------------------
+# Widths
+
+
+@dataclass(frozen=True)
+class BitWidth:
+    """A declared ``<hi:lo>`` register width; ``<>`` is ``BitWidth(0, 0)``."""
+
+    hi: int
+    lo: int = 0
+
+    @property
+    def bits(self) -> int:
+        return self.hi - self.lo + 1
+
+    def __str__(self) -> str:
+        if self.hi == 0 and self.lo == 0:
+            return "<>"
+        return f"<{self.hi}:{self.lo}>"
+
+
+@dataclass(frozen=True)
+class TypeWidth:
+    """An abstract type from a language-operator description.
+
+    ``integer`` means an unbounded mathematical integer; ``character``
+    means one byte.  Only operator descriptions use these — machine
+    instruction descriptions always declare concrete bit widths.
+    """
+
+    typename: str  # "integer" | "character"
+
+    @property
+    def bits(self) -> Optional[int]:
+        return 8 if self.typename == "character" else None
+
+    def __str__(self) -> str:
+        return f": {self.typename}"
+
+
+Width = Union[BitWidth, TypeWidth]
+
+# ---------------------------------------------------------------------------
+# Expressions
+
+
+@dataclass(frozen=True)
+class Const:
+    """An integer literal."""
+
+    value: int
+
+
+@dataclass(frozen=True)
+class Var:
+    """A register or variable reference (possibly dotted: ``Src.Base``)."""
+
+    name: str
+
+
+@dataclass(frozen=True)
+class MemRead:
+    """A byte read from main memory: ``Mb[addr]``."""
+
+    addr: "Expr"
+
+
+@dataclass(frozen=True)
+class Call:
+    """A routine call such as ``fetch()`` or ``read()``."""
+
+    name: str
+    args: Tuple["Expr", ...] = ()
+
+
+@dataclass(frozen=True)
+class BinOp:
+    """A binary operation.
+
+    ``op`` is one of ``+ - * = <> < <= > >= and or``.  Comparisons and
+    logical operators yield 0/1.
+    """
+
+    op: str
+    left: "Expr"
+    right: "Expr"
+
+
+@dataclass(frozen=True)
+class UnOp:
+    """A unary operation: ``not`` or arithmetic negation ``-``."""
+
+    op: str
+    operand: "Expr"
+
+
+Expr = Union[Const, Var, MemRead, Call, BinOp, UnOp]
+
+# ---------------------------------------------------------------------------
+# Statements
+
+
+@dataclass(frozen=True)
+class Assign:
+    """``target <- expr``.  The target is a variable or ``Mb[addr]``."""
+
+    target: Union[Var, MemRead]
+    expr: Expr
+    comment: Optional[str] = None
+
+
+@dataclass(frozen=True)
+class If:
+    """``if cond then ... [else ...] end_if``."""
+
+    cond: Expr
+    then: Tuple["Stmt", ...]
+    els: Tuple["Stmt", ...] = ()
+    comment: Optional[str] = None
+
+
+@dataclass(frozen=True)
+class Repeat:
+    """``repeat ... end_repeat`` — exits only via ``exit_when``."""
+
+    body: Tuple["Stmt", ...]
+    comment: Optional[str] = None
+
+
+@dataclass(frozen=True)
+class ExitWhen:
+    """``exit_when cond`` — leaves the innermost ``repeat`` when true."""
+
+    cond: Expr
+    comment: Optional[str] = None
+
+
+@dataclass(frozen=True)
+class Input:
+    """``input(a, b, c)`` — declares the operands the description reads."""
+
+    names: Tuple[str, ...]
+    comment: Optional[str] = None
+
+
+@dataclass(frozen=True)
+class Output:
+    """``output(e1, e2)`` — declares the results the description produces."""
+
+    exprs: Tuple[Expr, ...]
+    comment: Optional[str] = None
+
+
+@dataclass(frozen=True)
+class Assert:
+    """``assert cond`` — an auxiliary assertion introduced by analysis.
+
+    Assertions carry facts (e.g. a fixed operand value) through the
+    description text so later transformation guards can rely on them,
+    matching the paper's constraint-and-assertion transformation category.
+    """
+
+    cond: Expr
+    comment: Optional[str] = None
+
+
+Stmt = Union[Assign, If, Repeat, ExitWhen, Input, Output, Assert]
+
+# ---------------------------------------------------------------------------
+# Declarations and descriptions
+
+
+@dataclass(frozen=True)
+class RegDecl:
+    """A register or variable declaration with its width and doc comment."""
+
+    name: str
+    width: Width
+    comment: Optional[str] = None
+
+
+@dataclass(frozen=True)
+class RoutineDecl:
+    """A routine: ``name(params)<width> := begin ... end``.
+
+    A routine returns a value by assigning to its own name (as ``fetch``
+    does in the paper's scasb figure).  Parameters are call-by-value —
+    the language forbids aliasing so dataflow stays simple.
+    """
+
+    name: str
+    params: Tuple[str, ...]
+    width: Optional[Width]
+    body: Tuple[Stmt, ...]
+    comment: Optional[str] = None
+
+
+Decl = Union[RegDecl, RoutineDecl]
+
+
+@dataclass(frozen=True)
+class Section:
+    """A ``** NAME **`` section grouping declarations."""
+
+    name: str
+    decls: Tuple[Decl, ...]
+
+
+@dataclass(frozen=True)
+class Description:
+    """A complete instruction or language-operator description."""
+
+    name: str
+    sections: Tuple[Section, ...]
+    comment: Optional[str] = None
+
+    # -- navigation helpers -------------------------------------------------
+
+    def routines(self) -> Tuple[RoutineDecl, ...]:
+        """All routine declarations across all sections, in order."""
+        found = []
+        for section in self.sections:
+            for decl in section.decls:
+                if isinstance(decl, RoutineDecl):
+                    found.append(decl)
+        return tuple(found)
+
+    def registers(self) -> Tuple[RegDecl, ...]:
+        """All register declarations across all sections, in order."""
+        found = []
+        for section in self.sections:
+            for decl in section.decls:
+                if isinstance(decl, RegDecl):
+                    found.append(decl)
+        return tuple(found)
+
+    def routine(self, name: str) -> RoutineDecl:
+        """Look up a routine by name."""
+        for decl in self.routines():
+            if decl.name == name:
+                return decl
+        raise KeyError(f"no routine named {name!r} in {self.name}")
+
+    def register(self, name: str) -> RegDecl:
+        """Look up a register declaration by name."""
+        for decl in self.registers():
+            if decl.name == name:
+                return decl
+        raise KeyError(f"no register named {name!r} in {self.name}")
+
+    def has_register(self, name: str) -> bool:
+        return any(decl.name == name for decl in self.registers())
+
+    def entry_routine(self) -> RoutineDecl:
+        """The main routine of the description.
+
+        The entry routine is the one whose body contains the ``input``
+        statement naming the description's operands (``scasb.execute``,
+        ``index.execute``, ...).  Exactly one routine may contain an
+        ``input`` statement.
+        """
+        entries = [
+            routine
+            for routine in self.routines()
+            if any(isinstance(stmt, Input) for stmt in routine.body)
+        ]
+        if len(entries) != 1:
+            raise ValueError(
+                f"{self.name}: expected exactly one routine with input(), "
+                f"found {len(entries)}"
+            )
+        return entries[0]
+
+
+#: Name of the distinguished byte-addressed main memory array.
+MEMORY_NAME = "Mb"

@@ -1,0 +1,195 @@
+"""Programmatic construction helpers for ISDL trees.
+
+Most descriptions in this project are written as ISDL source text and
+parsed, but transformations and tests frequently need to build small
+fragments (an augment statement, a rewritten expression).  These helpers
+keep that code terse and readable::
+
+    from repro.isdl import builder as b
+
+    stmt = b.if_(b.var("zf"),
+                 [b.out(b.sub(b.var("di"), b.var("temp")))],
+                 [b.out(b.const(0))])
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, Optional, Sequence, Union
+
+from . import ast
+
+ExprLike = Union[ast.Expr, int, str]
+
+
+def expr(value: ExprLike) -> ast.Expr:
+    """Coerce an int (constant) or str (variable name) into an expression."""
+    if isinstance(value, int):
+        return ast.Const(value)
+    if isinstance(value, str):
+        return ast.Var(value)
+    return value
+
+
+def const(value: int) -> ast.Const:
+    return ast.Const(value)
+
+
+def var(name: str) -> ast.Var:
+    return ast.Var(name)
+
+
+def mem(addr: ExprLike) -> ast.MemRead:
+    return ast.MemRead(expr(addr))
+
+
+def call(name: str, *args: ExprLike) -> ast.Call:
+    return ast.Call(name, tuple(expr(arg) for arg in args))
+
+
+def _binop(op: str, left: ExprLike, right: ExprLike) -> ast.BinOp:
+    return ast.BinOp(op, expr(left), expr(right))
+
+
+def add(left: ExprLike, right: ExprLike) -> ast.BinOp:
+    return _binop("+", left, right)
+
+
+def sub(left: ExprLike, right: ExprLike) -> ast.BinOp:
+    return _binop("-", left, right)
+
+
+def mul(left: ExprLike, right: ExprLike) -> ast.BinOp:
+    return _binop("*", left, right)
+
+
+def eq(left: ExprLike, right: ExprLike) -> ast.BinOp:
+    return _binop("=", left, right)
+
+
+def neq(left: ExprLike, right: ExprLike) -> ast.BinOp:
+    return _binop("<>", left, right)
+
+
+def lt(left: ExprLike, right: ExprLike) -> ast.BinOp:
+    return _binop("<", left, right)
+
+
+def le(left: ExprLike, right: ExprLike) -> ast.BinOp:
+    return _binop("<=", left, right)
+
+
+def gt(left: ExprLike, right: ExprLike) -> ast.BinOp:
+    return _binop(">", left, right)
+
+
+def ge(left: ExprLike, right: ExprLike) -> ast.BinOp:
+    return _binop(">=", left, right)
+
+
+def and_(left: ExprLike, right: ExprLike) -> ast.BinOp:
+    return _binop("and", left, right)
+
+
+def or_(left: ExprLike, right: ExprLike) -> ast.BinOp:
+    return _binop("or", left, right)
+
+
+def not_(operand: ExprLike) -> ast.UnOp:
+    return ast.UnOp("not", expr(operand))
+
+
+def neg(operand: ExprLike) -> ast.UnOp:
+    return ast.UnOp("-", expr(operand))
+
+
+def assign(
+    target: Union[ast.Var, ast.MemRead, str],
+    value: ExprLike,
+    comment: Optional[str] = None,
+) -> ast.Assign:
+    if isinstance(target, str):
+        target = ast.Var(target)
+    return ast.Assign(target=target, expr=expr(value), comment=comment)
+
+
+def if_(
+    cond: ExprLike,
+    then: Sequence[ast.Stmt],
+    els: Sequence[ast.Stmt] = (),
+    comment: Optional[str] = None,
+) -> ast.If:
+    return ast.If(
+        cond=expr(cond), then=tuple(then), els=tuple(els), comment=comment
+    )
+
+
+def repeat(body: Sequence[ast.Stmt], comment: Optional[str] = None) -> ast.Repeat:
+    return ast.Repeat(body=tuple(body), comment=comment)
+
+
+def exit_when(cond: ExprLike, comment: Optional[str] = None) -> ast.ExitWhen:
+    return ast.ExitWhen(cond=expr(cond), comment=comment)
+
+
+def inp(*names: str, comment: Optional[str] = None) -> ast.Input:
+    return ast.Input(names=tuple(names), comment=comment)
+
+
+def out(*exprs: ExprLike, comment: Optional[str] = None) -> ast.Output:
+    return ast.Output(exprs=tuple(expr(item) for item in exprs), comment=comment)
+
+
+def assert_(cond: ExprLike, comment: Optional[str] = None) -> ast.Assert:
+    return ast.Assert(cond=expr(cond), comment=comment)
+
+
+def reg(name: str, bits: Optional[int] = 1, comment: Optional[str] = None) -> ast.RegDecl:
+    """Declare a ``bits``-wide register (``reg("cx", 16)`` is ``cx<15:0>``)."""
+    width: ast.Width
+    if bits is None:
+        width = ast.TypeWidth("integer")
+    else:
+        width = ast.BitWidth(bits - 1, 0)
+    return ast.RegDecl(name=name, width=width, comment=comment)
+
+
+def integer(name: str, comment: Optional[str] = None) -> ast.RegDecl:
+    return ast.RegDecl(name=name, width=ast.TypeWidth("integer"), comment=comment)
+
+
+def character(name: str, comment: Optional[str] = None) -> ast.RegDecl:
+    return ast.RegDecl(name=name, width=ast.TypeWidth("character"), comment=comment)
+
+
+def routine(
+    name: str,
+    body: Sequence[ast.Stmt],
+    params: Iterable[str] = (),
+    bits: Optional[int] = None,
+    typename: Optional[str] = None,
+    comment: Optional[str] = None,
+) -> ast.RoutineDecl:
+    width: Optional[ast.Width] = None
+    if bits is not None:
+        width = ast.BitWidth(bits - 1, 0)
+    elif typename is not None:
+        width = ast.TypeWidth(typename)
+    return ast.RoutineDecl(
+        name=name,
+        params=tuple(params),
+        width=width,
+        body=tuple(body),
+        comment=comment,
+    )
+
+
+def section(name: str, decls: Sequence[ast.Decl]) -> ast.Section:
+    return ast.Section(name=name, decls=tuple(decls))
+
+
+def description(
+    name: str,
+    sections: Sequence[ast.Section],
+    comment: Optional[str] = None,
+) -> ast.Description:
+    return ast.Description(name=name, sections=tuple(sections), comment=comment)

@@ -1,0 +1,51 @@
+"""Error types for the ISDL description language.
+
+Every error raised while lexing, parsing, or interpreting a description
+carries an optional source location so tools can point at the offending
+text.  The location is a simple ``(line, column)`` pair, 1-based, matching
+what editors display.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Optional
+
+
+@dataclass(frozen=True)
+class SourceLocation:
+    """A 1-based position in an ISDL source text."""
+
+    line: int
+    column: int
+
+    def __str__(self) -> str:
+        return f"{self.line}:{self.column}"
+
+
+class IsdlError(Exception):
+    """Base class for all ISDL errors."""
+
+    def __init__(self, message: str, location: Optional[SourceLocation] = None):
+        self.message = message
+        self.location = location
+        if location is not None:
+            super().__init__(f"{location}: {message}")
+        else:
+            super().__init__(message)
+
+
+class LexError(IsdlError):
+    """An unrecognized character or malformed token."""
+
+
+class ParseError(IsdlError):
+    """A syntactically invalid description."""
+
+
+class SemanticError(IsdlError):
+    """A structurally valid description with an invalid meaning.
+
+    Examples: referencing an undeclared register, declaring two registers
+    with the same name, or a routine without a body.
+    """

@@ -1,0 +1,190 @@
+"""Hand-written lexer for the ISDL description language.
+
+The lexer understands the notational conventions of the paper's figures:
+
+* ``!`` starts a comment that runs to end of line,
+* ``** NAME **`` banners introduce description sections,
+* ``<-`` (or the Unicode arrow ``←``) is the assignment arrow,
+* identifiers may contain dots (``Src.Base``, ``scasb.execute``),
+* ``<hi:lo>`` width suffixes reuse ``<``/``>`` tokens; disambiguation from
+  comparison operators is the parser's job.
+"""
+
+from __future__ import annotations
+
+from typing import Iterator, List
+
+from .errors import LexError, SourceLocation
+from .tokens import KEYWORDS, Token, TokenKind
+
+_IDENT_START = set("abcdefghijklmnopqrstuvwxyzABCDEFGHIJKLMNOPQRSTUVWXYZ_")
+_IDENT_CONT = _IDENT_START | set("0123456789.")
+
+
+class Lexer:
+    """Converts ISDL source text into a token stream.
+
+    Comments are not tokens, but they are not discarded either: the lexer
+    records each ``!`` comment's line and text in :attr:`comments`, and the
+    set of lines that carry real tokens in :attr:`token_lines`.  The parser
+    uses both to re-attach comments to the declarations and statements they
+    annotate, so pretty-printed descriptions keep the paper's annotations.
+    """
+
+    def __init__(self, text: str):
+        self._text = text
+        self._pos = 0
+        self._line = 1
+        self._col = 1
+        #: line number -> comment text (without the leading ``!``).
+        self.comments: dict = {}
+        #: lines on which at least one token starts.
+        self.token_lines: set = set()
+
+    def tokens(self) -> List[Token]:
+        """Lex the whole input and return all tokens including EOF."""
+        return list(self._iter_tokens())
+
+    # ------------------------------------------------------------------
+    # internals
+
+    def _location(self) -> SourceLocation:
+        return SourceLocation(self._line, self._col)
+
+    def _peek(self, offset: int = 0) -> str:
+        index = self._pos + offset
+        if index >= len(self._text):
+            return ""
+        return self._text[index]
+
+    def _advance(self, count: int = 1) -> None:
+        for _ in range(count):
+            if self._pos >= len(self._text):
+                return
+            if self._text[self._pos] == "\n":
+                self._line += 1
+                self._col = 1
+            else:
+                self._col += 1
+            self._pos += 1
+
+    def _skip_trivia(self) -> None:
+        """Skip whitespace and ``!`` comments."""
+        while True:
+            ch = self._peek()
+            if ch and ch in " \t\r\n":
+                self._advance()
+            elif ch == "!":
+                comment_line = self._line
+                start = self._pos + 1
+                while self._peek() and self._peek() != "\n":
+                    self._advance()
+                text = self._text[start:self._pos].strip()
+                if text:
+                    existing = self.comments.get(comment_line)
+                    self.comments[comment_line] = (
+                        f"{existing}; {text}" if existing else text
+                    )
+            else:
+                return
+
+    def _iter_tokens(self) -> Iterator[Token]:
+        while True:
+            self._skip_trivia()
+            loc = self._location()
+            ch = self._peek()
+            if not ch:
+                yield Token(TokenKind.EOF, "", loc)
+                return
+            self.token_lines.add(loc.line)
+            if ch in _IDENT_START:
+                yield self._lex_ident(loc)
+            elif ch.isdigit():
+                yield self._lex_number(loc)
+            elif ch in "'\"":
+                yield self._lex_string(loc, ch)
+            else:
+                yield self._lex_punct(loc)
+
+    def _lex_ident(self, loc: SourceLocation) -> Token:
+        start = self._pos
+        while self._peek() in _IDENT_CONT and self._peek():
+            self._advance()
+        # A trailing dot is not part of the identifier (it would be a typo
+        # like ``zf <-.0`` in the paper's OCR); back off over trailing dots.
+        text = self._text[start:self._pos]
+        while text.endswith("."):
+            text = text[:-1]
+            self._pos -= 1
+            self._col -= 1
+        kind = KEYWORDS.get(text.lower(), TokenKind.IDENT)
+        value = text.lower() if kind is not TokenKind.IDENT else text
+        return Token(kind, value, loc)
+
+    def _lex_number(self, loc: SourceLocation) -> Token:
+        start = self._pos
+        while self._peek().isdigit():
+            self._advance()
+        return Token(TokenKind.NUMBER, int(self._text[start:self._pos]), loc)
+
+    def _lex_string(self, loc: SourceLocation, quote: str) -> Token:
+        self._advance()  # opening quote
+        start = self._pos
+        while self._peek() and self._peek() != quote:
+            if self._peek() == "\n":
+                raise LexError("unterminated string literal", loc)
+            self._advance()
+        if not self._peek():
+            raise LexError("unterminated string literal", loc)
+        text = self._text[start:self._pos]
+        self._advance()  # closing quote
+        return Token(TokenKind.STRING, text, loc)
+
+    def _lex_punct(self, loc: SourceLocation) -> Token:
+        two = self._peek() + self._peek(1)
+        if two == "**":
+            self._advance(2)
+            return Token(TokenKind.BANNER, "**", loc)
+        if two == ":=":
+            self._advance(2)
+            return Token(TokenKind.DEFINE, ":=", loc)
+        if two == "<-":
+            self._advance(2)
+            return Token(TokenKind.ASSIGN, "<-", loc)
+        if two == "<>":
+            self._advance(2)
+            return Token(TokenKind.NEQ, "<>", loc)
+        if two == "<=":
+            self._advance(2)
+            return Token(TokenKind.LE, "<=", loc)
+        if two == ">=":
+            self._advance(2)
+            return Token(TokenKind.GE, ">=", loc)
+        ch = self._peek()
+        if ch == "←":  # Unicode left arrow, as printed in the paper
+            self._advance()
+            return Token(TokenKind.ASSIGN, "<-", loc)
+        singles = {
+            "<": TokenKind.LANGLE,
+            ">": TokenKind.RANGLE,
+            "[": TokenKind.LBRACKET,
+            "]": TokenKind.RBRACKET,
+            "(": TokenKind.LPAREN,
+            ")": TokenKind.RPAREN,
+            ",": TokenKind.COMMA,
+            ";": TokenKind.SEMI,
+            ":": TokenKind.COLON,
+            "+": TokenKind.PLUS,
+            "-": TokenKind.MINUS,
+            "*": TokenKind.STAR,
+            "=": TokenKind.EQ,
+        }
+        if ch in singles:
+            self._advance()
+            return Token(singles[ch], ch, loc)
+        raise LexError(f"unexpected character {ch!r}", loc)
+
+
+def tokenize(text: str) -> List[Token]:
+    """Convenience wrapper: lex ``text`` into a token list."""
+    return Lexer(text).tokens()

@@ -1,0 +1,410 @@
+"""Recursive-descent parser for the ISDL description language.
+
+Grammar (terminals in caps; ``?`` optional, ``*`` repetition)::
+
+    description  :=  IDENT ":=" "begin" section* "end"
+    section      :=  "**" IDENT "**" decl*
+    decl         :=  routine_decl | reg_decl
+    reg_decl     :=  IDENT width? ","?
+    routine_decl :=  IDENT "(" ident_list? ")" width? ":="
+                     "begin" stmt* "end" ","?
+    width        :=  "<" (NUMBER ":" NUMBER)? ">"  |  ":" IDENT
+
+    stmt         :=  assign | if | repeat | exit_when
+                  |  input | output | assert
+    assign       :=  lvalue "<-" expr ";"?
+    lvalue       :=  IDENT | "Mb" "[" expr "]"
+    if           :=  "if" expr "then" stmt* ("else" stmt*)? "end_if" ";"?
+    repeat       :=  "repeat" stmt* "end_repeat" ";"?
+    exit_when    :=  "exit_when" expr ";"?
+    input        :=  "input" "(" ident_list ")" ";"?
+    output       :=  "output" "(" expr_list ")" ";"?
+    assert       :=  "assert" expr ";"?
+
+Expression precedence, loosest first: ``or``, ``and``, ``not``,
+comparisons (non-associative), additive, multiplicative, unary minus.
+
+Comments (``! ...``) attach to the declaration or statement that starts on
+the same line; a comment on a line of its own attaches to the next
+declaration or statement.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional, Set, Tuple
+
+from . import ast
+from .errors import ParseError
+from .lexer import Lexer
+from .tokens import Token, TokenKind
+
+_COMPARISON_KINDS = {
+    TokenKind.EQ: "=",
+    TokenKind.NEQ: "<>",
+    TokenKind.LANGLE: "<",
+    TokenKind.RANGLE: ">",
+    TokenKind.LE: "<=",
+    TokenKind.GE: ">=",
+}
+
+_STMT_START = {
+    TokenKind.IDENT,
+    TokenKind.IF,
+    TokenKind.REPEAT,
+    TokenKind.EXIT_WHEN,
+    TokenKind.INPUT,
+    TokenKind.OUTPUT,
+    TokenKind.ASSERT,
+}
+
+
+class Parser:
+    """Parses one description from ISDL source text."""
+
+    def __init__(self, text: str):
+        lexer = Lexer(text)
+        self._tokens: List[Token] = lexer.tokens()
+        self._pos = 0
+        self._comments: Dict[int, str] = dict(lexer.comments)
+        self._token_lines: Set[int] = lexer.token_lines
+        #: standalone comment lines not yet attached to a node.
+        self._pending_lines: List[int] = sorted(
+            line for line in self._comments if line not in self._token_lines
+        )
+
+    # ------------------------------------------------------------------
+    # token plumbing
+
+    def _peek(self, offset: int = 0) -> Token:
+        index = min(self._pos + offset, len(self._tokens) - 1)
+        return self._tokens[index]
+
+    def _advance(self) -> Token:
+        token = self._tokens[self._pos]
+        if token.kind is not TokenKind.EOF:
+            self._pos += 1
+        return token
+
+    def _check(self, kind: TokenKind) -> bool:
+        return self._peek().kind is kind
+
+    def _accept(self, kind: TokenKind) -> Optional[Token]:
+        if self._check(kind):
+            return self._advance()
+        return None
+
+    def _expect(self, kind: TokenKind, what: str) -> Token:
+        token = self._peek()
+        if token.kind is not kind:
+            raise ParseError(
+                f"expected {what}, found {token.kind.value!r}", token.location
+            )
+        return self._advance()
+
+    def _comment_for_line(self, line: int) -> Optional[str]:
+        """Comment attached to a node starting at ``line``.
+
+        Prefers a comment on the same line; otherwise consumes the nearest
+        pending standalone comment line above.
+        """
+        if line in self._comments and line in self._token_lines:
+            return self._comments[line]
+        best = None
+        for pending in self._pending_lines:
+            if pending < line:
+                best = pending
+            else:
+                break
+        if best is not None:
+            self._pending_lines.remove(best)
+            return self._comments[best]
+        return None
+
+    # ------------------------------------------------------------------
+    # descriptions, sections, declarations
+
+    def parse_description(self) -> ast.Description:
+        """Parse a full ``name := begin ... end`` description."""
+        name_token = self._expect(TokenKind.IDENT, "description name")
+        comment = self._comment_for_line(name_token.location.line)
+        self._expect(TokenKind.DEFINE, "':='")
+        self._expect(TokenKind.BEGIN, "'begin'")
+        sections = []
+        while self._check(TokenKind.BANNER):
+            sections.append(self._parse_section())
+        self._expect(TokenKind.END, "'end'")
+        self._expect(TokenKind.EOF, "end of input")
+        return ast.Description(
+            name=str(name_token.value),
+            sections=tuple(sections),
+            comment=comment,
+        )
+
+    def _parse_section(self) -> ast.Section:
+        self._expect(TokenKind.BANNER, "'**'")
+        name_token = self._expect(TokenKind.IDENT, "section name")
+        self._expect(TokenKind.BANNER, "'**'")
+        decls = []
+        while self._check(TokenKind.IDENT):
+            decls.append(self._parse_decl())
+        return ast.Section(name=str(name_token.value), decls=tuple(decls))
+
+    def _parse_decl(self) -> ast.Decl:
+        name_token = self._expect(TokenKind.IDENT, "declaration name")
+        name = str(name_token.value)
+        comment = self._comment_for_line(name_token.location.line)
+        if self._check(TokenKind.LPAREN):
+            decl = self._parse_routine_decl(name, comment)
+        else:
+            width = self._parse_width()
+            if width is None:
+                raise ParseError(
+                    f"declaration of {name!r} needs a <hi:lo> width or a type",
+                    name_token.location,
+                )
+            decl = ast.RegDecl(name=name, width=width, comment=comment)
+        self._accept(TokenKind.COMMA)
+        return decl
+
+    def _parse_routine_decl(
+        self, name: str, comment: Optional[str]
+    ) -> ast.RoutineDecl:
+        self._expect(TokenKind.LPAREN, "'('")
+        params: List[str] = []
+        if self._check(TokenKind.IDENT):
+            params.append(str(self._advance().value))
+            while self._accept(TokenKind.COMMA):
+                params.append(
+                    str(self._expect(TokenKind.IDENT, "parameter name").value)
+                )
+        self._expect(TokenKind.RPAREN, "')'")
+        width = self._parse_width()
+        self._expect(TokenKind.DEFINE, "':='")
+        self._expect(TokenKind.BEGIN, "'begin'")
+        body = self._parse_stmts()
+        self._expect(TokenKind.END, "'end'")
+        return ast.RoutineDecl(
+            name=name,
+            params=tuple(params),
+            width=width,
+            body=body,
+            comment=comment,
+        )
+
+    def _parse_width(self) -> Optional[ast.Width]:
+        # ``name<>`` (a one-bit flag) lexes as a NEQ token after the name.
+        if self._accept(TokenKind.NEQ):
+            return ast.BitWidth(0, 0)
+        if self._accept(TokenKind.LANGLE):
+            if self._accept(TokenKind.RANGLE):
+                return ast.BitWidth(0, 0)
+            hi = self._expect(TokenKind.NUMBER, "bit index")
+            self._expect(TokenKind.COLON, "':'")
+            lo = self._expect(TokenKind.NUMBER, "bit index")
+            self._expect(TokenKind.RANGLE, "'>'")
+            return ast.BitWidth(int(hi.value), int(lo.value))
+        if self._accept(TokenKind.COLON):
+            type_token = self._expect(TokenKind.IDENT, "type name")
+            typename = str(type_token.value).lower()
+            if typename not in ("integer", "character"):
+                raise ParseError(
+                    f"unknown type {typename!r} (expected integer or character)",
+                    type_token.location,
+                )
+            return ast.TypeWidth(typename)
+        return None
+
+    # ------------------------------------------------------------------
+    # statements
+
+    def _parse_stmts(self) -> Tuple[ast.Stmt, ...]:
+        stmts = []
+        while self._peek().kind in _STMT_START:
+            stmts.append(self._parse_stmt())
+        return tuple(stmts)
+
+    def _parse_stmt(self) -> ast.Stmt:
+        token = self._peek()
+        comment = self._comment_for_line(token.location.line)
+        if token.kind is TokenKind.IF:
+            stmt = self._parse_if(comment)
+        elif token.kind is TokenKind.REPEAT:
+            stmt = self._parse_repeat(comment)
+        elif token.kind is TokenKind.EXIT_WHEN:
+            self._advance()
+            cond = self.parse_expr()
+            stmt = ast.ExitWhen(cond=cond, comment=comment)
+        elif token.kind is TokenKind.INPUT:
+            self._advance()
+            self._expect(TokenKind.LPAREN, "'('")
+            names = [str(self._expect(TokenKind.IDENT, "operand name").value)]
+            while self._accept(TokenKind.COMMA):
+                names.append(
+                    str(self._expect(TokenKind.IDENT, "operand name").value)
+                )
+            self._expect(TokenKind.RPAREN, "')'")
+            stmt = ast.Input(names=tuple(names), comment=comment)
+        elif token.kind is TokenKind.OUTPUT:
+            self._advance()
+            self._expect(TokenKind.LPAREN, "'('")
+            exprs = [self.parse_expr()]
+            while self._accept(TokenKind.COMMA):
+                exprs.append(self.parse_expr())
+            self._expect(TokenKind.RPAREN, "')'")
+            stmt = ast.Output(exprs=tuple(exprs), comment=comment)
+        elif token.kind is TokenKind.ASSERT:
+            self._advance()
+            cond = self.parse_expr()
+            stmt = ast.Assert(cond=cond, comment=comment)
+        else:  # assignment
+            stmt = self._parse_assign(comment)
+        self._accept(TokenKind.SEMI)
+        return stmt
+
+    def _parse_assign(self, comment: Optional[str]) -> ast.Assign:
+        token = self._expect(TokenKind.IDENT, "assignment target")
+        name = str(token.value)
+        if name == ast.MEMORY_NAME:
+            self._expect(TokenKind.LBRACKET, "'['")
+            addr = self.parse_expr()
+            self._expect(TokenKind.RBRACKET, "']'")
+            target: object = ast.MemRead(addr=addr)
+        else:
+            target = ast.Var(name=name)
+        self._expect(TokenKind.ASSIGN, "'<-'")
+        expr = self.parse_expr()
+        return ast.Assign(target=target, expr=expr, comment=comment)
+
+    def _parse_if(self, comment: Optional[str]) -> ast.If:
+        self._expect(TokenKind.IF, "'if'")
+        cond = self.parse_expr()
+        self._expect(TokenKind.THEN, "'then'")
+        then = self._parse_stmts()
+        els: Tuple[ast.Stmt, ...] = ()
+        if self._accept(TokenKind.ELSE):
+            els = self._parse_stmts()
+        self._expect(TokenKind.END_IF, "'end_if'")
+        return ast.If(cond=cond, then=then, els=els, comment=comment)
+
+    def _parse_repeat(self, comment: Optional[str]) -> ast.Repeat:
+        self._expect(TokenKind.REPEAT, "'repeat'")
+        body = self._parse_stmts()
+        self._expect(TokenKind.END_REPEAT, "'end_repeat'")
+        return ast.Repeat(body=body, comment=comment)
+
+    # ------------------------------------------------------------------
+    # expressions
+
+    def parse_expr(self) -> ast.Expr:
+        """Parse an expression (public so scripts can parse patterns)."""
+        return self._parse_or()
+
+    def _parse_or(self) -> ast.Expr:
+        left = self._parse_and()
+        while self._accept(TokenKind.OR):
+            right = self._parse_and()
+            left = ast.BinOp(op="or", left=left, right=right)
+        return left
+
+    def _parse_and(self) -> ast.Expr:
+        left = self._parse_not()
+        while self._accept(TokenKind.AND):
+            right = self._parse_not()
+            left = ast.BinOp(op="and", left=left, right=right)
+        return left
+
+    def _parse_not(self) -> ast.Expr:
+        if self._accept(TokenKind.NOT):
+            return ast.UnOp(op="not", operand=self._parse_not())
+        return self._parse_comparison()
+
+    def _parse_comparison(self) -> ast.Expr:
+        left = self._parse_additive()
+        kind = self._peek().kind
+        if kind in _COMPARISON_KINDS:
+            self._advance()
+            right = self._parse_additive()
+            return ast.BinOp(op=_COMPARISON_KINDS[kind], left=left, right=right)
+        return left
+
+    def _parse_additive(self) -> ast.Expr:
+        left = self._parse_multiplicative()
+        while True:
+            if self._accept(TokenKind.PLUS):
+                left = ast.BinOp(op="+", left=left, right=self._parse_multiplicative())
+            elif self._accept(TokenKind.MINUS):
+                left = ast.BinOp(op="-", left=left, right=self._parse_multiplicative())
+            else:
+                return left
+
+    def _parse_multiplicative(self) -> ast.Expr:
+        left = self._parse_unary()
+        while self._accept(TokenKind.STAR):
+            left = ast.BinOp(op="*", left=left, right=self._parse_unary())
+        return left
+
+    def _parse_unary(self) -> ast.Expr:
+        if self._accept(TokenKind.MINUS):
+            return ast.UnOp(op="-", operand=self._parse_unary())
+        return self._parse_primary()
+
+    def _parse_primary(self) -> ast.Expr:
+        token = self._peek()
+        if token.kind is TokenKind.NUMBER:
+            self._advance()
+            return ast.Const(value=int(token.value))
+        if token.kind is TokenKind.STRING:
+            self._advance()
+            text = str(token.value)
+            if len(text) != 1:
+                raise ParseError(
+                    "only single-character literals are supported",
+                    token.location,
+                )
+            return ast.Const(value=ord(text))
+        if token.kind is TokenKind.LPAREN:
+            self._advance()
+            expr = self.parse_expr()
+            self._expect(TokenKind.RPAREN, "')'")
+            return expr
+        if token.kind is TokenKind.IDENT:
+            self._advance()
+            name = str(token.value)
+            if name == ast.MEMORY_NAME:
+                self._expect(TokenKind.LBRACKET, "'['")
+                addr = self.parse_expr()
+                self._expect(TokenKind.RBRACKET, "']'")
+                return ast.MemRead(addr=addr)
+            if self._accept(TokenKind.LPAREN):
+                args: List[ast.Expr] = []
+                if not self._check(TokenKind.RPAREN):
+                    args.append(self.parse_expr())
+                    while self._accept(TokenKind.COMMA):
+                        args.append(self.parse_expr())
+                self._expect(TokenKind.RPAREN, "')'")
+                return ast.Call(name=name, args=tuple(args))
+            return ast.Var(name=name)
+        raise ParseError(
+            f"expected an expression, found {token.kind.value!r}", token.location
+        )
+
+
+def parse_description(text: str) -> ast.Description:
+    """Parse a complete description from source text."""
+    return Parser(text).parse_description()
+
+
+def parse_expr(text: str) -> ast.Expr:
+    """Parse a standalone expression (used by analysis-script locators)."""
+    parser = Parser(text)
+    expr = parser.parse_expr()
+    parser._expect(TokenKind.EOF, "end of expression")
+    return expr
+
+
+def parse_stmts(text: str) -> Tuple[ast.Stmt, ...]:
+    """Parse a statement sequence (used to author augment code)."""
+    parser = Parser(text)
+    stmts = parser._parse_stmts()
+    parser._expect(TokenKind.EOF, "end of statements")
+    return stmts

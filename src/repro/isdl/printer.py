@@ -1,0 +1,164 @@
+"""Pretty-printer for ISDL descriptions.
+
+Regenerates descriptions in the layout of the paper's figures: the
+``** SECTION **`` banners, indented ``begin``/``end`` blocks, and the
+``! comment`` annotations.  Output round-trips through the parser (the
+test suite checks ``parse(print(parse(text)))`` is structurally equal).
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional
+
+from . import ast
+
+_INDENT = "    "
+
+#: Binding strength used to decide where parentheses are needed.
+_PRECEDENCE = {
+    "or": 1,
+    "and": 2,
+    "=": 4,
+    "<>": 4,
+    "<": 4,
+    "<=": 4,
+    ">": 4,
+    ">=": 4,
+    "+": 5,
+    "-": 5,
+    "*": 6,
+}
+_UNARY_PRECEDENCE = {"not": 3, "-": 7}
+
+
+def format_expr(expr: ast.Expr, parent_prec: int = 0) -> str:
+    """Render an expression, adding parentheses only where required."""
+    if isinstance(expr, ast.Const):
+        return str(expr.value)
+    if isinstance(expr, ast.Var):
+        return expr.name
+    if isinstance(expr, ast.MemRead):
+        return f"{ast.MEMORY_NAME}[ {format_expr(expr.addr)} ]"
+    if isinstance(expr, ast.Call):
+        args = ", ".join(format_expr(arg) for arg in expr.args)
+        return f"{expr.name}({args})"
+    if isinstance(expr, ast.UnOp):
+        prec = _UNARY_PRECEDENCE[expr.op]
+        inner = format_expr(expr.operand, prec)
+        text = f"not {inner}" if expr.op == "not" else f"-{inner}"
+        return f"({text})" if prec < parent_prec else text
+    if isinstance(expr, ast.BinOp):
+        prec = _PRECEDENCE[expr.op]
+        # Comparisons do not chain in the grammar: parenthesize a
+        # comparison operand of a comparison on either side.
+        non_associative = expr.op in ("=", "<>", "<", "<=", ">", ">=")
+        left = format_expr(expr.left, prec + 1 if non_associative else prec)
+        # Right operand of a same-precedence operator needs parens to
+        # preserve left associativity.
+        right = format_expr(expr.right, prec + 1)
+        text = f"{left} {expr.op} {right}"
+        return f"({text})" if prec < parent_prec else text
+    raise TypeError(f"not an expression: {expr!r}")
+
+
+def _with_comment(line: str, comment: Optional[str]) -> str:
+    if comment is None:
+        return line
+    pad = max(1, 40 - len(line))
+    return f"{line}{' ' * pad}! {comment}"
+
+
+def _format_stmt(stmt: ast.Stmt, depth: int, lines: List[str]) -> None:
+    pad = _INDENT * depth
+    if isinstance(stmt, ast.Assign):
+        target = (
+            f"{ast.MEMORY_NAME}[ {format_expr(stmt.target.addr)} ]"
+            if isinstance(stmt.target, ast.MemRead)
+            else stmt.target.name
+        )
+        lines.append(
+            _with_comment(f"{pad}{target} <- {format_expr(stmt.expr)};", stmt.comment)
+        )
+    elif isinstance(stmt, ast.If):
+        lines.append(_with_comment(f"{pad}if {format_expr(stmt.cond)}", stmt.comment))
+        lines.append(f"{pad}then")
+        for inner in stmt.then:
+            _format_stmt(inner, depth + 1, lines)
+        if stmt.els:
+            lines.append(f"{pad}else")
+            for inner in stmt.els:
+                _format_stmt(inner, depth + 1, lines)
+        lines.append(f"{pad}end_if;")
+    elif isinstance(stmt, ast.Repeat):
+        lines.append(_with_comment(f"{pad}repeat", stmt.comment))
+        for inner in stmt.body:
+            _format_stmt(inner, depth + 1, lines)
+        lines.append(f"{pad}end_repeat;")
+    elif isinstance(stmt, ast.ExitWhen):
+        lines.append(
+            _with_comment(
+                f"{pad}exit_when ({format_expr(stmt.cond)});", stmt.comment
+            )
+        )
+    elif isinstance(stmt, ast.Input):
+        lines.append(
+            _with_comment(f"{pad}input ({', '.join(stmt.names)});", stmt.comment)
+        )
+    elif isinstance(stmt, ast.Output):
+        rendered = ", ".join(format_expr(expr) for expr in stmt.exprs)
+        lines.append(_with_comment(f"{pad}output ({rendered});", stmt.comment))
+    elif isinstance(stmt, ast.Assert):
+        lines.append(
+            _with_comment(f"{pad}assert ({format_expr(stmt.cond)});", stmt.comment)
+        )
+    else:
+        raise TypeError(f"not a statement: {stmt!r}")
+
+
+def _format_width(width: Optional[ast.Width]) -> str:
+    if width is None:
+        return ""
+    if isinstance(width, ast.BitWidth):
+        return str(width)
+    return f": {width.typename}"
+
+
+def _format_decl(decl: ast.Decl, depth: int, lines: List[str], last: bool) -> None:
+    pad = _INDENT * depth
+    trailer = "" if last else ","
+    if isinstance(decl, ast.RegDecl):
+        lines.append(
+            _with_comment(
+                f"{pad}{decl.name}{_format_width(decl.width)}{trailer}",
+                decl.comment,
+            )
+        )
+        return
+    params = ", ".join(decl.params)
+    header = f"{pad}{decl.name}({params}){_format_width(decl.width)} := begin"
+    lines.append(_with_comment(header, decl.comment))
+    for stmt in decl.body:
+        _format_stmt(stmt, depth + 1, lines)
+    lines.append(f"{pad}end{trailer}")
+
+
+def format_description(desc: ast.Description) -> str:
+    """Render a full description in the paper's figure layout."""
+    lines: List[str] = []
+    lines.append(_with_comment(f"{desc.name} := begin", desc.comment))
+    for section in desc.sections:
+        lines.append(f"{_INDENT}** {section.name} **")
+        for index, decl in enumerate(section.decls):
+            _format_decl(
+                decl, 2, lines, last=(index == len(section.decls) - 1)
+            )
+    lines.append("end")
+    return "\n".join(lines) + "\n"
+
+
+def format_stmts(stmts, depth: int = 0) -> str:
+    """Render a bare statement sequence (augment code, test fixtures)."""
+    lines: List[str] = []
+    for stmt in stmts:
+        _format_stmt(stmt, depth, lines)
+    return "\n".join(lines) + ("\n" if lines else "")

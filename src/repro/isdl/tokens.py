@@ -1,0 +1,100 @@
+"""Token kinds for the ISDL lexer.
+
+The description language is modelled on the ISPS-like notation used in the
+paper's figures: dotted identifiers, ``<hi:lo>`` bit-width suffixes,
+``:=`` definitions, ``<-`` assignment arrows, section banners written as
+``** NAME **``, and ``!`` comments running to end of line.
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass
+
+from .errors import SourceLocation
+
+
+class TokenKind(enum.Enum):
+    """All lexical token categories."""
+
+    IDENT = "ident"  # dotted identifier: scasb.execute, Src.Base, di
+    NUMBER = "number"  # integer literal
+    STRING = "string"  # quoted character/string literal
+
+    # Punctuation and operators.
+    DEFINE = ":="
+    ASSIGN = "<-"
+    LANGLE = "<"
+    RANGLE = ">"
+    LBRACKET = "["
+    RBRACKET = "]"
+    LPAREN = "("
+    RPAREN = ")"
+    COMMA = ","
+    SEMI = ";"
+    COLON = ":"
+    PLUS = "+"
+    MINUS = "-"
+    STAR = "*"
+    EQ = "="
+    NEQ = "<>"
+    LE = "<="
+    GE = ">="
+    BANNER = "**"  # section banner marker
+
+    # Keywords.
+    BEGIN = "begin"
+    END = "end"
+    IF = "if"
+    THEN = "then"
+    ELSE = "else"
+    END_IF = "end_if"
+    REPEAT = "repeat"
+    END_REPEAT = "end_repeat"
+    EXIT_WHEN = "exit_when"
+    INPUT = "input"
+    OUTPUT = "output"
+    AND = "and"
+    OR = "or"
+    NOT = "not"
+    ASSERT = "assert"
+
+    EOF = "eof"
+
+
+#: Reserved words mapped to their token kinds.  Identifiers are matched
+#: case-insensitively against this table, following the paper's mixed use
+#: of upper/lower case in figures.
+KEYWORDS = {
+    "begin": TokenKind.BEGIN,
+    "end": TokenKind.END,
+    "if": TokenKind.IF,
+    "then": TokenKind.THEN,
+    "else": TokenKind.ELSE,
+    "end_if": TokenKind.END_IF,
+    "repeat": TokenKind.REPEAT,
+    "end_repeat": TokenKind.END_REPEAT,
+    "exit_when": TokenKind.EXIT_WHEN,
+    "input": TokenKind.INPUT,
+    "output": TokenKind.OUTPUT,
+    "and": TokenKind.AND,
+    "or": TokenKind.OR,
+    "not": TokenKind.NOT,
+    "assert": TokenKind.ASSERT,
+}
+
+
+@dataclass(frozen=True)
+class Token:
+    """A single lexical token with its source location.
+
+    ``value`` holds the raw text for identifiers and the parsed integer
+    for numbers; for fixed tokens it repeats the spelling.
+    """
+
+    kind: TokenKind
+    value: object
+    location: SourceLocation
+
+    def __str__(self) -> str:
+        return f"{self.kind.name}({self.value!r})@{self.location}"

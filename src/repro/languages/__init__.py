@@ -1,0 +1,5 @@
+"""Language-operator descriptions: Pascal, PL/1, Rigel, CLU, PC2."""
+
+from . import clu, listops, pascal, pc2, pl1, rigel
+
+__all__ = ["clu", "listops", "pascal", "pc2", "pl1", "rigel"]

@@ -1,0 +1,52 @@
+"""CLU operators: ``string$indexc`` (find character in string).
+
+CLU's library routine returns the 1-based index of the first occurrence
+of a character, or 0 when absent — the same contract as Rigel's
+``index``, but the description's *style* differs (paper §5: the
+descriptions "have come from a variety of sources to eliminate bias
+caused by a single style"): CLU iterates a cursor upward to a limit and
+peeks at elements without advancing (``elem()``), where Rigel counts a
+length down and advances inside ``read()``.
+"""
+
+from __future__ import annotations
+
+from functools import lru_cache
+
+from ..isdl import ast, parse_description
+
+INDEXC_TEXT = """
+indexc.operation := begin
+    ** SOURCE.ACCESS **
+        S.Base: integer,                ! string base address
+        S.Limit: integer,               ! string length
+        i: integer,                     ! cursor
+        elem(): integer := begin        ! peek at the current element
+            elem <- Mb[ S.Base + i ];
+        end
+    ** STATE **
+        c: character                    ! character sought
+    ** STRING.PROCESS **
+        indexc.execute() := begin
+            input (c, S.Limit, S.Base);
+            i <- 0;
+            repeat
+                exit_when (i = S.Limit);    ! cursor reached the limit
+                exit_when (c = elem());     ! found
+                i <- i + 1;
+            end_repeat;
+            if i = S.Limit
+            then
+                output (0);             ! char not found
+            else
+                output (i + 1);         ! 1-based index of the char
+            end_if;
+        end
+end
+"""
+
+
+@lru_cache(maxsize=None)
+def indexc() -> ast.Description:
+    """CLU ``string$indexc``."""
+    return parse_description(INDEXC_TEXT)

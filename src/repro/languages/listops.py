@@ -1,0 +1,41 @@
+"""Generic linked-list operators.
+
+The paper's §1 motivates constraints with the Burroughs B4800 list
+search: a language-level list search takes the offsets of the link and
+key fields as parameters, while the B4800 instruction hard-wires the
+link field to offset zero.  The description below is such a generic
+runtime routine; nodes live in byte memory, with one cell holding the
+link (so demo scenarios keep lists in the first 256 bytes).
+"""
+
+from __future__ import annotations
+
+from functools import lru_cache
+
+from ..isdl import ast, parse_description
+
+LSEARCH_TEXT = """
+lsearch.operation := begin
+    ** ARGUMENTS **
+        Head: integer,                  ! first record (0 for empty list)
+        Key: character,                 ! field value sought
+        KeyOff: integer,                ! offset of the key field
+        LinkOff: integer                ! offset of the link field
+    ** LIST.PROCESS **
+        lsearch.execute() := begin
+            input (Head, Key, KeyOff, LinkOff);
+            repeat
+                exit_when (Head = 0);
+                exit_when (Mb[ Head + KeyOff ] = Key);
+                Head <- Mb[ Head + LinkOff ];
+            end_repeat;
+            output (Head);
+        end
+end
+"""
+
+
+@lru_cache(maxsize=None)
+def lsearch() -> ast.Description:
+    """Generic list search: record with the key, or 0."""
+    return parse_description(LSEARCH_TEXT)

@@ -1,0 +1,104 @@
+"""Pascal operators: string assignment and string comparison.
+
+``sassign`` "is actually present only in the compiler internal form and
+not in the Pascal language" (paper §4.2): the compiler lowers
+assignments between packed character arrays to it.  The description is
+derived from the obvious indexed copy a Pascal runtime performs —
+Pascal strings are arrays, so the natural rendering indexes both with
+one counter.  Pascal strings cannot overlap (§4.3), which is *not*
+expressible in the description — that gap is the movc3 failure.
+
+``sequal`` is the internal-form comparison behind ``=`` on packed
+arrays of char: scan until a mismatch, true when none.
+"""
+
+from __future__ import annotations
+
+from functools import lru_cache
+
+from ..isdl import ast, parse_description
+
+SASSIGN_TEXT = """
+sassign.operation := begin
+    ** SOURCE.ACCESS **
+        Src.Base: integer,              ! source base address
+        Dst.Base: integer,              ! destination base address
+        Len: integer,                   ! characters to move
+        i: integer                      ! copy index
+    ** STRING.PROCESS **
+        sassign.execute() := begin
+            input (Src.Base, Dst.Base, Len);
+            i <- 0;
+            repeat
+                exit_when (i = Len);
+                Mb[ Dst.Base + i ] <- Mb[ Src.Base + i ];
+                i <- i + 1;
+            end_repeat;
+        end
+end
+"""
+
+SEQUAL_TEXT = """
+sequal.operation := begin
+    ** SOURCE.ACCESS **
+        A.Base: integer,                ! first string base address
+        B.Base: integer,                ! second string base address
+        Len: integer                    ! characters to compare
+    ** STATE **
+        eq<>                            ! comparison result
+    ** STRING.PROCESS **
+        sequal.execute() := begin
+            input (A.Base, B.Base, Len);
+            eq <- 1;                    ! empty strings are equal
+            repeat
+                exit_when (Len = 0);
+                eq <- (Mb[ A.Base ] = Mb[ B.Base ]);
+                exit_when (not eq);
+                A.Base <- A.Base + 1;
+                B.Base <- B.Base + 1;
+                Len <- Len - 1;
+            end_repeat;
+            output (eq);
+        end
+end
+"""
+
+
+@lru_cache(maxsize=None)
+def sassign() -> ast.Description:
+    """Pascal string assignment (compiler internal form)."""
+    return parse_description(SASSIGN_TEXT)
+
+
+@lru_cache(maxsize=None)
+def sequal() -> ast.Description:
+    """Pascal string equality comparison (compiler internal form)."""
+    return parse_description(SEQUAL_TEXT)
+
+TRANSLATE_TEXT = """
+translate.operation := begin
+    ! in-place translation of a string through a 256-byte table — the
+    ! runtime kernel behind case conversion and character-set mapping
+    ** SOURCE.ACCESS **
+        S: integer,                     ! string base address
+        T: integer,                     ! table base address
+        Len: integer,                   ! characters to translate
+        i: integer                      ! cursor
+    ** STRING.PROCESS **
+        translate.execute() := begin
+            input (S, T, Len);
+            i <- 0;
+            repeat
+                exit_when (i = Len);
+                Mb[ S + i ] <- Mb[ T + Mb[ S + i ] ];
+                i <- i + 1;
+            end_repeat;
+        end
+end
+"""
+
+
+@lru_cache(maxsize=None)
+def translate() -> ast.Description:
+    """Pascal translate: map a string through a table, in place."""
+    return parse_description(TRANSLATE_TEXT)

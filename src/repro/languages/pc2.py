@@ -1,0 +1,89 @@
+"""PC2 runtime routines: block copy and block clear.
+
+"PC2 is the Berkeley Pascal runtime system (written in C)" (paper §6
+footnote).  ``blkcpy`` mirrors a C memory-copy with overlap handling —
+it chooses a copy direction by comparing the pointers, exactly the
+protocol movc3 implements, which is why the movc3/PC2 analysis succeeds
+where movc3/Pascal-sassign fails.  ``blkclr`` zeroes a region.
+
+The descriptions copy their arguments into working locals first, the
+way the C routines do — the same structure the VAX instructions have
+with their dedicated registers.
+"""
+
+from __future__ import annotations
+
+from functools import lru_cache
+
+from ..isdl import ast, parse_description
+
+BLKCPY_TEXT = """
+blkcpy.operation := begin
+    ** ARGUMENTS **
+        count: integer,                 ! bytes to copy
+        from: integer,                  ! source address
+        to: integer                     ! destination address
+    ** LOCALS **
+        n: integer,                     ! working count
+        f: integer,                     ! working source pointer
+        t: integer,                     ! working destination pointer
+        k: integer                      ! backward-copy index
+    ** BLOCK.PROCESS **
+        blkcpy.execute() := begin
+            input (count, from, to);
+            n <- count;
+            f <- from;
+            t <- to;
+            if (t > f)
+            then                        ! regions may overlap: copy high-to-low
+                k <- n;
+                repeat
+                    exit_when (k = 0);
+                    k <- k - 1;
+                    Mb[ t + k ] <- Mb[ f + k ];
+                end_repeat;
+                f <- f + n;
+                t <- t + n;
+                n <- 0;
+            else                        ! copy low-to-high
+                repeat
+                    exit_when (n = 0);
+                    Mb[ t ] <- Mb[ f ];
+                    t <- t + 1;
+                    f <- f + 1;
+                    n <- n - 1;
+                end_repeat;
+            end_if;
+        end
+end
+"""
+
+BLKCLR_TEXT = """
+blkclr.operation := begin
+    ** ARGUMENTS **
+        count: integer,                 ! bytes to clear
+        addr: integer                   ! region address
+    ** BLOCK.PROCESS **
+        blkclr.execute() := begin
+            input (count, addr);
+            repeat
+                exit_when (count = 0);
+                Mb[ addr ] <- 0;
+                addr <- addr + 1;
+                count <- count - 1;
+            end_repeat;
+        end
+end
+"""
+
+
+@lru_cache(maxsize=None)
+def blkcpy() -> ast.Description:
+    """PC2 block copy (overlap-aware, like C's memmove)."""
+    return parse_description(BLKCPY_TEXT)
+
+
+@lru_cache(maxsize=None)
+def blkclr() -> ast.Description:
+    """PC2 block clear."""
+    return parse_description(BLKCLR_TEXT)

@@ -1,0 +1,74 @@
+"""PL/1 operators: the guarded string move.
+
+PL/1 strings carry their length at run time and may legally be empty,
+so the runtime's move routine guards the copy loop with a length test —
+the extra wrapper EXTRA must discharge (via a range assertion on the
+length) before the loop can match the machine's string move.  The body
+is the same indexed copy as Pascal's; the descriptions deliberately
+come from different "sources" with different styles (paper §5 stresses
+style independence).
+"""
+
+from __future__ import annotations
+
+from functools import lru_cache
+
+from ..isdl import ast, parse_description
+
+STRMOVE_TEXT = """
+strmove.operation := begin
+    ** SOURCE.ACCESS **
+        Src.Base: integer,              ! source base address
+        Dst.Base: integer,              ! destination base address
+        Len: integer,                   ! characters to move (may be zero)
+        i: integer                      ! copy index
+    ** STRING.PROCESS **
+        strmove.execute() := begin
+            input (Src.Base, Dst.Base, Len);
+            i <- 0;
+            if (Len > 0)
+            then                        ! runtime guards empty strings
+                repeat
+                    exit_when (i = Len);
+                    Mb[ Dst.Base + i ] <- Mb[ Src.Base + i ];
+                    i <- i + 1;
+                end_repeat;
+            end_if;
+        end
+end
+"""
+
+
+@lru_cache(maxsize=None)
+def strmove() -> ast.Description:
+    """PL/1 string move (guarded runtime copy)."""
+    return parse_description(STRMOVE_TEXT)
+
+SPAN_TEXT = """
+span.operation := begin
+    ! count of leading occurrences of a character (the runtime kernel
+    ! behind PL/1's VERIFY against a single-character set)
+    ** ARGUMENTS **
+        C: character,                   ! character to span
+        Max: integer,                   ! string length
+        S: integer,                     ! string base address
+        n: integer                      ! cursor
+    ** SCAN.PROCESS **
+        span.execute() := begin
+            input (C, Max, S);
+            n <- 0;
+            repeat
+                exit_when (n = Max);
+                exit_when (Mb[ S + n ] <> C);
+                n <- n + 1;
+            end_repeat;
+            output (n);
+        end
+end
+"""
+
+
+@lru_cache(maxsize=None)
+def span() -> ast.Description:
+    """PL/1 span: length of the leading run of one character."""
+    return parse_description(SPAN_TEXT)

@@ -1,0 +1,53 @@
+"""Rigel language operators (paper figure 2).
+
+Rigel is "an experimental language designed for research into the
+development of interactive data base applications" (Rowe et al., 1981).
+Its ``index`` operator searches a string for a character and returns
+the 1-based index of the first occurrence, or 0 when the character is
+absent.  The description below is the paper's figure 2, transcribed:
+the ``read()`` access routine fetches ``Mb[Src.Base + Src.Index]`` and
+advances the index (advance-then-test style).
+"""
+
+from __future__ import annotations
+
+from functools import lru_cache
+
+from ..isdl import ast, parse_description
+
+INDEX_TEXT = """
+index.operation := begin
+    ** SOURCE.ACCESS **
+        Src.Base: integer,              ! string base address
+        Src.Index: integer,             ! string index
+        Src.Length: integer,            ! string length
+        read(): integer := begin
+            read <- Mb[ Src.Base + Src.Index ];
+            Src.Index <- Src.Index + 1;
+        end
+    ** STATE **
+        ch: character                   ! character sought
+    ** STRING.PROCESS **
+        index.execute() := begin
+            input (Src.Base, Src.Length, ch);
+            Src.Index <- 0;
+            repeat
+                exit_when (Src.Length = 0);     ! exit when string exhausted
+                exit_when (ch = read());        ! exit if char is found
+                Src.Length <- Src.Length - 1;
+            end_repeat;
+            if Src.Length = 0
+            then
+                output (0);             ! char not found
+            else
+                output (Src.Index);     ! char found
+            end_if;
+        end
+end
+"""
+
+
+@lru_cache(maxsize=None)
+def index() -> ast.Description:
+    """The Rigel ``index`` operator (paper figure 2)."""
+    return parse_description(INDEX_TEXT)

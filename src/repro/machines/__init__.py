@@ -1,0 +1,16 @@
+"""Target machines: instruction descriptions, Table 1 catalog, simulators."""
+
+from .catalog import MACHINES, PAPER_COUNTS, PAPER_TOTAL, Machine, table1_rows, total_count
+from .simbase import SimResult, SimulationError, Simulator
+
+__all__ = [
+    "MACHINES",
+    "PAPER_COUNTS",
+    "PAPER_TOTAL",
+    "Machine",
+    "table1_rows",
+    "total_count",
+    "SimResult",
+    "SimulationError",
+    "Simulator",
+]

@@ -1,0 +1,6 @@
+"""Burroughs B4800: the linked-list search of the paper's introduction."""
+
+from .descriptions import mva, srl
+from .sim import B4800Simulator
+
+__all__ = ["mva", "srl", "B4800Simulator"]

@@ -1,0 +1,78 @@
+"""ISDL description of the Burroughs B4800 linked-list search.
+
+"The Burroughs B4800 has an instruction to search through a linked list
+of records for a record with a specified field.  However, the
+instruction assumes that the link field of the list is the first field
+in the record.  Thus, the B4800 instruction can only be used to
+implement a general list search operation if a specific constraint is
+satisfied, namely, that the link field is the first field of the
+record" (paper §1).
+
+The description follows that contract: the link is read at offset 0
+(``Mb[ptr]``), the key at an instruction-supplied offset.  Pointers are
+stored in single memory cells, so the demo analyses keep list nodes in
+the first 256 bytes of memory (one-cell links; noted in the analysis
+scenario specs).
+"""
+
+from __future__ import annotations
+
+from functools import lru_cache
+
+from ...isdl import ast, parse_description
+
+SRL_TEXT = """
+srl.instruction := begin
+    ** OPERANDS **
+        ptr<15:0>,                      ! head of the list (0 terminates)
+        key<7:0>,                       ! field value sought
+        offs<7:0>                       ! offset of the key field
+    ** STRING.PROCESS **
+        srl.execute() := begin
+            input (ptr, key, offs);
+            repeat
+                exit_when (ptr = 0);
+                exit_when (Mb[ ptr + offs ] = key);
+                ptr <- Mb[ ptr ];       ! link field must be FIRST in the record
+            end_repeat;
+            output (ptr);
+        end
+end
+"""
+
+
+@lru_cache(maxsize=None)
+def srl() -> ast.Description:
+    """srl: search linked list (link field at offset zero)."""
+    return parse_description(SRL_TEXT)
+
+MVA_TEXT = """
+mva.instruction := begin
+    ! Burroughs move alphanumeric: like the IBM 370 mvc, the length
+    ! field encodes count - 1 (paper footnote 5: "this type of encoding
+    ! ... also occurs on at least one other machine (the Burroughs
+    ! B4800)").
+    ** OPERANDS **
+        a1<15:0>,                       ! destination address
+        a2<15:0>,                       ! source address
+        len<7:0>                        ! length code: moves len + 1 bytes
+    ** STRING.PROCESS **
+        mva.execute() := begin
+            input (a1, a2, len);
+            len <- len + 1;             ! moves length-code-plus-one bytes
+            repeat
+                Mb[ a1 ] <- Mb[ a2 ];
+                a1 <- a1 + 1;
+                a2 <- a2 + 1;
+                len <- len - 1;
+                exit_when (len = 0);
+            end_repeat;
+        end
+end
+"""
+
+
+@lru_cache(maxsize=None)
+def mva() -> ast.Description:
+    """mva: move alphanumeric (length encoded minus one, footnote 5)."""
+    return parse_description(MVA_TEXT)

@@ -1,0 +1,5 @@
+"""Data General Eclipse: the sign-encoded-direction string move (§5)."""
+
+from .descriptions import cmv
+
+__all__ = ["cmv"]

@@ -1,0 +1,65 @@
+"""ISDL description of the Data General Eclipse character-move quirk.
+
+"Instead of encoding the direction in a specific flag the direction is
+encoded in the length operand for each string.  If the length is
+greater than zero then the string is processed from low addresses to
+high.  Otherwise, the string is processed in the reverse order.  The
+problem is that the length operand is now used for two unrelated
+purposes and it is difficult to formulate transformations to separate
+the two functions" (paper §5).
+
+The accumulators are 16-bit; "negative" means the top bit is set, so
+the direction tests appear as ``> 32767`` comparisons.  That entangling
+of sign and magnitude is precisely what defeats the analysis — see
+:mod:`repro.analyses.eclipse_failure`.
+"""
+
+from __future__ import annotations
+
+from functools import lru_cache
+
+from ...isdl import ast, parse_description
+
+CMV_TEXT = """
+cmv.instruction := begin
+    ! ac0: destination length (sign selects direction)
+    ! ac1: source length (sign selects direction)
+    ! ac2: destination address,  ac3: source address
+    ** ACCUMULATORS **
+        ac0<15:0>,
+        ac1<15:0>,
+        ac2<15:0>,
+        ac3<15:0>
+    ** STRING.PROCESS **
+        cmv.execute() := begin
+            input (ac0, ac1, ac2, ac3);
+            repeat
+                exit_when (ac0 = 0);
+                Mb[ ac2 ] <- Mb[ ac3 ];
+                if (ac0 > 32767)
+                then                    ! negative dest length: high-to-low
+                    ac2 <- ac2 - 1;
+                    ac0 <- ac0 + 1;
+                else                    ! positive dest length: low-to-high
+                    ac2 <- ac2 + 1;
+                    ac0 <- ac0 - 1;
+                end_if;
+                if (ac1 > 32767)
+                then
+                    ac3 <- ac3 - 1;
+                    ac1 <- ac1 + 1;
+                else
+                    ac3 <- ac3 + 1;
+                    ac1 <- ac1 - 1;
+                end_if;
+            end_repeat;
+            output (ac0, ac1, ac2, ac3);
+        end
+end
+"""
+
+
+@lru_cache(maxsize=None)
+def cmv() -> ast.Description:
+    """cmv: Eclipse character move with sign-encoded direction."""
+    return parse_description(CMV_TEXT)

@@ -1,0 +1,6 @@
+"""Intel 8086: string-instruction descriptions and simulator."""
+
+from .descriptions import cmpsb, movsb, scasb
+from .sim import I8086Simulator
+
+__all__ = ["cmpsb", "movsb", "scasb", "I8086Simulator"]

@@ -1,0 +1,237 @@
+"""ISDL descriptions of the Intel 8086 string instructions.
+
+``scasb`` is transcribed from the paper's figure 3; ``movsb`` and
+``cmpsb`` follow the same style (flag operands ``rf``/``df``/``rfz``
+controlling repetition, direction, and the exit condition; ``fetch``
+access routines that advance their pointer by the direction flag).
+Segment addressing is ignored, as in the paper's figures.
+"""
+
+from __future__ import annotations
+
+from functools import lru_cache
+
+from ...isdl import ast, parse_description
+
+SCASB_TEXT = """
+scasb.instruction := begin
+    ! segment addressing ignored in this description
+    ** SOURCE.ACCESS **
+        di<15:0>,                       ! source string address
+        cx<15:0>,                       ! source string length
+        fetch()<7:0> := begin           ! fetch source character
+            fetch <- Mb[ di ];
+            if df                       ! control direction of fetch
+            then
+                di <- di - 1;           ! high-to-low addresses
+            else
+                di <- di + 1;           ! low-to-high addresses
+            end_if;
+        end
+    ** STATE **
+        rf<>,                           ! repeat flag
+        df<>,                           ! direction flag
+        rfz<>,                          ! exit condition flag
+        zf<>,                           ! last compare zero flag
+        al<7:0>                         ! character sought
+    ** STRING.PROCESS **
+        scasb.execute() := begin
+            input (rf, rfz, df, zf, di, cx, al);
+            if (not rf)
+            then                        ! no repetition
+                if (al - fetch()) = 0
+                then
+                    zf <- 1;
+                else
+                    zf <- 0;
+                end_if;
+            else                        ! repeat mode
+                repeat
+                    exit_when (cx = 0);
+                    cx <- cx - 1;
+                    if (al - fetch()) = 0
+                    then
+                        zf <- 1;
+                    else
+                        zf <- 0;
+                    end_if;
+                    exit_when (rfz and (not zf)) or ((not rfz) and zf);  ! exit on condition
+                end_repeat;
+            end_if;
+            output (zf, di, cx);
+        end
+end
+"""
+
+MOVSB_TEXT = """
+movsb.instruction := begin
+    ! segment addressing ignored in this description
+    ** SOURCE.ACCESS **
+        si<15:0>,                       ! source string address
+        di<15:0>,                       ! destination string address
+        cx<15:0>,                       ! string length
+        fetch()<7:0> := begin           ! fetch source character
+            fetch <- Mb[ si ];
+            if df
+            then
+                si <- si - 1;           ! high-to-low addresses
+            else
+                si <- si + 1;           ! low-to-high addresses
+            end_if;
+        end
+    ** STATE **
+        rf<>,                           ! repeat flag
+        df<>                            ! direction flag
+    ** STRING.PROCESS **
+        movsb.execute() := begin
+            input (rf, df, si, di, cx);
+            if (not rf)
+            then                        ! no repetition
+                Mb[ di ] <- fetch();
+                if df
+                then
+                    di <- di - 1;
+                else
+                    di <- di + 1;
+                end_if;
+            else                        ! repeat mode
+                repeat
+                    exit_when (cx = 0);
+                    cx <- cx - 1;
+                    Mb[ di ] <- fetch();
+                    if df
+                    then
+                        di <- di - 1;
+                    else
+                        di <- di + 1;
+                    end_if;
+                end_repeat;
+            end_if;
+            output (si, di, cx);
+        end
+end
+"""
+
+CMPSB_TEXT = """
+cmpsb.instruction := begin
+    ! segment addressing ignored in this description
+    ** SOURCE.ACCESS **
+        si<15:0>,                       ! first string address
+        di<15:0>,                       ! second string address
+        cx<15:0>,                       ! string length
+        fetchs()<7:0> := begin          ! fetch from first string
+            fetchs <- Mb[ si ];
+            if df
+            then
+                si <- si - 1;
+            else
+                si <- si + 1;
+            end_if;
+        end,
+        fetchd()<7:0> := begin          ! fetch from second string
+            fetchd <- Mb[ di ];
+            if df
+            then
+                di <- di - 1;
+            else
+                di <- di + 1;
+            end_if;
+        end
+    ** STATE **
+        rf<>,                           ! repeat flag
+        df<>,                           ! direction flag
+        rfz<>,                          ! exit condition flag
+        zf<>                            ! last compare zero flag
+    ** STRING.PROCESS **
+        cmpsb.execute() := begin
+            input (rf, rfz, df, zf, si, di, cx);
+            if (not rf)
+            then                        ! no repetition
+                if (fetchs() - fetchd()) = 0
+                then
+                    zf <- 1;
+                else
+                    zf <- 0;
+                end_if;
+            else                        ! repeat mode
+                repeat
+                    exit_when (cx = 0);
+                    cx <- cx - 1;
+                    if (fetchs() - fetchd()) = 0
+                    then
+                        zf <- 1;
+                    else
+                        zf <- 0;
+                    end_if;
+                    exit_when (rfz and (not zf)) or ((not rfz) and zf);  ! exit on condition
+                end_repeat;
+            end_if;
+            output (zf, si, di, cx);
+        end
+end
+"""
+
+
+STOSB_TEXT = """
+stosb.instruction := begin
+    ! segment addressing ignored in this description
+    ** SOURCE.ACCESS **
+        di<15:0>,                       ! destination string address
+        cx<15:0>                        ! string length
+    ** STATE **
+        rf<>,                           ! repeat flag
+        df<>,                           ! direction flag
+        al<7:0>                         ! fill character
+    ** STRING.PROCESS **
+        stosb.execute() := begin
+            input (rf, df, al, cx, di);
+            if (not rf)
+            then                        ! no repetition
+                Mb[ di ] <- al;
+                if df
+                then
+                    di <- di - 1;
+                else
+                    di <- di + 1;
+                end_if;
+            else                        ! repeat mode
+                repeat
+                    exit_when (cx = 0);
+                    cx <- cx - 1;
+                    Mb[ di ] <- al;
+                    if df
+                    then
+                        di <- di - 1;
+                    else
+                        di <- di + 1;
+                    end_if;
+                end_repeat;
+            end_if;
+            output (di, cx);
+        end
+end
+"""
+
+
+@lru_cache(maxsize=None)
+def stosb() -> ast.Description:
+    """The stosb (repeatable string store / fill) instruction."""
+    return parse_description(STOSB_TEXT)
+
+
+@lru_cache(maxsize=None)
+def scasb() -> ast.Description:
+    """The scasb instruction (paper figure 3)."""
+    return parse_description(SCASB_TEXT)
+
+
+@lru_cache(maxsize=None)
+def movsb() -> ast.Description:
+    """The movsb (repeatable string move) instruction."""
+    return parse_description(MOVSB_TEXT)
+
+
+@lru_cache(maxsize=None)
+def cmpsb() -> ast.Description:
+    """The cmpsb (repeatable string compare) instruction."""
+    return parse_description(CMPSB_TEXT)

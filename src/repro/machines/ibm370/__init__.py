@@ -1,0 +1,6 @@
+"""IBM 370: mvc description and simulator."""
+
+from .descriptions import mvc
+from .sim import Ibm370Simulator
+
+__all__ = ["mvc", "Ibm370Simulator"]

@@ -1,0 +1,106 @@
+"""ISDL description of the IBM 370 ``mvc`` instruction.
+
+``mvc`` moves *length-code-plus-one* bytes: "a length value of zero
+means that one character is to be moved" (paper §4.2).  The description
+models that by bumping the 8-bit length register before the move loop —
+the bump wraps for a length code of 255, and the do-while loop then
+runs exactly 256 times, matching the hardware.  Base-displacement
+addressing is resolved outside the description, as the paper does for
+all addressing calculations.
+"""
+
+from __future__ import annotations
+
+from functools import lru_cache
+
+from ...isdl import ast, parse_description
+
+MVC_TEXT = """
+mvc.instruction := begin
+    ! base-displacement addressing resolved; effective addresses shown
+    ** OPERANDS **
+        d1<23:0>,                       ! destination address
+        d2<23:0>,                       ! source address
+        len<7:0>                        ! length code: moves len + 1 bytes
+    ** STRING.PROCESS **
+        mvc.execute() := begin
+            input (d1, d2, len);
+            len <- len + 1;             ! the 370 moves length-code-plus-one bytes
+            repeat
+                Mb[ d1 ] <- Mb[ d2 ];
+                d1 <- d1 + 1;
+                d2 <- d2 + 1;
+                len <- len - 1;
+                exit_when (len = 0);
+            end_repeat;
+        end
+end
+"""
+
+
+@lru_cache(maxsize=None)
+def mvc() -> ast.Description:
+    """mvc: move characters (length encoded minus one, §4.2)."""
+    return parse_description(MVC_TEXT)
+
+CLC_TEXT = """
+clc.instruction := begin
+    ! compare logical characters: like mvc, the length field encodes
+    ! count - 1; the Z condition code reports equality
+    ** OPERANDS **
+        c1<23:0>,                       ! first operand address
+        c2<23:0>,                       ! second operand address
+        len<7:0>                        ! length code: compares len + 1 bytes
+    ** STATE **
+        z<>                             ! Z condition code: operands equal
+    ** STRING.PROCESS **
+        clc.execute() := begin
+            input (c1, c2, len);
+            len <- len + 1;             ! compares length-code-plus-one bytes
+            repeat
+                z <- ((Mb[ c1 ] - Mb[ c2 ]) = 0);
+                exit_when (not z);
+                c1 <- c1 + 1;
+                c2 <- c2 + 1;
+                len <- len - 1;
+                exit_when (len = 0);
+            end_repeat;
+            output (z);
+        end
+end
+"""
+
+
+@lru_cache(maxsize=None)
+def clc() -> ast.Description:
+    """clc: compare logical characters (length encoded minus one)."""
+    return parse_description(CLC_TEXT)
+
+TR_TEXT = """
+tr.instruction := begin
+    ! translate: replace each byte of the first operand by the byte the
+    ! table (second operand) holds at that index; length encodes
+    ! count - 1 like mvc and clc
+    ** OPERANDS **
+        d1<23:0>,                       ! string address (translated in place)
+        d2<23:0>,                       ! translate table address (256 bytes)
+        len<7:0>                        ! length code: translates len + 1 bytes
+    ** STRING.PROCESS **
+        tr.execute() := begin
+            input (d1, d2, len);
+            len <- len + 1;             ! translates length-code-plus-one bytes
+            repeat
+                Mb[ d1 ] <- Mb[ d2 + Mb[ d1 ] ];
+                d1 <- d1 + 1;
+                len <- len - 1;
+                exit_when (len = 0);
+            end_repeat;
+        end
+end
+"""
+
+
+@lru_cache(maxsize=None)
+def tr() -> ast.Description:
+    """tr: translate through a 256-byte table (length encoded minus one)."""
+    return parse_description(TR_TEXT)

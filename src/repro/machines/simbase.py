@@ -1,0 +1,143 @@
+"""Shared simulator core for the three target machines.
+
+Each machine subclass supplies its register file, its cost table, and
+an ``execute`` method for its mnemonics; this base handles label
+resolution, the fetch loop, parameter binding, cycle accounting, and
+the ``setres`` pseudo-instruction the benchmark harness uses to read
+results out of a run.
+
+Cycle costs are representative figures from the machines' timing
+tables; absolute numbers are not the point (DESIGN.md) — the *relative*
+cost of an exotic instruction versus its decomposed loop is what the §6
+benchmarks measure.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, Mapping, Optional
+
+from ..asm import AsmProgram, Imm, Instr, Label, LabelRef, MemRef, ParamRef, Reg
+from ..semantics.state import Memory
+
+
+class SimulationError(Exception):
+    """Bad program: unknown mnemonic, register, or label."""
+
+
+@dataclass
+class SimResult:
+    """Outcome of one simulated run."""
+
+    cycles: int
+    instructions_executed: int
+    registers: Dict[str, int]
+    memory: Memory
+    results: Dict[str, int] = field(default_factory=dict)
+
+
+class Simulator:
+    """Base class; subclasses define REGISTERS, WIDTH_BITS, and execute()."""
+
+    #: register names the machine provides.
+    REGISTERS: tuple = ()
+    #: register width in bits (wrap-around on writes).
+    WIDTH_BITS: int = 16
+    #: mnemonic -> base cycle cost.  Per-iteration costs of the string
+    #: instructions are charged inside execute().
+    COSTS: Dict[str, int] = {}
+
+    def __init__(self) -> None:
+        self._mask = (1 << self.WIDTH_BITS) - 1
+
+    # -- helpers for subclasses ----------------------------------------
+
+    def read(self, operand, state) -> int:
+        if isinstance(operand, Reg):
+            try:
+                return state["regs"][operand.name]
+            except KeyError:
+                raise SimulationError(f"unknown register {operand.name!r}")
+        if isinstance(operand, Imm):
+            return operand.value & self._mask
+        if isinstance(operand, ParamRef):
+            try:
+                return state["params"][operand.name] & self._mask
+            except KeyError:
+                raise SimulationError(f"unbound parameter {operand.name!r}")
+        if isinstance(operand, MemRef):
+            addr = state["regs"][operand.base.name] + operand.disp
+            return state["memory"].read(addr)
+        raise SimulationError(f"cannot read operand {operand!r}")
+
+    def write_reg(self, operand, value: int, state) -> None:
+        if not isinstance(operand, Reg):
+            raise SimulationError(f"destination must be a register: {operand!r}")
+        if operand.name not in state["regs"]:
+            raise SimulationError(f"unknown register {operand.name!r}")
+        state["regs"][operand.name] = value & self._mask
+
+    def cost(self, mnemonic: str) -> int:
+        try:
+            return self.COSTS[mnemonic]
+        except KeyError:
+            raise SimulationError(f"no cost defined for mnemonic {mnemonic!r}")
+
+    # -- the fetch loop --------------------------------------------------
+
+    def run(
+        self,
+        program: AsmProgram,
+        params: Optional[Mapping[str, int]] = None,
+        memory: Optional[Mapping[int, int]] = None,
+        max_instructions: int = 5_000_000,
+    ) -> SimResult:
+        labels: Dict[str, int] = {}
+        for index, line in enumerate(program.lines):
+            if isinstance(line, Label):
+                if line.name in labels:
+                    raise SimulationError(f"duplicate label {line.name!r}")
+                labels[line.name] = index
+        state = {
+            "regs": {name: 0 for name in self.REGISTERS},
+            "params": dict(params or {}),
+            "memory": Memory(dict(memory) if memory else {}),
+            "flags": {"z": 0},
+            "results": {},
+            "cycles": 0,
+            "labels": labels,
+            "pc": 0,
+        }
+        executed = 0
+        lines = program.lines
+        while 0 <= state["pc"] < len(lines):
+            line = lines[state["pc"]]
+            state["pc"] += 1
+            if isinstance(line, Label):
+                continue
+            executed += 1
+            if executed > max_instructions:
+                raise SimulationError("instruction budget exceeded (runaway loop?)")
+            if line.mnemonic == "setres":
+                name, src = line.operands
+                state["results"][name.name] = self.read(src, state)
+                continue
+            self.execute(line, state)
+        return SimResult(
+            cycles=state["cycles"],
+            instructions_executed=executed,
+            registers=dict(state["regs"]),
+            memory=state["memory"],
+            results=dict(state["results"]),
+        )
+
+    def branch(self, target, state) -> None:
+        if not isinstance(target, LabelRef):
+            raise SimulationError(f"branch target must be a label: {target!r}")
+        try:
+            state["pc"] = state["labels"][target.name]
+        except KeyError:
+            raise SimulationError(f"undefined label {target.name!r}")
+
+    def execute(self, instr: Instr, state) -> None:
+        raise NotImplementedError

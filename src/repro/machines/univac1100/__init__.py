@@ -1,0 +1,1 @@
+"""Univac 1100: catalog entries only (Table 1 reports 21 instructions)."""

@@ -1,0 +1,6 @@
+"""VAX-11: character-string instruction descriptions and simulator."""
+
+from .descriptions import cmpc3, locc, movc3, movc5
+from .sim import Vax11Simulator
+
+__all__ = ["cmpc3", "locc", "movc3", "movc5", "Vax11Simulator"]

@@ -1,0 +1,219 @@
+"""ISDL descriptions of the VAX-11 character-string instructions.
+
+All four Table 2 instructions are modeled: ``movc3`` (block copy with
+overlap protection — the §4.3 failure case against Pascal ``sassign``),
+``movc5`` (move with fill, simplifiable to a block clear), ``locc``
+(locate character), and ``cmpc3`` (compare characters).
+
+Notes on fidelity:
+
+* length operands are 16-bit words, which is where the paper's
+  "string lengths are limited to 16 bits … a non-trivial constraint
+  since the word size is 32 bits" comes from;
+* the instructions leave their final state in the dedicated registers
+  R0/R1/R3 (the §6 register-allocation optimization exploits this);
+* ``movc3`` chooses its copy direction by comparing source and
+  destination addresses, guarding against overlap — the extra branch
+  that simple language operators cannot match without the no-overlap
+  constraint;
+* ``movc5``'s move phase is written without the overlap branch (the
+  block-clear analysis fixes the source length to zero, removing the
+  move phase entirely, so the omission is not exercised).
+"""
+
+from __future__ import annotations
+
+from functools import lru_cache
+
+from ...isdl import ast, parse_description
+
+MOVC3_TEXT = """
+movc3.instruction := begin
+    ** OPERANDS **
+        len<15:0>,                      ! byte count (word operand)
+        srcaddr<31:0>,                  ! source address
+        dstaddr<31:0>                   ! destination address
+    ** SOURCE.ACCESS **
+        r0<31:0>,                       ! working count, 0 at completion
+        r1<31:0>,                       ! source pointer
+        r3<31:0>,                       ! destination pointer
+        cnt<31:0>                       ! backward-copy index
+    ** STRING.PROCESS **
+        movc3.execute() := begin
+            input (len, srcaddr, dstaddr);
+            r0 <- len;
+            r1 <- srcaddr;
+            r3 <- dstaddr;
+            if (r1 < r3)
+            then                        ! destination above source: copy high-to-low to guard overlap
+                cnt <- r0;
+                repeat
+                    exit_when (cnt = 0);
+                    cnt <- cnt - 1;
+                    Mb[ r3 + cnt ] <- Mb[ r1 + cnt ];
+                end_repeat;
+                r1 <- r1 + r0;          ! canonical final register values
+                r3 <- r3 + r0;
+                r0 <- 0;
+            else                        ! copy low-to-high
+                repeat
+                    exit_when (r0 = 0);
+                    r0 <- r0 - 1;
+                    Mb[ r3 ] <- Mb[ r1 ];
+                    r1 <- r1 + 1;
+                    r3 <- r3 + 1;
+                end_repeat;
+            end_if;
+            output (r0, r1, r3);
+        end
+end
+"""
+
+MOVC5_TEXT = """
+movc5.instruction := begin
+    ** OPERANDS **
+        srclen<15:0>,                   ! source byte count
+        srcaddr<31:0>,                  ! source address
+        fill<7:0>,                      ! fill character
+        dstlen<15:0>,                   ! destination byte count
+        dstaddr<31:0>                   ! destination address
+    ** STRING.PROCESS **
+        movc5.execute() := begin
+            input (srclen, srcaddr, fill, dstlen, dstaddr);
+            repeat                      ! phase 1: move min(srclen, dstlen) bytes
+                exit_when (srclen = 0);
+                exit_when (dstlen = 0);
+                Mb[ dstaddr ] <- Mb[ srcaddr ];
+                srcaddr <- srcaddr + 1;
+                dstaddr <- dstaddr + 1;
+                srclen <- srclen - 1;
+                dstlen <- dstlen - 1;
+            end_repeat;
+            repeat                      ! phase 2: fill the remainder
+                exit_when (dstlen = 0);
+                Mb[ dstaddr ] <- fill;
+                dstaddr <- dstaddr + 1;
+                dstlen <- dstlen - 1;
+            end_repeat;
+            output (srclen, srcaddr, dstlen, dstaddr);
+        end
+end
+"""
+
+LOCC_TEXT = """
+locc.instruction := begin
+    ** OPERANDS **
+        char<7:0>,                      ! character sought
+        len<15:0>,                      ! byte count (word operand)
+        addr<31:0>                      ! string address
+    ** SOURCE.ACCESS **
+        r0<31:0>,                       ! bytes remaining; 0 if not found
+        r1<31:0>                        ! address of located byte
+    ** STATE **
+        found<>                         ! condition-code state (Z clear when found)
+    ** STRING.PROCESS **
+        locc.execute() := begin
+            input (char, len, addr);
+            r0 <- len;
+            r1 <- addr;
+            found <- 0;
+            repeat
+                exit_when (r0 = 0);
+                found <- ((char - Mb[ r1 ]) = 0);
+                exit_when (found);
+                r1 <- r1 + 1;
+                r0 <- r0 - 1;
+            end_repeat;
+            output (r0, r1);
+        end
+end
+"""
+
+CMPC3_TEXT = """
+cmpc3.instruction := begin
+    ** OPERANDS **
+        len<15:0>,                      ! byte count (word operand)
+        addr1<31:0>,                    ! first string address
+        addr2<31:0>                     ! second string address
+    ** SOURCE.ACCESS **
+        r0<31:0>,                       ! bytes remaining in first string
+        r1<31:0>,                       ! pointer into first string
+        r3<31:0>                        ! pointer into second string
+    ** STATE **
+        z<>                             ! Z condition code: strings equal
+    ** STRING.PROCESS **
+        cmpc3.execute() := begin
+            input (len, addr1, addr2);
+            r0 <- len;
+            r1 <- addr1;
+            r3 <- addr2;
+            z <- 1;
+            repeat
+                exit_when (r0 = 0);
+                z <- ((Mb[ r1 ] - Mb[ r3 ]) = 0);
+                exit_when (not z);
+                r1 <- r1 + 1;
+                r3 <- r3 + 1;
+                r0 <- r0 - 1;
+            end_repeat;
+            output (z, r0, r1, r3);
+        end
+end
+"""
+
+
+@lru_cache(maxsize=None)
+def movc3() -> ast.Description:
+    """movc3: 3-operand block copy with overlap protection."""
+    return parse_description(MOVC3_TEXT)
+
+
+@lru_cache(maxsize=None)
+def movc5() -> ast.Description:
+    """movc5: 5-operand move with fill."""
+    return parse_description(MOVC5_TEXT)
+
+
+@lru_cache(maxsize=None)
+def locc() -> ast.Description:
+    """locc: locate character in a string."""
+    return parse_description(LOCC_TEXT)
+
+
+@lru_cache(maxsize=None)
+def cmpc3() -> ast.Description:
+    """cmpc3: 3-operand character-string compare."""
+    return parse_description(CMPC3_TEXT)
+
+SKPC_TEXT = """
+skpc.instruction := begin
+    ! skip character: advance past leading occurrences of char; the
+    ! complement of locc (locc stops AT char, skpc stops past it)
+    ** OPERANDS **
+        char<7:0>,                      ! character to skip
+        len<15:0>,                      ! byte count (word operand)
+        addr<31:0>                      ! string address
+    ** SOURCE.ACCESS **
+        r0<31:0>,                       ! bytes remaining
+        r1<31:0>                        ! address of first unequal byte
+    ** STRING.PROCESS **
+        skpc.execute() := begin
+            input (char, len, addr);
+            r0 <- len;
+            r1 <- addr;
+            repeat
+                exit_when (r0 = 0);
+                exit_when (Mb[ r1 ] <> char);
+                r1 <- r1 + 1;
+                r0 <- r0 - 1;
+            end_repeat;
+            output (r0, r1);
+        end
+end
+"""
+
+
+@lru_cache(maxsize=None)
+def skpc() -> ast.Description:
+    """skpc: skip character (span of a repeated character)."""
+    return parse_description(SKPC_TEXT)

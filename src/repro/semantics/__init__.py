@@ -1,0 +1,61 @@
+"""Executable semantics for ISDL descriptions.
+
+Exotic instructions cannot be symbolically executed (they loop — paper
+§2), but they can be run concretely.  This package provides the value
+model, machine state, a big-step interpreter, and randomized scenario
+generation used by the differential-testing verifier in
+:mod:`repro.analysis.verify`.
+"""
+
+from .interpreter import (
+    AssertionFailed,
+    ExecutionResult,
+    Interpreter,
+    StepLimitExceeded,
+    run_description,
+)
+from .randomgen import (
+    OperandSpec,
+    Scenario,
+    ScenarioSpec,
+    generate_scenario,
+    generate_scenarios,
+)
+from .state import Memory, RegisterFile
+from .values import (
+    BOOLEAN_OPS,
+    BYTE_BITS,
+    BYTE_MASK,
+    apply_binop,
+    apply_unop,
+    as_flag,
+    fits,
+    truncate,
+    truth,
+    width_bits,
+)
+
+__all__ = [
+    "AssertionFailed",
+    "ExecutionResult",
+    "Interpreter",
+    "StepLimitExceeded",
+    "run_description",
+    "OperandSpec",
+    "Scenario",
+    "ScenarioSpec",
+    "generate_scenario",
+    "generate_scenarios",
+    "Memory",
+    "RegisterFile",
+    "BOOLEAN_OPS",
+    "BYTE_BITS",
+    "BYTE_MASK",
+    "apply_binop",
+    "apply_unop",
+    "as_flag",
+    "fits",
+    "truncate",
+    "truth",
+    "width_bits",
+]

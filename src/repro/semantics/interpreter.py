@@ -1,0 +1,227 @@
+"""Big-step interpreter for ISDL descriptions.
+
+Exotic instructions loop, so they cannot be symbolically executed (the
+paper's critique of Oakley's method); they can, however, be *concretely*
+executed.  This interpreter gives every description an executable
+semantics, which the analysis layer uses for differential testing: after
+a sequence of transformations claims two descriptions equivalent, both
+are run on randomized states and must produce identical outputs and
+identical final memories.
+
+Execution model
+---------------
+
+* The entry routine (the one containing ``input``) runs with operand
+  values supplied by the caller; ``output`` appends results in order.
+* Routines share the description's global registers; parameters are
+  call-by-value locals, and a routine returns a value by assigning to its
+  own name (``fetch <- Mb[di]``).
+* ``exit_when`` leaves the innermost ``repeat`` when its condition is
+  true.  A configurable step budget guards against non-termination.
+* ``assert`` statements introduced by analysis are checked at runtime.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Mapping, Optional, Tuple
+
+from ..isdl import ast
+from ..isdl.errors import SemanticError
+from .state import Memory, RegisterFile
+from .values import apply_binop, apply_unop, truncate, truth
+
+
+class StepLimitExceeded(SemanticError):
+    """The description executed more statements than the budget allows."""
+
+
+class AssertionFailed(SemanticError):
+    """An ``assert`` statement evaluated to false during execution."""
+
+
+class _LoopExit(Exception):
+    """Internal control-flow signal raised by a true ``exit_when``."""
+
+
+@dataclass(frozen=True)
+class ExecutionResult:
+    """Everything observable about one run of a description."""
+
+    outputs: Tuple[int, ...]
+    memory: Dict[int, int]  # nonzero final cells
+    registers: Dict[str, int]
+    steps: int
+
+
+@dataclass
+class _Frame:
+    """A routine activation: call-by-value params plus the return slot."""
+
+    routine: ast.RoutineDecl
+    locals: Dict[str, int] = field(default_factory=dict)
+    return_value: int = 0
+
+
+class Interpreter:
+    """Executes one ISDL description."""
+
+    def __init__(self, description: ast.Description, max_steps: int = 200_000):
+        self._description = description
+        self._max_steps = max_steps
+        self._routines: Dict[str, ast.RoutineDecl] = {}
+        for routine in description.routines():
+            if routine.name in self._routines:
+                raise SemanticError(f"duplicate routine {routine.name!r}")
+            self._routines[routine.name] = routine
+        self._entry = description.entry_routine()
+
+    @property
+    def description(self) -> ast.Description:
+        return self._description
+
+    def run(
+        self,
+        inputs: Mapping[str, int],
+        memory: Optional[Mapping[int, int]] = None,
+    ) -> ExecutionResult:
+        """Execute the entry routine.
+
+        ``inputs`` supplies a value for every name listed in the entry
+        routine's ``input`` statement (missing names default to 0, matching
+        an uninitialized register); ``memory`` pre-loads ``Mb``.
+        """
+        self._registers = RegisterFile(self._description.registers())
+        self._memory = Memory(dict(memory) if memory else {})
+        self._inputs = dict(inputs)
+        self._outputs: List[int] = []
+        self._steps = 0
+        self._call_stack: List[_Frame] = []
+        self._exec_routine(self._entry, ())
+        return ExecutionResult(
+            outputs=tuple(self._outputs),
+            memory=self._memory.snapshot(),
+            registers=dict(self._registers.items()),
+            steps=self._steps,
+        )
+
+    # ------------------------------------------------------------------
+    # statements
+
+    def _tick(self) -> None:
+        self._steps += 1
+        if self._steps > self._max_steps:
+            raise StepLimitExceeded(
+                f"{self._description.name}: exceeded {self._max_steps} steps"
+            )
+
+    def _exec_routine(self, routine: ast.RoutineDecl, args: Tuple[int, ...]) -> int:
+        if len(args) != len(routine.params):
+            raise SemanticError(
+                f"routine {routine.name!r} expects {len(routine.params)} "
+                f"arguments, got {len(args)}"
+            )
+        frame = _Frame(routine=routine, locals=dict(zip(routine.params, args)))
+        self._call_stack.append(frame)
+        try:
+            self._exec_block(routine.body)
+        finally:
+            self._call_stack.pop()
+        return truncate(frame.return_value, routine.width)
+
+    def _exec_block(self, stmts: Tuple[ast.Stmt, ...]) -> None:
+        for stmt in stmts:
+            self._exec_stmt(stmt)
+
+    def _exec_stmt(self, stmt: ast.Stmt) -> None:
+        self._tick()
+        if isinstance(stmt, ast.Assign):
+            value = self._eval(stmt.expr)
+            self._store(stmt.target, value)
+        elif isinstance(stmt, ast.If):
+            if truth(self._eval(stmt.cond)):
+                self._exec_block(stmt.then)
+            else:
+                self._exec_block(stmt.els)
+        elif isinstance(stmt, ast.Repeat):
+            try:
+                while True:
+                    self._tick()
+                    self._exec_block(stmt.body)
+            except _LoopExit:
+                pass
+        elif isinstance(stmt, ast.ExitWhen):
+            if truth(self._eval(stmt.cond)):
+                raise _LoopExit()
+        elif isinstance(stmt, ast.Input):
+            for name in stmt.names:
+                self._store(ast.Var(name), self._inputs.get(name, 0))
+        elif isinstance(stmt, ast.Output):
+            for expr in stmt.exprs:
+                self._outputs.append(self._eval(expr))
+        elif isinstance(stmt, ast.Assert):
+            if not truth(self._eval(stmt.cond)):
+                raise AssertionFailed(
+                    f"{self._description.name}: assertion failed"
+                )
+        else:
+            raise SemanticError(f"cannot execute {type(stmt).__name__}")
+
+    def _store(self, target, value: int) -> None:
+        if isinstance(target, ast.MemRead):
+            self._memory.write(self._eval(target.addr), value)
+            return
+        name = target.name
+        frame = self._call_stack[-1] if self._call_stack else None
+        if frame is not None:
+            if name == frame.routine.name:
+                frame.return_value = value
+                return
+            if name in frame.locals:
+                frame.locals[name] = value
+                return
+        if self._registers.has(name):
+            self._registers.write(name, value)
+            return
+        raise SemanticError(f"assignment to undeclared name {name!r}")
+
+    # ------------------------------------------------------------------
+    # expressions
+
+    def _eval(self, expr: ast.Expr) -> int:
+        if isinstance(expr, ast.Const):
+            return expr.value
+        if isinstance(expr, ast.Var):
+            return self._load(expr.name)
+        if isinstance(expr, ast.MemRead):
+            return self._memory.read(self._eval(expr.addr))
+        if isinstance(expr, ast.Call):
+            routine = self._routines.get(expr.name)
+            if routine is None:
+                raise SemanticError(f"call to undeclared routine {expr.name!r}")
+            args = tuple(self._eval(arg) for arg in expr.args)
+            return self._exec_routine(routine, args)
+        if isinstance(expr, ast.BinOp):
+            return apply_binop(expr.op, self._eval(expr.left), self._eval(expr.right))
+        if isinstance(expr, ast.UnOp):
+            return apply_unop(expr.op, self._eval(expr.operand))
+        raise SemanticError(f"cannot evaluate {type(expr).__name__}")
+
+    def _load(self, name: str) -> int:
+        frame = self._call_stack[-1] if self._call_stack else None
+        if frame is not None:
+            if name in frame.locals:
+                return frame.locals[name]
+            if name == frame.routine.name:
+                return frame.return_value
+        return self._registers.read(name)
+
+
+def run_description(
+    description: ast.Description,
+    inputs: Mapping[str, int],
+    memory: Optional[Mapping[int, int]] = None,
+    max_steps: int = 200_000,
+) -> ExecutionResult:
+    """One-shot convenience wrapper around :class:`Interpreter`."""
+    return Interpreter(description, max_steps=max_steps).run(inputs, memory)

@@ -1,0 +1,145 @@
+"""Randomized scenario generation for differential testing.
+
+An analysis claims an operator description and a (simplified, augmented)
+instruction description equivalent under constraints.  To check the claim
+we run both on many randomized machine states.  A :class:`ScenarioSpec`
+says how to draw those states: which operands are string base addresses,
+which are lengths, which are characters, and how big the memory region
+under test is.
+
+The generator deliberately produces adversarial cases alongside typical
+ones: zero lengths (the paper's ``zf`` initialization bug surfaces only
+there), characters that do or do not occur in the string, and equal
+strings for the compare instructions.
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass, field
+from typing import Dict, Mapping, Optional, Tuple
+
+
+@dataclass(frozen=True)
+class OperandSpec:
+    """How to draw one operand value.
+
+    ``role`` is one of:
+
+    * ``"address"`` — a base address inside the scenario's memory arena,
+    * ``"length"``  — a string length in ``[0, max_length]``,
+    * ``"char"``    — a byte, biased to sometimes occur in the string,
+    * ``"range"``   — uniform in ``[lo, hi]``,
+    * ``"fixed"``   — always ``lo``.
+    """
+
+    role: str
+    lo: int = 0
+    hi: int = 0
+
+
+@dataclass(frozen=True)
+class ScenarioSpec:
+    """Random-state recipe for one analysis's differential test."""
+
+    operands: Mapping[str, OperandSpec]
+    max_length: int = 12
+    #: distance kept between generated strings so they never overlap
+    #: (Pascal strings cannot overlap — paper §4.3).
+    arena_stride: int = 64
+    #: when true, two address operands may be made to overlap (used to
+    #: demonstrate the movc3/sassign failure).
+    allow_overlap: bool = False
+
+
+@dataclass(frozen=True)
+class Scenario:
+    """One concrete randomized machine state."""
+
+    inputs: Dict[str, int]
+    memory: Dict[int, int]
+
+
+def _draw_char(rng: random.Random, string_bytes: Tuple[int, ...]) -> int:
+    """A byte that occurs in the string about half of the time."""
+    if string_bytes and rng.random() < 0.5:
+        return rng.choice(string_bytes)
+    return rng.randrange(256)
+
+
+def generate_scenario(spec: ScenarioSpec, rng: random.Random) -> Scenario:
+    """Draw one scenario according to ``spec``.
+
+    Address operands are laid out left to right in an arena with
+    ``arena_stride`` spacing so strings never overlap unless the spec
+    explicitly allows it.  Each address gets ``max_length`` random bytes.
+    """
+    inputs: Dict[str, int] = {}
+    memory: Dict[int, int] = {}
+    length = rng.randint(0, spec.max_length)
+    next_base = 16
+    first_base: Optional[int] = None
+    string_bytes: Tuple[int, ...] = ()
+
+    # Addresses and the backing strings first, so "char" operands can be
+    # biased toward bytes that actually occur.
+    for name, operand in spec.operands.items():
+        if operand.role != "address":
+            continue
+        if spec.allow_overlap and first_base is not None and rng.random() < 0.7:
+            base = first_base + rng.randint(-2, 2)
+            base = max(1, base)
+        else:
+            base = next_base
+            next_base += spec.arena_stride
+        if first_base is None:
+            first_base = base
+        data = tuple(rng.randrange(256) for _ in range(spec.max_length + 4))
+        for offset, value in enumerate(data):
+            memory[base + offset] = value
+        if not string_bytes:
+            string_bytes = data[:length]
+        inputs[name] = base
+
+    for name, operand in spec.operands.items():
+        if operand.role == "address":
+            continue
+        if operand.role == "length":
+            inputs[name] = length
+        elif operand.role == "char":
+            inputs[name] = _draw_char(rng, string_bytes)
+        elif operand.role == "range":
+            inputs[name] = rng.randint(operand.lo, operand.hi)
+        elif operand.role == "fixed":
+            inputs[name] = operand.lo
+        else:
+            raise ValueError(f"unknown operand role {operand.role!r}")
+    return Scenario(inputs=inputs, memory=memory)
+
+
+def generate_scenarios(
+    spec: ScenarioSpec, trials: int, seed: int = 0
+) -> Tuple[Scenario, ...]:
+    """Draw ``trials`` scenarios deterministically from ``seed``.
+
+    The first scenarios pin the corner cases every string instruction
+    must survive: length zero and length one.
+    """
+    rng = random.Random(seed)
+    scenarios = []
+    for index in range(trials):
+        scenario = generate_scenario(spec, rng)
+        if index == 0:
+            scenario = _with_length(spec, scenario, 0)
+        elif index == 1:
+            scenario = _with_length(spec, scenario, 1)
+        scenarios.append(scenario)
+    return tuple(scenarios)
+
+
+def _with_length(spec: ScenarioSpec, scenario: Scenario, length: int) -> Scenario:
+    inputs = dict(scenario.inputs)
+    for name, operand in spec.operands.items():
+        if operand.role == "length":
+            inputs[name] = length
+    return Scenario(inputs=inputs, memory=scenario.memory)

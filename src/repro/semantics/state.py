@@ -1,0 +1,98 @@
+"""Machine state for ISDL execution: registers plus byte memory ``Mb``.
+
+Memory is a sparse mapping from address to byte; unwritten cells read as
+zero.  Addresses are exact integers — the descriptions themselves decide
+how wide their address registers are, and wrapping happens when a value
+is stored back into such a register, not when memory is indexed.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, Iterable, Mapping, Optional, Tuple
+
+from ..isdl import ast
+from ..isdl.errors import SemanticError
+from .values import BYTE_MASK, truncate
+
+
+@dataclass
+class Memory:
+    """Sparse byte-addressed memory."""
+
+    cells: Dict[int, int] = field(default_factory=dict)
+
+    def read(self, addr: int) -> int:
+        if addr < 0:
+            raise SemanticError(f"memory read at negative address {addr}")
+        return self.cells.get(addr, 0)
+
+    def write(self, addr: int, value: int) -> None:
+        if addr < 0:
+            raise SemanticError(f"memory write at negative address {addr}")
+        self.cells[addr] = value & BYTE_MASK
+
+    def load_bytes(self, addr: int, data: Iterable[int]) -> None:
+        """Bulk-initialize memory starting at ``addr``."""
+        for offset, value in enumerate(data):
+            self.write(addr + offset, value)
+
+    def read_bytes(self, addr: int, count: int) -> Tuple[int, ...]:
+        return tuple(self.read(addr + offset) for offset in range(count))
+
+    def snapshot(self) -> Dict[int, int]:
+        """Copy of all nonzero cells (zero cells are indistinguishable)."""
+        return {addr: value for addr, value in self.cells.items() if value != 0}
+
+    def copy(self) -> "Memory":
+        return Memory(dict(self.cells))
+
+
+class RegisterFile:
+    """Named registers with their declared widths.
+
+    Every assignment truncates to the register's declared width, which is
+    how fixed-width wrap-around semantics (and the paper's size
+    constraints) become observable during differential testing.
+    """
+
+    def __init__(self, decls: Iterable[ast.RegDecl]):
+        self._widths: Dict[str, Optional[ast.Width]] = {}
+        self._values: Dict[str, int] = {}
+        for decl in decls:
+            if decl.name in self._widths:
+                raise SemanticError(f"duplicate register declaration {decl.name!r}")
+            self._widths[decl.name] = decl.width
+            self._values[decl.name] = 0
+
+    def declare(self, name: str, width: Optional[ast.Width]) -> None:
+        if name in self._widths:
+            raise SemanticError(f"duplicate register declaration {name!r}")
+        self._widths[name] = width
+        self._values[name] = 0
+
+    def has(self, name: str) -> bool:
+        return name in self._widths
+
+    def width(self, name: str) -> Optional[ast.Width]:
+        try:
+            return self._widths[name]
+        except KeyError:
+            raise SemanticError(f"reference to undeclared register {name!r}")
+
+    def read(self, name: str) -> int:
+        try:
+            return self._values[name]
+        except KeyError:
+            raise SemanticError(f"reference to undeclared register {name!r}")
+
+    def write(self, name: str, value: int) -> None:
+        if name not in self._widths:
+            raise SemanticError(f"assignment to undeclared register {name!r}")
+        self._values[name] = truncate(value, self._widths[name])
+
+    def snapshot(self) -> Dict[int, int]:
+        return dict(self._values)
+
+    def items(self) -> Mapping[str, int]:
+        return dict(self._values)

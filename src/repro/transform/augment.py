@@ -1,0 +1,254 @@
+"""Augment-producing transformations.
+
+Augments "produce prologue and epilogue augments to the descriptions"
+(paper §5): they do **not** preserve the semantics of the original
+instruction — that is their purpose — but they must respect its
+interface, so the guards only admit code that touches temporaries and
+operands, never the instruction's internal computation.  Results are
+flagged ``is_augment``; the analysis session records that the final
+binding targets an *augmented instruction* (a variant whose extra code
+the code generator must emit around the real opcode).
+"""
+
+from __future__ import annotations
+
+import dataclasses
+from typing import Tuple
+
+from ..isdl import ast
+from ..isdl.visitor import Path, insert_at, node_at, replace_at
+from .base import Context, Transformation, TransformError, TransformResult
+from .loops import declare_register
+from .registry import register
+
+
+def _check_augment_stmts(stmts: Tuple[ast.Stmt, ...], what: str) -> None:
+    from .motion import has_escaping_exit
+
+    for stmt in stmts:
+        if isinstance(stmt, ast.Input):
+            raise TransformError(f"{what} code may not contain input")
+        if has_escaping_exit(stmt):
+            raise TransformError(f"{what} code may not contain a loop exit")
+
+
+@register
+class AllocateTemp(Transformation):
+    """Declare a fresh temporary register for augment code.
+
+    Parameters: ``temp`` (name) and either ``bits`` (concrete width) or
+    nothing (an abstract integer).  §4.1: "a temporary must be allocated
+    and code must be added to store the initial pointer value."
+    """
+
+    name = "allocate_temp"
+    category = "augment"
+
+    def apply(self, ctx: Context, path: Path, **params) -> TransformResult:
+        temp = params.get("temp")
+        self._require(bool(temp), "allocate_temp needs temp=...")
+        self._require(
+            not ctx.description.has_register(temp)
+            and all(r.name != temp for r in ctx.description.routines()),
+            f"{temp!r} is not a fresh name",
+        )
+        bits = params.get("bits")
+        width = (
+            ast.BitWidth(bits - 1, 0) if bits else ast.TypeWidth("integer")
+        )
+        description = declare_register(
+            ctx.description,
+            ast.RegDecl(name=temp, width=width, comment="new temporary"),
+        )
+        return TransformResult(
+            description=description,
+            note=f"allocated temporary {temp}",
+            is_augment=True,
+        )
+
+
+@register
+class AddPrologue(Transformation):
+    """Insert augment statements directly after the entry ``input``.
+
+    ``stmts`` is a tuple of statements (usually parsed with
+    :func:`repro.isdl.parse_stmts`).  Each statement may only assign to
+    declared registers; it may not contain ``input`` or a loop exit.
+    Successive calls stack: each new prologue statement lands after the
+    previously added ones (pass ``position=`` to control placement
+    relative to the input statement).
+    """
+
+    name = "add_prologue"
+    category = "augment"
+
+    def apply(self, ctx: Context, path: Path, **params) -> TransformResult:
+        stmts = tuple(params.get("stmts") or ())
+        self._require(bool(stmts), "add_prologue needs stmts=...")
+        _check_augment_stmts(stmts, "prologue")
+        entry = ctx.description.entry_routine()
+        entry_path = ctx.routine_path(entry.name)
+        input_index = None
+        for index, stmt in enumerate(entry.body):
+            if isinstance(stmt, ast.Input):
+                input_index = index
+                break
+        self._require(input_index is not None, "entry routine has no input")
+        offset = params.get("position")
+        if offset is None:
+            # Default: after the input and any statements already there
+            # that were inserted as prologue (marked by their comments) —
+            # callers who care pass position explicitly; default lands
+            # directly after the input statement.
+            offset = 1
+        description = ctx.description
+        insert_index = input_index + offset
+        for stmt in reversed(stmts):
+            marked = (
+                dataclasses.replace(stmt, comment=stmt.comment or "augmented code")
+                if not isinstance(stmt, ast.Repeat)
+                else stmt
+            )
+            description = insert_at(
+                description,
+                entry_path + (("body", insert_index),),
+                marked,
+            )
+        return TransformResult(
+            description=description,
+            note=f"added {len(stmts)} prologue statement(s)",
+            is_augment=True,
+        )
+
+
+@register
+class DropInputOperand(Transformation):
+    """Remove an operand from ``input`` once a prologue assignment covers it.
+
+    Valid when some top-level assignment in the entry routine writes the
+    operand before anything reads it (so the incoming value is
+    irrelevant).  Used with ``add_prologue``: adding ``zf <- 0`` and
+    dropping ``zf`` from the inputs turns scasb's flag operand into an
+    internal register (§4.1).
+    """
+
+    name = "drop_input_operand"
+    category = "augment"
+
+    def apply(self, ctx: Context, path: Path, **params) -> TransformResult:
+        operand = params.get("operand")
+        self._require(bool(operand), "drop_input_operand needs operand=...")
+        entry = ctx.description.entry_routine()
+        entry_path = ctx.routine_path(entry.name)
+        input_index = None
+        input_stmt = None
+        for index, stmt in enumerate(entry.body):
+            if isinstance(stmt, ast.Input):
+                input_index, input_stmt = index, stmt
+                break
+        self._require(input_stmt is not None, "entry routine has no input")
+        self._require(
+            operand in input_stmt.names, f"{operand!r} is not an input operand"
+        )
+        # Scan forward from the input: the operand must be assigned (at
+        # the top level) before any statement that could read it.
+        covered = False
+        for stmt in entry.body[input_index + 1:]:
+            if (
+                isinstance(stmt, ast.Assign)
+                and stmt.target == ast.Var(operand)
+                and operand
+                not in ctx.effects.expr_effects(stmt.expr).reads
+            ):
+                covered = True
+                break
+            effects = ctx.effects.stmt_effects(stmt)
+            if operand in effects.reads or operand in effects.writes:
+                break
+        self._require(
+            covered,
+            f"{operand!r} is not assigned before use; cannot drop it",
+        )
+        new_input = dataclasses.replace(
+            input_stmt,
+            names=tuple(name for name in input_stmt.names if name != operand),
+        )
+        description = replace_at(
+            ctx.description, entry_path + (("body", input_index),), new_input
+        )
+        return TransformResult(
+            description=description,
+            note=f"dropped input operand {operand}",
+            is_augment=True,
+        )
+
+
+@register
+class ReplaceEpilogue(Transformation):
+    """Replace the entry routine's trailing output with augment code.
+
+    The entry body must end with an ``output`` statement (or with an
+    ``if`` whose branches both end in outputs); everything from the
+    first trailing output-bearing statement onward is replaced by
+    ``stmts``.  §4.1: "Code can now be added to the epilogue of scasb
+    that checks the condition that caused the loop to exit…".
+    """
+
+    name = "replace_epilogue"
+    category = "augment"
+
+    def apply(self, ctx: Context, path: Path, **params) -> TransformResult:
+        stmts = tuple(params.get("stmts") or ())
+        _check_augment_stmts(stmts, "epilogue")
+        entry = ctx.description.entry_routine()
+        entry_path = ctx.routine_path(entry.name)
+        self._require(bool(entry.body), "entry routine is empty")
+
+        def bears_output(stmt: ast.Stmt) -> bool:
+            if isinstance(stmt, ast.Output):
+                return True
+            if isinstance(stmt, ast.If):
+                return any(bears_output(s) for s in stmt.then + stmt.els)
+            return False
+
+        # Find the suffix of output-bearing statements.
+        cut = len(entry.body)
+        while cut > 0 and bears_output(entry.body[cut - 1]):
+            cut -= 1
+        self._require(
+            cut < len(entry.body),
+            "entry routine has no trailing output to replace",
+        )
+        new_body = entry.body[:cut] + stmts
+        new_entry = dataclasses.replace(entry, body=new_body)
+        return TransformResult(
+            description=replace_at(ctx.description, entry_path, new_entry),
+            note=f"replaced epilogue with {len(stmts)} statement(s)",
+            is_augment=True,
+        )
+
+
+@register
+class AddEpilogue(Transformation):
+    """Append augment statements at the end of the entry routine.
+
+    Unlike :class:`ReplaceEpilogue` the original outputs are kept; used
+    when the instruction's results merely need post-processing appended
+    (e.g. computing an index from an address, keeping the address too).
+    """
+
+    name = "add_epilogue"
+    category = "augment"
+
+    def apply(self, ctx: Context, path: Path, **params) -> TransformResult:
+        stmts = tuple(params.get("stmts") or ())
+        self._require(bool(stmts), "add_epilogue needs stmts=...")
+        _check_augment_stmts(stmts, "epilogue")
+        entry = ctx.description.entry_routine()
+        entry_path = ctx.routine_path(entry.name)
+        new_entry = dataclasses.replace(entry, body=entry.body + stmts)
+        return TransformResult(
+            description=replace_at(ctx.description, entry_path, new_entry),
+            note=f"appended {len(stmts)} epilogue statement(s)",
+            is_augment=True,
+        )

@@ -1,0 +1,306 @@
+"""Constraint and assertion transformations.
+
+These "allow constraints and auxiliary assertions to be created and
+manipulated by transformations like any other part of the description
+text" (paper §5):
+
+* ``fix_operand`` — the *simplification* mechanism: fixing a flag
+  operand's value yields a simpler instruction with one less operand
+  (8086 ``df``/``rf``/``rfz``, §4.1),
+* ``introduce_coding_constraint`` — the IBM 370 ``mvc`` mechanism: the
+  compiler is directed to offset an operand, and the compensating
+  arithmetic becomes part of the instruction description (§4.2),
+* ``assert_operand_range`` — record a range constraint and plant the
+  matching ``assert`` so later loop transformations can rely on it,
+* ``derive_assertion`` / ``remove_assertion`` — logical bookkeeping,
+* ``require_no_overlap`` — the complex multi-operand constraint EXTRA
+  cannot represent: raises unless the session declared the matching
+  language fact (the §7 future-work extension).
+"""
+
+from __future__ import annotations
+
+import dataclasses
+from typing import Optional, Tuple
+
+from ..constraints import (
+    ComplexConstraint,
+    LanguageFact,
+    OffsetConstraint,
+    RangeConstraint,
+    UnsupportedConstraintError,
+    ValueConstraint,
+)
+from ..isdl import ast
+from ..isdl.visitor import Path, insert_at, node_at, remove_at, replace_at
+from .base import Context, Transformation, TransformError, TransformResult
+from .registry import register
+
+
+def _entry_input(ctx: Context) -> Tuple[ast.RoutineDecl, Path, int, ast.Input]:
+    """The entry routine, its path, and the index of its input statement."""
+    entry = ctx.description.entry_routine()
+    entry_path = ctx.routine_path(entry.name)
+    for index, stmt in enumerate(entry.body):
+        if isinstance(stmt, ast.Input):
+            return entry, entry_path, index, stmt
+    raise TransformError("entry routine has no input statement")
+
+
+@register
+class FixOperand(Transformation):
+    """Fix an input operand to a constant (*simplification*).
+
+    The operand is removed from ``input`` and an assignment of the fixed
+    value is inserted directly after it; the resulting description is a
+    simpler instruction with one less operand.  Emits a
+    :class:`ValueConstraint` telling the code generator how to set the
+    operand when emitting the instruction.
+    """
+
+    name = "fix_operand"
+    category = "constraint-assertion"
+
+    def apply(self, ctx: Context, path: Path, **params) -> TransformResult:
+        operand = params.get("operand")
+        value = params.get("value")
+        self._require(
+            operand is not None and value is not None,
+            "fix_operand needs operand=..., value=...",
+        )
+        entry, entry_path, input_index, input_stmt = _entry_input(ctx)
+        self._require(
+            operand in input_stmt.names, f"{operand!r} is not an input operand"
+        )
+        new_input = dataclasses.replace(
+            input_stmt,
+            names=tuple(name for name in input_stmt.names if name != operand),
+        )
+        input_path = entry_path + (("body", input_index),)
+        description = replace_at(ctx.description, input_path, new_input)
+        fixed = ast.Assign(
+            target=ast.Var(operand),
+            expr=ast.Const(value),
+            comment=f"operand fixed by simplification",
+        )
+        description = insert_at(
+            description, entry_path + (("body", input_index + 1),), fixed
+        )
+        return TransformResult(
+            description=description,
+            constraints=(ValueConstraint(operand=operand, value=value),),
+            note=f"fixed operand {operand} = {value}",
+        )
+
+
+@register
+class IntroduceCodingConstraint(Transformation):
+    """Direct the compiler to offset an operand before loading it.
+
+    The operator-level value will be offset by ``offset`` at code
+    generation time; to keep the description's semantics phrased in
+    operator-level terms, the compensating arithmetic
+    ``operand <- operand + offset`` becomes part of the description
+    (inserted directly after ``input``), exactly as the decrement
+    "becomes part of the description of mvc" in §4.2.
+    """
+
+    name = "introduce_coding_constraint"
+    category = "constraint-assertion"
+
+    def apply(self, ctx: Context, path: Path, **params) -> TransformResult:
+        operand = params.get("operand")
+        offset = params.get("offset")
+        self._require(
+            operand is not None and offset is not None,
+            "introduce_coding_constraint needs operand=..., offset=...",
+        )
+        entry, entry_path, input_index, input_stmt = _entry_input(ctx)
+        self._require(
+            operand in input_stmt.names, f"{operand!r} is not an input operand"
+        )
+        if offset >= 0:
+            adjust_expr: ast.Expr = ast.BinOp(
+                "+", ast.Var(operand), ast.Const(offset)
+            )
+        else:
+            adjust_expr = ast.BinOp("-", ast.Var(operand), ast.Const(-offset))
+        adjust = ast.Assign(
+            target=ast.Var(operand),
+            expr=adjust_expr,
+            comment="coding constraint adjustment",
+        )
+        description = insert_at(
+            ctx.description, entry_path + (("body", input_index + 1),), adjust
+        )
+        return TransformResult(
+            description=description,
+            constraints=(
+                OffsetConstraint(
+                    operand=operand,
+                    offset=offset,
+                    note="compiler must offset the operand before loading",
+                ),
+            ),
+            note=f"coding constraint: {operand} offset by {offset}",
+        )
+
+
+@register
+class AssertOperandRange(Transformation):
+    """Constrain an input operand to ``[lo, hi]`` and assert the bound.
+
+    Emits a :class:`RangeConstraint` and inserts ``assert (operand >=
+    lo)`` directly after ``input`` so loop transformations (e.g.
+    pre-test/post-test rotation) can rely on the lower bound.
+    """
+
+    name = "assert_operand_range"
+    category = "constraint-assertion"
+
+    def apply(self, ctx: Context, path: Path, **params) -> TransformResult:
+        operand = params.get("operand")
+        lo = params.get("lo")
+        hi = params.get("hi")
+        self._require(
+            operand is not None and lo is not None and hi is not None,
+            "assert_operand_range needs operand=..., lo=..., hi=...",
+        )
+        entry, entry_path, input_index, input_stmt = _entry_input(ctx)
+        self._require(
+            operand in input_stmt.names, f"{operand!r} is not an input operand"
+        )
+        guard = ast.Assert(
+            cond=ast.BinOp(">=", ast.Var(operand), ast.Const(lo)),
+            comment="from range constraint",
+        )
+        description = insert_at(
+            ctx.description, entry_path + (("body", input_index + 1),), guard
+        )
+        return TransformResult(
+            description=description,
+            constraints=(
+                RangeConstraint(operand=operand, lo=lo, hi=hi),
+            ),
+            note=f"range constraint: {lo} <= {operand} <= {hi}",
+        )
+
+
+@register
+class DeriveAssertion(Transformation):
+    """Insert an assertion implied by an existing adjacent assertion.
+
+    Supported implications (``kind=`` parameter):
+
+    * ``ge_to_not_eq``: from ``assert (x >= k)`` with ``k > c`` derive
+      ``assert (not (x = c))``; the derived assertion is inserted
+      directly after its premise.  ``c`` defaults to 0.
+    """
+
+    name = "derive_assertion"
+    category = "constraint-assertion"
+
+    def apply(self, ctx: Context, path: Path, **params) -> TransformResult:
+        kind = params.get("kind", "ge_to_not_eq")
+        self._require(kind == "ge_to_not_eq", f"unknown derivation {kind!r}")
+        value = params.get("value", 0)
+        node = ctx.node(path)
+        self._require(isinstance(node, ast.Assert), "needs an assert statement")
+        cond = node.cond
+        self._require(
+            isinstance(cond, ast.BinOp)
+            and cond.op == ">="
+            and isinstance(cond.right, ast.Const),
+            "premise must be 'assert (x >= k)'",
+        )
+        self._require(
+            cond.right.value > value,
+            f"premise bound {cond.right.value} does not exclude {value}",
+        )
+        derived = ast.Assert(
+            cond=ast.UnOp("not", ast.BinOp("=", cond.left, ast.Const(value))),
+            comment="derived",
+        )
+        parent_path, field, index = ctx.stmt_position(path)
+        description = insert_at(
+            ctx.description, parent_path + ((field, index + 1),), derived
+        )
+        return TransformResult(
+            description=description,
+            note=f"derived assertion: operand is never {value}",
+        )
+
+
+@register
+class RemoveAssertion(Transformation):
+    """Delete an ``assert`` statement.
+
+    Assertions carry facts, not semantics (the constraints they came
+    from remain recorded in the session), so removal is always valid.
+    """
+
+    name = "remove_assertion"
+    category = "constraint-assertion"
+
+    def apply(self, ctx: Context, path: Path, **params) -> TransformResult:
+        node = ctx.node(path)
+        self._require(isinstance(node, ast.Assert), "needs an assert statement")
+        return TransformResult(
+            description=remove_at(ctx.description, path),
+            note="removed assertion",
+        )
+
+
+@register
+class RequireNoOverlap(Transformation):
+    """Demand that two address operands' regions never overlap.
+
+    This is the §4.3 movc3/sassign condition::
+
+        (Src.Base + Src.Length <= Dst.Base) or
+        (Dst.Base + Dst.Length <= Src.Base)
+
+    It involves more than one operand, so stock EXTRA *cannot represent
+    it*: applying this transformation raises
+    :class:`UnsupportedConstraintError` and the analysis fails.
+
+    The §7 future-work extension: when the session supplies a
+    :class:`LanguageFact` named ``no-overlap`` (a property of the source
+    language — Pascal strings can never overlap), the fact discharges
+    the constraint and the analysis may proceed.  Pass the session's
+    language facts via ``language_facts=``.
+    """
+
+    name = "require_no_overlap"
+    category = "constraint-assertion"
+
+    def apply(self, ctx: Context, path: Path, **params) -> TransformResult:
+        source = params.get("src")
+        destination = params.get("dst")
+        self._require(
+            bool(source) and bool(destination),
+            "require_no_overlap needs src=..., dst=...",
+        )
+        constraint = ComplexConstraint(
+            operands=(source, destination),
+            condition=(
+                f"({source}.base + {source}.length <= {destination}.base) or "
+                f"({destination}.base + {destination}.length <= {source}.base)"
+            ),
+            note="no-overlap",
+        )
+        facts = params.get("language_facts") or ()
+        for fact in facts:
+            if isinstance(fact, LanguageFact) and fact.discharges(constraint):
+                return TransformResult(
+                    description=ctx.description,
+                    note=(
+                        f"no-overlap constraint discharged by language fact "
+                        f"{fact.name!r}"
+                    ),
+                )
+        raise UnsupportedConstraintError(
+            "EXTRA can only handle simple single-operand constraints; "
+            "the no-overlap condition involves multiple operands (paper §4.3)",
+            constraint,
+        )

@@ -1,0 +1,198 @@
+"""The transformation session: apply, record, and replay steps.
+
+A :class:`Session` plays the role of the paper's interactive monitor:
+the "user" (here: a recorded analysis script) positions a cursor by
+pattern and names a transformation; the session verifies applicability
+via the transformation's guards, applies it, and logs the step.  Every
+analysis in :mod:`repro.analyses` is such a script, and the step count
+the session accumulates is what Table 2 reports.
+
+Locating nodes by *pattern* rather than by raw path keeps scripts
+readable and robust: ``session.expr("(al - fetch()) = 0")`` finds the
+unique subtree structurally equal to the parsed pattern (comments
+ignored); ``occurrence=`` disambiguates repeated subtrees in walk
+(preorder) order.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Sequence, Tuple
+
+from ..constraints import Constraint
+from ..isdl import ast, parse_expr, parse_stmts
+from ..isdl.visitor import Path, strip_comments, walk
+from .base import Context, TransformError, TransformResult
+from .registry import get
+
+# Import all transformation modules so the registry is populated the
+# moment anyone builds a session.
+from . import (  # noqa: F401  (imported for registration side effects)
+    augment,
+    constraints_t,
+    extra_global,
+    extra_local,
+    extra_loops,
+    globals_,
+    local,
+    loops,
+    motion,
+    structuring,
+)
+
+
+@dataclass(frozen=True)
+class StepRecord:
+    """One applied transformation step."""
+
+    index: int
+    transform: str
+    path: Path
+    note: str
+    is_augment: bool
+    constraints: Tuple[Constraint, ...] = ()
+    #: keyword parameters the step was applied with (fix_operand's
+    #: operand/value, augment statement tuples, fresh names, ...).
+    params: Tuple[Tuple[str, object], ...] = ()
+
+
+class Session:
+    """Transformation session over one description."""
+
+    def __init__(self, description: ast.Description, label: str = ""):
+        self.original = description
+        self.description = description
+        self.label = label or description.name
+        self.history: List[StepRecord] = []
+        self.constraints: List[Constraint] = []
+        self.augmented = False
+
+    # ------------------------------------------------------------------
+    # locating nodes
+
+    def _find(self, pattern, occurrence: int = 0, kinds=None) -> Path:
+        wanted = strip_comments(pattern)
+        matches = []
+        for path, node in walk(self.description):
+            if kinds is not None and not isinstance(node, kinds):
+                continue
+            if strip_comments(node) == wanted:
+                matches.append(path)
+        if not matches:
+            raise TransformError(
+                f"{self.label}: no node matches the pattern"
+            )
+        if occurrence >= len(matches):
+            raise TransformError(
+                f"{self.label}: only {len(matches)} matches, "
+                f"occurrence {occurrence} requested"
+            )
+        return matches[occurrence]
+
+    def expr(self, text: str, occurrence: int = 0) -> Path:
+        """Path of the expression structurally equal to ``text``.
+
+        Bare assignment targets are skipped — a pattern like ``"rf"``
+        means a *use* of ``rf``, not the left side of ``rf <- 1``.
+        """
+        wanted = strip_comments(parse_expr(text))
+        matches = []
+        for path, node in walk(self.description):
+            if path and path[-1] == ("target", None):
+                continue
+            if strip_comments(node) == wanted:
+                matches.append(path)
+        if occurrence >= len(matches):
+            raise TransformError(
+                f"{self.label}: expression pattern has {len(matches)} "
+                f"match(es), occurrence {occurrence} requested"
+            )
+        return matches[occurrence]
+
+    def stmt(self, text: str, occurrence: int = 0) -> Path:
+        """Path of the statement structurally equal to ``text``."""
+        stmts = parse_stmts(text)
+        if len(stmts) != 1:
+            raise TransformError("stmt pattern must be a single statement")
+        return self._find(stmts[0], occurrence)
+
+    def decl(self, name: str) -> Path:
+        """Path of the register declaration named ``name``."""
+        for path, node in walk(self.description):
+            if isinstance(node, ast.RegDecl) and node.name == name:
+                return path
+        raise TransformError(f"{self.label}: no register declaration {name!r}")
+
+    def routine_decl(self, name: str) -> Path:
+        """Path of the routine declaration named ``name``."""
+        for path, node in walk(self.description):
+            if isinstance(node, ast.RoutineDecl) and node.name == name:
+                return path
+        raise TransformError(f"{self.label}: no routine declaration {name!r}")
+
+    def entry_path(self) -> Path:
+        return self.routine_decl(self.description.entry_routine().name)
+
+    # ------------------------------------------------------------------
+    # applying steps
+
+    def apply(self, transform_name: str, at: Optional[Path] = None, **params) -> TransformResult:
+        """Apply one transformation; raises TransformError when invalid."""
+        transformation = get(transform_name)
+        ctx = Context(self.description)
+        result = transformation.apply(ctx, at or (), **params)
+        self.description = result.description
+        self.constraints.extend(result.constraints)
+        self.augmented = self.augmented or result.is_augment
+        self.history.append(
+            StepRecord(
+                index=len(self.history) + 1,
+                transform=transform_name,
+                path=at or (),
+                note=result.note,
+                is_augment=result.is_augment,
+                constraints=result.constraints,
+                params=tuple(sorted(params.items(), key=lambda kv: kv[0])),
+            )
+        )
+        return result
+
+    def replay(self) -> "Session":
+        """Re-apply the recorded history to the original description.
+
+        The recorded paths were resolved against the tree state at each
+        step, and every transformation is deterministic, so the replay
+        reproduces this session's final description exactly.  Returns
+        the fresh session (useful for auditing a script's effect
+        without its pattern-locating logic).
+        """
+        fresh = Session(self.original, label=f"{self.label} (replay)")
+        for record in self.history:
+            fresh.apply(record.transform, at=record.path, **dict(record.params))
+        return fresh
+
+    def apply_stmts(self, transform_name: str, stmts_text: str, **params) -> TransformResult:
+        """Apply a transformation that takes a ``stmts=`` parameter."""
+        return self.apply(
+            transform_name, stmts=parse_stmts(stmts_text), **params
+        )
+
+    # ------------------------------------------------------------------
+    # reporting
+
+    @property
+    def steps(self) -> int:
+        return len(self.history)
+
+    def constraint_summary(self) -> List[str]:
+        return [constraint.describe() for constraint in self.constraints]
+
+    def log(self) -> str:
+        """Human-readable step log."""
+        lines = [f"session {self.label}: {self.steps} step(s)"]
+        for record in self.history:
+            marker = " [augment]" if record.is_augment else ""
+            lines.append(f"  {record.index:3d}. {record.transform}{marker}: {record.note}")
+            for constraint in record.constraints:
+                lines.append(f"       -> constraint: {constraint.describe()}")
+        return "\n".join(lines)

@@ -1,0 +1,321 @@
+"""Additional global transformations: substitution and copy plumbing.
+
+These came out of the same need the paper reports in §5 — "many of the
+transformations are at too low a level and thus the user gets involved
+in a mass of detail": aligning two descriptions takes a swarm of small
+copy/substitution steps around the big loop transformations.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+from typing import Optional
+
+from ..isdl import ast
+from ..isdl.visitor import Path, insert_at, node_at, remove_at, replace_at, walk
+from .base import Context, Transformation, TransformError, TransformResult
+from .loops import declare_register
+from .registry import register
+
+
+@register
+class HoistCall(Transformation):
+    """Extract a routine call out of a larger expression.
+
+    ``found <- (ch - read()) = 0`` becomes ``t <- read();
+    found <- (ch - t) = 0``.  Parameters: ``temp`` (fresh name).  The
+    call must sit inside a simple statement (assign / exit_when /
+    output / if-condition is **not** supported — the call would change
+    evaluation count), and everything evaluated before the call in the
+    original order must be pure, so evaluating the call first is
+    unobservable.
+    """
+
+    name = "hoist_call"
+    category = "routine-structuring"
+
+    def apply(self, ctx: Context, path: Path, **params) -> TransformResult:
+        temp = params.get("temp")
+        self._require(bool(temp), "hoist_call needs temp=...")
+        node = ctx.node(path)
+        self._require(isinstance(node, ast.Call), "needs a call expression")
+        self._require(
+            not ctx.description.has_register(temp)
+            and all(r.name != temp for r in ctx.description.routines()),
+            f"{temp!r} is not a fresh name",
+        )
+        # Find the statement containing the call.
+        stmt_path: Optional[Path] = None
+        for length in range(len(path), 0, -1):
+            candidate = node_at(ctx.description, path[:length])
+            if isinstance(candidate, (ast.Assign, ast.ExitWhen, ast.Output)):
+                stmt_path = path[:length]
+                break
+            if isinstance(candidate, (ast.If, ast.Repeat)):
+                raise TransformError(
+                    "cannot hoist a call out of a compound statement's "
+                    "condition (evaluation count would change)"
+                )
+        self._require(stmt_path is not None, "call is not inside a simple statement")
+        stmt = node_at(ctx.description, stmt_path)
+        routine = ctx.description.routine(node.name)
+        # Everything evaluated before the call (left-to-right order) must
+        # be pure, and the call's writes must not touch what that prefix
+        # reads — the prefix re-evaluates after the hoisted call.
+        from .extra_local import _eval_prefix_info
+
+        found, prefix_pure, prefix_reads = _eval_prefix_info(
+            ctx, stmt, stmt_path, path
+        )
+        self._require(
+            found and prefix_pure,
+            "something impure is evaluated before the call",
+        )
+        call_writes = ctx.effects.routine_effects(node.name).writes
+        self._require(
+            not (call_writes & prefix_reads),
+            "the call writes something the preceding operands read",
+        )
+        if isinstance(stmt, ast.Assign) and isinstance(stmt.target, ast.MemRead):
+            addr_effects = ctx.effects.expr_effects(stmt.target.addr)
+            call_effects = ctx.effects.expr_effects(node)
+            self._require(
+                not call_effects.conflicts_with(addr_effects),
+                "call effects conflict with the target address computation",
+            )
+        width = routine.width if routine.width is not None else ast.TypeWidth("integer")
+        description = replace_at(ctx.description, path, ast.Var(temp))
+        hoisted = ast.Assign(target=ast.Var(temp), expr=node)
+        description = insert_at(description, stmt_path, hoisted)
+        description = declare_register(
+            description,
+            ast.RegDecl(name=temp, width=width, comment="hoisted call result"),
+        )
+        return TransformResult(
+            description=description,
+            note=f"hoisted call to {node.name} into {temp}",
+        )
+
+
+@register
+class ForwardSubstitute(Transformation):
+    """Replace a variable use with its defining expression.
+
+    The definition ``t <- E`` must be the statement *directly before*
+    the simple statement containing the use, ``E`` must be pure, nothing
+    in the using statement evaluated before the use may write what ``E``
+    reads, and this must be ``t``'s only read (so the definition can
+    later be removed as dead).  Applied at the use's path.
+    """
+
+    name = "forward_substitute"
+    category = "global"
+
+    def apply(self, ctx: Context, path: Path, **params) -> TransformResult:
+        node = ctx.node(path)
+        self._require(isinstance(node, ast.Var), "needs a variable use")
+        if path and path[-1] == ("target", None):
+            raise TransformError("cannot substitute into an assignment target")
+        name = node.name
+        # Find the simple statement containing the use.
+        stmt_path: Optional[Path] = None
+        for length in range(len(path), 0, -1):
+            candidate = node_at(ctx.description, path[:length])
+            if isinstance(
+                candidate, (ast.Assign, ast.ExitWhen, ast.Output, ast.If, ast.Assert)
+            ):
+                stmt_path = path[:length]
+                break
+        self._require(stmt_path is not None, "use is not inside a statement")
+        field, index = stmt_path[-1]
+        self._require(
+            index is not None and index > 0,
+            "the defining statement must directly precede the use",
+        )
+        if isinstance(node_at(ctx.description, stmt_path), ast.If):
+            # Only the condition may use it (branches execute later).
+            cond_prefix = stmt_path + (("cond", None),)
+            self._require(
+                path[: len(cond_prefix)] == cond_prefix,
+                "substitution into an if is only allowed in its condition",
+            )
+        def_path = stmt_path[:-1] + ((field, index - 1),)
+        definition = node_at(ctx.description, def_path)
+        self._require(
+            isinstance(definition, ast.Assign)
+            and definition.target == ast.Var(name),
+            f"statement before the use does not define {name!r}",
+        )
+        self._require(
+            ctx.expr_is_pure(definition.expr),
+            "defining expression has side effects",
+        )
+        uses = ctx.uses_of_global(name)
+        self._require(
+            uses == [path],
+            f"{name!r} has other reads; substitution would not free it",
+        )
+        # Nothing evaluated before the use within its statement may write
+        # what E reads.  Conservative: the containing statement may not
+        # write anything E reads (other than via this substitution).
+        expr_reads = ctx.effects.expr_effects(definition.expr).reads
+        stmt = node_at(ctx.description, stmt_path)
+        stmt_writes = ctx.effects.stmt_effects(stmt).writes
+        self._require(
+            not (expr_reads & stmt_writes),
+            "the using statement writes something the expression reads",
+        )
+        description = replace_at(ctx.description, path, definition.expr)
+        description = remove_at(description, def_path)
+        return TransformResult(
+            description=description,
+            note=f"forward-substituted {name}",
+        )
+
+
+@register
+class RetargetAssignment(Transformation):
+    """Collapse ``y <- E; …; x <- y`` into ``x <- E; …``.
+
+    Applied at the path of the final copy ``x <- y``.  Requirements:
+    the definition ``y <- E`` is in the same statement list; the
+    intervening statements are simple assignments that neither read nor
+    write ``x`` or ``y``; ``y`` has no other reads or writes anywhere;
+    and ``x`` is not read between the two statements.  After the
+    rewrite, ``y`` is fully gone from the code (its declaration can be
+    dropped with ``eliminate_dead_variable``).
+    """
+
+    name = "retarget_assignment"
+    category = "global"
+
+    def apply(self, ctx: Context, path: Path, **params) -> TransformResult:
+        copy = ctx.node(path)
+        self._require(
+            isinstance(copy, ast.Assign)
+            and isinstance(copy.target, ast.Var)
+            and isinstance(copy.expr, ast.Var),
+            "needs a copy assignment 'x <- y'",
+        )
+        x_name = copy.target.name
+        y_name = copy.expr.name
+        parent_path, field, index = ctx.stmt_position(path)
+        parent = node_at(ctx.description, parent_path)
+        siblings = getattr(parent, field)
+        def_index = None
+        for candidate in range(index - 1, -1, -1):
+            stmt = siblings[candidate]
+            if isinstance(stmt, ast.Assign) and stmt.target == ast.Var(y_name):
+                def_index = candidate
+                break
+            self._require(
+                isinstance(stmt, ast.Assign),
+                "intervening statements must be simple assignments",
+            )
+            effects = ctx.effects.stmt_effects(stmt)
+            self._require(
+                x_name not in effects.reads | effects.writes
+                and y_name not in effects.reads | effects.writes,
+                "intervening statement touches x or y",
+            )
+        self._require(def_index is not None, f"no definition of {y_name!r} found")
+        definition = siblings[def_index]
+        # y must have no other uses or defs anywhere.
+        self._require(
+            len(ctx.defs_of_global(y_name)) == 1,
+            f"{y_name!r} has multiple definitions",
+        )
+        y_uses = ctx.uses_of_global(y_name)
+        copy_use_path = path + (("expr", None),)
+        self._require(
+            y_uses == [copy_use_path],
+            f"{y_name!r} has other reads",
+        )
+        new_def = dataclasses.replace(definition, target=ast.Var(x_name))
+        new_siblings = (
+            siblings[:def_index]
+            + (new_def,)
+            + siblings[def_index + 1: index]
+            + siblings[index + 1:]
+        )
+        new_parent = dataclasses.replace(parent, **{field: new_siblings})
+        return TransformResult(
+            description=replace_at(ctx.description, parent_path, new_parent),
+            note=f"retargeted definition of {y_name} to {x_name}",
+        )
+
+
+@register
+class CopyOperandToRegister(Transformation):
+    """Insert ``new <- operand`` after ``input`` and redirect all uses.
+
+    Models an instruction that loads an operand field into a working
+    register (VAX ``locc`` moves its length operand into ``r0``).  On
+    the operator side this materializes the same structure so the two
+    descriptions can match.  Parameters: ``operand``, ``new``, and
+    optionally ``bits`` for the new register's width (default: an
+    abstract integer).
+
+    Every read of the operand *and every non-input write to it* is
+    redirected to the new register: after ``new <- operand``, the
+    operand's register is only the incoming operand field, and all
+    working arithmetic (e.g. a length counting down) happens in the
+    working register — exactly the machine's protocol.
+    """
+
+    name = "copy_operand_to_register"
+    category = "global"
+
+    def apply(self, ctx: Context, path: Path, **params) -> TransformResult:
+        operand = params.get("operand")
+        new = params.get("new")
+        self._require(
+            bool(operand) and bool(new),
+            "copy_operand_to_register needs operand=..., new=...",
+        )
+        self._require(
+            not ctx.description.has_register(new)
+            and all(r.name != new for r in ctx.description.routines()),
+            f"{new!r} is not a fresh name",
+        )
+        def_paths = []
+        for def_path, def_stmt in ctx.defs_of_global(operand):
+            if isinstance(def_stmt, ast.Input):
+                continue
+            self._require(
+                isinstance(def_stmt, ast.Assign),
+                f"unexpected definition of {operand!r}",
+            )
+            def_paths.append(def_path)
+        entry = ctx.description.entry_routine()
+        entry_path = ctx.routine_path(entry.name)
+        input_index = None
+        for idx, stmt in enumerate(entry.body):
+            if isinstance(stmt, ast.Input):
+                input_index = idx
+                break
+        self._require(input_index is not None, "entry has no input")
+        description = ctx.description
+        for use_path in ctx.uses_of_global(operand):
+            description = replace_at(description, use_path, ast.Var(new))
+        for def_path in def_paths:
+            assign = node_at(description, def_path)
+            description = replace_at(
+                description,
+                def_path,
+                dataclasses.replace(assign, target=ast.Var(new)),
+            )
+        copy_stmt = ast.Assign(target=ast.Var(new), expr=ast.Var(operand))
+        description = insert_at(
+            description, entry_path + (("body", input_index + 1),), copy_stmt
+        )
+        bits = params.get("bits")
+        width = ast.BitWidth(bits - 1, 0) if bits else ast.TypeWidth("integer")
+        description = declare_register(
+            description,
+            ast.RegDecl(name=new, width=width, comment="working register"),
+        )
+        return TransformResult(
+            description=description,
+            note=f"copied operand {operand} into working register {new}",
+        )

@@ -1,0 +1,475 @@
+"""Further local and loop transformations used by the move analyses.
+
+* ``hoist_memread`` — name a memory read so access routines can be
+  extracted (the cmpsb/Pascal compare alignment),
+* ``combine_increments`` / ``remove_self_assign`` — cancel the coding
+  constraint adjustment against the IBM 370 mvc's built-in "+1"
+  iteration count (§4.2),
+* ``remove_immediate_exit_loop`` — delete a loop whose first exit is
+  provably true on entry (how fixing ``srclen = 0`` kills movc5's move
+  phase, leaving pure fill),
+* ``remove_redundant_guard`` — drop a ``if (x > 0)`` wrapper around a
+  loop that already exits on ``x = 0`` (PL/1's guarded string move),
+* ``reorder_inputs`` — permute the declared operand order; operands are
+  named, so this is pure interface bookkeeping for the matcher,
+* ``select_forward_copy`` — the §7 extension step: under a discharged
+  no-overlap language fact, pick movc3's forward branch.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+from typing import List, Optional, Tuple
+
+from ..constraints import LanguageFact
+from ..isdl import ast
+from ..isdl.visitor import Path, insert_at, node_at, remove_at, replace_at, splice_at, walk
+from ..semantics.values import apply_binop, apply_unop, truth
+from .base import Context, Transformation, TransformError, TransformResult
+from .loops import declare_register
+from .registry import register
+
+
+@register
+class HoistMemread(Transformation):
+    """Extract ``Mb[addr]`` out of a larger expression into a temp.
+
+    ``eq <- (Mb[a] - Mb[b]) = 0`` becomes ``t <- Mb[a];
+    eq <- (t - Mb[b]) = 0``.  Everything evaluated before the read in
+    the original order must be pure, and the read's address expression
+    must be pure.  Parameters: ``temp``.
+    """
+
+    name = "hoist_memread"
+    category = "local"
+
+    def apply(self, ctx: Context, path: Path, **params) -> TransformResult:
+        temp = params.get("temp")
+        self._require(bool(temp), "hoist_memread needs temp=...")
+        node = ctx.node(path)
+        self._require(isinstance(node, ast.MemRead), "needs a memory read")
+        self._require(
+            not ctx.description.has_register(temp)
+            and all(r.name != temp for r in ctx.description.routines()),
+            f"{temp!r} is not a fresh name",
+        )
+        self._require(ctx.expr_is_pure(node.addr), "address must be pure")
+        # Find the containing simple statement.
+        stmt_path: Optional[Path] = None
+        for length in range(len(path), 0, -1):
+            candidate = node_at(ctx.description, path[:length])
+            if isinstance(candidate, (ast.Assign, ast.ExitWhen, ast.Output)):
+                stmt_path = path[:length]
+                break
+            if isinstance(candidate, (ast.If, ast.Repeat)):
+                raise TransformError(
+                    "cannot hoist out of a compound statement's condition"
+                )
+        self._require(stmt_path is not None, "read is not inside a simple statement")
+        stmt = node_at(ctx.description, stmt_path)
+        self._require(
+            _eval_prefix_pure(ctx, stmt, stmt_path, path),
+            "something impure is evaluated before the read",
+        )
+        description = replace_at(ctx.description, path, ast.Var(temp))
+        description = insert_at(
+            description,
+            stmt_path,
+            ast.Assign(target=ast.Var(temp), expr=node),
+        )
+        description = declare_register(
+            description,
+            ast.RegDecl(
+                name=temp,
+                width=ast.TypeWidth("character"),
+                comment="named memory read",
+            ),
+        )
+        return TransformResult(
+            description=description, note=f"hoisted memory read into {temp}"
+        )
+
+
+def _eval_prefix_info(
+    ctx: Context, stmt: ast.Stmt, stmt_path: Path, target_path: Path
+):
+    """Evaluation-order prefix analysis for hoisting.
+
+    Walks the statement's expressions in evaluation order (left to
+    right, operands before operators) up to ``target_path`` and returns
+    ``(found, prefix_pure, prefix_reads)``: whether the target was
+    reached, whether everything evaluated before it is pure, and the
+    set of locations the prefix reads (a hoisted computation's writes
+    must not touch them — the prefix will re-evaluate after the hoist).
+    """
+    impure_before = [False]
+    found = [False]
+    reads = set()
+
+    def note_reads(expr: ast.Expr) -> None:
+        effects = ctx.effects.expr_effects(expr)
+        reads.update(effects.reads)
+
+    def visit(expr: ast.Expr, path: Path) -> None:
+        if found[0]:
+            return
+        if path == target_path:
+            found[0] = True
+            return
+        if isinstance(expr, ast.Const):
+            return
+        if isinstance(expr, ast.Var):
+            reads.add(expr.name)
+            return
+        if isinstance(expr, ast.MemRead):
+            visit(expr.addr, path + (("addr", None),))
+            if not found[0]:
+                note_reads(expr)
+            return
+        if isinstance(expr, ast.Call):
+            for index, arg in enumerate(expr.args):
+                visit(arg, path + (("args", index),))
+            if not found[0]:
+                if not ctx.effects.routine_effects(expr.name).pure:
+                    impure_before[0] = True
+                note_reads(expr)
+            return
+        if isinstance(expr, ast.BinOp):
+            visit(expr.left, path + (("left", None),))
+            visit(expr.right, path + (("right", None),))
+            return
+        if isinstance(expr, ast.UnOp):
+            visit(expr.operand, path + (("operand", None),))
+            return
+
+    if isinstance(stmt, ast.Assign):
+        visit(stmt.expr, stmt_path + (("expr", None),))
+    elif isinstance(stmt, (ast.ExitWhen, ast.Assert)):
+        visit(stmt.cond, stmt_path + (("cond", None),))
+    elif isinstance(stmt, ast.Output):
+        for index, expr in enumerate(stmt.exprs):
+            visit(expr, stmt_path + (("exprs", index),))
+    return found[0], not impure_before[0], frozenset(reads)
+
+
+def _eval_prefix_pure(
+    ctx: Context, stmt: ast.Stmt, stmt_path: Path, target_path: Path
+) -> bool:
+    """True when everything evaluated before ``target_path`` is pure."""
+    found, pure, _ = _eval_prefix_info(ctx, stmt, stmt_path, target_path)
+    return found and pure
+
+
+def _increment_of(stmt: ast.Stmt) -> Optional[Tuple[str, int]]:
+    """Decompose ``x <- x + c`` / ``x <- x - c`` into (name, signed c)."""
+    if not isinstance(stmt, ast.Assign) or not isinstance(stmt.target, ast.Var):
+        return None
+    name = stmt.target.name
+    expr = stmt.expr
+    if (
+        isinstance(expr, ast.BinOp)
+        and expr.op in ("+", "-")
+        and expr.left == ast.Var(name)
+        and isinstance(expr.right, ast.Const)
+    ):
+        delta = expr.right.value if expr.op == "+" else -expr.right.value
+        return name, delta
+    return None
+
+
+@register
+class CombineIncrements(Transformation):
+    """``x <- x + a; x <- x + b`` becomes ``x <- x + (a + b)``.
+
+    Valid for fixed-width registers too: modular addition composes.
+    Negative results are rendered with ``-``; a zero result leaves
+    ``x <- x + 0`` for ``add_zero``/``remove_self_assign`` to finish.
+    """
+
+    name = "combine_increments"
+    category = "local"
+
+    def apply(self, ctx: Context, path: Path, **params) -> TransformResult:
+        parent_path, field, index = ctx.stmt_position(path)
+        parent = node_at(ctx.description, parent_path)
+        siblings = getattr(parent, field)
+        self._require(index + 1 < len(siblings), "no following statement")
+        first = _increment_of(siblings[index])
+        second = _increment_of(siblings[index + 1])
+        self._require(
+            first is not None and second is not None and first[0] == second[0],
+            "needs two adjacent increments of the same variable",
+        )
+        name = first[0]
+        total = first[1] + second[1]
+        if total >= 0:
+            expr: ast.Expr = ast.BinOp("+", ast.Var(name), ast.Const(total))
+        else:
+            expr = ast.BinOp("-", ast.Var(name), ast.Const(-total))
+        combined = ast.Assign(target=ast.Var(name), expr=expr)
+        new_siblings = siblings[:index] + (combined,) + siblings[index + 2:]
+        new_parent = dataclasses.replace(parent, **{field: new_siblings})
+        return TransformResult(
+            description=replace_at(ctx.description, parent_path, new_parent),
+            note=f"combined increments of {name} (net {total:+d})",
+        )
+
+
+@register
+class RemoveSelfAssign(Transformation):
+    """Delete ``x <- x`` (re-storing a register value is the identity)."""
+
+    name = "remove_self_assign"
+    category = "local"
+
+    def apply(self, ctx: Context, path: Path, **params) -> TransformResult:
+        node = ctx.node(path)
+        self._require(
+            isinstance(node, ast.Assign)
+            and isinstance(node.target, ast.Var)
+            and node.expr == ast.Var(node.target.name),
+            "needs 'x <- x'",
+        )
+        return TransformResult(
+            description=remove_at(ctx.description, path),
+            note=f"removed self-assignment of {node.target.name}",
+        )
+
+
+def _fold_with_copies(expr: ast.Expr, values) -> Optional[int]:
+    """Evaluate ``expr`` using constant copies, or None if not constant."""
+    if isinstance(expr, ast.Const):
+        return expr.value
+    if isinstance(expr, ast.Var):
+        value = values.get(expr.name)
+        return value if isinstance(value, int) else None
+    if isinstance(expr, ast.BinOp):
+        left = _fold_with_copies(expr.left, values)
+        right = _fold_with_copies(expr.right, values)
+        if left is None or right is None:
+            return None
+        return apply_binop(expr.op, left, right)
+    if isinstance(expr, ast.UnOp):
+        operand = _fold_with_copies(expr.operand, values)
+        if operand is None:
+            return None
+        return apply_unop(expr.op, operand)
+    return None
+
+
+@register
+class RemoveImmediateExitLoop(Transformation):
+    """Delete a loop whose opening exit condition is true on entry.
+
+    The loop's first statement must be ``exit_when C`` with ``C``
+    foldable to a nonzero constant under the copies available *before*
+    the loop (entry path, not the back edge): the loop then exits on its
+    first test without executing anything else.  ``C`` must be pure.
+    """
+
+    name = "remove_immediate_exit_loop"
+    category = "loop"
+
+    def apply(self, ctx: Context, path: Path, **params) -> TransformResult:
+        node = ctx.node(path)
+        self._require(isinstance(node, ast.Repeat), "needs a repeat loop")
+        self._require(
+            bool(node.body) and isinstance(node.body[0], ast.ExitWhen),
+            "loop must open with exit_when",
+        )
+        exit_stmt = node.body[0]
+        self._require(ctx.expr_is_pure(exit_stmt.cond), "condition must be pure")
+        parent_path, field, index = ctx.stmt_position(path)
+        self._require(index >= 1, "loop must have a preceding statement")
+        routine, _ = ctx.enclosing_routine(path)
+        cfg = ctx.cfg(routine.name)
+        prev_path = parent_path + ((field, index - 1),)
+        self._require(
+            prev_path in cfg.by_path,
+            "preceding statement must be a simple statement",
+        )
+        prev_node = cfg.by_path[prev_path]
+        copies = ctx.copies(routine.name)
+        values = {
+            copy.dst: copy.src
+            for copy in copies.available_out(prev_node)
+            if isinstance(copy.src, int)
+        }
+        folded = _fold_with_copies(exit_stmt.cond, values)
+        self._require(
+            folded is not None and truth(folded),
+            "exit condition is not provably true on loop entry",
+        )
+        return TransformResult(
+            description=remove_at(ctx.description, path),
+            note="removed loop that exits immediately on entry",
+        )
+
+
+@register
+class RemoveRedundantGuard(Transformation):
+    """Drop ``if (x > 0) then LOOP end_if`` when the loop self-guards.
+
+    Requirements: the ``if`` has no else; its body is a single
+    ``repeat`` whose first statement is ``exit_when C`` with ``C``
+    either ``x = 0`` or ``i = x`` where ``i <- 0`` is one of the two
+    directly preceding statements; and ``assert (x >= 0)`` is also
+    among those two statements.  With ``x >= 0``, the guard being false
+    means ``x = 0``, and the unguarded loop then exits on its first
+    (pure) test with no effects — so the guard is redundant.
+    """
+
+    name = "remove_redundant_guard"
+    category = "loop"
+
+    def apply(self, ctx: Context, path: Path, **params) -> TransformResult:
+        node = ctx.node(path)
+        self._require(
+            isinstance(node, ast.If) and not node.els, "needs an if without else"
+        )
+        cond = node.cond
+        self._require(
+            isinstance(cond, ast.BinOp)
+            and cond.op == ">"
+            and isinstance(cond.left, ast.Var)
+            and cond.right == ast.Const(0),
+            "guard must be 'x > 0'",
+        )
+        name = cond.left.name
+        self._require(
+            len(node.then) == 1 and isinstance(node.then[0], ast.Repeat),
+            "guard body must be a single loop",
+        )
+        loop = node.then[0]
+        self._require(
+            bool(loop.body) and isinstance(loop.body[0], ast.ExitWhen),
+            "loop must open with an exit_when",
+        )
+        parent_path, field, index = ctx.stmt_position(path)
+        parent = node_at(ctx.description, parent_path)
+        siblings = getattr(parent, field)
+        preceding = siblings[max(0, index - 2): index]
+        premise = ast.Assert(
+            cond=ast.BinOp(">=", ast.Var(name), ast.Const(0))
+        )
+        from ..isdl.visitor import strip_comments
+
+        self._require(
+            any(
+                strip_comments(stmt) == premise for stmt in preceding
+            ),
+            f"needs an adjacent 'assert ({name} >= 0)'",
+        )
+        exit_cond = loop.body[0].cond
+        direct = ast.BinOp("=", ast.Var(name), ast.Const(0))
+        if strip_comments(exit_cond) != direct:
+            # Accept 'i = x' with an adjacent 'i <- 0'.
+            ok = (
+                isinstance(exit_cond, ast.BinOp)
+                and exit_cond.op == "="
+                and isinstance(exit_cond.left, ast.Var)
+                and exit_cond.right == ast.Var(name)
+                and any(
+                    isinstance(stmt, ast.Assign)
+                    and stmt.target == ast.Var(exit_cond.left.name)
+                    and stmt.expr == ast.Const(0)
+                    for stmt in preceding
+                )
+            )
+            self._require(
+                ok,
+                "loop must open with 'exit_when (x = 0)' or "
+                "'exit_when (i = x)' with an adjacent 'i <- 0'",
+            )
+        return TransformResult(
+            description=splice_at(ctx.description, path, node.then),
+            note=f"removed redundant guard on {name}",
+        )
+
+
+@register
+class ReorderInputs(Transformation):
+    """Permute the entry routine's declared operand order.
+
+    Operands are passed by name, so this changes nothing semantically;
+    it only aligns the positional operand binding the matcher builds.
+    Parameters: ``order`` — the full list of operand names in their new
+    order.
+    """
+
+    name = "reorder_inputs"
+    category = "local"
+
+    def apply(self, ctx: Context, path: Path, **params) -> TransformResult:
+        order = tuple(params.get("order") or ())
+        entry = ctx.description.entry_routine()
+        entry_path = ctx.routine_path(entry.name)
+        for index, stmt in enumerate(entry.body):
+            if isinstance(stmt, ast.Input):
+                self._require(
+                    sorted(order) == sorted(stmt.names),
+                    "order must be a permutation of the current operands",
+                )
+                new_input = dataclasses.replace(stmt, names=order)
+                return TransformResult(
+                    description=replace_at(
+                        ctx.description,
+                        entry_path + (("body", index),),
+                        new_input,
+                    ),
+                    note="reordered declared operands",
+                )
+        raise TransformError("entry routine has no input statement")
+
+
+@register
+class SelectForwardCopy(Transformation):
+    """Resolve movc3's direction branch under a no-overlap fact (§7).
+
+    The statement must be ``if (a < b) then BACKWARD else FORWARD`` where
+    both branches write memory through moving pointers.  Without overlap
+    the two branches implement the same memory function, so the forward
+    branch can be selected unconditionally.  This step is only valid
+    when a discharged ``no-overlap`` :class:`LanguageFact` is supplied
+    via ``language_facts=`` — stock EXTRA cannot justify it, which is
+    exactly the §4.3 failure.
+
+    The fact is a meta-level theorem about the source language, not
+    something the transformation system can check; the differential
+    verifier (run on non-overlapping scenarios) validates the result
+    empirically.
+    """
+
+    name = "select_forward_copy"
+    category = "constraint-assertion"
+
+    def apply(self, ctx: Context, path: Path, **params) -> TransformResult:
+        facts = params.get("language_facts") or ()
+        self._require(
+            any(
+                isinstance(fact, LanguageFact) and fact.name == "no-overlap"
+                for fact in facts
+            ),
+            "select_forward_copy requires the no-overlap language fact",
+        )
+        node = ctx.node(path)
+        self._require(isinstance(node, ast.If), "needs an if")
+        self._require(
+            isinstance(node.cond, ast.BinOp)
+            and node.cond.op in ("<", ">", "<=", ">=")
+            and isinstance(node.cond.left, ast.Var)
+            and isinstance(node.cond.right, ast.Var),
+            "condition must compare two address registers",
+        )
+        self._require(bool(node.then) and bool(node.els), "needs both branches")
+        for branch in (node.then, node.els):
+            writes_memory = any(
+                isinstance(sub, ast.Assign) and isinstance(sub.target, ast.MemRead)
+                for stmt in branch
+                for _, sub in walk(stmt)
+            )
+            self._require(writes_memory, "both branches must be copy loops")
+        return TransformResult(
+            description=splice_at(ctx.description, path, node.els),
+            note="selected forward copy under the no-overlap language fact",
+        )

@@ -1,0 +1,390 @@
+"""Additional loop and local transformations for counting-loop alignment.
+
+``countup_to_countdown`` reverses a counting direction (CLU iterates
+``i = 0 .. limit``; the machines count a register down to zero);
+``swap_increment_with_exit`` interchanges a pointer bump with a loop
+exit, compensating the one post-loop read that sees the difference —
+the step that reconciles VAX ``locc``'s test-then-advance scan with
+Rigel's advance-then-test ``read()`` routine; ``shift_sub`` is the
+algebraic identity the compensation leaves behind.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+from typing import List, Optional, Tuple
+
+from ..dataflow.effects import MEM
+from ..isdl import ast
+from ..isdl.visitor import Path, node_at, remove_at, replace_at, walk
+from .base import Context, Transformation, TransformError, TransformResult
+from .registry import register
+
+
+@register
+class ShiftSub(Transformation):
+    """``(a + c) - b`` becomes ``(a - b) + c`` (pure operands)."""
+
+    name = "shift_sub"
+    category = "local"
+
+    def apply(self, ctx: Context, path: Path, **params) -> TransformResult:
+        node = ctx.node(path)
+        self._require(
+            isinstance(node, ast.BinOp)
+            and node.op == "-"
+            and isinstance(node.left, ast.BinOp)
+            and node.left.op == "+",
+            "needs '(a + c) - b'",
+        )
+        a, c, b = node.left.left, node.left.right, node.right
+        for part in (a, c, b):
+            self._require(ctx.expr_is_pure(part), "operands must be pure")
+        new = ast.BinOp("+", ast.BinOp("-", a, b), c)
+        return TransformResult(
+            description=replace_at(ctx.description, path, new),
+            note="rebalanced '(a + c) - b' to '(a - b) + c'",
+        )
+
+
+@register
+class ShiftSubNeg(Transformation):
+    """``(a - c) - b`` becomes ``(a - b) - c`` (pure operands)."""
+
+    name = "shift_sub_neg"
+    category = "local"
+
+    def apply(self, ctx: Context, path: Path, **params) -> TransformResult:
+        node = ctx.node(path)
+        self._require(
+            isinstance(node, ast.BinOp)
+            and node.op == "-"
+            and isinstance(node.left, ast.BinOp)
+            and node.left.op == "-",
+            "needs '(a - c) - b'",
+        )
+        a, c, b = node.left.left, node.left.right, node.right
+        for part in (a, c, b):
+            self._require(ctx.expr_is_pure(part), "operands must be pure")
+        new = ast.BinOp("-", ast.BinOp("-", a, b), c)
+        return TransformResult(
+            description=replace_at(ctx.description, path, new),
+            note="rebalanced '(a - c) - b' to '(a - b) - c'",
+        )
+
+
+@register
+class SumOfSub(Transformation):
+    """``(a - b) + b`` becomes ``a`` (pure ``b``)."""
+
+    name = "sum_of_sub"
+    category = "local"
+
+    def apply(self, ctx: Context, path: Path, **params) -> TransformResult:
+        node = ctx.node(path)
+        self._require(
+            isinstance(node, ast.BinOp)
+            and node.op == "+"
+            and isinstance(node.left, ast.BinOp)
+            and node.left.op == "-"
+            and node.left.right == node.right,
+            "needs '(a - b) + b'",
+        )
+        self._require(ctx.expr_is_pure(node.right), "cancelled operand must be pure")
+        return TransformResult(
+            description=replace_at(ctx.description, path, node.left.left),
+            note="cancelled '- b + b'",
+        )
+
+
+@register
+class CountupToCountdown(Transformation):
+    """Reverse a count-up loop to count its limit register down.
+
+    Parameters: ``var`` (the counter), ``limit`` (the bound variable).
+    Guards (whole description): ``var`` is initialized to 0 once and
+    otherwise only incremented by 1; ``limit`` is defined only by
+    ``input``; ``var`` is read only in the exact test ``var = limit``
+    (or ``limit = var``) and in its own increments; ``limit`` is read
+    only in that test.  Both must be unbounded integers.
+
+    Rewrite: the test becomes ``limit = 0``; each increment gets a
+    paired ``limit <- limit - 1``.  Invariant: at every statement
+    boundary ``limit_current = limit_original - var``, so
+    ``var = limit_original`` iff ``limit_current = 0``.  The counter's
+    init/increment chain is then dead and removable.
+    """
+
+    name = "countup_to_countdown"
+    category = "loop"
+
+    def apply(self, ctx: Context, path: Path, **params) -> TransformResult:
+        var = params.get("var")
+        limit = params.get("limit")
+        self._require(
+            bool(var) and bool(limit),
+            "countup_to_countdown needs var=..., limit=...",
+        )
+        description = ctx.description
+        for name in (var, limit):
+            decl = description.register(name)
+            self._require(
+                isinstance(decl.width, ast.TypeWidth)
+                and decl.width.typename == "integer",
+                f"{name!r} must be an unbounded integer",
+            )
+        init_path: Optional[Path] = None
+        increment_paths: List[Path] = []
+        increment_expr = ast.BinOp("+", ast.Var(var), ast.Const(1))
+        for def_path, def_stmt in ctx.defs_of_global(var):
+            self._require(
+                isinstance(def_stmt, ast.Assign),
+                f"{var!r} may not be an input operand",
+            )
+            if def_stmt.expr == ast.Const(0):
+                self._require(init_path is None, f"{var!r} has two inits")
+                init_path = def_path
+            elif def_stmt.expr == increment_expr:
+                increment_paths.append(def_path)
+            else:
+                raise TransformError(
+                    f"definition of {var!r} is neither init nor increment"
+                )
+        self._require(init_path is not None, f"{var!r} has no init to 0")
+        from .loops import _require_invariant_before
+
+        _require_invariant_before(ctx, limit, init_path, self._require)
+        tests = (
+            ast.BinOp("=", ast.Var(var), ast.Var(limit)),
+            ast.BinOp("=", ast.Var(limit), ast.Var(var)),
+        )
+        test_paths = [
+            sub_path for sub_path, sub in walk(description) if sub in tests
+        ]
+        self._require(bool(test_paths), f"no test '{var} = {limit}' found")
+        allowed_limit_positions = set()
+        for test_path in test_paths:
+            allowed_limit_positions.add(test_path + (("left", None),))
+            allowed_limit_positions.add(test_path + (("right", None),))
+        # Other uses of var are fine (it keeps counting up); but every
+        # read of limit must be one of the rewritten tests, since limit
+        # starts changing.
+        for use_path in ctx.uses_of_global(limit):
+            self._require(
+                use_path in allowed_limit_positions,
+                f"{limit!r} is read outside the test",
+            )
+        # Rewrite tests, then insert paired decrements (bottom-up).
+        new_test = ast.BinOp("=", ast.Var(limit), ast.Const(0))
+        for test_path in test_paths:
+            description = replace_at(description, test_path, new_test)
+
+        def sort_key(p: Path):
+            return tuple(
+                (step[0], -1 if step[1] is None else step[1]) for step in p
+            )
+
+        from ..isdl.visitor import insert_at
+
+        decrement = ast.Assign(
+            target=ast.Var(limit),
+            expr=ast.BinOp("-", ast.Var(limit), ast.Const(1)),
+        )
+        insertions = [
+            inc_path[:-1] + ((inc_path[-1][0], inc_path[-1][1] + 1),)
+            for inc_path in increment_paths
+        ]
+        for insert_path in sorted(insertions, key=sort_key, reverse=True):
+            description = insert_at(description, insert_path, decrement)
+        return TransformResult(
+            description=description,
+            note=f"reversed count-up on {var} into countdown on {limit}",
+        )
+
+
+def check_two_exit_flag_discipline(
+    ctx: Context, loop: ast.Repeat, flag: str
+) -> Tuple[int, int]:
+    """Verify the two-exit flag discipline shared by several transforms.
+
+    The loop's top-level exits must be exactly two: the first statement
+    (``exit_when C``) and a later ``exit_when flag``; the only flag
+    write in the loop is the statement directly before the flag exit;
+    tail statements do not write the flag; and nothing inside contains a
+    deeper escaping exit.  Returns the two exit indices.
+    """
+    from .motion import has_escaping_exit
+
+    exits = [
+        (position, stmt)
+        for position, stmt in enumerate(loop.body)
+        if isinstance(stmt, ast.ExitWhen)
+    ]
+    if len(exits) != 2:
+        raise TransformError("loop must have exactly two top-level exits")
+    (first_pos, _first), (second_pos, second) = exits
+    if first_pos != 0:
+        raise TransformError("the first exit must open the loop body")
+    if second.cond != ast.Var(flag):
+        raise TransformError(f"the second exit must test {flag!r}")
+    for stmt in loop.body:
+        if not isinstance(stmt, ast.ExitWhen) and has_escaping_exit(stmt):
+            raise TransformError("loop contains nested escaping exits")
+    middle = loop.body[1:second_pos]
+    if not any(
+        isinstance(stmt, ast.Assign) and stmt.target == ast.Var(flag)
+        for stmt in middle
+    ):
+        raise TransformError(
+            "the flag must be assigned between the two exits"
+        )
+    for stmt in loop.body[second_pos + 1:]:
+        if flag in ctx.effects.stmt_effects(stmt).writes:
+            raise TransformError("tail statements may not write the flag")
+    return first_pos, second_pos
+
+
+@register
+class SwapIncrementWithExit(Transformation):
+    """Interchange ``p <- p + 1`` with the adjacent flag exit, compensating.
+
+    Applied at the increment's path, with ``direction="after"`` (move
+    the increment from before ``exit_when flag`` to after it) or
+    ``"before"`` (the reverse).  On the flag-exit path the increment's
+    execution changes, so the unique post-loop read of ``p`` — which
+    must sit in the flag branch of the discriminating ``if`` directly
+    after the loop — is rewritten ``p`` ↦ ``p + 1`` (or the existing
+    ``p + 1`` back to ``p``).
+
+    Requirements: the loop satisfies the two-exit flag discipline
+    (init-to-0 before the loop, one flag write, see
+    :func:`check_two_exit_flag_discipline`); the discriminator is
+    ``if flag then A else B`` directly after the loop; ``p`` is read
+    exactly once after the loop, inside ``A``; ``p`` is dead after the
+    discriminator; the flag condition and assignment do not read ``p``.
+    """
+
+    name = "swap_increment_with_exit"
+    category = "loop"
+
+    def apply(self, ctx: Context, path: Path, **params) -> TransformResult:
+        direction = params.get("direction", "after")
+        self._require(
+            direction in ("after", "before"),
+            "direction must be 'after' or 'before'",
+        )
+        increment = ctx.node(path)
+        self._require(
+            isinstance(increment, ast.Assign)
+            and isinstance(increment.target, ast.Var),
+            "needs an increment assignment",
+        )
+        pointer = increment.target.name
+        self._require(
+            increment.expr == ast.BinOp("+", ast.Var(pointer), ast.Const(1)),
+            "needs 'p <- p + 1'",
+        )
+        loop, loop_path = ctx.enclosing_repeat(path)
+        self._require(
+            len(path) == len(loop_path) + 1,
+            "the increment must be a top-level loop statement",
+        )
+        inc_index = path[-1][1]
+        # Locate the adjacent flag exit.
+        neighbour_index = inc_index + 1 if direction == "after" else inc_index - 1
+        self._require(
+            0 <= neighbour_index < len(loop.body),
+            "no adjacent statement in that direction",
+        )
+        neighbour = loop.body[neighbour_index]
+        self._require(
+            isinstance(neighbour, ast.ExitWhen)
+            and isinstance(neighbour.cond, ast.Var),
+            "the adjacent statement must be 'exit_when flag'",
+        )
+        flag = neighbour.cond.name
+        self._require(flag != pointer, "flag and pointer must differ")
+        check_two_exit_flag_discipline(ctx, loop, flag)
+
+        # The discriminator if directly after the loop, preceded by init.
+        parent_path, field, loop_index = ctx.stmt_position(loop_path)
+        parent = node_at(ctx.description, parent_path)
+        siblings = getattr(parent, field)
+        self._require(
+            loop_index >= 1
+            and isinstance(siblings[loop_index - 1], ast.Assign)
+            and siblings[loop_index - 1].target == ast.Var(flag)
+            and siblings[loop_index - 1].expr == ast.Const(0),
+            f"'{flag} <- 0' must directly precede the loop",
+        )
+        self._require(
+            loop_index + 1 < len(siblings)
+            and isinstance(siblings[loop_index + 1], ast.If),
+            "a discriminating if must directly follow the loop",
+        )
+        discriminator = siblings[loop_index + 1]
+        disc_path = parent_path + ((field, loop_index + 1),)
+        if discriminator.cond == ast.Var(flag):
+            flag_field = "then"
+        elif discriminator.cond == ast.UnOp("not", ast.Var(flag)):
+            flag_field = "els"
+        else:
+            raise TransformError("the if must test the flag (or its negation)")
+
+        # p reads after the loop: exactly one, inside the flag branch.
+        reads_in_flag_branch: List[Path] = []
+        reads_elsewhere = 0
+        for branch_field, branch in (("then", discriminator.then), ("els", discriminator.els)):
+            for idx, stmt in enumerate(branch):
+                stmt_path = disc_path + ((branch_field, idx),)
+                for sub_path, sub in walk(stmt, stmt_path):
+                    if isinstance(sub, ast.Var) and sub.name == pointer:
+                        if sub_path[-1] == ("target", None):
+                            raise TransformError(
+                                "pointer is written after the loop"
+                            )
+                        if branch_field == flag_field:
+                            reads_in_flag_branch.append(sub_path)
+                        else:
+                            reads_elsewhere += 1
+        for later_index in range(loop_index + 2, len(siblings)):
+            for _, sub in walk(siblings[later_index]):
+                if isinstance(sub, ast.Var) and sub.name == pointer:
+                    reads_elsewhere += 1
+        self._require(
+            reads_elsewhere == 0,
+            "pointer is read outside the flag branch after the loop",
+        )
+        self._require(
+            len(reads_in_flag_branch) == 1,
+            "pointer must be read exactly once in the flag branch",
+        )
+        read_path = reads_in_flag_branch[0]
+        # The increment crosses only the exit itself (adjacency is
+        # enforced above), and the exit's condition is the bare flag, so
+        # in-loop evaluation order around the flag computation is
+        # untouched; no further interference checks are needed.
+
+        description = ctx.description
+        if direction == "after":
+            # Increment stops executing on the flag exit: the post-loop
+            # read of p must become p + 1.
+            compensation = ast.BinOp("+", ast.Var(pointer), ast.Const(1))
+        else:
+            # Increment starts executing on the flag exit: the post-loop
+            # read sees one more than before, so it becomes p - 1.
+            compensation = ast.BinOp("-", ast.Var(pointer), ast.Const(1))
+        description = replace_at(description, read_path, compensation)
+        # Swap the two loop statements.
+        lo, hi = sorted((inc_index, neighbour_index))
+        new_body = (
+            loop.body[:lo]
+            + (loop.body[hi], loop.body[lo])
+            + loop.body[hi + 1:]
+        )
+        new_loop = dataclasses.replace(loop, body=new_body)
+        description = replace_at(description, loop_path, new_loop)
+        return TransformResult(
+            description=description,
+            note=f"interchanged {pointer} increment with the flag exit",
+        )

@@ -1,0 +1,317 @@
+"""Global transformations: propagation and dead-code removal.
+
+These "must look at potentially the entire description" (paper §5):
+constant propagation (within a routine via available-copies dataflow, or
+across routines for a single-definition operand fixed at the entry),
+copy propagation, dead-assignment elimination, dead-variable
+elimination, and alpha-renaming.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+from typing import Optional
+
+from ..dataflow.effects import MEM
+from ..isdl import ast
+from ..isdl.visitor import Path, node_at, remove_at, replace_at, walk
+from .base import Context, Transformation, TransformError, TransformResult
+from .registry import register
+
+
+def _cfg_node_for(ctx: Context, routine_name: str, path: Path):
+    """The CFG node whose statement contains ``path``."""
+    cfg = ctx.cfg(routine_name)
+    for length in range(len(path), 0, -1):
+        prefix = path[:length]
+        if prefix in cfg.by_path:
+            return cfg.nodes[cfg.by_path[prefix]]
+    raise TransformError(f"no CFG node found containing path {path!r}")
+
+
+def _global_constant_def(ctx: Context, name: str) -> Optional[int]:
+    """Value of ``name`` under the cross-routine single-definition rule.
+
+    Valid when the description's *only* definition of ``name`` is a
+    constant assignment at the top level of the entry routine, and no
+    statement before that assignment calls any routine (so every use in
+    any routine executes after the definition).
+    """
+    defs = ctx.defs_of_global(name)
+    if len(defs) != 1:
+        return None
+    def_path, def_stmt = defs[0]
+    if not isinstance(def_stmt, ast.Assign) or not isinstance(
+        def_stmt.expr, ast.Const
+    ):
+        return None
+    entry = ctx.description.entry_routine()
+    entry_path = ctx.routine_path(entry.name)
+    # The definition must be a direct child of the entry routine body.
+    if len(def_path) != len(entry_path) + 1 or def_path[: len(entry_path)] != entry_path:
+        return None
+    field, index = def_path[-1]
+    if field != "body" or index is None:
+        return None
+    for stmt in entry.body[:index]:
+        for _, node in walk(stmt):
+            if isinstance(node, ast.Call):
+                return None
+            if isinstance(node, ast.Var) and node.name == name:
+                return None
+    return def_stmt.expr.value
+
+
+@register
+class PropagateConstant(Transformation):
+    """Replace a variable use with a constant it must hold.
+
+    Two justifications are accepted: the constant-copy is available at
+    the use's CFG node (per-routine dataflow), or the variable has a
+    single constant definition at the top of the entry routine (the
+    cross-routine case that arises after ``fix_operand`` — e.g.
+    propagating ``df = 0`` into the 8086 ``fetch`` routine).
+    """
+
+    name = "propagate_constant"
+    category = "global"
+
+    def apply(self, ctx: Context, path: Path, **params) -> TransformResult:
+        node = ctx.node(path)
+        self._require(isinstance(node, ast.Var), "needs a variable use")
+        if path and path[-1] == ("target", None):
+            raise TransformError("cannot propagate into an assignment target")
+        name = node.name
+        routine, _ = ctx.enclosing_routine(path)
+        value: Optional[int] = None
+        try:
+            cfg_node = _cfg_node_for(ctx, routine.name, path)
+            source = ctx.copies(routine.name).source_for(cfg_node.node_id, name)
+            if isinstance(source, int):
+                value = source
+        except TransformError:
+            pass
+        if value is None:
+            value = _global_constant_def(ctx, name)
+        self._require(
+            value is not None, f"{name!r} is not provably constant at this use"
+        )
+        return TransformResult(
+            description=replace_at(ctx.description, path, ast.Const(value)),
+            note=f"propagated constant {name} = {value}",
+        )
+
+
+@register
+class PropagateCopy(Transformation):
+    """Replace a use of ``dst`` with ``src`` where ``dst <- src`` is available."""
+
+    name = "propagate_copy"
+    category = "global"
+
+    def apply(self, ctx: Context, path: Path, **params) -> TransformResult:
+        node = ctx.node(path)
+        self._require(isinstance(node, ast.Var), "needs a variable use")
+        if path and path[-1] == ("target", None):
+            raise TransformError("cannot propagate into an assignment target")
+        routine, _ = ctx.enclosing_routine(path)
+        cfg_node = _cfg_node_for(ctx, routine.name, path)
+        source = ctx.copies(routine.name).source_for(cfg_node.node_id, node.name)
+        self._require(
+            isinstance(source, str),
+            f"no copy of {node.name!r} is available at this use",
+        )
+        return TransformResult(
+            description=replace_at(ctx.description, path, ast.Var(source)),
+            note=f"propagated copy {node.name} = {source}",
+        )
+
+
+@register
+class EliminateDeadAssignment(Transformation):
+    """Remove ``x <- e`` when ``x`` is dead afterwards and ``e`` is pure."""
+
+    name = "eliminate_dead_assignment"
+    category = "global"
+
+    def apply(self, ctx: Context, path: Path, **params) -> TransformResult:
+        node = ctx.node(path)
+        self._require(
+            isinstance(node, ast.Assign) and isinstance(node.target, ast.Var),
+            "needs an assignment to a variable",
+        )
+        self._require(
+            ctx.expr_is_pure(node.expr),
+            "right-hand side has side effects; cannot drop it",
+        )
+        routine, _ = ctx.enclosing_routine(path)
+        self._require(
+            node.target.name != routine.name,
+            "cannot remove the routine's return assignment",
+        )
+        cfg_node = _cfg_node_for(ctx, routine.name, path)
+        liveness = ctx.liveness(routine.name)
+        self._require(
+            node.target.name not in liveness.live_out(cfg_node.node_id),
+            f"{node.target.name!r} is still live after the assignment",
+        )
+        # A global variable may also be read by *other* routines invoked
+        # later from a caller; per-routine liveness cannot see that.  Be
+        # safe: the variable must not be used in any other routine.
+        for other in ctx.description.routines():
+            if other.name == routine.name:
+                continue
+            for _, sub in walk(ast.Repeat(body=other.body)):
+                if isinstance(sub, ast.Var) and sub.name == node.target.name:
+                    raise TransformError(
+                        f"{node.target.name!r} is referenced in routine "
+                        f"{other.name!r}"
+                    )
+        return TransformResult(
+            description=remove_at(ctx.description, path),
+            note=f"removed dead assignment to {node.target.name}",
+        )
+
+
+@register
+class EliminateDeadVariable(Transformation):
+    """Remove a register declaration that is never read.
+
+    All assignments to the variable are removed along with the
+    declaration; each dropped right-hand side must be pure.  The
+    variable may not appear in ``input`` or ``output`` (removing
+    operands is ``fix_operand``'s job).
+    """
+
+    name = "eliminate_dead_variable"
+    category = "global"
+
+    def apply(self, ctx: Context, path: Path, **params) -> TransformResult:
+        node = ctx.node(path)
+        self._require(isinstance(node, ast.RegDecl), "needs a register declaration")
+        name = node.name
+        for _, sub in walk(ctx.description):
+            if isinstance(sub, ast.Input) and name in sub.names:
+                raise TransformError(f"{name!r} is an input operand")
+        # Collect assignments to drop.
+        assign_paths = []
+        for sub_path, sub in walk(ctx.description):
+            if (
+                isinstance(sub, ast.Assign)
+                and isinstance(sub.target, ast.Var)
+                and sub.target.name == name
+            ):
+                self._require(
+                    ctx.expr_is_pure(sub.expr),
+                    "an assignment to the dead variable has side effects",
+                )
+                assign_paths.append(sub_path)
+        # Reads are allowed only inside assignments to the variable
+        # itself (``i <- i + 1`` keeps ``i`` dead when nothing else
+        # reads it — the self-referential chain is removed wholesale).
+        for use_path in ctx.uses_of_global(name):
+            in_own_assign = any(
+                use_path[: len(assign_path)] == assign_path
+                for assign_path in assign_paths
+            )
+            self._require(
+                in_own_assign,
+                f"{name!r} is still read outside its own assignments",
+            )
+        description = ctx.description
+
+        def sort_key(p: Path):
+            return tuple(
+                (step[0], -1 if step[1] is None else step[1]) for step in p
+            )
+
+        # Remove later siblings first so earlier removals do not shift
+        # the indices of paths still pending.
+        for sub_path in sorted(assign_paths, key=sort_key, reverse=True):
+            description = remove_at(description, sub_path)
+        # Recompute the declaration's path in the updated tree (indices
+        # into statement lists may have shifted, but declaration lists
+        # were untouched, so the original path is still valid).
+        description = remove_at(description, path)
+        return TransformResult(
+            description=description,
+            note=f"removed dead variable {name}",
+        )
+
+
+@register
+class RenameVariable(Transformation):
+    """Alpha-rename a register throughout the description.
+
+    Renaming never changes semantics; the matcher works modulo renaming
+    anyway, but explicit renames make printed final forms line up with
+    the paper's figures.
+    """
+
+    name = "rename_variable"
+    category = "global"
+
+    def apply(self, ctx: Context, path: Path, **params) -> TransformResult:
+        new_name = params.get("new_name")
+        self._require(bool(new_name), "rename_variable needs new_name=...")
+        node = ctx.node(path)
+        self._require(isinstance(node, ast.RegDecl), "needs a register declaration")
+        old_name = node.name
+        for decl in ctx.description.registers():
+            self._require(
+                decl.name != new_name, f"{new_name!r} is already declared"
+            )
+        for routine in ctx.description.routines():
+            self._require(
+                routine.name != new_name and new_name not in routine.params,
+                f"{new_name!r} collides with a routine name or parameter",
+            )
+
+        def rename(node_):
+            if isinstance(node_, ast.Var) and node_.name == old_name:
+                return ast.Var(new_name)
+            if isinstance(node_, ast.RegDecl) and node_.name == old_name:
+                return dataclasses.replace(node_, name=new_name)
+            if isinstance(node_, ast.Input) and old_name in node_.names:
+                return dataclasses.replace(
+                    node_,
+                    names=tuple(
+                        new_name if item == old_name else item
+                        for item in node_.names
+                    ),
+                )
+            return None
+
+        description = _rewrite_everywhere(ctx.description, rename)
+        return TransformResult(
+            description=description,
+            note=f"renamed {old_name} to {new_name}",
+        )
+
+
+def _rewrite_everywhere(root, fn):
+    """Bottom-up rewrite: apply ``fn`` to every node, keeping the rest."""
+    if not dataclasses.is_dataclass(root):
+        return root
+    updates = {}
+    for field in dataclasses.fields(root):
+        value = getattr(root, field.name)
+        if dataclasses.is_dataclass(value) and not isinstance(value, type):
+            new_value = _rewrite_everywhere(value, fn)
+            if new_value is not value:
+                updates[field.name] = new_value
+        elif isinstance(value, tuple):
+            new_items = []
+            changed = False
+            for item in value:
+                if dataclasses.is_dataclass(item) and not isinstance(item, type):
+                    new_item = _rewrite_everywhere(item, fn)
+                    changed = changed or new_item is not item
+                    new_items.append(new_item)
+                else:
+                    new_items.append(item)
+            if changed:
+                updates[field.name] = tuple(new_items)
+    node = dataclasses.replace(root, **updates) if updates else root
+    replacement = fn(node)
+    return node if replacement is None else replacement

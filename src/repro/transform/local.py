@@ -1,0 +1,674 @@
+"""Local transformations: arithmetic and logical identities.
+
+These "manipulate the descriptions based on local properties" (paper §5)
+— constant folding, boolean identities, comparison normalization, and
+the figure-1 reverse-conditional rule.  Guards that involve evaluation
+order require non-conflicting effects; identities valid only for 0/1
+values require the operand to be provably boolean-valued.
+"""
+
+from __future__ import annotations
+
+from ..isdl import ast
+from ..isdl.visitor import Path, replace_at, splice_at
+from ..semantics.values import apply_binop, apply_unop
+from .base import Context, Transformation, TransformError, TransformResult
+from .registry import register
+
+
+def _expr_at(ctx: Context, path: Path) -> ast.Expr:
+    node = ctx.node(path)
+    if not isinstance(node, (ast.Const, ast.Var, ast.MemRead, ast.Call, ast.BinOp, ast.UnOp)):
+        raise TransformError(f"path does not address an expression: {type(node).__name__}")
+    return node
+
+
+def _rewrite(ctx: Context, path: Path, new_expr: ast.Expr, note: str) -> TransformResult:
+    return TransformResult(
+        description=replace_at(ctx.description, path, new_expr), note=note
+    )
+
+
+@register
+class ReverseConditional(Transformation):
+    """Figure 1: ``if e then A else B`` becomes ``if not e then B else A``.
+
+    Always semantics-preserving.  Applying it twice does not restore the
+    original text (a ``not`` accumulates); pair with ``not_not`` or use
+    on conditions that are already negations.
+    """
+
+    name = "reverse_conditional"
+    category = "local"
+
+    def apply(self, ctx: Context, path: Path, **params) -> TransformResult:
+        node = ctx.node(path)
+        self._require(isinstance(node, ast.If), "reverse_conditional needs an if")
+        cond = node.cond
+        if isinstance(cond, ast.UnOp) and cond.op == "not":
+            new_cond: ast.Expr = cond.operand
+        else:
+            new_cond = ast.UnOp("not", cond)
+        new_if = ast.If(cond=new_cond, then=node.els, els=node.then, comment=node.comment)
+        return TransformResult(
+            description=replace_at(ctx.description, path, new_if),
+            note="reversed conditional clauses",
+        )
+
+
+@register
+class FoldConstants(Transformation):
+    """Evaluate an operator whose operands are all constants."""
+
+    name = "fold_constants"
+    category = "local"
+
+    def apply(self, ctx: Context, path: Path, **params) -> TransformResult:
+        node = _expr_at(ctx, path)
+        if isinstance(node, ast.BinOp):
+            self._require(
+                isinstance(node.left, ast.Const) and isinstance(node.right, ast.Const),
+                "both operands must be constants",
+            )
+            value = apply_binop(node.op, node.left.value, node.right.value)
+        elif isinstance(node, ast.UnOp):
+            self._require(
+                isinstance(node.operand, ast.Const), "operand must be a constant"
+            )
+            value = apply_unop(node.op, node.operand.value)
+        else:
+            raise TransformError("fold_constants needs an operator expression")
+        return _rewrite(ctx, path, ast.Const(value), f"folded to {value}")
+
+
+def _const_side(node: ast.BinOp, value: int):
+    """Return (constant side name, other expr) when one side is Const(value)."""
+    if isinstance(node.left, ast.Const) and node.left.value == value:
+        return "left", node.right
+    if isinstance(node.right, ast.Const) and node.right.value == value:
+        return "right", node.left
+    return None, None
+
+
+@register
+class AndTrue(Transformation):
+    """``e and 1`` is ``e`` when ``e`` is boolean-valued (0/1)."""
+
+    name = "and_true"
+    category = "local"
+
+    def apply(self, ctx: Context, path: Path, **params) -> TransformResult:
+        node = _expr_at(ctx, path)
+        self._require(
+            isinstance(node, ast.BinOp) and node.op == "and", "needs an 'and'"
+        )
+        side, other = _const_side(node, 1)
+        self._require(side is not None, "one operand must be the constant 1")
+        self._require(
+            ctx.is_boolean_valued(other),
+            "the other operand must be provably 0/1-valued",
+        )
+        return _rewrite(ctx, path, other, "dropped 'and 1'")
+
+
+@register
+class AndFalse(Transformation):
+    """``e and 0`` is ``0`` when ``e`` has no side effects."""
+
+    name = "and_false"
+    category = "local"
+
+    def apply(self, ctx: Context, path: Path, **params) -> TransformResult:
+        node = _expr_at(ctx, path)
+        self._require(
+            isinstance(node, ast.BinOp) and node.op == "and", "needs an 'and'"
+        )
+        side, other = _const_side(node, 0)
+        self._require(side is not None, "one operand must be the constant 0")
+        self._require(ctx.expr_is_pure(other), "dropped operand must be pure")
+        return _rewrite(ctx, path, ast.Const(0), "'and 0' is 0")
+
+
+@register
+class OrFalse(Transformation):
+    """``e or 0`` is ``e`` when ``e`` is boolean-valued."""
+
+    name = "or_false"
+    category = "local"
+
+    def apply(self, ctx: Context, path: Path, **params) -> TransformResult:
+        node = _expr_at(ctx, path)
+        self._require(isinstance(node, ast.BinOp) and node.op == "or", "needs an 'or'")
+        side, other = _const_side(node, 0)
+        self._require(side is not None, "one operand must be the constant 0")
+        self._require(
+            ctx.is_boolean_valued(other),
+            "the other operand must be provably 0/1-valued",
+        )
+        return _rewrite(ctx, path, other, "dropped 'or 0'")
+
+
+@register
+class OrTrue(Transformation):
+    """``e or 1`` is ``1`` when ``e`` has no side effects."""
+
+    name = "or_true"
+    category = "local"
+
+    def apply(self, ctx: Context, path: Path, **params) -> TransformResult:
+        node = _expr_at(ctx, path)
+        self._require(isinstance(node, ast.BinOp) and node.op == "or", "needs an 'or'")
+        side, other = _const_side(node, 1)
+        self._require(side is not None, "one operand must be the constant 1")
+        self._require(ctx.expr_is_pure(other), "dropped operand must be pure")
+        return _rewrite(ctx, path, ast.Const(1), "'or 1' is 1")
+
+
+@register
+class NotNot(Transformation):
+    """``not (not e)`` is ``e`` when ``e`` is boolean-valued."""
+
+    name = "not_not"
+    category = "local"
+
+    def apply(self, ctx: Context, path: Path, **params) -> TransformResult:
+        node = _expr_at(ctx, path)
+        self._require(
+            isinstance(node, ast.UnOp)
+            and node.op == "not"
+            and isinstance(node.operand, ast.UnOp)
+            and node.operand.op == "not",
+            "needs a double negation",
+        )
+        inner = node.operand.operand
+        self._require(
+            ctx.is_boolean_valued(inner), "inner expression must be 0/1-valued"
+        )
+        return _rewrite(ctx, path, inner, "removed double negation")
+
+
+@register
+class DeMorgan(Transformation):
+    """``not (a and b)`` <-> ``(not a) or (not b)`` (both directions).
+
+    Applied to a ``not`` of a conjunction/disjunction it pushes the
+    negation inward; applied to a disjunction/conjunction of negations it
+    pulls the negation outward.
+    """
+
+    name = "de_morgan"
+    category = "local"
+
+    def apply(self, ctx: Context, path: Path, **params) -> TransformResult:
+        node = _expr_at(ctx, path)
+        if isinstance(node, ast.UnOp) and node.op == "not" and isinstance(
+            node.operand, ast.BinOp
+        ) and node.operand.op in ("and", "or"):
+            inner = node.operand
+            flipped = "or" if inner.op == "and" else "and"
+            new = ast.BinOp(
+                flipped, ast.UnOp("not", inner.left), ast.UnOp("not", inner.right)
+            )
+            return _rewrite(ctx, path, new, "pushed negation inward")
+        if isinstance(node, ast.BinOp) and node.op in ("and", "or"):
+            left, right = node.left, node.right
+            if (
+                isinstance(left, ast.UnOp)
+                and left.op == "not"
+                and isinstance(right, ast.UnOp)
+                and right.op == "not"
+            ):
+                flipped = "or" if node.op == "and" else "and"
+                new = ast.UnOp(
+                    "not", ast.BinOp(flipped, left.operand, right.operand)
+                )
+                return _rewrite(ctx, path, new, "pulled negation outward")
+        raise TransformError("de_morgan pattern not found")
+
+
+@register
+class AddZero(Transformation):
+    """``e + 0`` and ``0 + e`` are ``e``."""
+
+    name = "add_zero"
+    category = "local"
+
+    def apply(self, ctx: Context, path: Path, **params) -> TransformResult:
+        node = _expr_at(ctx, path)
+        self._require(isinstance(node, ast.BinOp) and node.op == "+", "needs a '+'")
+        side, other = _const_side(node, 0)
+        self._require(side is not None, "one operand must be the constant 0")
+        return _rewrite(ctx, path, other, "dropped '+ 0'")
+
+
+@register
+class SubZero(Transformation):
+    """``e - 0`` is ``e``."""
+
+    name = "sub_zero"
+    category = "local"
+
+    def apply(self, ctx: Context, path: Path, **params) -> TransformResult:
+        node = _expr_at(ctx, path)
+        self._require(
+            isinstance(node, ast.BinOp)
+            and node.op == "-"
+            and isinstance(node.right, ast.Const)
+            and node.right.value == 0,
+            "needs 'e - 0'",
+        )
+        return _rewrite(ctx, path, node.left, "dropped '- 0'")
+
+
+@register
+class MulOne(Transformation):
+    """``e * 1`` and ``1 * e`` are ``e``."""
+
+    name = "mul_one"
+    category = "local"
+
+    def apply(self, ctx: Context, path: Path, **params) -> TransformResult:
+        node = _expr_at(ctx, path)
+        self._require(isinstance(node, ast.BinOp) and node.op == "*", "needs a '*'")
+        side, other = _const_side(node, 1)
+        self._require(side is not None, "one operand must be the constant 1")
+        return _rewrite(ctx, path, other, "dropped '* 1'")
+
+
+@register
+class MulZero(Transformation):
+    """``e * 0`` is ``0`` when ``e`` has no side effects."""
+
+    name = "mul_zero"
+    category = "local"
+
+    def apply(self, ctx: Context, path: Path, **params) -> TransformResult:
+        node = _expr_at(ctx, path)
+        self._require(isinstance(node, ast.BinOp) and node.op == "*", "needs a '*'")
+        side, other = _const_side(node, 0)
+        self._require(side is not None, "one operand must be the constant 0")
+        self._require(ctx.expr_is_pure(other), "dropped operand must be pure")
+        return _rewrite(ctx, path, ast.Const(0), "'* 0' is 0")
+
+
+@register
+class SubSelf(Transformation):
+    """``e - e`` is ``0`` when ``e`` is pure (both evaluations agree)."""
+
+    name = "sub_self"
+    category = "local"
+
+    def apply(self, ctx: Context, path: Path, **params) -> TransformResult:
+        node = _expr_at(ctx, path)
+        self._require(
+            isinstance(node, ast.BinOp) and node.op == "-" and node.left == node.right,
+            "needs 'e - e'",
+        )
+        self._require(ctx.expr_is_pure(node.left), "operand must be pure")
+        return _rewrite(ctx, path, ast.Const(0), "'e - e' is 0")
+
+
+@register
+class EqToSubZero(Transformation):
+    """``a = b`` becomes ``(a - b) = 0``.
+
+    This is how the comparison method of a language operator is aligned
+    with a machine's subtract-and-test idiom (the scasb analysis, §4.1).
+    """
+
+    name = "eq_to_sub_zero"
+    category = "local"
+
+    def apply(self, ctx: Context, path: Path, **params) -> TransformResult:
+        node = _expr_at(ctx, path)
+        self._require(
+            isinstance(node, ast.BinOp) and node.op == "=", "needs an '='"
+        )
+        new = ast.BinOp("=", ast.BinOp("-", node.left, node.right), ast.Const(0))
+        return _rewrite(ctx, path, new, "rewrote '=' as subtract-and-test")
+
+
+@register
+class SubZeroToEq(Transformation):
+    """``(a - b) = 0`` becomes ``a = b`` (inverse of ``eq_to_sub_zero``)."""
+
+    name = "sub_zero_to_eq"
+    category = "local"
+
+    def apply(self, ctx: Context, path: Path, **params) -> TransformResult:
+        node = _expr_at(ctx, path)
+        self._require(
+            isinstance(node, ast.BinOp)
+            and node.op == "="
+            and isinstance(node.right, ast.Const)
+            and node.right.value == 0
+            and isinstance(node.left, ast.BinOp)
+            and node.left.op == "-",
+            "needs '(a - b) = 0'",
+        )
+        new = ast.BinOp("=", node.left.left, node.left.right)
+        return _rewrite(ctx, path, new, "rewrote subtract-and-test as '='")
+
+
+@register
+class CompareZeroToNot(Transformation):
+    """``e = 0`` becomes ``not e`` (valid for any integer ``e``)."""
+
+    name = "compare_zero_to_not"
+    category = "local"
+
+    def apply(self, ctx: Context, path: Path, **params) -> TransformResult:
+        node = _expr_at(ctx, path)
+        self._require(
+            isinstance(node, ast.BinOp)
+            and node.op == "="
+            and isinstance(node.right, ast.Const)
+            and node.right.value == 0,
+            "needs 'e = 0'",
+        )
+        return _rewrite(ctx, path, ast.UnOp("not", node.left), "'e = 0' is 'not e'")
+
+
+@register
+class NotToCompareZero(Transformation):
+    """``not e`` becomes ``e = 0`` (inverse of ``compare_zero_to_not``)."""
+
+    name = "not_to_compare_zero"
+    category = "local"
+
+    def apply(self, ctx: Context, path: Path, **params) -> TransformResult:
+        node = _expr_at(ctx, path)
+        self._require(
+            isinstance(node, ast.UnOp) and node.op == "not", "needs a 'not'"
+        )
+        new = ast.BinOp("=", node.operand, ast.Const(0))
+        return _rewrite(ctx, path, new, "'not e' is 'e = 0'")
+
+
+@register
+class NeqToNotEq(Transformation):
+    """``a <> b`` becomes ``not (a = b)``."""
+
+    name = "neq_to_not_eq"
+    category = "local"
+
+    def apply(self, ctx: Context, path: Path, **params) -> TransformResult:
+        node = _expr_at(ctx, path)
+        self._require(
+            isinstance(node, ast.BinOp) and node.op == "<>", "needs a '<>'"
+        )
+        new = ast.UnOp("not", ast.BinOp("=", node.left, node.right))
+        return _rewrite(ctx, path, new, "'<>' is negated '='")
+
+
+@register
+class NotEqToNeq(Transformation):
+    """``not (a = b)`` becomes ``a <> b`` (inverse of ``neq_to_not_eq``)."""
+
+    name = "not_eq_to_neq"
+    category = "local"
+
+    def apply(self, ctx: Context, path: Path, **params) -> TransformResult:
+        node = _expr_at(ctx, path)
+        self._require(
+            isinstance(node, ast.UnOp)
+            and node.op == "not"
+            and isinstance(node.operand, ast.BinOp)
+            and node.operand.op == "=",
+            "needs 'not (a = b)'",
+        )
+        inner = node.operand
+        new = ast.BinOp("<>", inner.left, inner.right)
+        return _rewrite(ctx, path, new, "negated '=' is '<>'")
+
+
+_COMMUTATIVE = {"+", "*", "and", "or", "=", "<>"}
+_COMPARISON_SWAP = {"<": ">", ">": "<", "<=": ">=", ">=": "<="}
+
+
+@register
+class Commute(Transformation):
+    """Swap the operands of a commutative operator.
+
+    Swapping changes evaluation order, so the operands' effects must not
+    conflict (evaluating either first gives the same state).
+    """
+
+    name = "commute"
+    category = "local"
+
+    def apply(self, ctx: Context, path: Path, **params) -> TransformResult:
+        node = _expr_at(ctx, path)
+        self._require(
+            isinstance(node, ast.BinOp) and node.op in _COMMUTATIVE,
+            "needs a commutative operator",
+        )
+        left_effects = ctx.effects.expr_effects(node.left)
+        right_effects = ctx.effects.expr_effects(node.right)
+        self._require(
+            not left_effects.conflicts_with(right_effects),
+            "operand effects conflict; cannot change evaluation order",
+        )
+        new = ast.BinOp(node.op, node.right, node.left)
+        return _rewrite(ctx, path, new, f"commuted '{node.op}'")
+
+
+@register
+class SwapComparison(Transformation):
+    """``a < b`` becomes ``b > a`` (and friends)."""
+
+    name = "swap_comparison"
+    category = "local"
+
+    def apply(self, ctx: Context, path: Path, **params) -> TransformResult:
+        node = _expr_at(ctx, path)
+        self._require(
+            isinstance(node, ast.BinOp) and node.op in _COMPARISON_SWAP,
+            "needs an ordering comparison",
+        )
+        left_effects = ctx.effects.expr_effects(node.left)
+        right_effects = ctx.effects.expr_effects(node.right)
+        self._require(
+            not left_effects.conflicts_with(right_effects),
+            "operand effects conflict; cannot change evaluation order",
+        )
+        new = ast.BinOp(_COMPARISON_SWAP[node.op], node.right, node.left)
+        return _rewrite(ctx, path, new, "swapped comparison operands")
+
+
+@register
+class AssociateRight(Transformation):
+    """``(a + b) + c`` becomes ``a + (b + c)`` (pure operands)."""
+
+    name = "associate_right"
+    category = "local"
+
+    def apply(self, ctx: Context, path: Path, **params) -> TransformResult:
+        node = _expr_at(ctx, path)
+        self._require(
+            isinstance(node, ast.BinOp)
+            and node.op == "+"
+            and isinstance(node.left, ast.BinOp)
+            and node.left.op == "+",
+            "needs '(a + b) + c'",
+        )
+        for part in (node.left.left, node.left.right, node.right):
+            self._require(ctx.expr_is_pure(part), "operands must be pure")
+        new = ast.BinOp(
+            "+", node.left.left, ast.BinOp("+", node.left.right, node.right)
+        )
+        return _rewrite(ctx, path, new, "re-associated '+' to the right")
+
+
+@register
+class AssociateLeft(Transformation):
+    """``a + (b + c)`` becomes ``(a + b) + c`` (pure operands)."""
+
+    name = "associate_left"
+    category = "local"
+
+    def apply(self, ctx: Context, path: Path, **params) -> TransformResult:
+        node = _expr_at(ctx, path)
+        self._require(
+            isinstance(node, ast.BinOp)
+            and node.op == "+"
+            and isinstance(node.right, ast.BinOp)
+            and node.right.op == "+",
+            "needs 'a + (b + c)'",
+        )
+        for part in (node.left, node.right.left, node.right.right):
+            self._require(ctx.expr_is_pure(part), "operands must be pure")
+        new = ast.BinOp(
+            "+", ast.BinOp("+", node.left, node.right.left), node.right.right
+        )
+        return _rewrite(ctx, path, new, "re-associated '+' to the left")
+
+
+@register
+class SubOfSum(Transformation):
+    """``(a + b) - b`` becomes ``a`` (pure ``b``).
+
+    Used when an epilogue computes ``pointer - saved_base`` and the
+    pointer is known to be ``saved_base + index``.
+    """
+
+    name = "sub_of_sum"
+    category = "local"
+
+    def apply(self, ctx: Context, path: Path, **params) -> TransformResult:
+        node = _expr_at(ctx, path)
+        self._require(
+            isinstance(node, ast.BinOp)
+            and node.op == "-"
+            and isinstance(node.left, ast.BinOp)
+            and node.left.op == "+"
+            and node.left.right == node.right,
+            "needs '(a + b) - b'",
+        )
+        self._require(ctx.expr_is_pure(node.right), "cancelled operand must be pure")
+        return _rewrite(ctx, path, node.left.left, "cancelled '+ b - b'")
+
+
+@register
+class IfTrue(Transformation):
+    """``if k then A else B end_if`` with constant nonzero ``k`` becomes ``A``."""
+
+    name = "if_true"
+    category = "local"
+
+    def apply(self, ctx: Context, path: Path, **params) -> TransformResult:
+        node = ctx.node(path)
+        self._require(isinstance(node, ast.If), "needs an if")
+        self._require(
+            isinstance(node.cond, ast.Const) and node.cond.value != 0,
+            "condition must be a nonzero constant",
+        )
+        return TransformResult(
+            description=splice_at(ctx.description, path, node.then),
+            note="took the then-branch of a constant conditional",
+        )
+
+
+@register
+class IfFalse(Transformation):
+    """``if 0 then A else B end_if`` becomes ``B``."""
+
+    name = "if_false"
+    category = "local"
+
+    def apply(self, ctx: Context, path: Path, **params) -> TransformResult:
+        node = ctx.node(path)
+        self._require(isinstance(node, ast.If), "needs an if")
+        self._require(
+            isinstance(node.cond, ast.Const) and node.cond.value == 0,
+            "condition must be the constant 0",
+        )
+        return TransformResult(
+            description=splice_at(ctx.description, path, node.els),
+            note="took the else-branch of a constant conditional",
+        )
+
+
+@register
+class IfSameBranches(Transformation):
+    """``if c then A else A end_if`` becomes ``A`` when ``c`` is pure."""
+
+    name = "if_same_branches"
+    category = "local"
+
+    def apply(self, ctx: Context, path: Path, **params) -> TransformResult:
+        node = ctx.node(path)
+        self._require(isinstance(node, ast.If), "needs an if")
+        self._require(node.then == node.els, "branches must be identical")
+        self._require(ctx.expr_is_pure(node.cond), "condition must be pure")
+        return TransformResult(
+            description=splice_at(ctx.description, path, node.then),
+            note="collapsed identical branches",
+        )
+
+
+@register
+class FlagIfToAssign(Transformation):
+    """``if C then f <- 1 else f <- 0 end_if`` becomes ``f <- C``.
+
+    ``C`` must be boolean-valued so the stored value matches the 1/0 the
+    branches stored.  This is the step that reconciles a machine's
+    flag-setting style with an operator description that tests the
+    condition directly (scasb vs. index, §4.1).
+    """
+
+    name = "flag_if_to_assign"
+    category = "local"
+
+    def apply(self, ctx: Context, path: Path, **params) -> TransformResult:
+        node = ctx.node(path)
+        self._require(isinstance(node, ast.If), "needs an if")
+        pattern_ok = (
+            len(node.then) == 1
+            and len(node.els) == 1
+            and isinstance(node.then[0], ast.Assign)
+            and isinstance(node.els[0], ast.Assign)
+            and isinstance(node.then[0].target, ast.Var)
+            and node.then[0].target == node.els[0].target
+            and node.then[0].expr == ast.Const(1)
+            and node.els[0].expr == ast.Const(0)
+        )
+        self._require(pattern_ok, "needs 'if C then f <- 1 else f <- 0'")
+        self._require(
+            ctx.is_boolean_valued(node.cond), "condition must be 0/1-valued"
+        )
+        new = ast.Assign(target=node.then[0].target, expr=node.cond)
+        return TransformResult(
+            description=splice_at(ctx.description, path, (new,)),
+            note="materialized flag assignment",
+        )
+
+
+@register
+class AssignToFlagIf(Transformation):
+    """``f <- C`` becomes ``if C then f <- 1 else f <- 0 end_if``.
+
+    Inverse of ``flag_if_to_assign``; ``C`` must be boolean-valued.
+    """
+
+    name = "assign_to_flag_if"
+    category = "local"
+
+    def apply(self, ctx: Context, path: Path, **params) -> TransformResult:
+        node = ctx.node(path)
+        self._require(
+            isinstance(node, ast.Assign) and isinstance(node.target, ast.Var),
+            "needs an assignment to a variable",
+        )
+        self._require(
+            ctx.is_boolean_valued(node.expr), "right-hand side must be 0/1-valued"
+        )
+        new = ast.If(
+            cond=node.expr,
+            then=(ast.Assign(target=node.target, expr=ast.Const(1)),),
+            els=(ast.Assign(target=node.target, expr=ast.Const(0)),),
+        )
+        return TransformResult(
+            description=splice_at(ctx.description, path, (new,)),
+            note="expanded flag assignment to a conditional",
+        )

@@ -1,0 +1,657 @@
+"""Loop transformations.
+
+"Especially necessary to manipulate the counting loops for string
+oriented instructions" (paper §5).  The heavy lifters are:
+
+* ``materialize_exit_flag`` — give a direct ``exit_when C`` the
+  flag-register shape machine instructions use,
+* ``exit_discriminator_to_flag`` — re-express a post-loop test of the
+  *first* exit condition as a test of the exit *flag* (the key step that
+  lets the scasb epilogue's ``zf`` test match the index operator's
+  ``Src.Length = 0`` test),
+* ``move_before_exit`` / ``move_after_exit`` — slide an assignment
+  across a loop exit when its value is dead outside the loop,
+* ``absorb_index_into_base`` — the induction-variable rewrite that turns
+  ``Mb[base + i]; i <- i + 1`` addressing into the moving-pointer
+  addressing of the machine's string instructions,
+* ``rotate_pretest_to_posttest`` — pre-test/post-test loop conversion
+  under an assertion that the condition is initially false (how the IBM
+  370 mvc's move-length-plus-one quirk is reconciled, §4.2).
+"""
+
+from __future__ import annotations
+
+import dataclasses
+from typing import List, Optional, Tuple
+
+from ..dataflow.effects import MEM, OUT
+from ..isdl import ast
+from ..isdl.visitor import Path, insert_at, node_at, replace_at, walk
+from .base import Context, Transformation, TransformError, TransformResult
+from .registry import register
+
+
+def declare_register(
+    description: ast.Description, decl: ast.RegDecl
+) -> ast.Description:
+    """Append a declaration to the STATE section (or the first section)."""
+    for index, section in enumerate(description.sections):
+        if section.name.upper() == "STATE":
+            new_section = dataclasses.replace(
+                section, decls=section.decls + (decl,)
+            )
+            return replace_at(description, (("sections", index),), new_section)
+    if not description.sections:
+        raise TransformError("description has no sections to declare into")
+    section = description.sections[0]
+    new_section = dataclasses.replace(section, decls=section.decls + (decl,))
+    return replace_at(description, (("sections", 0),), new_section)
+
+
+def _vars_of(expr: ast.Expr) -> set:
+    return {node.name for _, node in walk(expr) if isinstance(node, ast.Var)}
+
+
+def _require_invariant_before(ctx, name: str, anchor_path: Path, require) -> None:
+    """Require ``name``'s definitions to all precede ``anchor_path``.
+
+    Accepted definitions: the ``input`` statement, or top-level entry
+    assignments at a body index strictly below the anchor's (the anchor
+    must itself be a top-level entry statement).  This makes ``name``
+    invariant from the anchor onward — the property the induction
+    rewrites (absorb / countdown) rely on.
+    """
+    entry = ctx.description.entry_routine()
+    entry_path = ctx.routine_path(entry.name)
+    anchor_ok = (
+        len(anchor_path) == len(entry_path) + 1
+        and anchor_path[: len(entry_path)] == entry_path
+        and anchor_path[-1][0] == "body"
+    )
+    require(anchor_ok, "the initialization must be a top-level entry statement")
+    anchor_index = anchor_path[-1][1]
+    for def_path, def_stmt in ctx.defs_of_global(name):
+        if isinstance(def_stmt, ast.Input):
+            continue
+        top_level = (
+            len(def_path) == len(entry_path) + 1
+            and def_path[: len(entry_path)] == entry_path
+            and def_path[-1][0] == "body"
+            and def_path[-1][1] < anchor_index
+        )
+        require(
+            top_level,
+            f"{name!r} is modified after the initialization; not invariant",
+        )
+
+
+@register
+class MaterializeExitFlag(Transformation):
+    """``exit_when C`` becomes ``flag <- C; exit_when flag``.
+
+    Declares a fresh one-bit flag, initializes it to 0 immediately
+    before the enclosing loop, and stores the exit condition into it.
+    The condition may have side effects (``ch = read()``): it is still
+    evaluated exactly once per iteration at the same point.
+    """
+
+    name = "materialize_exit_flag"
+    category = "loop"
+
+    def apply(self, ctx: Context, path: Path, **params) -> TransformResult:
+        flag = params.get("flag")
+        self._require(bool(flag), "materialize_exit_flag needs flag=...")
+        node = ctx.node(path)
+        self._require(isinstance(node, ast.ExitWhen), "needs an exit_when")
+        self._require(
+            not ctx.description.has_register(flag)
+            and all(routine.name != flag for routine in ctx.description.routines()),
+            f"{flag!r} is not a fresh name",
+        )
+        _, repeat_path = ctx.enclosing_repeat(path)
+        # Rewrite the exit first (deeper path), then insert the init.
+        description = ctx.description
+        new_stmts = (
+            ast.Assign(target=ast.Var(flag), expr=node.cond),
+            ast.ExitWhen(cond=ast.Var(flag), comment=node.comment),
+        )
+        from ..isdl.visitor import splice_at
+
+        description = splice_at(description, path, new_stmts)
+        description = insert_at(description, repeat_path, ast.Assign(
+            target=ast.Var(flag), expr=ast.Const(0), comment="exit flag init"
+        ))
+        description = declare_register(
+            description,
+            ast.RegDecl(name=flag, width=ast.BitWidth(0, 0), comment="exit flag"),
+        )
+        return TransformResult(
+            description=description,
+            note=f"materialized exit condition into flag {flag}",
+        )
+
+
+@register
+class FuseExits(Transformation):
+    """``exit_when a; exit_when b`` becomes ``exit_when (a or b)``.
+
+    Both conditions must be pure: when ``a`` fires, ``b`` is no longer
+    evaluated separately, so it must have no effects (and vice versa —
+    ``or`` here does not short-circuit).
+    """
+
+    name = "fuse_exits"
+    category = "loop"
+
+    def apply(self, ctx: Context, path: Path, **params) -> TransformResult:
+        parent_path, field, index = ctx.stmt_position(path)
+        parent = node_at(ctx.description, parent_path)
+        siblings = getattr(parent, field)
+        self._require(index + 1 < len(siblings), "no following statement")
+        first, second = siblings[index], siblings[index + 1]
+        self._require(
+            isinstance(first, ast.ExitWhen) and isinstance(second, ast.ExitWhen),
+            "needs two adjacent exit_when statements",
+        )
+        self._require(
+            ctx.expr_is_pure(first.cond) and ctx.expr_is_pure(second.cond),
+            "both exit conditions must be pure",
+        )
+        fused = ast.ExitWhen(cond=ast.BinOp("or", first.cond, second.cond))
+        new_siblings = siblings[:index] + (fused,) + siblings[index + 2:]
+        new_parent = dataclasses.replace(parent, **{field: new_siblings})
+        return TransformResult(
+            description=replace_at(ctx.description, parent_path, new_parent),
+            note="fused adjacent exits",
+        )
+
+
+@register
+class SplitExit(Transformation):
+    """``exit_when (a or b)`` becomes ``exit_when a; exit_when b``.
+
+    Inverse of ``fuse_exits``; both disjuncts must be pure.
+    """
+
+    name = "split_exit"
+    category = "loop"
+
+    def apply(self, ctx: Context, path: Path, **params) -> TransformResult:
+        node = ctx.node(path)
+        self._require(
+            isinstance(node, ast.ExitWhen)
+            and isinstance(node.cond, ast.BinOp)
+            and node.cond.op == "or",
+            "needs 'exit_when (a or b)'",
+        )
+        self._require(
+            ctx.expr_is_pure(node.cond.left) and ctx.expr_is_pure(node.cond.right),
+            "both disjuncts must be pure",
+        )
+        from ..isdl.visitor import splice_at
+
+        new_stmts = (
+            ast.ExitWhen(cond=node.cond.left),
+            ast.ExitWhen(cond=node.cond.right),
+        )
+        return TransformResult(
+            description=splice_at(ctx.description, path, new_stmts),
+            note="split fused exit",
+        )
+
+
+def _exit_edge_live(ctx: Context, routine_name: str, exit_path: Path) -> set:
+    """Names live on the exit edge of the ``exit_when`` at ``exit_path``."""
+    cfg = ctx.cfg(routine_name)
+    node = cfg.node_for_path(exit_path)
+    if node.kind != "looptest":
+        raise TransformError("path is not an exit_when")
+    liveness = ctx.liveness(routine_name)
+    live: set = set()
+    for successor in node.exit_successors():
+        live |= set(liveness.live_in(successor))
+    return live
+
+
+class _MoveAcrossExit(Transformation):
+    """Shared machinery for moving an assignment across an ``exit_when``.
+
+    Either direction changes only whether the assignment executes when
+    the exit fires, so its targets must be dead on the exit edge; it must
+    not touch what the exit condition reads; and the condition must be
+    pure so crossing it cannot disturb the assignment's operands.
+    """
+
+    before: bool = True
+
+    def apply(self, ctx: Context, path: Path, **params) -> TransformResult:
+        parent_path, field, index = ctx.stmt_position(path)
+        parent = node_at(ctx.description, parent_path)
+        siblings = getattr(parent, field)
+        stmt = siblings[index]
+        self._require(isinstance(stmt, ast.Assign), "needs an assignment")
+        other_index = index - 1 if self.before else index + 1
+        self._require(
+            0 <= other_index < len(siblings),
+            "no adjacent exit_when in that direction",
+        )
+        exit_stmt = siblings[other_index]
+        self._require(
+            isinstance(exit_stmt, ast.ExitWhen), "adjacent statement must be exit_when"
+        )
+        self._require(ctx.expr_is_pure(exit_stmt.cond), "exit condition must be pure")
+        stmt_effects = ctx.effects.stmt_effects(stmt)
+        cond_reads = ctx.effects.expr_effects(exit_stmt.cond).reads
+        self._require(
+            not (stmt_effects.writes & cond_reads),
+            "assignment writes something the exit condition reads",
+        )
+        self._require(
+            MEM not in stmt_effects.writes and OUT not in stmt_effects.writes,
+            "cannot move memory or output effects across a loop exit",
+        )
+        routine, _ = ctx.enclosing_routine(path)
+        exit_path = parent_path + ((field, other_index),)
+        live_at_exit = _exit_edge_live(ctx, routine.name, exit_path)
+        self._require(
+            not (stmt_effects.writes & live_at_exit),
+            "assignment writes a value still live after the loop",
+        )
+        if self.before:
+            new_siblings = (
+                siblings[: index - 1] + (stmt, exit_stmt) + siblings[index + 1:]
+            )
+        else:
+            new_siblings = (
+                siblings[:index] + (exit_stmt, stmt) + siblings[index + 2:]
+            )
+        new_parent = dataclasses.replace(parent, **{field: new_siblings})
+        direction = "before" if self.before else "after"
+        return TransformResult(
+            description=replace_at(ctx.description, parent_path, new_parent),
+            note=f"moved assignment {direction} the loop exit",
+        )
+
+
+@register
+class MoveBeforeExit(_MoveAcrossExit):
+    """Move an assignment before the ``exit_when`` directly above it."""
+
+    name = "move_before_exit"
+    category = "loop"
+    before = True
+
+
+@register
+class MoveAfterExit(_MoveAcrossExit):
+    """Move an assignment after the ``exit_when`` directly below it."""
+
+    name = "move_after_exit"
+    category = "loop"
+    before = False
+
+
+@register
+class ExitDiscriminatorToFlag(Transformation):
+    """Replace a post-loop test of the first exit condition with the flag.
+
+    Pattern (the statement at ``path`` is the ``if``)::
+
+        flag <- 0;
+        repeat
+            exit_when C;          ! first exit
+            M* ...                ! must not write vars(C) or flag
+            flag <- ...;          ! the only flag write in the loop
+            exit_when flag;       ! second exit
+            T* ...                ! must not write flag
+        end_repeat;
+        if C then A else B end_if   ==>   if not flag then A else B end_if
+
+    Justification: the loop can only be left via one of the two exits.
+    On the ``C`` exit, ``flag`` is 0 (initialized 0, and any iteration
+    that set it true already left).  On the ``flag`` exit, ``C`` was
+    false at the top of the iteration and nothing in ``M*`` changed it.
+    So after the loop, ``C``'s value is true exactly when ``flag`` is 0.
+    """
+
+    name = "exit_discriminator_to_flag"
+    category = "loop"
+
+    def apply(self, ctx: Context, path: Path, **params) -> TransformResult:
+        parent_path, field, index = ctx.stmt_position(path)
+        parent = node_at(ctx.description, parent_path)
+        siblings = getattr(parent, field)
+        conditional = siblings[index]
+        self._require(isinstance(conditional, ast.If), "needs an if")
+        self._require(index >= 1, "the if must directly follow a repeat")
+        loop = siblings[index - 1]
+        self._require(
+            isinstance(loop, ast.Repeat), "the if must directly follow a repeat"
+        )
+        self._require(index >= 2, "the loop must be preceded by the flag init")
+
+        # Identify the two top-level exits of the loop.
+        exits = [
+            (position, stmt)
+            for position, stmt in enumerate(loop.body)
+            if isinstance(stmt, ast.ExitWhen)
+        ]
+        self._require(
+            len(exits) == 2, "the loop must have exactly two top-level exits"
+        )
+        (first_pos, first_exit), (second_pos, second_exit) = exits
+        self._require(
+            first_pos == 0, "the first exit must open the loop body"
+        )
+        cond = first_exit.cond
+        self._require(
+            conditional.cond == cond,
+            "the if condition must equal the first exit condition",
+        )
+        self._require(ctx.expr_is_pure(cond), "the exit condition must be pure")
+        self._require(
+            isinstance(second_exit.cond, ast.Var),
+            "the second exit must test a flag variable",
+        )
+        flag = second_exit.cond.name
+        cond_vars = _vars_of(cond)
+        self._require(flag not in cond_vars, "flag may not appear in the condition")
+
+        init = siblings[index - 2]
+        self._require(
+            isinstance(init, ast.Assign)
+            and init.target == ast.Var(flag)
+            and init.expr == ast.Const(0),
+            f"the statement before the loop must be '{flag} <- 0'",
+        )
+        # No deeper exits anywhere in the loop.
+        for stmt in loop.body:
+            if not isinstance(stmt, ast.ExitWhen):
+                from .motion import has_escaping_exit
+
+                self._require(
+                    not has_escaping_exit(stmt),
+                    "the loop may not contain nested escaping exits",
+                )
+        # Middle statements: may not write flag or vars(C).
+        middle = loop.body[first_pos + 1: second_pos]
+        self._require(bool(middle), "a flag assignment must precede the second exit")
+        flag_assign = middle[-1]
+        self._require(
+            isinstance(flag_assign, ast.Assign)
+            and flag_assign.target == ast.Var(flag),
+            "the statement before the second exit must assign the flag",
+        )
+        forbidden = cond_vars | {MEM}
+        for stmt in middle[:-1]:
+            writes = ctx.effects.stmt_effects(stmt).writes
+            self._require(
+                not (writes & forbidden),
+                "middle statements may not write the condition's variables",
+            )
+            self._require(
+                flag not in writes,
+                "only the final middle statement may write the flag",
+            )
+        self._require(
+            not (ctx.effects.stmt_effects(flag_assign).writes & cond_vars),
+            "the flag assignment may not write the condition's variables",
+        )
+        # Tail statements: may not write the flag.
+        for stmt in loop.body[second_pos + 1:]:
+            self._require(
+                flag not in ctx.effects.stmt_effects(stmt).writes,
+                "tail statements may not write the flag",
+            )
+        new_if = dataclasses.replace(
+            conditional, cond=ast.UnOp("not", ast.Var(flag))
+        )
+        return TransformResult(
+            description=replace_at(ctx.description, path, new_if),
+            note=f"post-loop discriminator re-expressed via flag {flag}",
+        )
+
+
+@register
+class AbsorbIndexIntoBase(Transformation):
+    """Turn ``Mb[base + i]`` indexing into moving-pointer addressing.
+
+    Parameters: ``var`` (the index), ``base`` (the base address),
+    ``saved`` (fresh name that will hold the original base).
+
+    Guards (whole-description):
+
+    * every definition of ``var`` is either the single ``var <- 0`` init
+      or an increment ``var <- var + 1``,
+    * ``base`` is never assigned (it is set only by ``input``),
+    * every read of ``base`` occurs inside the pattern ``base + var``,
+    * every read of ``var`` occurs inside ``base + var``, inside its own
+      increment, or stands alone (those become ``base - saved``),
+    * ``base`` and ``var`` are unbounded integers (operator-side
+      variables), so pointer arithmetic cannot wrap.
+
+    Rewrite: ``saved <- base`` is inserted after the init; every
+    ``base + var`` becomes ``base``; every increment of ``var`` gets a
+    paired ``base <- base + 1``; every standalone read of ``var``
+    becomes ``base - saved``.  The invariant ``base = saved + var``
+    holds at every statement boundary by construction.
+
+    ``var``'s init and increments remain and are removed afterwards by
+    ``eliminate_dead_variable`` once nothing reads it.
+    """
+
+    name = "absorb_index_into_base"
+    category = "loop"
+
+    def apply(self, ctx: Context, path: Path, **params) -> TransformResult:
+        var = params.get("var")
+        base = params.get("base")
+        saved = params.get("saved")
+        self._require(
+            bool(var) and bool(base) and bool(saved),
+            "absorb_index_into_base needs var=, base=, saved=",
+        )
+        description = ctx.description
+        self._require(
+            not description.has_register(saved), f"{saved!r} is not a fresh name"
+        )
+        var_decl = description.register(var)
+        base_decl = description.register(base)
+        for decl in (var_decl, base_decl):
+            self._require(
+                isinstance(decl.width, ast.TypeWidth)
+                and decl.width.typename == "integer",
+                "var and base must be unbounded integers",
+            )
+
+        # Classify definitions of var.
+        init_path: Optional[Path] = None
+        increment_paths: List[Path] = []
+        increment_expr = ast.BinOp("+", ast.Var(var), ast.Const(1))
+        for def_path, def_stmt in ctx.defs_of_global(var):
+            self._require(
+                isinstance(def_stmt, ast.Assign),
+                f"{var!r} may not be an input operand",
+            )
+            if def_stmt.expr == ast.Const(0):
+                self._require(init_path is None, f"{var!r} has two initializations")
+                init_path = def_path
+            elif def_stmt.expr == increment_expr:
+                increment_paths.append(def_path)
+            else:
+                raise TransformError(
+                    f"definition of {var!r} is neither init-to-0 nor increment"
+                )
+        self._require(init_path is not None, f"{var!r} has no 'var <- 0' init")
+
+        # base must be loop-invariant: defined only by input or by
+        # top-level entry statements preceding var's initialization.
+        _require_invariant_before(ctx, base, init_path, self._require)
+
+        pattern = ast.BinOp("+", ast.Var(base), ast.Var(var))
+        pattern_paths = [
+            use_path
+            for use_path, node in walk(description)
+            if node == pattern
+        ]
+        pattern_var_positions = {
+            use_path + (("right", None),) for use_path in pattern_paths
+        }
+        pattern_base_positions = {
+            use_path + (("left", None),) for use_path in pattern_paths
+        }
+        # Uses of var under a *different* base (``base2 + var``) are left
+        # alone; a second absorb with that base handles them.  A shared
+        # counter indexing two strings (Pascal/PL1 moves) absorbs one
+        # base at a time.
+        other_pattern_var_positions = {
+            use_path + (("right", None),)
+            for use_path, node in walk(description)
+            if (
+                isinstance(node, ast.BinOp)
+                and node.op == "+"
+                and isinstance(node.left, ast.Var)
+                and node.left.name != base
+                and node.right == ast.Var(var)
+            )
+        }
+        increment_use_positions = {
+            inc_path + (("expr", None), ("left", None))
+            for inc_path in increment_paths
+        }
+        for use_path in ctx.uses_of_global(base):
+            self._require(
+                use_path in pattern_base_positions,
+                f"a read of {base!r} occurs outside the '{base} + {var}' pattern",
+            )
+        standalone_var_uses = []
+        for use_path in ctx.uses_of_global(var):
+            if use_path in pattern_var_positions:
+                continue
+            if use_path in increment_use_positions:
+                continue
+            if use_path in other_pattern_var_positions:
+                continue
+            standalone_var_uses.append(use_path)
+
+        # --- rewrite (order: replace expressions first — they do not
+        # change statement indices — then insert statements bottom-up).
+        for use_path in pattern_paths:
+            description = replace_at(description, use_path, ast.Var(base))
+        difference = ast.BinOp("-", ast.Var(base), ast.Var(saved))
+        for use_path in standalone_var_uses:
+            description = replace_at(description, use_path, difference)
+
+        def sort_key(p: Path):
+            return tuple(
+                (step[0], -1 if step[1] is None else step[1]) for step in p
+            )
+
+        bump = ast.Assign(
+            target=ast.Var(base), expr=ast.BinOp("+", ast.Var(base), ast.Const(1))
+        )
+        insertions = [
+            (inc_path[:-1] + ((inc_path[-1][0], inc_path[-1][1] + 1),), bump)
+            for inc_path in increment_paths
+        ]
+        insertions.append(
+            (
+                init_path[:-1] + ((init_path[-1][0], init_path[-1][1] + 1),),
+                ast.Assign(
+                    target=ast.Var(saved),
+                    expr=ast.Var(base),
+                    comment="save original base",
+                ),
+            )
+        )
+        for insert_path, stmt in sorted(insertions, key=lambda item: sort_key(item[0]), reverse=True):
+            description = insert_at(description, insert_path, stmt)
+        description = declare_register(
+            description,
+            ast.RegDecl(
+                name=saved,
+                width=ast.TypeWidth("integer"),
+                comment="original base address",
+            ),
+        )
+        return TransformResult(
+            description=description,
+            note=f"absorbed index {var} into moving pointer {base}",
+        )
+
+
+@register
+class RotatePretestToPosttest(Transformation):
+    """Move a leading ``exit_when C`` to the end of the loop body.
+
+    Valid only when the loop is immediately preceded by
+    ``assert (not C)`` (or ``assert`` of a structurally identical
+    negation): a pre-test loop whose condition is initially false runs
+    its body once before the first meaningful test, which is exactly the
+    post-test loop.  ``C`` must be pure.
+    """
+
+    name = "rotate_pretest_to_posttest"
+    category = "loop"
+
+    def apply(self, ctx: Context, path: Path, **params) -> TransformResult:
+        node = ctx.node(path)
+        self._require(isinstance(node, ast.Repeat), "needs a repeat loop")
+        self._require(
+            bool(node.body) and isinstance(node.body[0], ast.ExitWhen),
+            "loop body must start with exit_when",
+        )
+        exit_stmt = node.body[0]
+        self._require(ctx.expr_is_pure(exit_stmt.cond), "condition must be pure")
+        parent_path, field, index = ctx.stmt_position(path)
+        self._require(index >= 1, "loop must be preceded by an assertion")
+        parent = node_at(ctx.description, parent_path)
+        siblings = getattr(parent, field)
+        guard = siblings[index - 1]
+        expected = ast.UnOp("not", exit_stmt.cond)
+        self._require(
+            isinstance(guard, ast.Assert) and guard.cond == expected,
+            f"needs a preceding 'assert (not C)' matching the exit condition",
+        )
+        rotated = dataclasses.replace(node, body=node.body[1:] + (exit_stmt,))
+        return TransformResult(
+            description=replace_at(ctx.description, path, rotated),
+            note="rotated pre-test loop to post-test form",
+        )
+
+
+@register
+class RotatePosttestToPretest(Transformation):
+    """Move a trailing ``exit_when C`` to the head of the loop body.
+
+    Inverse of ``rotate_pretest_to_posttest`` with the same assertion
+    requirement.
+    """
+
+    name = "rotate_posttest_to_pretest"
+    category = "loop"
+
+    def apply(self, ctx: Context, path: Path, **params) -> TransformResult:
+        node = ctx.node(path)
+        self._require(isinstance(node, ast.Repeat), "needs a repeat loop")
+        self._require(
+            bool(node.body) and isinstance(node.body[-1], ast.ExitWhen),
+            "loop body must end with exit_when",
+        )
+        exit_stmt = node.body[-1]
+        self._require(ctx.expr_is_pure(exit_stmt.cond), "condition must be pure")
+        parent_path, field, index = ctx.stmt_position(path)
+        self._require(index >= 1, "loop must be preceded by an assertion")
+        parent = node_at(ctx.description, parent_path)
+        siblings = getattr(parent, field)
+        guard = siblings[index - 1]
+        expected = ast.UnOp("not", exit_stmt.cond)
+        self._require(
+            isinstance(guard, ast.Assert) and guard.cond == expected,
+            "needs a preceding 'assert (not C)' matching the exit condition",
+        )
+        rotated = dataclasses.replace(node, body=(exit_stmt,) + node.body[:-1])
+        return TransformResult(
+            description=replace_at(ctx.description, path, rotated),
+            note="rotated post-test loop to pre-test form",
+        )

@@ -1,0 +1,317 @@
+"""Code-motion transformations.
+
+These "move statements with respect to one another" (paper §5): swapping
+independent neighbours, sinking an assignment into both branches of a
+conditional, and hoisting code that both branches share.  Every guard
+reduces to effect non-conflict plus control-flow safety (a statement
+containing an ``exit_when`` that escapes to an enclosing loop can never
+be moved, because moving it changes what runs when the exit fires).
+"""
+
+from __future__ import annotations
+
+import dataclasses
+from typing import Tuple
+
+from ..isdl import ast
+from ..isdl.visitor import Path, node_at, replace_at, walk
+from .base import Context, Transformation, TransformError, TransformResult
+from .registry import register
+
+
+def has_escaping_exit(stmt: ast.Stmt) -> bool:
+    """True when ``stmt`` contains an ``exit_when`` for an *enclosing* loop.
+
+    An ``exit_when`` nested inside a ``repeat`` that is itself inside
+    ``stmt`` is self-contained and harmless.
+    """
+
+    def scan(node: ast.Stmt, repeat_depth: int) -> bool:
+        if isinstance(node, ast.ExitWhen):
+            return repeat_depth == 0
+        if isinstance(node, ast.Repeat):
+            return any(scan(inner, repeat_depth + 1) for inner in node.body)
+        if isinstance(node, ast.If):
+            return any(scan(inner, repeat_depth) for inner in node.then + node.els)
+        return False
+
+    return scan(stmt, 0)
+
+
+def _stmt_list_slot(ctx: Context, path: Path) -> Tuple[Path, str, int, tuple]:
+    """Resolve a statement path to (parent path, field, index, siblings)."""
+    parent_path, field, index = ctx.stmt_position(path)
+    parent = node_at(ctx.description, parent_path)
+    siblings = getattr(parent, field)
+    return parent_path, field, index, siblings
+
+
+@register
+class SwapStatements(Transformation):
+    """Swap a statement with its following neighbour.
+
+    Valid when the two statements' effect sets do not conflict and
+    neither contains an escaping ``exit_when`` (reordering around a loop
+    exit changes which statements run when the loop is left).
+    """
+
+    name = "swap_statements"
+    category = "code-motion"
+
+    def apply(self, ctx: Context, path: Path, **params) -> TransformResult:
+        parent_path, field, index, siblings = _stmt_list_slot(ctx, path)
+        self._require(
+            index + 1 < len(siblings), "no following statement to swap with"
+        )
+        first, second = siblings[index], siblings[index + 1]
+        statement_types = (
+            ast.Assign,
+            ast.If,
+            ast.Repeat,
+            ast.ExitWhen,
+            ast.Input,
+            ast.Output,
+            ast.Assert,
+        )
+        for stmt in (first, second):
+            self._require(
+                isinstance(stmt, statement_types),
+                "swap_statements needs two statements",
+            )
+            self._require(
+                not isinstance(stmt, ast.ExitWhen) and not has_escaping_exit(stmt),
+                "cannot move statements across a loop exit",
+            )
+            self._require(
+                not isinstance(stmt, ast.Input),
+                "input statements anchor the operand interface",
+            )
+        first_effects = ctx.effects.stmt_effects(first)
+        second_effects = ctx.effects.stmt_effects(second)
+        self._require(
+            not first_effects.conflicts_with(second_effects),
+            "statement effects conflict; order matters",
+        )
+        new_siblings = (
+            siblings[:index] + (second, first) + siblings[index + 2:]
+        )
+        parent = node_at(ctx.description, parent_path)
+        new_parent = dataclasses.replace(parent, **{field: new_siblings})
+        return TransformResult(
+            description=replace_at(ctx.description, parent_path, new_parent),
+            note="swapped adjacent independent statements",
+        )
+
+
+@register
+class SinkIntoIf(Transformation):
+    """Move the assignment before an ``if`` into both of its branches.
+
+    ``x <- e; if c ...`` becomes ``if c then x <- e; ... else x <- e; ...``
+    provided the condition does not read anything the assignment writes
+    (the condition now evaluates first) and the assignment is effectful
+    only through its target.
+    """
+
+    name = "sink_into_if"
+    category = "code-motion"
+
+    def apply(self, ctx: Context, path: Path, **params) -> TransformResult:
+        parent_path, field, index, siblings = _stmt_list_slot(ctx, path)
+        stmt = siblings[index]
+        self._require(isinstance(stmt, ast.Assign), "needs an assignment")
+        self._require(
+            index + 1 < len(siblings) and isinstance(siblings[index + 1], ast.If),
+            "the next statement must be an if",
+        )
+        conditional = siblings[index + 1]
+        stmt_effects = ctx.effects.stmt_effects(stmt)
+        cond_effects = ctx.effects.expr_effects(conditional.cond)
+        self._require(
+            not stmt_effects.conflicts_with(cond_effects),
+            "assignment conflicts with the condition",
+        )
+        new_if = dataclasses.replace(
+            conditional,
+            then=(stmt,) + conditional.then,
+            els=(stmt,) + conditional.els,
+        )
+        new_siblings = siblings[:index] + (new_if,) + siblings[index + 2:]
+        parent = node_at(ctx.description, parent_path)
+        new_parent = dataclasses.replace(parent, **{field: new_siblings})
+        return TransformResult(
+            description=replace_at(ctx.description, parent_path, new_parent),
+            note="sank assignment into both branches",
+        )
+
+
+@register
+class HoistCommonHead(Transformation):
+    """Pull an identical first statement out of both branches of an ``if``.
+
+    The statement moves from just after the condition to just before it,
+    so it must not conflict with evaluating the condition; it must also
+    be identical in both branches and free of escaping exits.
+    """
+
+    name = "hoist_common_head"
+    category = "code-motion"
+
+    def apply(self, ctx: Context, path: Path, **params) -> TransformResult:
+        node = ctx.node(path)
+        self._require(isinstance(node, ast.If), "needs an if")
+        self._require(
+            bool(node.then) and bool(node.els), "both branches must be non-empty"
+        )
+        head = node.then[0]
+        self._require(node.els[0] == head, "branch heads must be identical")
+        self._require(
+            not has_escaping_exit(head), "cannot hoist across a loop exit"
+        )
+        # After hoisting, ``head`` runs before the branch join but still
+        # after the condition; its effects must not change what the
+        # remaining branch code sees — they don't, because it ran first
+        # on both paths already.  It must not conflict with re-evaluating
+        # nothing; no extra guard needed beyond identical heads.
+        new_if = dataclasses.replace(node, then=node.then[1:], els=node.els[1:])
+        parent_path, field, index = ctx.stmt_position(path)
+        parent = node_at(ctx.description, parent_path)
+        siblings = getattr(parent, field)
+        # The hoisted statement must also commute with the condition,
+        # because it now executes before the condition is evaluated.
+        head_effects = ctx.effects.stmt_effects(head)
+        cond_effects = ctx.effects.expr_effects(node.cond)
+        self._require(
+            not head_effects.conflicts_with(cond_effects),
+            "hoisted statement conflicts with the condition",
+        )
+        new_siblings = (
+            siblings[:index] + (head, new_if) + siblings[index + 1:]
+        )
+        new_parent = dataclasses.replace(parent, **{field: new_siblings})
+        return TransformResult(
+            description=replace_at(ctx.description, parent_path, new_parent),
+            note="hoisted common branch head before the conditional",
+        )
+
+
+@register
+class HoistCommonTail(Transformation):
+    """Pull an identical last statement out of both branches of an ``if``.
+
+    Always valid when both tails are identical and contain no escaping
+    exit: the statement runs exactly once after the branch either way.
+    """
+
+    name = "hoist_common_tail"
+    category = "code-motion"
+
+    def apply(self, ctx: Context, path: Path, **params) -> TransformResult:
+        node = ctx.node(path)
+        self._require(isinstance(node, ast.If), "needs an if")
+        self._require(
+            bool(node.then) and bool(node.els), "both branches must be non-empty"
+        )
+        tail = node.then[-1]
+        self._require(node.els[-1] == tail, "branch tails must be identical")
+        self._require(
+            not has_escaping_exit(tail), "cannot hoist across a loop exit"
+        )
+        new_if = dataclasses.replace(node, then=node.then[:-1], els=node.els[:-1])
+        parent_path, field, index = ctx.stmt_position(path)
+        parent = node_at(ctx.description, parent_path)
+        siblings = getattr(parent, field)
+        new_siblings = (
+            siblings[:index] + (new_if, tail) + siblings[index + 1:]
+        )
+        new_parent = dataclasses.replace(parent, **{field: new_siblings})
+        return TransformResult(
+            description=replace_at(ctx.description, parent_path, new_parent),
+            note="hoisted common branch tail after the conditional",
+        )
+
+
+@register
+class DuplicateIntoBranches(Transformation):
+    """Copy the statement after an ``if`` into both branch tails.
+
+    Inverse of ``hoist_common_tail``; used to prepare branch bodies for
+    independent matching.
+    """
+
+    name = "duplicate_into_branches"
+    category = "code-motion"
+
+    def apply(self, ctx: Context, path: Path, **params) -> TransformResult:
+        parent_path, field, index, siblings = _stmt_list_slot(ctx, path)
+        node = siblings[index]
+        self._require(isinstance(node, ast.If), "needs an if")
+        self._require(
+            index + 1 < len(siblings), "no following statement to duplicate"
+        )
+        follower = siblings[index + 1]
+        self._require(
+            not has_escaping_exit(follower),
+            "cannot duplicate a statement containing a loop exit",
+        )
+        new_if = dataclasses.replace(
+            node, then=node.then + (follower,), els=node.els + (follower,)
+        )
+        new_siblings = siblings[:index] + (new_if,) + siblings[index + 2:]
+        parent = node_at(ctx.description, parent_path)
+        new_parent = dataclasses.replace(parent, **{field: new_siblings})
+        return TransformResult(
+            description=replace_at(ctx.description, parent_path, new_parent),
+            note="duplicated following statement into both branches",
+        )
+
+
+@register
+class MergeAdjacentIfs(Transformation):
+    """Merge ``if c then A end_if; if c then B end_if`` into one ``if``.
+
+    The condition must be pure and must not read anything the first
+    body writes (otherwise the second test could differ).
+    """
+
+    name = "merge_adjacent_ifs"
+    category = "code-motion"
+
+    def apply(self, ctx: Context, path: Path, **params) -> TransformResult:
+        parent_path, field, index, siblings = _stmt_list_slot(ctx, path)
+        self._require(index + 1 < len(siblings), "no following statement")
+        first, second = siblings[index], siblings[index + 1]
+        self._require(
+            isinstance(first, ast.If) and isinstance(second, ast.If),
+            "needs two adjacent ifs",
+        )
+        self._require(first.cond == second.cond, "conditions must be identical")
+        self._require(ctx.expr_is_pure(first.cond), "condition must be pure")
+        cond_reads = ctx.effects.expr_effects(first.cond).reads
+        then_writes = set()
+        for stmt in first.then:
+            then_writes |= ctx.effects.stmt_effects(stmt).writes
+        els_writes = set()
+        for stmt in first.els:
+            els_writes |= ctx.effects.stmt_effects(stmt).writes
+        self._require(
+            not (cond_reads & (then_writes | els_writes)),
+            "first body writes something the condition reads",
+        )
+        for stmt in first.then + first.els:
+            self._require(
+                not has_escaping_exit(stmt), "cannot merge across a loop exit"
+            )
+        merged = ast.If(
+            cond=first.cond,
+            then=first.then + second.then,
+            els=first.els + second.els,
+            comment=first.comment,
+        )
+        new_siblings = siblings[:index] + (merged,) + siblings[index + 2:]
+        parent = node_at(ctx.description, parent_path)
+        new_parent = dataclasses.replace(parent, **{field: new_siblings})
+        return TransformResult(
+            description=replace_at(ctx.description, parent_path, new_parent),
+            note="merged adjacent conditionals with identical conditions",
+        )

@@ -1,0 +1,54 @@
+"""Registry of the transformation library.
+
+Transformations register themselves by class decorator; the registry
+indexes them by name and by the paper's seven categories.  The engine
+looks transformations up by name, and the reporting layer prints library
+statistics (the paper's implementation had 75 transformations — the test
+suite checks this library is in the same league and covers all seven
+categories).
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Type
+
+from .base import CATEGORIES, Transformation
+
+_REGISTRY: Dict[str, Transformation] = {}
+
+
+def register(cls: Type[Transformation]) -> Type[Transformation]:
+    """Class decorator adding one transformation to the library."""
+    if not cls.name:
+        raise ValueError(f"{cls.__name__} has no name")
+    if cls.category not in CATEGORIES:
+        raise ValueError(f"{cls.__name__} has unknown category {cls.category!r}")
+    if cls.name in _REGISTRY:
+        raise ValueError(f"duplicate transformation name {cls.name!r}")
+    _REGISTRY[cls.name] = cls()
+    return cls
+
+
+def get(name: str) -> Transformation:
+    """Look up a transformation by name."""
+    try:
+        return _REGISTRY[name]
+    except KeyError:
+        raise KeyError(
+            f"unknown transformation {name!r}; known: {sorted(_REGISTRY)}"
+        )
+
+
+def all_transformations() -> List[Transformation]:
+    return list(_REGISTRY.values())
+
+
+def by_category() -> Dict[str, List[Transformation]]:
+    result: Dict[str, List[Transformation]] = {cat: [] for cat in CATEGORIES}
+    for transformation in _REGISTRY.values():
+        result[transformation.category].append(transformation)
+    return result
+
+
+def library_size() -> int:
+    return len(_REGISTRY)

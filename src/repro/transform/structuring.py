@@ -1,0 +1,269 @@
+"""Routine-structuring transformations.
+
+These "change how a description is structured into different routines"
+(paper §5).  Descriptions from different sources factor their code
+differently — one writes a ``fetch()`` access routine, another inlines
+the memory read — and the matcher requires call structure to line up,
+so analyses fold or raise routine boundaries as needed.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+from typing import Tuple
+
+from ..isdl import ast
+from ..isdl.visitor import Path, insert_at, node_at, remove_at, replace_at, splice_at, walk
+from .base import Context, Transformation, TransformError, TransformResult
+from .registry import register
+
+
+def _substitute_return_slot(body: Tuple[ast.Stmt, ...], routine_name: str, temp: str):
+    """Rewrite references to a routine's return slot to a temp variable."""
+
+    def rewrite(node):
+        if isinstance(node, ast.Var) and node.name == routine_name:
+            return ast.Var(temp)
+        return node
+
+    def walk_stmt(stmt: ast.Stmt) -> ast.Stmt:
+        if isinstance(stmt, ast.Assign):
+            target = stmt.target
+            if isinstance(target, ast.Var) and target.name == routine_name:
+                target = ast.Var(temp)
+            elif isinstance(target, ast.MemRead):
+                target = ast.MemRead(walk_expr(target.addr))
+            return dataclasses.replace(
+                stmt, target=target, expr=walk_expr(stmt.expr)
+            )
+        if isinstance(stmt, ast.If):
+            return dataclasses.replace(
+                stmt,
+                cond=walk_expr(stmt.cond),
+                then=tuple(walk_stmt(inner) for inner in stmt.then),
+                els=tuple(walk_stmt(inner) for inner in stmt.els),
+            )
+        if isinstance(stmt, ast.Repeat):
+            return dataclasses.replace(
+                stmt, body=tuple(walk_stmt(inner) for inner in stmt.body)
+            )
+        if isinstance(stmt, (ast.ExitWhen, ast.Assert)):
+            return dataclasses.replace(stmt, cond=walk_expr(stmt.cond))
+        if isinstance(stmt, ast.Output):
+            return dataclasses.replace(
+                stmt, exprs=tuple(walk_expr(expr) for expr in stmt.exprs)
+            )
+        return stmt
+
+    def walk_expr(expr: ast.Expr) -> ast.Expr:
+        if isinstance(expr, ast.Var):
+            return rewrite(expr)
+        if isinstance(expr, ast.MemRead):
+            return ast.MemRead(walk_expr(expr.addr))
+        if isinstance(expr, ast.Call):
+            return dataclasses.replace(
+                expr, args=tuple(walk_expr(arg) for arg in expr.args)
+            )
+        if isinstance(expr, ast.BinOp):
+            return dataclasses.replace(
+                expr, left=walk_expr(expr.left), right=walk_expr(expr.right)
+            )
+        if isinstance(expr, ast.UnOp):
+            return dataclasses.replace(expr, operand=walk_expr(expr.operand))
+        return expr
+
+    return tuple(walk_stmt(stmt) for stmt in body)
+
+
+@register
+class InlineCall(Transformation):
+    """Inline ``x <- f()`` where ``f`` has no parameters.
+
+    The routine body is spliced in place of the assignment with the
+    return slot renamed to a fresh temp (``temp=`` parameter), followed
+    by ``x <- temp``.  The body may not contain ``input``, ``output``,
+    or a top-level ``exit_when`` (it would escape into the caller's
+    loop, changing semantics).
+    """
+
+    name = "inline_call"
+    category = "routine-structuring"
+
+    def apply(self, ctx: Context, path: Path, **params) -> TransformResult:
+        temp = params.get("temp")
+        self._require(bool(temp), "inline_call needs temp=...")
+        node = ctx.node(path)
+        self._require(
+            isinstance(node, ast.Assign) and isinstance(node.expr, ast.Call),
+            "needs an assignment whose whole right side is a call",
+        )
+        call = node.expr
+        self._require(not call.args, "only parameterless calls can be inlined")
+        routine = ctx.description.routine(call.name)
+        self._require(
+            not ctx.description.has_register(temp)
+            and all(r.name != temp for r in ctx.description.routines()),
+            f"{temp!r} is not a fresh name",
+        )
+        from .motion import has_escaping_exit
+
+        for stmt in routine.body:
+            self._require(
+                not isinstance(stmt, (ast.Input, ast.Output)),
+                "routine with input/output cannot be inlined",
+            )
+            self._require(
+                not has_escaping_exit(stmt),
+                "routine body has a top-level exit_when",
+            )
+        inlined = _substitute_return_slot(routine.body, routine.name, temp)
+        replacement = inlined + (
+            dataclasses.replace(node, expr=ast.Var(temp)),
+        )
+        description = splice_at(ctx.description, path, replacement)
+        from .loops import declare_register
+
+        width = routine.width if routine.width is not None else ast.TypeWidth("integer")
+        description = declare_register(
+            description,
+            ast.RegDecl(name=temp, width=width, comment="inlined return value"),
+        )
+        return TransformResult(
+            description=description,
+            note=f"inlined call to {call.name}",
+        )
+
+
+@register
+class ExtractAccessRoutine(Transformation):
+    """Outline ``x <- Mb[p]; p <- p + 1`` into an access routine.
+
+    Parameters: ``routine`` (fresh routine name).  The two adjacent
+    statements at ``path`` become ``x <- routine()`` and a new routine
+    ``routine() := begin routine <- Mb[p]; p <- p + 1 end`` is declared
+    in the section holding the enclosing routine.  This raises an
+    inlined description to the access-routine style used by machine
+    descriptions (``fetch()``), so the matcher can pair them.
+    """
+
+    name = "extract_access_routine"
+    category = "routine-structuring"
+
+    def apply(self, ctx: Context, path: Path, **params) -> TransformResult:
+        routine_name = params.get("routine")
+        self._require(bool(routine_name), "extract_access_routine needs routine=...")
+        self._require(
+            not ctx.description.has_register(routine_name)
+            and all(r.name != routine_name for r in ctx.description.routines()),
+            f"{routine_name!r} is not a fresh name",
+        )
+        parent_path, field, index = ctx.stmt_position(path)
+        parent = node_at(ctx.description, parent_path)
+        siblings = getattr(parent, field)
+        self._require(index + 1 < len(siblings), "needs two adjacent statements")
+        load, bump = siblings[index], siblings[index + 1]
+        self._require(
+            isinstance(load, ast.Assign)
+            and isinstance(load.target, ast.Var)
+            and isinstance(load.expr, ast.MemRead)
+            and isinstance(load.expr.addr, ast.Var),
+            "first statement must be 'x <- Mb[p]'",
+        )
+        pointer = load.expr.addr.name
+        expected_bump = ast.Assign(
+            target=ast.Var(pointer),
+            expr=ast.BinOp("+", ast.Var(pointer), ast.Const(1)),
+        )
+        self._require(
+            isinstance(bump, ast.Assign)
+            and bump.target == expected_bump.target
+            and bump.expr == expected_bump.expr,
+            "second statement must be 'p <- p + 1'",
+        )
+        try:
+            target_width = ctx.description.register(load.target.name).width
+        except KeyError:
+            target_width = ast.TypeWidth("integer")
+        new_routine = ast.RoutineDecl(
+            name=routine_name,
+            params=(),
+            width=target_width,
+            body=(
+                ast.Assign(
+                    target=ast.Var(routine_name), expr=load.expr
+                ),
+                dataclasses.replace(bump, comment=None),
+            ),
+            comment="extracted access routine",
+        )
+        call_stmt = dataclasses.replace(
+            load, expr=ast.Call(routine_name, ()), comment=load.comment
+        )
+        new_siblings = siblings[:index] + (call_stmt,) + siblings[index + 2:]
+        new_parent = dataclasses.replace(parent, **{field: new_siblings})
+        description = replace_at(ctx.description, parent_path, new_parent)
+        # Declare the routine in the section containing the enclosing
+        # routine, right before it (matching the paper's SOURCE.ACCESS
+        # placement of access routines).
+        _, enclosing_path = ctx.enclosing_routine(path)
+        description = insert_at(description, enclosing_path, new_routine)
+        return TransformResult(
+            description=description,
+            note=f"extracted access routine {routine_name}",
+        )
+
+
+@register
+class RemoveUnusedRoutine(Transformation):
+    """Remove a routine that is never called (and is not the entry)."""
+
+    name = "remove_unused_routine"
+    category = "routine-structuring"
+
+    def apply(self, ctx: Context, path: Path, **params) -> TransformResult:
+        node = ctx.node(path)
+        self._require(isinstance(node, ast.RoutineDecl), "needs a routine")
+        entry = ctx.description.entry_routine()
+        self._require(node.name != entry.name, "cannot remove the entry routine")
+        for _, sub in walk(ctx.description):
+            if isinstance(sub, ast.Call) and sub.name == node.name:
+                raise TransformError(f"routine {node.name!r} is still called")
+        return TransformResult(
+            description=remove_at(ctx.description, path),
+            note=f"removed unused routine {node.name}",
+        )
+
+
+@register
+class RenameRoutine(Transformation):
+    """Alpha-rename a routine and all of its call sites."""
+
+    name = "rename_routine"
+    category = "routine-structuring"
+
+    def apply(self, ctx: Context, path: Path, **params) -> TransformResult:
+        new_name = params.get("new_name")
+        self._require(bool(new_name), "rename_routine needs new_name=...")
+        node = ctx.node(path)
+        self._require(isinstance(node, ast.RoutineDecl), "needs a routine")
+        old_name = node.name
+        self._require(
+            not ctx.description.has_register(new_name)
+            and all(r.name != new_name for r in ctx.description.routines()),
+            f"{new_name!r} is not a fresh name",
+        )
+        from .globals_ import _rewrite_everywhere
+
+        def rename(sub):
+            if isinstance(sub, ast.Call) and sub.name == old_name:
+                return dataclasses.replace(sub, name=new_name)
+            if isinstance(sub, ast.RoutineDecl) and sub.name == old_name:
+                body = _substitute_return_slot(sub.body, old_name, new_name)
+                return dataclasses.replace(sub, name=new_name, body=body)
+            return None
+
+        description = _rewrite_everywhere(ctx.description, rename)
+        return TransformResult(
+            description=description,
+            note=f"renamed routine {old_name} to {new_name}",
+        )

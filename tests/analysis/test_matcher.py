@@ -1,0 +1,139 @@
+"""Common-form matcher tests."""
+
+import pytest
+
+from repro.analysis import Matcher, MatchFailure
+from repro.isdl import parse_description
+
+
+def make(text):
+    return parse_description(text)
+
+
+OPERATOR = """
+op.operation := begin
+    ** S **
+        A: integer,
+        N: integer,
+        t<>
+    ** P **
+        op.execute() := begin
+            input (A, N);
+            t <- 0;
+            repeat
+                exit_when (N = 0);
+                Mb[ A ] <- 0;
+                A <- A + 1;
+                N <- N - 1;
+            end_repeat;
+            output (t);
+        end
+end
+"""
+
+INSTRUCTION = """
+ins.instruction := begin
+    ** S **
+        r1<15:0>,
+        r2<7:0>,
+        z<>
+    ** P **
+        ins.execute() := begin
+            input (r1, r2);
+            z <- 0;
+            repeat
+                exit_when (r2 = 0);
+                Mb[ r1 ] <- 0;
+                r1 <- r1 + 1;
+                r2 <- r2 - 1;
+            end_repeat;
+            output (z);
+        end
+end
+"""
+
+
+class TestSuccess:
+    def test_match_builds_bijection(self):
+        result = Matcher(make(OPERATOR), make(INSTRUCTION)).match()
+        assert result.operand_map == {"A": "r1", "N": "r2"}
+        assert result.name_map["t"] == "z"
+        assert result.name_map["op.execute"] == "ins.execute"
+
+    def test_width_binding_emits_range_constraints(self):
+        result = Matcher(make(OPERATOR), make(INSTRUCTION)).match()
+        by_operand = {c.operand: c for c in result.constraints}
+        assert by_operand["A"].hi == 65535
+        assert by_operand["N"].hi == 255
+        assert by_operand["A"].is_operand
+
+    def test_flag_widths_match_exactly(self):
+        result = Matcher(make(OPERATOR), make(INSTRUCTION)).match()
+        assert all(c.operand != "t" for c in result.constraints)
+
+    def test_asserts_skipped(self):
+        with_assert = OPERATOR.replace(
+            "t <- 0;", "assert (N >= 0); t <- 0;"
+        )
+        result = Matcher(make(with_assert), make(INSTRUCTION)).match()
+        assert result.operand_map["A"] == "r1"
+
+    def test_comments_ignored(self):
+        commented = INSTRUCTION.replace(
+            "z <- 0;", "z <- 0;                  ! clear the flag"
+        )
+        Matcher(make(OPERATOR), make(commented)).match()
+
+
+class TestFailure:
+    def failing(self, operator_text, instruction_text):
+        with pytest.raises(MatchFailure) as info:
+            Matcher(make(operator_text), make(instruction_text)).match()
+        return str(info.value)
+
+    def test_statement_count_mismatch(self):
+        broken = INSTRUCTION.replace("z <- 0;\n", "")
+        message = self.failing(OPERATOR, broken)
+        assert "statement counts differ" in message
+
+    def test_operator_mismatch(self):
+        broken = INSTRUCTION.replace("r1 <- r1 + 1;", "r1 <- r1 - 1;")
+        message = self.failing(OPERATOR, broken)
+        assert "operators differ" in message
+
+    def test_constant_mismatch(self):
+        broken = INSTRUCTION.replace("exit_when (r2 = 0);", "exit_when (r2 = 1);")
+        message = self.failing(OPERATOR, broken)
+        assert "constants differ" in message
+
+    def test_inconsistent_bijection(self):
+        # r1 would have to bind to both A and N.
+        broken = INSTRUCTION.replace("r2 <- r2 - 1;", "r1 <- r1 - 1;")
+        message = self.failing(OPERATOR, broken)
+        assert "already bound" in message
+
+    def test_operand_count_mismatch(self):
+        broken = INSTRUCTION.replace("input (r1, r2);", "input (r1, r2, z);")
+        message = self.failing(OPERATOR, broken)
+        assert "operand counts differ" in message
+
+    def test_output_arity_mismatch(self):
+        broken = INSTRUCTION.replace("output (z);", "output (z, r1);")
+        message = self.failing(OPERATOR, broken)
+        assert "output arities differ" in message
+
+    def test_concrete_width_mismatch(self):
+        broken = INSTRUCTION.replace("z<>", "z<7:0>")
+        message = self.failing(OPERATOR, broken)
+        assert "widths differ" in message
+
+    def test_character_needs_byte_register(self):
+        operator = OPERATOR.replace("A: integer", "A: character")
+        message = self.failing(operator, INSTRUCTION)
+        assert "character" in message
+
+    def test_statement_kind_mismatch(self):
+        broken = INSTRUCTION.replace(
+            "Mb[ r1 ] <- 0;", "exit_when (z);"
+        )
+        self.failing(OPERATOR, broken)

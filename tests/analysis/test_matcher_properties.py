@@ -1,0 +1,85 @@
+"""Property tests for the matcher: alpha-equivalence is its fixpoint."""
+
+import dataclasses
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.analysis import Matcher, MatchFailure
+from repro.isdl import ast
+from repro.languages import clu, pascal, pc2, rigel
+from repro.machines.i8086 import descriptions as i8086
+from repro.machines.vax11 import descriptions as vax11
+
+CORPUS = [
+    rigel.index,
+    clu.indexc,
+    pascal.sassign,
+    pascal.sequal,
+    pc2.blkcpy,
+    pc2.blkclr,
+    i8086.scasb,
+    vax11.locc,
+]
+
+
+def rename_everything(description, suffix):
+    """Consistently rename every register and routine."""
+    mapping = {}
+    for decl in description.registers():
+        mapping[decl.name] = f"{decl.name}_{suffix}"
+    for routine in description.routines():
+        mapping[routine.name] = f"{routine.name}_{suffix}"
+
+    def rewrite(node):
+        if isinstance(node, ast.Var) and node.name in mapping:
+            return ast.Var(mapping[node.name])
+        if isinstance(node, ast.RegDecl):
+            return dataclasses.replace(node, name=mapping[node.name])
+        if isinstance(node, ast.RoutineDecl):
+            return dataclasses.replace(node, name=mapping[node.name])
+        if isinstance(node, ast.Call) and node.name in mapping:
+            return dataclasses.replace(node, name=mapping[node.name])
+        if isinstance(node, ast.Input):
+            return dataclasses.replace(
+                node, names=tuple(mapping.get(n, n) for n in node.names)
+            )
+        return None
+
+    from repro.transform.globals_ import _rewrite_everywhere
+
+    return _rewrite_everywhere(description, rewrite)
+
+
+@pytest.mark.parametrize("loader", CORPUS, ids=lambda l: l.__name__)
+def test_description_matches_its_own_renaming(loader):
+    description = loader()
+    renamed = rename_everything(description, "x")
+    result = Matcher(description, renamed).match()
+    # Self-match modulo renaming: the bijection is the renaming, and no
+    # width constraints arise (widths are identical).
+    for left, right in result.name_map.items():
+        assert right == f"{left}_x"
+    assert result.constraints == ()
+
+
+@pytest.mark.parametrize("loader", CORPUS, ids=lambda l: l.__name__)
+def test_match_is_symmetric_on_renamings(loader):
+    description = loader()
+    renamed = rename_everything(description, "y")
+    Matcher(renamed, description).match()  # must not raise
+
+
+def test_mismatched_descriptions_never_match():
+    with pytest.raises(MatchFailure):
+        Matcher(rigel.index(), i8086.scasb()).match()  # untransformed
+    with pytest.raises(MatchFailure):
+        Matcher(pascal.sassign(), pc2.blkclr()).match()
+
+
+def test_operand_map_follows_input_order():
+    description = rigel.index()
+    renamed = rename_everything(description, "z")
+    result = Matcher(description, renamed).match()
+    entry = description.entry_routine()
+    assert list(result.operand_map) == list(entry.body[0].names)

@@ -1,0 +1,70 @@
+"""Reporting-layer tests."""
+
+from repro.analysis import AnalysisOutcome, format_table, full_report, table2_row
+from repro.analysis.verify import VerificationReport
+
+
+def make_outcome(**overrides):
+    defaults = dict(
+        machine="Intel 8086",
+        instruction="scasb",
+        language="Rigel",
+        operation="string search",
+    )
+    defaults.update(overrides)
+    return AnalysisOutcome(**defaults)
+
+
+class TestTableFormatting:
+    def test_alignment(self):
+        rows = [("a", "bbbb"), ("cc", "d")]
+        text = format_table(rows, ("H1", "H2"))
+        lines = text.splitlines()
+        assert lines[0].startswith("H1")
+        assert set(lines[1]) <= {"-", " "}
+        # Columns align: 'bbbb' and 'd' start at the same offset.
+        assert lines[2].index("bbbb") == lines[3].index("d")
+
+    def test_wide_headers(self):
+        text = format_table([("x", "y")], ("Wide Header One", "Two"))
+        assert "Wide Header One" in text
+
+    def test_empty_rows(self):
+        text = format_table([], ("A", "B"))
+        assert "A" in text
+
+
+class TestOutcomeViews:
+    def test_failed_outcome(self):
+        outcome = make_outcome(failure="TransformError: nope")
+        assert not outcome.succeeded
+        assert outcome.steps is None
+        row = table2_row(outcome)
+        assert row[-1] == "failed"
+        report = full_report(outcome)
+        assert "ANALYSIS FAILED" in report
+        assert "nope" in report
+
+    def test_successful_outcome_report(self):
+        from repro.analyses import movc3_pc2
+
+        outcome = movc3_pc2.run(verify=False)
+        report = full_report(outcome)
+        assert "binding:" in report
+        assert "movc3.instruction := begin" in report
+        assert str(outcome.steps) in table2_row(outcome)
+
+    def test_verification_shown(self):
+        from repro.analyses import movc3_pc2
+
+        outcome = movc3_pc2.run(verify=True, trials=20)
+        report = full_report(outcome)
+        assert "verified:" in report
+        assert "20 randomized states" in str(outcome.verification)
+
+    def test_log_attached(self):
+        from repro.analyses import movc3_pc2
+
+        outcome = movc3_pc2.run(verify=False)
+        assert outcome.log is not None
+        assert "swap_comparison" in outcome.log

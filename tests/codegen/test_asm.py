@@ -1,0 +1,51 @@
+"""Assembly representation tests."""
+
+from repro.asm import (
+    AsmProgram,
+    Imm,
+    Instr,
+    Label,
+    LabelRef,
+    MemRef,
+    ParamRef,
+    Reg,
+)
+
+
+class TestOperandRendering:
+    def test_operands(self):
+        assert str(Reg("di")) == "di"
+        assert str(Imm(42)) == "42"
+        assert str(ParamRef("len")) == "$len"
+        assert str(MemRef(Reg("si"))) == "(si)"
+        assert str(MemRef(Reg("si"), 4)) == "4(si)"
+        assert str(LabelRef("done")) == "done"
+
+    def test_instr_rendering(self):
+        instr = Instr("mov", (Reg("ax"), Imm(1)), comment="init")
+        text = str(instr)
+        assert text.startswith("mov ax, 1")
+        assert "; init" in text
+
+    def test_label_rendering(self):
+        assert str(Label("top")) == "top:"
+
+
+class TestProgram:
+    def test_emit_and_count(self):
+        asm = AsmProgram(machine="i8086")
+        asm.emit("mov", Reg("ax"), Imm(1))
+        asm.label("top")
+        asm.emit("dec", Reg("ax"))
+        assert len(asm) == 2  # labels do not count as instructions
+        assert [i.mnemonic for i in asm.instructions()] == ["mov", "dec"]
+
+    def test_listing_layout(self):
+        asm = AsmProgram(machine="vax11")
+        asm.emit("movl", Reg("r0"), Imm(0))
+        asm.label("loop")
+        asm.emit("brb", LabelRef("loop"))
+        listing = asm.listing()
+        assert listing.startswith("; target: vax11")
+        assert "\nloop:\n" in listing
+        assert "    movl r0, 0" in listing

@@ -1,0 +1,106 @@
+"""B4800 list-search back end: the §1 constraint, enforced at selection."""
+
+import random
+
+import pytest
+
+from repro.codegen import ir, target_for
+from repro.codegen.select import select
+from repro.codegen.bindings_db import library_for
+
+
+def list_memory(nodes, key_offset, link_offset, keys):
+    memory = {}
+    for index, addr in enumerate(nodes):
+        nxt = nodes[index + 1] if index + 1 < len(nodes) else 0
+        memory[addr + link_offset] = nxt
+        memory[addr + key_offset] = keys[index]
+    return memory
+
+
+@pytest.fixture(scope="module")
+def target():
+    return target_for("b4800")
+
+
+def search_op(key_offset, link_offset):
+    return ir.ListSearch(
+        result="node",
+        head=ir.Param("h", 0, 250),
+        key=ir.Param("k", 0, 255),
+        key_offset=ir.Const(key_offset),
+        link_offset=ir.Const(link_offset),
+    )
+
+
+class TestSelection:
+    def test_link_first_layout_selects_srl(self):
+        library = library_for("b4800")
+        selection = select(library, search_op(1, 0))
+        assert selection.binding is not None
+        assert selection.binding.instruction == "srl"
+
+    def test_other_layout_refused(self):
+        library = library_for("b4800")
+        selection = select(library, search_op(0, 2))
+        assert selection.binding is None
+        assert "LinkOff" in selection.reason
+
+    def test_runtime_link_offset_refused(self):
+        library = library_for("b4800")
+        op = ir.ListSearch(
+            result="node",
+            head=ir.Param("h", 0, 250),
+            key=ir.Param("k", 0, 255),
+            key_offset=ir.Const(1),
+            link_offset=ir.Param("lo", 0, 4),
+        )
+        selection = select(library, op)
+        assert selection.binding is None
+        assert "runtime value" in selection.reason
+
+
+class TestExecution:
+    @pytest.mark.parametrize("use_exotic", [True, False], ids=["srl", "loop"])
+    def test_agrees_with_oracle(self, target, use_exotic):
+        rng = random.Random(44)
+        asm = target.compile((search_op(1, 0),), use_exotic=use_exotic)
+        for _ in range(15):
+            count = rng.randint(0, 10)
+            nodes = sorted(rng.sample(range(10, 240, 4), count))
+            keys = [rng.randrange(256) for _ in nodes]
+            memory = list_memory(nodes, 1, 0, keys)
+            key = rng.choice(keys) if keys and rng.random() < 0.6 else rng.randrange(256)
+            head = nodes[0] if nodes else 0
+            result = target.simulate(asm, {"h": head, "k": key}, memory)
+            expected = 0
+            for addr, node_key in zip(nodes, keys):
+                if node_key == key:
+                    expected = addr
+                    break
+            assert result.results["node"] == expected
+
+    def test_nonstandard_layout_still_compiles_correctly(self, target):
+        asm = target.compile((search_op(0, 3),))
+        assert not any(i.mnemonic == "srl" for i in asm.instructions())
+        nodes = [20, 40, 60]
+        memory = list_memory(nodes, 0, 3, [7, 8, 9])
+        result = target.simulate(asm, {"h": 20, "k": 8}, memory)
+        assert result.results["node"] == 40
+
+    def test_srl_is_cheaper(self, target):
+        nodes = list(range(10, 240, 4))
+        keys = list(range(len(nodes)))
+        memory = list_memory(nodes, 1, 0, keys)
+        exotic = target.simulate(
+            target.compile((search_op(1, 0),), use_exotic=True),
+            {"h": nodes[0], "k": 40},
+            memory,
+        )
+        loop = target.simulate(
+            target.compile((search_op(1, 0),), use_exotic=False),
+            {"h": nodes[0], "k": 40},
+            memory,
+        )
+        assert exotic.results["node"] == loop.results["node"]
+        assert exotic.cycles * 2 < loop.cycles

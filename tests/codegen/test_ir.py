@@ -1,0 +1,53 @@
+"""IR operand expression tests."""
+
+from repro.codegen import ir
+
+
+class TestFold:
+    def test_const_folding(self):
+        assert ir.fold(ir.Add(ir.Const(2), ir.Const(3))) == ir.Const(5)
+        assert ir.fold(ir.Sub(ir.Const(2), ir.Const(3))) == ir.Const(-1)
+
+    def test_nested_folding(self):
+        expr = ir.Add(ir.Add(ir.Const(1), ir.Const(2)), ir.Const(3))
+        assert ir.fold(expr) == ir.Const(6)
+
+    def test_params_preserved(self):
+        expr = ir.Add(ir.Param("x"), ir.Const(0))
+        assert ir.fold(expr) == expr
+
+    def test_const_value(self):
+        assert ir.const_value(ir.Add(ir.Const(250), ir.Const(6))) == 256
+        assert ir.const_value(ir.Param("x")) is None
+
+
+class TestStaticRange:
+    def test_const(self):
+        assert ir.static_range(ir.Const(5)) == (5, 5)
+
+    def test_param_with_bounds(self):
+        assert ir.static_range(ir.Param("n", 1, 100)) == (1, 100)
+
+    def test_param_unbounded(self):
+        assert ir.static_range(ir.Param("n")) == (None, None)
+
+    def test_add_propagates(self):
+        expr = ir.Add(ir.Param("n", 0, 10), ir.Const(5))
+        assert ir.static_range(expr) == (5, 15)
+
+    def test_sub_flips_bounds(self):
+        expr = ir.Sub(ir.Param("n", 10, 20), ir.Param("m", 1, 3))
+        assert ir.static_range(expr) == (7, 19)
+
+    def test_unknown_poisons(self):
+        expr = ir.Add(ir.Param("n"), ir.Const(5))
+        assert ir.static_range(expr) == (None, None)
+
+
+class TestOperators:
+    def test_operator_names(self):
+        assert ir.StringMove(ir.Const(0), ir.Const(0), ir.Const(0)).operator == "string.move"
+        assert ir.BlockCopy(ir.Const(0), ir.Const(0), ir.Const(0)).operator == "block.copy"
+        assert ir.BlockClear(ir.Const(0), ir.Const(0)).operator == "block.clear"
+        assert ir.StringIndex("r", ir.Const(0), ir.Const(0), ir.Const(0)).operator == "string.index"
+        assert ir.StringEqual("r", ir.Const(0), ir.Const(0), ir.Const(0)).operator == "string.equal"

@@ -1,0 +1,146 @@
+"""§6 optimization tests: folding and dedicated-register reuse."""
+
+import pytest
+
+from repro.codegen import ir, target_for
+from repro.codegen.optimize import RegisterValues, vn_add, vn_of
+
+
+class TestValueNumbers:
+    def test_constants_and_params(self):
+        assert vn_of(ir.Const(5)) == ("const", 5)
+        assert vn_of(ir.Param("x")) == ("param", "x")
+
+    def test_folding_inside_vn(self):
+        assert vn_of(ir.Add(ir.Const(2), ir.Const(3))) == ("const", 5)
+
+    def test_addition_commutes(self):
+        a_b = vn_of(ir.Add(ir.Param("a"), ir.Param("b")))
+        b_a = vn_of(ir.Add(ir.Param("b"), ir.Param("a")))
+        assert a_b == b_a
+
+    def test_subtraction_does_not_commute(self):
+        assert vn_of(ir.Sub(ir.Param("a"), ir.Param("b"))) != vn_of(
+            ir.Sub(ir.Param("b"), ir.Param("a"))
+        )
+
+    def test_vn_add_matches_expression_vn(self):
+        direct = vn_of(ir.Add(ir.Param("s"), ir.Param("n")))
+        composed = vn_add(vn_of(ir.Param("s")), vn_of(ir.Param("n")))
+        assert direct == composed
+
+    def test_register_tracking(self):
+        regs = RegisterValues()
+        regs.set("r1", ("param", "x"))
+        assert regs.holding(("param", "x")) == "r1"
+        regs.clobber("r1")
+        assert regs.holding(("param", "x")) is None
+
+    def test_disabled_tracking_never_reuses(self):
+        regs = RegisterValues(enabled=False)
+        regs.set("r1", ("param", "x"))
+        assert regs.holding(("param", "x")) is None
+
+
+class TestDedicatedRegisterReuse:
+    """Cascaded VAX string ops skip reloading architected registers."""
+
+    PROG = (
+        ir.BlockCopy(
+            dst=ir.Param("mid", 0, 60000),
+            src=ir.Param("src", 0, 60000),
+            length=ir.Param("n", 0, 4000),
+        ),
+        # The second copy reads from exactly where the first one's R1
+        # ended: src + n.
+        ir.BlockCopy(
+            dst=ir.Param("dst", 0, 60000),
+            src=ir.Add(ir.Param("src", 0, 60000), ir.Param("n", 0, 4000)),
+            length=ir.Param("n", 0, 4000),
+        ),
+    )
+
+    def compile_both(self):
+        with_reuse = target_for("vax11", reuse_registers=True)
+        without = target_for("vax11", reuse_registers=False)
+        return with_reuse, without
+
+    def test_reuse_shortens_code(self):
+        with_reuse, without = self.compile_both()
+        optimized = with_reuse.compile(self.PROG)
+        baseline = without.compile(self.PROG)
+        assert len(optimized) < len(baseline)
+        # The optimized form references r1 (movc3's source result) as
+        # the second copy's source operand.
+        movc3s = [i for i in optimized.instructions() if i.mnemonic == "movc3"]
+        assert any("r1" == op.name for op in movc3s[1].operands)
+
+    def test_reuse_preserves_results_and_saves_cycles(self):
+        with_reuse, without = self.compile_both()
+        memory = {200 + i: i + 1 for i in range(20)}
+        run_params = {"src": 200, "mid": 300, "dst": 500, "n": 10}
+        optimized = with_reuse.simulate(
+            with_reuse.compile(self.PROG), run_params, memory
+        )
+        baseline = without.simulate(
+            without.compile(self.PROG), run_params, memory
+        )
+        for i in range(10):
+            assert optimized.memory.read(300 + i) == i + 1
+            assert optimized.memory.read(500 + i) == i + 11
+            assert baseline.memory.read(300 + i) == optimized.memory.read(300 + i)
+            assert baseline.memory.read(500 + i) == optimized.memory.read(500 + i)
+        assert optimized.cycles < baseline.cycles
+
+    def test_repeated_length_operand_reused(self):
+        target = target_for("vax11")
+        asm = target.compile(self.PROG)
+        loads = [
+            i
+            for i in asm.instructions()
+            if i.mnemonic == "movl"
+            and len(i.operands) == 2
+            and str(i.operands[1]) == "$n"
+        ]
+        # n is loaded once and reused by the second movc3.
+        assert len(loads) == 1
+
+
+class TestConstantFolding:
+    def test_chunk_addresses_folded(self):
+        target = target_for("ibm370", fold_constants=True)
+        prog = (
+            ir.StringMove(
+                dst=ir.Const(5000), src=ir.Const(1000), length=ir.Const(300)
+            ),
+        )
+        asm = target.compile(prog)
+        # With constant bases, the chunk addresses (base + 256) fold to
+        # immediates: no add instructions at all.
+        assert not any(i.mnemonic == "ar" for i in asm.instructions())
+
+    def test_folding_off_emits_arithmetic(self):
+        target = target_for("ibm370", fold_constants=False)
+        prog = (
+            ir.StringMove(
+                dst=ir.Const(5000), src=ir.Const(1000), length=ir.Const(300)
+            ),
+        )
+        asm = target.compile(prog)
+        assert any(i.mnemonic == "ar" for i in asm.instructions())
+
+    def test_folding_does_not_change_results(self):
+        memory = {1000 + i: (i * 11) % 256 for i in range(300)}
+        results = []
+        for fold in (True, False):
+            target = target_for("ibm370", fold_constants=fold)
+            prog = (
+                ir.StringMove(
+                    dst=ir.Const(5000), src=ir.Const(1000), length=ir.Const(300)
+                ),
+            )
+            run = target.simulate(target.compile(prog), {}, memory)
+            results.append(
+                tuple(run.memory.read(5000 + i) for i in range(300))
+            )
+        assert results[0] == results[1]

@@ -1,0 +1,53 @@
+"""Property tests for the chunking rewrite."""
+
+from hypothesis import given, strategies as st
+
+from repro.codegen import ir
+from repro.codegen.rewrite import chunk_operation
+
+
+@given(
+    st.integers(min_value=1, max_value=5000),
+    st.integers(min_value=1, max_value=512),
+)
+def test_chunks_partition_the_move(total, chunk_size):
+    op = ir.StringMove(
+        dst=ir.Param("d", 0, 100000),
+        src=ir.Param("s", 0, 100000),
+        length=ir.Const(total),
+    )
+    pieces = chunk_operation(op, chunk_size)
+    lengths = [ir.const_value(p.length) for p in pieces]
+    assert sum(lengths) == total
+    assert all(1 <= length <= chunk_size for length in lengths)
+    # All chunks except the last are full-sized.
+    assert all(length == chunk_size for length in lengths[:-1])
+    # Offsets advance by the cumulative moved amount on both operands.
+    moved = 0
+    for piece, length in zip(pieces, lengths):
+        lo_dst, _ = ir.static_range(piece.dst)
+        lo_src, _ = ir.static_range(piece.src)
+        assert lo_dst == moved
+        assert lo_src == moved
+        moved += length
+
+
+@given(st.integers(min_value=0, max_value=2000))
+def test_block_clear_chunks_cover_exactly(total):
+    op = ir.BlockClear(dst=ir.Param("d", 0, 100000), length=ir.Const(total))
+    if total == 0:
+        from repro.codegen.rewrite import rewrite_for
+        # handled upstream: chunk_operation is only called for total > 0
+        return
+    pieces = chunk_operation(op, 256)
+    assert sum(ir.const_value(p.length) for p in pieces) == total
+
+
+def test_runtime_length_raises():
+    import pytest
+
+    op = ir.StringMove(
+        dst=ir.Param("d"), src=ir.Param("s"), length=ir.Param("n")
+    )
+    with pytest.raises(ValueError):
+        chunk_operation(op, 256)

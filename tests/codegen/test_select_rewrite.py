@@ -1,0 +1,104 @@
+"""Instruction selection and constraint-satisfaction rewriting."""
+
+import pytest
+
+from repro.codegen import ir, library_for, plan, rewrite_for, select
+
+
+@pytest.fixture(scope="module")
+def i8086():
+    return library_for("i8086")
+
+
+@pytest.fixture(scope="module")
+def ibm370():
+    return library_for("ibm370")
+
+
+@pytest.fixture(scope="module")
+def vax11():
+    return library_for("vax11")
+
+
+ADDR = ir.Param("a", 0, 30000)
+ADDR2 = ir.Param("b", 0, 30000)
+
+
+class TestSelect:
+    def test_in_range_operands_select_exotic(self, i8086):
+        op = ir.StringMove(dst=ADDR, src=ADDR2, length=ir.Param("n", 0, 60000))
+        selection = select(i8086, op)
+        assert selection.binding is not None
+        assert selection.binding.instruction == "movsb"
+
+    def test_unknown_range_falls_back(self, i8086):
+        op = ir.StringMove(dst=ADDR, src=ADDR2, length=ir.Param("n"))
+        selection = select(i8086, op)
+        assert selection.binding is None
+        assert "no static range" in selection.reason
+
+    def test_out_of_range_falls_back(self, i8086):
+        op = ir.StringMove(
+            dst=ADDR, src=ADDR2, length=ir.Param("n", 0, 100000)
+        )
+        selection = select(i8086, op)
+        assert selection.binding is None
+        assert "exceeds" in selection.reason
+
+    def test_exotic_disabled(self, i8086):
+        op = ir.StringMove(dst=ADDR, src=ADDR2, length=ir.Const(4))
+        selection = select(i8086, op, use_exotic=False)
+        assert selection.binding is None
+
+    def test_unknown_operator_reports(self, ibm370):
+        op = ir.StringIndex("r", ADDR, ir.Const(4), ir.Const(65))
+        selection = select(ibm370, op)
+        assert selection.binding is None
+        assert "no binding" in selection.reason
+
+    def test_vax_string_move_needs_extension(self, vax11):
+        op = ir.StringMove(dst=ADDR, src=ADDR2, length=ir.Const(4))
+        assert select(vax11, op).binding is None
+        extended = library_for("vax11", with_extensions=True)
+        selection = select(extended, op)
+        assert selection.binding is not None
+        assert selection.binding.instruction == "movc3"
+
+
+class TestRewrite:
+    def test_chunking_constant_length(self, ibm370):
+        op = ir.StringMove(dst=ADDR, src=ADDR2, length=ir.Const(600))
+        pieces = rewrite_for(ibm370, op)
+        assert [ir.const_value(p.length) for p in pieces] == [256, 256, 88]
+        # Chunk addresses advance together.
+        assert ir.static_range(pieces[1].dst)[0] == 256
+
+    def test_exact_limit_needs_no_rewrite(self, ibm370):
+        op = ir.StringMove(dst=ADDR, src=ADDR2, length=ir.Const(256))
+        assert rewrite_for(ibm370, op) is None
+
+    def test_zero_length_move_vanishes(self, ibm370):
+        op = ir.StringMove(dst=ADDR, src=ADDR2, length=ir.Const(0))
+        assert rewrite_for(ibm370, op) == []
+
+    def test_runtime_length_not_chunkable(self, ibm370):
+        op = ir.StringMove(dst=ADDR, src=ADDR2, length=ir.Param("n"))
+        assert rewrite_for(ibm370, op) is None
+
+    def test_plan_splices_chunks(self, ibm370):
+        op = ir.StringMove(dst=ADDR, src=ADDR2, length=ir.Const(600))
+        selections = plan(ibm370, [op])
+        assert len(selections) == 3
+        assert all(s.binding is not None for s in selections)
+
+    def test_plan_without_rewrite_decomposes(self, ibm370):
+        op = ir.StringMove(dst=ADDR, src=ADDR2, length=ir.Const(600))
+        selections = plan(ibm370, [op], rewrite=False)
+        assert len(selections) == 1
+        assert selections[0].binding is None
+
+    def test_non_chunkable_operator(self, i8086):
+        op = ir.StringIndex(
+            "r", ADDR, ir.Param("n", 0, 100000), ir.Const(65)
+        )
+        assert rewrite_for(i8086, op) is None

@@ -1,0 +1,312 @@
+"""Back-end correctness: every op, every target, exotic and decomposed.
+
+Each generated program is run on the target's simulator and checked
+against a plain Python oracle over randomized buffers; exotic and
+decomposed compilations must agree with the oracle (and the exotic form
+must be cheaper).
+"""
+
+import random
+
+import pytest
+
+from repro.codegen import ir, target_for
+
+RNG_SEED = 99
+
+
+def random_case(rng, length=None):
+    length = rng.randint(0, 12) if length is None else length
+    src = 100
+    dst = 400
+    data = [rng.randrange(256) for _ in range(max(length, 1) + 4)]
+    memory = {src + i: b for i, b in enumerate(data)}
+    return src, dst, length, data, memory
+
+
+def params(**kwargs):
+    return kwargs
+
+
+class TestI8086:
+    @pytest.fixture(scope="class")
+    def target(self):
+        return target_for("i8086")
+
+    @pytest.mark.parametrize("use_exotic", [True, False], ids=["exotic", "decomposed"])
+    def test_string_move(self, target, use_exotic):
+        rng = random.Random(RNG_SEED)
+        prog = (
+            ir.StringMove(
+                dst=ir.Param("d", 0, 60000),
+                src=ir.Param("s", 0, 60000),
+                length=ir.Param("n", 0, 60000),
+            ),
+        )
+        asm = target.compile(prog, use_exotic=use_exotic)
+        for _ in range(10):
+            src, dst, length, data, memory = random_case(rng)
+            result = target.simulate(asm, params(s=src, d=dst, n=length), memory)
+            for i in range(length):
+                assert result.memory.read(dst + i) == data[i]
+
+    @pytest.mark.parametrize("use_exotic", [True, False], ids=["exotic", "decomposed"])
+    def test_string_index(self, target, use_exotic):
+        rng = random.Random(RNG_SEED + 1)
+        prog = (
+            ir.StringIndex(
+                result="idx",
+                base=ir.Param("s", 0, 60000),
+                length=ir.Param("n", 0, 60000),
+                char=ir.Param("c", 0, 255),
+            ),
+        )
+        asm = target.compile(prog, use_exotic=use_exotic)
+        for _ in range(15):
+            src, _, length, data, memory = random_case(rng)
+            char = rng.choice(data[:length]) if length and rng.random() < 0.6 else rng.randrange(256)
+            result = target.simulate(asm, params(s=src, n=length, c=char), memory)
+            expected = 0
+            for i in range(length):
+                if data[i] == char:
+                    expected = i + 1
+                    break
+            assert result.results["idx"] == expected
+
+    @pytest.mark.parametrize("use_exotic", [True, False], ids=["exotic", "decomposed"])
+    def test_string_equal(self, target, use_exotic):
+        rng = random.Random(RNG_SEED + 2)
+        prog = (
+            ir.StringEqual(
+                result="eq",
+                a=ir.Param("a", 0, 60000),
+                b=ir.Param("b", 0, 60000),
+                length=ir.Param("n", 0, 60000),
+            ),
+        )
+        asm = target.compile(prog, use_exotic=use_exotic)
+        for _ in range(15):
+            length = rng.randint(0, 10)
+            a_data = [rng.randrange(256) for _ in range(length)]
+            b_data = list(a_data) if rng.random() < 0.5 else [
+                rng.randrange(256) for _ in range(length)
+            ]
+            memory = {100 + i: v for i, v in enumerate(a_data)}
+            memory.update({400 + i: v for i, v in enumerate(b_data)})
+            result = target.simulate(
+                asm, params(a=100, b=400, n=length), memory
+            )
+            assert result.results["eq"] == (1 if a_data == b_data else 0)
+
+    def test_exotic_is_cheaper(self, target):
+        prog = (
+            ir.StringMove(
+                dst=ir.Param("d", 0, 60000),
+                src=ir.Param("s", 0, 60000),
+                length=ir.Param("n", 0, 60000),
+            ),
+        )
+        memory = {100 + i: 1 for i in range(64)}
+        exotic = target.simulate(
+            target.compile(prog, use_exotic=True),
+            params(s=100, d=400, n=64),
+            memory,
+        )
+        decomposed = target.simulate(
+            target.compile(prog, use_exotic=False),
+            params(s=100, d=400, n=64),
+            memory,
+        )
+        assert exotic.cycles < decomposed.cycles
+
+
+class TestVax11:
+    @pytest.fixture(scope="class")
+    def target(self):
+        return target_for("vax11")
+
+    @pytest.mark.parametrize("use_exotic", [True, False], ids=["exotic", "decomposed"])
+    def test_block_copy_with_overlap(self, target, use_exotic):
+        prog = (
+            ir.BlockCopy(
+                dst=ir.Param("d", 0, 60000),
+                src=ir.Param("s", 0, 60000),
+                length=ir.Param("n", 0, 60000),
+            ),
+        )
+        asm = target.compile(prog, use_exotic=use_exotic)
+        # Overlapping forward-dangerous case: dst two past src.
+        data = list(b"abcdef")
+        memory = {100 + i: b for i, b in enumerate(data)}
+        result = target.simulate(asm, params(s=100, d=102, n=6), memory)
+        assert [result.memory.read(102 + i) for i in range(6)] == data
+
+    @pytest.mark.parametrize("use_exotic", [True, False], ids=["exotic", "decomposed"])
+    def test_block_clear(self, target, use_exotic):
+        prog = (
+            ir.BlockClear(
+                dst=ir.Param("d", 0, 60000), length=ir.Param("n", 0, 60000)
+            ),
+        )
+        asm = target.compile(prog, use_exotic=use_exotic)
+        memory = {200 + i: 0xFF for i in range(8)}
+        result = target.simulate(asm, params(d=200, n=8), memory)
+        assert all(result.memory.read(200 + i) == 0 for i in range(8))
+
+    @pytest.mark.parametrize("use_exotic", [True, False], ids=["exotic", "decomposed"])
+    def test_string_index(self, target, use_exotic):
+        prog = (
+            ir.StringIndex(
+                result="idx",
+                base=ir.Param("s", 0, 60000),
+                length=ir.Param("n", 0, 60000),
+                char=ir.Param("c", 0, 255),
+            ),
+        )
+        asm = target.compile(prog, use_exotic=use_exotic)
+        memory = {100 + i: b for i, b in enumerate(b"compiler")}
+        found = target.simulate(
+            asm, params(s=100, n=8, c=ord("p")), memory
+        )
+        assert found.results["idx"] == 4
+        missing = target.simulate(
+            asm, params(s=100, n=8, c=ord("z")), memory
+        )
+        assert missing.results["idx"] == 0
+        empty = target.simulate(asm, params(s=100, n=0, c=1), memory)
+        assert empty.results["idx"] == 0
+
+    @pytest.mark.parametrize("use_exotic", [True, False], ids=["exotic", "decomposed"])
+    def test_string_equal(self, target, use_exotic):
+        prog = (
+            ir.StringEqual(
+                result="eq",
+                a=ir.Param("a", 0, 60000),
+                b=ir.Param("b", 0, 60000),
+                length=ir.Param("n", 0, 60000),
+            ),
+        )
+        asm = target.compile(prog, use_exotic=use_exotic)
+        memory = {100 + i: b for i, b in enumerate(b"aaa")}
+        memory.update({400 + i: b for i, b in enumerate(b"aab")})
+        assert (
+            target.simulate(asm, params(a=100, b=400, n=2), memory).results["eq"]
+            == 1
+        )
+        assert (
+            target.simulate(asm, params(a=100, b=400, n=3), memory).results["eq"]
+            == 0
+        )
+
+    def test_string_move_decomposes_without_extension(self, target):
+        prog = (
+            ir.StringMove(
+                dst=ir.Param("d", 0, 60000),
+                src=ir.Param("s", 0, 60000),
+                length=ir.Param("n", 0, 60000),
+            ),
+        )
+        asm = target.compile(prog)
+        assert not any(i.mnemonic == "movc3" for i in asm.instructions())
+
+    def test_string_move_uses_movc3_with_extension(self):
+        target = target_for("vax11", with_extensions=True)
+        prog = (
+            ir.StringMove(
+                dst=ir.Param("d", 0, 60000),
+                src=ir.Param("s", 0, 60000),
+                length=ir.Param("n", 0, 60000),
+            ),
+        )
+        asm = target.compile(prog)
+        assert any(i.mnemonic == "movc3" for i in asm.instructions())
+        memory = {100 + i: b for i, b in enumerate(b"xy")}
+        result = target.simulate(asm, params(s=100, d=400, n=2), memory)
+        assert result.memory.read(401) == ord("y")
+
+
+class TestIbm370:
+    @pytest.fixture(scope="class")
+    def target(self):
+        return target_for("ibm370")
+
+    def test_const_length_uses_mvc_with_offset(self, target):
+        prog = (
+            ir.StringMove(
+                dst=ir.Param("d", 0, 30000),
+                src=ir.Param("s", 0, 30000),
+                length=ir.Const(10),
+            ),
+        )
+        asm = target.compile(prog)
+        mvc = next(i for i in asm.instructions() if i.mnemonic == "mvc")
+        assert mvc.operands[2].value == 9  # coding constraint: count - 1
+        memory = {100 + i: i for i in range(10)}
+        result = target.simulate(asm, params(s=100, d=500), memory)
+        assert [result.memory.read(500 + i) for i in range(10)] == list(range(10))
+
+    def test_chunked_long_move_correct(self, target):
+        prog = (
+            ir.StringMove(
+                dst=ir.Param("d", 0, 30000),
+                src=ir.Param("s", 0, 30000),
+                length=ir.Const(700),
+            ),
+        )
+        asm = target.compile(prog)
+        mvcs = [i for i in asm.instructions() if i.mnemonic == "mvc"]
+        assert len(mvcs) == 3
+        memory = {1000 + i: (i * 3) % 256 for i in range(700)}
+        result = target.simulate(asm, params(s=1000, d=8000), memory)
+        assert all(
+            result.memory.read(8000 + i) == (i * 3) % 256 for i in range(700)
+        )
+
+    def test_runtime_length_decomposes(self, target):
+        prog = (
+            ir.StringMove(
+                dst=ir.Param("d", 0, 30000),
+                src=ir.Param("s", 0, 30000),
+                length=ir.Param("n"),
+            ),
+        )
+        asm = target.compile(prog)
+        assert not any(i.mnemonic == "mvc" for i in asm.instructions())
+        memory = {100 + i: 5 for i in range(4)}
+        result = target.simulate(asm, params(s=100, d=500, n=4), memory)
+        assert result.memory.read(503) == 5
+
+    def test_zero_length_emits_nothing(self, target):
+        prog = (
+            ir.StringMove(
+                dst=ir.Param("d", 0, 30000),
+                src=ir.Param("s", 0, 30000),
+                length=ir.Const(0),
+            ),
+        )
+        asm = target.compile(prog)
+        assert len(asm) == 0
+
+    def test_mvc_much_cheaper_than_loop(self, target):
+        const_prog = (
+            ir.StringMove(
+                dst=ir.Param("d", 0, 30000),
+                src=ir.Param("s", 0, 30000),
+                length=ir.Const(200),
+            ),
+        )
+        runtime_prog = (
+            ir.StringMove(
+                dst=ir.Param("d", 0, 30000),
+                src=ir.Param("s", 0, 30000),
+                length=ir.Param("n"),
+            ),
+        )
+        memory = {100 + i: 1 for i in range(200)}
+        exotic = target.simulate(
+            target.compile(const_prog), params(s=100, d=500), memory
+        )
+        loop = target.simulate(
+            target.compile(runtime_prog), params(s=100, d=500, n=200), memory
+        )
+        assert exotic.cycles * 5 < loop.cycles

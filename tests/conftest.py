@@ -1,0 +1,92 @@
+"""Shared fixtures: small descriptions used across the test suite."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.isdl import parse_description
+
+#: a compact scasb-like searcher (simplified: no rf/df/rfz flags).
+SEARCH_TEXT = """
+search.instruction := begin
+    ** SOURCE.ACCESS **
+        di<15:0>,                       ! string address
+        cx<15:0>,                       ! string length
+        fetch()<7:0> := begin
+            fetch <- Mb[ di ];
+            di <- di + 1;
+        end
+    ** STATE **
+        zf<>,
+        al<7:0>
+    ** STRING.PROCESS **
+        search.execute() := begin
+            input (di, cx, al);
+            zf <- 0;
+            repeat
+                exit_when (cx = 0);
+                cx <- cx - 1;
+                zf <- ((al - fetch()) = 0);
+                exit_when (zf);
+            end_repeat;
+            output (zf, di, cx);
+        end
+end
+"""
+
+#: a minimal copy loop (operator style, abstract integers).
+COPY_TEXT = """
+copy.operation := begin
+    ** ARGS **
+        Src: integer,
+        Dst: integer,
+        Len: integer
+    ** PROCESS **
+        copy.execute() := begin
+            input (Src, Dst, Len);
+            repeat
+                exit_when (Len = 0);
+                Mb[ Dst ] <- Mb[ Src ];
+                Src <- Src + 1;
+                Dst <- Dst + 1;
+                Len <- Len - 1;
+            end_repeat;
+        end
+end
+"""
+
+#: indexed copy (the Pascal sassign shape).
+INDEXED_COPY_TEXT = """
+icopy.operation := begin
+    ** ARGS **
+        Src: integer,
+        Dst: integer,
+        Len: integer,
+        i: integer
+    ** PROCESS **
+        icopy.execute() := begin
+            input (Src, Dst, Len);
+            i <- 0;
+            repeat
+                exit_when (i = Len);
+                Mb[ Dst + i ] <- Mb[ Src + i ];
+                i <- i + 1;
+            end_repeat;
+        end
+end
+"""
+
+
+@pytest.fixture
+def search_desc():
+    return parse_description(SEARCH_TEXT)
+
+
+@pytest.fixture
+def copy_desc():
+    return parse_description(COPY_TEXT)
+
+
+@pytest.fixture
+def indexed_copy_desc():
+    return parse_description(INDEXED_COPY_TEXT)

@@ -1,0 +1,208 @@
+"""Effect, liveness, reaching-definitions, and copy analyses."""
+
+import pytest
+
+from repro.dataflow import (
+    MEM,
+    OUT,
+    AvailableCopies,
+    EffectAnalysis,
+    Liveness,
+    ReachingDefinitions,
+    build_cfg,
+)
+from repro.isdl import ast, parse_description, parse_expr, parse_stmts
+from repro.isdl.visitor import walk
+
+
+def routine_and_path(desc, name):
+    for path, node in walk(desc):
+        if isinstance(node, ast.RoutineDecl) and node.name == name:
+            return node, path
+    raise AssertionError(name)
+
+
+class TestEffects:
+    def test_routine_summary_expands_fixpoint(self, search_desc):
+        analysis = EffectAnalysis(search_desc)
+        fetch = analysis.routine_effects("fetch")
+        assert fetch.reads == frozenset({MEM, "di"})
+        assert fetch.writes == frozenset({"di"})
+        assert not fetch.pure
+
+    def test_expr_effects_through_call(self, search_desc):
+        analysis = EffectAnalysis(search_desc)
+        effects = analysis.expr_effects(parse_expr("(al - fetch()) = 0"))
+        assert "al" in effects.reads
+        assert "di" in effects.writes
+
+    def test_pure_expr(self, search_desc):
+        analysis = EffectAnalysis(search_desc)
+        assert analysis.expr_is_pure(parse_expr("cx - 1"))
+        assert analysis.expr_is_pure(parse_expr("Mb[ di ]"))
+        assert not analysis.expr_is_pure(parse_expr("fetch()"))
+
+    def test_unknown_call_is_conservative(self, search_desc):
+        analysis = EffectAnalysis(search_desc)
+        effects = analysis.expr_effects(parse_expr("mystery()"))
+        assert MEM in effects.writes
+
+    def test_output_orders_via_pseudo_location(self, search_desc):
+        analysis = EffectAnalysis(search_desc)
+        (stmt,) = parse_stmts("output (cx);")
+        assert OUT in analysis.stmt_effects(stmt).writes
+
+    def test_conflicts(self, search_desc):
+        analysis = EffectAnalysis(search_desc)
+        (store,) = parse_stmts("Mb[ di ] <- al;")
+        (load,) = parse_stmts("al <- Mb[ di ];")
+        (indep,) = parse_stmts("cx <- cx - 1;")
+        assert analysis.stmt_effects(store).conflicts_with(
+            analysis.stmt_effects(load)
+        )
+        assert not analysis.stmt_effects(store).conflicts_with(
+            analysis.stmt_effects(indep)
+        )
+
+    def test_recursive_summaries_terminate(self):
+        desc = parse_description(
+            """
+            t.op := begin
+                ** S **
+                    x<7:0>
+                ** R **
+                    a(): integer := begin a <- b(); end,
+                    b(): integer := begin b <- a(); x <- 1; end
+                ** P **
+                    t.execute() := begin input (x); output (a()); end
+            end
+            """
+        )
+        analysis = EffectAnalysis(desc)
+        assert "x" in analysis.routine_effects("a").writes
+
+
+class TestLiveness:
+    def test_output_keeps_values_live(self, search_desc):
+        routine, base = routine_and_path(search_desc, "search.execute")
+        cfg = build_cfg(routine, base)
+        analysis = EffectAnalysis(search_desc)
+        liveness = Liveness(cfg, analysis)
+        init_node = cfg.node_for_path(base + (("body", 1),))  # zf <- 0
+        assert "zf" in liveness.live_out(init_node.node_id)
+
+    def test_dead_after_last_use(self):
+        desc = parse_description(
+            """
+            t.op := begin
+                ** S **
+                    a<7:0>, b<7:0>
+                ** P **
+                    t.execute() := begin
+                        input (a);
+                        b <- a;
+                        a <- 0;
+                        output (b);
+                    end
+            end
+            """
+        )
+        routine, base = routine_and_path(desc, "t.execute")
+        cfg = build_cfg(routine, base)
+        liveness = Liveness(cfg, EffectAnalysis(desc))
+        dead_store = cfg.node_for_path(base + (("body", 2),))  # a <- 0
+        assert liveness.is_dead_after(dead_store.node_id, "a")
+        assert "b" in liveness.live_out(dead_store.node_id)
+
+    def test_loop_carries_liveness_around_back_edge(self, search_desc):
+        routine, base = routine_and_path(search_desc, "search.execute")
+        cfg = build_cfg(routine, base)
+        liveness = Liveness(cfg, EffectAnalysis(search_desc))
+        # cx is decremented inside the loop, so it is live at its own
+        # decrement's exit (read again next iteration).
+        decrement = cfg.node_for_path(base + (("body", 2), ("body", 1)))
+        assert "cx" in liveness.live_out(decrement.node_id)
+
+
+class TestReaching:
+    def test_single_definition(self, search_desc):
+        routine, base = routine_and_path(search_desc, "search.execute")
+        cfg = build_cfg(routine, base)
+        reaching = ReachingDefinitions(
+            cfg, EffectAnalysis(search_desc), ["di", "cx", "zf", "al"]
+        )
+        # At the loop's first exit test, al is defined only by input.
+        test_node = cfg.node_for_path(base + (("body", 2), ("body", 0)))
+        input_node = cfg.node_for_path(base + (("body", 0),))
+        assert reaching.defs_of(test_node.node_id, "al") == frozenset(
+            {input_node.node_id}
+        )
+
+    def test_multiple_definitions_in_loop(self, search_desc):
+        routine, base = routine_and_path(search_desc, "search.execute")
+        cfg = build_cfg(routine, base)
+        reaching = ReachingDefinitions(
+            cfg, EffectAnalysis(search_desc), ["di", "cx", "zf", "al"]
+        )
+        test_node = cfg.node_for_path(base + (("body", 2), ("body", 0)))
+        # cx reaches from input and from the in-loop decrement.
+        assert len(reaching.defs_of(test_node.node_id, "cx")) == 2
+        with pytest.raises(ValueError):
+            reaching.sole_definer(test_node.node_id, "cx")
+
+
+class TestCopies:
+    def test_constant_copy_available_straightline(self):
+        desc = parse_description(
+            """
+            t.op := begin
+                ** S **
+                    a<7:0>, b<7:0>
+                ** P **
+                    t.execute() := begin
+                        input (b);
+                        a <- 5;
+                        b <- a;
+                        output (b);
+                    end
+            end
+            """
+        )
+        routine, base = routine_and_path(desc, "t.execute")
+        cfg = build_cfg(routine, base)
+        copies = AvailableCopies(cfg, EffectAnalysis(desc))
+        use_node = cfg.node_for_path(base + (("body", 2),))  # b <- a
+        assert copies.source_for(use_node.node_id, "a") == 5
+        out_node = cfg.node_for_path(base + (("body", 3),))
+        assert copies.source_for(out_node.node_id, "b") == "a"
+
+    def test_copy_killed_by_redefinition(self):
+        desc = parse_description(
+            """
+            t.op := begin
+                ** S **
+                    a<7:0>, b<7:0>
+                ** P **
+                    t.execute() := begin
+                        input (b);
+                        a <- 5;
+                        a <- b;
+                        output (a);
+                    end
+            end
+            """
+        )
+        routine, base = routine_and_path(desc, "t.execute")
+        cfg = build_cfg(routine, base)
+        copies = AvailableCopies(cfg, EffectAnalysis(desc))
+        out_node = cfg.node_for_path(base + (("body", 3),))
+        assert copies.source_for(out_node.node_id, "a") == "b"
+
+    def test_copy_killed_around_loop(self, search_desc):
+        routine, base = routine_and_path(search_desc, "search.execute")
+        cfg = build_cfg(routine, base)
+        copies = AvailableCopies(cfg, EffectAnalysis(search_desc))
+        # zf <- 0 does not survive to the loop head: the loop body
+        # redefines zf, killing the copy on the back edge.
+        loop_test = cfg.node_for_path(base + (("body", 2), ("body", 0)))
+        assert copies.source_for(loop_test.node_id, "zf") is None

@@ -1,0 +1,134 @@
+"""CFG construction tests."""
+
+import pytest
+
+from repro.dataflow import build_cfg
+from repro.isdl import ast, parse_description
+from repro.isdl.visitor import walk
+
+
+def routine_and_path(desc, name):
+    for path, node in walk(desc):
+        if isinstance(node, ast.RoutineDecl) and node.name == name:
+            return node, path
+    raise AssertionError(name)
+
+
+@pytest.fixture
+def search_cfg(search_desc):
+    routine, base = routine_and_path(search_desc, "search.execute")
+    return build_cfg(routine, base), base
+
+
+class TestStructure:
+    def test_entry_and_exit_exist(self, search_cfg):
+        cfg, _ = search_cfg
+        assert cfg.nodes[cfg.entry].kind == "entry"
+        assert cfg.nodes[cfg.exit].kind == "exit"
+        assert not cfg.nodes[cfg.entry].preds
+        assert not cfg.nodes[cfg.exit].succs
+
+    def test_statement_paths_resolve(self, search_cfg, search_desc):
+        cfg, _ = search_cfg
+        from repro.isdl.visitor import node_at
+
+        for path, node_id in cfg.by_path.items():
+            node = cfg.nodes[node_id]
+            assert node_at(search_desc, path) is node.stmt
+
+    def test_looptest_nodes_marked(self, search_cfg):
+        cfg, _ = search_cfg
+        looptests = [n for n in cfg.nodes.values() if n.kind == "looptest"]
+        assert len(looptests) == 2
+        for node in looptests:
+            assert node.loop_members is not None
+
+    def test_exit_successors_leave_loop(self, search_cfg):
+        cfg, _ = search_cfg
+        for node in cfg.nodes.values():
+            if node.kind != "looptest":
+                continue
+            for succ in node.exit_successors():
+                assert succ not in node.loop_members
+
+    def test_back_edge_exists(self, search_cfg):
+        cfg, _ = search_cfg
+        # Some node inside the loop points back at an earlier node.
+        assert any(
+            succ < node_id
+            for node_id, node in cfg.nodes.items()
+            for succ in node.succs
+        )
+
+    def test_rpo_starts_at_entry(self, search_cfg):
+        cfg, _ = search_cfg
+        order = cfg.rpo()
+        assert order[0] == cfg.entry
+        assert set(order) <= set(cfg.nodes)
+
+    def test_branch_has_two_successor_groups(self):
+        desc = parse_description(
+            """
+            t.op := begin
+                ** S **
+                    x<7:0>
+                ** P **
+                    t.execute() := begin
+                        input (x);
+                        if x then x <- 1; else x <- 2; end_if;
+                        output (x);
+                    end
+            end
+            """
+        )
+        routine, base = routine_and_path(desc, "t.execute")
+        cfg = build_cfg(routine, base)
+        branch = next(n for n in cfg.nodes.values() if n.kind == "branch")
+        assert len(branch.succs) == 2
+
+    def test_exit_when_outside_loop_rejected(self):
+        desc = parse_description(
+            """
+            t.op := begin
+                ** S **
+                    x<7:0>
+                ** P **
+                    t.execute() := begin
+                        input (x);
+                        exit_when (x = 0);
+                    end
+            end
+            """
+        )
+        routine, base = routine_and_path(desc, "t.execute")
+        with pytest.raises(ValueError):
+            build_cfg(routine, base)
+
+    def test_nested_loops_have_distinct_members(self):
+        desc = parse_description(
+            """
+            t.op := begin
+                ** S **
+                    x<7:0>, y<7:0>
+                ** P **
+                    t.execute() := begin
+                        input (x);
+                        repeat
+                            exit_when (x = 0);
+                            y <- x;
+                            repeat
+                                exit_when (y = 0);
+                                y <- y - 1;
+                            end_repeat;
+                            x <- x - 1;
+                        end_repeat;
+                    end
+            end
+            """
+        )
+        routine, base = routine_and_path(desc, "t.execute")
+        cfg = build_cfg(routine, base)
+        looptests = [n for n in cfg.nodes.values() if n.kind == "looptest"]
+        assert len(looptests) == 2
+        members = [n.loop_members for n in looptests]
+        assert members[0] != members[1]

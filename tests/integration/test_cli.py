@@ -1,0 +1,74 @@
+"""CLI smoke tests (python -m repro)."""
+
+import pytest
+
+from repro.__main__ import main
+
+
+def test_table1(capsys):
+    assert main(["table1"]) == 0
+    out = capsys.readouterr().out
+    assert "67" in out and "VAX-11" in out
+
+
+def test_list(capsys):
+    assert main(["list"]) == 0
+    out = capsys.readouterr().out
+    assert "scasb_rigel" in out and "extensions:" in out
+
+
+def test_analyze_success(capsys):
+    assert main(["analyze", "movc3_pc2", "--trials", "30"]) == 0
+    out = capsys.readouterr().out
+    assert "binding:" in out and "verified" in out
+
+
+def test_analyze_failure_exit_code(capsys):
+    assert main(["analyze", "eclipse_failure", "--no-verify"]) == 1
+    out = capsys.readouterr().out
+    assert "ANALYSIS FAILED" in out
+
+
+def test_analyze_unknown_name(capsys):
+    assert main(["analyze", "nonsense"]) == 2
+
+
+def test_figures(capsys):
+    assert main(["figures"]) == 0
+    out = capsys.readouterr().out
+    assert "Figure 4" in out and "exit_when (zf);" in out
+
+
+def test_failures(capsys):
+    assert main(["failures"]) == 0
+    out = capsys.readouterr().out
+    assert "as the paper documents" in out
+
+
+@pytest.mark.parametrize("machine", ["i8086", "vax11", "ibm370"])
+def test_compile(machine, capsys):
+    argv = ["compile", machine, "--length", "8"]
+    if machine == "vax11":
+        argv.append("--extensions")
+    assert main(argv) == 0
+    out = capsys.readouterr().out
+    assert "simulated:" in out
+
+
+def test_compile_decomposed(capsys):
+    assert main(["compile", "i8086", "--decomposed"]) == 0
+    out = capsys.readouterr().out
+    assert "rep_movsb" not in out
+
+
+def test_analyze_log_flag(capsys):
+    assert main(["analyze", "movc5_pc2", "--no-verify", "--log"]) == 0
+    out = capsys.readouterr().out
+    assert "transformation log:" in out
+    assert "fix_operand" in out
+
+
+def test_compile_b4800(capsys):
+    assert main(["compile", "b4800", "--length", "5"]) == 0
+    out = capsys.readouterr().out
+    assert "srl" in out and "result node" in out

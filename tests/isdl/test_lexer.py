@@ -1,0 +1,151 @@
+"""Lexer unit tests."""
+
+import pytest
+
+from repro.isdl import LexError, tokenize
+from repro.isdl.lexer import Lexer
+from repro.isdl.tokens import TokenKind
+
+
+def kinds(text):
+    return [token.kind for token in tokenize(text)]
+
+
+def values(text):
+    return [token.value for token in tokenize(text)[:-1]]
+
+
+class TestBasics:
+    def test_empty_input_yields_eof(self):
+        assert kinds("") == [TokenKind.EOF]
+
+    def test_whitespace_only(self):
+        assert kinds("   \n\t  ") == [TokenKind.EOF]
+
+    def test_identifier(self):
+        tokens = tokenize("di")
+        assert tokens[0].kind is TokenKind.IDENT
+        assert tokens[0].value == "di"
+
+    def test_dotted_identifier(self):
+        tokens = tokenize("Src.Base")
+        assert tokens[0].kind is TokenKind.IDENT
+        assert tokens[0].value == "Src.Base"
+
+    def test_trailing_dot_not_part_of_identifier(self):
+        # A dotted name must end with a name segment: the trailing dot
+        # is backed off the identifier (and then rejected as stray
+        # punctuation, since '.' alone is not a token).
+        with pytest.raises(LexError):
+            tokenize("name. next")
+
+    def test_number(self):
+        tokens = tokenize("32767")
+        assert tokens[0].kind is TokenKind.NUMBER
+        assert tokens[0].value == 32767
+
+    def test_character_literal(self):
+        tokens = tokenize("'a'")
+        assert tokens[0].kind is TokenKind.STRING
+        assert tokens[0].value == "a"
+
+    def test_unterminated_string_raises(self):
+        with pytest.raises(LexError):
+            tokenize("'abc")
+
+    def test_unexpected_character_raises(self):
+        with pytest.raises(LexError):
+            tokenize("a @ b")
+
+
+class TestOperators:
+    def test_assign_arrow(self):
+        assert TokenKind.ASSIGN in kinds("a <- b")
+
+    def test_unicode_arrow(self):
+        assert TokenKind.ASSIGN in kinds("a ← b")
+
+    def test_define(self):
+        assert TokenKind.DEFINE in kinds("a := b")
+
+    def test_banner(self):
+        assert kinds("** STATE **")[:3] == [
+            TokenKind.BANNER,
+            TokenKind.IDENT,
+            TokenKind.BANNER,
+        ]
+
+    def test_comparisons(self):
+        text = "a = b <> c < d <= e > f >= g"
+        for kind in (
+            TokenKind.EQ,
+            TokenKind.NEQ,
+            TokenKind.LANGLE,
+            TokenKind.LE,
+            TokenKind.RANGLE,
+            TokenKind.GE,
+        ):
+            assert kind in kinds(text)
+
+    def test_arithmetic(self):
+        for kind in (TokenKind.PLUS, TokenKind.MINUS, TokenKind.STAR):
+            assert kind in kinds("a + b - c * d")
+
+
+class TestKeywords:
+    @pytest.mark.parametrize(
+        "word,kind",
+        [
+            ("begin", TokenKind.BEGIN),
+            ("end", TokenKind.END),
+            ("if", TokenKind.IF),
+            ("then", TokenKind.THEN),
+            ("else", TokenKind.ELSE),
+            ("end_if", TokenKind.END_IF),
+            ("repeat", TokenKind.REPEAT),
+            ("end_repeat", TokenKind.END_REPEAT),
+            ("exit_when", TokenKind.EXIT_WHEN),
+            ("input", TokenKind.INPUT),
+            ("output", TokenKind.OUTPUT),
+            ("and", TokenKind.AND),
+            ("or", TokenKind.OR),
+            ("not", TokenKind.NOT),
+            ("assert", TokenKind.ASSERT),
+        ],
+    )
+    def test_keyword(self, word, kind):
+        assert kinds(word)[0] is kind
+
+    def test_keywords_case_insensitive(self):
+        assert kinds("BEGIN End_If REPEAT")[:3] == [
+            TokenKind.BEGIN,
+            TokenKind.END_IF,
+            TokenKind.REPEAT,
+        ]
+
+    def test_ident_is_not_keyword(self):
+        tokens = tokenize("ending")
+        assert tokens[0].kind is TokenKind.IDENT
+
+
+class TestComments:
+    def test_comment_skipped(self):
+        assert kinds("a ! this is a comment")[:1] == [TokenKind.IDENT]
+
+    def test_comment_recorded_with_line(self):
+        lexer = Lexer("a <- b; ! note\n")
+        lexer.tokens()
+        assert lexer.comments == {1: "note"}
+
+    def test_standalone_comment_line(self):
+        lexer = Lexer("! header\na <- b;\n")
+        lexer.tokens()
+        assert lexer.comments == {1: "header"}
+        assert 1 not in lexer.token_lines
+        assert 2 in lexer.token_lines
+
+    def test_locations(self):
+        tokens = tokenize("a\n  b")
+        assert tokens[0].location.line == 1
+        assert tokens[1].location.line == 2
+        assert tokens[1].location.column == 3

@@ -1,0 +1,235 @@
+"""Parser unit tests."""
+
+import pytest
+
+from repro.isdl import ParseError, ast, parse_description, parse_expr, parse_stmts
+
+
+class TestExpressions:
+    def test_constant(self):
+        assert parse_expr("42") == ast.Const(42)
+
+    def test_variable(self):
+        assert parse_expr("Src.Base") == ast.Var("Src.Base")
+
+    def test_character_literal(self):
+        assert parse_expr("'x'") == ast.Const(ord("x"))
+
+    def test_memory_read(self):
+        assert parse_expr("Mb[ di ]") == ast.MemRead(ast.Var("di"))
+
+    def test_call(self):
+        assert parse_expr("fetch()") == ast.Call("fetch", ())
+
+    def test_call_with_args(self):
+        assert parse_expr("f(a, 1)") == ast.Call(
+            "f", (ast.Var("a"), ast.Const(1))
+        )
+
+    def test_precedence_add_over_compare(self):
+        expr = parse_expr("a + b = c")
+        assert expr == ast.BinOp(
+            "=", ast.BinOp("+", ast.Var("a"), ast.Var("b")), ast.Var("c")
+        )
+
+    def test_precedence_mul_over_add(self):
+        expr = parse_expr("a + b * c")
+        assert expr.op == "+"
+        assert expr.right.op == "*"
+
+    def test_precedence_compare_over_not(self):
+        expr = parse_expr("not a = b")
+        assert isinstance(expr, ast.UnOp)
+        assert expr.operand.op == "="
+
+    def test_precedence_and_over_or(self):
+        expr = parse_expr("a or b and c")
+        assert expr.op == "or"
+        assert expr.right.op == "and"
+
+    def test_left_associativity(self):
+        expr = parse_expr("a - b - c")
+        assert expr == ast.BinOp(
+            "-", ast.BinOp("-", ast.Var("a"), ast.Var("b")), ast.Var("c")
+        )
+
+    def test_parentheses(self):
+        expr = parse_expr("a - (b - c)")
+        assert expr.right.op == "-"
+
+    def test_unary_minus(self):
+        assert parse_expr("-x") == ast.UnOp("-", ast.Var("x"))
+
+    def test_trailing_garbage_rejected(self):
+        with pytest.raises(ParseError):
+            parse_expr("a + b extra")
+
+    def test_comparison_does_not_chain(self):
+        with pytest.raises(ParseError):
+            parse_expr("a = b = c")
+
+
+class TestStatements:
+    def test_assign(self):
+        (stmt,) = parse_stmts("x <- 1;")
+        assert stmt == ast.Assign(ast.Var("x"), ast.Const(1))
+
+    def test_memory_assign(self):
+        (stmt,) = parse_stmts("Mb[ p ] <- 0;")
+        assert stmt.target == ast.MemRead(ast.Var("p"))
+
+    def test_if_then_else(self):
+        (stmt,) = parse_stmts(
+            "if c then x <- 1; else x <- 2; end_if;"
+        )
+        assert isinstance(stmt, ast.If)
+        assert len(stmt.then) == 1
+        assert len(stmt.els) == 1
+
+    def test_if_without_else(self):
+        (stmt,) = parse_stmts("if c then x <- 1; end_if;")
+        assert stmt.els == ()
+
+    def test_repeat_with_exit(self):
+        (stmt,) = parse_stmts(
+            "repeat exit_when (n = 0); n <- n - 1; end_repeat;"
+        )
+        assert isinstance(stmt, ast.Repeat)
+        assert isinstance(stmt.body[0], ast.ExitWhen)
+
+    def test_input_output(self):
+        stmts = parse_stmts("input (a, b); output (a + b);")
+        assert stmts[0] == ast.Input(("a", "b"))
+        assert stmts[1].exprs[0].op == "+"
+
+    def test_assert(self):
+        (stmt,) = parse_stmts("assert (n >= 1);")
+        assert isinstance(stmt, ast.Assert)
+
+    def test_semicolons_optional(self):
+        stmts = parse_stmts("x <- 1 y <- 2")
+        assert len(stmts) == 2
+
+
+class TestDescriptions:
+    def test_minimal(self):
+        desc = parse_description(
+            """
+            d.op := begin
+                ** S **
+                    x<7:0>
+                ** P **
+                    d.execute() := begin
+                        input (x);
+                        output (x);
+                    end
+            end
+            """
+        )
+        assert desc.name == "d.op"
+        assert len(desc.sections) == 2
+        assert desc.register("x").width == ast.BitWidth(7, 0)
+
+    def test_flag_width(self):
+        desc = parse_description(
+            """
+            d.op := begin
+                ** S **
+                    f<>,
+                    g<>
+                ** P **
+                    d.execute() := begin
+                        input (f, g);
+                    end
+            end
+            """
+        )
+        assert desc.register("f").width == ast.BitWidth(0, 0)
+
+    def test_typed_declarations(self):
+        desc = parse_description(
+            """
+            d.op := begin
+                ** S **
+                    n: integer,
+                    c: character
+                ** P **
+                    d.execute() := begin
+                        input (n, c);
+                    end
+            end
+            """
+        )
+        assert desc.register("n").width == ast.TypeWidth("integer")
+        assert desc.register("c").width == ast.TypeWidth("character")
+
+    def test_unknown_type_rejected(self):
+        with pytest.raises(ParseError):
+            parse_description(
+                "d := begin ** S ** x: float ** P ** "
+                "d.e() := begin input (x); end end"
+            )
+
+    def test_routine_with_width(self, search_desc):
+        fetch = search_desc.routine("fetch")
+        assert fetch.width == ast.BitWidth(7, 0)
+        assert len(fetch.body) == 2
+
+    def test_entry_routine(self, search_desc):
+        assert search_desc.entry_routine().name == "search.execute"
+
+    def test_entry_requires_unique_input(self):
+        desc = parse_description(
+            """
+            d.op := begin
+                ** P **
+                    a() := begin input (x); end,
+                    b() := begin input (x); end
+                ** S **
+                    x<7:0>
+            end
+            """
+        )
+        with pytest.raises(ValueError):
+            desc.entry_routine()
+
+    def test_missing_width_rejected(self):
+        with pytest.raises(ParseError):
+            parse_description("d := begin ** S ** x end")
+
+    def test_comment_attachment_same_line(self):
+        desc = parse_description(
+            """
+            d.op := begin
+                ** S **
+                    x<7:0>                  ! the x register
+                ** P **
+                    d.execute() := begin
+                        input (x);
+                        x <- 1;             ! set it
+                    end
+            end
+            """
+        )
+        assert desc.register("x").comment == "the x register"
+        assert desc.entry_routine().body[1].comment == "set it"
+
+    def test_comment_attachment_standalone_line(self):
+        desc = parse_description(
+            """
+            d.op := begin
+                ** S **
+                    ! holds the count
+                    x<7:0>
+                ** P **
+                    d.execute() := begin input (x); end
+            end
+            """
+        )
+        assert desc.register("x").comment == "holds the count"
+
+    def test_register_lookup_missing(self, search_desc):
+        with pytest.raises(KeyError):
+            search_desc.register("nope")
+        with pytest.raises(KeyError):
+            search_desc.routine("nope")

@@ -1,0 +1,89 @@
+"""Pretty-printer tests: round-trips and paper-figure layout."""
+
+import pytest
+
+from repro.isdl import (
+    ast,
+    format_description,
+    format_expr,
+    format_stmts,
+    parse_description,
+    parse_expr,
+    parse_stmts,
+    structurally_equal,
+)
+from tests.conftest import COPY_TEXT, INDEXED_COPY_TEXT, SEARCH_TEXT
+
+
+@pytest.mark.parametrize("text", [SEARCH_TEXT, COPY_TEXT, INDEXED_COPY_TEXT])
+def test_description_roundtrip(text):
+    desc = parse_description(text)
+    printed = format_description(desc)
+    again = parse_description(printed)
+    assert structurally_equal(desc, again)
+
+
+def test_roundtrip_preserves_comments(search_desc):
+    printed = format_description(search_desc)
+    again = parse_description(printed)
+    assert again.register("di").comment == "string address"
+
+
+@pytest.mark.parametrize(
+    "text",
+    [
+        "a + b",
+        "a - b - c",
+        "a - (b - c)",
+        "(a + b) * c",
+        "a + b * c",
+        "not (a and b)",
+        "not a and b",
+        "(a = b) or (c <> d)",
+        "Mb[ p + i ]",
+        "ch = read()",
+        "(al - fetch()) = 0",
+        "-x + y",
+        "a or b and c",
+        "(a or b) and c",
+    ],
+)
+def test_expr_roundtrip(text):
+    expr = parse_expr(text)
+    assert parse_expr(format_expr(expr)) == expr
+
+
+def test_parenthesization_minimal():
+    # No redundant parens on same-precedence left association.
+    assert format_expr(parse_expr("a + b + c")) == "a + b + c"
+    # Required parens preserved.
+    assert format_expr(parse_expr("a - (b - c)")) == "a - (b - c)"
+    assert format_expr(parse_expr("(a + b) * c")) == "(a + b) * c"
+
+
+def test_stmt_roundtrip():
+    text = "if c then x <- 1; else x <- 2; end_if; repeat exit_when (x = 0); end_repeat;"
+    stmts = parse_stmts(text)
+    printed = format_stmts(stmts)
+    assert parse_stmts(printed) == tuple(
+        s for s in stmts
+    )
+
+
+def test_figure_layout_banners(search_desc):
+    printed = format_description(search_desc)
+    assert "** SOURCE.ACCESS **" in printed
+    assert "** STATE **" in printed
+    assert printed.startswith("search.instruction := begin")
+    assert printed.rstrip().endswith("end")
+
+
+def test_comments_aligned(search_desc):
+    printed = format_description(search_desc)
+    line = next(l for l in printed.splitlines() if "string address" in l)
+    assert "! string address" in line
+
+
+def test_memread_lvalue_printed():
+    (stmt,) = parse_stmts("Mb[ p ] <- x;")
+    assert format_stmts([stmt]).strip() == "Mb[ p ] <- x;"

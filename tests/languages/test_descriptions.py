@@ -1,0 +1,308 @@
+"""The operator descriptions implement their languages' contracts."""
+
+import pytest
+
+from repro.languages import clu, listops, pascal, pc2, pl1, rigel
+from repro.semantics import run_description
+
+
+def string_memory(base, data):
+    return {base + i: b for i, b in enumerate(data)}
+
+
+class TestRigelIndex:
+    def test_one_based_index(self):
+        memory = string_memory(100, b"hello")
+        result = run_description(
+            rigel.index(),
+            {"Src.Base": 100, "Src.Length": 5, "ch": ord("e")},
+            memory,
+        )
+        assert result.outputs == (2,)
+
+    def test_first_char(self):
+        memory = string_memory(100, b"hello")
+        result = run_description(
+            rigel.index(),
+            {"Src.Base": 100, "Src.Length": 5, "ch": ord("h")},
+            memory,
+        )
+        assert result.outputs == (1,)
+
+    def test_not_found_returns_zero(self):
+        memory = string_memory(100, b"hello")
+        result = run_description(
+            rigel.index(),
+            {"Src.Base": 100, "Src.Length": 5, "ch": ord("z")},
+            memory,
+        )
+        assert result.outputs == (0,)
+
+    def test_empty_string(self):
+        result = run_description(
+            rigel.index(), {"Src.Base": 100, "Src.Length": 0, "ch": 65}
+        )
+        assert result.outputs == (0,)
+
+    def test_first_occurrence_wins(self):
+        memory = string_memory(100, b"abcabc")
+        result = run_description(
+            rigel.index(),
+            {"Src.Base": 100, "Src.Length": 6, "ch": ord("c")},
+            memory,
+        )
+        assert result.outputs == (3,)
+
+
+class TestCluIndexc:
+    @pytest.mark.parametrize(
+        "char,expected", [(ord("e"), 2), (ord("h"), 1), (ord("z"), 0)]
+    )
+    def test_same_contract_as_rigel(self, char, expected):
+        memory = string_memory(100, b"hello")
+        result = run_description(
+            clu.indexc(), {"c": char, "S.Limit": 5, "S.Base": 100}, memory
+        )
+        assert result.outputs == (expected,)
+
+    def test_agrees_with_rigel_on_random_strings(self):
+        import random
+
+        rng = random.Random(11)
+        for _ in range(50):
+            length = rng.randint(0, 10)
+            data = bytes(rng.randrange(256) for _ in range(length))
+            char = rng.randrange(256)
+            memory = string_memory(64, data)
+            rigel_out = run_description(
+                rigel.index(),
+                {"Src.Base": 64, "Src.Length": length, "ch": char},
+                memory,
+            ).outputs
+            clu_out = run_description(
+                clu.indexc(),
+                {"c": char, "S.Limit": length, "S.Base": 64},
+                memory,
+            ).outputs
+            assert rigel_out == clu_out
+
+
+class TestPascal:
+    def test_sassign_moves(self):
+        memory = string_memory(10, b"data")
+        result = run_description(
+            pascal.sassign(),
+            {"Src.Base": 10, "Dst.Base": 50, "Len": 4},
+            memory,
+        )
+        assert [result.memory.get(50 + i) for i in range(4)] == list(b"data")
+
+    def test_sassign_zero_length(self):
+        result = run_description(
+            pascal.sassign(), {"Src.Base": 10, "Dst.Base": 50, "Len": 0}
+        )
+        assert result.memory == {}
+
+    @pytest.mark.parametrize(
+        "a,b,expected",
+        [(b"same", b"same", 1), (b"same", b"sane", 0), (b"", b"", 1)],
+    )
+    def test_sequal(self, a, b, expected):
+        memory = {}
+        memory.update(string_memory(10, a))
+        memory.update(string_memory(90, b))
+        result = run_description(
+            pascal.sequal(),
+            {"A.Base": 10, "B.Base": 90, "Len": len(a)},
+            memory,
+        )
+        assert result.outputs == (expected,)
+
+    def test_sequal_stops_at_first_mismatch(self):
+        memory = {}
+        memory.update(string_memory(10, b"ax"))
+        memory.update(string_memory(90, b"bx"))
+        result = run_description(
+            pascal.sequal(), {"A.Base": 10, "B.Base": 90, "Len": 2}, memory
+        )
+        assert result.outputs == (0,)
+
+
+class TestPl1:
+    def test_guarded_move_matches_pascal(self):
+        import random
+
+        rng = random.Random(3)
+        for _ in range(30):
+            length = rng.randint(0, 8)
+            data = bytes(rng.randrange(256) for _ in range(length))
+            memory = string_memory(10, data)
+            inputs = {"Src.Base": 10, "Dst.Base": 60, "Len": length}
+            pascal_mem = run_description(
+                pascal.sassign(), inputs, memory
+            ).memory
+            pl1_mem = run_description(pl1.strmove(), inputs, memory).memory
+            assert pascal_mem == pl1_mem
+
+
+class TestPc2:
+    def test_blkcpy_forward(self):
+        memory = string_memory(100, b"abcd")
+        result = run_description(
+            pc2.blkcpy(), {"count": 4, "from": 100, "to": 300}, memory
+        )
+        assert [result.memory.get(300 + i) for i in range(4)] == list(b"abcd")
+
+    def test_blkcpy_overlap_forward_dest_below(self):
+        memory = string_memory(100, b"abcd")
+        result = run_description(
+            pc2.blkcpy(), {"count": 4, "from": 100, "to": 98}, memory
+        )
+        assert [result.memory.get(98 + i) for i in range(4)] == list(b"abcd")
+
+    def test_blkcpy_overlap_backward_dest_above(self):
+        # The paper's own example: src 10, dst 12, "abc" must arrive
+        # intact, not as "aba".
+        memory = string_memory(10, b"abc")
+        result = run_description(
+            pc2.blkcpy(), {"count": 3, "from": 10, "to": 12}, memory
+        )
+        assert [result.memory.get(12 + i) for i in range(3)] == list(b"abc")
+
+    def test_blkclr(self):
+        memory = string_memory(40, b"\xff\xff\xff")
+        result = run_description(
+            pc2.blkclr(), {"count": 3, "addr": 40}, memory
+        )
+        assert all(result.memory.get(40 + i) is None for i in range(3))
+
+
+class TestListSearch:
+    def test_finds_record(self):
+        # list: node at 20 -> node at 30 -> 0; key at offset 1
+        memory = {20: 30, 21: 5, 30: 0, 31: 9}
+        result = run_description(
+            listops.lsearch(),
+            {"Head": 20, "Key": 9, "KeyOff": 1, "LinkOff": 0},
+            memory,
+        )
+        assert result.outputs == (30,)
+
+    def test_missing_key_returns_zero(self):
+        memory = {20: 0, 21: 5}
+        result = run_description(
+            listops.lsearch(),
+            {"Head": 20, "Key": 9, "KeyOff": 1, "LinkOff": 0},
+            memory,
+        )
+        assert result.outputs == (0,)
+
+    def test_empty_list(self):
+        result = run_description(
+            listops.lsearch(),
+            {"Head": 0, "Key": 9, "KeyOff": 1, "LinkOff": 0},
+        )
+        assert result.outputs == (0,)
+
+
+class TestInstructionDescriptions:
+    """The machine descriptions match the real instructions' semantics."""
+
+    def test_scasb_matches_8086(self):
+        from repro.machines.i8086 import scasb
+
+        memory = string_memory(100, b"needle")
+        result = run_description(
+            scasb(),
+            {
+                "rf": 1, "rfz": 0, "df": 0, "zf": 0,
+                "di": 100, "cx": 6, "al": ord("d"),
+            },
+            memory,
+        )
+        zf, di, cx = result.outputs
+        assert (zf, di, cx) == (1, 104, 2)
+
+    def test_scasb_no_repeat_mode(self):
+        from repro.machines.i8086 import scasb
+
+        memory = {100: 7}
+        result = run_description(
+            scasb(),
+            {
+                "rf": 0, "rfz": 0, "df": 0, "zf": 0,
+                "di": 100, "cx": 5, "al": 7,
+            },
+            memory,
+        )
+        assert result.outputs[0] == 1
+        assert result.outputs[2] == 5  # cx untouched without rep
+
+    def test_scasb_backward_direction(self):
+        from repro.machines.i8086 import scasb
+
+        memory = {98: ord("a"), 99: ord("b"), 100: ord("c")}
+        result = run_description(
+            scasb(),
+            {
+                "rf": 1, "rfz": 0, "df": 1, "zf": 0,
+                "di": 100, "cx": 3, "al": ord("a"),
+            },
+            memory,
+        )
+        assert result.outputs[0] == 1
+
+    def test_mvc_moves_len_plus_one(self):
+        from repro.machines.ibm370 import mvc
+
+        memory = string_memory(100, b"xyz")
+        result = run_description(
+            mvc(), {"d1": 300, "d2": 100, "len": 2}, memory
+        )
+        assert [result.memory.get(300 + i) for i in range(3)] == list(b"xyz")
+
+    def test_mvc_len_255_moves_256(self):
+        from repro.machines.ibm370 import mvc
+
+        memory = {100 + i: 1 for i in range(256)}
+        result = run_description(
+            mvc(), {"d1": 1000, "d2": 100, "len": 255}, memory
+        )
+        assert result.memory.get(1000 + 255) == 1
+
+    def test_movc3_overlap_protection(self):
+        from repro.machines.vax11 import movc3
+
+        memory = string_memory(10, b"abc")
+        result = run_description(
+            movc3(), {"len": 3, "srcaddr": 10, "dstaddr": 12}, memory
+        )
+        assert [result.memory.get(12 + i) for i in range(3)] == list(b"abc")
+        assert result.outputs == (0, 13, 15)
+
+    def test_locc_leaves_address_of_match(self):
+        from repro.machines.vax11 import locc
+
+        memory = string_memory(100, b"monkey")
+        result = run_description(
+            locc(), {"char": ord("k"), "len": 6, "addr": 100}, memory
+        )
+        assert result.outputs == (3, 103)
+
+    def test_eclipse_cmv_negative_length_moves_backward(self):
+        from repro.machines.eclipse import cmv
+
+        # 0xFFFE = -2: move two bytes high-to-low.
+        memory = {50: 7, 49: 8}
+        result = run_description(
+            cmv(),
+            {
+                "ac0": (1 << 16) - 2,  # dest length -2
+                "ac1": (1 << 16) - 2,  # src length -2
+                "ac2": 90,
+                "ac3": 50,
+            },
+            memory,
+        )
+        assert result.memory.get(90) == 7
+        assert result.memory.get(89) == 8

@@ -1,0 +1,74 @@
+"""Table 1 catalog tests."""
+
+from repro.machines import MACHINES, PAPER_COUNTS, PAPER_TOTAL, table1_rows, total_count
+
+
+def test_six_machines_six_manufacturers():
+    assert len(MACHINES) == 6
+    manufacturers = {machine.manufacturer for machine in MACHINES}
+    assert len(manufacturers) == 6
+
+
+def test_per_machine_counts_match_paper():
+    for machine in MACHINES:
+        assert machine.count == PAPER_COUNTS[machine.name], machine.name
+
+
+def test_total_is_67():
+    assert total_count() == PAPER_TOTAL == 67
+
+
+def test_table1_rows_agree():
+    for name, ours, paper in table1_rows():
+        assert ours == paper, name
+
+
+def test_paper_named_instructions_present():
+    by_machine = {machine.name: machine for machine in MACHINES}
+    vax_names = {i.name for i in by_machine["VAX-11"].instructions}
+    assert {"movc3", "movc5", "locc", "cmpc3"} <= vax_names
+    intel_names = {i.name for i in by_machine["Intel 8086"].instructions}
+    assert {"movsb", "scasb", "cmpsb"} <= intel_names
+    ibm_names = {i.name for i in by_machine["IBM 370"].instructions}
+    assert "mvc" in ibm_names
+
+
+def test_modeled_instructions_have_descriptions():
+    from repro.machines import b4800, eclipse, i8086, ibm370, vax11
+
+    loaders = {
+        "movsb": i8086.movsb,
+        "scasb": i8086.scasb,
+        "cmpsb": i8086.cmpsb,
+        "stosb": __import__("repro.machines.i8086.descriptions", fromlist=["stosb"]).stosb,
+        "movc3": vax11.movc3,
+        "movc5": vax11.movc5,
+        "locc": vax11.locc,
+        "skpc": __import__("repro.machines.vax11.descriptions", fromlist=["skpc"]).skpc,
+        "cmpc3": vax11.cmpc3,
+        "mvc": ibm370.mvc,
+        "tr": __import__("repro.machines.ibm370.descriptions", fromlist=["tr"]).tr,
+        "clc": __import__("repro.machines.ibm370.descriptions", fromlist=["clc"]).clc,
+        "cmv": eclipse.cmv,
+        "srl": b4800.srl,
+        "mva": __import__("repro.machines.b4800.descriptions", fromlist=["mva"]).mva,
+    }
+    modeled = {
+        instr.name
+        for machine in MACHINES
+        for instr in machine.instructions
+        if instr.modeled
+    }
+    assert modeled == set(loaders)
+    for name, loader in loaders.items():
+        description = loader()
+        assert description.entry_routine() is not None, name
+
+
+def test_reconstructed_entries_flagged():
+    for machine in MACHINES:
+        for instr in machine.instructions:
+            if instr.modeled:
+                assert not instr.reconstructed
+    univac = next(m for m in MACHINES if m.name == "Univac 1100")
+    assert all(i.reconstructed for i in univac.instructions)

@@ -1,0 +1,261 @@
+"""Interpreter tests: execution model, widths, routines, control flow."""
+
+import pytest
+
+from repro.isdl import parse_description
+from repro.isdl.errors import SemanticError
+from repro.semantics import (
+    AssertionFailed,
+    Interpreter,
+    StepLimitExceeded,
+    run_description,
+)
+
+
+def make(body, regs="x<7:0>, y<15:0>", sections=""):
+    return parse_description(
+        f"""
+        t.op := begin
+            ** S **
+                {regs}
+            {sections}
+            ** P **
+                t.execute() := begin
+                    {body}
+                end
+        end
+        """
+    )
+
+
+class TestBasics:
+    def test_input_output(self):
+        desc = make("input (x); output (x + 1);")
+        assert run_description(desc, {"x": 4}).outputs == (5,)
+
+    def test_missing_input_defaults_to_zero(self):
+        desc = make("input (x); output (x);")
+        assert run_description(desc, {}).outputs == (0,)
+
+    def test_input_truncated_to_width(self):
+        desc = make("input (x); output (x);")
+        assert run_description(desc, {"x": 300}).outputs == (44,)
+
+    def test_register_wraparound(self):
+        desc = make("input (x); x <- x - 1; output (x);")
+        assert run_description(desc, {"x": 0}).outputs == (255,)
+
+    def test_integer_variable_unbounded(self):
+        desc = make("input (n); n <- n + 1; output (n);", regs="n: integer")
+        big = 10**9
+        assert run_description(desc, {"n": big}).outputs == (big + 1,)
+
+    def test_undeclared_read_rejected(self):
+        desc = make("input (x); output (zz);")
+        with pytest.raises(SemanticError):
+            run_description(desc, {"x": 1})
+
+    def test_undeclared_write_rejected(self):
+        desc = make("input (x); zz <- 1;")
+        with pytest.raises(SemanticError):
+            run_description(desc, {"x": 1})
+
+
+class TestMemory:
+    def test_read_write(self):
+        desc = make("input (y); Mb[ y ] <- 7; output (Mb[ y ]);")
+        result = run_description(desc, {"y": 100})
+        assert result.outputs == (7,)
+        assert result.memory == {100: 7}
+
+    def test_unwritten_cells_read_zero(self):
+        desc = make("input (y); output (Mb[ y ]);")
+        assert run_description(desc, {"y": 5}).outputs == (0,)
+
+    def test_memory_byte_truncation(self):
+        desc = make("input (y); Mb[ 0 ] <- 300; output (Mb[ 0 ]);")
+        assert run_description(desc, {"y": 0}).outputs == (44,)
+
+    def test_initial_memory(self):
+        desc = make("input (y); output (Mb[ y ]);")
+        assert run_description(desc, {"y": 3}, {3: 9}).outputs == (9,)
+
+    def test_negative_address_rejected(self):
+        desc = make("input (n); output (Mb[ n - 1 ]);", regs="n: integer")
+        with pytest.raises(SemanticError):
+            run_description(desc, {"n": 0})
+
+
+class TestControlFlow:
+    def test_if_both_branches(self):
+        desc = make(
+            "input (x); if x then y <- 1; else y <- 2; end_if; output (y);"
+        )
+        assert run_description(desc, {"x": 1}).outputs == (1,)
+        assert run_description(desc, {"x": 0}).outputs == (2,)
+
+    def test_loop_counts(self):
+        desc = make(
+            """
+            input (x);
+            y <- 0;
+            repeat
+                exit_when (x = 0);
+                x <- x - 1;
+                y <- y + 1;
+            end_repeat;
+            output (y);
+            """
+        )
+        assert run_description(desc, {"x": 9}).outputs == (9,)
+
+    def test_zero_trip_loop(self):
+        desc = make(
+            "input (x); repeat exit_when (x = 0); x <- x - 1; end_repeat; output (x);"
+        )
+        assert run_description(desc, {"x": 0}).outputs == (0,)
+
+    def test_exit_leaves_innermost_loop(self):
+        desc = make(
+            """
+            input (x);
+            y <- 0;
+            repeat
+                exit_when (x = 0);
+                x <- x - 1;
+                repeat
+                    y <- y + 1;
+                    exit_when (1);
+                end_repeat;
+            end_repeat;
+            output (y);
+            """
+        )
+        assert run_description(desc, {"x": 3}).outputs == (3,)
+
+    def test_infinite_loop_hits_step_limit(self):
+        desc = make("input (x); repeat x <- x + 1; end_repeat;")
+        with pytest.raises(StepLimitExceeded):
+            Interpreter(desc, max_steps=500).run({"x": 0})
+
+    def test_assert_pass_and_fail(self):
+        desc = make("input (x); assert (x > 0); output (x);")
+        assert run_description(desc, {"x": 2}).outputs == (2,)
+        with pytest.raises(AssertionFailed):
+            run_description(desc, {"x": 0})
+
+
+class TestRoutines:
+    ROUTINE_SECTION = """
+            ** R **
+                bump()<7:0> := begin
+                    bump <- x;
+                    x <- x + 1;
+                end
+    """
+
+    def test_routine_returns_and_mutates_globals(self):
+        desc = make(
+            "input (x); y <- bump(); y <- y + bump(); output (y, x);",
+            sections=self.ROUTINE_SECTION,
+        )
+        result = run_description(desc, {"x": 10})
+        assert result.outputs == (21, 12)  # 10 + 11, x advanced twice
+
+    def test_routine_return_truncated(self):
+        desc = parse_description(
+            """
+            t.op := begin
+                ** S **
+                    n: integer
+                ** R **
+                    low()<3:0> := begin
+                        low <- n;
+                    end
+                ** P **
+                    t.execute() := begin
+                        input (n);
+                        output (low());
+                    end
+            end
+            """
+        )
+        assert run_description(desc, {"n": 255}).outputs == (15,)
+
+    def test_call_by_value_parameters(self):
+        desc = parse_description(
+            """
+            t.op := begin
+                ** S **
+                    n: integer
+                ** R **
+                    twice(k): integer := begin
+                        k <- k + k;
+                        twice <- k;
+                    end
+                ** P **
+                    t.execute() := begin
+                        input (n);
+                        output (twice(n), n);
+                    end
+            end
+            """
+        )
+        # Mutating the parameter does not touch the caller's n.
+        assert run_description(desc, {"n": 6}).outputs == (12, 6)
+
+    def test_wrong_arity_rejected(self):
+        desc = parse_description(
+            """
+            t.op := begin
+                ** S **
+                    n: integer
+                ** R **
+                    f(a): integer := begin f <- a; end
+                ** P **
+                    t.execute() := begin
+                        input (n);
+                        output (f());
+                    end
+            end
+            """
+        )
+        with pytest.raises(SemanticError):
+            run_description(desc, {"n": 1})
+
+    def test_unknown_routine_rejected(self):
+        desc = make("input (x); output (nothere());")
+        with pytest.raises(SemanticError):
+            run_description(desc, {"x": 1})
+
+
+class TestSearchFixture:
+    """The conftest search description behaves like real scasb."""
+
+    def test_found(self, search_desc):
+        mem = {10 + i: b for i, b in enumerate(b"compiler")}
+        result = run_description(
+            search_desc, {"di": 10, "cx": 8, "al": ord("p")}, mem
+        )
+        zf, di, cx = result.outputs
+        assert zf == 1
+        assert di == 10 + 4  # one past 'p'
+        assert cx == 8 - 4
+
+    def test_not_found(self, search_desc):
+        mem = {10 + i: b for i, b in enumerate(b"compiler")}
+        result = run_description(
+            search_desc, {"di": 10, "cx": 8, "al": ord("z")}, mem
+        )
+        assert result.outputs[0] == 0
+
+    def test_empty_string(self, search_desc):
+        result = run_description(search_desc, {"di": 10, "cx": 0, "al": 65})
+        assert result.outputs == (0, 10, 0)
+
+    def test_deterministic(self, search_desc):
+        mem = {10 + i: b for i, b in enumerate(b"abcabc")}
+        inputs = {"di": 10, "cx": 6, "al": ord("c")}
+        first = run_description(search_desc, inputs, mem)
+        second = run_description(search_desc, inputs, mem)
+        assert first == second

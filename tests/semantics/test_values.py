@@ -1,0 +1,113 @@
+"""Value-model tests, including hypothesis properties."""
+
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.isdl import ast
+from repro.semantics import (
+    apply_binop,
+    apply_unop,
+    as_flag,
+    fits,
+    truncate,
+    truth,
+    width_bits,
+)
+
+
+class TestTruncation:
+    def test_bit_width(self):
+        assert truncate(256, ast.BitWidth(7, 0)) == 0
+        assert truncate(257, ast.BitWidth(7, 0)) == 1
+        assert truncate(-1, ast.BitWidth(15, 0)) == 0xFFFF
+
+    def test_flag_width(self):
+        assert truncate(2, ast.BitWidth(0, 0)) == 0
+        assert truncate(3, ast.BitWidth(0, 0)) == 1
+
+    def test_integer_unbounded(self):
+        width = ast.TypeWidth("integer")
+        assert truncate(10**12, width) == 10**12
+        assert truncate(-5, width) == -5
+
+    def test_character_is_a_byte(self):
+        assert truncate(300, ast.TypeWidth("character")) == 44
+
+    def test_none_width(self):
+        assert truncate(-7, None) == -7
+
+    def test_width_bits(self):
+        assert width_bits(ast.BitWidth(15, 0)) == 16
+        assert width_bits(ast.TypeWidth("character")) == 8
+        assert width_bits(ast.TypeWidth("integer")) is None
+        assert width_bits(None) is None
+
+    def test_fits(self):
+        assert fits(255, ast.BitWidth(7, 0))
+        assert not fits(256, ast.BitWidth(7, 0))
+        assert not fits(-1, ast.BitWidth(7, 0))
+        assert fits(10**9, ast.TypeWidth("integer"))
+
+
+class TestOperators:
+    @pytest.mark.parametrize(
+        "op,left,right,expected",
+        [
+            ("+", 2, 3, 5),
+            ("-", 2, 3, -1),
+            ("*", 4, 5, 20),
+            ("=", 3, 3, 1),
+            ("=", 3, 4, 0),
+            ("<>", 3, 4, 1),
+            ("<", 3, 4, 1),
+            ("<=", 4, 4, 1),
+            (">", 3, 4, 0),
+            (">=", 4, 4, 1),
+            ("and", 2, 3, 1),
+            ("and", 2, 0, 0),
+            ("or", 0, 0, 0),
+            ("or", 0, 7, 1),
+        ],
+    )
+    def test_binop(self, op, left, right, expected):
+        assert apply_binop(op, left, right) == expected
+
+    def test_unop(self):
+        assert apply_unop("not", 0) == 1
+        assert apply_unop("not", 5) == 0
+        assert apply_unop("-", 3) == -3
+
+    def test_unknown_operator(self):
+        with pytest.raises(ValueError):
+            apply_binop("xor", 1, 1)
+        with pytest.raises(ValueError):
+            apply_unop("~", 1)
+
+    def test_truth_and_flag(self):
+        assert truth(7) and truth(-1) and not truth(0)
+        assert as_flag(True) == 1 and as_flag(False) == 0
+
+
+class TestProperties:
+    @given(st.integers(), st.integers(min_value=1, max_value=64))
+    def test_truncate_idempotent(self, value, bits):
+        width = ast.BitWidth(bits - 1, 0)
+        once = truncate(value, width)
+        assert truncate(once, width) == once
+        assert 0 <= once < (1 << bits)
+
+    @given(st.integers(), st.integers(), st.integers(min_value=1, max_value=32))
+    def test_modular_addition_composes(self, a, b, bits):
+        width = ast.BitWidth(bits - 1, 0)
+        direct = truncate(a + b, width)
+        stepwise = truncate(truncate(a, width) + truncate(b, width), width)
+        assert direct == stepwise
+
+    @given(st.integers(), st.integers())
+    def test_boolean_ops_yield_flags(self, a, b):
+        for op in ("=", "<>", "<", "<=", ">", ">=", "and", "or"):
+            assert apply_binop(op, a, b) in (0, 1)
+
+    @given(st.integers())
+    def test_double_not_is_truth(self, a):
+        assert apply_unop("not", apply_unop("not", a)) == as_flag(truth(a))

@@ -1,0 +1,44 @@
+"""The committed docs stay in sync with the code."""
+
+import pathlib
+import re
+
+from repro.transform import all_transformations, library_size
+
+DOCS = pathlib.Path(__file__).resolve().parents[1] / "docs"
+
+
+def test_transformation_catalog_lists_every_transform():
+    text = (DOCS / "transformations.md").read_text()
+    for transformation in all_transformations():
+        assert f"`{transformation.name}`" in text, transformation.name
+
+
+def test_transformation_catalog_total_current():
+    text = (DOCS / "transformations.md").read_text()
+    match = re.search(r"\*\*(\d+) transformations", text)
+    assert match and int(match.group(1)) == library_size()
+
+
+def test_isdl_reference_exists_and_covers_constructs():
+    text = (DOCS / "isdl.md").read_text()
+    for construct in (
+        "repeat",
+        "exit_when",
+        "input",
+        "output",
+        "assert",
+        "Mb[",
+        "<15:0>",
+        ": integer",
+    ):
+        assert construct in text, construct
+
+
+def test_transcripts_cover_every_analysis():
+    from repro import analyses
+
+    text = (DOCS / "analysis_transcripts.md").read_text()
+    for module in analyses.TABLE2 + analyses.FAILURES + analyses.EXTENSIONS:
+        name = module.__name__.rsplit(".", 1)[-1]
+        assert f"`{name}`" in text, name

@@ -1,0 +1,256 @@
+"""Constraint-assertion and augment transformation tests."""
+
+import pytest
+
+from repro.constraints import (
+    LanguageFact,
+    OffsetConstraint,
+    RangeConstraint,
+    UnsupportedConstraintError,
+    ValueConstraint,
+)
+from repro.isdl import ast, parse_description, parse_stmts
+from repro.semantics import run_description
+from repro.transform import Session, TransformError
+
+
+class TestFixOperand:
+    def test_removes_operand_and_emits_constraint(self, search_desc):
+        session = Session(search_desc)
+        result = session.apply("fix_operand", operand="al", value=65)
+        assert result.constraints == (ValueConstraint("al", 65),)
+        entry = session.description.entry_routine()
+        assert entry.body[0].names == ("di", "cx")
+        assert entry.body[1] == ast.Assign(
+            ast.Var("al"), ast.Const(65), comment="operand fixed by simplification"
+        )
+
+    def test_behavior_matches_fixed_input(self, search_desc):
+        session = Session(search_desc)
+        session.apply("fix_operand", operand="al", value=ord("b"))
+        mem = {10 + i: b for i, b in enumerate(b"abc")}
+        fixed = run_description(session.description, {"di": 10, "cx": 3}, mem)
+        original = run_description(
+            session.original, {"di": 10, "cx": 3, "al": ord("b")}, mem
+        )
+        assert fixed.outputs == original.outputs
+
+    def test_unknown_operand_refused(self, search_desc):
+        session = Session(search_desc)
+        with pytest.raises(TransformError):
+            session.apply("fix_operand", operand="zz", value=0)
+
+
+class TestCodingConstraint:
+    def test_inserts_adjustment_and_constraint(self, copy_desc):
+        session = Session(copy_desc)
+        result = session.apply(
+            "introduce_coding_constraint", operand="Len", offset=-1
+        )
+        (constraint,) = result.constraints
+        assert isinstance(constraint, OffsetConstraint)
+        assert constraint.encode(10) == 9
+        body = session.description.entry_routine().body
+        assert body[1] == ast.Assign(
+            ast.Var("Len"),
+            ast.BinOp("-", ast.Var("Len"), ast.Const(1)),
+            comment="coding constraint adjustment",
+        )
+
+    def test_positive_offset_renders_plus(self, copy_desc):
+        session = Session(copy_desc)
+        session.apply("introduce_coding_constraint", operand="Len", offset=2)
+        body = session.description.entry_routine().body
+        assert body[1].expr.op == "+"
+
+
+class TestRangeAssertions:
+    def test_assert_operand_range(self, copy_desc):
+        session = Session(copy_desc)
+        result = session.apply(
+            "assert_operand_range", operand="Len", lo=1, hi=256
+        )
+        (constraint,) = result.constraints
+        assert isinstance(constraint, RangeConstraint)
+        assert constraint.satisfied_by(256)
+        assert not constraint.satisfied_by(0)
+        body = session.description.entry_routine().body
+        assert isinstance(body[1], ast.Assert)
+
+    def test_derive_assertion(self, copy_desc):
+        session = Session(copy_desc)
+        session.apply("assert_operand_range", operand="Len", lo=1, hi=256)
+        session.apply(
+            "derive_assertion", at=session.stmt("assert (Len >= 1);")
+        )
+        assert session.stmt("assert (not (Len = 0));")
+
+    def test_derive_requires_excluding_bound(self, copy_desc):
+        session = Session(copy_desc)
+        session.apply("assert_operand_range", operand="Len", lo=0, hi=256)
+        with pytest.raises(TransformError):
+            session.apply(
+                "derive_assertion", at=session.stmt("assert (Len >= 0);")
+            )
+
+    def test_remove_assertion(self, copy_desc):
+        session = Session(copy_desc)
+        session.apply("assert_operand_range", operand="Len", lo=1, hi=256)
+        session.apply("remove_assertion", at=session.stmt("assert (Len >= 1);"))
+        body = session.description.entry_routine().body
+        assert not any(isinstance(s, ast.Assert) for s in body)
+
+
+class TestNoOverlap:
+    def test_raises_without_fact(self, copy_desc):
+        session = Session(copy_desc)
+        with pytest.raises(UnsupportedConstraintError) as info:
+            session.apply("require_no_overlap", src="Src", dst="Dst")
+        assert info.value.constraint is not None
+        assert "Src" in info.value.constraint.operands
+
+    def test_discharged_by_language_fact(self, copy_desc):
+        session = Session(copy_desc)
+        fact = LanguageFact("no-overlap", "strings never overlap")
+        result = session.apply(
+            "require_no_overlap",
+            src="Src",
+            dst="Dst",
+            language_facts=(fact,),
+        )
+        assert "discharged" in result.note
+
+
+class TestAugments:
+    def test_allocate_temp(self, search_desc):
+        session = Session(search_desc)
+        result = session.apply("allocate_temp", temp="temp", bits=16)
+        assert result.is_augment
+        assert session.description.register("temp").width == ast.BitWidth(15, 0)
+        assert session.augmented
+
+    def test_add_prologue_after_input(self, search_desc):
+        session = Session(search_desc)
+        session.apply("allocate_temp", temp="temp", bits=16)
+        session.apply(
+            "add_prologue", stmts=parse_stmts("temp <- di;"), position=1
+        )
+        body = session.description.entry_routine().body
+        assert isinstance(body[0], ast.Input)
+        assert body[1].target.name == "temp"
+
+    def test_prologue_rejects_input_statements(self, search_desc):
+        session = Session(search_desc)
+        with pytest.raises(TransformError):
+            session.apply("add_prologue", stmts=parse_stmts("input (zf);"))
+
+    def test_prologue_rejects_loop_exits(self, search_desc):
+        session = Session(search_desc)
+        with pytest.raises(TransformError):
+            session.apply(
+                "add_prologue", stmts=parse_stmts("exit_when (cx = 0);")
+            )
+
+    def test_drop_input_operand_after_cover(self, search_desc):
+        session = Session(search_desc)
+        session.apply("add_prologue", stmts=parse_stmts("al <- 65;"), position=1)
+        session.apply("drop_input_operand", operand="al")
+        entry = session.description.entry_routine()
+        assert "al" not in entry.body[0].names
+
+    def test_drop_uncovered_operand_refused(self, search_desc):
+        session = Session(search_desc)
+        with pytest.raises(TransformError):
+            session.apply("drop_input_operand", operand="al")
+
+    def test_replace_epilogue(self, search_desc):
+        session = Session(search_desc)
+        session.apply(
+            "replace_epilogue", stmts=parse_stmts("output (zf);")
+        )
+        body = session.description.entry_routine().body
+        assert body[-1] == ast.Output((ast.Var("zf"),))
+        mem = {10: ord("a")}
+        result = run_description(
+            session.description, {"di": 10, "cx": 1, "al": ord("a")}, mem
+        )
+        assert result.outputs == (1,)
+
+    def test_replace_epilogue_drops_outputs_entirely(self, search_desc):
+        session = Session(search_desc)
+        session.apply("replace_epilogue", stmts=())
+        body = session.description.entry_routine().body
+        assert not any(isinstance(s, ast.Output) for s in body)
+
+    def test_replace_epilogue_without_output_refused(self, copy_desc):
+        session = Session(copy_desc)
+        with pytest.raises(TransformError):
+            session.apply("replace_epilogue", stmts=())
+
+    def test_add_epilogue_appends(self, search_desc):
+        session = Session(search_desc)
+        session.apply("add_epilogue", stmts=parse_stmts("output (zf);"))
+        body = session.description.entry_routine().body
+        assert isinstance(body[-1], ast.Output)
+        assert isinstance(body[-2], ast.Output)
+
+
+class TestMisc:
+    def test_reorder_inputs(self, copy_desc):
+        session = Session(copy_desc)
+        session.apply("reorder_inputs", order=("Len", "Src", "Dst"))
+        assert session.description.entry_routine().body[0].names == (
+            "Len",
+            "Src",
+            "Dst",
+        )
+        memory = {30: 7}
+        inputs = {"Src": 30, "Dst": 60, "Len": 1}
+        assert (
+            run_description(session.description, inputs, memory).memory
+            == run_description(session.original, inputs, memory).memory
+        )
+
+    def test_reorder_requires_permutation(self, copy_desc):
+        session = Session(copy_desc)
+        with pytest.raises(TransformError):
+            session.apply("reorder_inputs", order=("Len", "Src"))
+
+    def test_remove_immediate_exit_loop(self):
+        desc = parse_description(
+            """
+            t.op := begin
+                ** S **
+                    n<7:0>, x<7:0>
+                ** P **
+                    t.execute() := begin
+                        input (x);
+                        n <- 0;
+                        repeat
+                            exit_when (n = 0);
+                            x <- x + 1;
+                        end_repeat;
+                        output (x);
+                    end
+            end
+            """
+        )
+        session = Session(desc)
+        session.apply(
+            "remove_immediate_exit_loop",
+            at=session.stmt(
+                "repeat exit_when (n = 0); x <- x + 1; end_repeat;"
+            ),
+        )
+        assert run_description(session.description, {"x": 5}).outputs == (5,)
+
+    def test_remove_loop_needs_provable_condition(self, search_desc):
+        session = Session(search_desc)
+        loop_pattern = (
+            "repeat exit_when (cx = 0); cx <- cx - 1; "
+            "zf <- ((al - fetch()) = 0); exit_when (zf); end_repeat;"
+        )
+        with pytest.raises(TransformError):
+            session.apply(
+                "remove_immediate_exit_loop", at=session.stmt(loop_pattern)
+            )

@@ -1,0 +1,77 @@
+"""Session / engine tests: locating, logging, step counting."""
+
+import pytest
+
+from repro.isdl import ast
+from repro.transform import Session, TransformError
+
+
+class TestLocators:
+    def test_expr_skips_assignment_targets(self, search_desc):
+        session = Session(search_desc)
+        path = session.expr("zf")
+        node = session.description
+        from repro.isdl.visitor import node_at
+
+        found = node_at(node, path)
+        assert found == ast.Var("zf")
+        # the first zf in walk order is the target of 'zf <- 0' — the
+        # locator must have skipped it.
+        assert path[-1] != ("target", None)
+
+    def test_expr_occurrence(self, search_desc):
+        session = Session(search_desc)
+        first = session.expr("cx", occurrence=0)
+        second = session.expr("cx", occurrence=1)
+        assert first != second
+
+    def test_expr_occurrence_out_of_range(self, search_desc):
+        session = Session(search_desc)
+        with pytest.raises(TransformError):
+            session.expr("cx", occurrence=99)
+
+    def test_stmt_ignores_comments(self, search_desc):
+        session = Session(search_desc)
+        assert session.stmt("zf <- 0;")
+
+    def test_stmt_no_match(self, search_desc):
+        session = Session(search_desc)
+        with pytest.raises(TransformError):
+            session.stmt("qq <- 1;")
+
+    def test_decl_and_routine(self, search_desc):
+        session = Session(search_desc)
+        assert session.decl("al")
+        assert session.routine_decl("fetch")
+        with pytest.raises(TransformError):
+            session.decl("fetch")  # routines are not register decls
+
+
+class TestHistory:
+    def test_steps_count_successes_only(self, search_desc):
+        session = Session(search_desc)
+        session.apply("fix_operand", operand="al", value=1)
+        with pytest.raises(TransformError):
+            session.apply("fix_operand", operand="al", value=1)
+        assert session.steps == 1
+
+    def test_original_kept(self, search_desc):
+        session = Session(search_desc)
+        session.apply("fix_operand", operand="al", value=1)
+        assert session.original is search_desc
+        assert session.description is not search_desc
+
+    def test_log_mentions_transform_and_constraints(self, search_desc):
+        session = Session(search_desc)
+        session.apply("fix_operand", operand="al", value=1)
+        log = session.log()
+        assert "fix_operand" in log
+        assert "constraint" in log
+
+    def test_augment_flag_propagates(self, search_desc):
+        session = Session(search_desc)
+        assert not session.augmented
+        session.apply("allocate_temp", temp="t9")
+        assert session.augmented
+        record = session.history[-1]
+        assert record.is_augment

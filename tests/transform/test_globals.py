@@ -1,0 +1,300 @@
+"""Global transformation tests: propagation, dead code, renaming."""
+
+import pytest
+
+from repro.isdl import ast, parse_description
+from repro.semantics import run_description
+from repro.transform import Session, TransformError
+
+
+def make(text):
+    return Session(parse_description(text), "test")
+
+
+STRAIGHT = """
+t.op := begin
+    ** S **
+        a<7:0>, b<7:0>, c<7:0>
+    ** P **
+        t.execute() := begin
+            input (a);
+            b <- 5;
+            c <- b;
+            output (a + c);
+        end
+end
+"""
+
+
+class TestPropagateConstant:
+    def test_straightline(self):
+        session = make(STRAIGHT)
+        session.apply("propagate_constant", at=session.expr("b"))
+        assert session.stmt("c <- 5;")
+
+    def test_into_target_refused(self):
+        session = make(STRAIGHT)
+        with pytest.raises(TransformError):
+            # occurrence 0 excluded targets already; a non-constant var
+            # is refused instead.
+            session.apply("propagate_constant", at=session.expr("a"))
+
+    def test_cross_routine_single_definition(self, search_desc):
+        # After fixing an operand at the entry top, its uses in callees
+        # become propagatable (the df mechanism).
+        session = make(
+            """
+            t.op := begin
+                ** S **
+                    flag<>, x<7:0>
+                ** R **
+                    probe()<7:0> := begin
+                        if flag then probe <- 1; else probe <- 2; end_if;
+                    end
+                ** P **
+                    t.execute() := begin
+                        input (x);
+                        flag <- 0;
+                        output (probe());
+                    end
+            end
+            """
+        )
+        session.apply("propagate_constant", at=session.expr("flag"))
+        assert session.stmt("if 0 then probe <- 1; else probe <- 2; end_if;")
+
+    def test_cross_routine_refused_with_two_defs(self):
+        session = make(
+            """
+            t.op := begin
+                ** S **
+                    flag<>, x<7:0>
+                ** R **
+                    probe()<7:0> := begin
+                        probe <- flag;
+                    end
+                ** P **
+                    t.execute() := begin
+                        input (x);
+                        flag <- 0;
+                        flag <- 1;
+                        output (probe());
+                    end
+            end
+            """
+        )
+        with pytest.raises(TransformError):
+            session.apply("propagate_constant", at=session.expr("flag"))
+
+
+class TestPropagateCopy:
+    def test_copy(self):
+        session = make(STRAIGHT)
+        session.apply("propagate_copy", at=session.expr("c"))
+        output = session.description.entry_routine().body[-1]
+        assert output.exprs[0] == ast.BinOp("+", ast.Var("a"), ast.Var("b"))
+
+    def test_killed_copy_refused(self):
+        session = make(
+            """
+            t.op := begin
+                ** S **
+                    a<7:0>, b<7:0>
+                ** P **
+                    t.execute() := begin
+                        input (a);
+                        b <- a;
+                        a <- 0;
+                        output (b);
+                    end
+            end
+            """
+        )
+        with pytest.raises(TransformError):
+            session.apply("propagate_copy", at=session.expr("b"))
+
+
+class TestDeadCode:
+    def test_eliminate_dead_assignment(self):
+        session = make(
+            """
+            t.op := begin
+                ** S **
+                    a<7:0>, b<7:0>
+                ** P **
+                    t.execute() := begin
+                        input (a);
+                        b <- 9;
+                        b <- a;
+                        output (b);
+                    end
+            end
+            """
+        )
+        session.apply("eliminate_dead_assignment", at=session.stmt("b <- 9;"))
+        assert len(session.description.entry_routine().body) == 3
+
+    def test_live_assignment_refused(self):
+        session = make(STRAIGHT)
+        with pytest.raises(TransformError):
+            session.apply("eliminate_dead_assignment", at=session.stmt("b <- 5;"))
+
+    def test_impure_rhs_refused(self, search_desc):
+        session = Session(search_desc)
+        with pytest.raises(TransformError):
+            session.apply(
+                "eliminate_dead_assignment",
+                at=session.stmt("zf <- ((al - fetch()) = 0);"),
+            )
+
+    def test_eliminate_dead_variable_with_self_increments(self):
+        session = make(
+            """
+            t.op := begin
+                ** S **
+                    a<7:0>, i: integer
+                ** P **
+                    t.execute() := begin
+                        input (a);
+                        i <- 0;
+                        repeat
+                            exit_when (a = 0);
+                            a <- a - 1;
+                            i <- i + 1;
+                        end_repeat;
+                        output (a);
+                    end
+            end
+            """
+        )
+        session.apply("eliminate_dead_variable", at=session.decl("i"))
+        desc = session.description
+        assert not desc.has_register("i")
+        assert run_description(desc, {"a": 3}).outputs == (0,)
+
+    def test_dead_variable_with_real_read_refused(self, search_desc):
+        session = Session(search_desc)
+        with pytest.raises(TransformError):
+            session.apply("eliminate_dead_variable", at=session.decl("cx"))
+
+    def test_input_operand_refused(self, search_desc):
+        session = Session(search_desc)
+        with pytest.raises(TransformError):
+            session.apply("eliminate_dead_variable", at=session.decl("al"))
+
+
+class TestRename:
+    def test_rename_variable_everywhere(self, search_desc):
+        session = Session(search_desc)
+        session.apply(
+            "rename_variable", at=session.decl("cx"), new_name="count"
+        )
+        desc = session.description
+        assert desc.has_register("count")
+        assert not desc.has_register("cx")
+        assert "count" in desc.entry_routine().body[0].names
+        mem = {10 + i: b for i, b in enumerate(b"ab")}
+        result = run_description(
+            desc, {"di": 10, "count": 2, "al": ord("b")}, mem
+        )
+        assert result.outputs[0] == 1
+
+    def test_rename_collision_refused(self, search_desc):
+        session = Session(search_desc)
+        with pytest.raises(TransformError):
+            session.apply(
+                "rename_variable", at=session.decl("cx"), new_name="di"
+            )
+
+    def test_rename_routine(self, search_desc):
+        session = Session(search_desc)
+        session.apply(
+            "rename_routine",
+            at=session.routine_decl("fetch"),
+            new_name="read",
+        )
+        desc = session.description
+        assert desc.routine("read")
+        mem = {10 + i: b for i, b in enumerate(b"ab")}
+        result = run_description(desc, {"di": 10, "cx": 2, "al": ord("b")}, mem)
+        assert result.outputs[0] == 1
+
+
+class TestSubstitution:
+    def test_forward_substitute(self):
+        session = make(
+            """
+            t.op := begin
+                ** S **
+                    a<7:0>, t<7:0>
+                ** P **
+                    t.execute() := begin
+                        input (a);
+                        t <- a + 1;
+                        output (t * 2);
+                    end
+            end
+            """
+        )
+        session.apply("forward_substitute", at=session.expr("t"))
+        output = session.description.entry_routine().body[-1]
+        assert output.exprs[0] == ast.BinOp(
+            "*", ast.BinOp("+", ast.Var("a"), ast.Const(1)), ast.Const(2)
+        )
+
+    def test_forward_substitute_multiple_reads_refused(self):
+        session = make(
+            """
+            t.op := begin
+                ** S **
+                    a<7:0>, t<7:0>
+                ** P **
+                    t.execute() := begin
+                        input (a);
+                        t <- a + 1;
+                        output (t + t);
+                    end
+            end
+            """
+        )
+        with pytest.raises(TransformError):
+            session.apply("forward_substitute", at=session.expr("t"))
+
+    def test_retarget_assignment(self):
+        session = make(
+            """
+            t.op := begin
+                ** S **
+                    a<7:0>, y<7:0>, x<7:0>
+                ** P **
+                    t.execute() := begin
+                        input (a);
+                        y <- a + 1;
+                        a <- 0;
+                        x <- y;
+                        output (x);
+                    end
+            end
+            """
+        )
+        session.apply("retarget_assignment", at=session.stmt("x <- y;"))
+        body = session.description.entry_routine().body
+        assert body[1] == ast.Assign(
+            ast.Var("x"), ast.BinOp("+", ast.Var("a"), ast.Const(1))
+        )
+        assert run_description(session.description, {"a": 4}).outputs == (5,)
+
+    def test_copy_operand_to_register(self, copy_desc):
+        session = Session(copy_desc)
+        session.apply(
+            "copy_operand_to_register", operand="Len", new="counter"
+        )
+        desc = session.description
+        body = desc.entry_routine().body
+        assert body[1] == ast.Assign(ast.Var("counter"), ast.Var("Len"))
+        memory = {30 + i: i + 1 for i in range(4)}
+        inputs = {"Src": 30, "Dst": 60, "Len": 4}
+        assert (
+            run_description(session.original, inputs, memory).memory
+            == run_description(desc, inputs, memory).memory
+        )

@@ -1,0 +1,250 @@
+"""Local transformations: identities, folding, conditionals."""
+
+import pytest
+
+from repro.isdl import ast, format_expr, parse_description, parse_expr
+from repro.transform import Session, TransformError
+
+
+def session_with_expr(expr_text, regs="a<7:0>, b<7:0>, f<>, g<>"):
+    """A session whose entry outputs the given expression."""
+    desc = parse_description(
+        f"""
+        t.op := begin
+            ** S **
+                {regs}
+            ** P **
+                t.execute() := begin
+                    input (a, b, f, g);
+                    output ({expr_text});
+                end
+        end
+        """
+    )
+    return Session(desc, "test")
+
+
+def result_expr(session):
+    entry = session.description.entry_routine()
+    output = entry.body[-1]
+    return output.exprs[0]
+
+
+def check_rewrite(transform, before, after, **kwargs):
+    session = session_with_expr(before, **kwargs)
+    session.apply(transform, at=session.expr(before))
+    assert result_expr(session) == parse_expr(after), format_expr(
+        result_expr(session)
+    )
+
+
+class TestFolding:
+    def test_fold_binop(self):
+        check_rewrite("fold_constants", "2 + 3", "5")
+
+    def test_fold_comparison(self):
+        check_rewrite("fold_constants", "2 = 3", "0")
+
+    def test_fold_unop(self):
+        check_rewrite("fold_constants", "not 1", "0")
+
+    def test_fold_requires_constants(self):
+        session = session_with_expr("a + 3")
+        with pytest.raises(TransformError):
+            session.apply("fold_constants", at=session.expr("a + 3"))
+
+
+class TestBooleanIdentities:
+    def test_and_true_flag(self):
+        check_rewrite("and_true", "1 and f", "f")
+
+    def test_and_true_needs_boolean(self):
+        # 'a' is 8-bit: 'a and 1' is truth(a), not a.
+        session = session_with_expr("a and 1")
+        with pytest.raises(TransformError):
+            session.apply("and_true", at=session.expr("a and 1"))
+
+    def test_and_false(self):
+        check_rewrite("and_false", "a and 0", "0")
+
+    def test_or_false(self):
+        check_rewrite("or_false", "f or 0", "f")
+
+    def test_or_true(self):
+        check_rewrite("or_true", "a or 1", "1")
+
+    def test_not_not_boolean(self):
+        check_rewrite("not_not", "not (not f)", "f")
+
+    def test_not_not_needs_boolean(self):
+        session = session_with_expr("not (not a)")
+        with pytest.raises(TransformError):
+            session.apply("not_not", at=session.expr("not (not a)"))
+
+    def test_de_morgan_inward(self):
+        check_rewrite("de_morgan", "not (f and g)", "(not f) or (not g)")
+
+    def test_de_morgan_outward(self):
+        check_rewrite("de_morgan", "(not f) or (not g)", "not (f and g)")
+
+
+class TestArithmeticIdentities:
+    def test_add_zero(self):
+        check_rewrite("add_zero", "a + 0", "a")
+        check_rewrite("add_zero", "0 + a", "a")
+
+    def test_sub_zero(self):
+        check_rewrite("sub_zero", "a - 0", "a")
+
+    def test_mul_one(self):
+        check_rewrite("mul_one", "a * 1", "a")
+
+    def test_mul_zero(self):
+        check_rewrite("mul_zero", "a * 0", "0")
+
+    def test_sub_self(self):
+        check_rewrite("sub_self", "a - a", "0")
+
+    def test_sub_of_sum(self):
+        check_rewrite("sub_of_sum", "(a + b) - b", "a")
+
+    def test_sum_of_sub(self):
+        check_rewrite("sum_of_sub", "(a - b) + b", "a")
+
+    def test_shift_sub(self):
+        check_rewrite("shift_sub", "(a + 1) - b", "(a - b) + 1")
+
+    def test_shift_sub_neg(self):
+        check_rewrite("shift_sub_neg", "(a - 1) - b", "(a - b) - 1")
+
+    def test_associate_right_then_left(self):
+        check_rewrite("associate_right", "(a + b) + 1", "a + (b + 1)")
+        check_rewrite("associate_left", "a + (b + 1)", "(a + b) + 1")
+
+
+class TestComparisonRewrites:
+    def test_eq_to_sub_zero(self):
+        check_rewrite("eq_to_sub_zero", "a = b", "(a - b) = 0")
+
+    def test_sub_zero_to_eq(self):
+        check_rewrite("sub_zero_to_eq", "(a - b) = 0", "a = b")
+
+    def test_compare_zero_to_not(self):
+        check_rewrite("compare_zero_to_not", "a = 0", "not a")
+
+    def test_not_to_compare_zero(self):
+        check_rewrite("not_to_compare_zero", "not a", "a = 0")
+
+    def test_neq_roundtrip(self):
+        check_rewrite("neq_to_not_eq", "a <> b", "not (a = b)")
+        check_rewrite("not_eq_to_neq", "not (a = b)", "a <> b")
+
+    def test_commute(self):
+        check_rewrite("commute", "a + b", "b + a")
+
+    def test_commute_rejects_conflicting_effects(self, search_desc):
+        session = Session(search_desc)
+        path = session.expr("al - fetch()")
+        # fetch() writes di; swapping evaluation order of al/fetch is
+        # fine (al not written), but commuting '-' is not commutative —
+        # guard on the operator kind.
+        with pytest.raises(TransformError):
+            session.apply("commute", at=path)
+
+    def test_swap_comparison(self):
+        check_rewrite("swap_comparison", "a < b", "b > a")
+        check_rewrite("swap_comparison", "a >= b", "b <= a")
+
+
+class TestConditionals:
+    def make(self, body):
+        desc = parse_description(
+            f"""
+            t.op := begin
+                ** S **
+                    a<7:0>, f<>
+                ** P **
+                    t.execute() := begin
+                        input (a, f);
+                        {body}
+                        output (a);
+                    end
+            end
+            """
+        )
+        return Session(desc, "test")
+
+    def body(self, session):
+        return session.description.entry_routine().body
+
+    def test_reverse_conditional(self):
+        session = self.make("if f then a <- 1; else a <- 2; end_if;")
+        session.apply(
+            "reverse_conditional",
+            at=session.stmt("if f then a <- 1; else a <- 2; end_if;"),
+        )
+        stmt = self.body(session)[1]
+        assert stmt.cond == ast.UnOp("not", ast.Var("f"))
+        assert stmt.then[0].expr == ast.Const(2)
+
+    def test_reverse_conditional_unwraps_not(self):
+        session = self.make("if not f then a <- 1; else a <- 2; end_if;")
+        session.apply(
+            "reverse_conditional",
+            at=session.stmt("if not f then a <- 1; else a <- 2; end_if;"),
+        )
+        assert self.body(session)[1].cond == ast.Var("f")
+
+    def test_if_true_splices_then(self):
+        session = self.make("if 1 then a <- 1; a <- 2; else a <- 3; end_if;")
+        session.apply(
+            "if_true",
+            at=session.stmt(
+                "if 1 then a <- 1; a <- 2; else a <- 3; end_if;"
+            ),
+        )
+        assert [s.expr.value for s in self.body(session)[1:3]] == [1, 2]
+
+    def test_if_false_splices_else(self):
+        session = self.make("if 0 then a <- 1; else a <- 3; end_if;")
+        session.apply(
+            "if_false", at=session.stmt("if 0 then a <- 1; else a <- 3; end_if;")
+        )
+        assert self.body(session)[1].expr.value == 3
+
+    def test_if_same_branches(self):
+        session = self.make("if f then a <- 1; else a <- 1; end_if;")
+        session.apply(
+            "if_same_branches",
+            at=session.stmt("if f then a <- 1; else a <- 1; end_if;"),
+        )
+        assert isinstance(self.body(session)[1], ast.Assign)
+
+    def test_flag_if_to_assign(self):
+        session = self.make("if a = 0 then f <- 1; else f <- 0; end_if;")
+        session.apply(
+            "flag_if_to_assign",
+            at=session.stmt("if a = 0 then f <- 1; else f <- 0; end_if;"),
+        )
+        stmt = self.body(session)[1]
+        assert stmt == ast.Assign(
+            ast.Var("f"), ast.BinOp("=", ast.Var("a"), ast.Const(0))
+        )
+
+    def test_flag_if_needs_boolean_condition(self):
+        session = self.make("if a then f <- 1; else f <- 0; end_if;")
+        with pytest.raises(TransformError):
+            session.apply(
+                "flag_if_to_assign",
+                at=session.stmt("if a then f <- 1; else f <- 0; end_if;"),
+            )
+
+    def test_assign_to_flag_if_roundtrip(self):
+        session = self.make("f <- (a = 0);")
+        session.apply("assign_to_flag_if", at=session.stmt("f <- (a = 0);"))
+        stmt = self.body(session)[1]
+        assert isinstance(stmt, ast.If)
+        session.apply("flag_if_to_assign", at=(
+            session.stmt("if a = 0 then f <- 1; else f <- 0; end_if;")
+        ))
+        assert self.body(session)[1].expr.op == "="

@@ -1,0 +1,303 @@
+"""Loop transformation tests."""
+
+import pytest
+
+from repro.isdl import ast, parse_description
+from repro.semantics import run_description
+from repro.transform import Session, TransformError
+
+
+def make(text):
+    return Session(parse_description(text), "test")
+
+
+SEARCH_OPERATOR = """
+s.op := begin
+    ** S **
+        Base: integer,
+        Len: integer,
+        ch: character
+    ** P **
+        s.execute() := begin
+            input (Base, Len, ch);
+            repeat
+                exit_when (Len = 0);
+                exit_when (ch = Mb[ Base ]);
+                Base <- Base + 1;
+                Len <- Len - 1;
+            end_repeat;
+            if Len = 0 then
+                output (0);
+            else
+                output (1);
+            end_if;
+        end
+end
+"""
+
+
+class TestMaterializeExitFlag:
+    def test_creates_flag_and_init(self):
+        session = make(SEARCH_OPERATOR)
+        session.apply(
+            "materialize_exit_flag",
+            at=session.stmt("exit_when (ch = Mb[ Base ]);"),
+            flag="found",
+        )
+        desc = session.description
+        assert desc.register("found").width == ast.BitWidth(0, 0)
+        body = desc.entry_routine().body
+        assert body[1] == ast.Assign(
+            ast.Var("found"), ast.Const(0), comment="exit flag init"
+        )
+        loop = body[2]
+        assert loop.body[1].target.name == "found"
+        assert loop.body[2].cond == ast.Var("found")
+
+    def test_flag_must_be_fresh(self):
+        session = make(SEARCH_OPERATOR)
+        with pytest.raises(TransformError):
+            session.apply(
+                "materialize_exit_flag",
+                at=session.stmt("exit_when (ch = Mb[ Base ]);"),
+                flag="Len",
+            )
+
+    def test_preserves_behavior(self):
+        session = make(SEARCH_OPERATOR)
+        session.apply(
+            "materialize_exit_flag",
+            at=session.stmt("exit_when (ch = Mb[ Base ]);"),
+            flag="found",
+        )
+        memory = {50 + i: b for i, b in enumerate(b"xyz")}
+        for char, length in ((ord("y"), 3), (ord("q"), 3), (ord("x"), 0)):
+            inputs = {"Base": 50, "Len": length, "ch": char}
+            assert (
+                run_description(session.original, inputs, memory).outputs
+                == run_description(session.description, inputs, memory).outputs
+            )
+
+
+class TestFuseAndSplit:
+    TEXT = """
+    t.op := begin
+        ** S **
+            a<7:0>, b<7:0>
+        ** P **
+            t.execute() := begin
+                input (a, b);
+                repeat
+                    exit_when (a = 0);
+                    exit_when (b = 0);
+                    a <- a - 1;
+                    b <- b - 1;
+                end_repeat;
+                output (a, b);
+            end
+    end
+    """
+
+    def test_fuse_then_split_roundtrip(self):
+        session = make(self.TEXT)
+        session.apply("fuse_exits", at=session.stmt("exit_when (a = 0);"))
+        loop = session.description.entry_routine().body[1]
+        assert loop.body[0].cond.op == "or"
+        session.apply(
+            "split_exit", at=session.stmt("exit_when ((a = 0) or (b = 0));")
+        )
+        loop = session.description.entry_routine().body[1]
+        assert isinstance(loop.body[0], ast.ExitWhen)
+        assert isinstance(loop.body[1], ast.ExitWhen)
+
+    def test_fuse_requires_adjacent_exits(self):
+        session = make(self.TEXT)
+        with pytest.raises(TransformError):
+            session.apply("fuse_exits", at=session.stmt("a <- a - 1;"))
+
+
+class TestMoveAcrossExit:
+    TEXT = """
+    t.op := begin
+        ** S **
+            n<7:0>, acc<7:0>, junk<7:0>
+        ** P **
+            t.execute() := begin
+                input (n);
+                repeat
+                    exit_when (n = 0);
+                    acc <- acc + 1;
+                    exit_when (acc = 3);
+                    junk <- junk + 1;
+                    n <- n - 1;
+                end_repeat;
+                output (acc);
+            end
+    end
+    """
+
+    def test_move_before_exit_requires_dead_target(self):
+        session = make(self.TEXT)
+        # junk is dead after the loop: moving it before the exit is fine.
+        session.apply("move_before_exit", at=session.stmt("junk <- junk + 1;"))
+        loop = session.description.entry_routine().body[1]
+        assert loop.body[2].target.name == "junk"
+
+    def test_move_live_value_refused(self):
+        session = make(self.TEXT)
+        # acc is output after the loop: n <- n - 1 is fine but moving a
+        # write to acc across an exit would change the observable value.
+        with pytest.raises(TransformError):
+            session.apply(
+                "move_after_exit", at=session.stmt("acc <- acc + 1;")
+            )
+
+    def test_move_preserves_behavior(self):
+        session = make(self.TEXT)
+        session.apply("move_before_exit", at=session.stmt("junk <- junk + 1;"))
+        for n in range(6):
+            assert (
+                run_description(session.original, {"n": n}).outputs
+                == run_description(session.description, {"n": n}).outputs
+            )
+
+
+class TestRotation:
+    TEXT = """
+    t.op := begin
+        ** S **
+            n: integer,
+            total: integer
+        ** P **
+            t.execute() := begin
+                input (n);
+                assert (n >= 1);
+                assert (not (n = 0));
+                repeat
+                    exit_when (n = 0);
+                    total <- total + 2;
+                    n <- n - 1;
+                end_repeat;
+                output (total);
+            end
+    end
+    """
+
+    def test_rotate_roundtrip_preserves_behavior(self):
+        session = make(self.TEXT)
+        loop_pattern = (
+            "repeat exit_when (n = 0); total <- total + 2; n <- n - 1; "
+            "end_repeat;"
+        )
+        session.apply("rotate_pretest_to_posttest", at=session.stmt(loop_pattern))
+        loop = session.description.entry_routine().body[3]
+        assert isinstance(loop.body[-1], ast.ExitWhen)
+        for n in range(1, 6):
+            assert run_description(session.description, {"n": n}).outputs == (
+                2 * n,
+            )
+        rotated = (
+            "repeat total <- total + 2; n <- n - 1; exit_when (n = 0); "
+            "end_repeat;"
+        )
+        session.apply("rotate_posttest_to_pretest", at=session.stmt(rotated))
+        assert run_description(session.description, {"n": 3}).outputs == (6,)
+
+    def test_rotate_requires_matching_assertion(self):
+        text = self.TEXT.replace("assert (not (n = 0));\n", "")
+        session = make(text)
+        with pytest.raises(TransformError):
+            session.apply(
+                "rotate_pretest_to_posttest",
+                at=session.stmt(
+                    "repeat exit_when (n = 0); total <- total + 2; "
+                    "n <- n - 1; end_repeat;"
+                ),
+            )
+
+
+class TestAbsorbIndexIntoBase:
+    def test_rewrites_and_preserves(self, indexed_copy_desc):
+        session = Session(indexed_copy_desc)
+        # Reverse the count first so the exit test no longer reads the
+        # cursor (as the recorded move analyses do).
+        session.apply("countup_to_countdown", var="i", limit="Len")
+        session.apply(
+            "absorb_index_into_base", var="i", base="Src", saved="s0"
+        )
+        session.apply(
+            "absorb_index_into_base", var="i", base="Dst", saved="d0"
+        )
+        session.apply("eliminate_dead_variable", at=session.decl("s0"))
+        session.apply("eliminate_dead_variable", at=session.decl("d0"))
+        session.apply("eliminate_dead_variable", at=session.decl("i"))
+        assert not session.description.has_register("i")
+        memory = {30 + i: i + 1 for i in range(6)}
+        inputs = {"Src": 30, "Dst": 60, "Len": 6}
+        before = run_description(session.original, inputs, memory)
+        after = run_description(session.description, inputs, memory)
+        assert before.memory == after.memory
+
+    def test_guard_base_must_be_invariant(self, copy_desc):
+        # copy_desc's Src is itself incremented: no index to absorb.
+        session = Session(copy_desc)
+        with pytest.raises(TransformError):
+            session.apply(
+                "absorb_index_into_base", var="Len", base="Src", saved="s0"
+            )
+
+    def test_guard_var_defs_restricted(self):
+        desc = parse_description(
+            """
+            t.op := begin
+                ** S **
+                    B: integer, i: integer
+                ** P **
+                    t.execute() := begin
+                        input (B);
+                        i <- 0;
+                        i <- i + 2;
+                        output (Mb[ B + i ]);
+                    end
+            end
+            """
+        )
+        session = Session(desc)
+        with pytest.raises(TransformError):
+            session.apply(
+                "absorb_index_into_base", var="i", base="B", saved="s0"
+            )
+
+
+class TestCountupToCountdown:
+    def test_preserves_behavior(self, indexed_copy_desc):
+        session = Session(indexed_copy_desc)
+        session.apply("countup_to_countdown", var="i", limit="Len")
+        memory = {30 + i: i + 1 for i in range(5)}
+        inputs = {"Src": 30, "Dst": 60, "Len": 5}
+        before = run_description(session.original, inputs, memory)
+        after = run_description(session.description, inputs, memory)
+        assert before.memory == after.memory
+
+    def test_limit_used_elsewhere_refused(self):
+        desc = parse_description(
+            """
+            t.op := begin
+                ** S **
+                    Len: integer, i: integer
+                ** P **
+                    t.execute() := begin
+                        input (Len);
+                        i <- 0;
+                        repeat
+                            exit_when (i = Len);
+                            i <- i + 1;
+                        end_repeat;
+                        output (Len);
+                    end
+            end
+            """
+        )
+        session = Session(desc)
+        with pytest.raises(TransformError):
+            session.apply("countup_to_countdown", var="i", limit="Len")

@@ -1,0 +1,168 @@
+"""Code-motion transformation tests."""
+
+import pytest
+
+from repro.isdl import ast, parse_description
+from repro.transform import Session, TransformError
+from repro.transform.motion import has_escaping_exit
+from repro.isdl import parse_stmts
+
+
+def make(body, regs="a<7:0>, b<7:0>, c<7:0>, f<>"):
+    desc = parse_description(
+        f"""
+        t.op := begin
+            ** S **
+                {regs}
+            ** P **
+                t.execute() := begin
+                    input (a, b, f);
+                    {body}
+                    output (a, b, c);
+                end
+        end
+        """
+    )
+    return Session(desc, "test")
+
+
+def body(session):
+    return session.description.entry_routine().body
+
+
+class TestEscapingExit:
+    def test_bare_exit_escapes(self):
+        (stmt,) = parse_stmts("exit_when (a = 0);")
+        assert has_escaping_exit(stmt)
+
+    def test_exit_in_if_escapes(self):
+        (stmt,) = parse_stmts("if f then exit_when (a = 0); end_if;")
+        assert has_escaping_exit(stmt)
+
+    def test_exit_inside_own_repeat_contained(self):
+        (stmt,) = parse_stmts(
+            "repeat exit_when (a = 0); a <- a - 1; end_repeat;"
+        )
+        assert not has_escaping_exit(stmt)
+
+    def test_plain_assign_does_not_escape(self):
+        (stmt,) = parse_stmts("a <- 1;")
+        assert not has_escaping_exit(stmt)
+
+
+class TestSwap:
+    def test_swap_independent(self):
+        session = make("a <- 1; b <- 2;")
+        session.apply("swap_statements", at=session.stmt("a <- 1;"))
+        assert body(session)[1].target.name == "b"
+        assert body(session)[2].target.name == "a"
+
+    def test_swap_conflicting_refused(self):
+        session = make("a <- 1; b <- a;")
+        with pytest.raises(TransformError):
+            session.apply("swap_statements", at=session.stmt("a <- 1;"))
+
+    def test_swap_write_write_refused(self):
+        session = make("a <- 1; a <- 2;")
+        with pytest.raises(TransformError):
+            session.apply("swap_statements", at=session.stmt("a <- 1;"))
+
+    def test_swap_outputs_refused(self):
+        session = make("output (a); output (b);")
+        with pytest.raises(TransformError):
+            session.apply("swap_statements", at=session.stmt("output (a);"))
+
+    def test_swap_across_exit_refused(self):
+        session = make(
+            "repeat exit_when (a = 0); a <- a - 1; b <- 1; end_repeat;"
+        )
+        # b <- 1 may not move before exit_when via plain swap.
+        with pytest.raises(TransformError):
+            session.apply("swap_statements", at=session.stmt("exit_when (a = 0);"))
+
+    def test_swap_last_statement_refused(self):
+        session = make("a <- 1;")
+        with pytest.raises(TransformError):
+            session.apply("swap_statements", at=session.stmt("output (a, b, c);"))
+
+
+class TestSinkAndHoist:
+    def test_sink_into_if(self):
+        session = make("c <- 7; if f then a <- c; else b <- c; end_if;")
+        session.apply("sink_into_if", at=session.stmt("c <- 7;"))
+        conditional = body(session)[1]
+        assert isinstance(conditional, ast.If)
+        assert conditional.then[0].target.name == "c"
+        assert conditional.els[0].target.name == "c"
+
+    def test_sink_conflicting_condition_refused(self):
+        session = make("f <- 1; if f then a <- 1; else b <- 1; end_if;")
+        with pytest.raises(TransformError):
+            session.apply("sink_into_if", at=session.stmt("f <- 1;"))
+
+    def test_hoist_common_head(self):
+        session = make(
+            "if f then c <- 1; a <- 2; else c <- 1; b <- 3; end_if;"
+        )
+        session.apply(
+            "hoist_common_head",
+            at=session.stmt(
+                "if f then c <- 1; a <- 2; else c <- 1; b <- 3; end_if;"
+            ),
+        )
+        assert body(session)[1] == ast.Assign(ast.Var("c"), ast.Const(1))
+
+    def test_hoist_head_conflicting_condition_refused(self):
+        session = make(
+            "if f then f <- 0; a <- 2; else f <- 0; b <- 3; end_if;"
+        )
+        with pytest.raises(TransformError):
+            session.apply(
+                "hoist_common_head",
+                at=session.stmt(
+                    "if f then f <- 0; a <- 2; else f <- 0; b <- 3; end_if;"
+                ),
+            )
+
+    def test_hoist_common_tail(self):
+        session = make(
+            "if f then a <- 2; c <- 1; else b <- 3; c <- 1; end_if;"
+        )
+        session.apply(
+            "hoist_common_tail",
+            at=session.stmt(
+                "if f then a <- 2; c <- 1; else b <- 3; c <- 1; end_if;"
+            ),
+        )
+        assert body(session)[2] == ast.Assign(ast.Var("c"), ast.Const(1))
+
+    def test_duplicate_into_branches_inverse_of_hoist_tail(self):
+        text = "if f then a <- 2; else b <- 3; end_if; c <- 1;"
+        session = make(text)
+        session.apply(
+            "duplicate_into_branches",
+            at=session.stmt("if f then a <- 2; else b <- 3; end_if;"),
+        )
+        conditional = body(session)[1]
+        assert conditional.then[-1] == conditional.els[-1]
+
+    def test_merge_adjacent_ifs(self):
+        session = make(
+            "if f then a <- 1; end_if; if f then b <- 2; end_if;"
+        )
+        session.apply(
+            "merge_adjacent_ifs",
+            at=session.stmt("if f then a <- 1; end_if;"),
+        )
+        merged = body(session)[1]
+        assert len(merged.then) == 2
+
+    def test_merge_refused_when_body_writes_condition(self):
+        session = make(
+            "if f then f <- 0; end_if; if f then b <- 2; end_if;"
+        )
+        with pytest.raises(TransformError):
+            session.apply(
+                "merge_adjacent_ifs",
+                at=session.stmt("if f then f <- 0; end_if;"),
+            )

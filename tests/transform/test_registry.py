@@ -1,0 +1,37 @@
+"""Library shape: the paper reports 75 transformations in 7 categories."""
+
+from repro.transform import CATEGORIES, all_transformations, by_category, get, library_size
+
+
+def test_all_seven_categories_populated():
+    categorized = by_category()
+    assert set(categorized) == set(CATEGORIES)
+    for category, members in categorized.items():
+        assert members, f"category {category} is empty"
+
+
+def test_library_size_in_papers_league():
+    # "The current implementation of EXTRA includes 75 transformations
+    # in the transformation library" (§5).
+    assert library_size() >= 75
+
+
+def test_names_unique_and_resolvable():
+    names = [t.name for t in all_transformations()]
+    assert len(names) == len(set(names))
+    for name in names:
+        assert get(name).name == name
+
+
+def test_unknown_name_reports_candidates():
+    try:
+        get("no_such_transform")
+    except KeyError as error:
+        assert "no_such_transform" in str(error)
+    else:
+        raise AssertionError("expected KeyError")
+
+
+def test_every_transformation_documented():
+    for transformation in all_transformations():
+        assert transformation.__doc__, f"{transformation.name} lacks a docstring"

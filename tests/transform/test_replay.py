@@ -1,0 +1,59 @@
+"""Recorded histories replay to identical results."""
+
+import pytest
+
+from repro.analysis import AnalysisSession
+from repro.isdl import structurally_equal
+
+
+@pytest.mark.parametrize(
+    "module_name", ["scasb_rigel", "mvc_pascal", "locc_clu"]
+)
+def test_replay_reproduces_final_descriptions(module_name):
+    import importlib
+
+    module = importlib.import_module(f"repro.analyses.{module_name}")
+    # Build a session the long way (via the pattern-locating script)...
+    from repro.analyses.common import run_analysis  # noqa: F401
+
+    session = AnalysisSession(
+        module.INFO,
+        _operator_for(module_name),
+        _instruction_for(module_name),
+    )
+    module.script(session)
+    # ...then replay both sides from their recorded histories alone.
+    operator_replay = session.operator.replay()
+    instruction_replay = session.instruction.replay()
+    assert structurally_equal(
+        operator_replay.description, session.operator.description
+    )
+    assert structurally_equal(
+        instruction_replay.description, session.instruction.description
+    )
+    assert operator_replay.steps == session.operator.steps
+    assert [c for c in instruction_replay.constraints] == [
+        c for c in session.instruction.constraints
+    ]
+
+
+def _operator_for(name):
+    from repro.languages import clu, pascal, rigel
+
+    return {
+        "scasb_rigel": rigel.index,
+        "mvc_pascal": pascal.sassign,
+        "locc_clu": clu.indexc,
+    }[name]()
+
+
+def _instruction_for(name):
+    from repro.machines.i8086 import descriptions as i8086
+    from repro.machines.ibm370 import descriptions as ibm370
+    from repro.machines.vax11 import descriptions as vax11
+
+    return {
+        "scasb_rigel": i8086.scasb,
+        "mvc_pascal": ibm370.mvc,
+        "locc_clu": vax11.locc,
+    }[name]()

@@ -1,0 +1,198 @@
+"""Routine-structuring transformation tests."""
+
+import pytest
+
+from repro.isdl import ast, parse_description
+from repro.semantics import run_description
+from repro.transform import Session, TransformError
+
+
+def make(text):
+    return Session(parse_description(text), "test")
+
+
+WITH_ROUTINE = """
+t.op := begin
+    ** S **
+        p: integer,
+        x: integer
+    ** R **
+        grab(): integer := begin
+            grab <- Mb[ p ];
+            p <- p + 1;
+        end
+    ** P **
+        t.execute() := begin
+            input (p);
+            x <- grab();
+            x <- x + grab();
+            output (x, p);
+        end
+end
+"""
+
+
+class TestInline:
+    def test_inline_call(self):
+        session = make(WITH_ROUTINE)
+        session.apply("inline_call", at=session.stmt("x <- grab();"), temp="g")
+        desc = session.description
+        body = desc.entry_routine().body
+        # g <- Mb[p]; p <- p + 1; x <- g; ...
+        assert body[1] == ast.Assign(ast.Var("g"), ast.MemRead(ast.Var("p")))
+        assert body[3] == ast.Assign(ast.Var("x"), ast.Var("g"))
+        memory = {5: 10, 6: 20}
+        assert (
+            run_description(session.original, {"p": 5}, memory).outputs
+            == run_description(desc, {"p": 5}, memory).outputs
+        )
+
+    def test_inline_needs_fresh_temp(self):
+        session = make(WITH_ROUTINE)
+        with pytest.raises(TransformError):
+            session.apply("inline_call", at=session.stmt("x <- grab();"), temp="p")
+
+    def test_inline_rejects_entry_style_routines(self, search_desc):
+        session = Session(search_desc)
+        # Cannot inline a routine whose body has input/output.
+        desc = parse_description(
+            """
+            t.op := begin
+                ** S **
+                    x<7:0>
+                ** R **
+                    bad(): integer := begin output (1); bad <- 0; end
+                ** P **
+                    t.execute() := begin
+                        input (x);
+                        x <- bad();
+                    end
+            end
+            """
+        )
+        session = Session(desc)
+        with pytest.raises(TransformError):
+            session.apply("inline_call", at=session.stmt("x <- bad();"), temp="t1")
+
+
+class TestExtract:
+    def test_extract_access_routine(self, copy_desc):
+        session = Session(copy_desc)
+        # Shape the loop: hoist the memory read, pair it with Src's bump.
+        session.apply(
+            "hoist_memread", at=session.expr("Mb[ Src ]"), temp="t"
+        )
+        session.apply("swap_statements", at=session.stmt("Mb[ Dst ] <- t;"))
+        session.apply(
+            "extract_access_routine",
+            at=session.stmt("t <- Mb[ Src ];"),
+            routine="read",
+        )
+        desc = session.description
+        routine = desc.routine("read")
+        assert len(routine.body) == 2
+        memory = {30 + i: i + 1 for i in range(4)}
+        inputs = {"Src": 30, "Dst": 60, "Len": 4}
+        assert (
+            run_description(session.original, inputs, memory).memory
+            == run_description(desc, inputs, memory).memory
+        )
+
+    def test_extract_requires_load_bump_pair(self, copy_desc):
+        session = Session(copy_desc)
+        with pytest.raises(TransformError):
+            session.apply(
+                "extract_access_routine",
+                at=session.stmt("Len <- Len - 1;"),
+                routine="read",
+            )
+
+
+class TestRemoveUnused:
+    def test_remove_unused_routine(self):
+        desc = parse_description(
+            """
+            t.op := begin
+                ** S **
+                    x<7:0>
+                ** R **
+                    orphan(): integer := begin orphan <- 1; end
+                ** P **
+                    t.execute() := begin input (x); output (x); end
+            end
+            """
+        )
+        session = Session(desc)
+        session.apply(
+            "remove_unused_routine", at=session.routine_decl("orphan")
+        )
+        assert len(session.description.routines()) == 1
+
+    def test_called_routine_refused(self, search_desc):
+        session = Session(search_desc)
+        with pytest.raises(TransformError):
+            session.apply(
+                "remove_unused_routine", at=session.routine_decl("fetch")
+            )
+
+    def test_entry_routine_refused(self, search_desc):
+        session = Session(search_desc)
+        with pytest.raises(TransformError):
+            session.apply(
+                "remove_unused_routine",
+                at=session.routine_decl("search.execute"),
+            )
+
+
+class TestHoistCall:
+    def test_hoist_call_from_expression(self, search_desc):
+        session = Session(search_desc)
+        session.apply("hoist_call", at=session.expr("fetch()"), temp="t1")
+        desc = session.description
+        assert desc.has_register("t1")
+        mem = {10 + i: b for i, b in enumerate(b"qrs")}
+        inputs = {"di": 10, "cx": 3, "al": ord("r")}
+        assert (
+            run_description(session.original, inputs, mem).outputs
+            == run_description(desc, inputs, mem).outputs
+        )
+
+    def test_hoist_second_call_needs_first_hoisted(self):
+        desc = parse_description(
+            """
+            t.op := begin
+                ** S **
+                    p: integer, q: integer, x: integer
+                ** R **
+                    geta(): integer := begin geta <- Mb[ p ]; p <- p + 1; end,
+                    getb(): integer := begin getb <- Mb[ q ]; q <- q + 1; end
+                ** P **
+                    t.execute() := begin
+                        input (p, q);
+                        x <- geta() - getb();
+                        output (x);
+                    end
+            end
+            """
+        )
+        session = Session(desc)
+        # getb is evaluated after the impure geta: hoisting it first
+        # would reorder the two side effects.
+        with pytest.raises(TransformError):
+            session.apply("hoist_call", at=session.expr("getb()"), temp="t2")
+        session.apply("hoist_call", at=session.expr("geta()"), temp="t1")
+        session.apply("hoist_call", at=session.expr("getb()"), temp="t2")
+        memory = {5: 9, 50: 4}
+        assert run_description(
+            session.description, {"p": 5, "q": 50}, memory
+        ).outputs == (5,)
+
+    def test_hoist_memread_prefix_purity(self, copy_desc):
+        session = Session(copy_desc)
+        session.apply("hoist_memread", at=session.expr("Mb[ Src ]"), temp="t")
+        memory = {30 + i: i + 1 for i in range(3)}
+        inputs = {"Src": 30, "Dst": 60, "Len": 3}
+        assert (
+            run_description(session.original, inputs, memory).memory
+            == run_description(session.description, inputs, memory).memory
+        )
