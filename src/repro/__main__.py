@@ -5,6 +5,7 @@ Usage::
     python -m repro table1                 # Table 1 catalog counts
     python -m repro table2 [--no-verify]   # replay all 11 analyses
     python -m repro analyze scasb_rigel    # one analysis, full report
+    python -m repro batch --jobs 4 --json  # full catalog, in parallel
     python -m repro figures                # regenerate figures 2-5
     python -m repro failures               # the documented failures
     python -m repro compile i8086          # demo codegen + simulation
@@ -52,6 +53,28 @@ def cmd_table2(args) -> int:
         )
     )
     return 0
+
+
+def cmd_batch(args) -> int:
+    from .analysis.runner import UnknownAnalysisError, run_batch
+
+    try:
+        report = run_batch(
+            names=args.names or None,
+            jobs=args.jobs,
+            trials=args.trials,
+            seed=args.seed,
+            verify=not args.no_verify,
+            timeout=args.timeout,
+        )
+    except (UnknownAnalysisError, ValueError) as error:
+        print(str(error), file=sys.stderr)
+        return 2
+    if args.json:
+        print(report.to_json())
+    else:
+        print("\n".join(report.summary_lines()))
+    return 0 if report.ok else 1
 
 
 def _analysis_modules():
@@ -210,6 +233,32 @@ def main(argv=None) -> int:
     p_table2.add_argument("--no-verify", action="store_true")
     p_table2.add_argument("--trials", type=int, default=60)
 
+    p_batch = sub.add_parser(
+        "batch", help="run the full analysis catalog in parallel"
+    )
+    p_batch.add_argument(
+        "names", nargs="*", help="analysis names (default: full catalog)"
+    )
+    p_batch.add_argument(
+        "--jobs", type=int, default=1, help="worker processes (1 = serial)"
+    )
+    p_batch.add_argument(
+        "--trials", type=int, default=120, help="verification trials per analysis"
+    )
+    p_batch.add_argument(
+        "--seed", type=int, default=1982, help="root seed for all verification"
+    )
+    p_batch.add_argument(
+        "--timeout",
+        type=float,
+        default=None,
+        help="per-job timeout in seconds (parallel mode only)",
+    )
+    p_batch.add_argument("--no-verify", action="store_true")
+    p_batch.add_argument(
+        "--json", action="store_true", help="deterministic JSON report"
+    )
+
     sub.add_parser("list", help="list available analyses")
 
     p_analyze = sub.add_parser("analyze", help="run one analysis")
@@ -233,6 +282,7 @@ def main(argv=None) -> int:
     handlers = {
         "table1": cmd_table1,
         "table2": cmd_table2,
+        "batch": cmd_batch,
         "list": cmd_list,
         "analyze": cmd_analyze,
         "figures": cmd_figures,

@@ -9,6 +9,15 @@ constraints) for a retargetable code generator.
 from .binding import Binding, BindingLibrary
 from .matcher import Matcher, MatchFailure, MatchResult
 from .report import AnalysisOutcome, format_table, full_report, table2_row
+from .runner import (
+    BatchReport,
+    CatalogEntry,
+    JobResult,
+    ShardSpec,
+    UnknownAnalysisError,
+    run_batch,
+    shard_plan,
+)
 from .session import AnalysisInfo, AnalysisSession
 from .verify import VerificationFailure, VerificationReport, verify_binding
 
@@ -22,6 +31,13 @@ __all__ = [
     "format_table",
     "full_report",
     "table2_row",
+    "BatchReport",
+    "CatalogEntry",
+    "JobResult",
+    "ShardSpec",
+    "UnknownAnalysisError",
+    "run_batch",
+    "shard_plan",
     "AnalysisInfo",
     "AnalysisSession",
     "VerificationFailure",

@@ -1,0 +1,416 @@
+"""Parallel batch engine for the full analysis catalog.
+
+The paper's EXTRA system analyzed one instruction at a time,
+interactively; this reproduction replays every recorded analysis and
+differentially verifies each result.  Done serially that is the
+slowest path in the repo, yet the workload is embarrassingly parallel:
+every analysis is independent, and within one analysis every
+randomized verification trial is independent too.
+
+This module turns the one-shot replay into a service-shaped pipeline:
+
+* the catalog is decomposed into *jobs* — one replay job per analysis
+  plus, for verified analyses, one job per contiguous *shard* of its
+  randomized trials (:func:`shard_plan`);
+* jobs run on a :class:`concurrent.futures.ProcessPoolExecutor` with a
+  configurable worker count and per-job timeout, and every job returns
+  a structured success/failure record instead of aborting the batch on
+  the first exception;
+* shard seeds derive deterministically from the single root seed (see
+  :func:`repro.semantics.randomgen.derive_seed`), so scenario ``i`` is
+  the same machine state whether it runs in shard 0 of 1 or shard 3 of
+  4 — ``--jobs N`` never changes the results, only the wall clock;
+* results aggregate in catalog order, so two runs with the same seed
+  produce byte-identical JSON reports (timing lives outside the JSON).
+
+Within a worker process, replayed analyses are memoized per module (a
+worker verifying three shards of ``scasb_rigel`` replays the script
+once) and the parsers behind them are content-keyed
+(:mod:`repro.isdl.cache`), so repeated runs stop re-parsing identical
+ISDL sources.
+"""
+
+from __future__ import annotations
+
+import concurrent.futures
+import importlib
+import json
+import time
+from dataclasses import dataclass, field
+from functools import lru_cache
+from typing import Dict, List, Optional, Sequence, Tuple
+
+#: trials per verification shard; fixed (never derived from the worker
+#: count) so the shard layout — and therefore the report — is identical
+#: at every ``--jobs`` setting.
+SHARD_TRIALS = 64
+
+#: JSON report schema identifier.
+SCHEMA = "repro.batch/1"
+
+
+class UnknownAnalysisError(ValueError):
+    """A requested analysis name is not in the catalog."""
+
+
+@dataclass(frozen=True)
+class CatalogEntry:
+    """One analysis in the batch catalog."""
+
+    name: str
+    group: str  # "table2" | "failures" | "extensions"
+    expect_failure: bool
+    machine: str
+    instruction: str
+    language: str
+    operation: str
+    paper_steps: Optional[int]
+    has_scenario: bool
+
+
+@dataclass(frozen=True)
+class ShardSpec:
+    """One unit of pool work: replay ``name``, verify ``count`` trials.
+
+    ``count == 0`` means replay-only (failure demonstrations, or
+    ``verify=False`` runs).  ``offset`` positions the shard inside the
+    analysis's scenario stream.
+    """
+
+    name: str
+    offset: int
+    count: int
+    seed: int
+
+
+@dataclass
+class JobResult:
+    """Aggregated, JSON-ready outcome of one catalog entry."""
+
+    name: str
+    group: str
+    expected: str  # "success" | "failure"
+    succeeded: bool = False
+    steps: Optional[int] = None
+    failure: Optional[str] = None
+    verified_trials: int = 0
+    shards: int = 0
+    error: Optional[str] = None
+    timed_out: bool = False
+    #: wall-clock seconds, summed over this entry's jobs.  Excluded
+    #: from the JSON report so identical runs stay byte-identical.
+    duration: float = 0.0
+
+    @property
+    def ok(self) -> bool:
+        if self.error or self.timed_out:
+            return False
+        expected_failure = self.expected == "failure"
+        return self.succeeded != expected_failure
+
+
+@dataclass
+class BatchReport:
+    """Everything one ``repro batch`` invocation produced."""
+
+    results: List[JobResult]
+    seed: int
+    trials: int
+    verify: bool
+    #: total wall-clock seconds (outside the deterministic JSON).
+    elapsed: float = 0.0
+    jobs: int = 1
+
+    @property
+    def ok(self) -> bool:
+        return all(result.ok for result in self.results)
+
+    def to_json(self) -> str:
+        """Deterministic report: same seed -> byte-identical output.
+
+        Durations and the worker count are deliberately excluded —
+        they are the two fields that legitimately vary between
+        otherwise identical runs.
+        """
+        payload = {
+            "schema": SCHEMA,
+            "seed": self.seed,
+            "trials": self.trials,
+            "verify": self.verify,
+            "summary": {
+                "total": len(self.results),
+                "ok": sum(1 for r in self.results if r.ok),
+                "failed": sum(1 for r in self.results if not r.ok),
+            },
+            "results": [
+                {
+                    "name": result.name,
+                    "group": result.group,
+                    "expected": result.expected,
+                    "status": "ok" if result.ok else "failed",
+                    "succeeded": result.succeeded,
+                    "steps": result.steps,
+                    "failure": result.failure,
+                    "verified_trials": result.verified_trials,
+                    "shards": result.shards,
+                    "error": result.error,
+                    "timed_out": result.timed_out,
+                }
+                for result in self.results
+            ],
+        }
+        return json.dumps(payload, indent=2, sort_keys=True)
+
+    def summary_lines(self) -> List[str]:
+        lines = []
+        for result in self.results:
+            status = "ok" if result.ok else "FAILED"
+            detail = ""
+            if result.timed_out:
+                detail = " (timed out)"
+            elif result.error:
+                detail = f" (error: {result.error.splitlines()[0]})"
+            elif result.failure and result.expected == "failure":
+                detail = " (failed as documented)"
+            elif result.failure:
+                detail = f" ({result.failure.splitlines()[0]})"
+            verified = (
+                f" verified={result.verified_trials}"
+                if result.verified_trials
+                else ""
+            )
+            lines.append(
+                f"{status:6s} {result.name:28s} "
+                f"steps={result.steps if result.steps is not None else '-'}"
+                f"{verified}{detail}"
+            )
+        ok = sum(1 for r in self.results if r.ok)
+        lines.append(
+            f"{ok}/{len(self.results)} ok in {self.elapsed:.2f}s "
+            f"(jobs={self.jobs}, trials={self.trials}, seed={self.seed})"
+        )
+        return lines
+
+
+def catalog() -> Tuple[CatalogEntry, ...]:
+    """The full batch catalog, in deterministic Table-order."""
+    from .. import analyses
+
+    entries = []
+    for group, members, expect_failure in (
+        ("table2", analyses.TABLE2, False),
+        ("failures", analyses.FAILURES, True),
+        ("extensions", analyses.EXTENSIONS, False),
+    ):
+        for module in members:
+            entries.append(
+                CatalogEntry(
+                    name=module.__name__.rsplit(".", 1)[-1],
+                    group=group,
+                    expect_failure=expect_failure,
+                    machine=module.INFO.machine,
+                    instruction=module.INFO.instruction,
+                    language=module.INFO.language,
+                    operation=module.INFO.operation,
+                    paper_steps=getattr(module, "PAPER_STEPS", None),
+                    has_scenario=getattr(module, "SCENARIO", None) is not None,
+                )
+            )
+    return tuple(entries)
+
+
+def resolve_names(names: Optional[Sequence[str]]) -> Tuple[CatalogEntry, ...]:
+    """Catalog entries for ``names`` (all entries when empty/None)."""
+    entries = catalog()
+    if not names:
+        return entries
+    by_name = {entry.name: entry for entry in entries}
+    unknown = [name for name in names if name not in by_name]
+    if unknown:
+        raise UnknownAnalysisError(
+            f"unknown analyses: {', '.join(sorted(unknown))}; "
+            f"try: python -m repro list"
+        )
+    # Catalog order, not request order: the report must not depend on
+    # how the user happened to spell the selection.
+    requested = set(names)
+    return tuple(entry for entry in entries if entry.name in requested)
+
+
+def shard_plan(trials: int, shard_trials: int = SHARD_TRIALS) -> Tuple[Tuple[int, int], ...]:
+    """Split ``trials`` into contiguous ``(offset, count)`` windows."""
+    if trials <= 0:
+        return ()
+    shards = []
+    offset = 0
+    while offset < trials:
+        count = min(shard_trials, trials - offset)
+        shards.append((offset, count))
+        offset += count
+    return tuple(shards)
+
+
+def plan_jobs(
+    entries: Sequence[CatalogEntry],
+    trials: int,
+    seed: int,
+    verify: bool,
+) -> List[ShardSpec]:
+    """The deterministic job list for one batch invocation.
+
+    Every entry gets at least one job.  Verified entries are sharded;
+    each shard re-derives the binding in its worker (the replay is
+    memoized per process) and verifies its window of the scenario
+    stream.  Entries expected to fail get a replay-only job.
+    """
+    specs: List[ShardSpec] = []
+    for entry in entries:
+        wants_verify = verify and entry.has_scenario and not entry.expect_failure
+        windows = shard_plan(trials) if wants_verify else ()
+        if not windows:
+            specs.append(ShardSpec(entry.name, 0, 0, seed))
+            continue
+        for offset, count in windows:
+            specs.append(ShardSpec(entry.name, offset, count, seed))
+    return specs
+
+
+@lru_cache(maxsize=None)
+def _replay(name: str):
+    """Replay one analysis script (no verification), memoized per process."""
+    module = importlib.import_module(f"repro.analyses.{name}")
+    return module, module.run(verify=False)
+
+
+def _clear_replay_cache() -> None:
+    _replay.cache_clear()
+
+
+def execute_shard(spec: ShardSpec) -> Dict[str, object]:
+    """Run one job; always returns a structured, picklable record."""
+    from .verify import VerificationFailure, verify_binding
+
+    started = time.perf_counter()
+    record: Dict[str, object] = {
+        "name": spec.name,
+        "offset": spec.offset,
+        "count": spec.count,
+        "succeeded": False,
+        "steps": None,
+        "failure": None,
+        "verified": 0,
+        "error": None,
+    }
+    try:
+        module, outcome = _replay(spec.name)
+        record["succeeded"] = outcome.succeeded
+        record["steps"] = outcome.steps
+        record["failure"] = outcome.failure
+        if outcome.succeeded and spec.count > 0:
+            scenario = getattr(module, "SCENARIO", None)
+            if scenario is not None:
+                verify_binding(
+                    outcome.binding,
+                    scenario,
+                    trials=spec.count,
+                    seed=spec.seed,
+                    offset=spec.offset,
+                )
+                record["verified"] = spec.count
+    except VerificationFailure as error:
+        record["failure"] = f"VerificationFailure: {error}"
+        record["succeeded"] = False
+    except Exception as error:  # noqa: BLE001 - structured, not fatal
+        record["error"] = f"{type(error).__name__}: {error}"
+    record["duration"] = time.perf_counter() - started
+    return record
+
+
+def _aggregate(
+    entries: Sequence[CatalogEntry],
+    records: Dict[Tuple[str, int], Optional[Dict[str, object]]],
+    specs: Sequence[ShardSpec],
+) -> List[JobResult]:
+    """Fold shard records into one :class:`JobResult` per entry."""
+    by_entry: Dict[str, List[Tuple[ShardSpec, Optional[Dict[str, object]]]]] = {}
+    for spec in specs:
+        by_entry.setdefault(spec.name, []).append(
+            (spec, records.get((spec.name, spec.offset)))
+        )
+    results = []
+    for entry in entries:
+        result = JobResult(
+            name=entry.name,
+            group=entry.group,
+            expected="failure" if entry.expect_failure else "success",
+        )
+        for spec, record in by_entry.get(entry.name, ()):
+            result.shards += 1
+            if record is None:
+                result.timed_out = True
+                continue
+            result.duration += float(record.get("duration") or 0.0)
+            if record["error"]:
+                result.error = str(record["error"])
+                continue
+            result.succeeded = bool(record["succeeded"])
+            if record["steps"] is not None:
+                result.steps = int(record["steps"])  # type: ignore[arg-type]
+            if record["failure"] and not result.failure:
+                result.failure = str(record["failure"])
+                result.succeeded = False
+            result.verified_trials += int(record["verified"])  # type: ignore[arg-type]
+        results.append(result)
+    return results
+
+
+def run_batch(
+    names: Optional[Sequence[str]] = None,
+    jobs: int = 1,
+    trials: int = 120,
+    seed: int = 1982,
+    verify: bool = True,
+    timeout: Optional[float] = None,
+) -> BatchReport:
+    """Run the analysis catalog (or a subset) as a parallel batch.
+
+    ``jobs=1`` executes every job serially in-process; ``jobs>1`` uses
+    a process pool.  Both paths execute the *same* deterministic job
+    plan, so the aggregated results are identical — only wall-clock
+    time differs.  ``timeout`` bounds each job (pool mode only; a
+    serial run cannot preempt a running job).
+    """
+    if jobs < 1:
+        raise ValueError("jobs must be >= 1")
+    entries = resolve_names(names)
+    specs = plan_jobs(entries, trials, seed, verify)
+    _clear_replay_cache()
+    started = time.perf_counter()
+    records: Dict[Tuple[str, int], Optional[Dict[str, object]]] = {}
+    if jobs == 1:
+        for spec in specs:
+            records[(spec.name, spec.offset)] = execute_shard(spec)
+    else:
+        with concurrent.futures.ProcessPoolExecutor(max_workers=jobs) as pool:
+            futures = {
+                spec: pool.submit(execute_shard, spec) for spec in specs
+            }
+            for spec, future in futures.items():
+                try:
+                    records[(spec.name, spec.offset)] = future.result(
+                        timeout=timeout
+                    )
+                except concurrent.futures.TimeoutError:
+                    future.cancel()
+                    records[(spec.name, spec.offset)] = None
+                except concurrent.futures.process.BrokenProcessPool:
+                    records[(spec.name, spec.offset)] = None
+    results = _aggregate(entries, records, specs)
+    return BatchReport(
+        results=results,
+        seed=seed,
+        trials=trials,
+        verify=verify,
+        elapsed=time.perf_counter() - started,
+        jobs=jobs,
+    )

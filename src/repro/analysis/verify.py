@@ -36,11 +36,17 @@ class VerificationFailure(Exception):
 
 @dataclass(frozen=True)
 class VerificationReport:
-    """Outcome of a differential-testing run."""
+    """Outcome of a differential-testing run.
+
+    ``seed`` and ``offset`` record which window of the scenario stream
+    ran, so sharded reports can be aggregated and any shard replayed.
+    """
 
     trials: int
     operator_name: str
     instruction_name: str
+    seed: int = 1982
+    offset: int = 0
 
     def __str__(self) -> str:
         return (
@@ -67,8 +73,15 @@ def verify_binding(
     spec: ScenarioSpec,
     trials: int = 200,
     seed: int = 1982,
+    offset: int = 0,
 ) -> VerificationReport:
     """Run both final descriptions on ``trials`` randomized states.
+
+    ``seed`` is the *root* seed of the whole verification; ``offset``
+    selects a window of its scenario stream, so the batch runner can
+    shard one verification across workers (scenario ``i`` is identical
+    whether it runs in shard 0 of 1 or shard 3 of 4 — see
+    :func:`repro.semantics.randomgen.generate_scenario_at`).
 
     Raises :class:`VerificationFailure` on the first disagreement.
     """
@@ -78,7 +91,7 @@ def verify_binding(
     instruction_interp = Interpreter(instruction_desc)
     operand_map = binding.operand_map
 
-    for scenario in generate_scenarios(spec, trials, seed):
+    for scenario in generate_scenarios(spec, trials, seed, offset):
         inputs = _clip_to_constraints(scenario.inputs, binding)
         mapped = {}
         for operand, value in inputs.items():
@@ -107,4 +120,6 @@ def verify_binding(
         trials=trials,
         operator_name=operator_desc.name,
         instruction_name=instruction_desc.name,
+        seed=seed,
+        offset=offset,
     )

@@ -9,7 +9,11 @@ and programmatic builders; executable semantics live in
 from . import ast, builder
 from .errors import IsdlError, LexError, ParseError, SemanticError, SourceLocation
 from .lexer import tokenize
-from .parser import parse_description, parse_expr, parse_stmts
+
+# The public parser entry points are content-keyed memo wrappers: AST
+# nodes are immutable, so identical sources share one parse result
+# (see cache.py).  The raw parsers stay reachable via repro.isdl.parser.
+from .cache import cache_stats, clear_caches, parse_description, parse_expr, parse_stmts
 from .printer import format_description, format_expr, format_stmts
 from .visitor import (
     Path,
@@ -33,6 +37,8 @@ __all__ = [
     "SemanticError",
     "SourceLocation",
     "tokenize",
+    "cache_stats",
+    "clear_caches",
     "parse_description",
     "parse_expr",
     "parse_stmts",

@@ -1,6 +1,17 @@
 """Target machines: instruction descriptions, Table 1 catalog, simulators."""
 
-from .catalog import MACHINES, PAPER_COUNTS, PAPER_TOTAL, Machine, table1_rows, total_count
+from .catalog import (
+    MACHINES,
+    PAPER_COUNTS,
+    PAPER_TOTAL,
+    Machine,
+    instruction_named,
+    load_description,
+    machine_named,
+    modeled_mnemonics,
+    table1_rows,
+    total_count,
+)
 from .simbase import SimResult, SimulationError, Simulator
 
 __all__ = [
@@ -8,6 +19,10 @@ __all__ = [
     "PAPER_COUNTS",
     "PAPER_TOTAL",
     "Machine",
+    "instruction_named",
+    "load_description",
+    "machine_named",
+    "modeled_mnemonics",
     "table1_rows",
     "total_count",
     "SimResult",

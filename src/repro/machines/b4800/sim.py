@@ -30,9 +30,11 @@ class B4800Simulator(Simulator):
         "brz": 8,
         "brnz": 8,
         "srl": 20,  # search linked list: setup
+        "mva": 14,  # move alphanumeric: setup
     }
 
     SRL_PER_NODE = 12
+    MVA_PER_BYTE = 4
 
     def execute(self, instr: Instr, state) -> None:
         mnemonic = instr.mnemonic
@@ -99,5 +101,17 @@ class B4800Simulator(Simulator):
                 node = memory.read(node)  # link field FIRST in the record
             regs["ra"] = node & self._mask
             flags["z"] = 1 if node == 0 else 0
+            return
+        if mnemonic == "mva":
+            # mva dst, src, lencode: moves (lencode & 0xFF) + 1 bytes —
+            # the length field encodes count - 1, like the IBM 370 mvc
+            # (paper footnote 5).
+            dst_op, src_op, len_op = instr.operands
+            dst = self.read(dst_op, state)
+            src = self.read(src_op, state)
+            count = (self.read(len_op, state) & 0xFF) + 1
+            state["cycles"] += self.cost(mnemonic) + self.MVA_PER_BYTE * count
+            for offset in range(count):
+                memory.write(dst + offset, memory.read(src + offset))
             return
         raise SimulationError(f"B4800: unknown mnemonic {mnemonic!r}")

@@ -17,8 +17,10 @@ from reconstruction.
 
 from __future__ import annotations
 
+import importlib
 from dataclasses import dataclass
-from typing import Dict, Tuple
+from functools import lru_cache
+from typing import Dict, Optional, Tuple
 
 
 @dataclass(frozen=True)
@@ -203,3 +205,77 @@ def table1_rows():
 
 def total_count() -> int:
     return sum(machine.count for machine in MACHINES)
+
+
+# -- memoized catalog lookups ------------------------------------------
+#
+# The batch runner, the differential tests, and the code generators all
+# resolve (machine, mnemonic) pairs repeatedly.  These lookups memoize
+# both the name resolution and the elaborated ISDL description behind
+# it (the parse itself is additionally content-keyed — repro.isdl.cache
+# — so even distinct loaders of identical sources share one AST).
+
+#: machine key -> module holding its ISDL description loaders.
+DESCRIPTION_MODULES: Dict[str, str] = {
+    "i8086": "repro.machines.i8086.descriptions",
+    "vax11": "repro.machines.vax11.descriptions",
+    "ibm370": "repro.machines.ibm370.descriptions",
+    "b4800": "repro.machines.b4800.descriptions",
+    "eclipse": "repro.machines.eclipse.descriptions",
+}
+
+#: machine key -> Table 1 machine name.
+MACHINE_KEYS: Dict[str, str] = {
+    "i8086": "Intel 8086",
+    "eclipse": "DG Eclipse",
+    "univac1100": "Univac 1100",
+    "ibm370": "IBM 370",
+    "b4800": "Burroughs B4800",
+    "vax11": "VAX-11",
+}
+
+
+@lru_cache(maxsize=None)
+def machine_named(name: str) -> Machine:
+    """The catalog entry for a Table 1 name or a short machine key."""
+    full = MACHINE_KEYS.get(name, name)
+    for machine in MACHINES:
+        if machine.name == full:
+            return machine
+    raise KeyError(f"unknown machine {name!r}")
+
+
+@lru_cache(maxsize=None)
+def instruction_named(machine: str, mnemonic: str) -> ExoticInstruction:
+    """The catalog entry for one exotic instruction."""
+    for instruction in machine_named(machine).instructions:
+        if instruction.name == mnemonic:
+            return instruction
+    raise KeyError(f"{machine}: no instruction {mnemonic!r}")
+
+
+@lru_cache(maxsize=None)
+def load_description(machine: str, mnemonic: str):
+    """The elaborated ISDL description of a modeled instruction.
+
+    Memoized per (machine, mnemonic); raises ``KeyError`` for machines
+    without a description module or mnemonics without a loader.
+    """
+    try:
+        module_name = DESCRIPTION_MODULES[machine]
+    except KeyError:
+        raise KeyError(f"no description module for machine {machine!r}")
+    module = importlib.import_module(module_name)
+    loader = getattr(module, mnemonic, None)
+    if loader is None:
+        raise KeyError(f"{machine}: no ISDL description for {mnemonic!r}")
+    return loader()
+
+
+def modeled_mnemonics(machine: str) -> Tuple[str, ...]:
+    """Mnemonics of ``machine`` that carry a full ISDL description."""
+    return tuple(
+        instruction.name
+        for instruction in machine_named(machine).instructions
+        if instruction.modeled
+    )

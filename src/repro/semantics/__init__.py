@@ -18,7 +18,9 @@ from .randomgen import (
     OperandSpec,
     Scenario,
     ScenarioSpec,
+    derive_seed,
     generate_scenario,
+    generate_scenario_at,
     generate_scenarios,
 )
 from .state import Memory, RegisterFile
@@ -44,7 +46,9 @@ __all__ = [
     "OperandSpec",
     "Scenario",
     "ScenarioSpec",
+    "derive_seed",
     "generate_scenario",
+    "generate_scenario_at",
     "generate_scenarios",
     "Memory",
     "RegisterFile",

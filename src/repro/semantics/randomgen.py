@@ -15,9 +15,27 @@ strings for the compare instructions.
 
 from __future__ import annotations
 
+import hashlib
 import random
 from dataclasses import dataclass, field
 from typing import Dict, Mapping, Optional, Tuple
+
+
+def derive_seed(root: int, *labels: object) -> int:
+    """A stable 64-bit seed derived from ``root`` and a label path.
+
+    Scenario streams must be reproducible from a *single* root seed even
+    when the trials are sharded across worker processes, so no two
+    consumers may ever share a bare :class:`random.Random`.  Instead
+    every consumer derives its own seed: SHA-256 over the root and its
+    labels, independent of Python's per-process hash randomization.
+    """
+    digest = hashlib.sha256()
+    digest.update(str(int(root)).encode("ascii"))
+    for label in labels:
+        digest.update(b"\x00")
+        digest.update(str(label).encode("utf-8"))
+    return int.from_bytes(digest.digest()[:8], "big")
 
 
 @dataclass(frozen=True)
@@ -117,24 +135,39 @@ def generate_scenario(spec: ScenarioSpec, rng: random.Random) -> Scenario:
     return Scenario(inputs=inputs, memory=memory)
 
 
+def generate_scenario_at(
+    spec: ScenarioSpec, seed: int, index: int
+) -> Scenario:
+    """Draw the scenario at global trial ``index`` of the ``seed`` stream.
+
+    Each index gets its own :class:`random.Random` seeded via
+    :func:`derive_seed`, so scenario ``index`` is the same value no
+    matter which shard, process, or call order produces it.  Indices 0
+    and 1 pin the corner cases every string instruction must survive:
+    length zero and length one.
+    """
+    rng = random.Random(derive_seed(seed, "scenario", index))
+    scenario = generate_scenario(spec, rng)
+    if index == 0:
+        scenario = _with_length(spec, scenario, 0)
+    elif index == 1:
+        scenario = _with_length(spec, scenario, 1)
+    return scenario
+
+
 def generate_scenarios(
-    spec: ScenarioSpec, trials: int, seed: int = 0
+    spec: ScenarioSpec, trials: int, seed: int = 0, offset: int = 0
 ) -> Tuple[Scenario, ...]:
     """Draw ``trials`` scenarios deterministically from ``seed``.
 
-    The first scenarios pin the corner cases every string instruction
-    must survive: length zero and length one.
+    ``offset`` selects a window of the stream: sharding ``N`` trials
+    into contiguous ``(offset, count)`` windows produces exactly the
+    scenarios of one ``offset=0, trials=N`` call, in order.
     """
-    rng = random.Random(seed)
-    scenarios = []
-    for index in range(trials):
-        scenario = generate_scenario(spec, rng)
-        if index == 0:
-            scenario = _with_length(spec, scenario, 0)
-        elif index == 1:
-            scenario = _with_length(spec, scenario, 1)
-        scenarios.append(scenario)
-    return tuple(scenarios)
+    return tuple(
+        generate_scenario_at(spec, seed, offset + index)
+        for index in range(trials)
+    )
 
 
 def _with_length(spec: ScenarioSpec, scenario: Scenario, length: int) -> Scenario:

@@ -1,0 +1,126 @@
+"""Property tests for the verifier's constraint clipper.
+
+``_clip_to_constraints`` is the seam between random scenario generation
+and the binding's contract: the code generator guarantees operand
+ranges before emitting an instruction, so the verifier must feed both
+descriptions only in-range inputs.  A clipper that ever produced an
+out-of-range value would make verification test states the instruction
+is never asked to handle; one that moved already-valid values would
+silently shrink the tested input space.  Hypothesis searches for both.
+"""
+
+from hypothesis import given, settings, strategies as st
+
+from repro.analysis.verify import _clip_to_constraints
+from repro.constraints import RangeConstraint
+
+VALUES = st.integers(min_value=-(2**20), max_value=2**20)
+
+OPERANDS = st.sampled_from(("len", "src", "dst", "char", "cx"))
+
+
+@st.composite
+def bounds(draw):
+    lo = draw(st.integers(min_value=-1024, max_value=1024))
+    hi = draw(st.integers(min_value=lo, max_value=lo + 2048))
+    return lo, hi
+
+
+@st.composite
+def bindings(draw):
+    """A stub binding: just the ``range_constraints()`` the clipper reads."""
+    constraints = []
+    for operand in draw(st.lists(OPERANDS, unique=True)):
+        lo, hi = draw(bounds())
+        constraints.append(
+            RangeConstraint(
+                operand=operand,
+                lo=lo,
+                hi=hi,
+                is_operand=draw(st.booleans()),
+            )
+        )
+
+    class StubBinding:
+        def range_constraints(self):
+            return tuple(constraints)
+
+    return StubBinding()
+
+
+@st.composite
+def inputs(draw):
+    return draw(
+        st.dictionaries(st.sampled_from(("len", "src", "dst", "char", "cx", "extra")), VALUES)
+    )
+
+
+@given(binding=bindings(), values=inputs())
+@settings(max_examples=200)
+def test_clipped_satisfies_every_operand_constraint(binding, values):
+    clipped = _clip_to_constraints(values, binding)
+    for constraint in binding.range_constraints():
+        if constraint.is_operand and constraint.operand in clipped:
+            assert constraint.satisfied_by(clipped[constraint.operand])
+
+
+@given(binding=bindings(), values=inputs())
+@settings(max_examples=200)
+def test_clipping_is_idempotent(binding, values):
+    once = _clip_to_constraints(values, binding)
+    assert _clip_to_constraints(once, binding) == once
+
+
+@given(binding=bindings(), values=inputs())
+@settings(max_examples=200)
+def test_in_range_values_pass_through_unchanged(binding, values):
+    constrained = {
+        c.operand: c for c in binding.range_constraints() if c.is_operand
+    }
+    clipped = _clip_to_constraints(values, binding)
+    for name, value in values.items():
+        constraint = constrained.get(name)
+        if constraint is None or constraint.satisfied_by(value):
+            assert clipped[name] == value
+
+
+@given(binding=bindings(), values=inputs())
+@settings(max_examples=200)
+def test_non_operand_constraints_are_ignored(binding, values):
+    internal = {
+        c.operand for c in binding.range_constraints() if not c.is_operand
+    }
+    operand = {
+        c.operand for c in binding.range_constraints() if c.is_operand
+    }
+    clipped = _clip_to_constraints(values, binding)
+    for name in internal - operand:
+        if name in values:
+            assert clipped[name] == values[name]
+
+
+@given(values=VALUES, lo_hi=bounds())
+def test_bounds_are_inclusive(values, lo_hi):
+    """Out-of-range values land exactly on [lo, hi] endpoints."""
+    lo, hi = lo_hi
+
+    class OneConstraint:
+        def range_constraints(self):
+            return (RangeConstraint(operand="x", lo=lo, hi=hi),)
+
+    clipped = _clip_to_constraints({"x": values}, OneConstraint())
+    if values < lo:
+        assert clipped["x"] == lo
+    elif values > hi:
+        assert clipped["x"] == hi
+    else:
+        assert clipped["x"] == values
+
+
+def test_no_constraints_is_identity():
+    class Unconstrained:
+        def range_constraints(self):
+            return ()
+
+    values = {"a": -5, "b": 10**9}
+    assert _clip_to_constraints(values, Unconstrained()) == values

@@ -1,0 +1,115 @@
+"""Determinism regressions for seed derivation, sharding, and batch runs.
+
+The batch runner's contract is that results depend only on
+``(names, trials, seed, verify)`` — never on ``--jobs``, shard layout,
+or scheduling order.  That holds because every scenario derives its own
+RNG seed from ``derive_seed(root, "scenario", index)``, so any
+contiguous ``(offset, count)`` window regenerates exactly the scenarios
+the full run would have produced at those indices.  These tests pin
+that contract down.
+"""
+
+import pytest
+
+from repro.analyses import scasb_rigel
+from repro.analysis import run_batch, verify_binding
+from repro.semantics import derive_seed, generate_scenario_at, generate_scenarios
+
+
+def _spec():
+    return scasb_rigel.SCENARIO
+
+
+@pytest.fixture(scope="module")
+def binding():
+    outcome = scasb_rigel.run(verify=False)
+    assert outcome.succeeded
+    return outcome.binding
+
+
+class TestDeriveSeed:
+    def test_stable_across_runs(self):
+        # A pinned literal: changing derive_seed silently would reorder
+        # every recorded verification, so the value itself is the test.
+        assert derive_seed(1982, "scenario", 0) == 2313764062393550903
+
+    def test_labels_are_delimited(self):
+        # ("ab", "c") and ("a", "bc") must not collide.
+        assert derive_seed(1, "ab", "c") != derive_seed(1, "a", "bc")
+
+    def test_distinct_indices_distinct_seeds(self):
+        seeds = {derive_seed(1982, "scenario", i) for i in range(200)}
+        assert len(seeds) == 200
+
+    def test_root_seed_matters(self):
+        assert derive_seed(1, "scenario", 0) != derive_seed(2, "scenario", 0)
+
+
+class TestScenarioWindows:
+    def test_offset_windows_concatenate(self):
+        spec = _spec()
+        full = generate_scenarios(spec, 20, seed=7)
+        windowed = sum(
+            (generate_scenarios(spec, 5, seed=7, offset=off) for off in (0, 5, 10, 15)),
+            (),
+        )
+        assert windowed == full
+
+    def test_scenario_at_matches_bulk(self):
+        spec = _spec()
+        full = generate_scenarios(spec, 8, seed=3)
+        assert tuple(
+            generate_scenario_at(spec, 3, index) for index in range(8)
+        ) == full
+
+    def test_same_seed_reproduces(self):
+        spec = _spec()
+        assert generate_scenarios(spec, 12, seed=5) == generate_scenarios(
+            spec, 12, seed=5
+        )
+
+    def test_different_seed_differs(self):
+        spec = _spec()
+        assert generate_scenarios(spec, 12, seed=5) != generate_scenarios(
+            spec, 12, seed=6
+        )
+
+
+class TestVerifyDeterminism:
+    def test_same_seed_same_report(self, binding):
+        first = verify_binding(binding, scasb_rigel.SCENARIO, trials=20, seed=11)
+        second = verify_binding(binding, scasb_rigel.SCENARIO, trials=20, seed=11)
+        assert first == second
+
+    def test_sharded_equals_full(self, binding):
+        # verify_binding raises VerificationFailure on any mismatched
+        # scenario, so "every shard returns" is the equivalence claim;
+        # the shard windows together cover exactly the full run's
+        # scenario indices (TestScenarioWindows proves the windows
+        # regenerate identical scenarios).
+        full = verify_binding(binding, scasb_rigel.SCENARIO, trials=20, seed=11)
+        shards = [
+            verify_binding(
+                binding, scasb_rigel.SCENARIO, trials=10, seed=11, offset=off
+            )
+            for off in (0, 10)
+        ]
+        assert sum(shard.trials for shard in shards) == full.trials
+
+
+class TestBatchDeterminism:
+    NAMES = ["scasb_rigel", "srl_listsearch"]
+
+    def test_rerun_is_byte_identical(self):
+        first = run_batch(names=self.NAMES, trials=20, seed=42)
+        second = run_batch(names=self.NAMES, trials=20, seed=42)
+        assert first.to_json() == second.to_json()
+
+    def test_seed_changes_are_scoped_to_verification(self):
+        # A different seed still replays the same transformation steps.
+        a = run_batch(names=self.NAMES, trials=20, seed=1)
+        b = run_batch(names=self.NAMES, trials=20, seed=2)
+        assert [job.steps for job in a.results] == [
+            job.steps for job in b.results
+        ]
+        assert a.ok and b.ok

@@ -1,5 +1,7 @@
 """CLI smoke tests (python -m repro)."""
 
+import json
+
 import pytest
 
 from repro.__main__ import main
@@ -72,3 +74,75 @@ def test_compile_b4800(capsys):
     assert main(["compile", "b4800", "--length", "5"]) == 0
     out = capsys.readouterr().out
     assert "srl" in out and "result node" in out
+
+
+# ------------------------------------------------------------- batch
+
+
+BATCH_NAMES = ["scasb_rigel", "movc3_pc2", "eclipse_failure"]
+
+
+def test_batch_summary(capsys):
+    assert main(["batch", *BATCH_NAMES, "--trials", "20"]) == 0
+    out = capsys.readouterr().out
+    assert "scasb_rigel" in out
+    assert "failed as documented" in out  # eclipse_failure counts as ok
+
+
+def test_batch_json_schema(capsys):
+    assert main(["batch", *BATCH_NAMES, "--trials", "20", "--json"]) == 0
+    report = json.loads(capsys.readouterr().out)
+    assert report["schema"] == "repro.batch/1"
+    assert report["seed"] == 1982 and report["trials"] == 20
+    assert [job["name"] for job in report["results"]] == BATCH_NAMES
+    for job in report["results"]:
+        assert {"name", "group", "expected", "succeeded", "status"} <= set(job)
+    by_name = {job["name"]: job for job in report["results"]}
+    assert by_name["eclipse_failure"]["expected"] == "failure"
+    assert by_name["eclipse_failure"]["status"] == "ok"
+    assert by_name["scasb_rigel"]["verified_trials"] == 20
+    assert report["summary"] == {"failed": 0, "ok": 3, "total": 3}
+
+
+def test_batch_seed_runs_are_byte_identical(capsys):
+    assert main(["batch", *BATCH_NAMES, "--seed", "7", "--json"]) == 0
+    first = capsys.readouterr().out
+    assert main(["batch", *BATCH_NAMES, "--seed", "7", "--json"]) == 0
+    assert capsys.readouterr().out == first
+
+
+def test_batch_jobs_flag_does_not_change_output(capsys):
+    """--jobs is a scheduling knob only; the report is invariant."""
+    assert main(["batch", *BATCH_NAMES, "--trials", "20", "--json"]) == 0
+    serial = capsys.readouterr().out
+    assert (
+        main(["batch", *BATCH_NAMES, "--trials", "20", "--jobs", "2", "--json"])
+        == 0
+    )
+    assert capsys.readouterr().out == serial
+
+
+def test_batch_unknown_name(capsys):
+    assert main(["batch", "nonsense"]) == 2
+    assert "nonsense" in capsys.readouterr().err
+
+
+def test_batch_partial_failure_exit_code(capsys, monkeypatch):
+    """An analysis that errors mid-batch fails the run but not the rest."""
+    import repro.analyses.scasb_rigel as scasb_rigel
+
+    def boom(*args, **kwargs):
+        raise RuntimeError("injected fault")
+
+    monkeypatch.setattr(scasb_rigel, "run", boom)
+    assert main(["batch", "scasb_rigel", "movc3_pc2", "--trials", "20"]) == 1
+    out = capsys.readouterr().out
+    assert "injected fault" in out
+    assert "movc3_pc2" in out
+
+
+def test_batch_no_verify(capsys):
+    assert main(["batch", "scasb_rigel", "--no-verify", "--json"]) == 0
+    report = json.loads(capsys.readouterr().out)
+    assert report["verify"] is False
+    assert report["results"][0]["verified_trials"] == 0

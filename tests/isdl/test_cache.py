@@ -1,0 +1,70 @@
+"""Content-keyed parse memoization (repro.isdl.cache)."""
+
+import pytest
+
+from repro.isdl import cache, parse_description, parse_expr, parse_stmts
+from repro.isdl.parser import parse_description as raw_parse_description
+
+DESC = """
+demo.instruction := begin
+    ** OPERANDS **
+        a<15:0>,
+        b<15:0>
+    ** STRING.PROCESS **
+        demo.execute() := begin
+            input (a, b);
+            t <- a + b;
+            output (t);
+        end
+end
+"""
+
+
+@pytest.fixture(autouse=True)
+def fresh_caches():
+    cache.clear_caches()
+    yield
+    cache.clear_caches()
+
+
+def test_identical_source_shares_one_ast():
+    first = parse_description(DESC)
+    second = parse_description(DESC)
+    assert second is first  # memoized, not merely equal
+
+
+def test_cached_result_matches_raw_parser():
+    assert parse_description(DESC) == raw_parse_description(DESC)
+
+
+def test_stats_track_hits_and_misses():
+    parse_description(DESC)
+    parse_description(DESC)
+    parse_expr("a + 1")
+    stats = cache.cache_stats()
+    assert stats["description"]["misses"] == 1
+    assert stats["description"]["hits"] == 1
+    assert stats["expr"]["misses"] == 1
+
+
+def test_namespaces_do_not_collide():
+    # The same text through different entry points must not cross-hit.
+    parse_stmts("t <- 1;")
+    stats = cache.cache_stats()
+    assert stats["stmts"]["misses"] == 1
+    assert stats["expr"]["hits"] == 0
+
+
+def test_clear_caches_resets():
+    parse_description(DESC)
+    cache.clear_caches()
+    stats = cache.cache_stats()
+    assert stats["description"] == {"entries": 0, "hits": 0, "misses": 0}
+
+
+def test_parse_errors_are_not_cached():
+    with pytest.raises(Exception):
+        parse_expr("+ + +")
+    with pytest.raises(Exception):
+        parse_expr("+ + +")
+    assert cache.cache_stats()["expr"]["hits"] == 0
