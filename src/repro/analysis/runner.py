@@ -344,6 +344,7 @@ def _aggregate(
             group=entry.group,
             expected="failure" if entry.expect_failure else "success",
         )
+        saw_record = False
         for spec, record in by_entry.get(entry.name, ()):
             result.shards += 1
             if record is None:
@@ -351,17 +352,137 @@ def _aggregate(
                 continue
             result.duration += float(record.get("duration") or 0.0)
             if record["error"]:
-                result.error = str(record["error"])
+                if result.error is None:
+                    result.error = str(record["error"])
                 continue
-            result.succeeded = bool(record["succeeded"])
+            # Failure is sticky across shards: the entry succeeds only
+            # if *every* shard succeeded, so a VerificationFailure in
+            # shard 0 is not masked by shard 1 passing.
+            succeeded = bool(record["succeeded"])
+            result.succeeded = (
+                succeeded if not saw_record else (result.succeeded and succeeded)
+            )
+            saw_record = True
             if record["steps"] is not None:
                 result.steps = int(record["steps"])  # type: ignore[arg-type]
             if record["failure"] and not result.failure:
                 result.failure = str(record["failure"])
-                result.succeeded = False
             result.verified_trials += int(record["verified"])  # type: ignore[arg-type]
+        if result.failure is not None:
+            result.succeeded = False
         results.append(result)
     return results
+
+
+#: distinct error sentinel for worker crashes (OOM, segfault): a dead
+#: worker is not a timeout and must not be reported as one.
+_BROKEN_POOL_ERROR = "BrokenProcessPool: worker process died unexpectedly"
+
+
+def _error_record(spec: ShardSpec, message: str) -> Dict[str, object]:
+    """A structured record for a job whose worker never returned one."""
+    return {
+        "name": spec.name,
+        "offset": spec.offset,
+        "count": spec.count,
+        "succeeded": False,
+        "steps": None,
+        "failure": None,
+        "verified": 0,
+        "error": message,
+        "duration": 0.0,
+    }
+
+
+def _run_pool(
+    specs: Sequence[ShardSpec],
+    jobs: int,
+    timeout: Optional[float],
+) -> Dict[Tuple[str, int], Optional[Dict[str, object]]]:
+    """Execute ``specs`` on a process pool with per-job timeouts.
+
+    Submission is throttled to the number of free worker slots, so a
+    job's dispatch time is (to within scheduler noise) the time its
+    worker starts it; each job's ``timeout`` deadline is measured from
+    there — a job queued behind others is never charged for its wait.
+
+    A running process task cannot be preempted: a job that misses its
+    deadline is recorded as timed out and its worker slot is written
+    off (the abandoned worker keeps running until process teardown; the
+    pool is shut down without waiting on it).  Jobs that can no longer
+    be scheduled because every slot has been written off are reported
+    as timed out too.  A worker crash breaks the whole pool, so the
+    crashed job and all still-unfinished jobs are recorded with a
+    distinct ``BrokenProcessPool`` error, never as timeouts.
+    """
+    records: Dict[Tuple[str, int], Optional[Dict[str, object]]] = {}
+    queue = list(specs)
+    pending: Dict[concurrent.futures.Future, Tuple[ShardSpec, float]] = {}
+    abandoned = 0  # slots held by timed-out jobs that cannot be preempted
+    broken = False
+    pool = concurrent.futures.ProcessPoolExecutor(max_workers=jobs)
+    try:
+        while queue or pending:
+            while queue and not broken and len(pending) < jobs - abandoned:
+                spec = queue.pop(0)
+                try:
+                    future = pool.submit(execute_shard, spec)
+                except concurrent.futures.process.BrokenProcessPool:
+                    broken = True
+                    records[(spec.name, spec.offset)] = _error_record(
+                        spec, _BROKEN_POOL_ERROR
+                    )
+                    break
+                pending[future] = (spec, time.monotonic())
+            if queue and (broken or jobs - abandoned <= 0):
+                for spec in queue:
+                    records[(spec.name, spec.offset)] = (
+                        _error_record(spec, _BROKEN_POOL_ERROR)
+                        if broken
+                        else None
+                    )
+                queue.clear()
+            if not pending:
+                continue
+            wait_timeout = None
+            if timeout is not None:
+                next_deadline = (
+                    min(dispatched for _, dispatched in pending.values())
+                    + timeout
+                )
+                wait_timeout = max(0.0, next_deadline - time.monotonic())
+            done, _ = concurrent.futures.wait(
+                pending,
+                timeout=wait_timeout,
+                return_when=concurrent.futures.FIRST_COMPLETED,
+            )
+            for future in done:
+                spec, _dispatched = pending.pop(future)
+                key = (spec.name, spec.offset)
+                try:
+                    records[key] = future.result()
+                except concurrent.futures.process.BrokenProcessPool:
+                    broken = True
+                    records[key] = _error_record(spec, _BROKEN_POOL_ERROR)
+                except Exception as error:  # noqa: BLE001 - structured
+                    records[key] = _error_record(
+                        spec, f"{type(error).__name__}: {error}"
+                    )
+            if timeout is not None:
+                now = time.monotonic()
+                expired = [
+                    future
+                    for future, (_spec, dispatched) in pending.items()
+                    if now - dispatched >= timeout
+                ]
+                for future in expired:
+                    spec, _dispatched = pending.pop(future)
+                    if not future.cancel():
+                        abandoned += 1
+                    records[(spec.name, spec.offset)] = None
+    finally:
+        pool.shutdown(wait=False, cancel_futures=True)
+    return records
 
 
 def run_batch(
@@ -377,8 +498,10 @@ def run_batch(
     ``jobs=1`` executes every job serially in-process; ``jobs>1`` uses
     a process pool.  Both paths execute the *same* deterministic job
     plan, so the aggregated results are identical — only wall-clock
-    time differs.  ``timeout`` bounds each job (pool mode only; a
-    serial run cannot preempt a running job).
+    time differs.  ``timeout`` bounds each job's runtime, measured from
+    when the job is dispatched to a free worker (pool mode only; a
+    serial run cannot preempt a running job).  See :func:`_run_pool`
+    for the limits of timing out a job that is already running.
     """
     if jobs < 1:
         raise ValueError("jobs must be >= 1")
@@ -391,20 +514,7 @@ def run_batch(
         for spec in specs:
             records[(spec.name, spec.offset)] = execute_shard(spec)
     else:
-        with concurrent.futures.ProcessPoolExecutor(max_workers=jobs) as pool:
-            futures = {
-                spec: pool.submit(execute_shard, spec) for spec in specs
-            }
-            for spec, future in futures.items():
-                try:
-                    records[(spec.name, spec.offset)] = future.result(
-                        timeout=timeout
-                    )
-                except concurrent.futures.TimeoutError:
-                    future.cancel()
-                    records[(spec.name, spec.offset)] = None
-                except concurrent.futures.process.BrokenProcessPool:
-                    records[(spec.name, spec.offset)] = None
+        records = _run_pool(specs, jobs, timeout)
     results = _aggregate(entries, records, specs)
     return BatchReport(
         results=results,
