@@ -6,10 +6,16 @@ Usage::
     python -m repro table2 [--no-verify]   # replay all 11 analyses
     python -m repro analyze scasb_rigel    # one analysis, full report
     python -m repro batch --jobs 4 --json  # full catalog, in parallel
+    python -m repro lint --all             # static-check every description
     python -m repro figures                # regenerate figures 2-5
     python -m repro failures               # the documented failures
     python -m repro compile i8086          # demo codegen + simulation
     python -m repro list                   # available analyses
+
+Exit codes are uniform across subcommands: 0 — success; 1 — the command
+ran but reported findings or failures (a failed analysis, lint
+diagnostics, a batch with failed entries); 2 — usage error (unknown
+name, bad arguments).
 """
 
 from __future__ import annotations
@@ -33,8 +39,10 @@ def cmd_table2(args) -> int:
     from .analysis import format_table, table2_row
 
     rows = []
+    ok = True
     for module in TABLE2:
         outcome = module.run(verify=not args.no_verify, trials=args.trials)
+        ok = ok and outcome.succeeded
         machine, instruction, language, operation, steps = table2_row(outcome)
         rows.append(
             (
@@ -52,7 +60,7 @@ def cmd_table2(args) -> int:
             ("Machine", "Instruction", "Language", "Operation", "Steps", "Paper"),
         )
     )
-    return 0
+    return 0 if ok else 1
 
 
 def cmd_batch(args) -> int:
@@ -107,7 +115,10 @@ def cmd_analyze(args) -> int:
 
     modules = _analysis_modules()
     if args.name not in modules:
-        print(f"unknown analysis {args.name!r}; try: python -m repro list")
+        print(
+            f"unknown analysis {args.name!r}; try: python -m repro list",
+            file=sys.stderr,
+        )
         return 2
     outcome = modules[args.name].run(verify=not args.no_verify, trials=args.trials)
     print(full_report(outcome))
@@ -115,6 +126,72 @@ def cmd_analyze(args) -> int:
         print("transformation log:")
         print(outcome.log)
     return 0 if outcome.succeeded else 1
+
+
+def cmd_lint(args) -> int:
+    import json
+    import os
+
+    from .isdl import parse_description
+    from .isdl.errors import IsdlError
+    from .lint import lint_description, lint_targets
+
+    targets = lint_targets()
+    selected = []
+    if args.all:
+        selected = sorted(targets)
+    if not args.names and not args.all:
+        print("lint: give target names or --all", file=sys.stderr)
+        return 2
+    for name in args.names:
+        if name in targets:
+            selected.append(name)
+        elif any(key.startswith(name + ":") for key in targets):
+            # A bare machine or language name selects all its targets.
+            selected.extend(
+                sorted(key for key in targets if key.startswith(name + ":"))
+            )
+        elif os.path.exists(name):
+            selected.append(name)
+        else:
+            print(
+                f"lint: unknown target {name!r}; known targets: "
+                + ", ".join(sorted(targets)),
+                file=sys.stderr,
+            )
+            return 2
+
+    reports = []
+    for name in selected:
+        if name in targets:
+            description, suppress = targets[name]()
+            reports.append(lint_description(description, suppress, target=name))
+            continue
+        with open(name, "r", encoding="utf-8") as handle:
+            text = handle.read()
+        try:
+            description = parse_description(text)
+        except IsdlError as error:
+            print(f"{name}: {error}", file=sys.stderr)
+            return 1
+        reports.append(lint_description(description, target=name))
+
+    clean = all(report.clean for report in reports)
+    if args.format == "json":
+        payload = {
+            "schema": "repro.lint/1",
+            "clean": clean,
+            "reports": [report.to_dict() for report in reports],
+        }
+        print(json.dumps(payload, indent=2, sort_keys=True))
+    else:
+        for report in reports:
+            lines = report.format_lines()
+            if lines:
+                print("\n".join(lines))
+            else:
+                print(f"{report.target}: clean")
+    return 0 if clean else 1
 
 
 def cmd_figures(_args) -> int:
@@ -261,6 +338,22 @@ def main(argv=None) -> int:
 
     sub.add_parser("list", help="list available analyses")
 
+    p_lint = sub.add_parser(
+        "lint", help="static-check ISDL descriptions"
+    )
+    p_lint.add_argument(
+        "names",
+        nargs="*",
+        help="targets: i8086:scasb, rigel:index, a bare machine/language "
+        "name, or a path to an ISDL source file",
+    )
+    p_lint.add_argument(
+        "--all", action="store_true", help="lint every catalog description"
+    )
+    p_lint.add_argument(
+        "--format", choices=["text", "json"], default="text"
+    )
+
     p_analyze = sub.add_parser("analyze", help="run one analysis")
     p_analyze.add_argument("name")
     p_analyze.add_argument("--no-verify", action="store_true")
@@ -284,6 +377,7 @@ def main(argv=None) -> int:
         "table2": cmd_table2,
         "batch": cmd_batch,
         "list": cmd_list,
+        "lint": cmd_lint,
         "analyze": cmd_analyze,
         "figures": cmd_figures,
         "failures": cmd_failures,

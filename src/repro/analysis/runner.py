@@ -287,7 +287,14 @@ def _clear_replay_cache() -> None:
 
 
 def execute_shard(spec: ShardSpec) -> Dict[str, object]:
-    """Run one job; always returns a structured, picklable record."""
+    """Run one job; always returns a structured, picklable record.
+
+    A successfully replayed binding is lint-gated *before* any trial
+    runs: gate rejections land in ``record["error"]`` with a
+    ``LintGateError:`` prefix — structurally distinct from a fuzz
+    mismatch (``record["failure"]``) and from a timeout (no record).
+    """
+    from ..lint import LintGateError, lint_binding
     from .verify import VerificationFailure, verify_binding
 
     started = time.perf_counter()
@@ -306,6 +313,10 @@ def execute_shard(spec: ShardSpec) -> Dict[str, object]:
         record["succeeded"] = outcome.succeeded
         record["steps"] = outcome.steps
         record["failure"] = outcome.failure
+        if outcome.succeeded:
+            gate = lint_binding(outcome.binding)
+            if gate:
+                raise LintGateError(tuple(gate))
         if outcome.succeeded and spec.count > 0:
             scenario = getattr(module, "SCENARIO", None)
             if scenario is not None:
@@ -319,6 +330,9 @@ def execute_shard(spec: ShardSpec) -> Dict[str, object]:
                 record["verified"] = spec.count
     except VerificationFailure as error:
         record["failure"] = f"VerificationFailure: {error}"
+        record["succeeded"] = False
+    except LintGateError as error:
+        record["error"] = f"LintGateError: {error}"
         record["succeeded"] = False
     except Exception as error:  # noqa: BLE001 - structured, not fatal
         record["error"] = f"{type(error).__name__}: {error}"

@@ -22,6 +22,7 @@ from dataclasses import dataclass
 from typing import Dict, Optional, Tuple
 
 from ..isdl import ast
+from ..lint import LintGateError, lint_binding
 from ..semantics import Interpreter
 from ..semantics.randomgen import Scenario, ScenarioSpec, generate_scenarios
 
@@ -83,8 +84,14 @@ def verify_binding(
     whether it runs in shard 0 of 1 or shard 3 of 4 — see
     :func:`repro.semantics.randomgen.generate_scenario_at`).
 
-    Raises :class:`VerificationFailure` on the first disagreement.
+    Raises :class:`VerificationFailure` on the first disagreement, and
+    :class:`~repro.lint.LintGateError` — before any trial runs — when
+    the static pre-flight finds the binding's constraints inconsistent
+    with its own descriptions (see :func:`repro.lint.lint_binding`).
     """
+    gate_diagnostics = lint_binding(binding)
+    if gate_diagnostics:
+        raise LintGateError(tuple(gate_diagnostics))
     operator_desc = binding.final_operator
     instruction_desc = binding.augmented_instruction
     operator_interp = Interpreter(operator_desc)

@@ -18,6 +18,7 @@ import dataclasses
 from functools import lru_cache
 
 from ..analysis import Binding, BindingLibrary
+from ..lint import LintGateError, lint_binding
 from ..analyses import (
     clc_pascal,
     cmpc3_pascal,
@@ -42,7 +43,15 @@ def _binding_from(module) -> Binding:
         raise RuntimeError(
             f"analysis {module.__name__} failed: {outcome.failure}"
         )
-    return dataclasses.replace(outcome.binding, field_map=dict(module.FIELD_MAP))
+    binding = dataclasses.replace(
+        outcome.binding, field_map=dict(module.FIELD_MAP)
+    )
+    # No binding whose constraints contradict its own descriptions may
+    # enter a compiler's instruction repertoire.
+    diagnostics = lint_binding(binding)
+    if diagnostics:
+        raise LintGateError(tuple(diagnostics))
+    return binding
 
 
 #: machine name -> analysis modules whose bindings it gets.

@@ -18,12 +18,26 @@ Widths: registers declare ``<hi:lo>`` bit ranges (``<>`` means one bit);
 language-operator descriptions may instead declare abstract ``integer`` or
 ``character`` types.  Binding an ``integer`` variable to a finite register
 is what produces the paper's range constraints.
+
+Every node carries an optional ``location`` (the source position of its
+leading token) so diagnostics — parser errors and the ``repro.lint``
+static checker — can always point at source text.  Locations are
+metadata, not semantics: they are excluded from equality and hashing, so
+a parsed tree still compares equal to a programmatically built one, and
+``structurally_equal`` is unaffected.
 """
 
 from __future__ import annotations
 
 from dataclasses import dataclass, field
 from typing import Optional, Tuple, Union
+
+from .errors import SourceLocation
+
+
+def _loc() -> "field":
+    """The shared ``location`` field: metadata, never part of equality."""
+    return field(default=None, compare=False, repr=False)
 
 # ---------------------------------------------------------------------------
 # Widths
@@ -35,6 +49,7 @@ class BitWidth:
 
     hi: int
     lo: int = 0
+    location: Optional[SourceLocation] = _loc()
 
     @property
     def bits(self) -> int:
@@ -56,6 +71,7 @@ class TypeWidth:
     """
 
     typename: str  # "integer" | "character"
+    location: Optional[SourceLocation] = _loc()
 
     @property
     def bits(self) -> Optional[int]:
@@ -76,6 +92,7 @@ class Const:
     """An integer literal."""
 
     value: int
+    location: Optional[SourceLocation] = _loc()
 
 
 @dataclass(frozen=True)
@@ -83,6 +100,7 @@ class Var:
     """A register or variable reference (possibly dotted: ``Src.Base``)."""
 
     name: str
+    location: Optional[SourceLocation] = _loc()
 
 
 @dataclass(frozen=True)
@@ -90,6 +108,7 @@ class MemRead:
     """A byte read from main memory: ``Mb[addr]``."""
 
     addr: "Expr"
+    location: Optional[SourceLocation] = _loc()
 
 
 @dataclass(frozen=True)
@@ -98,6 +117,7 @@ class Call:
 
     name: str
     args: Tuple["Expr", ...] = ()
+    location: Optional[SourceLocation] = _loc()
 
 
 @dataclass(frozen=True)
@@ -111,6 +131,7 @@ class BinOp:
     op: str
     left: "Expr"
     right: "Expr"
+    location: Optional[SourceLocation] = _loc()
 
 
 @dataclass(frozen=True)
@@ -119,6 +140,7 @@ class UnOp:
 
     op: str
     operand: "Expr"
+    location: Optional[SourceLocation] = _loc()
 
 
 Expr = Union[Const, Var, MemRead, Call, BinOp, UnOp]
@@ -134,6 +156,7 @@ class Assign:
     target: Union[Var, MemRead]
     expr: Expr
     comment: Optional[str] = None
+    location: Optional[SourceLocation] = _loc()
 
 
 @dataclass(frozen=True)
@@ -144,6 +167,7 @@ class If:
     then: Tuple["Stmt", ...]
     els: Tuple["Stmt", ...] = ()
     comment: Optional[str] = None
+    location: Optional[SourceLocation] = _loc()
 
 
 @dataclass(frozen=True)
@@ -152,6 +176,7 @@ class Repeat:
 
     body: Tuple["Stmt", ...]
     comment: Optional[str] = None
+    location: Optional[SourceLocation] = _loc()
 
 
 @dataclass(frozen=True)
@@ -160,6 +185,7 @@ class ExitWhen:
 
     cond: Expr
     comment: Optional[str] = None
+    location: Optional[SourceLocation] = _loc()
 
 
 @dataclass(frozen=True)
@@ -168,6 +194,7 @@ class Input:
 
     names: Tuple[str, ...]
     comment: Optional[str] = None
+    location: Optional[SourceLocation] = _loc()
 
 
 @dataclass(frozen=True)
@@ -176,6 +203,7 @@ class Output:
 
     exprs: Tuple[Expr, ...]
     comment: Optional[str] = None
+    location: Optional[SourceLocation] = _loc()
 
 
 @dataclass(frozen=True)
@@ -189,6 +217,7 @@ class Assert:
 
     cond: Expr
     comment: Optional[str] = None
+    location: Optional[SourceLocation] = _loc()
 
 
 Stmt = Union[Assign, If, Repeat, ExitWhen, Input, Output, Assert]
@@ -204,6 +233,7 @@ class RegDecl:
     name: str
     width: Width
     comment: Optional[str] = None
+    location: Optional[SourceLocation] = _loc()
 
 
 @dataclass(frozen=True)
@@ -220,6 +250,7 @@ class RoutineDecl:
     width: Optional[Width]
     body: Tuple[Stmt, ...]
     comment: Optional[str] = None
+    location: Optional[SourceLocation] = _loc()
 
 
 Decl = Union[RegDecl, RoutineDecl]
@@ -231,6 +262,7 @@ class Section:
 
     name: str
     decls: Tuple[Decl, ...]
+    location: Optional[SourceLocation] = _loc()
 
 
 @dataclass(frozen=True)
@@ -240,6 +272,7 @@ class Description:
     name: str
     sections: Tuple[Section, ...]
     comment: Optional[str] = None
+    location: Optional[SourceLocation] = _loc()
 
     # -- navigation helpers -------------------------------------------------
 

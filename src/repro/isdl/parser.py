@@ -27,6 +27,10 @@ comparisons (non-associative), additive, multiplicative, unary minus.
 Comments (``! ...``) attach to the declaration or statement that starts on
 the same line; a comment on a line of its own attaches to the next
 declaration or statement.
+
+Every AST node produced here carries the :class:`SourceLocation` of its
+leading token (for binary operations, of the operator token), so parse
+errors and ``repro.lint`` diagnostics can always point at source text.
 """
 
 from __future__ import annotations
@@ -34,7 +38,7 @@ from __future__ import annotations
 from typing import Dict, List, Optional, Set, Tuple
 
 from . import ast
-from .errors import ParseError
+from .errors import ParseError, SourceLocation
 from .lexer import Lexer
 from .tokens import Token, TokenKind
 
@@ -138,6 +142,7 @@ class Parser:
             name=str(name_token.value),
             sections=tuple(sections),
             comment=comment,
+            location=name_token.location,
         )
 
     def _parse_section(self) -> ast.Section:
@@ -147,14 +152,18 @@ class Parser:
         decls = []
         while self._check(TokenKind.IDENT):
             decls.append(self._parse_decl())
-        return ast.Section(name=str(name_token.value), decls=tuple(decls))
+        return ast.Section(
+            name=str(name_token.value),
+            decls=tuple(decls),
+            location=name_token.location,
+        )
 
     def _parse_decl(self) -> ast.Decl:
         name_token = self._expect(TokenKind.IDENT, "declaration name")
         name = str(name_token.value)
         comment = self._comment_for_line(name_token.location.line)
         if self._check(TokenKind.LPAREN):
-            decl = self._parse_routine_decl(name, comment)
+            decl = self._parse_routine_decl(name, comment, name_token.location)
         else:
             width = self._parse_width()
             if width is None:
@@ -162,12 +171,17 @@ class Parser:
                     f"declaration of {name!r} needs a <hi:lo> width or a type",
                     name_token.location,
                 )
-            decl = ast.RegDecl(name=name, width=width, comment=comment)
+            decl = ast.RegDecl(
+                name=name,
+                width=width,
+                comment=comment,
+                location=name_token.location,
+            )
         self._accept(TokenKind.COMMA)
         return decl
 
     def _parse_routine_decl(
-        self, name: str, comment: Optional[str]
+        self, name: str, comment: Optional[str], location: SourceLocation
     ) -> ast.RoutineDecl:
         self._expect(TokenKind.LPAREN, "'('")
         params: List[str] = []
@@ -189,20 +203,25 @@ class Parser:
             width=width,
             body=body,
             comment=comment,
+            location=location,
         )
 
     def _parse_width(self) -> Optional[ast.Width]:
         # ``name<>`` (a one-bit flag) lexes as a NEQ token after the name.
-        if self._accept(TokenKind.NEQ):
-            return ast.BitWidth(0, 0)
-        if self._accept(TokenKind.LANGLE):
+        token = self._accept(TokenKind.NEQ)
+        if token is not None:
+            return ast.BitWidth(0, 0, location=token.location)
+        token = self._accept(TokenKind.LANGLE)
+        if token is not None:
             if self._accept(TokenKind.RANGLE):
-                return ast.BitWidth(0, 0)
+                return ast.BitWidth(0, 0, location=token.location)
             hi = self._expect(TokenKind.NUMBER, "bit index")
             self._expect(TokenKind.COLON, "':'")
             lo = self._expect(TokenKind.NUMBER, "bit index")
             self._expect(TokenKind.RANGLE, "'>'")
-            return ast.BitWidth(int(hi.value), int(lo.value))
+            return ast.BitWidth(
+                int(hi.value), int(lo.value), location=token.location
+            )
         if self._accept(TokenKind.COLON):
             type_token = self._expect(TokenKind.IDENT, "type name")
             typename = str(type_token.value).lower()
@@ -211,7 +230,7 @@ class Parser:
                     f"unknown type {typename!r} (expected integer or character)",
                     type_token.location,
                 )
-            return ast.TypeWidth(typename)
+            return ast.TypeWidth(typename, location=type_token.location)
         return None
 
     # ------------------------------------------------------------------
@@ -233,7 +252,9 @@ class Parser:
         elif token.kind is TokenKind.EXIT_WHEN:
             self._advance()
             cond = self.parse_expr()
-            stmt = ast.ExitWhen(cond=cond, comment=comment)
+            stmt = ast.ExitWhen(
+                cond=cond, comment=comment, location=token.location
+            )
         elif token.kind is TokenKind.INPUT:
             self._advance()
             self._expect(TokenKind.LPAREN, "'('")
@@ -243,7 +264,9 @@ class Parser:
                     str(self._expect(TokenKind.IDENT, "operand name").value)
                 )
             self._expect(TokenKind.RPAREN, "')'")
-            stmt = ast.Input(names=tuple(names), comment=comment)
+            stmt = ast.Input(
+                names=tuple(names), comment=comment, location=token.location
+            )
         elif token.kind is TokenKind.OUTPUT:
             self._advance()
             self._expect(TokenKind.LPAREN, "'('")
@@ -251,11 +274,15 @@ class Parser:
             while self._accept(TokenKind.COMMA):
                 exprs.append(self.parse_expr())
             self._expect(TokenKind.RPAREN, "')'")
-            stmt = ast.Output(exprs=tuple(exprs), comment=comment)
+            stmt = ast.Output(
+                exprs=tuple(exprs), comment=comment, location=token.location
+            )
         elif token.kind is TokenKind.ASSERT:
             self._advance()
             cond = self.parse_expr()
-            stmt = ast.Assert(cond=cond, comment=comment)
+            stmt = ast.Assert(
+                cond=cond, comment=comment, location=token.location
+            )
         else:  # assignment
             stmt = self._parse_assign(comment)
         self._accept(TokenKind.SEMI)
@@ -268,15 +295,17 @@ class Parser:
             self._expect(TokenKind.LBRACKET, "'['")
             addr = self.parse_expr()
             self._expect(TokenKind.RBRACKET, "']'")
-            target: object = ast.MemRead(addr=addr)
+            target: object = ast.MemRead(addr=addr, location=token.location)
         else:
-            target = ast.Var(name=name)
+            target = ast.Var(name=name, location=token.location)
         self._expect(TokenKind.ASSIGN, "'<-'")
         expr = self.parse_expr()
-        return ast.Assign(target=target, expr=expr, comment=comment)
+        return ast.Assign(
+            target=target, expr=expr, comment=comment, location=token.location
+        )
 
     def _parse_if(self, comment: Optional[str]) -> ast.If:
-        self._expect(TokenKind.IF, "'if'")
+        token = self._expect(TokenKind.IF, "'if'")
         cond = self.parse_expr()
         self._expect(TokenKind.THEN, "'then'")
         then = self._parse_stmts()
@@ -284,13 +313,16 @@ class Parser:
         if self._accept(TokenKind.ELSE):
             els = self._parse_stmts()
         self._expect(TokenKind.END_IF, "'end_if'")
-        return ast.If(cond=cond, then=then, els=els, comment=comment)
+        return ast.If(
+            cond=cond, then=then, els=els, comment=comment,
+            location=token.location,
+        )
 
     def _parse_repeat(self, comment: Optional[str]) -> ast.Repeat:
-        self._expect(TokenKind.REPEAT, "'repeat'")
+        token = self._expect(TokenKind.REPEAT, "'repeat'")
         body = self._parse_stmts()
         self._expect(TokenKind.END_REPEAT, "'end_repeat'")
-        return ast.Repeat(body=body, comment=comment)
+        return ast.Repeat(body=body, comment=comment, location=token.location)
 
     # ------------------------------------------------------------------
     # expressions
@@ -301,58 +333,88 @@ class Parser:
 
     def _parse_or(self) -> ast.Expr:
         left = self._parse_and()
-        while self._accept(TokenKind.OR):
+        while True:
+            token = self._accept(TokenKind.OR)
+            if token is None:
+                return left
             right = self._parse_and()
-            left = ast.BinOp(op="or", left=left, right=right)
-        return left
+            left = ast.BinOp(
+                op="or", left=left, right=right, location=token.location
+            )
 
     def _parse_and(self) -> ast.Expr:
         left = self._parse_not()
-        while self._accept(TokenKind.AND):
+        while True:
+            token = self._accept(TokenKind.AND)
+            if token is None:
+                return left
             right = self._parse_not()
-            left = ast.BinOp(op="and", left=left, right=right)
-        return left
+            left = ast.BinOp(
+                op="and", left=left, right=right, location=token.location
+            )
 
     def _parse_not(self) -> ast.Expr:
-        if self._accept(TokenKind.NOT):
-            return ast.UnOp(op="not", operand=self._parse_not())
+        token = self._accept(TokenKind.NOT)
+        if token is not None:
+            return ast.UnOp(
+                op="not", operand=self._parse_not(), location=token.location
+            )
         return self._parse_comparison()
 
     def _parse_comparison(self) -> ast.Expr:
         left = self._parse_additive()
         kind = self._peek().kind
         if kind in _COMPARISON_KINDS:
-            self._advance()
+            token = self._advance()
             right = self._parse_additive()
-            return ast.BinOp(op=_COMPARISON_KINDS[kind], left=left, right=right)
+            return ast.BinOp(
+                op=_COMPARISON_KINDS[kind],
+                left=left,
+                right=right,
+                location=token.location,
+            )
         return left
 
     def _parse_additive(self) -> ast.Expr:
         left = self._parse_multiplicative()
         while True:
-            if self._accept(TokenKind.PLUS):
-                left = ast.BinOp(op="+", left=left, right=self._parse_multiplicative())
-            elif self._accept(TokenKind.MINUS):
-                left = ast.BinOp(op="-", left=left, right=self._parse_multiplicative())
-            else:
+            token = self._accept(TokenKind.PLUS) or self._accept(TokenKind.MINUS)
+            if token is None:
                 return left
+            op = "+" if token.kind is TokenKind.PLUS else "-"
+            left = ast.BinOp(
+                op=op,
+                left=left,
+                right=self._parse_multiplicative(),
+                location=token.location,
+            )
 
     def _parse_multiplicative(self) -> ast.Expr:
         left = self._parse_unary()
-        while self._accept(TokenKind.STAR):
-            left = ast.BinOp(op="*", left=left, right=self._parse_unary())
-        return left
+        while True:
+            token = self._accept(TokenKind.STAR)
+            if token is None:
+                return left
+            left = ast.BinOp(
+                op="*",
+                left=left,
+                right=self._parse_unary(),
+                location=token.location,
+            )
 
     def _parse_unary(self) -> ast.Expr:
-        if self._accept(TokenKind.MINUS):
-            return ast.UnOp(op="-", operand=self._parse_unary())
+        token = self._accept(TokenKind.MINUS)
+        if token is not None:
+            return ast.UnOp(
+                op="-", operand=self._parse_unary(), location=token.location
+            )
         return self._parse_primary()
 
     def _parse_primary(self) -> ast.Expr:
         token = self._peek()
         if token.kind is TokenKind.NUMBER:
             self._advance()
-            return ast.Const(value=int(token.value))
+            return ast.Const(value=int(token.value), location=token.location)
         if token.kind is TokenKind.STRING:
             self._advance()
             text = str(token.value)
@@ -361,7 +423,7 @@ class Parser:
                     "only single-character literals are supported",
                     token.location,
                 )
-            return ast.Const(value=ord(text))
+            return ast.Const(value=ord(text), location=token.location)
         if token.kind is TokenKind.LPAREN:
             self._advance()
             expr = self.parse_expr()
@@ -374,7 +436,7 @@ class Parser:
                 self._expect(TokenKind.LBRACKET, "'['")
                 addr = self.parse_expr()
                 self._expect(TokenKind.RBRACKET, "']'")
-                return ast.MemRead(addr=addr)
+                return ast.MemRead(addr=addr, location=token.location)
             if self._accept(TokenKind.LPAREN):
                 args: List[ast.Expr] = []
                 if not self._check(TokenKind.RPAREN):
@@ -382,8 +444,10 @@ class Parser:
                     while self._accept(TokenKind.COMMA):
                         args.append(self.parse_expr())
                 self._expect(TokenKind.RPAREN, "')'")
-                return ast.Call(name=name, args=tuple(args))
-            return ast.Var(name=name)
+                return ast.Call(
+                    name=name, args=tuple(args), location=token.location
+                )
+            return ast.Var(name=name, location=token.location)
         raise ParseError(
             f"expected an expression, found {token.kind.value!r}", token.location
         )

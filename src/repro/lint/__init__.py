@@ -1,0 +1,51 @@
+"""Static checking for ISDL descriptions and analysis bindings.
+
+A multi-pass linter over the description ASTs the rest of the system
+already trusts dynamically:
+
+* :mod:`repro.lint.widths` — bit-width inference (truncating stores,
+  impossible constants, mixed-width comparisons),
+* :mod:`repro.lint.checks` — structural and dataflow defects on top of
+  :mod:`repro.dataflow` (use-before-def, dead stores, unreachable code,
+  unread inputs, unterminating loops, declaration errors),
+* :mod:`repro.lint.intervals` — an interval-domain abstract interpreter
+  that decides ``assert`` statements under constraint-implied ranges,
+* :mod:`repro.lint.engine` — the driver, the catalog of lintable
+  targets, and the binding pre-flight that gates verification and the
+  binding database.
+
+Diagnostics carry stable ``W###``/``E###`` codes (documented in
+``docs/lint.md``) and point at source via the parser's
+:class:`~repro.isdl.errors.SourceLocation`.
+"""
+
+from .diagnostics import (
+    CODES,
+    Diagnostic,
+    LintGateError,
+    LintReport,
+    Severity,
+)
+from .engine import (
+    lint_all,
+    lint_binding,
+    lint_description,
+    lint_target,
+    lint_targets,
+)
+from .intervals import Interval, check_asserts
+
+__all__ = [
+    "CODES",
+    "Diagnostic",
+    "Interval",
+    "LintGateError",
+    "LintReport",
+    "Severity",
+    "check_asserts",
+    "lint_all",
+    "lint_binding",
+    "lint_description",
+    "lint_target",
+    "lint_targets",
+]

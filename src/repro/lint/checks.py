@@ -1,0 +1,451 @@
+"""Structural and dataflow checks for ISDL descriptions (W2## / E2##).
+
+These checks lean on the :mod:`repro.dataflow` package the transformation
+guards already trust: the CFG gives reachability, the effect summaries
+expand routine calls (so a read inside ``fetch()`` counts as a read at
+the call site), and reaching definitions distinguish "reaches the
+power-up zero" from "reaches a real store".
+
+Structural errors (duplicate declarations, undeclared names, a missing
+or ambiguous entry routine, ``exit_when`` outside ``repeat``) are found
+by a plain AST walk first; a routine with a stray ``exit_when`` cannot
+be lowered to a CFG at all, so its dataflow checks are skipped rather
+than crashing.
+
+Dataflow checks run on the *entry* routine only.  Helper routines read
+global registers the entry routine (or the machine state) set up, so
+running use-before-def interprocedurally on them would drown real
+findings in false positives; the call-expansion in the effect summaries
+already surfaces a helper's reads at its call sites in the entry body.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional, Set, Tuple
+
+from ..dataflow.cfg import Cfg, build_cfg
+from ..dataflow.defuse import cfg_defuse
+from ..dataflow.effects import MEM, OUT, EffectAnalysis
+from ..dataflow.liveness import Liveness
+from ..dataflow.reaching import ReachingDefinitions
+from ..isdl import ast
+from ..isdl.visitor import Path
+from .diagnostics import Diagnostic, make
+
+
+def check_structure(description: ast.Description) -> List[Diagnostic]:
+    """E207-E210: declarations, entry routine, exit_when placement."""
+    diagnostics: List[Diagnostic] = []
+    seen: Dict[str, ast.Decl] = {}
+    for section in description.sections:
+        for decl in section.decls:
+            if decl.name in seen:
+                diagnostics.append(
+                    make(
+                        "E208",
+                        f"{decl.name!r} is declared more than once",
+                        description.name,
+                        decl.location,
+                    )
+                )
+            else:
+                seen[decl.name] = decl
+
+    entries = [
+        routine
+        for routine in description.routines()
+        if any(isinstance(stmt, ast.Input) for stmt in routine.body)
+    ]
+    if len(entries) != 1:
+        diagnostics.append(
+            make(
+                "E209",
+                f"expected exactly one routine with input(), found "
+                f"{len(entries)}",
+                description.name,
+                description.location,
+            )
+        )
+
+    global_names = set(seen)
+    for routine in description.routines():
+        local = global_names | set(routine.params) | {routine.name}
+        local |= {
+            name
+            for stmt in routine.body
+            if isinstance(stmt, ast.Input)
+            for name in stmt.names
+        }
+        diagnostics.extend(
+            _check_names(routine.body, local, description.name, routine.name)
+        )
+        diagnostics.extend(
+            _check_exit_when(
+                routine.body, False, description.name, routine.name
+            )
+        )
+    return diagnostics
+
+
+def _check_names(
+    stmts: Tuple[ast.Stmt, ...],
+    declared: Set[str],
+    description: str,
+    routine: str,
+) -> List[Diagnostic]:
+    """E207 for every Var/Call naming nothing in ``declared``."""
+    diagnostics: List[Diagnostic] = []
+
+    def visit_expr(expr: ast.Expr) -> None:
+        if isinstance(expr, ast.Var):
+            if expr.name not in declared:
+                diagnostics.append(
+                    make(
+                        "E207",
+                        f"{expr.name!r} is not declared",
+                        description,
+                        expr.location,
+                        routine,
+                    )
+                )
+        elif isinstance(expr, ast.MemRead):
+            visit_expr(expr.addr)
+        elif isinstance(expr, ast.Call):
+            if expr.name not in declared:
+                diagnostics.append(
+                    make(
+                        "E207",
+                        f"routine {expr.name!r} is not declared",
+                        description,
+                        expr.location,
+                        routine,
+                    )
+                )
+            for arg in expr.args:
+                visit_expr(arg)
+        elif isinstance(expr, ast.BinOp):
+            visit_expr(expr.left)
+            visit_expr(expr.right)
+        elif isinstance(expr, ast.UnOp):
+            visit_expr(expr.operand)
+
+    def visit_stmt(stmt: ast.Stmt) -> None:
+        if isinstance(stmt, ast.Assign):
+            visit_expr(stmt.target)
+            visit_expr(stmt.expr)
+        elif isinstance(stmt, (ast.ExitWhen, ast.Assert)):
+            visit_expr(stmt.cond)
+        elif isinstance(stmt, ast.Output):
+            for expr in stmt.exprs:
+                visit_expr(expr)
+        elif isinstance(stmt, ast.If):
+            visit_expr(stmt.cond)
+            for inner in stmt.then + stmt.els:
+                visit_stmt(inner)
+        elif isinstance(stmt, ast.Repeat):
+            for inner in stmt.body:
+                visit_stmt(inner)
+
+    for stmt in stmts:
+        visit_stmt(stmt)
+    return diagnostics
+
+
+def _check_exit_when(
+    stmts: Tuple[ast.Stmt, ...],
+    in_repeat: bool,
+    description: str,
+    routine: str,
+) -> List[Diagnostic]:
+    """E210 for every ``exit_when`` with no enclosing ``repeat``."""
+    diagnostics: List[Diagnostic] = []
+    for stmt in stmts:
+        if isinstance(stmt, ast.ExitWhen) and not in_repeat:
+            diagnostics.append(
+                make(
+                    "E210",
+                    "exit_when outside of any repeat loop",
+                    description,
+                    stmt.location,
+                    routine,
+                )
+            )
+        elif isinstance(stmt, ast.If):
+            diagnostics.extend(
+                _check_exit_when(
+                    stmt.then + stmt.els, in_repeat, description, routine
+                )
+            )
+        elif isinstance(stmt, ast.Repeat):
+            diagnostics.extend(
+                _check_exit_when(stmt.body, True, description, routine)
+            )
+    return diagnostics
+
+
+def has_stray_exit_when(routine: ast.RoutineDecl) -> bool:
+    """True when the routine cannot be lowered to a CFG (E210 present)."""
+    return bool(_check_exit_when(routine.body, False, "", routine.name))
+
+
+# ---------------------------------------------------------------------------
+# Dataflow checks
+
+
+def _reachable(cfg: Cfg) -> Set[int]:
+    seen = {cfg.entry}
+    worklist = [cfg.entry]
+    while worklist:
+        node_id = worklist.pop()
+        for succ in cfg.nodes[node_id].succs:
+            if succ not in seen:
+                seen.add(succ)
+                worklist.append(succ)
+    return seen
+
+
+def _direct_exit_whens(
+    body: Tuple[ast.Stmt, ...], path: Path
+) -> List[Tuple[ast.ExitWhen, Path]]:
+    """``exit_when``s belonging to the repeat whose body this is.
+
+    Recurses into ``if`` arms (their exits still leave this loop) but not
+    into nested ``repeat``s (those exits leave the inner loop only).
+    """
+    found: List[Tuple[ast.ExitWhen, Path]] = []
+    field = path[-1][0]
+    prefix = path[:-1]
+    for index, stmt in enumerate(body):
+        stmt_path = prefix + ((field, index),)
+        if isinstance(stmt, ast.ExitWhen):
+            found.append((stmt, stmt_path))
+        elif isinstance(stmt, ast.If):
+            found.extend(
+                _direct_exit_whens(stmt.then, stmt_path + (("then", None),))
+            )
+            found.extend(
+                _direct_exit_whens(stmt.els, stmt_path + (("els", None),))
+            )
+    return found
+
+
+def _repeats_with_paths(
+    body: Tuple[ast.Stmt, ...], path: Path
+) -> List[Tuple[ast.Repeat, Path]]:
+    found: List[Tuple[ast.Repeat, Path]] = []
+    field = path[-1][0]
+    prefix = path[:-1]
+    for index, stmt in enumerate(body):
+        stmt_path = prefix + ((field, index),)
+        if isinstance(stmt, ast.Repeat):
+            found.append((stmt, stmt_path))
+            found.extend(
+                _repeats_with_paths(stmt.body, stmt_path + (("body", None),))
+            )
+        elif isinstance(stmt, ast.If):
+            found.extend(
+                _repeats_with_paths(stmt.then, stmt_path + (("then", None),))
+            )
+            found.extend(
+                _repeats_with_paths(stmt.els, stmt_path + (("els", None),))
+            )
+    return found
+
+
+def check_routine_dataflow(
+    description: ast.Description,
+    routine: ast.RoutineDecl,
+    analysis: EffectAnalysis,
+    is_entry: bool,
+) -> List[Diagnostic]:
+    """W201-W205, E206 for one routine.
+
+    ``is_entry`` gates the checks that assume nothing ran before the
+    routine (use-before-def, never-read inputs, never-written outputs).
+    """
+    if has_stray_exit_when(routine):
+        return []  # E210 already reported; no CFG exists.
+    diagnostics: List[Diagnostic] = []
+    cfg = build_cfg(routine)
+    defuse = cfg_defuse(cfg, analysis)
+    reachable = _reachable(cfg)
+    registers = {decl.name for decl in description.registers()}
+    input_names = {
+        name
+        for stmt in routine.body
+        if isinstance(stmt, ast.Input)
+        for name in stmt.names
+    }
+    all_names = (
+        registers | set(routine.params) | {routine.name} | input_names
+    )
+
+    # -- W203: statements control can never reach ----------------------
+    for node_id, node in cfg.nodes.items():
+        if node.stmt is None or node_id in reachable:
+            continue
+        diagnostics.append(
+            make(
+                "W203",
+                "statement is unreachable",
+                description.name,
+                node.stmt.location,
+                routine.name,
+            )
+        )
+
+    # -- E206: repeat loops that cannot terminate ----------------------
+    # Only diagnose loops control actually enters: a repeat that is
+    # itself unreachable is already covered by W203 on its body.
+    base = (("body", None),)
+    for repeat, repeat_path in _repeats_with_paths(routine.body, base):
+        body_path = repeat_path + (("body", None),)
+        exits = _direct_exit_whens(repeat.body, body_path)
+        if any(cfg.by_path.get(path) in reachable for _, path in exits):
+            continue
+        if _loop_entered(repeat.body, body_path, cfg, reachable):
+            diagnostics.append(
+                make(
+                    "E206",
+                    "repeat loop has no reachable exit_when",
+                    description.name,
+                    repeat.location,
+                    routine.name,
+                )
+            )
+
+    if not is_entry:
+        return diagnostics
+
+    # -- reaching-definition checks (entry routine only) ---------------
+    reaching = ReachingDefinitions(cfg, analysis, all_names)
+    for node_id in sorted(reachable):
+        node = cfg.nodes[node_id]
+        if node.stmt is None:
+            continue
+        du = defuse[node_id]
+        for name in sorted(du.uses - {MEM, OUT}):
+            if name not in all_names:
+                continue  # undeclared: E207 already covers it.
+            definers = reaching.defs_of(node_id, name)
+            if definers != frozenset({cfg.entry}):
+                continue
+            if isinstance(node.stmt, ast.Output):
+                diagnostics.append(
+                    make(
+                        "W205",
+                        f"output reads {name!r}, which is never written",
+                        description.name,
+                        node.stmt.location,
+                        routine.name,
+                    )
+                )
+            else:
+                diagnostics.append(
+                    make(
+                        "W201",
+                        f"{name!r} is read before any assignment "
+                        f"(powers up as 0)",
+                        description.name,
+                        node.stmt.location,
+                        routine.name,
+                    )
+                )
+
+    # -- W202: dead stores ---------------------------------------------
+    # A store is dead when every path to exit overwrites it before any
+    # read.  Registers live at exit are the machine state the binding's
+    # result registers come from, so they count as read.
+    liveness = Liveness(cfg, analysis, live_out=registers | {routine.name})
+    for node_id in sorted(reachable):
+        node = cfg.nodes[node_id]
+        if not isinstance(node.stmt, ast.Assign):
+            continue
+        target = node.stmt.target
+        if not isinstance(target, ast.Var):
+            continue  # Mb[...] stores alias all of memory; never flagged.
+        if target.name not in liveness.live_out(node_id):
+            diagnostics.append(
+                make(
+                    "W202",
+                    f"value stored to {target.name!r} is overwritten "
+                    f"before being read",
+                    description.name,
+                    node.stmt.location,
+                    routine.name,
+                )
+            )
+
+    # -- W204: declared inputs nobody reads ----------------------------
+    used_somewhere: Set[str] = set()
+    for node_id in reachable:
+        used_somewhere |= defuse[node_id].uses
+    for stmt in routine.body:
+        if not isinstance(stmt, ast.Input):
+            continue
+        for name in stmt.names:
+            if name not in used_somewhere:
+                diagnostics.append(
+                    make(
+                        "W204",
+                        f"input {name!r} is never read",
+                        description.name,
+                        stmt.location,
+                        routine.name,
+                    )
+                )
+    return diagnostics
+
+
+def _loop_entered(
+    body: Tuple[ast.Stmt, ...], path: Path, cfg: Cfg, reachable: Set[int]
+) -> bool:
+    """True when any statement of the loop body is on a reachable node.
+
+    Used to decide whether an exit-less ``repeat`` deserves E206; a loop
+    with a body the CFG never maps (e.g. empty) is conservatively
+    treated as entered.
+    """
+    field = path[-1][0]
+    prefix = path[:-1]
+    found_any = False
+    for index, stmt in enumerate(body):
+        stmt_path = prefix + ((field, index),)
+        if isinstance(stmt, ast.If):
+            if cfg.by_path.get(stmt_path) in reachable:
+                return True
+            found_any = True
+            if _loop_entered(
+                stmt.then, stmt_path + (("then", None),), cfg, reachable
+            ) or _loop_entered(
+                stmt.els, stmt_path + (("els", None),), cfg, reachable
+            ):
+                return True
+        elif isinstance(stmt, ast.Repeat):
+            if _loop_entered(
+                stmt.body, stmt_path + (("body", None),), cfg, reachable
+            ):
+                return True
+            found_any = True
+        else:
+            if cfg.by_path.get(stmt_path) in reachable:
+                return True
+            found_any = True
+    return not found_any
+
+
+def check_dataflow(description: ast.Description) -> List[Diagnostic]:
+    """All dataflow diagnostics for one description."""
+    diagnostics: List[Diagnostic] = []
+    analysis = EffectAnalysis(description)
+    try:
+        entry: Optional[ast.RoutineDecl] = description.entry_routine()
+    except ValueError:
+        entry = None  # E209 reported by check_structure.
+    for routine in description.routines():
+        diagnostics.extend(
+            check_routine_dataflow(
+                description, routine, analysis, routine is entry
+            )
+        )
+    return diagnostics

@@ -1,0 +1,192 @@
+"""Diagnostic model for the ISDL static checker.
+
+Every finding the linter can produce has a *stable* code: ``W###`` for
+warnings (suspicious but executable descriptions) and ``E###`` for
+errors (defects that make an analysis or a binding untrustworthy).  The
+code registry below is the single source of truth — ``docs/lint.md``
+documents each code with a minimal triggering example, and a docs-sync
+test keeps the two aligned.
+
+Code ranges:
+
+* ``1xx`` — bit-width checks (:mod:`repro.lint.widths`),
+* ``2xx`` — structural and dataflow checks (:mod:`repro.lint.checks`),
+* ``3xx`` — interval-domain constraint prechecks
+  (:mod:`repro.lint.intervals` / :func:`repro.lint.engine.lint_binding`).
+
+Diagnostics are plain frozen dataclasses anchored to the
+:class:`~repro.isdl.errors.SourceLocation` the parser attached to the
+offending AST node, so every message can point at description source.
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass
+from typing import Dict, Optional, Tuple
+
+from ..isdl.errors import SourceLocation
+
+
+class Severity(enum.Enum):
+    """How bad a finding is."""
+
+    WARNING = "warning"
+    ERROR = "error"
+
+
+#: Stable diagnostic codes -> one-line summaries.  Codes are never
+#: reused or renumbered; retired codes would be kept here as tombstones.
+CODES: Dict[str, str] = {
+    # -- bit-width checks (repro.lint.widths) --------------------------
+    "W101": "truncating assignment: source is wider than the target register",
+    "E102": "constant out of range for the register it is assigned to or compared with",
+    "W103": "mixed-width comparison between registers of different widths",
+    # -- structural and dataflow checks (repro.lint.checks) ------------
+    "W201": "register read before any assignment reaches it (powers up as 0)",
+    "W202": "dead store: value is overwritten on every path before being read",
+    "W203": "unreachable statement",
+    "W204": "input operand is never read",
+    "W205": "output expression reads a register that is never written",
+    "E206": "repeat loop has no reachable exit_when (cannot terminate)",
+    "E207": "reference to an undeclared register, routine, or operand",
+    "E208": "duplicate declaration",
+    "E209": "description needs exactly one routine with an input() statement",
+    "E210": "exit_when outside of any repeat loop",
+    # -- interval-domain constraint prechecks (repro.lint.intervals) ---
+    "E301": "range constraint does not fit the bound register's width",
+    "E302": "fixed operand value does not fit the register's width",
+    "E303": "empty range constraint (lo > hi)",
+    "E304": "assert is statically violated for every value allowed by the constraints",
+}
+
+
+@dataclass(frozen=True)
+class Diagnostic:
+    """One finding, anchored to a description and (usually) a location."""
+
+    code: str
+    severity: Severity
+    message: str
+    #: name of the description the finding is in (``scasb.instruction``).
+    description: str
+    location: Optional[SourceLocation] = None
+    #: routine the finding is in, when the check is routine-scoped.
+    routine: Optional[str] = None
+
+    @property
+    def is_error(self) -> bool:
+        return self.severity is Severity.ERROR
+
+    def format(self) -> str:
+        where = self.description
+        if self.location is not None:
+            where += f":{self.location}"
+        scope = f" (in {self.routine})" if self.routine else ""
+        return f"{where}: {self.code} [{self.severity.value}] {self.message}{scope}"
+
+    def to_dict(self) -> Dict[str, object]:
+        """JSON-ready form (deterministic: plain scalars only)."""
+        return {
+            "code": self.code,
+            "severity": self.severity.value,
+            "message": self.message,
+            "description": self.description,
+            "line": self.location.line if self.location else None,
+            "column": self.location.column if self.location else None,
+            "routine": self.routine,
+        }
+
+
+def make(
+    code: str,
+    message: str,
+    description: str,
+    location: Optional[SourceLocation] = None,
+    routine: Optional[str] = None,
+) -> Diagnostic:
+    """Build a diagnostic, deriving severity from the code prefix.
+
+    Rejects unregistered codes so a check cannot invent an undocumented
+    diagnostic (the docs-sync test covers the registry, not call sites).
+    """
+    if code not in CODES:
+        raise ValueError(f"unregistered diagnostic code {code!r}")
+    severity = Severity.ERROR if code.startswith("E") else Severity.WARNING
+    return Diagnostic(
+        code=code,
+        severity=severity,
+        message=message,
+        description=description,
+        location=location,
+        routine=routine,
+    )
+
+
+def sort_key(diagnostic: Diagnostic) -> Tuple:
+    """Deterministic report order: position first, then code."""
+    location = diagnostic.location
+    return (
+        diagnostic.description,
+        location.line if location else 0,
+        location.column if location else 0,
+        diagnostic.code,
+        diagnostic.message,
+    )
+
+
+@dataclass(frozen=True)
+class LintReport:
+    """Everything one lint run over one description produced."""
+
+    #: catalog target name (``i8086:scasb``) or description name.
+    target: str
+    diagnostics: Tuple[Diagnostic, ...]
+    #: findings matched by a suppression, with their justifications.
+    suppressed: Tuple[Tuple[Diagnostic, str], ...] = ()
+
+    @property
+    def errors(self) -> Tuple[Diagnostic, ...]:
+        return tuple(d for d in self.diagnostics if d.is_error)
+
+    @property
+    def warnings(self) -> Tuple[Diagnostic, ...]:
+        return tuple(d for d in self.diagnostics if not d.is_error)
+
+    @property
+    def clean(self) -> bool:
+        """True when nothing unsuppressed was found."""
+        return not self.diagnostics
+
+    def format_lines(self) -> Tuple[str, ...]:
+        lines = [d.format() for d in self.diagnostics]
+        for diagnostic, justification in self.suppressed:
+            lines.append(
+                f"{diagnostic.format()} [suppressed: {justification}]"
+            )
+        return tuple(lines)
+
+    def to_dict(self) -> Dict[str, object]:
+        return {
+            "target": self.target,
+            "clean": self.clean,
+            "diagnostics": [d.to_dict() for d in self.diagnostics],
+            "suppressed": [
+                {**d.to_dict(), "justification": justification}
+                for d, justification in self.suppressed
+            ],
+        }
+
+
+class LintGateError(Exception):
+    """Lint errors blocked an analysis or codegen pre-flight gate.
+
+    Deliberately distinct from a verification timeout and from a
+    :class:`~repro.analysis.verify.VerificationFailure`: the binding was
+    rejected *statically*, before any fuzz trial ran.
+    """
+
+    def __init__(self, diagnostics: Tuple[Diagnostic, ...]):
+        self.diagnostics = tuple(diagnostics)
+        summary = "; ".join(f"{d.code} {d.message}" for d in self.diagnostics)
+        super().__init__(f"lint gate rejected the binding: {summary}")

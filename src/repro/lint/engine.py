@@ -1,0 +1,279 @@
+"""Lint driver: passes, suppressions, the target catalog, binding checks.
+
+Two entry points matter to the rest of the system:
+
+* :func:`lint_description` — run every description-level pass (structure,
+  widths, dataflow) over one AST and fold in suppressions, producing a
+  :class:`~repro.lint.diagnostics.LintReport`;
+* :func:`lint_binding` — the static pre-flight over an analysis result:
+  constraint sanity (E301-E303) plus the interval abstract interpreter
+  replaying the augmented instruction and the final operator under the
+  constraint-implied input ranges (E304).  The verifier and the binding
+  database call this before any dynamic work.
+
+Suppressions let a description module acknowledge a finding instead of
+fixing it: a ``LINT_SUPPRESS`` dict maps ``"target:CODE"`` or
+``"target:CODE:routine"`` keys to one-line justifications.  Suppressed
+findings still appear in reports (flagged), but stop failing gates.
+"""
+
+from __future__ import annotations
+
+import importlib
+from typing import Callable, Dict, List, Optional, Tuple
+
+from ..isdl import ast
+from ..semantics.values import width_bits
+from .checks import check_dataflow, check_structure
+from .diagnostics import Diagnostic, LintReport, make, sort_key
+from .intervals import Interval, check_asserts
+from .widths import check_widths
+
+#: Suppression map: "CODE" or "CODE:routine" -> justification.
+Suppressions = Dict[str, str]
+
+
+def lint_description(
+    description: ast.Description,
+    suppress: Optional[Suppressions] = None,
+    target: Optional[str] = None,
+) -> LintReport:
+    """Run all description-level lint passes over one AST."""
+    suppress = suppress or {}
+    diagnostics = (
+        check_structure(description)
+        + check_widths(description)
+        + check_dataflow(description)
+    )
+    kept: List[Diagnostic] = []
+    suppressed: List[Tuple[Diagnostic, str]] = []
+    for diagnostic in sorted(diagnostics, key=sort_key):
+        justification = suppress.get(
+            f"{diagnostic.code}:{diagnostic.routine}"
+        ) or suppress.get(diagnostic.code)
+        if justification is not None:
+            suppressed.append((diagnostic, justification))
+        else:
+            kept.append(diagnostic)
+    return LintReport(
+        target=target or description.name,
+        diagnostics=tuple(kept),
+        suppressed=tuple(suppressed),
+    )
+
+
+# ---------------------------------------------------------------------------
+# Binding pre-flight (E301-E304)
+
+
+def _net_offset(binding, operand: str, register: Optional[str]) -> int:
+    """Net coding offset on an operand, under either of its names.
+
+    Analyses record :class:`~repro.constraints.OffsetConstraint` against
+    whichever namespace the transformation worked in — the operator
+    operand (``Len``) or the instruction register it binds to (``len``);
+    the encoded range must honour both.
+    """
+    names = {operand}
+    if register is not None:
+        names.add(register)
+    return sum(
+        constraint.offset
+        for constraint in binding.offset_constraints()
+        if constraint.operand in names
+    )
+
+
+def _encoded_interval(binding, operand: str) -> Optional[Interval]:
+    """Instruction-level interval of an operator operand, if bounded."""
+    constraint = binding.operand_range(operand)
+    if constraint is None or constraint.lo > constraint.hi:
+        return None
+    offset = _net_offset(binding, operand, binding.operand_map.get(operand))
+    return Interval(constraint.lo + offset, constraint.hi + offset)
+
+
+def _input_intervals_for_instruction(binding) -> Dict[str, Interval]:
+    """Input ranges for the augmented instruction's entry routine."""
+    inputs: Dict[str, Interval] = {}
+    for operand, register in binding.operand_map.items():
+        interval = _encoded_interval(binding, operand)
+        if interval is not None:
+            inputs[register] = interval
+    for constraint in binding.value_constraints():
+        inputs[constraint.operand] = Interval.const(constraint.value)
+    return inputs
+
+
+def _input_intervals_for_operator(binding) -> Dict[str, Interval]:
+    """Input ranges for the final operator's entry routine."""
+    inputs: Dict[str, Interval] = {}
+    for constraint in binding.range_constraints():
+        if constraint.is_operand and constraint.lo <= constraint.hi:
+            inputs[constraint.operand] = Interval(constraint.lo, constraint.hi)
+    return inputs
+
+
+def lint_binding(binding) -> List[Diagnostic]:
+    """Statically check a binding's constraints against its descriptions.
+
+    Returns error diagnostics only (the 3xx range has no warnings);
+    an empty list means the binding passed the pre-flight.
+    """
+    diagnostics: List[Diagnostic] = []
+    instruction = binding.augmented_instruction
+    name = instruction.name
+
+    for constraint in binding.range_constraints():
+        if constraint.lo > constraint.hi:
+            diagnostics.append(
+                make(
+                    "E303",
+                    f"empty range for {constraint.operand}: "
+                    f"[{constraint.lo}, {constraint.hi}]",
+                    name,
+                )
+            )
+            continue
+        if not constraint.is_operand:
+            continue
+        register = binding.operand_map.get(constraint.operand)
+        if register is None or not instruction.has_register(register):
+            continue
+        bits = width_bits(instruction.register(register).width)
+        if bits is None:
+            continue
+        offset = _net_offset(binding, constraint.operand, register)
+        lo, hi = constraint.lo + offset, constraint.hi + offset
+        if lo < 0 or hi >= (1 << bits):
+            diagnostics.append(
+                make(
+                    "E301",
+                    f"range [{constraint.lo}, {constraint.hi}] for "
+                    f"{constraint.operand} encodes to [{lo}, {hi}], "
+                    f"which does not fit {register} ({bits}-bit)",
+                    name,
+                )
+            )
+
+    for constraint in binding.value_constraints():
+        if not instruction.has_register(constraint.operand):
+            continue  # the fixed register was optimized away entirely.
+        bits = width_bits(instruction.register(constraint.operand).width)
+        if bits is not None and not 0 <= constraint.value < (1 << bits):
+            diagnostics.append(
+                make(
+                    "E302",
+                    f"fixed value {constraint.value} does not fit "
+                    f"{constraint.operand} ({bits}-bit)",
+                    name,
+                )
+            )
+
+    if diagnostics:
+        return diagnostics  # intervals below assume consistent ranges.
+
+    diagnostics.extend(
+        check_asserts(instruction, _input_intervals_for_instruction(binding))
+    )
+    diagnostics.extend(
+        check_asserts(
+            binding.final_operator, _input_intervals_for_operator(binding)
+        )
+    )
+    return diagnostics
+
+
+# ---------------------------------------------------------------------------
+# Target catalog
+
+#: A lint target: () -> (description, suppressions).
+TargetLoader = Callable[[], Tuple[ast.Description, Suppressions]]
+
+#: Language-operator lint targets: module name -> loader function names.
+LANGUAGE_LOADERS: Dict[str, Tuple[str, ...]] = {
+    "clu": ("indexc",),
+    "listops": ("lsearch",),
+    "pascal": ("sassign", "sequal", "translate"),
+    "pc2": ("blkcpy", "blkclr"),
+    "pl1": ("strmove", "span"),
+    "rigel": ("index",),
+}
+
+
+def _module_suppressions(module, key: str) -> Suppressions:
+    """Suppressions a module records for one of its targets.
+
+    ``LINT_SUPPRESS`` keys are ``"<target>:CODE"`` or
+    ``"<target>:CODE:routine"``; this strips the target prefix.
+    """
+    table = getattr(module, "LINT_SUPPRESS", {})
+    prefix = key + ":"
+    return {
+        entry[len(prefix):]: justification
+        for entry, justification in table.items()
+        if entry.startswith(prefix)
+    }
+
+
+def lint_targets() -> Dict[str, TargetLoader]:
+    """Every lintable description in the repo, by stable target name."""
+    from ..machines import catalog
+
+    targets: Dict[str, TargetLoader] = {}
+    for machine in sorted(catalog.DESCRIPTION_MODULES):
+        for mnemonic in catalog.modeled_mnemonics(machine):
+            targets[f"{machine}:{mnemonic}"] = _machine_loader(
+                machine, mnemonic
+            )
+    for module_name, loaders in sorted(LANGUAGE_LOADERS.items()):
+        for loader in loaders:
+            targets[f"{module_name}:{loader}"] = _language_loader(
+                module_name, loader
+            )
+    return targets
+
+
+def _machine_loader(machine: str, mnemonic: str) -> TargetLoader:
+    def load() -> Tuple[ast.Description, Suppressions]:
+        from ..machines import catalog
+
+        module = importlib.import_module(
+            catalog.DESCRIPTION_MODULES[machine]
+        )
+        return (
+            catalog.load_description(machine, mnemonic),
+            _module_suppressions(module, mnemonic),
+        )
+
+    return load
+
+
+def _language_loader(module_name: str, loader: str) -> TargetLoader:
+    def load() -> Tuple[ast.Description, Suppressions]:
+        module = importlib.import_module(f"repro.languages.{module_name}")
+        return (
+            getattr(module, loader)(),
+            _module_suppressions(module, loader),
+        )
+
+    return load
+
+
+def lint_target(name: str) -> LintReport:
+    """Lint one catalog target by name (``i8086:scasb``, ``rigel:index``)."""
+    targets = lint_targets()
+    try:
+        loader = targets[name]
+    except KeyError:
+        raise KeyError(
+            f"unknown lint target {name!r}; known targets: "
+            + ", ".join(sorted(targets))
+        )
+    description, suppress = loader()
+    return lint_description(description, suppress, target=name)
+
+
+def lint_all() -> List[LintReport]:
+    """Lint every catalog target, in stable name order."""
+    return [lint_target(name) for name in sorted(lint_targets())]

@@ -1,0 +1,432 @@
+"""Interval-domain abstract interpretation of ISDL descriptions (E304).
+
+The analysis engine discovers coding constraints — fixed values, ranges,
+offsets — and records them on a binding; the differential verifier then
+*samples* inputs satisfying them.  This module closes the gap between
+"sampled and never failed" and "holds": it runs a description on
+**intervals** instead of concrete values and decides assertions
+statically, so a binding whose constraints contradict the description's
+own ``assert`` statements is rejected before a single fuzz trial runs.
+
+The domain is the classic integer-interval lattice with open ends
+(``None`` = unbounded).  Soundness over precision throughout:
+
+* assignments truncate to the target's width only when the value
+  interval provably fits; otherwise the target goes to its full width
+  range (modelling wraparound without bit-precision),
+* ``repeat`` bodies are *havocked*: everything the loop may write jumps
+  to its full width range before and after one abstract body pass (run
+  only so asserts inside the loop are still checked),
+* calls are inlined with a recursion guard that havocs the callee's
+  effects.
+
+An ``assert`` whose condition is *definitely false* over the computed
+intervals yields E304; anything merely possible passes silently.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Set, Tuple
+
+from ..dataflow.effects import EffectAnalysis
+from ..isdl import ast
+from ..semantics.values import BYTE_BITS, width_bits
+from .diagnostics import Diagnostic, make
+
+
+@dataclass(frozen=True)
+class Interval:
+    """A closed integer interval; ``None`` ends mean unbounded."""
+
+    lo: Optional[int]
+    hi: Optional[int]
+
+    def __post_init__(self) -> None:
+        if self.lo is not None and self.hi is not None and self.lo > self.hi:
+            raise ValueError(f"empty interval [{self.lo}, {self.hi}]")
+
+    # -- constructors ---------------------------------------------------
+
+    @classmethod
+    def const(cls, value: int) -> "Interval":
+        return cls(value, value)
+
+    @classmethod
+    def top(cls) -> "Interval":
+        return cls(None, None)
+
+    @classmethod
+    def from_bits(cls, bits: Optional[int]) -> "Interval":
+        """Full range of a register width (TOP for unbounded integers)."""
+        if bits is None:
+            return cls.top()
+        return cls(0, (1 << bits) - 1)
+
+    #: The 0/1 result of a comparison that could go either way.
+    @classmethod
+    def boolean(cls) -> "Interval":
+        return cls(0, 1)
+
+    # -- lattice ---------------------------------------------------------
+
+    def join(self, other: "Interval") -> "Interval":
+        lo = None if self.lo is None or other.lo is None else min(self.lo, other.lo)
+        hi = None if self.hi is None or other.hi is None else max(self.hi, other.hi)
+        return Interval(lo, hi)
+
+    def is_const(self) -> bool:
+        return self.lo is not None and self.lo == self.hi
+
+    def fits_bits(self, bits: Optional[int]) -> bool:
+        """True when every value of the interval fits ``bits`` unchanged."""
+        if bits is None:
+            return True
+        return (
+            self.lo is not None
+            and self.hi is not None
+            and 0 <= self.lo
+            and self.hi < (1 << bits)
+        )
+
+    # -- arithmetic -------------------------------------------------------
+
+    def add(self, other: "Interval") -> "Interval":
+        lo = None if self.lo is None or other.lo is None else self.lo + other.lo
+        hi = None if self.hi is None or other.hi is None else self.hi + other.hi
+        return Interval(lo, hi)
+
+    def sub(self, other: "Interval") -> "Interval":
+        lo = None if self.lo is None or other.hi is None else self.lo - other.hi
+        hi = None if self.hi is None or other.lo is None else self.hi - other.lo
+        return Interval(lo, hi)
+
+    def neg(self) -> "Interval":
+        return Interval(
+            None if self.hi is None else -self.hi,
+            None if self.lo is None else -self.lo,
+        )
+
+    def mul(self, other: "Interval") -> "Interval":
+        ends = (self.lo, self.hi, other.lo, other.hi)
+        if any(end is None for end in ends):
+            return Interval.top()
+        products = [
+            self.lo * other.lo,
+            self.lo * other.hi,
+            self.hi * other.lo,
+            self.hi * other.hi,
+        ]
+        return Interval(min(products), max(products))
+
+    # -- decidable comparisons -------------------------------------------
+
+    def always_lt(self, other: "Interval") -> bool:
+        return (
+            self.hi is not None and other.lo is not None and self.hi < other.lo
+        )
+
+    def always_le(self, other: "Interval") -> bool:
+        return (
+            self.hi is not None and other.lo is not None and self.hi <= other.lo
+        )
+
+    def never_intersects(self, other: "Interval") -> bool:
+        return self.always_lt(other) or other.always_lt(self)
+
+    def __str__(self) -> str:
+        lo = "-inf" if self.lo is None else str(self.lo)
+        hi = "+inf" if self.hi is None else str(self.hi)
+        return f"[{lo}, {hi}]"
+
+
+#: Abstract truth value of a condition.
+TRUE, FALSE, MAYBE = "true", "false", "maybe"
+
+
+def compare(op: str, left: Interval, right: Interval) -> str:
+    """Decide a comparison over intervals when possible."""
+    if op == "=":
+        if left.is_const() and right.is_const() and left.lo == right.lo:
+            return TRUE
+        if left.never_intersects(right):
+            return FALSE
+        return MAYBE
+    if op == "<>":
+        inverse = compare("=", left, right)
+        return {TRUE: FALSE, FALSE: TRUE, MAYBE: MAYBE}[inverse]
+    if op == "<":
+        if left.always_lt(right):
+            return TRUE
+        if right.always_le(left):
+            return FALSE
+        return MAYBE
+    if op == "<=":
+        if left.always_le(right):
+            return TRUE
+        if right.always_lt(left):
+            return FALSE
+        return MAYBE
+    if op == ">":
+        return compare("<", right, left)
+    if op == ">=":
+        return compare("<=", right, left)
+    raise ValueError(f"not a comparison: {op!r}")
+
+
+def _truth(interval: Interval) -> str:
+    """ISDL truthiness of an abstract value (nonzero is true)."""
+    if interval.is_const():
+        return TRUE if interval.lo != 0 else FALSE
+    if interval.never_intersects(Interval.const(0)):
+        return TRUE
+    return MAYBE
+
+
+def _flag(decision: str) -> Interval:
+    if decision == TRUE:
+        return Interval.const(1)
+    if decision == FALSE:
+        return Interval.const(0)
+    return Interval.boolean()
+
+
+#: Abstract machine state: name -> interval.
+State = Dict[str, Interval]
+
+
+class IntervalAnalyzer:
+    """Abstractly executes one description's entry routine."""
+
+    def __init__(self, description: ast.Description):
+        self.description = description
+        self.effects = EffectAnalysis(description)
+        self._widths: Dict[str, Optional[int]] = {
+            decl.name: width_bits(decl.width)
+            for decl in description.registers()
+        }
+        self._routines = {r.name: r for r in description.routines()}
+        self.diagnostics: List[Diagnostic] = []
+
+    # ------------------------------------------------------------------
+
+    def check(self, inputs: Optional[Dict[str, Interval]] = None) -> List[Diagnostic]:
+        """Run the entry routine on ``inputs`` and report violated asserts.
+
+        ``inputs`` maps input names (instruction registers or operator
+        operands) to the intervals a binding's constraints allow; names
+        not mentioned get their declared register's full range.
+        """
+        self.diagnostics = []
+        entry = self.description.entry_routine()
+        state: State = {
+            name: Interval.const(0) for name in self._widths
+        }
+        self._exec_block(entry.body, state, inputs or {}, entry, set())
+        return self.diagnostics
+
+    # -- statements -----------------------------------------------------
+
+    def _exec_block(
+        self,
+        stmts: Tuple[ast.Stmt, ...],
+        state: State,
+        inputs: Dict[str, Interval],
+        routine: ast.RoutineDecl,
+        call_stack: Set[str],
+    ) -> None:
+        for stmt in stmts:
+            self._exec_stmt(stmt, state, inputs, routine, call_stack)
+
+    def _exec_stmt(
+        self,
+        stmt: ast.Stmt,
+        state: State,
+        inputs: Dict[str, Interval],
+        routine: ast.RoutineDecl,
+        call_stack: Set[str],
+    ) -> None:
+        if isinstance(stmt, ast.Input):
+            for name in stmt.names:
+                provided = inputs.get(name)
+                full = Interval.from_bits(self._widths.get(name))
+                state[name] = provided if provided is not None else full
+            return
+        if isinstance(stmt, ast.Assign):
+            value = self._eval(stmt.expr, state, call_stack)
+            if isinstance(stmt.target, ast.MemRead):
+                self._eval(stmt.target.addr, state, call_stack)
+                return  # Mb is not tracked; stores to it are ignored.
+            self._store(stmt.target.name, value, state, routine)
+            return
+        if isinstance(stmt, ast.Assert):
+            condition = self._eval_truth(stmt.cond, state, call_stack)
+            if condition == FALSE:
+                self.diagnostics.append(
+                    make(
+                        "E304",
+                        f"assert can never hold: condition is false for "
+                        f"every allowed value",
+                        self.description.name,
+                        stmt.location,
+                        routine.name,
+                    )
+                )
+            return
+        if isinstance(stmt, ast.Output):
+            for expr in stmt.exprs:
+                self._eval(expr, state, call_stack)
+            return
+        if isinstance(stmt, ast.ExitWhen):
+            self._eval(stmt.cond, state, call_stack)
+            return
+        if isinstance(stmt, ast.If):
+            decision = self._eval_truth(stmt.cond, state, call_stack)
+            if decision == TRUE:
+                self._exec_block(stmt.then, state, inputs, routine, call_stack)
+                return
+            if decision == FALSE:
+                self._exec_block(stmt.els, state, inputs, routine, call_stack)
+                return
+            then_state = dict(state)
+            else_state = dict(state)
+            self._exec_block(stmt.then, then_state, inputs, routine, call_stack)
+            self._exec_block(stmt.els, else_state, inputs, routine, call_stack)
+            self._join_into(state, then_state, else_state)
+            return
+        if isinstance(stmt, ast.Repeat):
+            self._havoc(self.effects.stmt_effects(stmt).writes, state)
+            # One abstract pass over the body from the havocked state so
+            # asserts inside the loop are still checked.
+            body_state = dict(state)
+            self._exec_block(stmt.body, body_state, inputs, routine, call_stack)
+            # Post-state stays havocked: whatever iteration count exits,
+            # every written location is within its width range.
+            return
+        raise TypeError(f"cannot execute {type(stmt).__name__}")
+
+    def _store(
+        self, name: str, value: Interval, state: State, routine: ast.RoutineDecl
+    ) -> None:
+        bits = self._bits_of(name, routine)
+        if value.fits_bits(bits):
+            state[name] = value
+        else:
+            state[name] = Interval.from_bits(bits)
+
+    def _bits_of(self, name: str, routine: ast.RoutineDecl) -> Optional[int]:
+        if name == routine.name:
+            return width_bits(routine.width)
+        if name in routine.params:
+            return None
+        return self._widths.get(name)
+
+    def _havoc(self, names, state: State) -> None:
+        for name in names:
+            if name in self._widths:
+                state[name] = Interval.from_bits(self._widths[name])
+            elif name in state:
+                state[name] = Interval.top()
+
+    def _join_into(self, state: State, left: State, right: State) -> None:
+        state.clear()
+        for name in set(left) | set(right):
+            a = left.get(name, Interval.const(0))
+            b = right.get(name, Interval.const(0))
+            state[name] = a.join(b)
+
+    # -- expressions ------------------------------------------------------
+
+    def _eval(
+        self, expr: ast.Expr, state: State, call_stack: Set[str]
+    ) -> Interval:
+        if isinstance(expr, ast.Const):
+            return Interval.const(expr.value)
+        if isinstance(expr, ast.Var):
+            return state.get(expr.name, Interval.top())
+        if isinstance(expr, ast.MemRead):
+            self._eval(expr.addr, state, call_stack)
+            return Interval.from_bits(BYTE_BITS)
+        if isinstance(expr, ast.Call):
+            return self._call(expr, state, call_stack)
+        if isinstance(expr, ast.BinOp):
+            return self._binop(expr, state, call_stack)
+        if isinstance(expr, ast.UnOp):
+            if expr.op == "not":
+                decision = self._eval_truth(expr.operand, state, call_stack)
+                return _flag({TRUE: FALSE, FALSE: TRUE, MAYBE: MAYBE}[decision])
+            return self._eval(expr.operand, state, call_stack).neg()
+        raise TypeError(f"cannot evaluate {type(expr).__name__}")
+
+    def _binop(
+        self, expr: ast.BinOp, state: State, call_stack: Set[str]
+    ) -> Interval:
+        if expr.op in ("and", "or"):
+            left = self._eval_truth(expr.left, state, call_stack)
+            right = self._eval_truth(expr.right, state, call_stack)
+            if expr.op == "and":
+                if left == FALSE or right == FALSE:
+                    return Interval.const(0)
+                if left == TRUE and right == TRUE:
+                    return Interval.const(1)
+            else:
+                if left == TRUE or right == TRUE:
+                    return Interval.const(1)
+                if left == FALSE and right == FALSE:
+                    return Interval.const(0)
+            return Interval.boolean()
+        left = self._eval(expr.left, state, call_stack)
+        right = self._eval(expr.right, state, call_stack)
+        if expr.op == "+":
+            return left.add(right)
+        if expr.op == "-":
+            return left.sub(right)
+        if expr.op == "*":
+            return left.mul(right)
+        return _flag(compare(expr.op, left, right))
+
+    def _eval_truth(
+        self, expr: ast.Expr, state: State, call_stack: Set[str]
+    ) -> str:
+        return _truth(self._eval(expr, state, call_stack))
+
+    def _call(
+        self, expr: ast.Call, state: State, call_stack: Set[str]
+    ) -> Interval:
+        callee = self._routines.get(expr.name)
+        if callee is None or expr.name in call_stack:
+            # Unknown routine or recursion: havoc its effects, result TOP.
+            if callee is not None:
+                self._havoc(
+                    self.effects.routine_effects(expr.name).writes, state
+                )
+            return Interval.top()
+        args = [self._eval(arg, state, call_stack) for arg in expr.args]
+        saved_locals = {
+            name: state.get(name)
+            for name in (*callee.params, callee.name)
+        }
+        for param, value in zip(callee.params, args):
+            state[param] = value
+        state[callee.name] = Interval.const(0)
+        self._exec_block(
+            callee.body, state, {}, callee, call_stack | {expr.name}
+        )
+        result = state.get(callee.name, Interval.top())
+        result_bits = width_bits(callee.width)
+        if not result.fits_bits(result_bits):
+            result = Interval.from_bits(result_bits)
+        for name, value in saved_locals.items():
+            if value is None:
+                state.pop(name, None)
+            else:
+                state[name] = value
+        return result
+
+
+def check_asserts(
+    description: ast.Description,
+    inputs: Optional[Dict[str, Interval]] = None,
+) -> List[Diagnostic]:
+    """E304 diagnostics for ``description`` under the given input ranges."""
+    return IntervalAnalyzer(description).check(inputs)

@@ -1,0 +1,225 @@
+"""Bit-width checking for ISDL descriptions (W101 / E102 / W103).
+
+The interpreter's value model (:mod:`repro.semantics.values`) is exact
+until a store, where values truncate to the target register's declared
+width.  That is faithful to the modelled machines — and it means a
+description can silently drop bits.  This pass infers a conservative
+width for every expression and flags the three defect shapes the paper's
+descriptions make possible:
+
+* **W101** — assigning a source whose inferred width exceeds the target
+  register's width (the store truncates),
+* **E102** — a constant literal that cannot be represented by the
+  register it is assigned to or compared against (the comparison is
+  vacuous or the store mangles the value),
+* **W103** — comparing two registers of different declared widths (legal,
+  but usually a sign that one operand was meant to be masked).
+
+Inference is deliberately conservative: arithmetic results, unbounded
+``integer`` variables, and routine parameters all infer as *unknown*
+(``None``), so only definite problems produce diagnostics.  Wraparound
+arithmetic like ``di <- di - 1`` is idiomatic in the catalog and never
+flagged.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional
+
+from ..isdl import ast
+from ..semantics.values import BOOLEAN_OPS, BYTE_BITS, width_bits
+from .diagnostics import Diagnostic, make
+
+#: Inferred width of an expression: number of bits, or ``None`` when the
+#: width is unknown or unbounded.
+Bits = Optional[int]
+
+
+def _routine_env(
+    description: ast.Description, routine: ast.RoutineDecl
+) -> Dict[str, Bits]:
+    """Name -> declared bits visible inside ``routine``.
+
+    Parameters are call-by-value copies of arbitrary expressions, so
+    they stay unknown; the routine's own name is its return slot and has
+    the routine's declared width.
+    """
+    env: Dict[str, Bits] = {}
+    for decl in description.registers():
+        env[decl.name] = width_bits(decl.width)
+    for other in description.routines():
+        env[other.name] = width_bits(other.width)
+    for param in routine.params:
+        env[param] = None
+    env[routine.name] = width_bits(routine.width)
+    return env
+
+
+def infer_bits(expr: ast.Expr, env: Dict[str, Bits]) -> Bits:
+    """Conservative width of ``expr``: bits, or ``None`` if unknown."""
+    if isinstance(expr, ast.Const):
+        if expr.value < 0:
+            return None
+        return max(expr.value.bit_length(), 1)
+    if isinstance(expr, ast.Var):
+        return env.get(expr.name)
+    if isinstance(expr, ast.MemRead):
+        return BYTE_BITS
+    if isinstance(expr, ast.Call):
+        return env.get(expr.name)
+    if isinstance(expr, ast.BinOp):
+        if expr.op in BOOLEAN_OPS:
+            return 1
+        # +, -, * can widen, wrap, or go negative; stay unknown.
+        return None
+    if isinstance(expr, ast.UnOp):
+        return 1 if expr.op == "not" else None
+    return None
+
+
+def _declared_bits(expr: ast.Expr, env: Dict[str, Bits]) -> Bits:
+    """Bits of a *register-like* expression (Var only), else ``None``."""
+    if isinstance(expr, ast.Var):
+        return env.get(expr.name)
+    return None
+
+
+class _WidthChecker:
+    def __init__(self, description: ast.Description):
+        self.description = description
+        self.diagnostics: List[Diagnostic] = []
+
+    def run(self) -> List[Diagnostic]:
+        for routine in self.description.routines():
+            env = _routine_env(self.description, routine)
+            for stmt in routine.body:
+                self._check_stmt(stmt, env, routine.name)
+        return self.diagnostics
+
+    # -- statements -----------------------------------------------------
+
+    def _check_stmt(
+        self, stmt: ast.Stmt, env: Dict[str, Bits], routine: str
+    ) -> None:
+        if isinstance(stmt, ast.Assign):
+            self._check_assign(stmt, env, routine)
+            self._check_expr(stmt.expr, env, routine)
+            if isinstance(stmt.target, ast.MemRead):
+                self._check_expr(stmt.target.addr, env, routine)
+        elif isinstance(stmt, (ast.ExitWhen, ast.Assert)):
+            self._check_expr(stmt.cond, env, routine)
+        elif isinstance(stmt, ast.Output):
+            for expr in stmt.exprs:
+                self._check_expr(expr, env, routine)
+        elif isinstance(stmt, ast.If):
+            self._check_expr(stmt.cond, env, routine)
+            for inner in stmt.then + stmt.els:
+                self._check_stmt(inner, env, routine)
+        elif isinstance(stmt, ast.Repeat):
+            for inner in stmt.body:
+                self._check_stmt(inner, env, routine)
+        # Input declares names; nothing to check.
+
+    def _check_assign(
+        self, stmt: ast.Assign, env: Dict[str, Bits], routine: str
+    ) -> None:
+        if isinstance(stmt.target, ast.MemRead):
+            target_bits: Bits = BYTE_BITS
+            target_name = f"{ast.MEMORY_NAME}[...]"
+        else:
+            target_bits = env.get(stmt.target.name)
+            target_name = stmt.target.name
+        if target_bits is None:
+            return
+        if isinstance(stmt.expr, ast.Const):
+            value = stmt.expr.value
+            if not 0 <= value < (1 << target_bits):
+                self.diagnostics.append(
+                    make(
+                        "E102",
+                        f"constant {value} does not fit {target_name} "
+                        f"({target_bits}-bit)",
+                        self.description.name,
+                        stmt.expr.location or stmt.location,
+                        routine,
+                    )
+                )
+            return
+        source_bits = infer_bits(stmt.expr, env)
+        if source_bits is not None and source_bits > target_bits:
+            self.diagnostics.append(
+                make(
+                    "W101",
+                    f"assigning a {source_bits}-bit value to {target_name} "
+                    f"({target_bits}-bit) truncates",
+                    self.description.name,
+                    stmt.location,
+                    routine,
+                )
+            )
+
+    # -- expressions ----------------------------------------------------
+
+    def _check_expr(
+        self, expr: ast.Expr, env: Dict[str, Bits], routine: str
+    ) -> None:
+        if isinstance(expr, ast.BinOp):
+            if expr.op in ("=", "<>", "<", "<=", ">", ">="):
+                self._check_comparison(expr, env, routine)
+            self._check_expr(expr.left, env, routine)
+            self._check_expr(expr.right, env, routine)
+        elif isinstance(expr, ast.UnOp):
+            self._check_expr(expr.operand, env, routine)
+        elif isinstance(expr, ast.MemRead):
+            self._check_expr(expr.addr, env, routine)
+        elif isinstance(expr, ast.Call):
+            for arg in expr.args:
+                self._check_expr(arg, env, routine)
+
+    def _check_comparison(
+        self, expr: ast.BinOp, env: Dict[str, Bits], routine: str
+    ) -> None:
+        # E102: comparing a finite register with a constant it can never
+        # hold makes the comparison decidable at lint time.
+        for reg, const in (
+            (expr.left, expr.right),
+            (expr.right, expr.left),
+        ):
+            reg_bits = _declared_bits(reg, env)
+            if reg_bits is None or not isinstance(const, ast.Const):
+                continue
+            if not 0 <= const.value < (1 << reg_bits):
+                self.diagnostics.append(
+                    make(
+                        "E102",
+                        f"constant {const.value} can never equal a value "
+                        f"of {reg.name} ({reg_bits}-bit)",
+                        self.description.name,
+                        const.location or expr.location,
+                        routine,
+                    )
+                )
+                return
+        # W103: both sides are registers of known, different widths.
+        left_bits = _declared_bits(expr.left, env)
+        right_bits = _declared_bits(expr.right, env)
+        if (
+            left_bits is not None
+            and right_bits is not None
+            and left_bits != right_bits
+        ):
+            self.diagnostics.append(
+                make(
+                    "W103",
+                    f"comparing {expr.left.name} ({left_bits}-bit) with "
+                    f"{expr.right.name} ({right_bits}-bit)",
+                    self.description.name,
+                    expr.location,
+                    routine,
+                )
+            )
+
+
+def check_widths(description: ast.Description) -> List[Diagnostic]:
+    """All width diagnostics for one description."""
+    return _WidthChecker(description).run()

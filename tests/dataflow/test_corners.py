@@ -1,0 +1,167 @@
+"""Dataflow corner cases the linter leans on.
+
+Three behaviors the lint checks assume but the original dataflow tests
+never pinned down: ``Liveness`` seeded with a non-empty ``live_out``,
+``output``-statement uses in the effect/def-use layer, and how
+``build_cfg`` represents statements control can never reach.
+"""
+
+from repro.dataflow import build_cfg
+from repro.dataflow.defuse import cfg_defuse, node_defuse
+from repro.dataflow.effects import MEM, OUT, EffectAnalysis
+from repro.dataflow.liveness import Liveness
+from repro.isdl import ast, parse_description
+
+TAIL_STORE = """
+demo.instruction := begin
+    ** REGISTERS **
+        al<7:0>,
+        cx<15:0>
+    ** EXECUTE **
+        demo.execute() := begin
+            input (al, cx);
+            al <- al + 1;
+            cx <- 5;
+        end
+end
+"""
+
+
+def entry_cfg(text):
+    desc = parse_description(text)
+    routine = desc.entry_routine()
+    return desc, routine, build_cfg(routine)
+
+
+def node_for(cfg, predicate):
+    for node in cfg.nodes.values():
+        if node.stmt is not None and predicate(node.stmt):
+            return node
+    raise AssertionError("no node matched")
+
+
+def is_assign_to(name):
+    return lambda stmt: (
+        isinstance(stmt, ast.Assign)
+        and isinstance(stmt.target, ast.Var)
+        and stmt.target.name == name
+    )
+
+
+class TestLivenessLiveOut:
+    def test_empty_live_out_kills_tail_stores(self):
+        desc, _, cfg = entry_cfg(TAIL_STORE)
+        liveness = Liveness(cfg, EffectAnalysis(desc))
+        store = node_for(cfg, is_assign_to("cx"))
+        assert liveness.is_dead_after(store.node_id, "cx")
+
+    def test_live_out_keeps_tail_stores_alive(self):
+        desc, _, cfg = entry_cfg(TAIL_STORE)
+        liveness = Liveness(cfg, EffectAnalysis(desc), live_out=("cx",))
+        store = node_for(cfg, is_assign_to("cx"))
+        assert not liveness.is_dead_after(store.node_id, "cx")
+        # Only the declared name survives: al stays dead at exit.
+        assert liveness.is_dead_after(store.node_id, "al")
+
+    def test_live_out_propagates_backwards(self):
+        desc, _, cfg = entry_cfg(TAIL_STORE)
+        liveness = Liveness(cfg, EffectAnalysis(desc), live_out=("al",))
+        # al is written mid-routine, so the fragment's incoming al is
+        # NOT what exit sees: live_out must stop at the redefinition.
+        first = node_for(cfg, is_assign_to("al"))
+        assert "al" in liveness.live_out(first.node_id)
+        assert "al" in liveness.live_in(first.node_id)  # al <- al + 1 reads it
+
+
+OUTPUT_USES = """
+demo.instruction := begin
+    ** REGISTERS **
+        di<15:0>,
+        zf<>
+    ** EXECUTE **
+        demo.execute() := begin
+            input (di, zf);
+            output (zf, Mb[ di ]);
+        end
+end
+"""
+
+
+class TestOutputUses:
+    def test_output_reads_its_expressions(self):
+        desc = parse_description(OUTPUT_USES)
+        analysis = EffectAnalysis(desc)
+        output = desc.entry_routine().body[-1]
+        du = node_defuse(analysis, output)
+        assert {"zf", "di", MEM} <= du.uses
+        assert OUT in du.defs
+
+    def test_output_is_ordered_via_out_pseudo_location(self):
+        desc = parse_description(OUTPUT_USES)
+        analysis = EffectAnalysis(desc)
+        output = desc.entry_routine().body[-1]
+        effects = analysis.stmt_effects(output)
+        # Two outputs conflict with each other (write/write on @out),
+        # which is what forbids reordering them.
+        assert effects.conflicts_with(effects)
+
+
+UNREACHABLE_TAIL = """
+demo.instruction := begin
+    ** REGISTERS **
+        cx<15:0>
+    ** EXECUTE **
+        demo.execute() := begin
+            input (cx);
+            repeat
+                cx <- cx + 1;
+            end_repeat;
+            cx <- 9;
+            output (cx);
+        end
+end
+"""
+
+
+class TestUnreachableNodes:
+    def test_unreachable_statements_still_get_nodes(self):
+        desc, routine, cfg = entry_cfg(UNREACHABLE_TAIL)
+        store = node_for(cfg, is_assign_to("cx"))
+        tail = node_for(
+            cfg,
+            lambda stmt: isinstance(stmt, ast.Assign)
+            and isinstance(stmt.expr, ast.Const)
+            and stmt.expr.value == 9,
+        )
+        assert tail.node_id in cfg.nodes
+        assert tail.path in cfg.by_path
+
+    def test_rpo_visits_only_reachable_nodes(self):
+        desc, routine, cfg = entry_cfg(UNREACHABLE_TAIL)
+        order = cfg.rpo()
+        tail = node_for(
+            cfg,
+            lambda stmt: isinstance(stmt, ast.Assign)
+            and isinstance(stmt.expr, ast.Const)
+            and stmt.expr.value == 9,
+        )
+        assert tail.node_id not in order
+        assert cfg.entry in order
+
+    def test_exit_unreachable_after_infinite_loop(self):
+        desc, routine, cfg = entry_cfg(UNREACHABLE_TAIL)
+        reachable = set(cfg.rpo())
+        assert cfg.exit not in reachable
+        # The dead tail still links into exit — its predecessors exist
+        # but are all unreachable themselves.
+        assert all(
+            pred not in reachable for pred in cfg.nodes[cfg.exit].preds
+        )
+
+    def test_defuse_covers_unreachable_nodes(self):
+        # The worklist analyses index def/use by node id: the map must
+        # cover every node, reachable or not (and the synthetic loop
+        # header, which has no statement).
+        desc, routine, cfg = entry_cfg(UNREACHABLE_TAIL)
+        defuse = cfg_defuse(cfg, EffectAnalysis(desc))
+        assert set(defuse) == set(cfg.nodes)

@@ -1,0 +1,41 @@
+"""Shared helpers for the lint tests.
+
+Location assertions use :func:`loc_of` so each test states *which token*
+a diagnostic must point at, instead of hard-coding line numbers that
+break whenever a snippet is re-indented.
+"""
+
+from __future__ import annotations
+
+from typing import List, Tuple
+
+from repro.lint.diagnostics import Diagnostic
+
+
+def loc_of(text: str, needle: str, occurrence: int = 1) -> Tuple[int, int]:
+    """1-based (line, column) of the ``occurrence``-th ``needle``."""
+    index = -1
+    for _ in range(occurrence):
+        index = text.index(needle, index + 1)
+    line = text.count("\n", 0, index) + 1
+    column = index - text.rfind("\n", 0, index)
+    return line, column
+
+
+def with_code(diagnostics, code: str) -> List[Diagnostic]:
+    return [d for d in diagnostics if d.code == code]
+
+
+def only(diagnostics, code: str) -> Diagnostic:
+    """The unique diagnostic with ``code``; fails loudly otherwise."""
+    matches = with_code(diagnostics, code)
+    assert len(matches) == 1, (
+        f"expected exactly one {code}, got "
+        f"{[d.format() for d in diagnostics]}"
+    )
+    return matches[0]
+
+
+def location_tuple(diagnostic: Diagnostic) -> Tuple[int, int]:
+    assert diagnostic.location is not None, diagnostic.format()
+    return (diagnostic.location.line, diagnostic.location.column)

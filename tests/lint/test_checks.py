@@ -1,0 +1,314 @@
+"""Structural and dataflow checks: planted defects, exact diagnostics."""
+
+from repro.isdl import parse_description
+from repro.lint import lint_description
+
+from .helpers import loc_of, location_tuple, only, with_code
+
+
+def lint(text):
+    return lint_description(parse_description(text)).diagnostics
+
+
+USE_BEFORE_DEF = """
+demo.instruction := begin
+    ** REGISTERS **
+        al<7:0>,
+        scratch<7:0>
+    ** EXECUTE **
+        demo.execute() := begin
+            input (al);
+            al <- al + scratch;
+            scratch <- 1;
+            output (al);
+        end
+end
+"""
+
+
+def test_w201_use_before_def():
+    diagnostic = only(lint(USE_BEFORE_DEF), "W201")
+    assert location_tuple(diagnostic) == loc_of(
+        USE_BEFORE_DEF, "al <- al + scratch"
+    )
+    assert "scratch" in diagnostic.message
+
+
+DEAD_STORE = """
+demo.instruction := begin
+    ** REGISTERS **
+        al<7:0>
+    ** EXECUTE **
+        demo.execute() := begin
+            input (al);
+            al <- 1;
+            al <- 2;
+            output (al);
+        end
+end
+"""
+
+
+def test_w202_dead_store():
+    diagnostic = only(lint(DEAD_STORE), "W202")
+    assert location_tuple(diagnostic) == loc_of(DEAD_STORE, "al <- 1")
+    assert "al" in diagnostic.message
+
+
+UNREACHABLE = """
+demo.instruction := begin
+    ** REGISTERS **
+        cx<15:0>
+    ** EXECUTE **
+        demo.execute() := begin
+            input (cx);
+            repeat
+                cx <- cx + 1;
+            end_repeat;
+            output (cx);
+        end
+end
+"""
+
+
+def test_w203_unreachable_statement():
+    diagnostics = lint(UNREACHABLE)
+    diagnostic = only(diagnostics, "W203")
+    assert location_tuple(diagnostic) == loc_of(UNREACHABLE, "output (cx)")
+
+
+def test_e206_infinite_repeat():
+    diagnostics = lint(UNREACHABLE)
+    diagnostic = only(diagnostics, "E206")
+    assert location_tuple(diagnostic) == loc_of(UNREACHABLE, "repeat")
+
+
+UNREAD_INPUT = """
+demo.instruction := begin
+    ** REGISTERS **
+        al<7:0>,
+        cx<15:0>
+    ** EXECUTE **
+        demo.execute() := begin
+            input (al, cx);
+            output (al);
+        end
+end
+"""
+
+
+def test_w204_input_never_read():
+    diagnostic = only(lint(UNREAD_INPUT), "W204")
+    assert location_tuple(diagnostic) == loc_of(UNREAD_INPUT, "input (al, cx)")
+    assert "cx" in diagnostic.message
+
+
+UNWRITTEN_OUTPUT = """
+demo.instruction := begin
+    ** REGISTERS **
+        al<7:0>,
+        result<15:0>
+    ** EXECUTE **
+        demo.execute() := begin
+            input (al);
+            al <- al + 1;
+            output (result);
+        end
+end
+"""
+
+
+def test_w205_output_reads_unwritten_register():
+    diagnostic = only(lint(UNWRITTEN_OUTPUT), "W205")
+    assert location_tuple(diagnostic) == loc_of(
+        UNWRITTEN_OUTPUT, "output (result)"
+    )
+    assert "result" in diagnostic.message
+
+
+UNDECLARED = """
+demo.instruction := begin
+    ** REGISTERS **
+        al<7:0>
+    ** EXECUTE **
+        demo.execute() := begin
+            input (al);
+            al <- bx + 1;
+            output (al);
+        end
+end
+"""
+
+
+def test_e207_undeclared_register():
+    diagnostic = only(lint(UNDECLARED), "E207")
+    assert location_tuple(diagnostic) == loc_of(UNDECLARED, "bx")
+    assert "bx" in diagnostic.message
+
+
+DUPLICATE = """
+demo.instruction := begin
+    ** REGISTERS **
+        al<7:0>,
+        al<15:0>
+    ** EXECUTE **
+        demo.execute() := begin
+            input (al);
+            output (al);
+        end
+end
+"""
+
+
+def test_e208_duplicate_declaration():
+    diagnostic = only(lint(DUPLICATE), "E208")
+    assert location_tuple(diagnostic) == loc_of(DUPLICATE, "al<15:0>")
+    assert "al" in diagnostic.message
+
+
+TWO_ENTRIES = """
+demo.instruction := begin
+    ** REGISTERS **
+        al<7:0>
+    ** EXECUTE **
+        first.execute() := begin
+            input (al);
+            output (al);
+        end,
+        second.execute() := begin
+            input (al);
+            output (al);
+        end
+end
+"""
+
+
+def test_e209_ambiguous_entry_routine():
+    diagnostic = only(lint(TWO_ENTRIES), "E209")
+    assert "found 2" in diagnostic.message
+
+
+STRAY_EXIT = """
+demo.instruction := begin
+    ** REGISTERS **
+        al<7:0>
+    ** EXECUTE **
+        demo.execute() := begin
+            input (al);
+            exit_when (al = 0);
+            output (al);
+        end
+end
+"""
+
+
+def test_e210_exit_when_outside_repeat():
+    diagnostics = lint(STRAY_EXIT)
+    diagnostic = only(diagnostics, "E210")
+    assert location_tuple(diagnostic) == loc_of(STRAY_EXIT, "exit_when")
+    # The routine cannot be lowered to a CFG; the linter must degrade
+    # gracefully instead of crashing, so only the AST passes report.
+    assert with_code(diagnostics, "W203") == []
+
+
+NESTED_LOOPS = """
+demo.instruction := begin
+    ** REGISTERS **
+        cx<15:0>,
+        dx<15:0>
+    ** EXECUTE **
+        demo.execute() := begin
+            input (cx, dx);
+            repeat
+                exit_when (cx = 0);
+                cx <- cx - 1;
+                repeat
+                    exit_when (dx = 0);
+                    dx <- dx - 1;
+                end_repeat;
+            end_repeat;
+            output (cx, dx);
+        end
+end
+"""
+
+
+def test_nested_loops_with_exits_are_clean():
+    diagnostics = lint(NESTED_LOOPS)
+    assert with_code(diagnostics, "E206") == []
+    assert with_code(diagnostics, "W203") == []
+
+
+EXIT_INSIDE_IF = """
+demo.instruction := begin
+    ** REGISTERS **
+        cx<15:0>
+    ** EXECUTE **
+        demo.execute() := begin
+            input (cx);
+            repeat
+                if cx = 0
+                then
+                    exit_when (1);
+                end_if;
+                cx <- cx - 1;
+            end_repeat;
+            output (cx);
+        end
+end
+"""
+
+
+def test_exit_when_inside_if_terminates_loop():
+    assert with_code(lint(EXIT_INSIDE_IF), "E206") == []
+
+
+INNER_INFINITE = """
+demo.instruction := begin
+    ** REGISTERS **
+        cx<15:0>
+    ** EXECUTE **
+        demo.execute() := begin
+            input (cx);
+            repeat
+                repeat
+                    cx <- cx + 1;
+                end_repeat;
+                exit_when (cx = 0);
+            end_repeat;
+            output (cx);
+        end
+end
+"""
+
+
+def test_e206_exit_when_unreachable_behind_inner_loop():
+    diagnostics = lint(INNER_INFINITE)
+    # The outer loop's only exit_when sits behind an infinite inner
+    # loop: both loops are unterminating.
+    assert len(with_code(diagnostics, "E206")) == 2
+
+
+def test_entry_scoped_checks_skip_helper_routines():
+    # Helper routines read registers the entry routine (or the machine)
+    # prepares; they must not be flagged for use-before-def.
+    text = """
+demo.instruction := begin
+    ** REGISTERS **
+        di<15:0>,
+        al<7:0>
+    ** ACCESS **
+        fetch()<7:0> := begin
+            fetch <- Mb[ di ];
+            di <- di + 1;
+        end
+    ** EXECUTE **
+        demo.execute() := begin
+            input (di);
+            al <- fetch();
+            output (al);
+        end
+end
+"""
+    diagnostics = lint(text)
+    assert with_code(diagnostics, "W201") == []

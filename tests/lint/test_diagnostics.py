@@ -1,0 +1,123 @@
+"""Diagnostic model, report shape, and suppression handling."""
+
+import json
+
+import pytest
+
+from repro.isdl import parse_description
+from repro.isdl.errors import SourceLocation
+from repro.lint import CODES, LintGateError, Severity, lint_description
+from repro.lint.diagnostics import make, sort_key
+
+from .helpers import only
+
+UNREAD_INPUT = """
+demo.instruction := begin
+    ** REGISTERS **
+        al<7:0>,
+        cx<15:0>
+    ** EXECUTE **
+        demo.execute() := begin
+            input (al, cx);
+            output (al);
+        end
+end
+"""
+
+
+class TestMake:
+    def test_severity_derived_from_prefix(self):
+        assert make("W101", "m", "d").severity is Severity.WARNING
+        assert make("E102", "m", "d").severity is Severity.ERROR
+        assert make("E102", "m", "d").is_error
+
+    def test_unregistered_code_rejected(self):
+        with pytest.raises(ValueError, match="unregistered"):
+            make("W999", "m", "d")
+
+    def test_every_code_has_a_summary(self):
+        for code, summary in CODES.items():
+            assert code[0] in "WE" and code[1:].isdigit()
+            assert summary
+
+    def test_format_includes_code_and_location(self):
+        diagnostic = make(
+            "E206", "loop never exits", "scasb.instruction",
+            SourceLocation(12, 5), "scasb.execute",
+        )
+        text = diagnostic.format()
+        assert "scasb.instruction:12:5" in text
+        assert "E206" in text
+        assert "(in scasb.execute)" in text
+
+    def test_to_dict_is_json_ready(self):
+        diagnostic = make("W204", "unread", "d", SourceLocation(3, 7), "r")
+        payload = json.loads(json.dumps(diagnostic.to_dict()))
+        assert payload == {
+            "code": "W204",
+            "severity": "warning",
+            "message": "unread",
+            "description": "d",
+            "line": 3,
+            "column": 7,
+            "routine": "r",
+        }
+
+    def test_sort_key_orders_by_position(self):
+        early = make("W204", "m", "d", SourceLocation(2, 1))
+        late = make("W101", "m", "d", SourceLocation(9, 1))
+        unlocated = make("E303", "m", "d")
+        ordered = sorted([late, early, unlocated], key=sort_key)
+        assert ordered == [unlocated, early, late]
+
+
+class TestLintGateError:
+    def test_carries_diagnostics_and_summarizes(self):
+        diagnostics = (make("E301", "range overflows", "mvc.instruction"),)
+        error = LintGateError(diagnostics)
+        assert error.diagnostics == diagnostics
+        assert "E301" in str(error)
+        assert "range overflows" in str(error)
+
+
+class TestSuppressions:
+    def _desc(self):
+        return parse_description(UNREAD_INPUT)
+
+    def test_finding_without_suppression_fails_report(self):
+        report = lint_description(self._desc())
+        diagnostic = only(report.diagnostics, "W204")
+        assert "cx" in diagnostic.message
+        assert not report.clean
+        assert report.warnings and not report.errors
+
+    def test_code_level_suppression(self):
+        report = lint_description(
+            self._desc(), suppress={"W204": "cx reserved for future use"}
+        )
+        assert report.clean
+        assert not report.diagnostics
+        (diagnostic, justification), = report.suppressed
+        assert diagnostic.code == "W204"
+        assert justification == "cx reserved for future use"
+
+    def test_routine_scoped_suppression(self):
+        report = lint_description(
+            self._desc(),
+            suppress={"W204:demo.execute": "cx is a scratch operand"},
+        )
+        assert report.clean
+
+    def test_unrelated_suppression_does_not_hide(self):
+        report = lint_description(
+            self._desc(), suppress={"W204:other.routine": "elsewhere"}
+        )
+        assert not report.clean
+
+    def test_suppressed_findings_stay_visible_in_output(self):
+        report = lint_description(self._desc(), suppress={"W204": "why"})
+        lines = report.format_lines()
+        assert any("suppressed: why" in line for line in lines)
+        payload = report.to_dict()
+        assert payload["clean"] is True
+        assert payload["suppressed"][0]["justification"] == "why"

@@ -1,0 +1,40 @@
+"""Engine-level behavior: the target catalog and the clean-at-merge bar."""
+
+import pytest
+
+from repro.lint import lint_all, lint_target, lint_targets
+
+
+class TestCatalog:
+    def test_every_modeled_description_is_a_target(self):
+        from repro.machines import catalog
+
+        targets = lint_targets()
+        for machine in catalog.DESCRIPTION_MODULES:
+            for mnemonic in catalog.modeled_mnemonics(machine):
+                assert f"{machine}:{mnemonic}" in targets
+
+    def test_language_operators_are_targets(self):
+        targets = lint_targets()
+        for name in ("rigel:index", "pascal:sassign", "pc2:blkcpy"):
+            assert name in targets
+
+    def test_unknown_target_raises_with_suggestions(self):
+        with pytest.raises(KeyError, match="i8086:scasb"):
+            lint_target("nosuch:target")
+
+    def test_lint_target_names_report(self):
+        report = lint_target("i8086:scasb")
+        assert report.target == "i8086:scasb"
+
+
+def test_whole_catalog_is_clean():
+    # The merge bar for the repo's own descriptions: no unsuppressed
+    # diagnostics anywhere.  A regression in a description (or a new
+    # false positive in a check) fails here with the full finding list.
+    dirty = {
+        report.target: [d.format() for d in report.diagnostics]
+        for report in lint_all()
+        if not report.clean
+    }
+    assert dirty == {}

@@ -1,0 +1,249 @@
+"""Interval domain and the abstract interpreter behind E304."""
+
+import pytest
+
+from repro.isdl import parse_description
+from repro.lint import Interval, check_asserts
+from repro.lint.intervals import FALSE, MAYBE, TRUE, compare
+
+from .helpers import loc_of, location_tuple, only
+
+
+class TestInterval:
+    def test_const_and_top(self):
+        assert Interval.const(5) == Interval(5, 5)
+        assert Interval.const(5).is_const()
+        assert not Interval.top().is_const()
+
+    def test_empty_interval_rejected(self):
+        with pytest.raises(ValueError):
+            Interval(3, 1)
+
+    def test_from_bits(self):
+        assert Interval.from_bits(8) == Interval(0, 255)
+        assert Interval.from_bits(1) == Interval(0, 1)
+        assert Interval.from_bits(None) == Interval.top()
+
+    def test_fits_bits(self):
+        assert Interval(0, 255).fits_bits(8)
+        assert not Interval(0, 256).fits_bits(8)
+        assert not Interval(-1, 0).fits_bits(8)
+        assert Interval(0, 10**9).fits_bits(None)
+        assert not Interval(None, 5).fits_bits(8)
+
+    def test_join(self):
+        assert Interval(0, 3).join(Interval(5, 9)) == Interval(0, 9)
+        assert Interval(0, 3).join(Interval.top()) == Interval.top()
+
+    def test_arithmetic(self):
+        assert Interval(1, 2).add(Interval(10, 20)) == Interval(11, 22)
+        assert Interval(1, 2).sub(Interval(10, 20)) == Interval(-19, -8)
+        assert Interval(1, 2).neg() == Interval(-2, -1)
+        assert Interval(-2, 3).mul(Interval(4, 5)) == Interval(-10, 15)
+        assert Interval(None, 2).add(Interval(1, 1)) == Interval(None, 3)
+        assert Interval(0, None).mul(Interval(2, 2)) == Interval.top()
+
+    def test_compare_decidable(self):
+        assert compare("<", Interval(0, 4), Interval(5, 9)) == TRUE
+        assert compare("<", Interval(5, 9), Interval(0, 4)) == FALSE
+        assert compare("<", Interval(0, 5), Interval(5, 9)) == MAYBE
+        assert compare("=", Interval.const(3), Interval.const(3)) == TRUE
+        assert compare("=", Interval(0, 2), Interval(5, 9)) == FALSE
+        assert compare("=", Interval(0, 5), Interval(5, 9)) == MAYBE
+        assert compare(">=", Interval(5, 9), Interval(0, 5)) == TRUE
+        assert compare("<>", Interval(0, 2), Interval(5, 9)) == TRUE
+
+
+GUARDED = """
+demo.instruction := begin
+    ** REGISTERS **
+        df<>,
+        cx<15:0>
+    ** EXECUTE **
+        demo.execute() := begin
+            input (df, cx);
+            assert (df = 0);
+            output (cx);
+        end
+end
+"""
+
+
+def desc(text):
+    return parse_description(text)
+
+
+class TestCheckAsserts:
+    def test_assert_maybe_passes(self):
+        # df ranges over [0, 1]: the assert can hold, so no diagnostic.
+        assert check_asserts(desc(GUARDED)) == []
+
+    def test_assert_true_passes(self):
+        assert check_asserts(desc(GUARDED), {"df": Interval.const(0)}) == []
+
+    def test_assert_definitely_false_is_e304(self):
+        diagnostics = check_asserts(desc(GUARDED), {"df": Interval.const(1)})
+        diagnostic = only(diagnostics, "E304")
+        assert location_tuple(diagnostic) == loc_of(GUARDED, "assert")
+
+    def test_store_truncation_widens_to_register_range(self):
+        text = """
+demo.instruction := begin
+    ** REGISTERS **
+        al<7:0>
+    ** EXECUTE **
+        demo.execute() := begin
+            input (al);
+            al <- al + 1;
+            assert (al <= 255);
+            assert (al = 300);
+            output (al);
+        end
+end
+"""
+        diagnostics = check_asserts(desc(text))
+        # al + 1 may overflow, so al re-enters [0, 255]: the first
+        # assert holds for every value, the second for none.
+        diagnostic = only(diagnostics, "E304")
+        assert location_tuple(diagnostic) == loc_of(text, "assert (al = 300)")
+
+    def test_branches_join(self):
+        text = """
+demo.instruction := begin
+    ** REGISTERS **
+        zf<>,
+        al<7:0>
+    ** EXECUTE **
+        demo.execute() := begin
+            input (zf);
+            if zf = 0
+            then
+                al <- 3;
+            else
+                al <- 7;
+            end_if;
+            assert (al >= 3 and al <= 7);
+            assert (al > 7);
+            output (al);
+        end
+end
+"""
+        diagnostics = check_asserts(desc(text))
+        diagnostic = only(diagnostics, "E304")
+        assert location_tuple(diagnostic) == loc_of(text, "assert (al > 7)")
+
+    def test_decided_branch_is_not_joined(self):
+        text = """
+demo.instruction := begin
+    ** REGISTERS **
+        al<7:0>
+    ** EXECUTE **
+        demo.execute() := begin
+            input (al);
+            if 1 = 1
+            then
+                al <- 3;
+            else
+                al <- 7;
+            end_if;
+            assert (al = 3);
+            output (al);
+        end
+end
+"""
+        assert check_asserts(desc(text)) == []
+
+    def test_loop_writes_are_havocked(self):
+        text = """
+demo.instruction := begin
+    ** REGISTERS **
+        cx<15:0>,
+        al<7:0>
+    ** EXECUTE **
+        demo.execute() := begin
+            input (cx);
+            al <- 1;
+            repeat
+                exit_when (cx = 0);
+                al <- al + 1;
+                cx <- cx - 1;
+            end_repeat;
+            assert (al <= 255);
+            assert (al = 1);
+            output (al);
+        end
+end
+"""
+        diagnostics = check_asserts(desc(text))
+        # After the loop al may be anything in [0, 255] — asserting it
+        # kept its pre-loop value must not be "definitely false", and
+        # asserting the width bound must hold.
+        assert diagnostics == []
+
+    def test_assert_inside_loop_is_still_checked(self):
+        text = """
+demo.instruction := begin
+    ** REGISTERS **
+        cx<15:0>
+    ** EXECUTE **
+        demo.execute() := begin
+            input (cx);
+            repeat
+                assert (cx <= 70000);
+                exit_when (cx = 0);
+                cx <- cx - 1;
+            end_repeat;
+            output (cx);
+        end
+end
+"""
+        # cx is 16-bit: even havocked it stays under 65536, so the
+        # in-loop assert holds; tightening it to an impossible bound
+        # must produce E304.
+        assert check_asserts(desc(text)) == []
+        impossible = text.replace("cx <= 70000", "cx > 70000")
+        diagnostic = only(check_asserts(desc(impossible)), "E304")
+        assert location_tuple(diagnostic) == loc_of(impossible, "assert")
+
+    def test_calls_are_inlined(self):
+        text = """
+demo.instruction := begin
+    ** REGISTERS **
+        al<7:0>
+    ** HELPERS **
+        five()<7:0> := begin
+            five <- 5;
+        end
+    ** EXECUTE **
+        demo.execute() := begin
+            input (al);
+            al <- five();
+            assert (al = 5);
+            assert (al = 6);
+            output (al);
+        end
+end
+"""
+        diagnostics = check_asserts(desc(text))
+        diagnostic = only(diagnostics, "E304")
+        assert location_tuple(diagnostic) == loc_of(text, "assert (al = 6)")
+
+    def test_memory_reads_are_byte_ranged(self):
+        text = """
+demo.instruction := begin
+    ** REGISTERS **
+        di<15:0>,
+        al<7:0>
+    ** EXECUTE **
+        demo.execute() := begin
+            input (di);
+            al <- Mb[ di ];
+            assert (al <= 255);
+            assert (al > 255);
+            output (al);
+        end
+end
+"""
+        diagnostics = check_asserts(desc(text))
+        diagnostic = only(diagnostics, "E304")
+        assert location_tuple(diagnostic) == loc_of(text, "assert (al > 255)")

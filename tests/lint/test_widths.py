@@ -1,0 +1,147 @@
+"""Bit-width checker: planted defects must yield exact codes + locations."""
+
+from repro.isdl import parse_description
+from repro.lint import lint_description
+
+from .helpers import loc_of, location_tuple, only, with_code
+
+
+def lint(text):
+    return lint_description(parse_description(text)).diagnostics
+
+
+TRUNCATING_ASSIGN = """
+demo.instruction := begin
+    ** REGISTERS **
+        al<7:0>,
+        cx<15:0>
+    ** EXECUTE **
+        demo.execute() := begin
+            input (al, cx);
+            al <- cx;
+            output (al);
+        end
+end
+"""
+
+
+def test_w101_truncating_assignment():
+    diagnostic = only(lint(TRUNCATING_ASSIGN), "W101")
+    assert location_tuple(diagnostic) == loc_of(TRUNCATING_ASSIGN, "al <- cx")
+    assert "16-bit" in diagnostic.message and "8-bit" in diagnostic.message
+    assert diagnostic.routine == "demo.execute"
+
+
+OVERFLOWING_CONST = """
+demo.instruction := begin
+    ** REGISTERS **
+        al<7:0>
+    ** EXECUTE **
+        demo.execute() := begin
+            input (al);
+            al <- 300;
+            output (al);
+        end
+end
+"""
+
+
+def test_e102_constant_too_wide_for_store():
+    diagnostic = only(lint(OVERFLOWING_CONST), "E102")
+    assert location_tuple(diagnostic) == loc_of(OVERFLOWING_CONST, "300")
+    assert "300" in diagnostic.message
+
+
+IMPOSSIBLE_COMPARE = """
+demo.instruction := begin
+    ** REGISTERS **
+        al<7:0>,
+        zf<>
+    ** EXECUTE **
+        demo.execute() := begin
+            input (al);
+            zf <- (al = 999);
+            output (zf);
+        end
+end
+"""
+
+
+def test_e102_constant_outside_register_in_comparison():
+    diagnostic = only(lint(IMPOSSIBLE_COMPARE), "E102")
+    assert location_tuple(diagnostic) == loc_of(IMPOSSIBLE_COMPARE, "999")
+    assert "999" in diagnostic.message
+
+
+MIXED_COMPARE = """
+demo.instruction := begin
+    ** REGISTERS **
+        al<7:0>,
+        cx<15:0>,
+        zf<>
+    ** EXECUTE **
+        demo.execute() := begin
+            input (al, cx);
+            zf <- (al = cx);
+            output (zf);
+        end
+end
+"""
+
+
+def test_w103_mixed_width_comparison():
+    diagnostic = only(lint(MIXED_COMPARE), "W103")
+    assert location_tuple(diagnostic) == loc_of(MIXED_COMPARE, "= cx")
+    assert "al" in diagnostic.message and "cx" in diagnostic.message
+
+
+WELL_FORMED = """
+demo.instruction := begin
+    ** REGISTERS **
+        al<7:0>,
+        di<15:0>,
+        cx<15:0>,
+        zf<>
+    ** EXECUTE **
+        demo.execute() := begin
+            input (al, di, cx);
+            repeat
+                exit_when (cx = 0);
+                cx <- cx - 1;
+                zf <- ((al - Mb[ di ]) = 0);
+                di <- di + 1;
+                exit_when (zf);
+            end_repeat;
+            output (zf, di, cx);
+        end
+end
+"""
+
+
+def test_idiomatic_descriptions_stay_clean():
+    # Wraparound arithmetic, memory reads, and flag compares are all
+    # idiomatic; the checker must not cry wolf on them.
+    assert lint(WELL_FORMED) == ()
+
+
+INTEGER_OPERATOR = """
+demo.operation := begin
+    ** ARGS **
+        Len: integer,
+        ch: character
+    ** EXECUTE **
+        demo.execute() := begin
+            input (Len, ch);
+            repeat
+                exit_when (Len = 0);
+                Len <- Len - 1;
+            end_repeat;
+            output (ch);
+        end
+end
+"""
+
+
+def test_unbounded_integers_never_flagged():
+    assert with_code(lint(INTEGER_OPERATOR), "W101") == []
+    assert with_code(lint(INTEGER_OPERATOR), "E102") == []

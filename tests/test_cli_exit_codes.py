@@ -1,0 +1,122 @@
+"""CLI exit-code contract: 0 ok, 1 findings/failures, 2 usage error.
+
+Every subcommand follows the same mapping (documented in
+``repro/__main__.py``); these tests pin it so a new subcommand cannot
+silently invent its own convention.
+"""
+
+import pytest
+
+from repro.__main__ import main
+
+CLEAN_ISDL = """
+demo.instruction := begin
+    ** REGISTERS **
+        al<7:0>
+    ** EXECUTE **
+        demo.execute() := begin
+            input (al);
+            al <- al + 1;
+            output (al);
+        end
+end
+"""
+
+DIRTY_ISDL = CLEAN_ISDL.replace("al <- al + 1", "al <- 999")
+
+
+class TestOk:
+    def test_table1(self, capsys):
+        assert main(["table1"]) == 0
+        assert "Intel 8086" in capsys.readouterr().out
+
+    def test_list(self, capsys):
+        assert main(["list"]) == 0
+
+    def test_lint_clean_target(self, capsys):
+        assert main(["lint", "i8086:scasb"]) == 0
+        assert "clean" in capsys.readouterr().out
+
+    def test_lint_clean_file(self, tmp_path, capsys):
+        path = tmp_path / "demo.isdl"
+        path.write_text(CLEAN_ISDL)
+        assert main(["lint", str(path)]) == 0
+
+    def test_analyze_success(self, capsys):
+        assert main(["analyze", "scasb_rigel", "--no-verify"]) == 0
+
+
+class TestFindings:
+    def test_lint_reports_diagnostics(self, tmp_path, capsys):
+        path = tmp_path / "demo.isdl"
+        path.write_text(DIRTY_ISDL)
+        assert main(["lint", str(path)]) == 1
+        assert "E102" in capsys.readouterr().out
+
+    def test_lint_json_reports_diagnostics(self, tmp_path, capsys):
+        import json
+
+        path = tmp_path / "demo.isdl"
+        path.write_text(DIRTY_ISDL)
+        assert main(["lint", str(path), "--format", "json"]) == 1
+        payload = json.loads(capsys.readouterr().out)
+        assert payload["clean"] is False
+        codes = {
+            d["code"]
+            for report in payload["reports"]
+            for d in report["diagnostics"]
+        }
+        assert "E102" in codes
+
+    def test_lint_unparseable_file(self, tmp_path, capsys):
+        path = tmp_path / "broken.isdl"
+        path.write_text("this is not ISDL at all")
+        assert main(["lint", str(path)]) == 1
+        assert capsys.readouterr().err
+
+    def test_analyze_documented_failure(self, capsys):
+        assert main(["analyze", "movc3_sassign_failure", "--no-verify"]) == 1
+
+
+class TestUsageErrors:
+    def test_lint_without_targets(self, capsys):
+        assert main(["lint"]) == 2
+        assert capsys.readouterr().err
+
+    def test_lint_unknown_target(self, capsys):
+        assert main(["lint", "nosuch:target"]) == 2
+        assert "unknown target" in capsys.readouterr().err
+
+    def test_analyze_unknown_name(self, capsys):
+        assert main(["analyze", "nosuch_analysis"]) == 2
+        assert "unknown analysis" in capsys.readouterr().err
+
+    def test_batch_unknown_name(self, capsys):
+        assert main(["batch", "nosuch_analysis"]) == 2
+        assert capsys.readouterr().err
+
+    def test_missing_subcommand_is_usage_error(self, capsys):
+        with pytest.raises(SystemExit) as excinfo:
+            main([])
+        assert excinfo.value.code == 2
+
+
+class TestHandlersDeclareExitCodes:
+    def test_every_handler_returns_int(self):
+        # The contract is structural too: main() returns whatever the
+        # handler returns, so handlers must be int-returning.
+        import inspect
+
+        from repro import __main__ as cli
+
+        handlers = [
+            obj
+            for name, obj in vars(cli).items()
+            if name.startswith("cmd_") and inspect.isfunction(obj)
+        ]
+        assert len(handlers) >= 9
+        for handler in handlers:
+            annotation = inspect.signature(handler).return_annotation
+            # PEP 563: the module uses deferred annotations, so the
+            # annotation surfaces as the string "int".
+            assert annotation in (int, "int"), handler.__name__

@@ -42,3 +42,21 @@ def test_transcripts_cover_every_analysis():
     for module in analyses.TABLE2 + analyses.FAILURES + analyses.EXTENSIONS:
         name = module.__name__.rsplit(".", 1)[-1]
         assert f"`{name}`" in text, name
+
+
+def test_lint_docs_cover_every_diagnostic_code():
+    from repro.lint import CODES
+
+    text = (DOCS / "lint.md").read_text()
+    for code, summary in CODES.items():
+        # Each code gets its own heading carrying the registry summary,
+        # so the docs cannot drift from the CODES table.
+        assert f"### `{code}` — {summary}" in text, code
+
+
+def test_lint_docs_mention_only_registered_codes():
+    from repro.lint import CODES
+
+    text = (DOCS / "lint.md").read_text()
+    for code in re.findall(r"### `([WE]\d{3})`", text):
+        assert code in CODES, code
