@@ -74,6 +74,7 @@ def cmd_batch(args) -> int:
             seed=args.seed,
             verify=not args.no_verify,
             timeout=args.timeout,
+            engine=args.engine,
         )
     except (UnknownAnalysisError, ValueError) as error:
         print(str(error), file=sys.stderr)
@@ -83,6 +84,48 @@ def cmd_batch(args) -> int:
     else:
         print("\n".join(report.summary_lines()))
     return 0 if report.ok else 1
+
+
+def cmd_verify(args) -> int:
+    from .analysis.runner import UnknownAnalysisError, run_batch
+
+    try:
+        report = run_batch(
+            names=args.names,
+            jobs=1,
+            trials=args.trials,
+            seed=args.seed,
+            verify=True,
+            engine=args.engine,
+        )
+    except (UnknownAnalysisError, ValueError) as error:
+        print(str(error), file=sys.stderr)
+        return 2
+    if args.json:
+        print(report.to_json())
+    else:
+        print("\n".join(report.summary_lines()))
+    return 0 if report.ok else 1
+
+
+def cmd_bench(args) -> int:
+    from .analysis.bench import format_bench, run_bench
+    from .analysis.runner import UnknownAnalysisError
+
+    try:
+        payload = run_bench(
+            names=args.names or None, trials=args.trials, seed=args.seed
+        )
+    except (UnknownAnalysisError, ValueError) as error:
+        print(str(error), file=sys.stderr)
+        return 2
+    text = format_bench(payload)
+    if args.out:
+        with open(args.out, "w", encoding="utf-8") as handle:
+            handle.write(text)
+    if args.json or not args.out:
+        print(text, end="")
+    return 0
 
 
 def _analysis_modules():
@@ -112,6 +155,7 @@ def cmd_list(_args) -> int:
 
 def cmd_analyze(args) -> int:
     from .analysis import full_report
+    from .semantics.engine import ExecutionEngine, UnknownEngineError
 
     modules = _analysis_modules()
     if args.name not in modules:
@@ -120,7 +164,14 @@ def cmd_analyze(args) -> int:
             file=sys.stderr,
         )
         return 2
-    outcome = modules[args.name].run(verify=not args.no_verify, trials=args.trials)
+    try:
+        engine = ExecutionEngine.resolve(args.engine)
+    except UnknownEngineError as error:
+        print(str(error), file=sys.stderr)
+        return 2
+    outcome = modules[args.name].run(
+        verify=not args.no_verify, trials=args.trials, engine=engine
+    )
     print(full_report(outcome))
     if args.log and outcome.log:
         print("transformation log:")
@@ -335,6 +386,41 @@ def main(argv=None) -> int:
     p_batch.add_argument(
         "--json", action="store_true", help="deterministic JSON report"
     )
+    p_batch.add_argument(
+        "--engine",
+        default=None,
+        help="execution engine: interp | compiled (default: compiled)",
+    )
+
+    p_verify = sub.add_parser(
+        "verify", help="differentially verify named analyses"
+    )
+    p_verify.add_argument("names", nargs="+", help="analysis names")
+    p_verify.add_argument("--trials", type=int, default=120)
+    p_verify.add_argument("--seed", type=int, default=1982)
+    p_verify.add_argument(
+        "--engine",
+        default=None,
+        help="execution engine: interp | compiled (default: compiled)",
+    )
+    p_verify.add_argument(
+        "--json", action="store_true", help="deterministic JSON report"
+    )
+
+    p_bench = sub.add_parser(
+        "bench", help="time verification per execution engine"
+    )
+    p_bench.add_argument(
+        "names", nargs="*", help="analysis names (default: verified catalog)"
+    )
+    p_bench.add_argument("--trials", type=int, default=240)
+    p_bench.add_argument("--seed", type=int, default=1982)
+    p_bench.add_argument(
+        "--json", action="store_true", help="print the JSON payload"
+    )
+    p_bench.add_argument(
+        "--out", default=None, help="write the payload to this path"
+    )
 
     sub.add_parser("list", help="list available analyses")
 
@@ -359,6 +445,11 @@ def main(argv=None) -> int:
     p_analyze.add_argument("--no-verify", action="store_true")
     p_analyze.add_argument("--trials", type=int, default=120)
     p_analyze.add_argument("--log", action="store_true")
+    p_analyze.add_argument(
+        "--engine",
+        default=None,
+        help="execution engine: interp | compiled (default: compiled)",
+    )
 
     sub.add_parser("figures", help="regenerate figures 2-5")
     sub.add_parser("failures", help="run the documented failure attempts")
@@ -376,6 +467,8 @@ def main(argv=None) -> int:
         "table1": cmd_table1,
         "table2": cmd_table2,
         "batch": cmd_batch,
+        "verify": cmd_verify,
+        "bench": cmd_bench,
         "list": cmd_list,
         "lint": cmd_lint,
         "analyze": cmd_analyze,

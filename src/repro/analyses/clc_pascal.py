@@ -78,7 +78,7 @@ def script(session: AnalysisSession) -> None:
     operator.apply("eliminate_dead_assignment", at=operator.stmt("eq <- 1;"))
 
 
-def run(verify: bool = True, trials: int = 120) -> AnalysisOutcome:
+def run(verify: bool = True, trials: int = 120, engine=None) -> AnalysisOutcome:
     return run_analysis(
-        INFO, pascal.sequal(), ibm370.clc(), script, SCENARIO, verify, trials
+        INFO, pascal.sequal(), ibm370.clc(), script, SCENARIO, verify, trials, engine=engine
     )

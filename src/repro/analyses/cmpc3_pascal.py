@@ -53,9 +53,9 @@ def script(session: AnalysisSession) -> None:
     )
 
 
-def run(verify: bool = True, trials: int = 120) -> AnalysisOutcome:
+def run(verify: bool = True, trials: int = 120, engine=None) -> AnalysisOutcome:
     return run_analysis(
-        INFO, pascal.sequal(), vax11.cmpc3(), script, SCENARIO, verify, trials
+        INFO, pascal.sequal(), vax11.cmpc3(), script, SCENARIO, verify, trials, engine=engine
     )
 
 #: IR operand field -> operator operand name, used by the code

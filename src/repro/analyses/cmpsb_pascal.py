@@ -145,9 +145,9 @@ def script(session: AnalysisSession) -> None:
     transform_sequal(session)
 
 
-def run(verify: bool = True, trials: int = 120) -> AnalysisOutcome:
+def run(verify: bool = True, trials: int = 120, engine=None) -> AnalysisOutcome:
     return run_analysis(
-        INFO, pascal.sequal(), i8086.cmpsb(), script, SCENARIO, verify, trials
+        INFO, pascal.sequal(), i8086.cmpsb(), script, SCENARIO, verify, trials, engine=engine
     )
 
 #: IR operand field -> operator operand name, used by the code

@@ -21,6 +21,7 @@ from ..analysis import (
 )
 from ..constraints import LanguageFact, UnsupportedConstraintError
 from ..isdl import ast
+from ..semantics.engine import ExecutionEngine
 from ..semantics.randomgen import ScenarioSpec
 from ..transform import TransformError
 
@@ -34,6 +35,7 @@ def run_analysis(
     verify: bool = True,
     trials: int = 120,
     language_facts: Sequence[LanguageFact] = (),
+    engine: "Optional[object]" = None,
 ) -> AnalysisOutcome:
     """Play one analysis script end to end.
 
@@ -59,7 +61,12 @@ def run_analysis(
         )
     verification = None
     if verify and scenario is not None:
-        verification = verify_binding(binding, scenario, trials=trials)
+        verification = verify_binding(
+            binding,
+            scenario,
+            trials=trials,
+            engine=ExecutionEngine.resolve(engine),
+        )
     return AnalysisOutcome(
         machine=info.machine,
         instruction=info.instruction,

@@ -66,7 +66,7 @@ def script(session: AnalysisSession) -> None:
     )
 
 
-def run(verify: bool = True, trials: int = 120) -> AnalysisOutcome:
+def run(verify: bool = True, trials: int = 120, engine=None) -> AnalysisOutcome:
     return run_analysis(
-        INFO, pascal.sassign(), eclipse.cmv(), script, SCENARIO, verify, trials
+        INFO, pascal.sassign(), eclipse.cmv(), script, SCENARIO, verify, trials, engine=engine
     )

@@ -97,9 +97,9 @@ def script(session: AnalysisSession) -> None:
     transform_indexc(session)
 
 
-def run(verify: bool = True, trials: int = 120) -> AnalysisOutcome:
+def run(verify: bool = True, trials: int = 120, engine=None) -> AnalysisOutcome:
     return run_analysis(
-        INFO, clu.indexc(), vax11.locc(), script, SCENARIO, verify, trials
+        INFO, clu.indexc(), vax11.locc(), script, SCENARIO, verify, trials, engine=engine
     )
 
 #: IR operand field -> operator operand name, used by the code

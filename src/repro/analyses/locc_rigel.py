@@ -129,9 +129,9 @@ def script(session: AnalysisSession) -> None:
     transform_index(session)
 
 
-def run(verify: bool = True, trials: int = 120) -> AnalysisOutcome:
+def run(verify: bool = True, trials: int = 120, engine=None) -> AnalysisOutcome:
     return run_analysis(
-        INFO, rigel.index(), vax11.locc(), script, SCENARIO, verify, trials
+        INFO, rigel.index(), vax11.locc(), script, SCENARIO, verify, trials, engine=engine
     )
 
 #: IR operand field -> operator operand name, used by the code

@@ -58,9 +58,9 @@ def script(session: AnalysisSession) -> None:
     operator.apply("swap_statements", at=operator.stmt("t <- t + 1;"))
 
 
-def run(verify: bool = True, trials: int = 120) -> AnalysisOutcome:
+def run(verify: bool = True, trials: int = 120, engine=None) -> AnalysisOutcome:
     return run_analysis(
-        INFO, pc2.blkcpy(), vax11.movc3(), script, SCENARIO, verify, trials
+        INFO, pc2.blkcpy(), vax11.movc3(), script, SCENARIO, verify, trials, engine=engine
     )
 
 #: IR operand field -> operator operand name, used by the code

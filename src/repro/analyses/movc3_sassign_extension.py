@@ -30,8 +30,8 @@ NO_OVERLAP = LanguageFact(
 )
 
 
-def run(verify: bool = True, trials: int = 120) -> AnalysisOutcome:
+def run(verify: bool = True, trials: int = 120, engine=None) -> AnalysisOutcome:
     return movc3_sassign_failure.run(
-        verify=verify, trials=trials, language_facts=(NO_OVERLAP,)
+        verify=verify, trials=trials, language_facts=(NO_OVERLAP,), engine=engine
     )
 FIELD_MAP = dict(movc3_sassign_failure.FIELD_MAP)

@@ -106,6 +106,7 @@ def run(
     verify: bool = True,
     trials: int = 120,
     language_facts: Sequence[LanguageFact] = (),
+    engine=None,
 ) -> AnalysisOutcome:
     return run_analysis(
         INFO,
@@ -116,6 +117,7 @@ def run(
         verify,
         trials,
         language_facts=language_facts,
+        engine=engine,
     )
 
 #: IR operand field -> operator operand name, used by the code

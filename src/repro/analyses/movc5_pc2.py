@@ -76,9 +76,9 @@ def script(session: AnalysisSession) -> None:
     instruction.apply("eliminate_dead_variable", at=instruction.decl("fill"))
 
 
-def run(verify: bool = True, trials: int = 120) -> AnalysisOutcome:
+def run(verify: bool = True, trials: int = 120, engine=None) -> AnalysisOutcome:
     return run_analysis(
-        INFO, pc2.blkclr(), vax11.movc5(), script, SCENARIO, verify, trials
+        INFO, pc2.blkclr(), vax11.movc5(), script, SCENARIO, verify, trials, engine=engine
     )
 
 #: IR operand field -> operator operand name, used by the code

@@ -129,9 +129,9 @@ def script(session: AnalysisSession) -> None:
     transform_sassign(session)
 
 
-def run(verify: bool = True, trials: int = 120) -> AnalysisOutcome:
+def run(verify: bool = True, trials: int = 120, engine=None) -> AnalysisOutcome:
     return run_analysis(
-        INFO, pascal.sassign(), i8086.movsb(), script, SCENARIO, verify, trials
+        INFO, pascal.sassign(), i8086.movsb(), script, SCENARIO, verify, trials, engine=engine
     )
 
 #: IR operand field -> operator operand name, used by the code

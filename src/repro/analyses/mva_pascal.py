@@ -54,7 +54,7 @@ def script(session: AnalysisSession) -> None:
     transform_sassign(session)
 
 
-def run(verify: bool = True, trials: int = 120) -> AnalysisOutcome:
+def run(verify: bool = True, trials: int = 120, engine=None) -> AnalysisOutcome:
     return run_analysis(
-        INFO, pascal.sassign(), b4800.mva(), script, SCENARIO, verify, trials
+        INFO, pascal.sassign(), b4800.mva(), script, SCENARIO, verify, trials, engine=engine
     )

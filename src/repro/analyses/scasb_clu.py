@@ -134,9 +134,9 @@ def script(session: AnalysisSession) -> None:
     transform_indexc(session)
 
 
-def run(verify: bool = True, trials: int = 120) -> AnalysisOutcome:
+def run(verify: bool = True, trials: int = 120, engine=None) -> AnalysisOutcome:
     return run_analysis(
-        INFO, clu.indexc(), i8086.scasb(), script, SCENARIO, verify, trials
+        INFO, clu.indexc(), i8086.scasb(), script, SCENARIO, verify, trials, engine=engine
     )
 
 #: IR operand field -> operator operand name, used by the code

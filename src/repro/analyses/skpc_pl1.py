@@ -53,7 +53,7 @@ def script(session: AnalysisSession) -> None:
     operator.apply("eliminate_dead_variable", at=operator.decl("n"))
 
 
-def run(verify: bool = True, trials: int = 120) -> AnalysisOutcome:
+def run(verify: bool = True, trials: int = 120, engine=None) -> AnalysisOutcome:
     return run_analysis(
-        INFO, pl1.span(), vax11.skpc(), script, SCENARIO, verify, trials
+        INFO, pl1.span(), vax11.skpc(), script, SCENARIO, verify, trials, engine=engine
     )

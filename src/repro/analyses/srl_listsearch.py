@@ -26,7 +26,7 @@ from ..analysis import AnalysisInfo, AnalysisOutcome, AnalysisSession
 from ..analysis.verify import VerificationFailure, VerificationReport
 from ..languages import listops
 from ..machines.b4800 import descriptions as b4800
-from ..semantics import Interpreter
+from ..semantics.engine import ExecutionEngine
 from .common import run_analysis
 
 INFO = AnalysisInfo(
@@ -70,10 +70,13 @@ def _random_list_scenario(rng: random.Random) -> Tuple[Dict[str, int], Dict[int,
     return inputs, memory
 
 
-def verify_list_binding(binding, trials: int = 200, seed: int = 4800) -> VerificationReport:
+def verify_list_binding(
+    binding, trials: int = 200, seed: int = 4800, engine=None
+) -> VerificationReport:
     """Differential testing on randomized linked lists."""
-    operator_interp = Interpreter(binding.final_operator)
-    instruction_interp = Interpreter(binding.augmented_instruction)
+    resolved = ExecutionEngine.resolve(engine)
+    operator_interp = resolved.executor(binding.final_operator)
+    instruction_interp = resolved.executor(binding.augmented_instruction)
     rng = random.Random(seed)
     for _ in range(trials):
         inputs, memory = _random_list_scenario(rng)
@@ -92,15 +95,16 @@ def verify_list_binding(binding, trials: int = 200, seed: int = 4800) -> Verific
         trials=trials,
         operator_name=binding.final_operator.name,
         instruction_name=binding.augmented_instruction.name,
+        engine=resolved.name,
     )
 
 
-def run(verify: bool = True, trials: int = 120) -> AnalysisOutcome:
+def run(verify: bool = True, trials: int = 120, engine=None) -> AnalysisOutcome:
     outcome = run_analysis(
         INFO, listops.lsearch(), b4800.srl(), script, scenario=None, verify=False
     )
     if outcome.succeeded and verify:
-        report = verify_list_binding(outcome.binding, trials=trials)
+        report = verify_list_binding(outcome.binding, trials=trials, engine=engine)
         outcome = AnalysisOutcome(
             machine=outcome.machine,
             instruction=outcome.instruction,

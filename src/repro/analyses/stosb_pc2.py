@@ -93,7 +93,7 @@ def script(session: AnalysisSession) -> None:
     )
 
 
-def run(verify: bool = True, trials: int = 120) -> AnalysisOutcome:
+def run(verify: bool = True, trials: int = 120, engine=None) -> AnalysisOutcome:
     return run_analysis(
-        INFO, pc2.blkclr(), i8086.stosb(), script, SCENARIO, verify, trials
+        INFO, pc2.blkclr(), i8086.stosb(), script, SCENARIO, verify, trials, engine=engine
     )

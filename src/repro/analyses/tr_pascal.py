@@ -75,7 +75,7 @@ def script(session: AnalysisSession) -> None:
     operator.apply("eliminate_dead_variable", at=operator.decl("i"))
 
 
-def run(verify: bool = True, trials: int = 120) -> AnalysisOutcome:
+def run(verify: bool = True, trials: int = 120, engine=None) -> AnalysisOutcome:
     return run_analysis(
-        INFO, pascal.translate(), ibm370.tr(), script, SCENARIO, verify, trials
+        INFO, pascal.translate(), ibm370.tr(), script, SCENARIO, verify, trials, engine=engine
     )

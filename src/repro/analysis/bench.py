@@ -1,0 +1,102 @@
+"""Machine-readable verification benchmark: interpreter vs compiled.
+
+``repro bench`` times the differential-verification hot path — the
+same trials, the same scenario stream, the same seeds — once per
+execution engine and emits a JSON payload (committed as
+``BENCH_verify.json``) so the performance trajectory stays visible
+across PRs.  The differential gate is off during timing: the point is
+the raw engine cost, and running the interpreter inside the compiled
+measurement would measure both engines at once.
+
+The emitted numbers are wall-clock and therefore host-dependent; the
+*ratio* is the tracked quantity.  CI only asserts that the benchmark
+runs — never a timing threshold.
+"""
+
+from __future__ import annotations
+
+import json
+import time
+from typing import Dict, List, Optional, Sequence
+
+from ..semantics.engine import ENGINE_NAMES
+from .runner import _clear_replay_cache, _replay, resolve_names
+
+#: JSON payload schema identifier.
+SCHEMA = "repro.bench/1"
+
+
+def bench_entries(names: Optional[Sequence[str]] = None):
+    """The catalog entries the benchmark verifies (scenario-backed only)."""
+    return tuple(
+        entry
+        for entry in resolve_names(names)
+        if entry.has_scenario and not entry.expect_failure
+    )
+
+
+def run_bench(
+    names: Optional[Sequence[str]] = None,
+    trials: int = 240,
+    seed: int = 1982,
+) -> Dict[str, object]:
+    """Time verification of the catalog under every engine.
+
+    Replays each analysis once (replay cost is engine-independent and
+    excluded from the timings), then runs the full ``trials``-trial
+    verification per entry per engine.  Compilation happens inside the
+    compiled engine's measurement — the one-time lowering cost is part
+    of what that engine honestly costs.
+    """
+    from ..semantics.compiler import clear_compile_cache
+    from .verify import verify_binding
+
+    entries = bench_entries(names)
+    _clear_replay_cache()
+    replayed = []
+    for entry in entries:
+        module, outcome = _replay(entry.name)
+        if outcome.succeeded:
+            replayed.append((entry, module, outcome))
+
+    engines: Dict[str, Dict[str, object]] = {}
+    for engine in ENGINE_NAMES:
+        clear_compile_cache()
+        per_entry: List[Dict[str, object]] = []
+        total = 0.0
+        for entry, module, outcome in replayed:
+            started = time.perf_counter()
+            verify_binding(
+                outcome.binding,
+                module.SCENARIO,
+                trials=trials,
+                seed=seed,
+                engine=engine,
+                gate="off",
+            )
+            elapsed = time.perf_counter() - started
+            total += elapsed
+            per_entry.append(
+                {"name": entry.name, "seconds": round(elapsed, 4)}
+            )
+        engines[engine] = {
+            "seconds": round(total, 4),
+            "entries": per_entry,
+        }
+
+    interp_total = float(engines["interp"]["seconds"])  # type: ignore[arg-type]
+    compiled_total = float(engines["compiled"]["seconds"])  # type: ignore[arg-type]
+    speedup = interp_total / compiled_total if compiled_total > 0 else None
+    return {
+        "schema": SCHEMA,
+        "trials": trials,
+        "seed": seed,
+        "analyses": len(replayed),
+        "engines": engines,
+        "speedup": round(speedup, 2) if speedup is not None else None,
+    }
+
+
+def format_bench(payload: Dict[str, object]) -> str:
+    """The deterministic JSON text for ``BENCH_verify.json``."""
+    return json.dumps(payload, indent=2, sort_keys=True) + "\n"

@@ -38,7 +38,9 @@ import json
 import time
 from dataclasses import dataclass, field
 from functools import lru_cache
-from typing import Dict, List, Optional, Sequence, Tuple
+from typing import Dict, List, Optional, Sequence, Tuple, Union
+
+from ..semantics.engine import DEFAULT_ENGINE, ExecutionEngine
 
 #: trials per verification shard; fixed (never derived from the worker
 #: count) so the shard layout — and therefore the report — is identical
@@ -81,6 +83,7 @@ class ShardSpec:
     offset: int
     count: int
     seed: int
+    engine: str = DEFAULT_ENGINE
 
 
 @dataclass
@@ -100,6 +103,10 @@ class JobResult:
     #: wall-clock seconds, summed over this entry's jobs.  Excluded
     #: from the JSON report so identical runs stay byte-identical.
     duration: float = 0.0
+    #: parse + compile cache misses observed inside this entry's jobs.
+    #: Excluded from the JSON report (a worker's cache temperature is
+    #: an implementation detail); asserted on by the benchmarks.
+    cache_misses: int = 0
 
     @property
     def ok(self) -> bool:
@@ -120,6 +127,10 @@ class BatchReport:
     #: total wall-clock seconds (outside the deterministic JSON).
     elapsed: float = 0.0
     jobs: int = 1
+    #: execution engine used for verification trials.  Deliberately
+    #: excluded from :meth:`to_json`: the report must be byte-identical
+    #: across engines — that equality is itself a correctness check.
+    engine: str = DEFAULT_ENGINE
 
     @property
     def ok(self) -> bool:
@@ -187,7 +198,8 @@ class BatchReport:
         ok = sum(1 for r in self.results if r.ok)
         lines.append(
             f"{ok}/{len(self.results)} ok in {self.elapsed:.2f}s "
-            f"(jobs={self.jobs}, trials={self.trials}, seed={self.seed})"
+            f"(jobs={self.jobs}, trials={self.trials}, seed={self.seed}, "
+            f"engine={self.engine})"
         )
         return lines
 
@@ -255,6 +267,7 @@ def plan_jobs(
     trials: int,
     seed: int,
     verify: bool,
+    engine: str = DEFAULT_ENGINE,
 ) -> List[ShardSpec]:
     """The deterministic job list for one batch invocation.
 
@@ -268,10 +281,10 @@ def plan_jobs(
         wants_verify = verify and entry.has_scenario and not entry.expect_failure
         windows = shard_plan(trials) if wants_verify else ()
         if not windows:
-            specs.append(ShardSpec(entry.name, 0, 0, seed))
+            specs.append(ShardSpec(entry.name, 0, 0, seed, engine))
             continue
         for offset, count in windows:
-            specs.append(ShardSpec(entry.name, offset, count, seed))
+            specs.append(ShardSpec(entry.name, offset, count, seed, engine))
     return specs
 
 
@@ -286,6 +299,46 @@ def _clear_replay_cache() -> None:
     _replay.cache_clear()
 
 
+def _cache_miss_count() -> int:
+    """Total parse + compile cache misses in this process so far."""
+    from ..isdl.cache import cache_stats
+    from ..semantics.compiler import compile_cache_stats
+
+    return (
+        sum(stats["misses"] for stats in cache_stats().values())
+        + compile_cache_stats()["misses"]
+    )
+
+
+def preload_caches(specs: Sequence[ShardSpec]) -> None:
+    """Warm every cache the workers will need, in the parent process.
+
+    On platforms that fork (the Linux default), worker processes
+    inherit the parent's memory copy-on-write, so replaying each
+    analysis and compiling its final descriptions *once* here means no
+    worker ever parses or compiles cold — ``execute_shard``'s
+    ``cache_misses`` accounting stays at zero per worker, which
+    ``benchmarks/test_batch_runner.py`` asserts.
+
+    Per-entry failures are swallowed: a broken analysis must surface as
+    that entry's structured job record, not abort the whole batch here.
+    """
+    from ..semantics.compiler import compile_description
+
+    seen = set()
+    for spec in specs:
+        if spec.name in seen:
+            continue
+        seen.add(spec.name)
+        try:
+            _, outcome = _replay(spec.name)
+            if spec.engine != "interp" and outcome.succeeded and outcome.binding:
+                compile_description(outcome.binding.final_operator)
+                compile_description(outcome.binding.augmented_instruction)
+        except Exception:  # noqa: BLE001 - the worker will report it
+            continue
+
+
 def execute_shard(spec: ShardSpec) -> Dict[str, object]:
     """Run one job; always returns a structured, picklable record.
 
@@ -298,6 +351,7 @@ def execute_shard(spec: ShardSpec) -> Dict[str, object]:
     from .verify import VerificationFailure, verify_binding
 
     started = time.perf_counter()
+    misses_before = _cache_miss_count()
     record: Dict[str, object] = {
         "name": spec.name,
         "offset": spec.offset,
@@ -307,6 +361,7 @@ def execute_shard(spec: ShardSpec) -> Dict[str, object]:
         "failure": None,
         "verified": 0,
         "error": None,
+        "cache_misses": 0,
     }
     try:
         module, outcome = _replay(spec.name)
@@ -326,6 +381,8 @@ def execute_shard(spec: ShardSpec) -> Dict[str, object]:
                     trials=spec.count,
                     seed=spec.seed,
                     offset=spec.offset,
+                    engine=spec.engine,
+                    gate="sampled",
                 )
                 record["verified"] = spec.count
     except VerificationFailure as error:
@@ -337,6 +394,7 @@ def execute_shard(spec: ShardSpec) -> Dict[str, object]:
     except Exception as error:  # noqa: BLE001 - structured, not fatal
         record["error"] = f"{type(error).__name__}: {error}"
     record["duration"] = time.perf_counter() - started
+    record["cache_misses"] = _cache_miss_count() - misses_before
     return record
 
 
@@ -382,6 +440,7 @@ def _aggregate(
             if record["failure"] and not result.failure:
                 result.failure = str(record["failure"])
             result.verified_trials += int(record["verified"])  # type: ignore[arg-type]
+            result.cache_misses += int(record.get("cache_misses") or 0)
         if result.failure is not None:
             result.succeeded = False
         results.append(result)
@@ -405,6 +464,7 @@ def _error_record(spec: ShardSpec, message: str) -> Dict[str, object]:
         "verified": 0,
         "error": message,
         "duration": 0.0,
+        "cache_misses": 0,
     }
 
 
@@ -506,6 +566,7 @@ def run_batch(
     seed: int = 1982,
     verify: bool = True,
     timeout: Optional[float] = None,
+    engine: Union[None, str, ExecutionEngine] = None,
 ) -> BatchReport:
     """Run the analysis catalog (or a subset) as a parallel batch.
 
@@ -516,11 +577,18 @@ def run_batch(
     when the job is dispatched to a free worker (pool mode only; a
     serial run cannot preempt a running job).  See :func:`_run_pool`
     for the limits of timing out a job that is already running.
+
+    ``engine`` selects the verification substrate (see
+    :mod:`repro.semantics.engine`); the JSON report is byte-identical
+    across engines by construction.  In parallel mode the parse and
+    compile caches are warmed in the parent before the pool forks, so
+    workers start hot (:func:`preload_caches`).
     """
     if jobs < 1:
         raise ValueError("jobs must be >= 1")
+    resolved = ExecutionEngine.resolve(engine)
     entries = resolve_names(names)
-    specs = plan_jobs(entries, trials, seed, verify)
+    specs = plan_jobs(entries, trials, seed, verify, resolved.name)
     _clear_replay_cache()
     started = time.perf_counter()
     records: Dict[Tuple[str, int], Optional[Dict[str, object]]] = {}
@@ -528,6 +596,7 @@ def run_batch(
         for spec in specs:
             records[(spec.name, spec.offset)] = execute_shard(spec)
     else:
+        preload_caches(specs)
         records = _run_pool(specs, jobs, timeout)
     results = _aggregate(entries, records, specs)
     return BatchReport(
@@ -537,4 +606,5 @@ def run_batch(
         verify=verify,
         elapsed=time.perf_counter() - started,
         jobs=jobs,
+        engine=resolved.name,
     )

@@ -17,14 +17,13 @@ constraints before the instruction is ever emitted.
 
 from __future__ import annotations
 
-import random
 from dataclasses import dataclass
-from typing import Dict, Optional, Tuple
+from typing import Dict, Optional, Tuple, Union
 
 from ..isdl import ast
 from ..lint import LintGateError, lint_binding
-from ..semantics import Interpreter
-from ..semantics.randomgen import Scenario, ScenarioSpec, generate_scenarios
+from ..semantics.engine import DEFAULT_ENGINE, ExecutionEngine
+from ..semantics.randomgen import Scenario, ScenarioSpec, ScenarioStream
 
 
 class VerificationFailure(Exception):
@@ -48,6 +47,7 @@ class VerificationReport:
     instruction_name: str
     seed: int = 1982
     offset: int = 0
+    engine: str = DEFAULT_ENGINE
 
     def __str__(self) -> str:
         return (
@@ -56,17 +56,34 @@ class VerificationReport:
         )
 
 
-def _clip_to_constraints(inputs: Dict[str, int], binding) -> Dict[str, int]:
+def _operand_ranges(binding) -> Tuple[Tuple[str, int, int], ...]:
+    """The binding's operand range constraints as ``(name, lo, hi)``.
+
+    Extracted once per verification, not once per trial — constraint
+    discovery walks the binding and is loop-invariant.
+    """
+    return tuple(
+        (constraint.operand, constraint.lo, constraint.hi)
+        for constraint in binding.range_constraints()
+        if constraint.is_operand
+    )
+
+
+def _clip_to_ranges(
+    inputs: Dict[str, int], ranges: Tuple[Tuple[str, int, int], ...]
+) -> Dict[str, int]:
     """Clamp scenario inputs into the binding's operand ranges."""
     clipped = dict(inputs)
-    for constraint in binding.range_constraints():
-        if not constraint.is_operand or constraint.operand not in clipped:
-            continue
-        value = clipped[constraint.operand]
-        clipped[constraint.operand] = max(
-            constraint.lo, min(constraint.hi, value)
-        )
+    for operand, lo, hi in ranges:
+        if operand in clipped:
+            value = clipped[operand]
+            clipped[operand] = max(lo, min(hi, value))
     return clipped
+
+
+def _clip_to_constraints(inputs: Dict[str, int], binding) -> Dict[str, int]:
+    """One-shot clamp against a binding (see :func:`_clip_to_ranges`)."""
+    return _clip_to_ranges(inputs, _operand_ranges(binding))
 
 
 def verify_binding(
@@ -75,6 +92,8 @@ def verify_binding(
     trials: int = 200,
     seed: int = 1982,
     offset: int = 0,
+    engine: Union[None, str, ExecutionEngine] = None,
+    gate: Optional[str] = None,
 ) -> VerificationReport:
     """Run both final descriptions on ``trials`` randomized states.
 
@@ -82,7 +101,14 @@ def verify_binding(
     selects a window of its scenario stream, so the batch runner can
     shard one verification across workers (scenario ``i`` is identical
     whether it runs in shard 0 of 1 or shard 3 of 4 — see
-    :func:`repro.semantics.randomgen.generate_scenario_at`).
+    :class:`repro.semantics.randomgen.ScenarioStream`).
+
+    ``engine`` selects the execution substrate (compiled by default;
+    the interpreter stays the reference semantics) and ``gate`` how
+    often compiled runs are cross-checked against it — ``always``
+    unless the caller says otherwise, so any miscompilation surfaces as
+    :class:`~repro.semantics.engine.EngineMismatchError` before a
+    verdict is reported.
 
     Raises :class:`VerificationFailure` on the first disagreement, and
     :class:`~repro.lint.LintGateError` — before any trial runs — when
@@ -92,18 +118,18 @@ def verify_binding(
     gate_diagnostics = lint_binding(binding)
     if gate_diagnostics:
         raise LintGateError(tuple(gate_diagnostics))
+    resolved = ExecutionEngine.resolve(engine, gate)
     operator_desc = binding.final_operator
     instruction_desc = binding.augmented_instruction
-    operator_interp = Interpreter(operator_desc)
-    instruction_interp = Interpreter(instruction_desc)
+    operator_interp = resolved.executor(operator_desc)
+    instruction_interp = resolved.executor(instruction_desc)
     operand_map = binding.operand_map
+    ranges = _operand_ranges(binding)
 
-    for scenario in generate_scenarios(spec, trials, seed, offset):
-        inputs = _clip_to_constraints(scenario.inputs, binding)
-        mapped = {}
-        for operand, value in inputs.items():
-            register = operand_map.get(operand, operand)
-            mapped[register] = value
+    rename = operand_map.get
+    for scenario in ScenarioStream(spec, seed).window(offset, trials):
+        inputs = _clip_to_ranges(scenario.inputs, ranges)
+        mapped = {rename(k, k): v for k, v in inputs.items()}
         result_op = operator_interp.run(inputs, scenario.memory)
         result_in = instruction_interp.run(mapped, scenario.memory)
         if result_op.outputs != result_in.outputs:
@@ -129,4 +155,5 @@ def verify_binding(
         instruction_name=instruction_desc.name,
         seed=seed,
         offset=offset,
+        engine=resolved.name,
     )

@@ -7,6 +7,20 @@ generation used by the differential-testing verifier in
 :mod:`repro.analysis.verify`.
 """
 
+from .compiler import (
+    CompiledDescription,
+    clear_compile_cache,
+    compile_cache_stats,
+    compile_description,
+    run_compiled,
+)
+from .engine import (
+    DEFAULT_ENGINE,
+    ENGINE_NAMES,
+    EngineMismatchError,
+    ExecutionEngine,
+    UnknownEngineError,
+)
 from .interpreter import (
     AssertionFailed,
     ExecutionResult,
@@ -18,6 +32,7 @@ from .randomgen import (
     OperandSpec,
     Scenario,
     ScenarioSpec,
+    ScenarioStream,
     derive_seed,
     generate_scenario,
     generate_scenario_at,
@@ -39,13 +54,24 @@ from .values import (
 
 __all__ = [
     "AssertionFailed",
+    "CompiledDescription",
+    "DEFAULT_ENGINE",
+    "ENGINE_NAMES",
+    "EngineMismatchError",
+    "ExecutionEngine",
     "ExecutionResult",
     "Interpreter",
     "StepLimitExceeded",
+    "UnknownEngineError",
+    "clear_compile_cache",
+    "compile_cache_stats",
+    "compile_description",
+    "run_compiled",
     "run_description",
     "OperandSpec",
     "Scenario",
     "ScenarioSpec",
+    "ScenarioStream",
     "derive_seed",
     "generate_scenario",
     "generate_scenario_at",

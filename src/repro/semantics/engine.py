@@ -1,0 +1,206 @@
+"""Execution-engine selection for everything that runs ISDL.
+
+Two engines execute descriptions:
+
+* ``interp`` — the big-step tree-walking interpreter
+  (:mod:`repro.semantics.interpreter`), the *reference* semantics;
+* ``compiled`` — generated native Python closures
+  (:mod:`repro.semantics.compiler`), the fast default.
+
+The compiled engine exists purely for speed, so its correctness is
+enforced structurally rather than trusted: a **differential gate**
+cross-checks compiled runs against the interpreter on a seeded sample
+of trials.  Tests run with the gate ``always`` on; the batch runner
+samples (first trial of every executor plus roughly one in
+``gate_period``); benchmarks turn it ``off`` to measure raw engine
+speed.  Any disagreement — outputs, final memory, registers, step
+count, or exception behaviour — raises :class:`EngineMismatchError`
+*before* any verification verdict can be reported.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Mapping, Optional, Tuple, Union
+
+from ..isdl import ast
+from ..isdl.errors import SemanticError
+from .compiler import CompiledDescription
+from .interpreter import (
+    AssertionFailed,
+    ExecutionResult,
+    Interpreter,
+    StepLimitExceeded,
+)
+from .randomgen import derive_seed
+
+#: Engine names accepted by every ``--engine`` flag, in display order.
+ENGINE_NAMES: Tuple[str, ...] = ("interp", "compiled")
+
+#: The engine used when nothing is selected.  The interpreter remains
+#: the reference semantics; the compiled engine is the verification
+#: substrate (see DESIGN.md §2).
+DEFAULT_ENGINE = "compiled"
+
+#: Gate modes, from most to least paranoid.
+GATE_MODES: Tuple[str, ...] = ("always", "sampled", "off")
+
+
+class UnknownEngineError(ValueError):
+    """An ``--engine`` value that names no engine."""
+
+    def __init__(self, name: object):
+        super().__init__(
+            "unknown engine %r; choose from: %s" % (name, ", ".join(ENGINE_NAMES))
+        )
+
+
+class EngineMismatchError(Exception):
+    """The compiled engine disagreed with the reference interpreter.
+
+    This is a *bug in the compiler*, never in the description under
+    test — it aborts the run instead of producing a verdict.
+    """
+
+
+def _observe(executor, inputs, memory):
+    """Run an executor and normalize the observable outcome.
+
+    Semantic exceptions are part of the observable behaviour (a
+    description that exceeds its step budget must do so under both
+    engines, with the same message), so they are captured and compared
+    rather than propagated.
+    """
+    try:
+        return ("result", executor.run(inputs, memory))
+    except (StepLimitExceeded, AssertionFailed, SemanticError, ValueError) as error:
+        return ("raise", type(error).__name__, str(error), error)
+
+
+class _GatedExecutor:
+    """The compiled engine wrapped with interpreter cross-checks.
+
+    Each executor numbers the trials it runs; a trial is checked when
+    the gate is ``always``, or — under ``sampled`` — when it is the
+    executor's first trial or its seeded draw lands on the sampling
+    period.  The draw derives from the description name and trial
+    index, so which trials are checked is deterministic across
+    processes and independent of sharding order.
+    """
+
+    def __init__(
+        self,
+        description: ast.Description,
+        max_steps: int,
+        gate: str,
+        gate_seed: int,
+        gate_period: int,
+    ):
+        self._compiled = CompiledDescription(description, max_steps=max_steps)
+        self._interp = Interpreter(description, max_steps=max_steps)
+        self._name = description.name
+        self._gate = gate
+        self._gate_seed = gate_seed
+        self._gate_period = max(1, gate_period)
+        self._trial = 0
+
+    @property
+    def description(self) -> ast.Description:
+        return self._compiled.description
+
+    def _checked(self, index: int) -> bool:
+        if self._gate == "always":
+            return True
+        if index == 0:
+            return True
+        draw = derive_seed(self._gate_seed, "gate", self._name, index)
+        return draw % self._gate_period == 0
+
+    def run(
+        self,
+        inputs: Mapping[str, int],
+        memory: Optional[Mapping[int, int]] = None,
+    ) -> ExecutionResult:
+        index = self._trial
+        self._trial += 1
+        if not self._checked(index):
+            return self._compiled.run(inputs, memory)
+        got = _observe(self._compiled, inputs, memory)
+        want = _observe(self._interp, inputs, memory)
+        if got[:3] != want[:3]:
+            raise EngineMismatchError(
+                "compiled engine disagrees with interpreter on %r "
+                "(trial %d, inputs %r): compiled %r vs interpreted %r"
+                % (self._name, index, dict(inputs), got[:3], want[:3])
+            )
+        if got[0] == "raise":
+            raise got[3]
+        return got[1]
+
+
+@dataclass(frozen=True)
+class ExecutionEngine:
+    """A selected engine plus its differential-gate policy.
+
+    Frozen and hashable so it can ride inside shard specs and be
+    compared for equality in tests.  ``resolve`` accepts either an
+    engine name or an existing instance, which lets every API take
+    ``engine="compiled"`` and ``engine=ExecutionEngine(...)`` alike.
+    """
+
+    name: str = DEFAULT_ENGINE
+    #: ``always`` | ``sampled`` | ``off`` — how often compiled runs are
+    #: cross-checked against the interpreter.  Irrelevant for ``interp``.
+    gate: str = "always"
+    gate_seed: int = 1982
+    gate_period: int = 16
+
+    def __post_init__(self) -> None:
+        if self.name not in ENGINE_NAMES:
+            raise UnknownEngineError(self.name)
+        if self.gate not in GATE_MODES:
+            raise ValueError(
+                "unknown gate mode %r; choose from: %s"
+                % (self.gate, ", ".join(GATE_MODES))
+            )
+
+    @classmethod
+    def resolve(
+        cls,
+        engine: Union[None, str, "ExecutionEngine"],
+        gate: Optional[str] = None,
+    ) -> "ExecutionEngine":
+        """Normalize a name / instance / None into an ExecutionEngine."""
+        if engine is None:
+            engine = DEFAULT_ENGINE
+        if isinstance(engine, cls):
+            if gate is not None and gate != engine.gate:
+                return cls(
+                    name=engine.name,
+                    gate=gate,
+                    gate_seed=engine.gate_seed,
+                    gate_period=engine.gate_period,
+                )
+            return engine
+        if not isinstance(engine, str):
+            raise UnknownEngineError(engine)
+        return cls(name=engine, gate=gate if gate is not None else "always")
+
+    def executor(self, description: ast.Description, max_steps: int = 200_000):
+        """An object with ``run(inputs, memory) -> ExecutionResult``.
+
+        Reuse one executor for a whole trial stream: the compiled
+        engine amortizes its (cached) compilation, and the gate numbers
+        trials per executor.
+        """
+        if self.name == "interp":
+            return Interpreter(description, max_steps=max_steps)
+        if self.gate == "off":
+            return CompiledDescription(description, max_steps=max_steps)
+        return _GatedExecutor(
+            description,
+            max_steps=max_steps,
+            gate=self.gate,
+            gate_seed=self.gate_seed,
+            gate_period=self.gate_period,
+        )

@@ -38,6 +38,33 @@ def derive_seed(root: int, *labels: object) -> int:
     return int.from_bytes(digest.digest()[:8], "big")
 
 
+class _SeedStream:
+    """Per-index seeds for one ``(root, *labels)`` prefix, amortized.
+
+    Produces exactly ``derive_seed(root, *labels, index)`` for every
+    index — SHA-256 consumes its input as a stream, so hashing the
+    constant prefix once and ``copy()``-ing the digest state per index
+    yields bit-identical digests while skipping the re-hash of the
+    prefix on the verification hot path.
+    """
+
+    __slots__ = ("_prefix",)
+
+    def __init__(self, root: int, *labels: object):
+        prefix = hashlib.sha256()
+        prefix.update(str(int(root)).encode("ascii"))
+        for label in labels:
+            prefix.update(b"\x00")
+            prefix.update(str(label).encode("utf-8"))
+        prefix.update(b"\x00")
+        self._prefix = prefix
+
+    def at(self, index: int) -> int:
+        digest = self._prefix.copy()
+        digest.update(str(index).encode("ascii"))
+        return int.from_bytes(digest.digest()[:8], "big")
+
+
 @dataclass(frozen=True)
 class OperandSpec:
     """How to draw one operand value.
@@ -82,7 +109,7 @@ def _draw_char(rng: random.Random, string_bytes: Tuple[int, ...]) -> int:
     """A byte that occurs in the string about half of the time."""
     if string_bytes and rng.random() < 0.5:
         return rng.choice(string_bytes)
-    return rng.randrange(256)
+    return rng.getrandbits(8)
 
 
 def generate_scenario(spec: ScenarioSpec, rng: random.Random) -> Scenario:
@@ -100,7 +127,11 @@ def generate_scenario(spec: ScenarioSpec, rng: random.Random) -> Scenario:
     string_bytes: Tuple[int, ...] = ()
 
     # Addresses and the backing strings first, so "char" operands can be
-    # biased toward bytes that actually occur.
+    # biased toward bytes that actually occur.  Each backing string is
+    # one ``getrandbits`` draw split into bytes — scenario generation
+    # sits on the verification hot path, and per-byte RNG calls were
+    # its hottest spot.
+    count = spec.max_length + 4
     for name, operand in spec.operands.items():
         if operand.role != "address":
             continue
@@ -112,7 +143,7 @@ def generate_scenario(spec: ScenarioSpec, rng: random.Random) -> Scenario:
             next_base += spec.arena_stride
         if first_base is None:
             first_base = base
-        data = tuple(rng.randrange(256) for _ in range(spec.max_length + 4))
+        data = tuple(rng.getrandbits(8 * count).to_bytes(count, "little"))
         for offset, value in enumerate(data):
             memory[base + offset] = value
         if not string_bytes:
@@ -135,18 +166,14 @@ def generate_scenario(spec: ScenarioSpec, rng: random.Random) -> Scenario:
     return Scenario(inputs=inputs, memory=memory)
 
 
-def generate_scenario_at(
-    spec: ScenarioSpec, seed: int, index: int
+def _scenario_at(
+    spec: ScenarioSpec,
+    seeds: _SeedStream,
+    index: int,
+    rng: random.Random,
 ) -> Scenario:
-    """Draw the scenario at global trial ``index`` of the ``seed`` stream.
-
-    Each index gets its own :class:`random.Random` seeded via
-    :func:`derive_seed`, so scenario ``index`` is the same value no
-    matter which shard, process, or call order produces it.  Indices 0
-    and 1 pin the corner cases every string instruction must survive:
-    length zero and length one.
-    """
-    rng = random.Random(derive_seed(seed, "scenario", index))
+    """Draw trial ``index`` using ``rng`` as a reseeded scratch generator."""
+    rng.seed(seeds.at(index))
     scenario = generate_scenario(spec, rng)
     if index == 0:
         scenario = _with_length(spec, scenario, 0)
@@ -155,19 +182,69 @@ def generate_scenario_at(
     return scenario
 
 
+def generate_scenario_at(
+    spec: ScenarioSpec, seed: int, index: int
+) -> Scenario:
+    """Draw the scenario at global trial ``index`` of the ``seed`` stream.
+
+    Each index gets its own generator state seeded via
+    :func:`derive_seed`, so scenario ``index`` is the same value no
+    matter which shard, process, or call order produces it.  Indices 0
+    and 1 pin the corner cases every string instruction must survive:
+    length zero and length one.
+    """
+    return _scenario_at(
+        spec, _SeedStream(seed, "scenario"), index, random.Random(0)
+    )
+
+
+@dataclass(frozen=True)
+class ScenarioStream:
+    """The full deterministic scenario stream for one (spec, seed) pair.
+
+    Every consumer of randomized states — the verifier, the batch
+    runner's shards, the fuzz suites, and both execution engines —
+    should draw from one stream object instead of re-deriving the
+    window arithmetic, so "trial ``i``" denotes the *same* machine
+    state everywhere by construction.  The stream is stateless: any
+    index can be drawn at any time, in any process, in any order.
+    """
+
+    spec: ScenarioSpec
+    seed: int = 0
+
+    def at(self, index: int) -> Scenario:
+        """The scenario at global trial ``index``."""
+        return generate_scenario_at(self.spec, self.seed, index)
+
+    def window(self, offset: int, count: int) -> Tuple[Scenario, ...]:
+        """``count`` consecutive scenarios starting at ``offset``.
+
+        Sharding ``N`` trials into contiguous windows reproduces the
+        exact scenarios of one ``window(0, N)`` call, in order.  One
+        scratch generator serves the whole window (reseeded per index,
+        so the values match :meth:`at` exactly).
+        """
+        rng = random.Random(0)
+        seeds = _SeedStream(self.seed, "scenario")
+        return tuple(
+            _scenario_at(self.spec, seeds, offset + index, rng)
+            for index in range(count)
+        )
+
+    def take(self, count: int) -> Tuple[Scenario, ...]:
+        """The first ``count`` scenarios of the stream."""
+        return self.window(0, count)
+
+
 def generate_scenarios(
     spec: ScenarioSpec, trials: int, seed: int = 0, offset: int = 0
 ) -> Tuple[Scenario, ...]:
     """Draw ``trials`` scenarios deterministically from ``seed``.
 
-    ``offset`` selects a window of the stream: sharding ``N`` trials
-    into contiguous ``(offset, count)`` windows produces exactly the
-    scenarios of one ``offset=0, trials=N`` call, in order.
+    Compatibility wrapper over :meth:`ScenarioStream.window`.
     """
-    return tuple(
-        generate_scenario_at(spec, seed, offset + index)
-        for index in range(trials)
-    )
+    return ScenarioStream(spec, seed).window(offset, trials)
 
 
 def _with_length(spec: ScenarioSpec, scenario: Scenario, length: int) -> Scenario:

@@ -113,3 +113,29 @@ class TestBatchDeterminism:
             job.steps for job in b.results
         ]
         assert a.ok and b.ok
+
+
+class TestEngineDeterminism:
+    NAMES = ["scasb_rigel", "movsb_pascal"]
+
+    def test_engines_are_byte_identical(self):
+        # The execution engine is a substrate choice, not a semantic
+        # one: the JSON a batch reports must not depend on it.
+        compiled = run_batch(names=self.NAMES, trials=40, seed=9, engine="compiled")
+        interp = run_batch(names=self.NAMES, trials=40, seed=9, engine="interp")
+        assert compiled.to_json() == interp.to_json()
+        assert compiled.engine == "compiled"
+        assert interp.engine == "interp"
+
+    def test_verify_reports_match_across_engines(self, binding):
+        compiled = verify_binding(
+            binding, scasb_rigel.SCENARIO, trials=30, seed=3, engine="compiled"
+        )
+        interp = verify_binding(
+            binding, scasb_rigel.SCENARIO, trials=30, seed=3, engine="interp"
+        )
+        # Identical apart from the engine label itself.
+        assert compiled.trials == interp.trials
+        assert compiled.seed == interp.seed
+        assert compiled.offset == interp.offset
+        assert (compiled.engine, interp.engine) == ("compiled", "interp")

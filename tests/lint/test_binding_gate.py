@@ -132,7 +132,7 @@ class TestVerifyGate:
         def no_trials(*_args, **_kwargs):
             raise AssertionError("a fuzz trial ran before the lint gate")
 
-        monkeypatch.setattr(verify_module, "generate_scenarios", no_trials)
+        monkeypatch.setattr(verify_module, "ScenarioStream", no_trials)
         binding = make_binding(
             (RangeConstraint("Len", 1, 256), ValueConstraint("df", 0))
         )

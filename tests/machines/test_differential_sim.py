@@ -27,9 +27,14 @@ from repro.machines.b4800.sim import B4800Simulator
 from repro.machines.i8086.sim import I8086Simulator
 from repro.machines.ibm370.sim import Ibm370Simulator
 from repro.machines.vax11.sim import Vax11Simulator
-from repro.semantics import Interpreter, derive_seed
+from repro.semantics import ExecutionEngine, derive_seed
 
 TRIALS = 25
+
+#: compiled execution with the always-on differential gate, so the
+#: ISDL side of every sim comparison is itself cross-checked against
+#: the reference interpreter.
+ENGINE = ExecutionEngine()
 
 
 def _rng(*labels):
@@ -37,7 +42,7 @@ def _rng(*labels):
 
 
 def _interp(machine, mnemonic):
-    return Interpreter(load_description(machine, mnemonic))
+    return ENGINE.executor(load_description(machine, mnemonic))
 
 
 def _string_memory(rng, *bases, length=16):

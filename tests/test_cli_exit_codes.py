@@ -45,6 +45,27 @@ class TestOk:
     def test_analyze_success(self, capsys):
         assert main(["analyze", "scasb_rigel", "--no-verify"]) == 0
 
+    def test_verify_success(self, capsys):
+        assert main(["verify", "scasb_rigel", "--trials", "10"]) == 0
+        assert "scasb_rigel" in capsys.readouterr().out
+
+    def test_verify_accepts_both_engines(self, capsys):
+        for engine in ("interp", "compiled"):
+            assert (
+                main(
+                    ["verify", "scasb_rigel", "--trials", "5", "--engine", engine]
+                )
+                == 0
+            )
+
+    def test_bench_success(self, capsys):
+        import json
+
+        assert main(["bench", "scasb_rigel", "--trials", "2", "--json"]) == 0
+        payload = json.loads(capsys.readouterr().out)
+        assert payload["schema"] == "repro.bench/1"
+        assert set(payload["engines"]) == {"interp", "compiled"}
+
 
 class TestFindings:
     def test_lint_reports_diagnostics(self, tmp_path, capsys):
@@ -94,6 +115,21 @@ class TestUsageErrors:
     def test_batch_unknown_name(self, capsys):
         assert main(["batch", "nosuch_analysis"]) == 2
         assert capsys.readouterr().err
+
+    def test_batch_unknown_engine(self, capsys):
+        assert main(["batch", "scasb_rigel", "--engine", "nosuch"]) == 2
+        err = capsys.readouterr().err
+        assert err.strip() == (
+            "unknown engine 'nosuch'; choose from: interp, compiled"
+        )
+
+    def test_verify_unknown_engine(self, capsys):
+        assert main(["verify", "scasb_rigel", "--engine", "nosuch"]) == 2
+        assert "unknown engine" in capsys.readouterr().err
+
+    def test_analyze_unknown_engine(self, capsys):
+        assert main(["analyze", "scasb_rigel", "--engine", "nosuch"]) == 2
+        assert "unknown engine" in capsys.readouterr().err
 
     def test_missing_subcommand_is_usage_error(self, capsys):
         with pytest.raises(SystemExit) as excinfo:

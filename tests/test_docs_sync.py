@@ -35,6 +35,17 @@ def test_isdl_reference_exists_and_covers_constructs():
         assert construct in text, construct
 
 
+def test_isdl_docs_cover_execution_engines():
+    from repro.semantics.engine import ENGINE_NAMES, GATE_MODES
+
+    text = (DOCS / "isdl.md").read_text()
+    assert "## Execution engines" in text
+    for name in ENGINE_NAMES:
+        assert f"`{name}`" in text, name
+    for mode in GATE_MODES:
+        assert f'gate="{mode}"' in text, mode
+
+
 def test_transcripts_cover_every_analysis():
     from repro import analyses
 

@@ -18,7 +18,7 @@ import pytest
 
 from repro.isdl import ast, parse_description
 from repro.isdl.visitor import walk
-from repro.semantics import Interpreter
+from repro.semantics import ExecutionEngine
 from repro.semantics.randomgen import OperandSpec, ScenarioSpec, generate_scenarios
 from repro.transform import Context, TransformError, all_transformations
 from repro.transform.base import TransformResult
@@ -125,11 +125,17 @@ def _load(name, text):
     raise AssertionError(name)
 
 
+#: compiled execution with the always-on differential gate: every
+#: fuzzed variant is run by both engines and cross-checked, so this
+#: suite doubles as an engine-equivalence corpus.
+ENGINE = ExecutionEngine()
+
+
 def _behaviour(description, scenarios):
-    interpreter = Interpreter(description)
+    executor = ENGINE.executor(description)
     results = []
     for scenario in scenarios:
-        run = interpreter.run(scenario.inputs, scenario.memory)
+        run = executor.run(scenario.inputs, scenario.memory)
         results.append((run.outputs, tuple(sorted(run.memory.items()))))
     return results
 

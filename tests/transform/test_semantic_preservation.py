@@ -13,10 +13,14 @@ import pytest
 
 from repro.analyses import TABLE2
 from repro.analysis import AnalysisSession
-from repro.semantics import Interpreter
+from repro.semantics import ExecutionEngine
 from repro.semantics.randomgen import generate_scenarios
 
 TRIALS = 25
+
+#: compiled execution, cross-checked against the interpreter on every
+#: trial (the gate defaults to "always" — see repro.semantics.engine).
+ENGINE = ExecutionEngine()
 
 
 @pytest.mark.parametrize(
@@ -31,8 +35,8 @@ def test_script_steps_preserve_semantics(module):
     scenarios = generate_scenarios(module.SCENARIO, TRIALS, seed=42)
     final_operator = binding.final_operator
     original_operator = _original_operator(module)
-    interp_before = Interpreter(original_operator)
-    interp_after = Interpreter(final_operator)
+    interp_before = ENGINE.executor(original_operator)
+    interp_after = ENGINE.executor(final_operator)
     for scenario in scenarios:
         inputs = _clip(scenario.inputs, binding)
         before = interp_before.run(inputs, scenario.memory)
