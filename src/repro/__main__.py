@@ -6,6 +6,8 @@ Usage::
     python -m repro table2 [--no-verify]   # replay all 11 analyses
     python -m repro analyze scasb_rigel    # one analysis, full report
     python -m repro batch --jobs 4 --json  # full catalog, in parallel
+    python -m repro trace scasb_rigel      # print the recorded derivation
+    python -m repro replay --all           # re-check derivations (drift gate)
     python -m repro lint --all             # static-check every description
     python -m repro figures                # regenerate figures 2-5
     python -m repro failures               # the documented failures
@@ -35,13 +37,13 @@ def cmd_table1(_args) -> int:
 
 
 def cmd_table2(args) -> int:
-    from .analyses import TABLE2
+    from .analyses import REGISTRY
     from .analysis import format_table, table2_row
 
     rows = []
     ok = True
-    for module in TABLE2:
-        outcome = module.run(verify=not args.no_verify, trials=args.trials)
+    for spec in (s for s in REGISTRY if s.group == "table2"):
+        outcome = spec.module.run(verify=not args.no_verify, trials=args.trials)
         ok = ok and outcome.succeeded
         machine, instruction, language, operation, steps = table2_row(outcome)
         rows.append(
@@ -51,7 +53,7 @@ def cmd_table2(args) -> int:
                 language,
                 operation,
                 steps,
-                str(module.PAPER_STEPS),
+                str(spec.paper_steps),
             )
         )
     print(
@@ -63,9 +65,20 @@ def cmd_table2(args) -> int:
     return 0 if ok else 1
 
 
+def _default_cache_dir():
+    import os
+
+    from .provenance import DEFAULT_STORE_DIR, STORE_ENV_VAR
+
+    return os.environ.get(STORE_ENV_VAR) or DEFAULT_STORE_DIR
+
+
 def cmd_batch(args) -> int:
     from .analysis.runner import UnknownAnalysisError, run_batch
 
+    cache_dir = None
+    if not args.no_cache:
+        cache_dir = args.cache_dir or _default_cache_dir()
     try:
         report = run_batch(
             names=args.names or None,
@@ -75,6 +88,7 @@ def cmd_batch(args) -> int:
             verify=not args.no_verify,
             timeout=args.timeout,
             engine=args.engine,
+            cache_dir=cache_dir,
         )
     except (UnknownAnalysisError, ValueError) as error:
         print(str(error), file=sys.stderr)
@@ -109,13 +123,18 @@ def cmd_verify(args) -> int:
 
 
 def cmd_bench(args) -> int:
-    from .analysis.bench import format_bench, run_bench
+    from .analysis.bench import format_bench, run_bench, run_cache_bench
     from .analysis.runner import UnknownAnalysisError
 
     try:
-        payload = run_bench(
-            names=args.names or None, trials=args.trials, seed=args.seed
-        )
+        if args.cache:
+            payload = run_cache_bench(
+                names=args.names or None, trials=args.trials, seed=args.seed
+            )
+        else:
+            payload = run_bench(
+                names=args.names or None, trials=args.trials, seed=args.seed
+            )
     except (UnknownAnalysisError, ValueError) as error:
         print(str(error), file=sys.stderr)
         return 2
@@ -177,6 +196,79 @@ def cmd_analyze(args) -> int:
         print("transformation log:")
         print(outcome.log)
     return 0 if outcome.succeeded else 1
+
+
+def cmd_trace(args) -> int:
+    import json
+
+    from .provenance import TraceStore, stored_trace
+
+    modules = _analysis_modules()
+    if args.name not in modules:
+        print(
+            f"unknown analysis {args.name!r}; try: python -m repro list",
+            file=sys.stderr,
+        )
+        return 2
+    store = None
+    if not args.no_cache:
+        store = TraceStore(args.cache_dir or _default_cache_dir())
+    trace = stored_trace(store, args.name)
+    origin = "stored"
+    if trace is None:
+        outcome = modules[args.name].run(verify=False)
+        trace = outcome.trace
+        origin = "fresh"
+    if trace is None:
+        print(f"{args.name}: no trace recorded", file=sys.stderr)
+        return 1
+    if args.format == "json":
+        print(json.dumps(trace.to_dict(), indent=2, sort_keys=True))
+    else:
+        print(f"# {args.name} ({origin}) digest={trace.digest()}")
+        print(trace.log())
+    return 0
+
+
+def cmd_replay(args) -> int:
+    import importlib
+
+    from .analysis.runner import UnknownAnalysisError, resolve_names
+    from .provenance import TraceStore, replay_analysis, trace_for
+    from .transform import ReplayDivergenceError, TransformError
+
+    if not args.names and not args.all:
+        print("replay: give analysis names or --all", file=sys.stderr)
+        return 2
+    try:
+        entries = resolve_names(None if args.all else args.names)
+    except UnknownAnalysisError as error:
+        print(str(error), file=sys.stderr)
+        return 2
+    store = None
+    if not args.no_cache:
+        store = TraceStore(args.cache_dir or _default_cache_dir())
+    failed = 0
+    for entry in entries:
+        module = importlib.import_module(f"repro.analyses.{entry.name}")
+        trace, origin = trace_for(store, entry.name)
+        if trace is None:
+            print(f"FAILED {entry.name}: no trace recorded")
+            failed += 1
+            continue
+        try:
+            replay_analysis(trace, module.OPERATOR(), module.INSTRUCTION())
+        except (ReplayDivergenceError, TransformError) as error:
+            print(f"FAILED {entry.name} ({origin}): {error}")
+            failed += 1
+            continue
+        print(
+            f"ok     {entry.name} ({origin}) steps={trace.steps} "
+            f"digest={trace.digest()[:12]}"
+        )
+    total = len(entries)
+    print(f"{total - failed}/{total} derivations replayed with digest agreement")
+    return 0 if failed == 0 else 1
 
 
 def cmd_lint(args) -> int:
@@ -391,6 +483,52 @@ def main(argv=None) -> int:
         default=None,
         help="execution engine: interp | compiled (default: compiled)",
     )
+    p_batch.add_argument(
+        "--cache-dir",
+        default=None,
+        help="provenance store root (default: $REPRO_CACHE_DIR or .repro-cache)",
+    )
+    p_batch.add_argument(
+        "--no-cache",
+        action="store_true",
+        help="disable the provenance cache; replay and verify everything",
+    )
+
+    p_trace = sub.add_parser(
+        "trace", help="print one analysis's recorded derivation"
+    )
+    p_trace.add_argument("name")
+    p_trace.add_argument(
+        "--format", choices=["text", "json"], default="text"
+    )
+    p_trace.add_argument(
+        "--cache-dir",
+        default=None,
+        help="provenance store root (default: $REPRO_CACHE_DIR or .repro-cache)",
+    )
+    p_trace.add_argument(
+        "--no-cache",
+        action="store_true",
+        help="ignore stored traces; record a fresh derivation",
+    )
+
+    p_replay = sub.add_parser(
+        "replay", help="re-apply recorded derivations with digest checks"
+    )
+    p_replay.add_argument("names", nargs="*", help="analysis names")
+    p_replay.add_argument(
+        "--all", action="store_true", help="replay the whole catalog"
+    )
+    p_replay.add_argument(
+        "--cache-dir",
+        default=None,
+        help="provenance store root (default: $REPRO_CACHE_DIR or .repro-cache)",
+    )
+    p_replay.add_argument(
+        "--no-cache",
+        action="store_true",
+        help="ignore stored traces; self-check fresh derivations",
+    )
 
     p_verify = sub.add_parser(
         "verify", help="differentially verify named analyses"
@@ -420,6 +558,11 @@ def main(argv=None) -> int:
     )
     p_bench.add_argument(
         "--out", default=None, help="write the payload to this path"
+    )
+    p_bench.add_argument(
+        "--cache",
+        action="store_true",
+        help="benchmark the provenance cache (cold vs warm batch)",
     )
 
     sub.add_parser("list", help="list available analyses")
@@ -467,6 +610,8 @@ def main(argv=None) -> int:
         "table1": cmd_table1,
         "table2": cmd_table2,
         "batch": cmd_batch,
+        "trace": cmd_trace,
+        "replay": cmd_replay,
         "verify": cmd_verify,
         "bench": cmd_bench,
         "list": cmd_list,

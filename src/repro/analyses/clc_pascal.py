@@ -10,9 +10,12 @@ one byte) and vanishes — mirroring how the hardware has no Z preset.
 
 from __future__ import annotations
 
+from typing import Optional
+
 from ..analysis import AnalysisInfo, AnalysisOutcome, AnalysisSession
 from ..languages import pascal
 from ..machines.ibm370 import descriptions as ibm370
+from ..semantics.engine import ExecutionEngine
 from ..semantics.randomgen import OperandSpec, ScenarioSpec
 from .common import run_analysis
 
@@ -24,6 +27,11 @@ INFO = AnalysisInfo(
     operator="string.equal",
 )
 
+#: input-description factories — the single source the runner,
+#: provenance cache, and replay gate all build the originals from.
+OPERATOR = pascal.sequal
+INSTRUCTION = ibm370.clc
+
 SCENARIO = ScenarioSpec(
     operands={
         "A.Base": OperandSpec("address"),
@@ -32,8 +40,6 @@ SCENARIO = ScenarioSpec(
     }
 )
 
-#: IR operand field -> operator operand name.
-FIELD_MAP = {"a": "A.Base", "b": "B.Base", "length": "Len"}
 
 
 def script(session: AnalysisSession) -> None:
@@ -78,7 +84,11 @@ def script(session: AnalysisSession) -> None:
     operator.apply("eliminate_dead_assignment", at=operator.stmt("eq <- 1;"))
 
 
-def run(verify: bool = True, trials: int = 120, engine=None) -> AnalysisOutcome:
+def run(
+    verify: bool = True,
+    trials: int = 120,
+    engine: Optional[ExecutionEngine] = None,
+) -> AnalysisOutcome:
     return run_analysis(
-        INFO, pascal.sequal(), ibm370.clc(), script, SCENARIO, verify, trials, engine=engine
+        INFO, OPERATOR(), INSTRUCTION(), script, SCENARIO, verify, trials, engine=engine
     )

@@ -11,9 +11,12 @@ factored into an access routine mirroring ``fetchs``/``fetchd``.
 
 from __future__ import annotations
 
+from typing import Optional
+
 from ..analysis import AnalysisInfo, AnalysisOutcome, AnalysisSession
 from ..languages import pascal
 from ..machines.i8086 import descriptions as i8086
+from ..semantics.engine import ExecutionEngine
 from ..semantics.randomgen import OperandSpec, ScenarioSpec
 from .common import run_analysis
 
@@ -25,7 +28,11 @@ INFO = AnalysisInfo(
     operator="string.equal",
 )
 
-PAPER_STEPS = 79
+#: input-description factories — the single source the runner,
+#: provenance cache, and replay gate all build the originals from.
+OPERATOR = pascal.sequal
+INSTRUCTION = i8086.cmpsb
+
 
 SCENARIO = ScenarioSpec(
     operands={
@@ -145,11 +152,11 @@ def script(session: AnalysisSession) -> None:
     transform_sequal(session)
 
 
-def run(verify: bool = True, trials: int = 120, engine=None) -> AnalysisOutcome:
+def run(
+    verify: bool = True,
+    trials: int = 120,
+    engine: Optional[ExecutionEngine] = None,
+) -> AnalysisOutcome:
     return run_analysis(
-        INFO, pascal.sequal(), i8086.cmpsb(), script, SCENARIO, verify, trials, engine=engine
+        INFO, OPERATOR(), INSTRUCTION(), script, SCENARIO, verify, trials, engine=engine
     )
-
-#: IR operand field -> operator operand name, used by the code
-#: generator to route IR operands into instruction registers.
-FIELD_MAP = {'a': 'A.Base', 'b': 'B.Base', 'length': 'Len'}

@@ -1,10 +1,13 @@
 """Shared driver for the recorded analysis scripts.
 
-Each analysis module defines ``INFO`` (the Table 2 row), ``SCENARIO``
-(the differential-testing recipe), a ``PAPER_STEPS`` count (what the
-1982 system needed), and a ``script(session)`` function that applies
-the transformation sequence.  :func:`run_analysis` plays the script,
-matches, verifies, and wraps everything in an
+Each analysis module defines ``INFO`` (the Table 2 row), ``OPERATOR``
+and ``INSTRUCTION`` (the input-description factories), ``SCENARIO``
+(the differential-testing recipe), and a ``script(session)`` function
+that applies the transformation sequence; the declarative registry in
+:mod:`repro.analyses` carries the per-row metadata (paper step counts,
+codegen field maps).  :func:`run_analysis` plays the script, matches,
+verifies, and wraps everything — including the structured two-sided
+:class:`~repro.provenance.AnalysisTrace` — in an
 :class:`~repro.analysis.report.AnalysisOutcome`.
 """
 
@@ -35,7 +38,7 @@ def run_analysis(
     verify: bool = True,
     trials: int = 120,
     language_facts: Sequence[LanguageFact] = (),
-    engine: "Optional[object]" = None,
+    engine: Optional[ExecutionEngine] = None,
 ) -> AnalysisOutcome:
     """Play one analysis script end to end.
 
@@ -57,7 +60,7 @@ def run_analysis(
             language=info.language,
             operation=info.operation,
             failure=f"{type(error).__name__}: {error}",
-            log=session.log(),
+            trace=session.trace(),
         )
     verification = None
     if verify and scenario is not None:
@@ -74,5 +77,5 @@ def run_analysis(
         operation=info.operation,
         binding=binding,
         verification=verification,
-        log=session.log(),
+        trace=session.trace(),
     )

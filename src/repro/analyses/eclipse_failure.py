@@ -16,9 +16,12 @@ constant to propagate.  The attempt below fails on exactly that guard.
 
 from __future__ import annotations
 
+from typing import Optional
+
 from ..analysis import AnalysisInfo, AnalysisOutcome, AnalysisSession
 from ..languages import pascal
 from ..machines.eclipse import descriptions as eclipse
+from ..semantics.engine import ExecutionEngine
 from ..semantics.randomgen import OperandSpec, ScenarioSpec
 from .common import run_analysis
 
@@ -29,6 +32,11 @@ INFO = AnalysisInfo(
     operation="string move",
     operator="string.move",
 )
+
+#: input-description factories — the single source the runner,
+#: provenance cache, and replay gate all build the originals from.
+OPERATOR = pascal.sassign
+INSTRUCTION = eclipse.cmv
 
 SCENARIO = ScenarioSpec(
     operands={
@@ -66,7 +74,11 @@ def script(session: AnalysisSession) -> None:
     )
 
 
-def run(verify: bool = True, trials: int = 120, engine=None) -> AnalysisOutcome:
+def run(
+    verify: bool = True,
+    trials: int = 120,
+    engine: Optional[ExecutionEngine] = None,
+) -> AnalysisOutcome:
     return run_analysis(
-        INFO, pascal.sassign(), eclipse.cmv(), script, SCENARIO, verify, trials, engine=engine
+        INFO, OPERATOR(), INSTRUCTION(), script, SCENARIO, verify, trials, engine=engine
     )

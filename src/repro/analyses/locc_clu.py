@@ -10,9 +10,12 @@ relative ease: 32 for CLU vs. 33 for Rigel.
 
 from __future__ import annotations
 
+from typing import Optional
+
 from ..analysis import AnalysisInfo, AnalysisOutcome, AnalysisSession
 from ..languages import clu
 from ..machines.vax11 import descriptions as vax11
+from ..semantics.engine import ExecutionEngine
 from ..semantics.randomgen import OperandSpec, ScenarioSpec
 from .common import run_analysis
 from .locc_rigel import augment_locc
@@ -25,7 +28,11 @@ INFO = AnalysisInfo(
     operator="string.index",
 )
 
-PAPER_STEPS = 32
+#: input-description factories — the single source the runner,
+#: provenance cache, and replay gate all build the originals from.
+OPERATOR = clu.indexc
+INSTRUCTION = vax11.locc
+
 
 SCENARIO = ScenarioSpec(
     operands={
@@ -97,11 +104,11 @@ def script(session: AnalysisSession) -> None:
     transform_indexc(session)
 
 
-def run(verify: bool = True, trials: int = 120, engine=None) -> AnalysisOutcome:
+def run(
+    verify: bool = True,
+    trials: int = 120,
+    engine: Optional[ExecutionEngine] = None,
+) -> AnalysisOutcome:
     return run_analysis(
-        INFO, clu.indexc(), vax11.locc(), script, SCENARIO, verify, trials, engine=engine
+        INFO, OPERATOR(), INSTRUCTION(), script, SCENARIO, verify, trials, engine=engine
     )
-
-#: IR operand field -> operator operand name, used by the code
-#: generator to route IR operands into instruction registers.
-FIELD_MAP = {'base': 'S.Base', 'length': 'S.Limit', 'char': 'c'}

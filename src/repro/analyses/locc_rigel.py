@@ -15,9 +15,12 @@ post-loop read of the pointer (``swap_increment_with_exit``).
 
 from __future__ import annotations
 
+from typing import Optional
+
 from ..analysis import AnalysisInfo, AnalysisOutcome, AnalysisSession
 from ..languages import rigel
 from ..machines.vax11 import descriptions as vax11
+from ..semantics.engine import ExecutionEngine
 from ..semantics.randomgen import OperandSpec, ScenarioSpec
 from .common import run_analysis
 
@@ -29,7 +32,11 @@ INFO = AnalysisInfo(
     operator="string.index",
 )
 
-PAPER_STEPS = 33
+#: input-description factories — the single source the runner,
+#: provenance cache, and replay gate all build the originals from.
+OPERATOR = rigel.index
+INSTRUCTION = vax11.locc
+
 
 SCENARIO = ScenarioSpec(
     operands={
@@ -129,11 +136,11 @@ def script(session: AnalysisSession) -> None:
     transform_index(session)
 
 
-def run(verify: bool = True, trials: int = 120, engine=None) -> AnalysisOutcome:
+def run(
+    verify: bool = True,
+    trials: int = 120,
+    engine: Optional[ExecutionEngine] = None,
+) -> AnalysisOutcome:
     return run_analysis(
-        INFO, rigel.index(), vax11.locc(), script, SCENARIO, verify, trials, engine=engine
+        INFO, OPERATOR(), INSTRUCTION(), script, SCENARIO, verify, trials, engine=engine
     )
-
-#: IR operand field -> operator operand name, used by the code
-#: generator to route IR operands into instruction registers.
-FIELD_MAP = {'base': 'Src.Base', 'length': 'Src.Length', 'char': 'ch'}

@@ -15,9 +15,12 @@ analyzable — see :mod:`repro.analyses.movc3_sassign_failure`.
 
 from __future__ import annotations
 
+from typing import Optional
+
 from ..analysis import AnalysisInfo, AnalysisOutcome, AnalysisSession
 from ..languages import pc2
 from ..machines.vax11 import descriptions as vax11
+from ..semantics.engine import ExecutionEngine
 from ..semantics.randomgen import OperandSpec, ScenarioSpec
 from .common import run_analysis
 
@@ -29,7 +32,11 @@ INFO = AnalysisInfo(
     operator="block.copy",
 )
 
-PAPER_STEPS = 21
+#: input-description factories — the single source the runner,
+#: provenance cache, and replay gate all build the originals from.
+OPERATOR = pc2.blkcpy
+INSTRUCTION = vax11.movc3
+
 
 #: both sides guard against overlap, so overlapping scenarios are fair
 #: game for the differential check.
@@ -58,11 +65,11 @@ def script(session: AnalysisSession) -> None:
     operator.apply("swap_statements", at=operator.stmt("t <- t + 1;"))
 
 
-def run(verify: bool = True, trials: int = 120, engine=None) -> AnalysisOutcome:
+def run(
+    verify: bool = True,
+    trials: int = 120,
+    engine: Optional[ExecutionEngine] = None,
+) -> AnalysisOutcome:
     return run_analysis(
-        INFO, pc2.blkcpy(), vax11.movc3(), script, SCENARIO, verify, trials, engine=engine
+        INFO, OPERATOR(), INSTRUCTION(), script, SCENARIO, verify, trials, engine=engine
     )
-
-#: IR operand field -> operator operand name, used by the code
-#: generator to route IR operands into instruction registers.
-FIELD_MAP = {'src': 'from', 'dst': 'to', 'length': 'count'}

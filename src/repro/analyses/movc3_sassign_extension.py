@@ -15,11 +15,16 @@ on (non-overlapping, as Pascal guarantees) randomized states.
 
 from __future__ import annotations
 
+from typing import Optional
+
 from ..analysis import AnalysisOutcome
 from ..constraints import LanguageFact
+from ..semantics.engine import ExecutionEngine
 from . import movc3_sassign_failure
 
 INFO = movc3_sassign_failure.INFO
+OPERATOR = movc3_sassign_failure.OPERATOR
+INSTRUCTION = movc3_sassign_failure.INSTRUCTION
 SCENARIO = movc3_sassign_failure.SCENARIO
 
 #: Pascal strings can never overlap — a property of the source
@@ -30,8 +35,11 @@ NO_OVERLAP = LanguageFact(
 )
 
 
-def run(verify: bool = True, trials: int = 120, engine=None) -> AnalysisOutcome:
+def run(
+    verify: bool = True,
+    trials: int = 120,
+    engine: Optional[ExecutionEngine] = None,
+) -> AnalysisOutcome:
     return movc3_sassign_failure.run(
         verify=verify, trials=trials, language_facts=(NO_OVERLAP,), engine=engine
     )
-FIELD_MAP = dict(movc3_sassign_failure.FIELD_MAP)

@@ -20,12 +20,13 @@ no-overlap property a *language fact* lives in
 
 from __future__ import annotations
 
-from typing import Sequence
+from typing import Optional, Sequence
 
 from ..analysis import AnalysisInfo, AnalysisOutcome, AnalysisSession
 from ..constraints import LanguageFact
 from ..languages import pascal
 from ..machines.vax11 import descriptions as vax11
+from ..semantics.engine import ExecutionEngine
 from ..semantics.randomgen import OperandSpec, ScenarioSpec
 from .common import run_analysis
 
@@ -36,6 +37,11 @@ INFO = AnalysisInfo(
     operation="string move",
     operator="string.move",
 )
+
+#: input-description factories — the single source the runner,
+#: provenance cache, and replay gate all build the originals from.
+OPERATOR = pascal.sassign
+INSTRUCTION = vax11.movc3
 
 SCENARIO = ScenarioSpec(
     operands={
@@ -106,12 +112,12 @@ def run(
     verify: bool = True,
     trials: int = 120,
     language_facts: Sequence[LanguageFact] = (),
-    engine=None,
+    engine: Optional[ExecutionEngine] = None,
 ) -> AnalysisOutcome:
     return run_analysis(
         INFO,
-        pascal.sassign(),
-        vax11.movc3(),
+        OPERATOR(),
+        INSTRUCTION(),
         script,
         SCENARIO,
         verify,
@@ -119,7 +125,3 @@ def run(
         language_facts=language_facts,
         engine=engine,
     )
-
-#: IR operand field -> operator operand name, used by the code
-#: generator to route IR operands into instruction registers.
-FIELD_MAP = {'src': 'Src.Base', 'dst': 'Dst.Base', 'length': 'Len'}

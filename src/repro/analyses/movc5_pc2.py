@@ -11,9 +11,12 @@ simplified by fixing the values of some of its operands."
 
 from __future__ import annotations
 
+from typing import Optional
+
 from ..analysis import AnalysisInfo, AnalysisOutcome, AnalysisSession
 from ..languages import pc2
 from ..machines.vax11 import descriptions as vax11
+from ..semantics.engine import ExecutionEngine
 from ..semantics.randomgen import OperandSpec, ScenarioSpec
 from .common import run_analysis
 
@@ -25,7 +28,11 @@ INFO = AnalysisInfo(
     operator="block.clear",
 )
 
-PAPER_STEPS = 26
+#: input-description factories — the single source the runner,
+#: provenance cache, and replay gate all build the originals from.
+OPERATOR = pc2.blkclr
+INSTRUCTION = vax11.movc5
+
 
 SCENARIO = ScenarioSpec(
     operands={
@@ -76,11 +83,11 @@ def script(session: AnalysisSession) -> None:
     instruction.apply("eliminate_dead_variable", at=instruction.decl("fill"))
 
 
-def run(verify: bool = True, trials: int = 120, engine=None) -> AnalysisOutcome:
+def run(
+    verify: bool = True,
+    trials: int = 120,
+    engine: Optional[ExecutionEngine] = None,
+) -> AnalysisOutcome:
     return run_analysis(
-        INFO, pc2.blkclr(), vax11.movc5(), script, SCENARIO, verify, trials, engine=engine
+        INFO, OPERATOR(), INSTRUCTION(), script, SCENARIO, verify, trials, engine=engine
     )
-
-#: IR operand field -> operator operand name, used by the code
-#: generator to route IR operands into instruction registers.
-FIELD_MAP = {'dst': 'addr', 'length': 'count'}

@@ -11,9 +11,12 @@ pointers, and factor the source access into a routine matching
 
 from __future__ import annotations
 
+from typing import Optional
+
 from ..analysis import AnalysisInfo, AnalysisOutcome, AnalysisSession
 from ..languages import pascal
 from ..machines.i8086 import descriptions as i8086
+from ..semantics.engine import ExecutionEngine
 from ..semantics.randomgen import OperandSpec, ScenarioSpec
 from .common import run_analysis
 
@@ -25,7 +28,11 @@ INFO = AnalysisInfo(
     operator="string.move",
 )
 
-PAPER_STEPS = 52
+#: input-description factories — the single source the runner,
+#: provenance cache, and replay gate all build the originals from.
+OPERATOR = pascal.sassign
+INSTRUCTION = i8086.movsb
+
 
 SCENARIO = ScenarioSpec(
     operands={
@@ -129,11 +136,11 @@ def script(session: AnalysisSession) -> None:
     transform_sassign(session)
 
 
-def run(verify: bool = True, trials: int = 120, engine=None) -> AnalysisOutcome:
+def run(
+    verify: bool = True,
+    trials: int = 120,
+    engine: Optional[ExecutionEngine] = None,
+) -> AnalysisOutcome:
     return run_analysis(
-        INFO, pascal.sassign(), i8086.movsb(), script, SCENARIO, verify, trials, engine=engine
+        INFO, OPERATOR(), INSTRUCTION(), script, SCENARIO, verify, trials, engine=engine
     )
-
-#: IR operand field -> operator operand name, used by the code
-#: generator to route IR operands into instruction registers.
-FIELD_MAP = {'src': 'Src.Base', 'dst': 'Dst.Base', 'length': 'Len'}

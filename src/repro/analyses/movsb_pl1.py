@@ -10,9 +10,12 @@ steps than Pascal's (66 vs. 52 in the paper's Table 2).
 
 from __future__ import annotations
 
+from typing import Optional
+
 from ..analysis import AnalysisInfo, AnalysisOutcome, AnalysisSession
 from ..languages import pl1
 from ..machines.i8086 import descriptions as i8086
+from ..semantics.engine import ExecutionEngine
 from ..semantics.randomgen import OperandSpec, ScenarioSpec
 from .common import run_analysis
 from .movsb_pascal import simplify_movsb
@@ -25,7 +28,11 @@ INFO = AnalysisInfo(
     operator="string.move",
 )
 
-PAPER_STEPS = 66
+#: input-description factories — the single source the runner,
+#: provenance cache, and replay gate all build the originals from.
+OPERATOR = pl1.strmove
+INSTRUCTION = i8086.movsb
+
 
 SCENARIO = ScenarioSpec(
     operands={
@@ -104,11 +111,11 @@ def script(session: AnalysisSession) -> None:
     transform_strmove(session)
 
 
-def run(verify: bool = True, trials: int = 120, engine=None) -> AnalysisOutcome:
+def run(
+    verify: bool = True,
+    trials: int = 120,
+    engine: Optional[ExecutionEngine] = None,
+) -> AnalysisOutcome:
     return run_analysis(
-        INFO, pl1.strmove(), i8086.movsb(), script, SCENARIO, verify, trials, engine=engine
+        INFO, OPERATOR(), INSTRUCTION(), script, SCENARIO, verify, trials, engine=engine
     )
-
-#: IR operand field -> operator operand name, used by the code
-#: generator to route IR operands into instruction registers.
-FIELD_MAP = {'src': 'Src.Base', 'dst': 'Dst.Base', 'length': 'Len'}

@@ -11,9 +11,12 @@ and rotate Pascal's pre-test loop under the resulting assertion.
 
 from __future__ import annotations
 
+from typing import Optional
+
 from ..analysis import AnalysisInfo, AnalysisOutcome, AnalysisSession
 from ..languages import pascal
 from ..machines.b4800 import descriptions as b4800
+from ..semantics.engine import ExecutionEngine
 from ..semantics.randomgen import OperandSpec, ScenarioSpec
 from .common import run_analysis
 from .mvc_pascal import transform_sassign
@@ -26,6 +29,11 @@ INFO = AnalysisInfo(
     operator="string.move",
 )
 
+#: input-description factories — the single source the runner,
+#: provenance cache, and replay gate all build the originals from.
+OPERATOR = pascal.sassign
+INSTRUCTION = b4800.mva
+
 SCENARIO = ScenarioSpec(
     operands={
         "Src.Base": OperandSpec("address"),
@@ -34,8 +42,6 @@ SCENARIO = ScenarioSpec(
     }
 )
 
-#: IR operand field -> operator operand name.
-FIELD_MAP = {"src": "Src.Base", "dst": "Dst.Base", "length": "Len"}
 
 
 def integrate_coding_constraint(session: AnalysisSession) -> None:
@@ -54,7 +60,11 @@ def script(session: AnalysisSession) -> None:
     transform_sassign(session)
 
 
-def run(verify: bool = True, trials: int = 120, engine=None) -> AnalysisOutcome:
+def run(
+    verify: bool = True,
+    trials: int = 120,
+    engine: Optional[ExecutionEngine] = None,
+) -> AnalysisOutcome:
     return run_analysis(
-        INFO, pascal.sassign(), b4800.mva(), script, SCENARIO, verify, trials, engine=engine
+        INFO, OPERATOR(), INSTRUCTION(), script, SCENARIO, verify, trials, engine=engine
     )

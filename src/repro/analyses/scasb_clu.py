@@ -12,9 +12,12 @@ computation).
 
 from __future__ import annotations
 
+from typing import Optional
+
 from ..analysis import AnalysisInfo, AnalysisOutcome, AnalysisSession
 from ..languages import clu
 from ..machines.i8086 import descriptions as i8086
+from ..semantics.engine import ExecutionEngine
 from ..semantics.randomgen import OperandSpec, ScenarioSpec
 from .common import run_analysis
 from .scasb_rigel import augment_scasb, simplify_scasb
@@ -27,7 +30,11 @@ INFO = AnalysisInfo(
     operator="string.index",
 )
 
-PAPER_STEPS = 86
+#: input-description factories — the single source the runner,
+#: provenance cache, and replay gate all build the originals from.
+OPERATOR = clu.indexc
+INSTRUCTION = i8086.scasb
+
 
 SCENARIO = ScenarioSpec(
     operands={
@@ -134,11 +141,11 @@ def script(session: AnalysisSession) -> None:
     transform_indexc(session)
 
 
-def run(verify: bool = True, trials: int = 120, engine=None) -> AnalysisOutcome:
+def run(
+    verify: bool = True,
+    trials: int = 120,
+    engine: Optional[ExecutionEngine] = None,
+) -> AnalysisOutcome:
     return run_analysis(
-        INFO, clu.indexc(), i8086.scasb(), script, SCENARIO, verify, trials, engine=engine
+        INFO, OPERATOR(), INSTRUCTION(), script, SCENARIO, verify, trials, engine=engine
     )
-
-#: IR operand field -> operator operand name, used by the code
-#: generator to route IR operands into instruction registers.
-FIELD_MAP = {'base': 'S.Base', 'length': 'S.Limit', 'char': 'c'}

@@ -21,9 +21,12 @@ paper highlights.
 
 from __future__ import annotations
 
+from typing import Optional
+
 from ..analysis import AnalysisInfo, AnalysisOutcome, AnalysisSession
 from ..languages import rigel
 from ..machines.i8086 import descriptions as i8086
+from ..semantics.engine import ExecutionEngine
 from ..semantics.randomgen import OperandSpec, ScenarioSpec
 from .common import run_analysis
 
@@ -35,8 +38,11 @@ INFO = AnalysisInfo(
     operator="string.index",
 )
 
-#: what the 1982 implementation needed (Table 2).
-PAPER_STEPS = 73
+#: input-description factories — the single source the runner,
+#: provenance cache, and replay gate all build the originals from.
+OPERATOR = rigel.index
+INSTRUCTION = i8086.scasb
+
 
 SCENARIO = ScenarioSpec(
     operands={
@@ -177,11 +183,11 @@ def script(session: AnalysisSession) -> None:
     transform_index(session)
 
 
-def run(verify: bool = True, trials: int = 120, engine=None) -> AnalysisOutcome:
+def run(
+    verify: bool = True,
+    trials: int = 120,
+    engine: Optional[ExecutionEngine] = None,
+) -> AnalysisOutcome:
     return run_analysis(
-        INFO, rigel.index(), i8086.scasb(), script, SCENARIO, verify, trials, engine=engine
+        INFO, OPERATOR(), INSTRUCTION(), script, SCENARIO, verify, trials, engine=engine
     )
-
-#: IR operand field -> operator operand name, used by the code
-#: generator to route IR operands into instruction registers.
-FIELD_MAP = {'base': 'Src.Base', 'length': 'Src.Length', 'char': 'ch'}

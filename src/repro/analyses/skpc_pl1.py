@@ -10,9 +10,12 @@ whose distance from the saved start *is* the result.
 
 from __future__ import annotations
 
+from typing import Optional
+
 from ..analysis import AnalysisInfo, AnalysisOutcome, AnalysisSession
 from ..languages import pl1
 from ..machines.vax11 import descriptions as vax11
+from ..semantics.engine import ExecutionEngine
 from ..semantics.randomgen import OperandSpec, ScenarioSpec
 from .common import run_analysis
 
@@ -24,6 +27,11 @@ INFO = AnalysisInfo(
     operator="string.span",
 )
 
+#: input-description factories — the single source the runner,
+#: provenance cache, and replay gate all build the originals from.
+OPERATOR = pl1.span
+INSTRUCTION = vax11.skpc
+
 SCENARIO = ScenarioSpec(
     operands={
         "C": OperandSpec("char"),
@@ -32,8 +40,6 @@ SCENARIO = ScenarioSpec(
     }
 )
 
-#: IR operand field -> operator operand name.
-FIELD_MAP = {"char": "C", "length": "Max", "base": "S"}
 
 
 def script(session: AnalysisSession) -> None:
@@ -53,7 +59,11 @@ def script(session: AnalysisSession) -> None:
     operator.apply("eliminate_dead_variable", at=operator.decl("n"))
 
 
-def run(verify: bool = True, trials: int = 120, engine=None) -> AnalysisOutcome:
+def run(
+    verify: bool = True,
+    trials: int = 120,
+    engine: Optional[ExecutionEngine] = None,
+) -> AnalysisOutcome:
     return run_analysis(
-        INFO, pl1.span(), vax11.skpc(), script, SCENARIO, verify, trials, engine=engine
+        INFO, OPERATOR(), INSTRUCTION(), script, SCENARIO, verify, trials, engine=engine
     )

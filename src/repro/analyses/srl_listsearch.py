@@ -19,8 +19,9 @@ scenario generator.
 
 from __future__ import annotations
 
+import dataclasses
 import random
-from typing import Dict, Tuple
+from typing import Optional, Dict, Tuple
 
 from ..analysis import AnalysisInfo, AnalysisOutcome, AnalysisSession
 from ..analysis.verify import VerificationFailure, VerificationReport
@@ -36,6 +37,11 @@ INFO = AnalysisInfo(
     operation="list search",
     operator="list.search",
 )
+
+#: input-description factories — the single source the runner,
+#: provenance cache, and replay gate all build the originals from.
+OPERATOR = listops.lsearch
+INSTRUCTION = b4800.srl
 
 
 def script(session: AnalysisSession) -> None:
@@ -71,7 +77,10 @@ def _random_list_scenario(rng: random.Random) -> Tuple[Dict[str, int], Dict[int,
 
 
 def verify_list_binding(
-    binding, trials: int = 200, seed: int = 4800, engine=None
+    binding,
+    trials: int = 200,
+    seed: int = 4800,
+    engine: Optional[ExecutionEngine] = None,
 ) -> VerificationReport:
     """Differential testing on randomized linked lists."""
     resolved = ExecutionEngine.resolve(engine)
@@ -99,22 +108,15 @@ def verify_list_binding(
     )
 
 
-def run(verify: bool = True, trials: int = 120, engine=None) -> AnalysisOutcome:
+def run(
+    verify: bool = True,
+    trials: int = 120,
+    engine: Optional[ExecutionEngine] = None,
+) -> AnalysisOutcome:
     outcome = run_analysis(
-        INFO, listops.lsearch(), b4800.srl(), script, scenario=None, verify=False
+        INFO, OPERATOR(), INSTRUCTION(), script, scenario=None, verify=False
     )
     if outcome.succeeded and verify:
         report = verify_list_binding(outcome.binding, trials=trials, engine=engine)
-        outcome = AnalysisOutcome(
-            machine=outcome.machine,
-            instruction=outcome.instruction,
-            language=outcome.language,
-            operation=outcome.operation,
-            binding=outcome.binding,
-            verification=report,
-        )
+        outcome = dataclasses.replace(outcome, verification=report)
     return outcome
-
-#: IR operand field -> operator operand name, used by the code
-#: generator to route IR operands into instruction registers.
-FIELD_MAP = {'head': 'Head', 'key': 'Key', 'key_offset': 'KeyOff', 'link_offset': 'LinkOff'}

@@ -9,9 +9,12 @@ on the other machine.
 
 from __future__ import annotations
 
+from typing import Optional
+
 from ..analysis import AnalysisInfo, AnalysisOutcome, AnalysisSession
 from ..languages import pc2
 from ..machines.i8086 import descriptions as i8086
+from ..semantics.engine import ExecutionEngine
 from ..semantics.randomgen import OperandSpec, ScenarioSpec
 from .common import run_analysis
 
@@ -23,6 +26,11 @@ INFO = AnalysisInfo(
     operator="block.clear",
 )
 
+#: input-description factories — the single source the runner,
+#: provenance cache, and replay gate all build the originals from.
+OPERATOR = pc2.blkclr
+INSTRUCTION = i8086.stosb
+
 SCENARIO = ScenarioSpec(
     operands={
         "count": OperandSpec("length"),
@@ -30,8 +38,6 @@ SCENARIO = ScenarioSpec(
     }
 )
 
-#: IR operand field -> operator operand name.
-FIELD_MAP = {"dst": "addr", "length": "count"}
 
 
 def script(session: AnalysisSession) -> None:
@@ -93,7 +99,11 @@ def script(session: AnalysisSession) -> None:
     )
 
 
-def run(verify: bool = True, trials: int = 120, engine=None) -> AnalysisOutcome:
+def run(
+    verify: bool = True,
+    trials: int = 120,
+    engine: Optional[ExecutionEngine] = None,
+) -> AnalysisOutcome:
     return run_analysis(
-        INFO, pc2.blkclr(), i8086.stosb(), script, SCENARIO, verify, trials, engine=engine
+        INFO, OPERATOR(), INSTRUCTION(), script, SCENARIO, verify, trials, engine=engine
     )

@@ -12,9 +12,12 @@ are instances of the same ``S + i`` pattern.
 
 from __future__ import annotations
 
+from typing import Optional
+
 from ..analysis import AnalysisInfo, AnalysisOutcome, AnalysisSession
 from ..languages import pascal
 from ..machines.ibm370 import descriptions as ibm370
+from ..semantics.engine import ExecutionEngine
 from ..semantics.randomgen import OperandSpec, ScenarioSpec
 from .common import run_analysis
 
@@ -26,6 +29,11 @@ INFO = AnalysisInfo(
     operator="string.translate",
 )
 
+#: input-description factories — the single source the runner,
+#: provenance cache, and replay gate all build the originals from.
+OPERATOR = pascal.translate
+INSTRUCTION = ibm370.tr
+
 SCENARIO = ScenarioSpec(
     operands={
         "S": OperandSpec("address"),
@@ -34,8 +42,6 @@ SCENARIO = ScenarioSpec(
     }
 )
 
-#: IR operand field -> operator operand name.
-FIELD_MAP = {"base": "S", "table": "T", "length": "Len"}
 
 
 def script(session: AnalysisSession) -> None:
@@ -75,7 +81,11 @@ def script(session: AnalysisSession) -> None:
     operator.apply("eliminate_dead_variable", at=operator.decl("i"))
 
 
-def run(verify: bool = True, trials: int = 120, engine=None) -> AnalysisOutcome:
+def run(
+    verify: bool = True,
+    trials: int = 120,
+    engine: Optional[ExecutionEngine] = None,
+) -> AnalysisOutcome:
     return run_analysis(
-        INFO, pascal.translate(), ibm370.tr(), script, SCENARIO, verify, trials, engine=engine
+        INFO, OPERATOR(), INSTRUCTION(), script, SCENARIO, verify, trials, engine=engine
     )

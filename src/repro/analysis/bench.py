@@ -97,6 +97,74 @@ def run_bench(
     }
 
 
+#: JSON schema identifier for the cache-effectiveness payload.
+CACHE_SCHEMA = "repro.bench-cache/1"
+
+
+def run_cache_bench(
+    names: Optional[Sequence[str]] = None,
+    trials: int = 240,
+    seed: int = 1982,
+    jobs: int = 1,
+    cache_dir: Optional[str] = None,
+) -> Dict[str, object]:
+    """Cold-vs-warm timing of the incremental batch mode.
+
+    Runs the catalog twice against one provenance store: the first run
+    populates it (every entry replays and verifies), the second should
+    be almost pure cache.  The payload (committed as
+    ``BENCH_provenance.json``) records both wall clocks, the hit/miss
+    counters, the warm-over-cold speedup, and whether the two JSON
+    reports were byte-identical apart from the cache counters — the
+    contract ``repro batch`` promises.  As with the engine benchmark,
+    CI asserts the numbers exist, never a timing threshold.
+    """
+    import shutil
+    import tempfile
+
+    from .runner import run_batch
+
+    own_dir = cache_dir is None
+    root = cache_dir or tempfile.mkdtemp(prefix="repro-cache-bench-")
+    try:
+        cold = run_batch(
+            names=names, jobs=jobs, trials=trials, seed=seed, cache_dir=root
+        )
+        warm = run_batch(
+            names=names, jobs=jobs, trials=trials, seed=seed, cache_dir=root
+        )
+    finally:
+        if own_dir:
+            shutil.rmtree(root, ignore_errors=True)
+
+    def _modulo_cache(report) -> str:
+        payload = json.loads(report.to_json())
+        payload.pop("cache", None)
+        return json.dumps(payload, sort_keys=True)
+
+    speedup = cold.elapsed / warm.elapsed if warm.elapsed > 0 else None
+    return {
+        "schema": CACHE_SCHEMA,
+        "trials": trials,
+        "seed": seed,
+        "entries": len(cold.results),
+        "cold": {
+            "seconds": round(cold.elapsed, 4),
+            "hits": cold.cache_hits,
+            "misses": cold.cache_lookup_misses,
+        },
+        "warm": {
+            "seconds": round(warm.elapsed, 4),
+            "hits": warm.cache_hits,
+            "misses": warm.cache_lookup_misses,
+        },
+        "speedup": round(speedup, 2) if speedup is not None else None,
+        "reports_identical_modulo_cache": (
+            _modulo_cache(cold) == _modulo_cache(warm)
+        ),
+    }
+
+
 def format_bench(payload: Dict[str, object]) -> str:
-    """The deterministic JSON text for ``BENCH_verify.json``."""
+    """The deterministic JSON text for the committed BENCH artifacts."""
     return json.dumps(payload, indent=2, sort_keys=True) + "\n"

@@ -12,6 +12,7 @@ from typing import Optional, Sequence, Tuple
 
 from ..constraints import UnsupportedConstraintError
 from ..isdl import format_description
+from ..provenance import AnalysisTrace
 from .binding import Binding
 from .matcher import MatchFailure
 from .verify import VerificationReport
@@ -28,8 +29,9 @@ class AnalysisOutcome:
     binding: Optional[Binding] = None
     failure: Optional[str] = None
     verification: Optional[VerificationReport] = None
-    #: the combined per-step transformation log of both sessions.
-    log: Optional[str] = None
+    #: the structured two-sided derivation (also present for failed
+    #: attempts, holding the steps applied before the failure).
+    trace: Optional[AnalysisTrace] = None
 
     @property
     def succeeded(self) -> bool:
@@ -38,6 +40,11 @@ class AnalysisOutcome:
     @property
     def steps(self) -> Optional[int]:
         return self.binding.steps if self.binding else None
+
+    @property
+    def log(self) -> Optional[str]:
+        """The per-step text log, rendered from the structured trace."""
+        return self.trace.log() if self.trace is not None else None
 
 
 def table2_row(outcome: AnalysisOutcome) -> Tuple[str, str, str, str, str]:

@@ -28,6 +28,16 @@ worker verifying three shards of ``scasb_rigel`` replays the script
 once) and the parsers behind them are content-keyed
 (:mod:`repro.isdl.cache`), so repeated runs stop re-parsing identical
 ISDL sources.
+
+With ``cache_dir`` set, the batch becomes *incremental*: each entry's
+verdict key (input-description digests + code epoch + verification
+plan, see :mod:`repro.provenance.store`) is looked up before any job
+is planned, and a hit reuses the memoized verdict — skipping both the
+transformation replay and every verification trial for that entry.
+Fresh verdicts are recorded after the run, so an unchanged tree's
+second batch is almost pure cache.  The JSON report of a warm run is
+byte-identical to the cold run apart from the top-level ``"cache"``
+counters.
 """
 
 from __future__ import annotations
@@ -35,6 +45,7 @@ from __future__ import annotations
 import concurrent.futures
 import importlib
 import json
+import os
 import time
 from dataclasses import dataclass, field
 from functools import lru_cache
@@ -107,6 +118,11 @@ class JobResult:
     #: Excluded from the JSON report (a worker's cache temperature is
     #: an implementation detail); asserted on by the benchmarks.
     cache_misses: int = 0
+    #: True when this result was reconstructed from a stored verdict
+    #: rather than replayed.  Excluded from the per-result JSON: apart
+    #: from the top-level cache counters, a warm report must be
+    #: byte-identical to the cold one.
+    cached: bool = False
 
     @property
     def ok(self) -> bool:
@@ -131,10 +147,23 @@ class BatchReport:
     #: excluded from :meth:`to_json`: the report must be byte-identical
     #: across engines — that equality is itself a correctness check.
     engine: str = DEFAULT_ENGINE
+    #: provenance-cache settings and counters.  ``cache_enabled`` is
+    #: False when the run had no store; the counters then stay zero.
+    cache_enabled: bool = False
 
     @property
     def ok(self) -> bool:
         return all(result.ok for result in self.results)
+
+    @property
+    def cache_hits(self) -> int:
+        return sum(1 for result in self.results if result.cached)
+
+    @property
+    def cache_lookup_misses(self) -> int:
+        if not self.cache_enabled:
+            return 0
+        return sum(1 for result in self.results if not result.cached)
 
     def to_json(self) -> str:
         """Deterministic report: same seed -> byte-identical output.
@@ -170,6 +199,12 @@ class BatchReport:
                 for result in self.results
             ],
         }
+        if self.cache_enabled:
+            payload["cache"] = {
+                "enabled": True,
+                "hits": self.cache_hits,
+                "misses": self.cache_lookup_misses,
+            }
         return json.dumps(payload, indent=2, sort_keys=True)
 
     def summary_lines(self) -> List[str]:
@@ -185,6 +220,8 @@ class BatchReport:
                 detail = " (failed as documented)"
             elif result.failure:
                 detail = f" ({result.failure.splitlines()[0]})"
+            if result.cached:
+                detail += " [cached]"
             verified = (
                 f" verified={result.verified_trials}"
                 if result.verified_trials
@@ -201,33 +238,33 @@ class BatchReport:
             f"(jobs={self.jobs}, trials={self.trials}, seed={self.seed}, "
             f"engine={self.engine})"
         )
+        if self.cache_enabled:
+            lines.append(
+                f"cache: {self.cache_hits} hit(s), "
+                f"{self.cache_lookup_misses} miss(es)"
+            )
         return lines
 
 
 def catalog() -> Tuple[CatalogEntry, ...]:
-    """The full batch catalog, in deterministic Table-order."""
-    from .. import analyses
+    """The full batch catalog, straight from the analysis registry."""
+    from ..analyses import REGISTRY
 
     entries = []
-    for group, members, expect_failure in (
-        ("table2", analyses.TABLE2, False),
-        ("failures", analyses.FAILURES, True),
-        ("extensions", analyses.EXTENSIONS, False),
-    ):
-        for module in members:
-            entries.append(
-                CatalogEntry(
-                    name=module.__name__.rsplit(".", 1)[-1],
-                    group=group,
-                    expect_failure=expect_failure,
-                    machine=module.INFO.machine,
-                    instruction=module.INFO.instruction,
-                    language=module.INFO.language,
-                    operation=module.INFO.operation,
-                    paper_steps=getattr(module, "PAPER_STEPS", None),
-                    has_scenario=getattr(module, "SCENARIO", None) is not None,
-                )
+    for spec in REGISTRY:
+        entries.append(
+            CatalogEntry(
+                name=spec.name,
+                group=spec.group,
+                expect_failure=spec.expect_failure,
+                machine=spec.module.INFO.machine,
+                instruction=spec.module.INFO.instruction,
+                language=spec.module.INFO.language,
+                operation=spec.module.INFO.operation,
+                paper_steps=spec.paper_steps,
+                has_scenario=getattr(spec.module, "SCENARIO", None) is not None,
             )
+        )
     return tuple(entries)
 
 
@@ -447,6 +484,116 @@ def _aggregate(
     return results
 
 
+def entry_verdict_key(
+    entry: CatalogEntry,
+    engine: str,
+    trials: int,
+    seed: int,
+    verify: bool,
+    epoch: Optional[str] = None,
+) -> Dict[str, object]:
+    """The provenance-store key for one entry's batch verdict.
+
+    Computable *without running the analysis*: the input descriptions
+    come from the module's ``OPERATOR`` / ``INSTRUCTION`` factories,
+    and everything else is the verification plan.
+    """
+    from ..isdl import description_digest
+    from ..provenance import verdict_key
+
+    module = importlib.import_module(f"repro.analyses.{entry.name}")
+    return verdict_key(
+        entry.name,
+        description_digest(module.OPERATOR()),
+        description_digest(module.INSTRUCTION()),
+        engine,
+        trials,
+        seed,
+        verify,
+        epoch=epoch,
+    )
+
+
+#: JobResult fields that round-trip through a stored verdict — exactly
+#: the fields the JSON report exposes per result.
+_VERDICT_FIELDS = (
+    "succeeded",
+    "steps",
+    "failure",
+    "verified_trials",
+    "shards",
+    "error",
+    "timed_out",
+)
+
+
+def _result_payload(result: JobResult) -> Dict[str, object]:
+    return {name: getattr(result, name) for name in _VERDICT_FIELDS}
+
+
+def _result_from_artifact(
+    entry: CatalogEntry, artifact: Dict[str, object]
+) -> Optional[JobResult]:
+    """Rebuild a :class:`JobResult` from a stored verdict, or None."""
+    payload = artifact.get("result")
+    if not isinstance(payload, dict):
+        return None
+    if any(name not in payload for name in _VERDICT_FIELDS):
+        return None
+    result = JobResult(
+        name=entry.name,
+        group=entry.group,
+        expected="failure" if entry.expect_failure else "success",
+        cached=True,
+    )
+    result.succeeded = bool(payload["succeeded"])
+    result.steps = None if payload["steps"] is None else int(payload["steps"])
+    result.failure = None if payload["failure"] is None else str(payload["failure"])
+    result.verified_trials = int(payload["verified_trials"])
+    result.shards = int(payload["shards"])
+    result.error = None if payload["error"] is None else str(payload["error"])
+    result.timed_out = bool(payload["timed_out"])
+    return result
+
+
+def _record_verdicts(
+    store,
+    entries: Sequence[CatalogEntry],
+    results: Sequence[JobResult],
+    keys: Dict[str, Dict[str, object]],
+) -> None:
+    """Memoize every fresh, clean verdict of this batch.
+
+    Only ``ok`` results are stored: an errored or timed-out entry must
+    be re-attempted on the next run, never replayed from the cache.
+    The stored artifact carries the full two-sided analysis trace
+    (durations stripped, so equal derivations share one object) for
+    ``repro replay`` to re-check later.
+    """
+    from ..provenance import STORE_SCHEMA, analysis_trace_digest, strip_durations
+
+    by_name = {entry.name: entry for entry in entries}
+    for result in results:
+        if result.cached or not result.ok or result.name not in keys:
+            continue
+        if result.name not in by_name:
+            continue
+        try:
+            _, outcome = _replay(result.name)
+        except Exception:  # noqa: BLE001 - caching is best-effort
+            continue
+        payload: Dict[str, object] = {
+            "schema": STORE_SCHEMA,
+            "key": keys[result.name],
+            "result": _result_payload(result),
+        }
+        trace = outcome.trace
+        if trace is not None:
+            payload["trace"] = strip_durations(trace.to_dict())
+            payload["trace_digest"] = analysis_trace_digest(trace)
+        store.record_verdict(keys[result.name], payload)
+
+
 #: distinct error sentinel for worker crashes (OOM, segfault): a dead
 #: worker is not a timeout and must not be reported as one.
 _BROKEN_POOL_ERROR = "BrokenProcessPool: worker process died unexpectedly"
@@ -567,6 +714,7 @@ def run_batch(
     verify: bool = True,
     timeout: Optional[float] = None,
     engine: Union[None, str, ExecutionEngine] = None,
+    cache_dir: Union[None, str, "os.PathLike"] = None,
 ) -> BatchReport:
     """Run the analysis catalog (or a subset) as a parallel batch.
 
@@ -583,14 +731,43 @@ def run_batch(
     across engines by construction.  In parallel mode the parse and
     compile caches are warmed in the parent before the pool forks, so
     workers start hot (:func:`preload_caches`).
+
+    ``cache_dir`` names a provenance store root and turns on the
+    incremental mode: entries whose verdict key is already memoized
+    skip replay and verification entirely, and fresh clean verdicts
+    are recorded for the next run.  ``None`` (the default) disables
+    caching — every entry runs.
     """
     if jobs < 1:
         raise ValueError("jobs must be >= 1")
     resolved = ExecutionEngine.resolve(engine)
     entries = resolve_names(names)
-    specs = plan_jobs(entries, trials, seed, verify, resolved.name)
-    _clear_replay_cache()
     started = time.perf_counter()
+
+    store = None
+    keys: Dict[str, Dict[str, object]] = {}
+    cached: Dict[str, JobResult] = {}
+    if cache_dir is not None:
+        from ..provenance import TraceStore, code_epoch
+
+        store = TraceStore(cache_dir)
+        epoch = code_epoch()
+        for entry in entries:
+            key = entry_verdict_key(
+                entry, resolved.name, trials, seed, verify, epoch=epoch
+            )
+            keys[entry.name] = key
+            artifact = store.lookup_verdict(key)
+            if artifact is not None:
+                result = _result_from_artifact(entry, artifact)
+                if result is not None:
+                    cached[entry.name] = result
+
+    miss_entries = tuple(
+        entry for entry in entries if entry.name not in cached
+    )
+    specs = plan_jobs(miss_entries, trials, seed, verify, resolved.name)
+    _clear_replay_cache()
     records: Dict[Tuple[str, int], Optional[Dict[str, object]]] = {}
     if jobs == 1:
         for spec in specs:
@@ -598,7 +775,16 @@ def run_batch(
     else:
         preload_caches(specs)
         records = _run_pool(specs, jobs, timeout)
-    results = _aggregate(entries, records, specs)
+    fresh = {
+        result.name: result
+        for result in _aggregate(miss_entries, records, specs)
+    }
+    results = [
+        cached[entry.name] if entry.name in cached else fresh[entry.name]
+        for entry in entries
+    ]
+    if store is not None:
+        _record_verdicts(store, entries, results, keys)
     return BatchReport(
         results=results,
         seed=seed,
@@ -607,4 +793,5 @@ def run_batch(
         elapsed=time.perf_counter() - started,
         jobs=jobs,
         engine=resolved.name,
+        cache_enabled=store is not None,
     )

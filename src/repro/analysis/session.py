@@ -29,6 +29,7 @@ from typing import Optional, Sequence, Tuple
 
 from ..constraints import LanguageFact
 from ..isdl import ast
+from ..provenance import AnalysisTrace
 from ..transform import Session
 from .binding import Binding
 from .matcher import Matcher, MatchFailure
@@ -146,6 +147,23 @@ class AnalysisSession:
         if self._binding is None:
             raise RuntimeError("analysis not finished; call finish() first")
         return self._binding
+
+    def trace(self) -> AnalysisTrace:
+        """Both sides' derivations as one serializable provenance artifact.
+
+        Valid at any point of the analysis — a failed script exports the
+        steps it managed to apply, which is exactly what the failure
+        narratives print.
+        """
+        return AnalysisTrace(
+            machine=self.info.machine,
+            instruction=self.info.instruction,
+            language=self.info.language,
+            operation=self.info.operation,
+            operator_name=self.info.operator,
+            operator=self.operator.trace(),
+            instruction_trace=self.instruction.trace(),
+        )
 
     def log(self) -> str:
         """Combined step log of both sides."""

@@ -18,33 +18,25 @@ import dataclasses
 from functools import lru_cache
 
 from ..analysis import Binding, BindingLibrary
+from ..analyses import AnalysisSpec, REGISTRY, codegen_specs
 from ..lint import LintGateError, lint_binding
-from ..analyses import (
-    clc_pascal,
-    cmpc3_pascal,
-    cmpsb_pascal,
-    locc_rigel,
-    movc3_pc2,
-    movc3_sassign_extension,
-    movc5_pc2,
-    movsb_pascal,
-    mva_pascal,
-    mvc_pascal,
-    scasb_rigel,
-    srl_listsearch,
-    stosb_pc2,
-    tr_pascal,
-)
+from ..provenance import analysis_trace_digest
 
 
-def _binding_from(module) -> Binding:
-    outcome = module.run(verify=False)
+def _binding_from(spec: AnalysisSpec) -> Binding:
+    outcome = spec.module.run(verify=False)
     if not outcome.succeeded:
         raise RuntimeError(
-            f"analysis {module.__name__} failed: {outcome.failure}"
+            f"analysis {spec.name} failed: {outcome.failure}"
         )
+    field_map = dict(spec.field_map) if spec.field_map is not None else None
+    trace = outcome.trace
     binding = dataclasses.replace(
-        outcome.binding, field_map=dict(module.FIELD_MAP)
+        outcome.binding,
+        field_map=field_map,
+        trace_digest=(
+            analysis_trace_digest(trace) if trace is not None else None
+        ),
     )
     # No binding whose constraints contradict its own descriptions may
     # enter a compiler's instruction repertoire.
@@ -54,26 +46,19 @@ def _binding_from(module) -> Binding:
     return binding
 
 
-#: machine name -> analysis modules whose bindings it gets.
-_MACHINE_ANALYSES = {
-    "i8086": (movsb_pascal, scasb_rigel, cmpsb_pascal, stosb_pc2),
-    "vax11": (movc3_pc2, movc5_pc2, locc_rigel, cmpc3_pascal),
-    "ibm370": (mvc_pascal, clc_pascal, tr_pascal),
-    "b4800": (srl_listsearch, mva_pascal),
-}
+def known_machines():
+    """Machine names the registry ships bindings for, sorted."""
+    return sorted({spec.codegen for spec in REGISTRY if spec.codegen})
 
 
 @lru_cache(maxsize=None)
 def library_for(machine: str, with_extensions: bool = False) -> BindingLibrary:
-    """All bindings for ``machine`` (cached)."""
-    try:
-        modules = _MACHINE_ANALYSES[machine]
-    except KeyError:
+    """All bindings for ``machine`` (cached), per the analysis registry."""
+    specs = codegen_specs(machine, extensions=with_extensions)
+    if not specs:
         raise KeyError(f"no bindings known for machine {machine!r}")
-    paper_machine = _binding_from(modules[0]).machine
+    paper_machine = _binding_from(specs[0]).machine
     library = BindingLibrary(machine=paper_machine)
-    for module in modules:
-        library.add(_binding_from(module))
-    if with_extensions and machine == "vax11":
-        library.add(_binding_from(movc3_sassign_extension))
+    for spec in specs:
+        library.add(_binding_from(spec))
     return library

@@ -154,3 +154,41 @@ class LanguageFact:
 
 
 Constraint = object  # Union of the four dataclasses above; kept loose for typing.
+
+
+#: serialization tag -> constraint class, the single registry both
+#: directions of the trace serialization share.
+_CONSTRAINT_KINDS = {
+    "value": ValueConstraint,
+    "range": RangeConstraint,
+    "offset": OffsetConstraint,
+    "complex": ComplexConstraint,
+}
+
+
+def constraint_to_dict(constraint: Constraint) -> dict:
+    """JSON-ready form of any of the four constraint dataclasses."""
+    for kind, cls in _CONSTRAINT_KINDS.items():
+        if isinstance(constraint, cls):
+            payload = {"kind": kind}
+            for field_name in cls.__dataclass_fields__:
+                value = getattr(constraint, field_name)
+                payload[field_name] = (
+                    list(value) if isinstance(value, tuple) else value
+                )
+            return payload
+    raise TypeError(f"not a serializable constraint: {constraint!r}")
+
+
+def constraint_from_dict(payload: dict) -> Constraint:
+    """Inverse of :func:`constraint_to_dict`."""
+    data = dict(payload)
+    kind = data.pop("kind", None)
+    try:
+        cls = _CONSTRAINT_KINDS[kind]
+    except KeyError:
+        raise ValueError(f"unknown constraint kind {kind!r}")
+    for field_name, value in data.items():
+        if isinstance(value, list):
+            data[field_name] = tuple(value)
+    return cls(**data)

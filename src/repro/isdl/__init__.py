@@ -14,6 +14,7 @@ from .lexer import tokenize
 # nodes are immutable, so identical sources share one parse result
 # (see cache.py).  The raw parsers stay reachable via repro.isdl.parser.
 from .cache import cache_stats, clear_caches, parse_description, parse_expr, parse_stmts
+from .digest import description_digest
 from .printer import format_description, format_expr, format_stmts
 from .visitor import (
     Path,
@@ -42,6 +43,7 @@ __all__ = [
     "parse_description",
     "parse_expr",
     "parse_stmts",
+    "description_digest",
     "format_description",
     "format_expr",
     "format_stmts",

@@ -1,0 +1,23 @@
+"""Content digests for ISDL descriptions.
+
+The provenance layer identifies descriptions by the SHA-256 of their
+canonical printed form: the pretty-printer is deterministic and its
+output round-trips through the parser, so two structurally different
+trees can never share a digest and two structurally equal trees always
+do.  Comments are included — they are part of the printed figure and
+deterministic under every transformation.
+"""
+
+from __future__ import annotations
+
+import hashlib
+
+from . import ast
+from .printer import format_description
+
+
+def description_digest(description: ast.Description) -> str:
+    """Hex SHA-256 of the description's canonical printed form."""
+    return hashlib.sha256(
+        format_description(description).encode("utf-8")
+    ).hexdigest()

@@ -1,0 +1,199 @@
+"""Content-addressed provenance store.
+
+Layout (all JSON, all atomic tmp-file + rename writes)::
+
+    <root>/
+      objects/<aa>/<digest[2:]>.json   content-addressed artifacts
+      index/keys/<key-digest>.json     verdict key -> object digest
+      index/by-name/<analysis>.json    latest object digest per analysis
+
+*Objects* are immutable verdict artifacts: the full two-sided analysis
+trace, the JSON-ready result fields the batch report needs, and the
+key that produced them.  An object's file name is the SHA-256 of its
+canonical JSON, so equal artifacts coincide and a corrupted artifact
+is detectable by re-hashing.
+
+*Verdict keys* name everything that determines a verdict **without
+running the analysis**: the schema version, the analysis name, the
+digests of the two input descriptions, a digest of the whole
+``repro`` source tree (the *code epoch* — any source change
+conservatively invalidates every cached verdict), and the
+verification plan (engine identity, trials, seed, verify flag).
+``repro batch`` looks a key up before planning any work: a hit skips
+both transformation replay and verification for that entry.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+import os
+import tempfile
+from functools import lru_cache
+from pathlib import Path
+from typing import Dict, Optional
+
+from .schema import canonical_json
+
+#: Version tag for stored verdict artifacts; bump to orphan old caches.
+STORE_SCHEMA = "repro.verdict/1"
+
+#: Environment variable naming the default store root for the CLI.
+STORE_ENV_VAR = "REPRO_CACHE_DIR"
+
+#: Default store root used by the CLI when the environment is silent.
+DEFAULT_STORE_DIR = ".repro-cache"
+
+
+@lru_cache(maxsize=1)
+def code_epoch() -> str:
+    """SHA-256 over every source file of the ``repro`` package.
+
+    The coarsest safe invalidation key: a cached verdict may only be
+    reused when *no* code that could influence it has changed.  This
+    over-invalidates (editing one analysis script discards every
+    entry's cache), but the dominant warm case — re-running an
+    unchanged tree — still hits 100%, and under-invalidation would
+    silently report stale verdicts.
+    """
+    package_root = Path(__file__).resolve().parents[1]
+    hasher = hashlib.sha256()
+    for path in sorted(package_root.rglob("*.py")):
+        hasher.update(str(path.relative_to(package_root)).encode("utf-8"))
+        hasher.update(b"\0")
+        hasher.update(path.read_bytes())
+        hasher.update(b"\0")
+    return hasher.hexdigest()
+
+
+def verdict_key(
+    name: str,
+    operator_digest: str,
+    instruction_digest: str,
+    engine: str,
+    trials: int,
+    seed: int,
+    verify: bool,
+    epoch: Optional[str] = None,
+) -> Dict[str, object]:
+    """The lookup key for one entry's memoized verdict."""
+    return {
+        "schema": STORE_SCHEMA,
+        "name": name,
+        "code_epoch": epoch if epoch is not None else code_epoch(),
+        "operator_digest": operator_digest,
+        "instruction_digest": instruction_digest,
+        "engine": engine,
+        "trials": trials,
+        "seed": seed,
+        "verify": verify,
+    }
+
+
+def _digest_text(text: str) -> str:
+    return hashlib.sha256(text.encode("utf-8")).hexdigest()
+
+
+def _atomic_write(path: Path, text: str) -> None:
+    path.parent.mkdir(parents=True, exist_ok=True)
+    fd, tmp_name = tempfile.mkstemp(
+        dir=str(path.parent), prefix=".tmp-", suffix=".json"
+    )
+    try:
+        with os.fdopen(fd, "w", encoding="utf-8") as handle:
+            handle.write(text)
+        os.replace(tmp_name, str(path))
+    except BaseException:
+        try:
+            os.unlink(tmp_name)
+        except OSError:
+            pass
+        raise
+
+
+class TraceStore:
+    """Content-addressed store of verdict artifacts under one root."""
+
+    def __init__(self, root: os.PathLike):
+        self.root = Path(root)
+
+    # -- raw objects ----------------------------------------------------
+
+    def _object_path(self, digest: str) -> Path:
+        return self.root / "objects" / digest[:2] / f"{digest[2:]}.json"
+
+    def put_object(self, payload: Dict[str, object]) -> str:
+        """Store a JSON payload; returns its content digest."""
+        text = canonical_json(payload)
+        digest = _digest_text(text)
+        path = self._object_path(digest)
+        if not path.exists():
+            _atomic_write(path, text)
+        return digest
+
+    def get_object(self, digest: str) -> Optional[Dict[str, object]]:
+        """Load an object, or None when absent or corrupted."""
+        path = self._object_path(digest)
+        try:
+            text = path.read_text(encoding="utf-8")
+        except OSError:
+            return None
+        try:
+            return json.loads(text)
+        except json.JSONDecodeError:
+            return None
+
+    # -- the verdict index ----------------------------------------------
+
+    def _key_path(self, key: Dict[str, object]) -> Path:
+        key_digest = _digest_text(canonical_json(key))
+        return self.root / "index" / "keys" / f"{key_digest}.json"
+
+    def _name_path(self, name: str) -> Path:
+        return self.root / "index" / "by-name" / f"{name}.json"
+
+    def record_verdict(
+        self, key: Dict[str, object], payload: Dict[str, object]
+    ) -> str:
+        """Store an artifact and index it by key and analysis name."""
+        digest = self.put_object(payload)
+        pointer = canonical_json({"object": digest})
+        _atomic_write(self._key_path(key), pointer)
+        name = key.get("name")
+        if isinstance(name, str) and name:
+            _atomic_write(self._name_path(name), pointer)
+        return digest
+
+    def _resolve(self, pointer_path: Path) -> Optional[Dict[str, object]]:
+        try:
+            pointer = json.loads(pointer_path.read_text(encoding="utf-8"))
+        except (OSError, json.JSONDecodeError):
+            return None
+        digest = pointer.get("object")
+        if not isinstance(digest, str):
+            return None
+        return self.get_object(digest)
+
+    def lookup_verdict(
+        self, key: Dict[str, object]
+    ) -> Optional[Dict[str, object]]:
+        """The memoized artifact for a key, or None (a cache miss)."""
+        payload = self._resolve(self._key_path(key))
+        if payload is None:
+            return None
+        # Defence in depth: the pointer file is mutable state, so
+        # re-check that the artifact really answers this key.
+        if payload.get("key") != key:
+            return None
+        return payload
+
+    def latest_for(self, name: str) -> Optional[Dict[str, object]]:
+        """The most recently recorded artifact for an analysis name."""
+        return self._resolve(self._name_path(name))
+
+    def names(self):
+        """All analysis names with a by-name pointer, sorted."""
+        directory = self.root / "index" / "by-name"
+        if not directory.is_dir():
+            return []
+        return sorted(path.stem for path in directory.glob("*.json"))

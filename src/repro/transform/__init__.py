@@ -9,7 +9,15 @@ scripts in :mod:`repro.analyses` drive it.
 """
 
 from .base import CATEGORIES, Context, Transformation, TransformError, TransformResult
-from .engine import Session, StepRecord
+from .engine import (
+    TRACE_SCHEMA,
+    ReplayDivergenceError,
+    Session,
+    SessionTrace,
+    StepRecord,
+    TraceEvent,
+    format_trace_log,
+)
 from .registry import all_transformations, by_category, get, library_size
 
 __all__ = [
@@ -18,8 +26,13 @@ __all__ = [
     "Transformation",
     "TransformError",
     "TransformResult",
+    "TRACE_SCHEMA",
+    "ReplayDivergenceError",
     "Session",
+    "SessionTrace",
     "StepRecord",
+    "TraceEvent",
+    "format_trace_log",
     "all_transformations",
     "by_category",
     "get",

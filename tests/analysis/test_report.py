@@ -68,3 +68,64 @@ class TestOutcomeViews:
         outcome = movc3_pc2.run(verify=False)
         assert outcome.log is not None
         assert "swap_comparison" in outcome.log
+
+
+class TestTraceBackedLog:
+    def test_log_renders_from_structured_trace(self):
+        from repro.analyses import locc_rigel
+
+        outcome = locc_rigel.run(verify=False)
+        assert outcome.trace is not None
+        assert outcome.log == outcome.trace.log()
+
+    def test_log_survives_serialization_round_trip(self):
+        from repro.analyses import locc_rigel
+        from repro.provenance import AnalysisTrace
+
+        trace = locc_rigel.run(verify=False).trace
+        clone = AnalysisTrace.from_dict(trace.to_dict())
+        assert clone.log() == trace.log()
+
+    def test_failed_outcome_keeps_partial_trace_log(self):
+        from repro.analyses import movc3_sassign_failure
+
+        outcome = movc3_sassign_failure.run(verify=False)
+        assert not outcome.succeeded
+        assert outcome.trace is not None
+        assert outcome.log is not None
+        assert outcome.log == outcome.trace.log()
+
+    def test_traceless_outcome_has_no_log(self):
+        outcome = make_outcome(failure="MatchFailure: shape")
+        assert outcome.trace is None
+        assert outcome.log is None
+
+
+class TestTable2Edges:
+    def test_row_shape_and_order(self):
+        outcome = make_outcome(failure="x")
+        row = table2_row(outcome)
+        assert row == (
+            "Intel 8086",
+            "scasb",
+            "Rigel",
+            "string search",
+            "failed",
+        )
+
+    def test_rows_with_mixed_outcomes_align(self):
+        from repro.analyses import movc3_pc2
+
+        ok = movc3_pc2.run(verify=False)
+        bad = make_outcome(failure="TransformError: nope")
+        text = format_table(
+            [table2_row(ok), table2_row(bad)],
+            ("Machine", "Instr", "Language", "Operation", "Steps"),
+        )
+        lines = text.splitlines()
+        assert len(lines) == 4
+        assert lines[2].index("VAX") == lines[3].index("Intel")
+
+    def test_single_column_table(self):
+        text = format_table([("only",)], ("Col",))
+        assert text.splitlines() == ["Col ", "----", "only"]

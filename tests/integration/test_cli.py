@@ -7,6 +7,16 @@ import pytest
 from repro.__main__ import main
 
 
+@pytest.fixture(autouse=True)
+def _isolated_cache(tmp_path, monkeypatch):
+    """Point the provenance cache at a per-test temp dir.
+
+    Keeps CLI tests from writing ``.repro-cache`` into the repo and
+    from seeing each other's memoized verdicts.
+    """
+    monkeypatch.setenv("REPRO_CACHE_DIR", str(tmp_path / "provenance"))
+
+
 def test_table1(capsys):
     assert main(["table1"]) == 0
     out = capsys.readouterr().out
@@ -105,20 +115,40 @@ def test_batch_json_schema(capsys):
 
 
 def test_batch_seed_runs_are_byte_identical(capsys):
-    assert main(["batch", *BATCH_NAMES, "--seed", "7", "--json"]) == 0
+    args = ["batch", *BATCH_NAMES, "--seed", "7", "--json", "--no-cache"]
+    assert main(args) == 0
     first = capsys.readouterr().out
-    assert main(["batch", *BATCH_NAMES, "--seed", "7", "--json"]) == 0
+    assert main(args) == 0
     assert capsys.readouterr().out == first
+
+
+def test_batch_warm_run_identical_modulo_cache_field(capsys):
+    """A cache-hit run differs from the cold run only in ``cache``."""
+    args = ["batch", *BATCH_NAMES, "--trials", "20", "--json"]
+    assert main(args) == 0
+    cold = json.loads(capsys.readouterr().out)
+    assert cold["cache"] == {"enabled": True, "hits": 0, "misses": 3}
+    assert main(args) == 0
+    warm = json.loads(capsys.readouterr().out)
+    assert warm["cache"] == {"enabled": True, "hits": 3, "misses": 0}
+    cold.pop("cache")
+    warm.pop("cache")
+    assert json.dumps(warm, sort_keys=True) == json.dumps(cold, sort_keys=True)
+
+
+def test_batch_no_cache_omits_cache_field(capsys):
+    assert main(["batch", *BATCH_NAMES, "--trials", "20", "--json",
+                 "--no-cache"]) == 0
+    report = json.loads(capsys.readouterr().out)
+    assert "cache" not in report
 
 
 def test_batch_jobs_flag_does_not_change_output(capsys):
     """--jobs is a scheduling knob only; the report is invariant."""
-    assert main(["batch", *BATCH_NAMES, "--trials", "20", "--json"]) == 0
+    args = ["batch", *BATCH_NAMES, "--trials", "20", "--json", "--no-cache"]
+    assert main(args) == 0
     serial = capsys.readouterr().out
-    assert (
-        main(["batch", *BATCH_NAMES, "--trials", "20", "--jobs", "2", "--json"])
-        == 0
-    )
+    assert main([*args, "--jobs", "2"]) == 0
     assert capsys.readouterr().out == serial
 
 

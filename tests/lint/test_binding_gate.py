@@ -184,17 +184,26 @@ class TestBindingsDbGate:
 
         FakeOutcome.binding = binding
 
+        FakeOutcome.trace = None
+
         class FakeModule:
             __name__ = "fake_analysis"
-            FIELD_MAP = {"length": "Len"}
 
             @staticmethod
             def run(verify=True):
                 assert not verify
                 return FakeOutcome
 
+        from repro.analyses import AnalysisSpec
+
+        spec = AnalysisSpec(
+            name="fake_analysis",
+            group="extensions",
+            module=FakeModule,
+            field_map={"length": "Len"},
+        )
         with pytest.raises(LintGateError) as excinfo:
-            _binding_from(FakeModule)
+            _binding_from(spec)
         assert any(d.code == "E301" for d in excinfo.value.diagnostics)
 
     def test_shipped_libraries_still_build(self):

@@ -1,0 +1,104 @@
+"""Analysis-trace schema: round-trips, digest stability, versioning."""
+
+import dataclasses
+
+import pytest
+
+from repro.analyses import locc_rigel, movc3_sassign_failure
+from repro.provenance import (
+    ANALYSIS_TRACE_SCHEMA,
+    AnalysisTrace,
+    analysis_trace_digest,
+    canonical_json,
+    strip_durations,
+)
+
+
+@pytest.fixture(scope="module")
+def trace():
+    return locc_rigel.run(verify=False).trace
+
+
+class TestRoundTrip:
+    def test_to_from_dict_preserves_derivation(self, trace):
+        clone = AnalysisTrace.from_dict(trace.to_dict())
+        assert clone.machine == trace.machine
+        assert clone.steps == trace.steps
+        assert clone.log() == trace.log()
+        assert clone.digest() == trace.digest()
+
+    def test_round_trip_survives_duration_stripping(self, trace):
+        payload = strip_durations(trace.to_dict())
+        clone = AnalysisTrace.from_dict(payload)
+        assert clone.digest() == trace.digest()
+        assert all(
+            event.duration == 0.0
+            for event in clone.operator.events + clone.instruction_trace.events
+        )
+
+    def test_schema_tag_present_and_versioned(self, trace):
+        payload = trace.to_dict()
+        assert payload["schema"] == ANALYSIS_TRACE_SCHEMA
+        assert ANALYSIS_TRACE_SCHEMA.endswith("/1")
+
+    def test_unknown_schema_rejected(self, trace):
+        payload = trace.to_dict()
+        payload["schema"] = "repro.analysis-trace/999"
+        with pytest.raises(ValueError, match="unsupported analysis-trace"):
+            AnalysisTrace.from_dict(payload)
+
+    def test_failed_analysis_still_exports_a_trace(self):
+        outcome = movc3_sassign_failure.run(verify=False)
+        assert not outcome.succeeded
+        trace = outcome.trace
+        assert trace is not None
+        clone = AnalysisTrace.from_dict(trace.to_dict())
+        assert clone.digest() == trace.digest()
+
+
+class TestDigest:
+    def test_digest_is_hex_sha256(self, trace):
+        digest = analysis_trace_digest(trace)
+        assert len(digest) == 64
+        int(digest, 16)
+
+    def test_digest_ignores_wall_times(self, trace):
+        slow_operator = dataclasses.replace(
+            trace.operator,
+            events=tuple(
+                dataclasses.replace(event, duration=event.duration + 1.0)
+                for event in trace.operator.events
+            ),
+        )
+        slow = dataclasses.replace(trace, operator=slow_operator)
+        assert analysis_trace_digest(slow) == analysis_trace_digest(trace)
+
+    def test_digest_sees_step_content(self, trace):
+        events = list(trace.operator.events)
+        events[0] = dataclasses.replace(events[0], note="tampered note")
+        tampered = dataclasses.replace(
+            trace,
+            operator=dataclasses.replace(trace.operator, events=tuple(events)),
+        )
+        assert analysis_trace_digest(tampered) != analysis_trace_digest(trace)
+
+    def test_fresh_runs_agree(self):
+        first = locc_rigel.run(verify=False).trace
+        second = locc_rigel.run(verify=False).trace
+        assert first.digest() == second.digest()
+
+
+class TestCanonicalJson:
+    def test_key_order_is_irrelevant(self):
+        assert canonical_json({"b": 1, "a": 2}) == canonical_json(
+            {"a": 2, "b": 1}
+        )
+
+    def test_strip_durations_recurses(self):
+        payload = {
+            "duration": 1,
+            "keep": [{"duration": 2, "x": 3}],
+            "nested": {"duration": 4, "y": {"duration": 5}},
+        }
+        stripped = strip_durations(payload)
+        assert stripped == {"keep": [{"x": 3}], "nested": {"y": {}}}

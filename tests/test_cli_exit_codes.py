@@ -58,6 +58,17 @@ class TestOk:
                 == 0
             )
 
+    def test_trace_success(self, capsys):
+        assert main(["trace", "scasb_rigel", "--no-cache"]) == 0
+        out = capsys.readouterr().out
+        assert "scasb_rigel" in out
+        assert "digest=" in out
+
+    def test_replay_success(self, tmp_path, capsys):
+        cache = str(tmp_path / "cache")
+        assert main(["replay", "scasb_rigel", "--cache-dir", cache]) == 0
+        assert "1/1 derivations replayed" in capsys.readouterr().out
+
     def test_bench_success(self, capsys):
         import json
 
@@ -98,6 +109,27 @@ class TestFindings:
     def test_analyze_documented_failure(self, capsys):
         assert main(["analyze", "movc3_sassign_failure", "--no-verify"]) == 1
 
+    def test_replay_divergence(self, tmp_path, capsys):
+        # A stored trace that disagrees with a fresh derivation is a
+        # finding (exit 1), not a usage error.  The step-precise
+        # diagnostics themselves are pinned in tests/provenance.
+        from repro.analyses import scasb_rigel
+        from repro.analysis.runner import entry_verdict_key, resolve_names
+        from repro.provenance import STORE_SCHEMA, TraceStore, strip_durations
+
+        trace = scasb_rigel.run(verify=False).trace
+        payload = strip_durations(trace.to_dict())
+        payload["instruction_trace"]["events"][1]["digest_after"] = "0" * 64
+        entry = next(iter(resolve_names(["scasb_rigel"])))
+        key = entry_verdict_key(entry, "compiled", 120, 1982, True)
+        TraceStore(tmp_path).record_verdict(
+            key,
+            {"schema": STORE_SCHEMA, "key": key, "result": {}, "trace": payload},
+        )
+        code = main(["replay", "scasb_rigel", "--cache-dir", str(tmp_path)])
+        assert code == 1
+        assert "FAILED scasb_rigel" in capsys.readouterr().out
+
 
 class TestUsageErrors:
     def test_lint_without_targets(self, capsys):
@@ -131,6 +163,18 @@ class TestUsageErrors:
         assert main(["analyze", "scasb_rigel", "--engine", "nosuch"]) == 2
         assert "unknown engine" in capsys.readouterr().err
 
+    def test_trace_unknown_name(self, capsys):
+        assert main(["trace", "nosuch_analysis"]) == 2
+        assert "unknown analysis" in capsys.readouterr().err
+
+    def test_replay_unknown_name(self, capsys):
+        assert main(["replay", "nosuch_analysis"]) == 2
+        assert "unknown analyses" in capsys.readouterr().err
+
+    def test_replay_without_names(self, capsys):
+        assert main(["replay"]) == 2
+        assert capsys.readouterr().err
+
     def test_missing_subcommand_is_usage_error(self, capsys):
         with pytest.raises(SystemExit) as excinfo:
             main([])
@@ -150,7 +194,7 @@ class TestHandlersDeclareExitCodes:
             for name, obj in vars(cli).items()
             if name.startswith("cmd_") and inspect.isfunction(obj)
         ]
-        assert len(handlers) >= 9
+        assert len(handlers) >= 11
         for handler in handlers:
             annotation = inspect.signature(handler).return_annotation
             # PEP 563: the module uses deferred annotations, so the

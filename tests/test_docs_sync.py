@@ -71,3 +71,54 @@ def test_lint_docs_mention_only_registered_codes():
     text = (DOCS / "lint.md").read_text()
     for code in re.findall(r"### `([WE]\d{3})`", text):
         assert code in CODES, code
+
+
+def test_provenance_docs_cover_schemas_and_layout():
+    from repro.analysis.bench import CACHE_SCHEMA
+    from repro.provenance import ANALYSIS_TRACE_SCHEMA, STORE_SCHEMA
+    from repro.transform.engine import TRACE_SCHEMA
+
+    text = (DOCS / "provenance.md").read_text()
+    for tag in (ANALYSIS_TRACE_SCHEMA, STORE_SCHEMA, TRACE_SCHEMA, CACHE_SCHEMA):
+        assert f"`{tag}`" in text, tag
+    for path in ("objects/", "index/keys/", "index/by-name/"):
+        assert path in text, path
+
+
+def test_provenance_docs_cover_every_key_component():
+    from repro.provenance import verdict_key
+
+    text = (DOCS / "provenance.md").read_text()
+    key = verdict_key("x", "a" * 64, "b" * 64, "interp", 1, 1, True)
+    for component in key:
+        assert f"`{component}`" in text, component
+
+
+def test_provenance_docs_cover_cli_and_defaults():
+    from repro.provenance import DEFAULT_STORE_DIR, STORE_ENV_VAR
+
+    text = (DOCS / "provenance.md").read_text()
+    for needle in (
+        "repro trace",
+        "repro replay",
+        "--no-cache",
+        "--cache-dir",
+        f"${STORE_ENV_VAR}",
+        f"`{DEFAULT_STORE_DIR}`",
+        "ReplayDivergenceError",
+        "(source description)",
+    ):
+        assert needle in text, needle
+
+
+def test_design_doc_covers_provenance_layer():
+    design = DOCS.parent / "DESIGN.md"
+    text = design.read_text()
+    assert "## 8. Replayable transformation provenance" in text
+    for needle in (
+        "code epoch",
+        "ReplayDivergenceError",
+        "`repro.analysis-trace/1`",
+        "docs/provenance.md",
+    ):
+        assert needle in text, needle

@@ -75,3 +75,52 @@ class TestHistory:
         assert session.augmented
         record = session.history[-1]
         assert record.is_augment
+
+
+class TestFailureDiagnostics:
+    """No-match and bad-occurrence errors must carry enough context to
+    debug a mistyped pattern without re-reading the description."""
+
+    def test_stmt_no_match_quotes_pattern_and_nearest_miss(self, search_desc):
+        session = Session(search_desc)
+        with pytest.raises(TransformError) as excinfo:
+            session.stmt("zf <- 1;")
+        message = str(excinfo.value)
+        assert "no node matches the pattern" in message
+        assert "'zf <- 1;'" in message
+        assert "nearest miss: 'zf <- 0;'" in message
+
+    def test_expr_no_match_quotes_pattern_and_nearest_miss(self, search_desc):
+        session = Session(search_desc)
+        with pytest.raises(TransformError) as excinfo:
+            session.expr("cl")
+        message = str(excinfo.value)
+        assert "no node matches the pattern 'cl'" in message
+        assert "nearest miss:" in message
+
+    def test_no_match_error_names_the_session(self, search_desc):
+        session = Session(search_desc, label="scasb")
+        with pytest.raises(TransformError, match="^scasb: "):
+            session.stmt("qq <- 1;")
+
+    def test_expr_occurrence_error_includes_pattern_and_counts(
+        self, search_desc
+    ):
+        session = Session(search_desc)
+        with pytest.raises(TransformError) as excinfo:
+            session.expr("al", occurrence=99)
+        message = str(excinfo.value)
+        assert "'al'" in message
+        assert "occurrence 99 requested" in message
+        assert "match(es)" in message
+
+    def test_stmt_occurrence_error_includes_pattern_and_counts(
+        self, search_desc
+    ):
+        session = Session(search_desc)
+        with pytest.raises(TransformError) as excinfo:
+            session.stmt("zf <- 0;", occurrence=5)
+        message = str(excinfo.value)
+        assert "'zf <- 0;'" in message
+        assert "only 1 match(es)" in message
+        assert "occurrence 5 requested" in message
