@@ -32,7 +32,7 @@ Quick start::
     print(asm.listing())
 """
 
-from . import constraints
+from . import constraints, obs
 from .analysis import (
     AnalysisInfo,
     AnalysisOutcome,
@@ -40,6 +40,7 @@ from .analysis import (
     Binding,
     BindingLibrary,
     MatchFailure,
+    RunConfig,
     VerificationFailure,
     verify_binding,
 )
@@ -53,17 +54,31 @@ from .constraints import (
 )
 from .isdl import format_description, parse_description
 
+# The typed facade re-imports from .analysis, so it must come after the
+# imports above (it is the top of the dependency tower, not the bottom).
+from . import api
+from .api import analyze, batch, replay, stats, trace, verify
+
 __version__ = "1.0.0"
 
 __all__ = [
+    "api",
     "constraints",
+    "obs",
     "AnalysisInfo",
     "AnalysisOutcome",
     "AnalysisSession",
     "Binding",
     "BindingLibrary",
     "MatchFailure",
+    "RunConfig",
     "VerificationFailure",
+    "analyze",
+    "batch",
+    "replay",
+    "stats",
+    "trace",
+    "verify",
     "verify_binding",
     "ComplexConstraint",
     "LanguageFact",

@@ -8,22 +8,50 @@ Usage::
     python -m repro batch --jobs 4 --json  # full catalog, in parallel
     python -m repro trace scasb_rigel      # print the recorded derivation
     python -m repro replay --all           # re-check derivations (drift gate)
+    python -m repro stats --format prom    # instrumented run -> metrics
     python -m repro lint --all             # static-check every description
     python -m repro figures                # regenerate figures 2-5
     python -m repro failures               # the documented failures
     python -m repro compile i8086          # demo codegen + simulation
     python -m repro list                   # available analyses
 
-Exit codes are uniform across subcommands: 0 — success; 1 — the command
-ran but reported findings or failures (a failed analysis, lint
-diagnostics, a batch with failed entries); 2 — usage error (unknown
-name, bad arguments).
+Every subcommand that *runs* things is a thin wrapper over the typed
+facade in :mod:`repro.api` — argument parsing and printing live here,
+behaviour lives there.  Exit codes are uniform across subcommands:
+0 — success; 1 — the command ran but reported findings or failures (a
+failed analysis, lint diagnostics, a batch with failed entries); 2 —
+usage error (unknown name, bad arguments).
 """
 
 from __future__ import annotations
 
 import argparse
+import contextlib
 import sys
+
+
+def _metrics_scope(path):
+    """Collecting-context + writeback for a ``--metrics-out`` flag.
+
+    Returns an :class:`contextlib.ExitStack`; entering it turns on
+    metrics collection when ``path`` is set.  Call the returned stack's
+    ``.registry`` (None when disabled) for the live registry.
+    """
+    from . import obs
+
+    stack = contextlib.ExitStack()
+    stack.registry = (
+        stack.enter_context(obs.collecting()) if path else None
+    )
+    return stack
+
+
+def _write_metrics(path, snapshot) -> None:
+    from . import obs
+
+    if path and snapshot is not None:
+        with open(path, "w", encoding="utf-8") as handle:
+            handle.write(obs.export_json(snapshot) + "\n")
 
 
 def cmd_table1(_args) -> int:
@@ -74,47 +102,48 @@ def _default_cache_dir():
 
 
 def cmd_batch(args) -> int:
-    from .analysis.runner import UnknownAnalysisError, run_batch
+    from . import api
 
     cache_dir = None
     if not args.no_cache:
         cache_dir = args.cache_dir or _default_cache_dir()
+    config = api.RunConfig(
+        engine=args.engine,
+        trials=args.trials,
+        seed=args.seed,
+        verify=not args.no_verify,
+        jobs=args.jobs,
+        timeout=args.timeout,
+        cache_dir=cache_dir,
+    )
     try:
-        report = run_batch(
-            names=args.names or None,
-            jobs=args.jobs,
-            trials=args.trials,
-            seed=args.seed,
-            verify=not args.no_verify,
-            timeout=args.timeout,
-            engine=args.engine,
-            cache_dir=cache_dir,
-        )
-    except (UnknownAnalysisError, ValueError) as error:
+        with _metrics_scope(args.metrics_out):
+            result = api.batch(args.names or None, config)
+    except (api.UnknownAnalysisError, ValueError) as error:
         print(str(error), file=sys.stderr)
         return 2
+    _write_metrics(args.metrics_out, result.metrics)
     if args.json:
-        print(report.to_json())
+        print(result.to_json())
     else:
-        print("\n".join(report.summary_lines()))
-    return 0 if report.ok else 1
+        print("\n".join(result.summary_lines()))
+    return 0 if result.ok else 1
 
 
 def cmd_verify(args) -> int:
-    from .analysis.runner import UnknownAnalysisError, run_batch
+    from . import api
+    from .analysis.runner import run_batch
 
+    config = api.RunConfig(
+        engine=args.engine, trials=args.trials, seed=args.seed, verify=True
+    )
     try:
-        report = run_batch(
-            names=args.names,
-            jobs=1,
-            trials=args.trials,
-            seed=args.seed,
-            verify=True,
-            engine=args.engine,
-        )
-    except (UnknownAnalysisError, ValueError) as error:
+        with _metrics_scope(args.metrics_out):
+            report = run_batch(names=args.names, config=config)
+    except (api.UnknownAnalysisError, ValueError) as error:
         print(str(error), file=sys.stderr)
         return 2
+    _write_metrics(args.metrics_out, report.metrics)
     if args.json:
         print(report.to_json())
     else:
@@ -123,21 +152,22 @@ def cmd_verify(args) -> int:
 
 
 def cmd_bench(args) -> int:
+    from . import api
     from .analysis.bench import format_bench, run_bench, run_cache_bench
-    from .analysis.runner import UnknownAnalysisError
 
+    config = api.RunConfig(trials=args.trials, seed=args.seed)
     try:
-        if args.cache:
-            payload = run_cache_bench(
-                names=args.names or None, trials=args.trials, seed=args.seed
-            )
-        else:
-            payload = run_bench(
-                names=args.names or None, trials=args.trials, seed=args.seed
-            )
-    except (UnknownAnalysisError, ValueError) as error:
+        with _metrics_scope(args.metrics_out) as scope:
+            registry = scope.registry
+            if args.cache:
+                payload = run_cache_bench(args.names or None, config)
+            else:
+                payload = run_bench(args.names or None, config)
+            snapshot = None if registry is None else registry.snapshot()
+    except (api.UnknownAnalysisError, ValueError) as error:
         print(str(error), file=sys.stderr)
         return 2
+    _write_metrics(args.metrics_out, snapshot)
     text = format_bench(payload)
     if args.out:
         with open(args.out, "w", encoding="utf-8") as handle:
@@ -147,13 +177,49 @@ def cmd_bench(args) -> int:
     return 0
 
 
-def _analysis_modules():
-    from . import analyses
+def cmd_stats(args) -> int:
+    import json
 
-    modules = {}
-    for module in analyses.TABLE2 + analyses.FAILURES + analyses.EXTENSIONS:
-        modules[module.__name__.rsplit(".", 1)[-1]] = module
-    return modules
+    from . import api, obs
+
+    if args.from_file:
+        try:
+            with open(args.from_file, "r", encoding="utf-8") as handle:
+                snapshot = json.load(handle)
+        except (OSError, json.JSONDecodeError) as error:
+            print(f"stats: cannot read {args.from_file}: {error}", file=sys.stderr)
+            return 2
+        if (
+            not isinstance(snapshot, dict)
+            or snapshot.get("schema") != obs.METRICS_SCHEMA
+        ):
+            print(
+                f"stats: {args.from_file} is not a {obs.METRICS_SCHEMA} "
+                "snapshot",
+                file=sys.stderr,
+            )
+            return 2
+        result = api.StatsResult(snapshot=snapshot)
+    else:
+        cache_dir = None
+        if not args.no_cache:
+            cache_dir = args.cache_dir or _default_cache_dir()
+        config = api.RunConfig(
+            engine=args.engine,
+            trials=args.trials,
+            seed=args.seed,
+            cache_dir=cache_dir,
+        )
+        try:
+            result = api.stats(args.names or None, config)
+        except (api.UnknownAnalysisError, ValueError) as error:
+            print(str(error), file=sys.stderr)
+            return 2
+    if args.format == "prom":
+        print(result.to_prometheus(), end="")
+    else:
+        print(result.to_json())
+    return 0
 
 
 def cmd_list(_args) -> int:
@@ -173,102 +239,79 @@ def cmd_list(_args) -> int:
 
 
 def cmd_analyze(args) -> int:
-    from .analysis import full_report
-    from .semantics.engine import ExecutionEngine, UnknownEngineError
+    from . import api
 
-    modules = _analysis_modules()
-    if args.name not in modules:
-        print(
-            f"unknown analysis {args.name!r}; try: python -m repro list",
-            file=sys.stderr,
-        )
-        return 2
     try:
-        engine = ExecutionEngine.resolve(args.engine)
-    except UnknownEngineError as error:
+        config = api.RunConfig(engine=args.engine, trials=args.trials)
+        result = api.analyze(
+            args.name, config, verify=not args.no_verify
+        )
+    except (api.UnknownAnalysisError, ValueError) as error:
         print(str(error), file=sys.stderr)
         return 2
-    outcome = modules[args.name].run(
-        verify=not args.no_verify, trials=args.trials, engine=engine
-    )
-    print(full_report(outcome))
-    if args.log and outcome.log:
+    print(result.report)
+    if args.log and result.outcome.log:
         print("transformation log:")
-        print(outcome.log)
-    return 0 if outcome.succeeded else 1
+        print(result.outcome.log)
+    return 0 if result.succeeded else 1
 
 
 def cmd_trace(args) -> int:
     import json
 
-    from .provenance import TraceStore, stored_trace
+    from . import api
 
-    modules = _analysis_modules()
-    if args.name not in modules:
-        print(
-            f"unknown analysis {args.name!r}; try: python -m repro list",
-            file=sys.stderr,
-        )
-        return 2
-    store = None
+    cache_dir = None
     if not args.no_cache:
-        store = TraceStore(args.cache_dir or _default_cache_dir())
-    trace = stored_trace(store, args.name)
-    origin = "stored"
-    if trace is None:
-        outcome = modules[args.name].run(verify=False)
-        trace = outcome.trace
-        origin = "fresh"
-    if trace is None:
+        cache_dir = args.cache_dir or _default_cache_dir()
+    try:
+        result = api.trace(args.name, cache_dir=cache_dir)
+    except api.UnknownAnalysisError as error:
+        print(str(error), file=sys.stderr)
+        return 2
+    if result is None:
         print(f"{args.name}: no trace recorded", file=sys.stderr)
         return 1
     if args.format == "json":
-        print(json.dumps(trace.to_dict(), indent=2, sort_keys=True))
+        print(json.dumps(result.to_dict(), indent=2, sort_keys=True))
     else:
-        print(f"# {args.name} ({origin}) digest={trace.digest()}")
-        print(trace.log())
+        print(f"# {args.name} ({result.origin}) digest={result.digest}")
+        print(result.log())
     return 0
 
 
 def cmd_replay(args) -> int:
-    import importlib
-
-    from .analysis.runner import UnknownAnalysisError, resolve_names
-    from .provenance import TraceStore, replay_analysis, trace_for
-    from .transform import ReplayDivergenceError, TransformError
+    from . import api
 
     if not args.names and not args.all:
         print("replay: give analysis names or --all", file=sys.stderr)
         return 2
+    cache_dir = None
+    if not args.no_cache:
+        cache_dir = args.cache_dir or _default_cache_dir()
     try:
-        entries = resolve_names(None if args.all else args.names)
-    except UnknownAnalysisError as error:
+        result = api.replay(
+            None if args.all else args.names, cache_dir=cache_dir
+        )
+    except api.UnknownAnalysisError as error:
         print(str(error), file=sys.stderr)
         return 2
-    store = None
-    if not args.no_cache:
-        store = TraceStore(args.cache_dir or _default_cache_dir())
-    failed = 0
-    for entry in entries:
-        module = importlib.import_module(f"repro.analyses.{entry.name}")
-        trace, origin = trace_for(store, entry.name)
-        if trace is None:
+    for entry in result.entries:
+        if entry.error == "no trace recorded":
             print(f"FAILED {entry.name}: no trace recorded")
-            failed += 1
-            continue
-        try:
-            replay_analysis(trace, module.OPERATOR(), module.INSTRUCTION())
-        except (ReplayDivergenceError, TransformError) as error:
-            print(f"FAILED {entry.name} ({origin}): {error}")
-            failed += 1
-            continue
-        print(
-            f"ok     {entry.name} ({origin}) steps={trace.steps} "
-            f"digest={trace.digest()[:12]}"
-        )
-    total = len(entries)
-    print(f"{total - failed}/{total} derivations replayed with digest agreement")
-    return 0 if failed == 0 else 1
+        elif not entry.ok:
+            print(f"FAILED {entry.name} ({entry.origin}): {entry.error}")
+        else:
+            print(
+                f"ok     {entry.name} ({entry.origin}) steps={entry.steps} "
+                f"digest={entry.digest[:12]}"
+            )
+    total = len(result.entries)
+    print(
+        f"{total - result.failed}/{total} derivations replayed "
+        "with digest agreement"
+    )
+    return 0 if result.ok else 1
 
 
 def cmd_lint(args) -> int:
@@ -493,6 +536,12 @@ def main(argv=None) -> int:
         action="store_true",
         help="disable the provenance cache; replay and verify everything",
     )
+    p_batch.add_argument(
+        "--metrics-out",
+        default=None,
+        metavar="FILE",
+        help="collect metrics during the run and write the JSON snapshot here",
+    )
 
     p_trace = sub.add_parser(
         "trace", help="print one analysis's recorded derivation"
@@ -544,6 +593,12 @@ def main(argv=None) -> int:
     p_verify.add_argument(
         "--json", action="store_true", help="deterministic JSON report"
     )
+    p_verify.add_argument(
+        "--metrics-out",
+        default=None,
+        metavar="FILE",
+        help="collect metrics during the run and write the JSON snapshot here",
+    )
 
     p_bench = sub.add_parser(
         "bench", help="time verification per execution engine"
@@ -563,6 +618,56 @@ def main(argv=None) -> int:
         "--cache",
         action="store_true",
         help="benchmark the provenance cache (cold vs warm batch)",
+    )
+    p_bench.add_argument(
+        "--metrics-out",
+        default=None,
+        metavar="FILE",
+        help="collect metrics during the run and write the JSON snapshot here",
+    )
+
+    p_stats = sub.add_parser(
+        "stats", help="run an instrumented batch and print its metrics"
+    )
+    p_stats.add_argument(
+        "names", nargs="*", help="analysis names (default: full catalog)"
+    )
+    p_stats.add_argument(
+        "--format",
+        choices=["json", "prom"],
+        default="json",
+        help="snapshot JSON or Prometheus text exposition",
+    )
+    p_stats.add_argument(
+        "--from",
+        dest="from_file",
+        default=None,
+        metavar="FILE",
+        help="print a previously saved --metrics-out snapshot instead of "
+        "running anything",
+    )
+    p_stats.add_argument(
+        "--trials",
+        type=int,
+        default=20,
+        help="verification trials for the instrumented run (kept small: "
+        "stats is about the metrics, not the verdict)",
+    )
+    p_stats.add_argument("--seed", type=int, default=1982)
+    p_stats.add_argument(
+        "--engine",
+        default=None,
+        help="execution engine: interp | compiled (default: compiled)",
+    )
+    p_stats.add_argument(
+        "--cache-dir",
+        default=None,
+        help="provenance store root (default: $REPRO_CACHE_DIR or .repro-cache)",
+    )
+    p_stats.add_argument(
+        "--no-cache",
+        action="store_true",
+        help="disable the provenance cache for the instrumented run",
     )
 
     sub.add_parser("list", help="list available analyses")
@@ -614,6 +719,7 @@ def main(argv=None) -> int:
         "replay": cmd_replay,
         "verify": cmd_verify,
         "bench": cmd_bench,
+        "stats": cmd_stats,
         "list": cmd_list,
         "lint": cmd_lint,
         "analyze": cmd_analyze,

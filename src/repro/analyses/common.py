@@ -20,6 +20,7 @@ from ..analysis import (
     AnalysisOutcome,
     AnalysisSession,
     MatchFailure,
+    RunConfig,
     verify_binding,
 )
 from ..constraints import LanguageFact, UnsupportedConstraintError
@@ -67,8 +68,9 @@ def run_analysis(
         verification = verify_binding(
             binding,
             scenario,
-            trials=trials,
-            engine=ExecutionEngine.resolve(engine),
+            config=RunConfig(
+                trials=trials, engine=ExecutionEngine.resolve(engine)
+            ),
         )
     return AnalysisOutcome(
         machine=info.machine,

@@ -7,8 +7,15 @@ constraints) for a retargetable code generator.
 """
 
 from .binding import Binding, BindingLibrary
+from .config import RunConfig
 from .matcher import Matcher, MatchFailure, MatchResult
-from .report import AnalysisOutcome, format_table, full_report, table2_row
+from .report import (
+    AnalysisOutcome,
+    canonical_report_json,
+    format_table,
+    full_report,
+    table2_row,
+)
 from .runner import (
     BatchReport,
     CatalogEntry,
@@ -24,10 +31,12 @@ from .verify import VerificationFailure, VerificationReport, verify_binding
 __all__ = [
     "Binding",
     "BindingLibrary",
+    "RunConfig",
     "Matcher",
     "MatchFailure",
     "MatchResult",
     "AnalysisOutcome",
+    "canonical_report_json",
     "format_table",
     "full_report",
     "table2_row",

@@ -20,10 +20,15 @@ import time
 from typing import Dict, List, Optional, Sequence
 
 from ..semantics.engine import ENGINE_NAMES
+from .config import _UNSET, RunConfig, resolve_config
+from .report import canonical_report_json
 from .runner import _clear_replay_cache, _replay, resolve_names
 
 #: JSON payload schema identifier.
 SCHEMA = "repro.bench/1"
+
+#: historical default plan of the benchmarks: 240 trials.
+_BENCH_DEFAULTS = RunConfig(trials=240)
 
 
 def bench_entries(names: Optional[Sequence[str]] = None):
@@ -37,10 +42,17 @@ def bench_entries(names: Optional[Sequence[str]] = None):
 
 def run_bench(
     names: Optional[Sequence[str]] = None,
-    trials: int = 240,
-    seed: int = 1982,
+    config: Optional[RunConfig] = None,
+    *,
+    trials: object = _UNSET,
+    seed: object = _UNSET,
 ) -> Dict[str, object]:
     """Time verification of the catalog under every engine.
+
+    The plan comes from ``config`` (historical default: 240 trials);
+    the individual keywords are deprecated aliases (see
+    :func:`repro.analysis.config.resolve_config`).  ``config.engine``
+    is ignored — this benchmark times *every* engine by design.
 
     Replays each analysis once (replay cost is engine-independent and
     excluded from the timings), then runs the full ``trials``-trial
@@ -51,6 +63,12 @@ def run_bench(
     from ..semantics.compiler import clear_compile_cache
     from .verify import verify_binding
 
+    cfg = resolve_config(
+        config,
+        {"trials": trials, "seed": seed},
+        "run_bench",
+        defaults=_BENCH_DEFAULTS,
+    )
     entries = bench_entries(names)
     _clear_replay_cache()
     replayed = []
@@ -69,9 +87,7 @@ def run_bench(
             verify_binding(
                 outcome.binding,
                 module.SCENARIO,
-                trials=trials,
-                seed=seed,
-                engine=engine,
+                config=cfg.replace(engine=engine),
                 gate="off",
             )
             elapsed = time.perf_counter() - started
@@ -89,8 +105,8 @@ def run_bench(
     speedup = interp_total / compiled_total if compiled_total > 0 else None
     return {
         "schema": SCHEMA,
-        "trials": trials,
-        "seed": seed,
+        "trials": cfg.trials,
+        "seed": cfg.seed,
         "analyses": len(replayed),
         "engines": engines,
         "speedup": round(speedup, 2) if speedup is not None else None,
@@ -103,10 +119,12 @@ CACHE_SCHEMA = "repro.bench-cache/1"
 
 def run_cache_bench(
     names: Optional[Sequence[str]] = None,
-    trials: int = 240,
-    seed: int = 1982,
-    jobs: int = 1,
-    cache_dir: Optional[str] = None,
+    config: Optional[RunConfig] = None,
+    *,
+    trials: object = _UNSET,
+    seed: object = _UNSET,
+    jobs: object = _UNSET,
+    cache_dir: object = _UNSET,
 ) -> Dict[str, object]:
     """Cold-vs-warm timing of the incremental batch mode.
 
@@ -124,15 +142,17 @@ def run_cache_bench(
 
     from .runner import run_batch
 
-    own_dir = cache_dir is None
-    root = cache_dir or tempfile.mkdtemp(prefix="repro-cache-bench-")
+    cfg = resolve_config(
+        config,
+        {"trials": trials, "seed": seed, "jobs": jobs, "cache_dir": cache_dir},
+        "run_cache_bench",
+        defaults=_BENCH_DEFAULTS,
+    )
+    own_dir = cfg.cache_dir is None
+    root = cfg.cache_dir or tempfile.mkdtemp(prefix="repro-cache-bench-")
     try:
-        cold = run_batch(
-            names=names, jobs=jobs, trials=trials, seed=seed, cache_dir=root
-        )
-        warm = run_batch(
-            names=names, jobs=jobs, trials=trials, seed=seed, cache_dir=root
-        )
+        cold = run_batch(names=names, config=cfg.replace(cache_dir=root))
+        warm = run_batch(names=names, config=cfg.replace(cache_dir=root))
     finally:
         if own_dir:
             shutil.rmtree(root, ignore_errors=True)
@@ -140,13 +160,14 @@ def run_cache_bench(
     def _modulo_cache(report) -> str:
         payload = json.loads(report.to_json())
         payload.pop("cache", None)
+        payload.pop("metrics", None)
         return json.dumps(payload, sort_keys=True)
 
     speedup = cold.elapsed / warm.elapsed if warm.elapsed > 0 else None
     return {
         "schema": CACHE_SCHEMA,
-        "trials": trials,
-        "seed": seed,
+        "trials": cfg.trials,
+        "seed": cfg.seed,
         "entries": len(cold.results),
         "cold": {
             "seconds": round(cold.elapsed, 4),
@@ -167,4 +188,4 @@ def run_cache_bench(
 
 def format_bench(payload: Dict[str, object]) -> str:
     """The deterministic JSON text for the committed BENCH artifacts."""
-    return json.dumps(payload, indent=2, sort_keys=True) + "\n"
+    return canonical_report_json(payload) + "\n"

@@ -1,0 +1,94 @@
+"""One run-parameter surface for everything that verifies analyses.
+
+``run_batch`` (:mod:`repro.analysis.runner`), ``verify_binding``
+(:mod:`repro.analysis.verify`), and the benchmarks
+(:mod:`repro.analysis.bench`) historically each grew their own
+``engine`` / ``trials`` / ``seed`` keyword plumbing, with defaults
+drifting per function.  :class:`RunConfig` replaces that: one frozen
+dataclass carries the whole verification plan, the public
+:mod:`repro.api` facade consumes it, and every legacy keyword
+signature survives as a deprecated alias (folded into a config,
+announced with :class:`DeprecationWarning`).
+
+The *values* of the historical defaults are preserved per entry point
+(``verify_binding`` defaulted to 200 trials, ``run_bench`` to 240, the
+batch runner to 120), so a legacy call without keywords behaves
+exactly as before.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import os
+import warnings
+from dataclasses import dataclass
+from typing import Dict, Optional, Union
+
+from ..semantics.engine import ExecutionEngine
+
+#: Sentinel distinguishing "keyword not passed" from an explicit None.
+_UNSET = object()
+
+
+@dataclass(frozen=True)
+class RunConfig:
+    """The complete plan for one verification-bearing run.
+
+    ``engine`` accepts a name, an :class:`ExecutionEngine`, or None
+    (the default engine) — exactly what every ``--engine`` flag
+    accepts.  ``jobs``/``timeout``/``cache_dir`` only matter to the
+    batch runner; single-binding verification ignores them.
+    """
+
+    engine: Union[None, str, ExecutionEngine] = None
+    trials: int = 120
+    seed: int = 1982
+    verify: bool = True
+    jobs: int = 1
+    timeout: Optional[float] = None
+    cache_dir: Union[None, str, "os.PathLike"] = None
+
+    def resolve_engine(self, gate: Optional[str] = None) -> ExecutionEngine:
+        """The concrete engine this plan runs on."""
+        return ExecutionEngine.resolve(self.engine, gate)
+
+    def replace(self, **changes: object) -> "RunConfig":
+        """A copy with ``changes`` applied (dataclasses.replace)."""
+        return dataclasses.replace(self, **changes)
+
+
+def resolve_config(
+    config: Optional[RunConfig],
+    legacy: Dict[str, object],
+    caller: str,
+    defaults: Optional[RunConfig] = None,
+) -> RunConfig:
+    """Fold a (config, legacy-keywords) call into one :class:`RunConfig`.
+
+    ``legacy`` maps keyword names to values, with :data:`_UNSET`
+    marking keywords the caller never passed.  Passing any legacy
+    keyword emits a :class:`DeprecationWarning`; passing both a config
+    and legacy keywords is a :class:`TypeError` — there must be exactly
+    one source of truth for the plan.
+    """
+    supplied = {
+        name: value for name, value in legacy.items() if value is not _UNSET
+    }
+    if config is not None:
+        if supplied:
+            raise TypeError(
+                "%s: pass config=RunConfig(...) or legacy keywords, not both "
+                "(got %s)" % (caller, ", ".join(sorted(supplied)))
+            )
+        return config
+    base = defaults if defaults is not None else RunConfig()
+    if supplied:
+        warnings.warn(
+            "%s: the %s keyword(s) are deprecated; pass "
+            "config=RunConfig(...) instead"
+            % (caller, ", ".join(sorted(supplied))),
+            DeprecationWarning,
+            stacklevel=3,
+        )
+        return dataclasses.replace(base, **supplied)
+    return base

@@ -7,8 +7,9 @@ produced.
 
 from __future__ import annotations
 
+import json
 from dataclasses import dataclass
-from typing import Optional, Sequence, Tuple
+from typing import Mapping, Optional, Sequence, Tuple
 
 from ..constraints import UnsupportedConstraintError
 from ..isdl import format_description
@@ -16,6 +17,19 @@ from ..provenance import AnalysisTrace
 from .binding import Binding
 from .matcher import MatchFailure
 from .verify import VerificationReport
+
+
+def canonical_report_json(payload: Mapping[str, object]) -> str:
+    """The one JSON shape every machine-readable report is printed in.
+
+    ``repro batch --json``, ``repro bench --json``, and the cache
+    benchmark all serialize through here, so their byte-identity
+    contracts (same seed -> same bytes, across ``--jobs`` and engines)
+    rest on a single serializer instead of three copies of the same
+    ``json.dumps`` incantation.  Sorted keys, two-space indent, no
+    trailing newline — callers that print add their own.
+    """
+    return json.dumps(payload, indent=2, sort_keys=True)
 
 
 @dataclass(frozen=True)

@@ -44,14 +44,16 @@ from __future__ import annotations
 
 import concurrent.futures
 import importlib
-import json
-import os
 import time
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 from functools import lru_cache
-from typing import Dict, List, Optional, Sequence, Tuple, Union
+from typing import Dict, List, Optional, Sequence, Tuple
 
-from ..semantics.engine import DEFAULT_ENGINE, ExecutionEngine
+from .. import obs
+from ..obs.metrics import diff_snapshots
+from ..semantics.engine import DEFAULT_ENGINE
+from .config import _UNSET, RunConfig, resolve_config
+from .report import canonical_report_json
 
 #: trials per verification shard; fixed (never derived from the worker
 #: count) so the shard layout — and therefore the report — is identical
@@ -150,6 +152,10 @@ class BatchReport:
     #: provenance-cache settings and counters.  ``cache_enabled`` is
     #: False when the run had no store; the counters then stay zero.
     cache_enabled: bool = False
+    #: metrics snapshot of this run (``repro.metrics/1``), present only
+    #: when collection was on.  Serialized as a top-level ``"metrics"``
+    #: block; with collection off (the default) the JSON is unchanged.
+    metrics: Optional[Dict[str, object]] = None
 
     @property
     def ok(self) -> bool:
@@ -205,7 +211,9 @@ class BatchReport:
                 "hits": self.cache_hits,
                 "misses": self.cache_lookup_misses,
             }
-        return json.dumps(payload, indent=2, sort_keys=True)
+        if self.metrics is not None:
+            payload["metrics"] = self.metrics
+        return canonical_report_json(payload)
 
     def summary_lines(self) -> List[str]:
         lines = []
@@ -328,8 +336,9 @@ def plan_jobs(
 @lru_cache(maxsize=None)
 def _replay(name: str):
     """Replay one analysis script (no verification), memoized per process."""
-    module = importlib.import_module(f"repro.analyses.{name}")
-    return module, module.run(verify=False)
+    with obs.span("replay", analysis=name):
+        module = importlib.import_module(f"repro.analyses.{name}")
+        return module, module.run(verify=False)
 
 
 def _clear_replay_cache() -> None:
@@ -389,6 +398,8 @@ def execute_shard(spec: ShardSpec) -> Dict[str, object]:
 
     started = time.perf_counter()
     misses_before = _cache_miss_count()
+    registry = obs.active()
+    metrics_before = registry.snapshot() if registry is not None else None
     record: Dict[str, object] = {
         "name": spec.name,
         "offset": spec.offset,
@@ -401,27 +412,30 @@ def execute_shard(spec: ShardSpec) -> Dict[str, object]:
         "cache_misses": 0,
     }
     try:
-        module, outcome = _replay(spec.name)
-        record["succeeded"] = outcome.succeeded
-        record["steps"] = outcome.steps
-        record["failure"] = outcome.failure
-        if outcome.succeeded:
-            gate = lint_binding(outcome.binding)
-            if gate:
-                raise LintGateError(tuple(gate))
-        if outcome.succeeded and spec.count > 0:
-            scenario = getattr(module, "SCENARIO", None)
-            if scenario is not None:
-                verify_binding(
-                    outcome.binding,
-                    scenario,
-                    trials=spec.count,
-                    seed=spec.seed,
-                    offset=spec.offset,
-                    engine=spec.engine,
-                    gate="sampled",
-                )
-                record["verified"] = spec.count
+        with obs.span("shard", analysis=spec.name):
+            module, outcome = _replay(spec.name)
+            record["succeeded"] = outcome.succeeded
+            record["steps"] = outcome.steps
+            record["failure"] = outcome.failure
+            if outcome.succeeded:
+                gate = lint_binding(outcome.binding)
+                if gate:
+                    raise LintGateError(tuple(gate))
+            if outcome.succeeded and spec.count > 0:
+                scenario = getattr(module, "SCENARIO", None)
+                if scenario is not None:
+                    verify_binding(
+                        outcome.binding,
+                        scenario,
+                        config=RunConfig(
+                            engine=spec.engine,
+                            trials=spec.count,
+                            seed=spec.seed,
+                        ),
+                        offset=spec.offset,
+                        gate="sampled",
+                    )
+                    record["verified"] = spec.count
     except VerificationFailure as error:
         record["failure"] = f"VerificationFailure: {error}"
         record["succeeded"] = False
@@ -432,6 +446,14 @@ def execute_shard(spec: ShardSpec) -> Dict[str, object]:
         record["error"] = f"{type(error).__name__}: {error}"
     record["duration"] = time.perf_counter() - started
     record["cache_misses"] = _cache_miss_count() - misses_before
+    if registry is not None and metrics_before is not None:
+        # In a pool worker this delta rides the record back to the
+        # parent, which merges deltas in deterministic plan order; in
+        # serial mode the shared registry already holds these counts,
+        # so the parent must NOT merge (see run_batch).
+        record["metrics"] = diff_snapshots(
+            metrics_before, registry.snapshot()
+        )
     return record
 
 
@@ -708,15 +730,23 @@ def _run_pool(
 
 def run_batch(
     names: Optional[Sequence[str]] = None,
-    jobs: int = 1,
-    trials: int = 120,
-    seed: int = 1982,
-    verify: bool = True,
-    timeout: Optional[float] = None,
-    engine: Union[None, str, ExecutionEngine] = None,
-    cache_dir: Union[None, str, "os.PathLike"] = None,
+    config: Optional[RunConfig] = None,
+    *,
+    jobs: object = _UNSET,
+    trials: object = _UNSET,
+    seed: object = _UNSET,
+    verify: object = _UNSET,
+    timeout: object = _UNSET,
+    engine: object = _UNSET,
+    cache_dir: object = _UNSET,
 ) -> BatchReport:
     """Run the analysis catalog (or a subset) as a parallel batch.
+
+    The run plan comes from ``config`` (a :class:`RunConfig`); the
+    individual keywords are deprecated aliases that fold into one (see
+    :func:`repro.analysis.config.resolve_config`).  The historical
+    defaults — 120 trials, seed 1982, serial, verification on — are
+    the :class:`RunConfig` defaults, so bare calls are unchanged.
 
     ``jobs=1`` executes every job serially in-process; ``jobs>1`` uses
     a process pool.  Both paths execute the *same* deterministic job
@@ -737,61 +767,117 @@ def run_batch(
     skip replay and verification entirely, and fresh clean verdicts
     are recorded for the next run.  ``None`` (the default) disables
     caching — every entry runs.
+
+    When metrics collection is on (:func:`repro.obs.collecting`), the
+    run is traced end to end: pool workers snapshot their registry
+    around each shard and ship the delta back in the job record, and
+    the parent merges those deltas in deterministic plan order, so the
+    final snapshot is independent of worker scheduling.  The snapshot
+    lands on :attr:`BatchReport.metrics`.
     """
-    if jobs < 1:
+    cfg = resolve_config(
+        config,
+        {
+            "jobs": jobs,
+            "trials": trials,
+            "seed": seed,
+            "verify": verify,
+            "timeout": timeout,
+            "engine": engine,
+            "cache_dir": cache_dir,
+        },
+        "run_batch",
+    )
+    if cfg.jobs < 1:
         raise ValueError("jobs must be >= 1")
-    resolved = ExecutionEngine.resolve(engine)
+    resolved = cfg.resolve_engine()
     entries = resolve_names(names)
     started = time.perf_counter()
 
-    store = None
-    keys: Dict[str, Dict[str, object]] = {}
-    cached: Dict[str, JobResult] = {}
-    if cache_dir is not None:
-        from ..provenance import TraceStore, code_epoch
+    with obs.span("batch"):
+        store = None
+        keys: Dict[str, Dict[str, object]] = {}
+        cached: Dict[str, JobResult] = {}
+        if cfg.cache_dir is not None:
+            from ..provenance import TraceStore, code_epoch
 
-        store = TraceStore(cache_dir)
-        epoch = code_epoch()
-        for entry in entries:
-            key = entry_verdict_key(
-                entry, resolved.name, trials, seed, verify, epoch=epoch
+            store = TraceStore(cfg.cache_dir)
+            epoch = code_epoch()
+            for entry in entries:
+                key = entry_verdict_key(
+                    entry,
+                    resolved.name,
+                    cfg.trials,
+                    cfg.seed,
+                    cfg.verify,
+                    epoch=epoch,
+                )
+                keys[entry.name] = key
+                artifact = store.lookup_verdict(key)
+                if artifact is not None:
+                    result = _result_from_artifact(entry, artifact)
+                    if result is not None:
+                        cached[entry.name] = result
+
+        miss_entries = tuple(
+            entry for entry in entries if entry.name not in cached
+        )
+        specs = plan_jobs(
+            miss_entries, cfg.trials, cfg.seed, cfg.verify, resolved.name
+        )
+        _clear_replay_cache()
+        records: Dict[Tuple[str, int], Optional[Dict[str, object]]] = {}
+        if cfg.jobs == 1:
+            for spec in specs:
+                records[(spec.name, spec.offset)] = execute_shard(spec)
+        else:
+            preload_caches(specs)
+            records = _run_pool(specs, cfg.jobs, cfg.timeout)
+            if obs.enabled():
+                # Pool workers mutated *their* registries, not ours:
+                # merge the per-shard deltas they shipped back, in plan
+                # order so the result is scheduling-independent.  The
+                # serial path above shares this process's registry, so
+                # its shards are already counted — merging would double.
+                for spec in specs:
+                    worker_record = records.get((spec.name, spec.offset))
+                    if isinstance(worker_record, dict):
+                        delta = worker_record.get("metrics")
+                        if isinstance(delta, dict):
+                            obs.merge(delta)
+        fresh = {
+            result.name: result
+            for result in _aggregate(miss_entries, records, specs)
+        }
+        results = [
+            cached[entry.name] if entry.name in cached else fresh[entry.name]
+            for entry in entries
+        ]
+        if store is not None:
+            _record_verdicts(store, entries, results, keys)
+        if obs.enabled():
+            for result in results:
+                status = (
+                    "cached"
+                    if result.cached
+                    else ("ok" if result.ok else "failed")
+                )
+                obs.inc("repro_batch_entries_total", status=status)
+            hits = sum(1 for result in results if result.cached)
+            rate = (
+                hits / len(results) if store is not None and results else 0.0
             )
-            keys[entry.name] = key
-            artifact = store.lookup_verdict(key)
-            if artifact is not None:
-                result = _result_from_artifact(entry, artifact)
-                if result is not None:
-                    cached[entry.name] = result
-
-    miss_entries = tuple(
-        entry for entry in entries if entry.name not in cached
-    )
-    specs = plan_jobs(miss_entries, trials, seed, verify, resolved.name)
-    _clear_replay_cache()
-    records: Dict[Tuple[str, int], Optional[Dict[str, object]]] = {}
-    if jobs == 1:
-        for spec in specs:
-            records[(spec.name, spec.offset)] = execute_shard(spec)
-    else:
-        preload_caches(specs)
-        records = _run_pool(specs, jobs, timeout)
-    fresh = {
-        result.name: result
-        for result in _aggregate(miss_entries, records, specs)
-    }
-    results = [
-        cached[entry.name] if entry.name in cached else fresh[entry.name]
-        for entry in entries
-    ]
-    if store is not None:
-        _record_verdicts(store, entries, results, keys)
-    return BatchReport(
+            obs.gauge_set("repro_provenance_hit_rate", rate)
+    report = BatchReport(
         results=results,
-        seed=seed,
-        trials=trials,
-        verify=verify,
+        seed=cfg.seed,
+        trials=cfg.trials,
+        verify=cfg.verify,
         elapsed=time.perf_counter() - started,
-        jobs=jobs,
+        jobs=cfg.jobs,
         engine=resolved.name,
         cache_enabled=store is not None,
     )
+    if obs.enabled():
+        report.metrics = obs.snapshot()
+    return report

@@ -27,6 +27,7 @@ from __future__ import annotations
 from dataclasses import dataclass
 from typing import Optional, Sequence, Tuple
 
+from .. import obs
 from ..constraints import LanguageFact
 from ..isdl import ast
 from ..provenance import AnalysisTrace
@@ -89,8 +90,12 @@ class AnalysisSession:
         """
         from ..constraints import RangeConstraint
 
-        matcher = Matcher(self.operator.description, self.instruction.description)
-        result = matcher.match()
+        with obs.span("match", operation=self.info.operation):
+            matcher = Matcher(
+                self.operator.description, self.instruction.description
+            )
+            result = matcher.match()
+        obs.inc("repro_analysis_steps_total", self.steps)
         scripted = tuple(self.operator.constraints) + tuple(
             self.instruction.constraints
         )

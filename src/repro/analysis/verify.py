@@ -18,12 +18,19 @@ constraints before the instruction is ever emitted.
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Dict, Optional, Tuple, Union
+from typing import Dict, Optional, Tuple
 
+from .. import obs
 from ..isdl import ast
 from ..lint import LintGateError, lint_binding
-from ..semantics.engine import DEFAULT_ENGINE, ExecutionEngine
+from ..semantics.engine import DEFAULT_ENGINE
 from ..semantics.randomgen import Scenario, ScenarioSpec, ScenarioStream
+from .config import _UNSET, RunConfig, resolve_config
+
+#: historical default plan of this entry point: 200 trials (the batch
+#: runner's default is 120 — the difference predates RunConfig and is
+#: preserved through it).
+_VERIFY_DEFAULTS = RunConfig(trials=200)
 
 
 class VerificationFailure(Exception):
@@ -89,13 +96,22 @@ def _clip_to_constraints(inputs: Dict[str, int], binding) -> Dict[str, int]:
 def verify_binding(
     binding,
     spec: ScenarioSpec,
-    trials: int = 200,
-    seed: int = 1982,
+    config: Optional[RunConfig] = None,
+    *,
+    trials: object = _UNSET,
+    seed: object = _UNSET,
+    engine: object = _UNSET,
     offset: int = 0,
-    engine: Union[None, str, ExecutionEngine] = None,
     gate: Optional[str] = None,
 ) -> VerificationReport:
-    """Run both final descriptions on ``trials`` randomized states.
+    """Run both final descriptions on randomized states.
+
+    The trial count, root seed, and engine come from ``config`` (a
+    :class:`RunConfig`; this entry point's historical default is 200
+    trials); the individual keywords are deprecated aliases (see
+    :func:`repro.analysis.config.resolve_config`).  ``offset`` and
+    ``gate`` stay real parameters — they are per-call verification
+    mechanics, not part of the run plan.
 
     ``seed`` is the *root* seed of the whole verification; ``offset``
     selects a window of its scenario stream, so the batch runner can
@@ -115,10 +131,16 @@ def verify_binding(
     the static pre-flight finds the binding's constraints inconsistent
     with its own descriptions (see :func:`repro.lint.lint_binding`).
     """
+    cfg = resolve_config(
+        config,
+        {"trials": trials, "seed": seed, "engine": engine},
+        "verify_binding",
+        defaults=_VERIFY_DEFAULTS,
+    )
     gate_diagnostics = lint_binding(binding)
     if gate_diagnostics:
         raise LintGateError(tuple(gate_diagnostics))
-    resolved = ExecutionEngine.resolve(engine, gate)
+    resolved = cfg.resolve_engine(gate)
     operator_desc = binding.final_operator
     instruction_desc = binding.augmented_instruction
     operator_interp = resolved.executor(operator_desc)
@@ -126,34 +148,45 @@ def verify_binding(
     operand_map = binding.operand_map
     ranges = _operand_ranges(binding)
 
+    collect = obs.enabled()
     rename = operand_map.get
-    for scenario in ScenarioStream(spec, seed).window(offset, trials):
-        inputs = _clip_to_ranges(scenario.inputs, ranges)
-        mapped = {rename(k, k): v for k, v in inputs.items()}
-        result_op = operator_interp.run(inputs, scenario.memory)
-        result_in = instruction_interp.run(mapped, scenario.memory)
-        if result_op.outputs != result_in.outputs:
-            raise VerificationFailure(
-                f"outputs differ: operator {result_op.outputs} vs "
-                f"instruction {result_in.outputs} on inputs {inputs}",
-                scenario,
-            )
-        if result_op.memory != result_in.memory:
-            diff = {
-                addr: (result_op.memory.get(addr), result_in.memory.get(addr))
-                for addr in set(result_op.memory) | set(result_in.memory)
-                if result_op.memory.get(addr) != result_in.memory.get(addr)
-            }
-            raise VerificationFailure(
-                f"final memories differ at {sorted(diff)[:8]} on inputs "
-                f"{inputs}",
-                scenario,
-            )
+    with obs.span("verify", engine=resolved.name):
+        for scenario in ScenarioStream(spec, cfg.seed).window(
+            offset, cfg.trials
+        ):
+            if collect:
+                obs.inc("repro_verify_trials_total", engine=resolved.name)
+            inputs = _clip_to_ranges(scenario.inputs, ranges)
+            mapped = {rename(k, k): v for k, v in inputs.items()}
+            result_op = operator_interp.run(inputs, scenario.memory)
+            result_in = instruction_interp.run(mapped, scenario.memory)
+            if result_op.outputs != result_in.outputs:
+                obs.inc("repro_verify_failures_total", engine=resolved.name)
+                raise VerificationFailure(
+                    f"outputs differ: operator {result_op.outputs} vs "
+                    f"instruction {result_in.outputs} on inputs {inputs}",
+                    scenario,
+                )
+            if result_op.memory != result_in.memory:
+                diff = {
+                    addr: (
+                        result_op.memory.get(addr),
+                        result_in.memory.get(addr),
+                    )
+                    for addr in set(result_op.memory) | set(result_in.memory)
+                    if result_op.memory.get(addr) != result_in.memory.get(addr)
+                }
+                obs.inc("repro_verify_failures_total", engine=resolved.name)
+                raise VerificationFailure(
+                    f"final memories differ at {sorted(diff)[:8]} on inputs "
+                    f"{inputs}",
+                    scenario,
+                )
     return VerificationReport(
-        trials=trials,
+        trials=cfg.trials,
         operator_name=operator_desc.name,
         instruction_name=instruction_desc.name,
-        seed=seed,
+        seed=cfg.seed,
         offset=offset,
         engine=resolved.name,
     )

@@ -20,6 +20,8 @@ import threading
 from dataclasses import dataclass
 from typing import Any, Callable, Dict, Tuple
 
+from .. import obs
+
 
 @dataclass
 class CacheStats:
@@ -60,8 +62,13 @@ class TextMemo:
                 pass
             else:
                 self.stats.hits += 1
+                obs.inc(
+                    "repro_parse_cache_hits_total", namespace=self.namespace
+                )
                 return value
-        value = self._parse(text)
+        obs.inc("repro_parse_cache_misses_total", namespace=self.namespace)
+        with obs.span("parse", namespace=self.namespace):
+            value = self._parse(text)
         with self._lock:
             self.stats.misses += 1
             self._entries.setdefault(key, value)

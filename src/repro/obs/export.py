@@ -1,0 +1,144 @@
+"""Metrics snapshot exporters: canonical JSON and Prometheus text.
+
+Two wire formats for one snapshot:
+
+* :func:`export_json` — the canonical JSON text (sorted keys, compact
+  separators, ASCII) written by ``--metrics-out`` and consumed by the
+  CI provenance gate;
+* :func:`export_prometheus` — Prometheus text exposition (version
+  0.0.4): ``# HELP`` / ``# TYPE`` headers, escaped label values,
+  ``_bucket{le=...}`` / ``_sum`` / ``_count`` series per histogram.
+
+Every *declared* metric family is always emitted, zero-valued when the
+snapshot recorded no samples for it: a scrape target must not make
+families appear and disappear between scrapes, and the acceptance
+tests can assert coverage without forcing work onto every path.
+"""
+
+from __future__ import annotations
+
+import json
+from typing import Dict, List, Mapping, Tuple
+
+from .metrics import (
+    BUCKET_BOUNDS,
+    COUNTERS,
+    GAUGES,
+    HISTOGRAMS,
+    _samples,
+)
+
+
+def export_json(snapshot: Mapping[str, object]) -> str:
+    """The one canonical JSON text for a snapshot (digest-stable)."""
+    return json.dumps(
+        snapshot, sort_keys=True, separators=(",", ":"), ensure_ascii=True
+    )
+
+
+def _escape_label_value(value: str) -> str:
+    return (
+        value.replace("\\", "\\\\").replace('"', '\\"').replace("\n", "\\n")
+    )
+
+
+def _label_text(labels: Mapping[str, str], extra: Tuple[Tuple[str, str], ...] = ()) -> str:
+    pairs = sorted(labels.items()) + list(extra)
+    if not pairs:
+        return ""
+    body = ",".join(
+        '%s="%s"' % (key, _escape_label_value(str(value))) for key, value in pairs
+    )
+    return "{%s}" % body
+
+
+def _format_value(value: object) -> str:
+    number = float(value)
+    if number == int(number) and abs(number) < 1e15:
+        return str(int(number))
+    return repr(number)
+
+
+def _bound_text(bound: float) -> str:
+    return _format_value(bound)
+
+
+def export_prometheus(snapshot: Mapping[str, object]) -> str:
+    """Prometheus text exposition covering every declared family."""
+    by_name: Dict[str, List[Dict[str, object]]] = {}
+    for section in ("counters", "gauges", "histograms"):
+        for sample in _samples(snapshot, section):
+            by_name.setdefault(str(sample["name"]), []).append(sample)
+
+    lines: List[str] = []
+    for name in sorted(COUNTERS):
+        lines.append("# HELP %s %s" % (name, COUNTERS[name]))
+        lines.append("# TYPE %s counter" % name)
+        samples = by_name.get(name, [])
+        if not samples:
+            lines.append("%s 0" % name)
+        for sample in samples:
+            lines.append(
+                "%s%s %s"
+                % (
+                    name,
+                    _label_text(sample.get("labels", {})),
+                    _format_value(sample["value"]),
+                )
+            )
+    for name in sorted(GAUGES):
+        lines.append("# HELP %s %s" % (name, GAUGES[name]))
+        lines.append("# TYPE %s gauge" % name)
+        samples = by_name.get(name, [])
+        if not samples:
+            lines.append("%s 0" % name)
+        for sample in samples:
+            lines.append(
+                "%s%s %s"
+                % (
+                    name,
+                    _label_text(sample.get("labels", {})),
+                    _format_value(sample["value"]),
+                )
+            )
+    for name in sorted(HISTOGRAMS):
+        lines.append("# HELP %s %s" % (name, HISTOGRAMS[name]))
+        lines.append("# TYPE %s histogram" % name)
+        samples = by_name.get(name, [])
+        if not samples:
+            samples = [
+                {
+                    "labels": {},
+                    "buckets": [0] * (len(BUCKET_BOUNDS) + 1),
+                    "sum": 0.0,
+                    "count": 0,
+                }
+            ]
+        for sample in samples:
+            labels = sample.get("labels", {})
+            cumulative = 0
+            buckets = list(sample["buckets"])
+            for bound, bucket_count in zip(BUCKET_BOUNDS, buckets):
+                cumulative += int(bucket_count)
+                lines.append(
+                    "%s_bucket%s %d"
+                    % (
+                        name,
+                        _label_text(labels, (("le", _bound_text(bound)),)),
+                        cumulative,
+                    )
+                )
+            cumulative += int(buckets[-1])
+            lines.append(
+                "%s_bucket%s %d"
+                % (name, _label_text(labels, (("le", "+Inf"),)), cumulative)
+            )
+            lines.append(
+                "%s_sum%s %s"
+                % (name, _label_text(labels), repr(float(sample["sum"])))
+            )
+            lines.append(
+                "%s_count%s %d"
+                % (name, _label_text(labels), int(sample["count"]))
+            )
+    return "\n".join(lines) + "\n"

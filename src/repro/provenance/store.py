@@ -33,6 +33,7 @@ from functools import lru_cache
 from pathlib import Path
 from typing import Dict, Optional
 
+from .. import obs
 from .schema import canonical_json
 
 #: Version tag for stored verdict artifacts; bump to orphan old caches.
@@ -156,6 +157,7 @@ class TraceStore:
         self, key: Dict[str, object], payload: Dict[str, object]
     ) -> str:
         """Store an artifact and index it by key and analysis name."""
+        obs.inc("repro_provenance_store_writes_total")
         digest = self.put_object(payload)
         pointer = canonical_json({"object": digest})
         _atomic_write(self._key_path(key), pointer)
@@ -180,11 +182,14 @@ class TraceStore:
         """The memoized artifact for a key, or None (a cache miss)."""
         payload = self._resolve(self._key_path(key))
         if payload is None:
+            obs.inc("repro_provenance_store_misses_total")
             return None
         # Defence in depth: the pointer file is mutable state, so
         # re-check that the artifact really answers this key.
         if payload.get("key") != key:
+            obs.inc("repro_provenance_store_misses_total")
             return None
+        obs.inc("repro_provenance_store_hits_total")
         return payload
 
     def latest_for(self, name: str) -> Optional[Dict[str, object]]:

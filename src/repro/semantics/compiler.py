@@ -46,6 +46,7 @@ import threading
 from dataclasses import dataclass
 from typing import Callable, Dict, List, Mapping, Optional, Sequence, Tuple
 
+from .. import obs
 from ..isdl import ast
 from ..isdl.cache import CacheStats, TextMemo
 from ..isdl.errors import SemanticError
@@ -502,8 +503,11 @@ class _CompileMemo:
                 pass
             else:
                 self.stats.hits += 1
+                obs.inc("repro_compile_cache_hits_total")
                 return program
-        program = _lower(description)
+        obs.inc("repro_compile_cache_misses_total")
+        with obs.span("compile"):
+            program = _lower(description)
         with self._lock:
             self.stats.misses += 1
             return self._entries.setdefault(key, program)

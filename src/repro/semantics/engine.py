@@ -23,6 +23,7 @@ from __future__ import annotations
 from dataclasses import dataclass
 from typing import Mapping, Optional, Tuple, Union
 
+from .. import obs
 from ..isdl import ast
 from ..isdl.errors import SemanticError
 from .compiler import CompiledDescription
@@ -125,6 +126,7 @@ class _GatedExecutor:
         self._trial += 1
         if not self._checked(index):
             return self._compiled.run(inputs, memory)
+        obs.inc("repro_engine_gate_checks_total")
         got = _observe(self._compiled, inputs, memory)
         want = _observe(self._interp, inputs, memory)
         if got[:3] != want[:3]:
@@ -136,6 +138,37 @@ class _GatedExecutor:
         if got[0] == "raise":
             raise got[3]
         return got[1]
+
+
+class _InstrumentedExecutor:
+    """An executor counting runs and interpreter/compiled steps.
+
+    Only ever constructed while metrics collection is on (see
+    :meth:`ExecutionEngine.executor`), so disabled runs keep the bare
+    executor object and pay nothing — not even an attribute hop.
+    """
+
+    __slots__ = ("_inner", "_engine")
+
+    def __init__(self, inner, engine: str):
+        self._inner = inner
+        self._engine = engine
+
+    @property
+    def description(self) -> ast.Description:
+        return self._inner.description
+
+    def run(
+        self,
+        inputs: Mapping[str, int],
+        memory: Optional[Mapping[int, int]] = None,
+    ) -> ExecutionResult:
+        obs.inc("repro_engine_runs_total", engine=self._engine)
+        result = self._inner.run(inputs, memory)
+        obs.inc(
+            "repro_engine_steps_total", result.steps, engine=self._engine
+        )
+        return result
 
 
 @dataclass(frozen=True)
@@ -194,13 +227,17 @@ class ExecutionEngine:
         trials per executor.
         """
         if self.name == "interp":
-            return Interpreter(description, max_steps=max_steps)
-        if self.gate == "off":
-            return CompiledDescription(description, max_steps=max_steps)
-        return _GatedExecutor(
-            description,
-            max_steps=max_steps,
-            gate=self.gate,
-            gate_seed=self.gate_seed,
-            gate_period=self.gate_period,
-        )
+            inner = Interpreter(description, max_steps=max_steps)
+        elif self.gate == "off":
+            inner = CompiledDescription(description, max_steps=max_steps)
+        else:
+            inner = _GatedExecutor(
+                description,
+                max_steps=max_steps,
+                gate=self.gate,
+                gate_seed=self.gate_seed,
+                gate_period=self.gate_period,
+            )
+        if obs.enabled():
+            return _InstrumentedExecutor(inner, self.name)
+        return inner

@@ -13,6 +13,7 @@ dispatch, and a crashed worker is a distinct error.
 
 import pytest
 
+from repro.analysis.config import RunConfig
 from repro.analysis.runner import (
     _BROKEN_POOL_ERROR,
     CatalogEntry,
@@ -144,18 +145,18 @@ class TestFailureIsStickyAcrossShards:
 
         real = verify_mod.verify_binding
 
-        def flaky(binding, spec, trials, seed, offset=0, **kwargs):
+        def flaky(binding, spec, config=None, offset=0, **kwargs):
             if offset == 0:
                 raise verify_mod.VerificationFailure(
                     "injected mismatch in shard 0"
                 )
-            return real(
-                binding, spec, trials=trials, seed=seed, offset=offset, **kwargs
-            )
+            return real(binding, spec, config, offset=offset, **kwargs)
 
         monkeypatch.setattr(verify_mod, "verify_binding", flaky)
         # 130 trials -> 3 shards; only the first one fails.
-        report = run_batch(names=["scasb_rigel"], trials=130, seed=5, jobs=1)
+        report = run_batch(
+            names=["scasb_rigel"], config=RunConfig(trials=130, seed=5)
+        )
         (result,) = report.results
         assert result.succeeded is False
         assert not result.ok

@@ -1,0 +1,150 @@
+"""Planted-regression tests: ``stats`` must *see* cache behaviour.
+
+The observability layer only earns its keep if a real regression moves
+the numbers.  These tests plant one — a provenance store that is cold,
+then warm, then forcibly invalidated — and assert the metrics
+snapshot tracks every transition: misses and writes on the cold run,
+hits and a 1.0 hit-rate gauge on the warm run, and misses again after
+the store is wiped out from under a previously warm cache.
+"""
+
+import shutil
+
+import pytest
+
+from repro import api
+
+
+def _stats(tmp_path, cache_dir):
+    config = api.RunConfig(trials=5, seed=7, cache_dir=cache_dir)
+    return api.stats(["scasb_rigel"], config)
+
+
+@pytest.fixture
+def cache_dir(tmp_path):
+    return tmp_path / "store"
+
+
+class TestStatsReflectCacheState:
+    def test_cold_store_counts_misses_and_writes(self, tmp_path, cache_dir):
+        result = _stats(tmp_path, cache_dir)
+        assert result.counter("repro_provenance_store_misses_total") > 0
+        assert result.counter("repro_provenance_store_writes_total") > 0
+        assert result.counter("repro_provenance_store_hits_total") == 0
+        assert result.gauge("repro_provenance_hit_rate") == 0.0
+        # The cold run did real work, so the work counters moved too.
+        assert result.counter("repro_verify_trials_total") == 5
+        assert result.counter("repro_batch_entries_total", status="ok") == 1
+
+    def test_warm_store_counts_hits_and_full_hit_rate(self, tmp_path, cache_dir):
+        _stats(tmp_path, cache_dir)  # cold run populates the store
+        warm = _stats(tmp_path, cache_dir)
+        assert warm.counter("repro_provenance_store_hits_total") > 0
+        assert warm.gauge("repro_provenance_hit_rate") == 1.0
+        assert warm.counter("repro_batch_entries_total", status="cached") == 1
+        # Cached entries skip verification entirely.
+        assert warm.counter("repro_verify_trials_total") == 0
+
+    def test_planted_cache_regression_is_visible(self, tmp_path, cache_dir):
+        """Forcing a cache miss after a warm run must show up in stats."""
+        _stats(tmp_path, cache_dir)
+        warm = _stats(tmp_path, cache_dir)
+        assert warm.gauge("repro_provenance_hit_rate") == 1.0
+        # Plant the regression: the store vanishes (same effect as a
+        # cache-key bug making every lookup miss).
+        shutil.rmtree(cache_dir)
+        broken = _stats(tmp_path, cache_dir)
+        assert broken.gauge("repro_provenance_hit_rate") == 0.0
+        assert broken.counter("repro_provenance_store_hits_total") == 0
+        assert broken.counter("repro_provenance_store_misses_total") > 0
+        # And the work came back: trials ran again instead of being served.
+        assert broken.counter("repro_verify_trials_total") == 5
+
+    def test_disabled_cache_keeps_rate_at_zero(self, tmp_path):
+        result = _stats(tmp_path, None)
+        assert result.gauge("repro_provenance_hit_rate") == 0.0
+        assert result.counter("repro_provenance_store_hits_total") == 0
+        assert result.counter("repro_provenance_store_misses_total") == 0
+
+
+class TestStatsCli:
+    def test_stats_prom_covers_required_families(self, tmp_path, capsys):
+        from repro.__main__ import main
+
+        rc = main(
+            [
+                "stats",
+                "scasb_rigel",
+                "--trials",
+                "3",
+                "--cache-dir",
+                str(tmp_path / "store"),
+                "--format",
+                "prom",
+            ]
+        )
+        out = capsys.readouterr().out
+        assert rc == 0
+        for family in (
+            "repro_parse_cache_hits_total",
+            "repro_parse_cache_misses_total",
+            "repro_compile_cache_hits_total",
+            "repro_compile_cache_misses_total",
+            "repro_engine_runs_total",
+            "repro_engine_steps_total",
+            "repro_verify_trials_total",
+            "repro_provenance_store_misses_total",
+            "repro_provenance_hit_rate",
+            "repro_phase_seconds",
+        ):
+            assert f"# TYPE {family} " in out
+
+    def test_stats_from_round_trips_a_metrics_out_file(self, tmp_path, capsys):
+        import json
+
+        from repro.__main__ import main
+
+        metrics_file = tmp_path / "metrics.json"
+        rc = main(
+            [
+                "batch",
+                "scasb_rigel",
+                "--trials",
+                "3",
+                "--no-cache",
+                "--metrics-out",
+                str(metrics_file),
+            ]
+        )
+        assert rc == 0
+        capsys.readouterr()
+        rc = main(["stats", "--from", str(metrics_file)])
+        out = capsys.readouterr().out
+        assert rc == 0
+        assert json.loads(out) == json.loads(metrics_file.read_text())
+
+    def test_stats_from_rejects_non_snapshot_file(self, tmp_path, capsys):
+        from repro.__main__ import main
+
+        bogus = tmp_path / "bogus.json"
+        bogus.write_text('{"schema": "something/else"}')
+        rc = main(["stats", "--from", str(bogus)])
+        captured = capsys.readouterr()
+        assert rc == 2
+        assert "repro.metrics/1" in captured.err
+
+    def test_stats_from_rejects_missing_file(self, tmp_path, capsys):
+        from repro.__main__ import main
+
+        rc = main(["stats", "--from", str(tmp_path / "nope.json")])
+        captured = capsys.readouterr()
+        assert rc == 2
+        assert "cannot read" in captured.err
+
+    def test_stats_unknown_analysis_exits_2(self, capsys):
+        from repro.__main__ import main
+
+        rc = main(["stats", "nosuch", "--no-cache"])
+        captured = capsys.readouterr()
+        assert rc == 2
+        assert "unknown analyses" in captured.err

@@ -122,3 +122,91 @@ def test_design_doc_covers_provenance_layer():
         "docs/provenance.md",
     ):
         assert needle in text, needle
+
+
+def test_observability_docs_cover_every_metric_family():
+    from repro import obs
+
+    text = (DOCS / "observability.md").read_text()
+    for name in list(obs.COUNTERS) + list(obs.GAUGES) + list(obs.HISTOGRAMS):
+        assert f"`{name}`" in text, name
+
+
+def test_observability_docs_mention_only_declared_families():
+    from repro import obs
+
+    declared = set(obs.COUNTERS) | set(obs.GAUGES) | set(obs.HISTOGRAMS)
+    text = (DOCS / "observability.md").read_text()
+    for name in re.findall(r"`(repro_[a-z0-9_]+)`", text):
+        assert name in declared, name
+
+
+def test_observability_docs_cover_every_span_phase():
+    from repro import obs
+
+    text = (DOCS / "observability.md").read_text()
+    for phase in obs.SPAN_PHASES:
+        assert f"| `{phase}` |" in text, phase
+
+
+def test_observability_docs_cover_schema_and_entry_points():
+    from repro import obs
+
+    text = (DOCS / "observability.md").read_text()
+    for needle in (
+        f"`{obs.METRICS_SCHEMA}`",
+        "repro stats",
+        "--metrics-out",
+        "--format prom",
+        "`repro.obs.collecting()`",
+        "diff_snapshots",
+    ):
+        assert needle in text, needle
+
+
+def test_api_docs_cover_every_facade_name():
+    from repro import api
+
+    text = (DOCS / "api.md").read_text()
+    for name in api.__all__:
+        assert f"`{name}" in text, name
+
+
+def test_api_docs_cover_every_runconfig_field():
+    import dataclasses
+
+    from repro.analysis.config import RunConfig
+
+    text = (DOCS / "api.md").read_text()
+    for field in dataclasses.fields(RunConfig):
+        assert f"`{field.name}`" in text, field.name
+
+
+def test_api_docs_cover_migration_contract():
+    text = (DOCS / "api.md").read_text()
+    for needle in (
+        "DeprecationWarning",
+        "TypeError",
+        "run_batch",
+        "verify_binding",
+        "run_bench",
+        "run_cache_bench",
+        "byte-identical",
+    ):
+        assert needle in text, needle
+
+
+def test_design_doc_covers_observability_layer():
+    design = DOCS.parent / "DESIGN.md"
+    text = design.read_text()
+    assert "## 9. Observability and the typed facade" in text
+    for needle in (
+        "`repro.metrics/1`",
+        "diff_snapshots",
+        "RunConfig",
+        "DeprecationWarning",
+        "docs/observability.md",
+        "docs/api.md",
+        "repro_provenance_hit_rate",
+    ):
+        assert needle in text, needle
