@@ -524,7 +524,7 @@ def main(argv=None) -> int:
     p_batch.add_argument(
         "--engine",
         default=None,
-        help="execution engine: interp | compiled (default: compiled)",
+        help="execution engine: interp | compiled | vectorized (default: compiled)",
     )
     p_batch.add_argument(
         "--cache-dir",
@@ -588,7 +588,7 @@ def main(argv=None) -> int:
     p_verify.add_argument(
         "--engine",
         default=None,
-        help="execution engine: interp | compiled (default: compiled)",
+        help="execution engine: interp | compiled | vectorized (default: compiled)",
     )
     p_verify.add_argument(
         "--json", action="store_true", help="deterministic JSON report"
@@ -657,7 +657,7 @@ def main(argv=None) -> int:
     p_stats.add_argument(
         "--engine",
         default=None,
-        help="execution engine: interp | compiled (default: compiled)",
+        help="execution engine: interp | compiled | vectorized (default: compiled)",
     )
     p_stats.add_argument(
         "--cache-dir",
@@ -696,7 +696,7 @@ def main(argv=None) -> int:
     p_analyze.add_argument(
         "--engine",
         default=None,
-        help="execution engine: interp | compiled (default: compiled)",
+        help="execution engine: interp | compiled | vectorized (default: compiled)",
     )
 
     sub.add_parser("figures", help="regenerate figures 2-5")

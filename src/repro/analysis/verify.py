@@ -23,9 +23,15 @@ from typing import Dict, Optional, Tuple
 from .. import obs
 from ..isdl import ast
 from ..lint import LintGateError, lint_binding
-from ..semantics.engine import DEFAULT_ENGINE
+from ..semantics.engine import DEFAULT_ENGINE, EngineMismatchError
 from ..semantics.randomgen import Scenario, ScenarioSpec, ScenarioStream
+from ..semantics.vectorized import lanes_disagree
 from .config import _UNSET, RunConfig, resolve_config
+
+try:  # pragma: no cover - numpy is optional
+    import numpy as _np
+except Exception:  # pragma: no cover
+    _np = None
 
 #: historical default plan of this entry point: 200 trials (the batch
 #: runner's default is 120 — the difference predates RunConfig and is
@@ -93,6 +99,15 @@ def _clip_to_constraints(inputs: Dict[str, int], binding) -> Dict[str, int]:
     return _clip_to_ranges(inputs, _operand_ranges(binding))
 
 
+def _clip_column(column, lo: int, hi: int):
+    """Columnar :func:`_clip_to_ranges` for one batch input vector."""
+    if _np is not None and isinstance(column, _np.ndarray):
+        # minimum/maximum instead of clip: same result, no per-call
+        # scalar-promotion bookkeeping on the hot path.
+        return _np.minimum(_np.maximum(column, lo), hi)
+    return [max(lo, min(hi, int(value))) for value in column]
+
+
 def verify_binding(
     binding,
     spec: ScenarioSpec,
@@ -120,9 +135,11 @@ def verify_binding(
     :class:`repro.semantics.randomgen.ScenarioStream`).
 
     ``engine`` selects the execution substrate (compiled by default;
-    the interpreter stays the reference semantics) and ``gate`` how
-    often compiled runs are cross-checked against it — ``always``
-    unless the caller says otherwise, so any miscompilation surfaces as
+    the interpreter stays the reference semantics; ``vectorized`` runs
+    the whole trial window as one wide batch per description) and
+    ``gate`` how often fast-engine runs are cross-checked against the
+    reference engines — ``always`` unless the caller says otherwise,
+    so any miscompilation surfaces as
     :class:`~repro.semantics.engine.EngineMismatchError` before a
     verdict is reported.
 
@@ -150,38 +167,101 @@ def verify_binding(
 
     collect = obs.enabled()
     rename = operand_map.get
+
+    def trial(scenario: Scenario) -> None:
+        """One scalar differential trial; raises on any disagreement."""
+        if collect:
+            obs.inc("repro_verify_trials_total", engine=resolved.name)
+        inputs = _clip_to_ranges(scenario.inputs, ranges)
+        mapped = {rename(k, k): v for k, v in inputs.items()}
+        result_op = operator_interp.run(inputs, scenario.memory)
+        result_in = instruction_interp.run(mapped, scenario.memory)
+        if result_op.outputs != result_in.outputs:
+            obs.inc("repro_verify_failures_total", engine=resolved.name)
+            raise VerificationFailure(
+                f"outputs differ: operator {result_op.outputs} vs "
+                f"instruction {result_in.outputs} on inputs {inputs}",
+                scenario,
+            )
+        if result_op.memory != result_in.memory:
+            diff = {
+                addr: (
+                    result_op.memory.get(addr),
+                    result_in.memory.get(addr),
+                )
+                for addr in set(result_op.memory) | set(result_in.memory)
+                if result_op.memory.get(addr) != result_in.memory.get(addr)
+            }
+            obs.inc("repro_verify_failures_total", engine=resolved.name)
+            raise VerificationFailure(
+                f"final memories differ at {sorted(diff)[:8]} on inputs "
+                f"{inputs}",
+                scenario,
+            )
+
+    def batch_trials(stream: ScenarioStream) -> None:
+        """The whole trial window as one wide batch per description.
+
+        A flagged lane is replayed as a scalar trial of the *same*
+        executor, so the failure a caller sees — exception type,
+        message, trial index, attached scenario — is byte-identical to
+        what the scalar loop would have produced.
+        """
+        batch = stream.draw_batch(offset, cfg.trials)
+        columns = dict(batch.inputs)
+        for operand, lo, hi in ranges:
+            if operand in columns:
+                columns[operand] = _clip_column(columns[operand], lo, hi)
+        mapped_columns = {rename(k, k): v for k, v in columns.items()}
+        result_op = operator_interp.run_batch(columns, batch, n=batch.n)
+        result_in = instruction_interp.run_batch(
+            mapped_columns, batch, n=batch.n
+        )
+        disagree = lanes_disagree(result_op, result_in)
+        clean = (
+            result_op.errors.count(None) == batch.n
+            and result_in.errors.count(None) == batch.n
+            and not (
+                bool(disagree.any())
+                if hasattr(disagree, "any")
+                else any(disagree)
+            )
+        )
+        if clean:
+            if collect and cfg.trials:
+                obs.inc(
+                    "repro_verify_trials_total",
+                    cfg.trials,
+                    engine=resolved.name,
+                )
+            return
+        problem = 0
+        for lane in range(batch.n):
+            if (
+                result_op.errors[lane] is not None
+                or result_in.errors[lane] is not None
+                or disagree[lane]
+            ):
+                problem = lane
+                break
+        if collect and problem:
+            obs.inc(
+                "repro_verify_trials_total", problem, engine=resolved.name
+            )
+        trial(stream.window(offset + problem, 1)[0])
+        raise EngineMismatchError(
+            "vectorized engine flagged trial %d of %r vs %r but the "
+            "scalar replay passed"
+            % (offset + problem, operator_desc.name, instruction_desc.name)
+        )
+
     with obs.span("verify", engine=resolved.name):
-        for scenario in ScenarioStream(spec, cfg.seed).window(
-            offset, cfg.trials
-        ):
-            if collect:
-                obs.inc("repro_verify_trials_total", engine=resolved.name)
-            inputs = _clip_to_ranges(scenario.inputs, ranges)
-            mapped = {rename(k, k): v for k, v in inputs.items()}
-            result_op = operator_interp.run(inputs, scenario.memory)
-            result_in = instruction_interp.run(mapped, scenario.memory)
-            if result_op.outputs != result_in.outputs:
-                obs.inc("repro_verify_failures_total", engine=resolved.name)
-                raise VerificationFailure(
-                    f"outputs differ: operator {result_op.outputs} vs "
-                    f"instruction {result_in.outputs} on inputs {inputs}",
-                    scenario,
-                )
-            if result_op.memory != result_in.memory:
-                diff = {
-                    addr: (
-                        result_op.memory.get(addr),
-                        result_in.memory.get(addr),
-                    )
-                    for addr in set(result_op.memory) | set(result_in.memory)
-                    if result_op.memory.get(addr) != result_in.memory.get(addr)
-                }
-                obs.inc("repro_verify_failures_total", engine=resolved.name)
-                raise VerificationFailure(
-                    f"final memories differ at {sorted(diff)[:8]} on inputs "
-                    f"{inputs}",
-                    scenario,
-                )
+        stream = ScenarioStream(spec, cfg.seed)
+        if resolved.name == "vectorized":
+            batch_trials(stream)
+        else:
+            for scenario in stream.window(offset, cfg.trials):
+                trial(scenario)
     return VerificationReport(
         trials=cfg.trials,
         operator_name=operator_desc.name,

@@ -20,6 +20,7 @@ findings still appear in reports (flagged), but stop failing gates.
 from __future__ import annotations
 
 import importlib
+import weakref
 from typing import Callable, Dict, List, Optional, Tuple
 
 from ..isdl import ast
@@ -114,12 +115,38 @@ def _input_intervals_for_operator(binding) -> Dict[str, Interval]:
     return inputs
 
 
+#: Per-binding pre-flight memo: ``id(binding) -> (weakref, result)``.
+#: Bindings are frozen dataclasses, so a binding object's diagnostics
+#: never change; the weak reference both guards against id reuse and
+#: evicts the entry when the binding is collected.  This keeps the
+#: batch verifier's per-call pre-flight off the hot path — every
+#: engine's trial loop calls :func:`lint_binding` once per
+#: verification.
+_BINDING_MEMO: Dict[int, Tuple["weakref.ref", Tuple[Diagnostic, ...]]] = {}
+
+
 def lint_binding(binding) -> List[Diagnostic]:
     """Statically check a binding's constraints against its descriptions.
 
     Returns error diagnostics only (the 3xx range has no warnings);
     an empty list means the binding passed the pre-flight.
     """
+    key = id(binding)
+    cached = _BINDING_MEMO.get(key)
+    if cached is not None and cached[0]() is binding:
+        return list(cached[1])
+    diagnostics = _lint_binding_uncached(binding)
+    try:
+        ref = weakref.ref(
+            binding, lambda _ref, _key=key: _BINDING_MEMO.pop(_key, None)
+        )
+    except TypeError:
+        return diagnostics
+    _BINDING_MEMO[key] = (ref, tuple(diagnostics))
+    return diagnostics
+
+
+def _lint_binding_uncached(binding) -> List[Diagnostic]:
     diagnostics: List[Diagnostic] = []
     instruction = binding.augmented_instruction
     name = instruction.name

@@ -85,8 +85,19 @@ COUNTERS: Dict[str, str] = {
         "ISDL statements executed across engine runs, by engine."
     ),
     "repro_engine_gate_checks_total": (
-        "Differential-gate cross-checks of compiled runs against the "
-        "interpreter."
+        "Differential-gate cross-check events; each compares one "
+        "primary-engine trial against every reference engine."
+    ),
+    "repro_engine_batch_runs_total": (
+        "Batch executions through an ExecutionEngine executor, by "
+        "engine."
+    ),
+    "repro_engine_lanes_total": (
+        "Lanes executed across engine batch runs, by engine."
+    ),
+    "repro_vector_fallback_total": (
+        "Vectorized batch runs that escalated from the numpy backend "
+        "to the exact pure-python fallback."
     ),
     "repro_verify_trials_total": (
         "Differential verification trials executed."

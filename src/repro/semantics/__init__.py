@@ -39,6 +39,15 @@ from .randomgen import (
     generate_scenarios,
 )
 from .state import Memory, RegisterFile
+from .vectorized import (
+    BatchResult,
+    ScenarioBatch,
+    VectorizedDescription,
+    clear_vector_cache,
+    compile_vectorized,
+    run_vectorized,
+    vector_cache_stats,
+)
 from .values import (
     BOOLEAN_OPS,
     BYTE_BITS,
@@ -68,6 +77,13 @@ __all__ = [
     "compile_description",
     "run_compiled",
     "run_description",
+    "BatchResult",
+    "ScenarioBatch",
+    "VectorizedDescription",
+    "clear_vector_cache",
+    "compile_vectorized",
+    "run_vectorized",
+    "vector_cache_stats",
     "OperandSpec",
     "Scenario",
     "ScenarioSpec",

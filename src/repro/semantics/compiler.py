@@ -43,6 +43,7 @@ against each other on random programs.
 from __future__ import annotations
 
 import threading
+import weakref
 from dataclasses import dataclass
 from typing import Callable, Dict, List, Mapping, Optional, Sequence, Tuple
 
@@ -479,6 +480,32 @@ def _lower(description: ast.Description) -> CompiledProgram:
 # content-keyed compile cache
 
 
+#: Identity layer over :func:`format_description` for cache keys:
+#: ``id(description) -> (weakref, text)``.  Descriptions are frozen
+#: dataclasses, so the pretty-printed text of one *object* never
+#: changes; re-deriving it on every content-key lookup was the
+#: dominant cost of a warm compile-cache hit.  The weak reference
+#: guards against id reuse and evicts entries as ASTs are collected.
+_TEXT_MEMO: Dict[int, Tuple["weakref.ref", str]] = {}
+
+
+def description_text(description: ast.Description) -> str:
+    """``format_description`` memoized per description object."""
+    key = id(description)
+    cached = _TEXT_MEMO.get(key)
+    if cached is not None and cached[0]() is description:
+        return cached[1]
+    text = format_description(description)
+    try:
+        ref = weakref.ref(
+            description, lambda _ref, _key=key: _TEXT_MEMO.pop(_key, None)
+        )
+    except TypeError:
+        return text
+    _TEXT_MEMO[key] = (ref, text)
+    return text
+
+
 class _CompileMemo:
     """Content-keyed memo from descriptions to compiled programs.
 
@@ -495,7 +522,7 @@ class _CompileMemo:
         self.stats = CacheStats()
 
     def get(self, description: ast.Description) -> CompiledProgram:
-        key = TextMemo.key_for("compiled", format_description(description))
+        key = TextMemo.key_for("compiled", description_text(description))
         with self._lock:
             try:
                 program = self._entries[key]

@@ -1,27 +1,35 @@
 """Execution-engine selection for everything that runs ISDL.
 
-Two engines execute descriptions:
+Three engines execute descriptions:
 
 * ``interp`` — the big-step tree-walking interpreter
   (:mod:`repro.semantics.interpreter`), the *reference* semantics;
 * ``compiled`` — generated native Python closures
-  (:mod:`repro.semantics.compiler`), the fast default.
+  (:mod:`repro.semantics.compiler`), the fast scalar default;
+* ``vectorized`` — generated batch kernels
+  (:mod:`repro.semantics.vectorized`) that run N machine states at
+  once over numpy arrays (or a pure-python vector fallback), with
+  ``repeat``/``exit_when`` handled by active-lane masks.
 
-The compiled engine exists purely for speed, so its correctness is
+The fast engines exist purely for speed, so their correctness is
 enforced structurally rather than trusted: a **differential gate**
-cross-checks compiled runs against the interpreter on a seeded sample
-of trials.  Tests run with the gate ``always`` on; the batch runner
-samples (first trial of every executor plus roughly one in
-``gate_period``); benchmarks turn it ``off`` to measure raw engine
-speed.  Any disagreement — outputs, final memory, registers, step
-count, or exception behaviour — raises :class:`EngineMismatchError`
-*before* any verification verdict can be reported.
+cross-checks their runs against the slower engines on a seeded sample
+of trials.  For ``compiled`` the check is two-way (against the
+interpreter); for ``vectorized`` it is three-way — each sampled lane
+is re-run under *both* the compiled engine and the interpreter and all
+three observations must agree.  Tests run with the gate ``always`` on;
+the batch runner samples (first trial of every executor plus roughly
+one in ``gate_period``); benchmarks turn it ``off`` to measure raw
+engine speed.  Any disagreement — outputs, final memory, registers,
+step count, or exception behaviour — raises
+:class:`EngineMismatchError` *before* any verification verdict can be
+reported.
 """
 
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Mapping, Optional, Tuple, Union
+from typing import Any, Mapping, Optional, Tuple, Union
 
 from .. import obs
 from ..isdl import ast
@@ -33,10 +41,11 @@ from .interpreter import (
     Interpreter,
     StepLimitExceeded,
 )
-from .randomgen import derive_seed
+from .randomgen import ScenarioBatch, derive_seed
+from .vectorized import BatchResult, VectorizedDescription
 
 #: Engine names accepted by every ``--engine`` flag, in display order.
-ENGINE_NAMES: Tuple[str, ...] = ("interp", "compiled")
+ENGINE_NAMES: Tuple[str, ...] = ("interp", "compiled", "vectorized")
 
 #: The engine used when nothing is selected.  The interpreter remains
 #: the reference semantics; the compiled engine is the verification
@@ -57,10 +66,11 @@ class UnknownEngineError(ValueError):
 
 
 class EngineMismatchError(Exception):
-    """The compiled engine disagreed with the reference interpreter.
+    """A fast engine disagreed with a reference engine.
 
-    This is a *bug in the compiler*, never in the description under
-    test — it aborts the run instead of producing a verdict.
+    This is a *bug in the compiler or vectorizer*, never in the
+    description under test — it aborts the run instead of producing a
+    verdict.
     """
 
 
@@ -78,15 +88,33 @@ def _observe(executor, inputs, memory):
         return ("raise", type(error).__name__, str(error), error)
 
 
+def _lane_inputs(inputs: Mapping[str, Any], lane: int) -> Mapping[str, int]:
+    """Scalar inputs for one lane of a batch input mapping."""
+    return {
+        name: int(value) if isinstance(value, int) else int(value[lane])
+        for name, value in inputs.items()
+    }
+
+
+def _lane_memory(memory, lane: int):
+    """Scalar initial memory for one lane of a batch memory argument."""
+    if isinstance(memory, ScenarioBatch):
+        return memory.lane_memory(lane)
+    return memory
+
+
 class _GatedExecutor:
-    """The compiled engine wrapped with interpreter cross-checks.
+    """A fast engine wrapped with reference cross-checks.
 
     Each executor numbers the trials it runs; a trial is checked when
     the gate is ``always``, or — under ``sampled`` — when it is the
     executor's first trial or its seeded draw lands on the sampling
     period.  The draw derives from the description name and trial
     index, so which trials are checked is deterministic across
-    processes and independent of sharding order.
+    processes, independent of sharding order, and — for the vectorized
+    engine — identical whether trials arrive one at a time or as a
+    batch (lane ``i`` of a batch starting at trial ``t`` is trial
+    ``t + i``).
     """
 
     def __init__(
@@ -96,9 +124,22 @@ class _GatedExecutor:
         gate: str,
         gate_seed: int,
         gate_period: int,
+        engine: str = "compiled",
     ):
-        self._compiled = CompiledDescription(description, max_steps=max_steps)
-        self._interp = Interpreter(description, max_steps=max_steps)
+        interp = Interpreter(description, max_steps=max_steps)
+        compiled = CompiledDescription(description, max_steps=max_steps)
+        if engine == "vectorized":
+            self._primary = VectorizedDescription(
+                description, max_steps=max_steps
+            )
+            self._references = (
+                ("the compiled engine", "compiled", compiled),
+                ("the interpreter", "interpreted", interp),
+            )
+        else:
+            self._primary = compiled
+            self._references = (("interpreter", "interpreted", interp),)
+        self._engine = engine
         self._name = description.name
         self._gate = gate
         self._gate_seed = gate_seed
@@ -107,7 +148,7 @@ class _GatedExecutor:
 
     @property
     def description(self) -> ast.Description:
-        return self._compiled.description
+        return self._primary.description
 
     def _checked(self, index: int) -> bool:
         if self._gate == "always":
@@ -117,6 +158,28 @@ class _GatedExecutor:
         draw = derive_seed(self._gate_seed, "gate", self._name, index)
         return draw % self._gate_period == 0
 
+    def _compare(self, got, inputs, memory, index: int) -> None:
+        """Cross-check one observation against every reference engine."""
+        obs.inc("repro_engine_gate_checks_total")
+        for title, label, reference in self._references:
+            want = _observe(reference, inputs, memory)
+            if got[:3] != want[:3]:
+                raise EngineMismatchError(
+                    "%s engine disagrees with %s on %r "
+                    "(trial %d, inputs %r): %s %r vs %s %r"
+                    % (
+                        self._engine,
+                        title,
+                        self._name,
+                        index,
+                        dict(inputs),
+                        self._engine,
+                        got[:3],
+                        label,
+                        want[:3],
+                    )
+                )
+
     def run(
         self,
         inputs: Mapping[str, int],
@@ -125,19 +188,40 @@ class _GatedExecutor:
         index = self._trial
         self._trial += 1
         if not self._checked(index):
-            return self._compiled.run(inputs, memory)
-        obs.inc("repro_engine_gate_checks_total")
-        got = _observe(self._compiled, inputs, memory)
-        want = _observe(self._interp, inputs, memory)
-        if got[:3] != want[:3]:
-            raise EngineMismatchError(
-                "compiled engine disagrees with interpreter on %r "
-                "(trial %d, inputs %r): compiled %r vs interpreted %r"
-                % (self._name, index, dict(inputs), got[:3], want[:3])
-            )
+            return self._primary.run(inputs, memory)
+        got = _observe(self._primary, inputs, memory)
+        self._compare(got, inputs, memory, index)
         if got[0] == "raise":
             raise got[3]
         return got[1]
+
+    def run_batch(
+        self,
+        inputs: Mapping[str, Any],
+        memory=None,
+        n: Optional[int] = None,
+    ) -> BatchResult:
+        """Run a whole batch, cross-checking the sampled lanes.
+
+        Only meaningful when the primary engine is vectorized; gated
+        lanes are re-executed scalar under every reference engine and
+        compared via :meth:`BatchResult.lane_outcome`, which has the
+        same shape ``_observe`` produces.
+        """
+        base = self._trial
+        result = self._primary.run_batch(inputs, memory, n=n)
+        self._trial = base + result.n
+        for lane in range(result.n):
+            if not self._checked(base + lane):
+                continue
+            got = result.lane_outcome(lane)
+            self._compare(
+                got,
+                _lane_inputs(inputs, lane),
+                _lane_memory(memory, lane),
+                base + lane,
+            )
+        return result
 
 
 class _InstrumentedExecutor:
@@ -167,6 +251,19 @@ class _InstrumentedExecutor:
         result = self._inner.run(inputs, memory)
         obs.inc(
             "repro_engine_steps_total", result.steps, engine=self._engine
+        )
+        return result
+
+    def run_batch(
+        self,
+        inputs: Mapping[str, Any],
+        memory=None,
+        n: Optional[int] = None,
+    ) -> BatchResult:
+        obs.inc("repro_engine_batch_runs_total", engine=self._engine)
+        result = self._inner.run_batch(inputs, memory, n=n)
+        obs.inc(
+            "repro_engine_lanes_total", result.n, engine=self._engine
         )
         return result
 
@@ -222,14 +319,19 @@ class ExecutionEngine:
     def executor(self, description: ast.Description, max_steps: int = 200_000):
         """An object with ``run(inputs, memory) -> ExecutionResult``.
 
-        Reuse one executor for a whole trial stream: the compiled
-        engine amortizes its (cached) compilation, and the gate numbers
-        trials per executor.
+        Reuse one executor for a whole trial stream: the fast engines
+        amortize their (cached) compilation, and the gate numbers
+        trials per executor.  The ``vectorized`` executor additionally
+        exposes ``run_batch(inputs, memory, n) -> BatchResult`` for
+        the wide verification path.
         """
         if self.name == "interp":
             inner = Interpreter(description, max_steps=max_steps)
         elif self.gate == "off":
-            inner = CompiledDescription(description, max_steps=max_steps)
+            if self.name == "vectorized":
+                inner = VectorizedDescription(description, max_steps=max_steps)
+            else:
+                inner = CompiledDescription(description, max_steps=max_steps)
         else:
             inner = _GatedExecutor(
                 description,
@@ -237,6 +339,7 @@ class ExecutionEngine:
                 gate=self.gate,
                 gate_seed=self.gate_seed,
                 gate_period=self.gate_period,
+                engine=self.name,
             )
         if obs.enabled():
             return _InstrumentedExecutor(inner, self.name)

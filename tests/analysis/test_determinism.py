@@ -123,9 +123,30 @@ class TestEngineDeterminism:
         # one: the JSON a batch reports must not depend on it.
         compiled = run_batch(names=self.NAMES, trials=40, seed=9, engine="compiled")
         interp = run_batch(names=self.NAMES, trials=40, seed=9, engine="interp")
+        vectorized = run_batch(
+            names=self.NAMES, trials=40, seed=9, engine="vectorized"
+        )
         assert compiled.to_json() == interp.to_json()
+        assert vectorized.to_json() == interp.to_json()
         assert compiled.engine == "compiled"
         assert interp.engine == "interp"
+        assert vectorized.engine == "vectorized"
+
+    def test_vectorized_report_survives_parallel_jobs(self):
+        # One wide batch per shard, three shards, two workers: the
+        # aggregated JSON must match the serial run exactly.
+        serial = run_batch(
+            names=["scasb_rigel"], trials=130, seed=11, engine="vectorized"
+        )
+        pooled = run_batch(
+            names=["scasb_rigel"],
+            trials=130,
+            seed=11,
+            engine="vectorized",
+            jobs=2,
+        )
+        assert serial.ok and pooled.ok
+        assert serial.to_json() == pooled.to_json()
 
     def test_verify_reports_match_across_engines(self, binding):
         compiled = verify_binding(
@@ -134,8 +155,19 @@ class TestEngineDeterminism:
         interp = verify_binding(
             binding, scasb_rigel.SCENARIO, trials=30, seed=3, engine="interp"
         )
+        vectorized = verify_binding(
+            binding,
+            scasb_rigel.SCENARIO,
+            trials=30,
+            seed=3,
+            engine="vectorized",
+        )
         # Identical apart from the engine label itself.
-        assert compiled.trials == interp.trials
-        assert compiled.seed == interp.seed
-        assert compiled.offset == interp.offset
-        assert (compiled.engine, interp.engine) == ("compiled", "interp")
+        assert compiled.trials == interp.trials == vectorized.trials
+        assert compiled.seed == interp.seed == vectorized.seed
+        assert compiled.offset == interp.offset == vectorized.offset
+        assert (compiled.engine, interp.engine, vectorized.engine) == (
+            "compiled",
+            "interp",
+            "vectorized",
+        )

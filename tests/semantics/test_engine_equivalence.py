@@ -1,12 +1,12 @@
-"""Property-based engine equivalence: random ISDL vs. both engines.
+"""Property-based engine equivalence: random ISDL vs. every engine.
 
 Hypothesis builds arbitrary (well-formed) ISDL programs — nested
 repeats with ``exit_when``, call-by-value routine calls, memory
-traffic, asserts — and requires the compiled engine to reproduce the
-interpreter's observation exactly: same outputs, memory, registers,
-and step count on success; same exception type and message on failure.
-The step budget is kept small so the limit itself is a routinely
-exercised code path, not a rarity.
+traffic, asserts — and requires the compiled *and* vectorized engines
+to reproduce the interpreter's observation exactly: same outputs,
+memory, registers, and step count on success; same exception type and
+message on failure.  The step budget is kept small so the limit itself
+is a routinely exercised code path, not a rarity.
 """
 
 from hypothesis import given, settings, strategies as st
@@ -18,6 +18,7 @@ from repro.semantics import (
     CompiledDescription,
     Interpreter,
     StepLimitExceeded,
+    VectorizedDescription,
 )
 from repro.semantics.interpreter import _LoopExit
 
@@ -143,7 +144,7 @@ def observe(executor, inputs, memory):
         max_size=8,
     ),
 )
-def test_compiled_matches_interpreter(text, a, b, n, cells):
+def test_fast_engines_match_interpreter(text, a, b, n, cells):
     description = parse_description(text)
     inputs = {"a": a, "b": b, "n": n}
     interp = observe(
@@ -155,3 +156,9 @@ def test_compiled_matches_interpreter(text, a, b, n, cells):
         dict(cells),
     )
     assert compiled == interp
+    vectorized = observe(
+        VectorizedDescription(description, max_steps=MAX_STEPS),
+        inputs,
+        dict(cells),
+    )
+    assert vectorized == interp

@@ -72,10 +72,13 @@ class TestOk:
     def test_bench_success(self, capsys):
         import json
 
+        from repro.semantics import ENGINE_NAMES
+
         assert main(["bench", "scasb_rigel", "--trials", "2", "--json"]) == 0
         payload = json.loads(capsys.readouterr().out)
         assert payload["schema"] == "repro.bench/1"
-        assert set(payload["engines"]) == {"interp", "compiled"}
+        assert set(payload["engines"]) == set(ENGINE_NAMES)
+        assert set(payload["speedups"]) == set(ENGINE_NAMES) - {"interp"}
 
 
 class TestFindings:
@@ -152,7 +155,8 @@ class TestUsageErrors:
         assert main(["batch", "scasb_rigel", "--engine", "nosuch"]) == 2
         err = capsys.readouterr().err
         assert err.strip() == (
-            "unknown engine 'nosuch'; choose from: interp, compiled"
+            "unknown engine 'nosuch'; choose from: interp, compiled, "
+            "vectorized"
         )
 
     def test_verify_unknown_engine(self, capsys):

@@ -132,3 +132,90 @@ def test_runs_are_isolated(char):
     first = interp.run(inputs, memory)
     second = interp.run(inputs, memory)
     assert first == second
+
+
+# ---------------------------------------------------------------------------
+# three-way engine equivalence
+
+SCANNER = parse_description(
+    """
+    t.op := begin
+        ** S **
+            p<15:0>, c<7:0>, n<15:0>
+        ** P **
+            t.execute() := begin
+                input (p, c, n);
+                repeat
+                    exit_when (n = 0);
+                    exit_when (Mb[ p ] = c);
+                    p <- p + 1;
+                    n <- n - 1;
+                end_repeat;
+                output (p, n);
+            end
+    end
+    """
+)
+
+
+def _observe_all_engines(description, inputs, memory):
+    from repro.semantics import (
+        CompiledDescription,
+        Interpreter,
+        StepLimitExceeded,
+        VectorizedDescription,
+    )
+
+    def observe(executor):
+        try:
+            result = executor.run(dict(inputs), dict(memory))
+            return (
+                "ok",
+                result.outputs,
+                result.memory,
+                result.registers,
+                result.steps,
+            )
+        except StepLimitExceeded as e:
+            return ("raise", type(e).__name__, str(e))
+
+    return [
+        observe(factory(description, max_steps=400))
+        for factory in (
+            Interpreter,
+            CompiledDescription,
+            VectorizedDescription,
+        )
+    ]
+
+
+@given(
+    st.integers(min_value=0, max_value=500),
+    st.integers(min_value=0, max_value=1000),
+)
+def test_engines_agree_on_counter_loop(n, acc):
+    """Interp, compiled, and vectorized observe the same counter loop."""
+    interp, compiled, vectorized = _observe_all_engines(
+        COUNTER, {"n": n, "acc": acc}, {}
+    )
+    assert compiled == interp
+    assert vectorized == interp
+
+
+@given(
+    p=st.integers(min_value=0, max_value=40),
+    c=st.integers(min_value=0, max_value=255),
+    n=st.integers(min_value=0, max_value=60),
+    cells=st.dictionaries(
+        st.integers(min_value=0, max_value=48),
+        st.integers(min_value=0, max_value=255),
+        max_size=10,
+    ),
+)
+def test_engines_agree_on_memory_scan(p, c, n, cells):
+    """All three engines agree on a memory scan, including step limits."""
+    interp, compiled, vectorized = _observe_all_engines(
+        SCANNER, {"p": p, "c": c, "n": n}, cells
+    )
+    assert compiled == interp
+    assert vectorized == interp
