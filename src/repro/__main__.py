@@ -10,6 +10,7 @@ Usage::
     python -m repro replay --all           # re-check derivations (drift gate)
     python -m repro stats --format prom    # instrumented run -> metrics
     python -m repro lint --all             # static-check every description
+    python -m repro prove --all            # symbolic equivalence verdicts
     python -m repro figures                # regenerate figures 2-5
     python -m repro failures               # the documented failures
     python -m repro compile i8086          # demo codegen + simulation
@@ -135,7 +136,11 @@ def cmd_verify(args) -> int:
     from .analysis.runner import run_batch
 
     config = api.RunConfig(
-        engine=args.engine, trials=args.trials, seed=args.seed, verify=True
+        engine=args.engine,
+        trials=args.trials,
+        seed=args.seed,
+        verify=True,
+        symbolic=args.symbolic,
     )
     try:
         with _metrics_scope(args.metrics_out):
@@ -320,7 +325,12 @@ def cmd_lint(args) -> int:
 
     from .isdl import parse_description
     from .isdl.errors import IsdlError
-    from .lint import lint_description, lint_targets
+    from .lint import (
+        export_sarif,
+        lint_coverage,
+        lint_description,
+        lint_targets,
+    )
 
     targets = lint_targets()
     selected = []
@@ -362,13 +372,21 @@ def cmd_lint(args) -> int:
             return 1
         reports.append(lint_description(description, target=name))
 
+    if args.symbolic:
+        reports.extend(_symbolic_lint_reports())
+
+    coverage = lint_coverage() if args.all else None
     clean = all(report.clean for report in reports)
-    if args.format == "json":
+    if args.format == "sarif":
+        print(export_sarif(reports))
+    elif args.format == "json":
         payload = {
             "schema": "repro.lint/1",
             "clean": clean,
             "reports": [report.to_dict() for report in reports],
         }
+        if coverage is not None:
+            payload["coverage"] = coverage
         print(json.dumps(payload, indent=2, sort_keys=True))
     else:
         for report in reports:
@@ -377,7 +395,97 @@ def cmd_lint(args) -> int:
                 print("\n".join(lines))
             else:
                 print(f"{report.target}: clean")
+        if coverage is not None:
+            for row in coverage:
+                if row["status"] != "ok":
+                    print(
+                        f"{row['name']}: no-descriptions "
+                        "(catalog-only stub; nothing to lint)"
+                    )
     return 0 if clean else 1
+
+
+def _symbolic_lint_reports():
+    """Binding-level symbolic lint (E401/W402) over the catalog.
+
+    One report per catalog analysis that produces a verified binding;
+    the target is ``binding:<analysis>`` so the rows are visually
+    distinct from description-level targets like ``i8086:scasb``.
+    """
+    import importlib
+
+    from .analysis.runner import catalog
+    from .lint import LintReport, lint_binding_symbolic
+
+    reports = []
+    for entry in catalog():
+        if entry.expect_failure or not entry.has_scenario:
+            continue
+        module = importlib.import_module(f"repro.analyses.{entry.name}")
+        outcome = module.run(verify=False)
+        if not outcome.succeeded or outcome.binding is None:
+            continue
+        diagnostics = lint_binding_symbolic(outcome.binding, module.SCENARIO)
+        reports.append(
+            LintReport(
+                target=f"binding:{entry.name}",
+                diagnostics=tuple(diagnostics),
+            )
+        )
+    return reports
+
+
+def cmd_prove(args) -> int:
+    import json
+
+    from . import api
+    from .analysis.runner import resolve_names
+
+    if not args.names and not args.all:
+        print("prove: give analysis names or --all", file=sys.stderr)
+        return 2
+    try:
+        entries = resolve_names(None if args.all else args.names)
+    except api.UnknownAnalysisError as error:
+        print(str(error), file=sys.stderr)
+        return 2
+    results = [api.prove(entry.name, seed=args.seed) for entry in entries]
+    counts = {
+        verdict: sum(1 for r in results if r.verdict == verdict)
+        for verdict in ("proved", "refuted", "unknown", "skipped")
+    }
+    if args.json:
+        payload = {
+            "schema": "repro.prove/1",
+            "seed": args.seed,
+            "summary": counts,
+            "results": [result.to_dict() for result in results],
+        }
+        print(json.dumps(payload, indent=2, sort_keys=True))
+    else:
+        for result in results:
+            line = f"{result.verdict:8s} {result.name:28s}"
+            if result.verdict == "proved":
+                line += (
+                    f" nodes={result.term_nodes}"
+                    f" unroll={result.unroll_depth}"
+                )
+            elif result.verdict == "refuted":
+                line += (
+                    f" {result.message} "
+                    f"[counterexample {result.counterexample}]"
+                )
+            elif result.reason:
+                line += f" ({result.reason})"
+            print(line)
+        judged = len(results) - counts["skipped"]
+        print(
+            f"{counts['proved']}/{judged} proved, "
+            f"{counts['refuted']} refuted, "
+            f"{counts['unknown']} unknown "
+            f"({counts['skipped']} skipped)"
+        )
+    return 1 if counts["refuted"] else 0
 
 
 def cmd_figures(_args) -> int:
@@ -594,6 +702,12 @@ def main(argv=None) -> int:
         "--json", action="store_true", help="deterministic JSON report"
     )
     p_verify.add_argument(
+        "--symbolic",
+        action="store_true",
+        help="prove-then-sample: symbolically proved bindings run a "
+        "reduced confirmation trial window",
+    )
+    p_verify.add_argument(
         "--metrics-out",
         default=None,
         metavar="FILE",
@@ -685,7 +799,13 @@ def main(argv=None) -> int:
         "--all", action="store_true", help="lint every catalog description"
     )
     p_lint.add_argument(
-        "--format", choices=["text", "json"], default="text"
+        "--format", choices=["text", "json", "sarif"], default="text"
+    )
+    p_lint.add_argument(
+        "--symbolic",
+        action="store_true",
+        help="also run the symbolic equivalence prover over every catalog "
+        "binding (E401/W402)",
     )
 
     p_analyze = sub.add_parser("analyze", help="run one analysis")
@@ -697,6 +817,18 @@ def main(argv=None) -> int:
         "--engine",
         default=None,
         help="execution engine: interp | compiled | vectorized (default: compiled)",
+    )
+
+    p_prove = sub.add_parser(
+        "prove", help="symbolic equivalence verdicts for analyses"
+    )
+    p_prove.add_argument("names", nargs="*", help="analysis names")
+    p_prove.add_argument(
+        "--all", action="store_true", help="prove the whole catalog"
+    )
+    p_prove.add_argument("--seed", type=int, default=1982)
+    p_prove.add_argument(
+        "--json", action="store_true", help="deterministic JSON report"
     )
 
     sub.add_parser("figures", help="regenerate figures 2-5")
@@ -722,6 +854,7 @@ def main(argv=None) -> int:
         "stats": cmd_stats,
         "list": cmd_list,
         "lint": cmd_lint,
+        "prove": cmd_prove,
         "analyze": cmd_analyze,
         "figures": cmd_figures,
         "failures": cmd_failures,

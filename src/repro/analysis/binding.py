@@ -10,6 +10,7 @@ retargetable code generator in :mod:`repro.codegen` consumes.
 
 from __future__ import annotations
 
+import hashlib
 from dataclasses import dataclass, field
 from typing import Dict, Optional, Tuple
 
@@ -19,7 +20,7 @@ from ..constraints import (
     RangeConstraint,
     ValueConstraint,
 )
-from ..isdl import ast
+from ..isdl import ast, description_digest
 
 
 @dataclass(frozen=True)
@@ -130,6 +131,34 @@ class Binding:
         for constraint in self.constraints:
             lines.append(f"  constraint: {constraint.describe()}")
         return "\n".join(lines)
+
+
+def binding_digest(binding: Binding) -> str:
+    """A stable content digest of everything a verdict depends on.
+
+    Covers both final descriptions (via their AST digests), the operand
+    map, every constraint, and the result-register order — the exact
+    inputs of :func:`repro.lint.lint_binding` and
+    :func:`repro.symbolic.prove_binding`.  Two structurally identical
+    bindings digest equal regardless of how they were derived, which is
+    what lets pooled batch shards share one lint/prove result per
+    binding content instead of one per object per shard.
+    """
+    digest = hashlib.sha256()
+    digest.update(b"op:" + description_digest(binding.final_operator).encode())
+    digest.update(
+        b"in:" + description_digest(binding.augmented_instruction).encode()
+    )
+    for operand, register in sorted(binding.operand_map.items()):
+        digest.update(f"map:{operand}->{register};".encode())
+    for text in sorted(
+        f"{type(constraint).__name__}:{constraint.describe()}"
+        for constraint in binding.constraints
+    ):
+        digest.update(b"c:" + text.encode() + b";")
+    for register in binding.result_registers:
+        digest.update(f"r:{register};".encode())
+    return digest.hexdigest()
 
 
 @dataclass

@@ -47,6 +47,11 @@ class RunConfig:
     jobs: int = 1
     timeout: Optional[float] = None
     cache_dir: Union[None, str, "os.PathLike"] = None
+    #: run the symbolic equivalence prover before sampling: a *proved*
+    #: binding drops to a short confirmation window, a *refuted* one
+    #: replays its concrete counterexample as the failing trial, and an
+    #: *unknown* verdict falls back to the full differential sweep.
+    symbolic: bool = False
 
     def resolve_engine(self, gate: Optional[str] = None) -> ExecutionEngine:
         """The concrete engine this plan runs on."""

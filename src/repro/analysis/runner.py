@@ -97,6 +97,8 @@ class ShardSpec:
     count: int
     seed: int
     engine: str = DEFAULT_ENGINE
+    #: run the symbolic prove-then-sample fast path in each shard.
+    symbolic: bool = False
 
 
 @dataclass
@@ -313,6 +315,7 @@ def plan_jobs(
     seed: int,
     verify: bool,
     engine: str = DEFAULT_ENGINE,
+    symbolic: bool = False,
 ) -> List[ShardSpec]:
     """The deterministic job list for one batch invocation.
 
@@ -326,10 +329,12 @@ def plan_jobs(
         wants_verify = verify and entry.has_scenario and not entry.expect_failure
         windows = shard_plan(trials) if wants_verify else ()
         if not windows:
-            specs.append(ShardSpec(entry.name, 0, 0, seed, engine))
+            specs.append(ShardSpec(entry.name, 0, 0, seed, engine, symbolic))
             continue
         for offset, count in windows:
-            specs.append(ShardSpec(entry.name, offset, count, seed, engine))
+            specs.append(
+                ShardSpec(entry.name, offset, count, seed, engine, symbolic)
+            )
     return specs
 
 
@@ -377,10 +382,21 @@ def preload_caches(specs: Sequence[ShardSpec]) -> None:
             continue
         seen.add(spec.name)
         try:
-            _, outcome = _replay(spec.name)
+            module, outcome = _replay(spec.name)
             if spec.engine != "interp" and outcome.succeeded and outcome.binding:
                 compile_description(outcome.binding.final_operator)
                 compile_description(outcome.binding.augmented_instruction)
+            if spec.symbolic and outcome.succeeded and outcome.binding:
+                scenario = getattr(module, "SCENARIO", None)
+                if scenario is not None:
+                    # Warm the content-keyed prove cache pre-fork: every
+                    # shard of this entry then hits it instead of
+                    # re-running symbolic execution per worker.
+                    from ..symbolic import prove_binding
+
+                    prove_binding(
+                        outcome.binding, scenario, seed=spec.seed
+                    )
         except Exception:  # noqa: BLE001 - the worker will report it
             continue
 
@@ -424,18 +440,22 @@ def execute_shard(spec: ShardSpec) -> Dict[str, object]:
             if outcome.succeeded and spec.count > 0:
                 scenario = getattr(module, "SCENARIO", None)
                 if scenario is not None:
-                    verify_binding(
+                    report = verify_binding(
                         outcome.binding,
                         scenario,
                         config=RunConfig(
                             engine=spec.engine,
                             trials=spec.count,
                             seed=spec.seed,
+                            symbolic=spec.symbolic,
                         ),
                         offset=spec.offset,
                         gate="sampled",
                     )
-                    record["verified"] = spec.count
+                    # Honest accounting: a proved binding's shortened
+                    # confirmation window reports the trials that ran,
+                    # not the trials that were planned.
+                    record["verified"] = report.confirmed_trials
     except VerificationFailure as error:
         record["failure"] = f"VerificationFailure: {error}"
         record["succeeded"] = False
@@ -513,6 +533,7 @@ def entry_verdict_key(
     seed: int,
     verify: bool,
     epoch: Optional[str] = None,
+    symbolic: bool = False,
 ) -> Dict[str, object]:
     """The provenance-store key for one entry's batch verdict.
 
@@ -533,6 +554,7 @@ def entry_verdict_key(
         seed,
         verify,
         epoch=epoch,
+        symbolic=symbolic,
     )
 
 
@@ -811,6 +833,7 @@ def run_batch(
                     cfg.seed,
                     cfg.verify,
                     epoch=epoch,
+                    symbolic=cfg.symbolic,
                 )
                 keys[entry.name] = key
                 artifact = store.lookup_verdict(key)
@@ -823,7 +846,12 @@ def run_batch(
             entry for entry in entries if entry.name not in cached
         )
         specs = plan_jobs(
-            miss_entries, cfg.trials, cfg.seed, cfg.verify, resolved.name
+            miss_entries,
+            cfg.trials,
+            cfg.seed,
+            cfg.verify,
+            resolved.name,
+            cfg.symbolic,
         )
         _clear_replay_cache()
         records: Dict[Tuple[str, int], Optional[Dict[str, object]]] = {}

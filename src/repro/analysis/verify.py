@@ -23,7 +23,11 @@ from typing import Dict, Optional, Tuple
 from .. import obs
 from ..isdl import ast
 from ..lint import LintGateError, lint_binding
-from ..semantics.engine import DEFAULT_ENGINE, EngineMismatchError
+from ..semantics.engine import (
+    DEFAULT_ENGINE,
+    EngineMismatchError,
+    ExecutionEngine,
+)
 from ..semantics.randomgen import Scenario, ScenarioSpec, ScenarioStream
 from ..semantics.vectorized import lanes_disagree
 from .config import _UNSET, RunConfig, resolve_config
@@ -47,12 +51,22 @@ class VerificationFailure(Exception):
         self.scenario = scenario
 
 
+#: Confirmation window for bindings the symbolic prover already proved
+#: equivalent: enough concrete trials to catch a prover/model bug, a
+#: small fraction of the full sweep.
+CONFIRM_TRIALS = 16
+
+
 @dataclass(frozen=True)
 class VerificationReport:
     """Outcome of a differential-testing run.
 
     ``seed`` and ``offset`` record which window of the scenario stream
     ran, so sharded reports can be aggregated and any shard replayed.
+    ``trials`` stays the *planned* sweep (part of the replayable plan);
+    when the symbolic fast path shortened the run, ``executed_trials``
+    records how many scenarios actually executed and ``prove_verdict``
+    why.
     """
 
     trials: int
@@ -61,11 +75,23 @@ class VerificationReport:
     seed: int = 1982
     offset: int = 0
     engine: str = DEFAULT_ENGINE
+    #: symbolic prover verdict when the fast path ran, else None.
+    prove_verdict: Optional[str] = None
+    #: scenarios actually executed when that differs from the plan.
+    executed_trials: Optional[int] = None
+
+    @property
+    def confirmed_trials(self) -> int:
+        """How many concrete scenarios this verdict actually rests on."""
+        return self.trials if self.executed_trials is None else self.executed_trials
 
     def __str__(self) -> str:
+        suffix = ""
+        if self.prove_verdict is not None:
+            suffix = f" [symbolic: {self.prove_verdict}, {self.confirmed_trials} confirmation trials]"
         return (
             f"{self.operator_name} == {self.instruction_name} on "
-            f"{self.trials} randomized states"
+            f"{self.trials} randomized states{suffix}"
         )
 
 
@@ -97,6 +123,81 @@ def _clip_to_ranges(
 def _clip_to_constraints(inputs: Dict[str, int], binding) -> Dict[str, int]:
     """One-shot clamp against a binding (see :func:`_clip_to_ranges`)."""
     return _clip_to_ranges(inputs, _operand_ranges(binding))
+
+
+def _run_trial(
+    operator_interp,
+    instruction_interp,
+    rename,
+    ranges: Tuple[Tuple[str, int, int], ...],
+    scenario: Scenario,
+    engine_name: str,
+    collect: bool,
+) -> None:
+    """One scalar differential trial; raises on any disagreement.
+
+    The failure message is built from inputs and outputs only — never
+    from engine internals — so the identical scenario produces the
+    identical :class:`VerificationFailure` on every execution engine
+    (the property the symbolic prover's counterexample replay relies
+    on).
+    """
+    if collect:
+        obs.inc("repro_verify_trials_total", engine=engine_name)
+    inputs = _clip_to_ranges(scenario.inputs, ranges)
+    mapped = {rename(k, k): v for k, v in inputs.items()}
+    result_op = operator_interp.run(inputs, scenario.memory)
+    result_in = instruction_interp.run(mapped, scenario.memory)
+    if result_op.outputs != result_in.outputs:
+        obs.inc("repro_verify_failures_total", engine=engine_name)
+        raise VerificationFailure(
+            f"outputs differ: operator {result_op.outputs} vs "
+            f"instruction {result_in.outputs} on inputs {inputs}",
+            scenario,
+        )
+    if result_op.memory != result_in.memory:
+        diff = {
+            addr: (
+                result_op.memory.get(addr),
+                result_in.memory.get(addr),
+            )
+            for addr in set(result_op.memory) | set(result_in.memory)
+            if result_op.memory.get(addr) != result_in.memory.get(addr)
+        }
+        obs.inc("repro_verify_failures_total", engine=engine_name)
+        raise VerificationFailure(
+            f"final memories differ at {sorted(diff)[:8]} on inputs "
+            f"{inputs}",
+            scenario,
+        )
+
+
+def differential_trial(
+    binding,
+    scenario: Scenario,
+    engine=None,
+    gate: Optional[str] = None,
+) -> None:
+    """Run one concrete machine state through both final descriptions.
+
+    The single-scenario form of :func:`verify_binding`'s trial loop:
+    inputs are clipped to the binding's operand ranges, renamed through
+    the operand map for the instruction side, and both descriptions
+    must agree on outputs and final memory — otherwise the same
+    :class:`VerificationFailure` the sampling loop would raise is
+    raised here.  Used by the symbolic prover to validate and replay
+    counterexamples engine-independently.
+    """
+    resolved = ExecutionEngine.resolve(engine, gate)
+    _run_trial(
+        resolved.executor(binding.final_operator),
+        resolved.executor(binding.augmented_instruction),
+        binding.operand_map.get,
+        _operand_ranges(binding),
+        scenario,
+        resolved.name,
+        obs.enabled(),
+    )
 
 
 def _clip_column(column, lo: int, hi: int):
@@ -170,36 +271,17 @@ def verify_binding(
 
     def trial(scenario: Scenario) -> None:
         """One scalar differential trial; raises on any disagreement."""
-        if collect:
-            obs.inc("repro_verify_trials_total", engine=resolved.name)
-        inputs = _clip_to_ranges(scenario.inputs, ranges)
-        mapped = {rename(k, k): v for k, v in inputs.items()}
-        result_op = operator_interp.run(inputs, scenario.memory)
-        result_in = instruction_interp.run(mapped, scenario.memory)
-        if result_op.outputs != result_in.outputs:
-            obs.inc("repro_verify_failures_total", engine=resolved.name)
-            raise VerificationFailure(
-                f"outputs differ: operator {result_op.outputs} vs "
-                f"instruction {result_in.outputs} on inputs {inputs}",
-                scenario,
-            )
-        if result_op.memory != result_in.memory:
-            diff = {
-                addr: (
-                    result_op.memory.get(addr),
-                    result_in.memory.get(addr),
-                )
-                for addr in set(result_op.memory) | set(result_in.memory)
-                if result_op.memory.get(addr) != result_in.memory.get(addr)
-            }
-            obs.inc("repro_verify_failures_total", engine=resolved.name)
-            raise VerificationFailure(
-                f"final memories differ at {sorted(diff)[:8]} on inputs "
-                f"{inputs}",
-                scenario,
-            )
+        _run_trial(
+            operator_interp,
+            instruction_interp,
+            rename,
+            ranges,
+            scenario,
+            resolved.name,
+            collect,
+        )
 
-    def batch_trials(stream: ScenarioStream) -> None:
+    def batch_trials(stream: ScenarioStream, count: int) -> None:
         """The whole trial window as one wide batch per description.
 
         A flagged lane is replayed as a scalar trial of the *same*
@@ -207,7 +289,7 @@ def verify_binding(
         message, trial index, attached scenario — is byte-identical to
         what the scalar loop would have produced.
         """
-        batch = stream.draw_batch(offset, cfg.trials)
+        batch = stream.draw_batch(offset, count)
         columns = dict(batch.inputs)
         for operand, lo, hi in ranges:
             if operand in columns:
@@ -228,10 +310,10 @@ def verify_binding(
             )
         )
         if clean:
-            if collect and cfg.trials:
+            if collect and count:
                 obs.inc(
                     "repro_verify_trials_total",
-                    cfg.trials,
+                    count,
                     engine=resolved.name,
                 )
             return
@@ -255,12 +337,31 @@ def verify_binding(
             % (offset + problem, operator_desc.name, instruction_desc.name)
         )
 
+    prove_verdict: Optional[str] = None
+    executed = cfg.trials
+    if cfg.symbolic:
+        from ..symbolic import PROVED, REFUTED, prove_binding
+
+        prove_report = prove_binding(binding, spec, seed=cfg.seed)
+        prove_verdict = prove_report.verdict
+        if prove_verdict == REFUTED:
+            # The prover extracted a concrete model; replaying it
+            # through this engine's own trial path raises the exact
+            # failure the sampling loop would have produced (the
+            # message is built from inputs and outputs only, never
+            # engine internals).  If the replay unexpectedly passes,
+            # the model was spurious — distrust the verdict and run
+            # the full sweep below.
+            trial(prove_report.counterexample)
+        elif prove_verdict == PROVED:
+            executed = min(cfg.trials, CONFIRM_TRIALS)
+
     with obs.span("verify", engine=resolved.name):
         stream = ScenarioStream(spec, cfg.seed)
         if resolved.name == "vectorized":
-            batch_trials(stream)
+            batch_trials(stream, executed)
         else:
-            for scenario in stream.window(offset, cfg.trials):
+            for scenario in stream.window(offset, executed):
                 trial(scenario)
     return VerificationReport(
         trials=cfg.trials,
@@ -269,4 +370,6 @@ def verify_binding(
         seed=cfg.seed,
         offset=offset,
         engine=resolved.name,
+        prove_verdict=prove_verdict,
+        executed_trials=None if executed == cfg.trials else executed,
     )

@@ -5,6 +5,7 @@ functions returning plain typed results:
 
 * :func:`analyze` — replay one recorded analysis end to end;
 * :func:`verify` — differentially verify one analysis;
+* :func:`prove` — symbolically prove (or refute) one analysis's binding;
 * :func:`batch` — run the catalog (or a subset) as a parallel batch;
 * :func:`trace` — one analysis's recorded derivation trace;
 * :func:`replay` — re-apply recorded derivations with digest checks;
@@ -41,6 +42,7 @@ from .analysis.runner import (
 __all__ = [
     "AnalyzeResult",
     "BatchResult",
+    "ProveResult",
     "ReplayEntry",
     "ReplayResult",
     "RunConfig",
@@ -50,6 +52,7 @@ __all__ = [
     "VerifyResult",
     "analyze",
     "batch",
+    "prove",
     "replay",
     "stats",
     "trace",
@@ -142,15 +145,22 @@ def verify(
     engine=None,
     trials: int = 120,
     seed: int = 1982,
+    symbolic: bool = False,
 ) -> VerifyResult:
     """Differentially verify one analysis on randomized states.
 
     Runs the same sharded plan as ``repro verify NAME`` (replay,
     lint gate, then ``trials`` trials against the scenario stream) and
-    folds the verdict into one :class:`VerifyResult`.
+    folds the verdict into one :class:`VerifyResult`.  ``symbolic=True``
+    runs the prove-then-sample fast path: a proved binding drops each
+    shard to a short confirmation window (``verified_trials`` then
+    reports the trials that actually ran).
     """
     _module_for(name)
-    config = RunConfig(engine=engine, trials=trials, seed=seed, verify=True)
+    config = RunConfig(
+        engine=engine, trials=trials, seed=seed, verify=True,
+        symbolic=symbolic,
+    )
     report = run_batch(names=[name], config=config)
     (result,) = report.results
     return VerifyResult(
@@ -162,6 +172,93 @@ def verify(
         seed=report.seed,
         failure=result.failure,
         error=result.error,
+    )
+
+
+# ---------------------------------------------------------------------------
+# prove
+
+
+@dataclass(frozen=True)
+class ProveResult:
+    """Symbolic equivalence verdict for one analysis.
+
+    ``verdict`` is one of the prover's three
+    (``proved``/``refuted``/``unknown``) plus ``skipped`` for catalog
+    entries the prover cannot judge (no binding — expected-failure
+    demonstrations — or no verification scenario).
+    """
+
+    name: str
+    verdict: str
+    operator_name: Optional[str] = None
+    instruction_name: Optional[str] = None
+    reason: Optional[str] = None
+    term_nodes: int = 0
+    unroll_depth: int = 0
+    #: the refuting concrete model's operator-side inputs, if refuted.
+    counterexample: Optional[Dict[str, int]] = None
+    message: Optional[str] = None
+
+    @property
+    def ok(self) -> bool:
+        """True unless the prover *refuted* the binding."""
+        return self.verdict != "refuted"
+
+    def to_dict(self) -> Dict[str, object]:
+        return {
+            "name": self.name,
+            "verdict": self.verdict,
+            "operator": self.operator_name,
+            "instruction": self.instruction_name,
+            "reason": self.reason,
+            "term_nodes": self.term_nodes,
+            "unroll_depth": self.unroll_depth,
+            "counterexample": self.counterexample,
+            "message": self.message,
+        }
+
+
+def prove(name: str, *, seed: int = 1982, **budgets) -> ProveResult:
+    """Symbolically prove or refute one analysis's binding.
+
+    Replays the analysis (transformations only), then runs both final
+    descriptions through the bounded symbolic executor under the
+    scenario spec's input bounds (see :func:`repro.symbolic\
+    .prove_binding`).  ``budgets`` forwards ``max_nodes`` /
+    ``unroll_budget`` / ``max_stmts`` / ``search_trials``.
+    """
+    from .symbolic import prove_binding
+
+    module = _module_for(name)
+    outcome = module.run(verify=False)
+    scenario = getattr(module, "SCENARIO", None)
+    if not outcome.succeeded or outcome.binding is None:
+        return ProveResult(
+            name=name,
+            verdict="skipped",
+            reason="analysis does not produce a binding",
+        )
+    if scenario is None:
+        return ProveResult(
+            name=name,
+            verdict="skipped",
+            reason="no verification scenario",
+        )
+    report = prove_binding(outcome.binding, scenario, seed=seed, **budgets)
+    counterexample = None
+    if report.counterexample is not None:
+        counterexample = dict(sorted(report.counterexample.inputs.items()))
+    return ProveResult(
+        name=name,
+        verdict=report.verdict,
+        operator_name=report.operator_name,
+        instruction_name=report.instruction_name,
+        reason=report.reason,
+        term_nodes=report.term_nodes,
+        unroll_depth=report.unroll_depth,
+        counterexample=counterexample,
+        message=report.message,
     )
 
 
@@ -371,11 +468,11 @@ class StatsResult:
         """Prometheus text exposition covering every declared family."""
         return obs.export_prometheus(self.snapshot)
 
-    def counter(self, name: str, **labels: str) -> int:
+    def counter(self, name: str, /, **labels: str) -> int:
         """Sum of a counter's samples matching ``labels`` (a subset)."""
         return obs.counter_value(self.snapshot, name, **labels)
 
-    def gauge(self, name: str, **labels: str) -> Optional[float]:
+    def gauge(self, name: str, /, **labels: str) -> Optional[float]:
         """A gauge sample's value under exactly ``labels``, or None."""
         return obs.gauge_value(self.snapshot, name, **labels)
 
@@ -391,7 +488,22 @@ def stats(
     registry for the duration of the run.  The batch *verdict* is
     deliberately not part of the result — use :func:`batch` when the
     verdict matters.
+
+    The snapshot also carries lint-coverage gauges
+    (``repro_lint_coverage_targets``) for every catalog machine and
+    language module, so catalog-only stub machines (no ISDL
+    descriptions to lint) show up as ``status="no-descriptions"``
+    rows instead of being silently absent.
     """
+    from .lint import lint_coverage
+
     with obs.collecting() as registry:
         run_batch(names=names, config=config)
+        for row in lint_coverage():
+            obs.gauge_set(
+                "repro_lint_coverage_targets",
+                len(row["targets"]),
+                name=str(row["name"]),
+                status=str(row["status"]),
+            )
         return StatsResult(snapshot=registry.snapshot())

@@ -27,13 +27,17 @@ from .diagnostics import (
     Severity,
 )
 from .engine import (
+    clear_lint_cache,
     lint_all,
     lint_binding,
+    lint_binding_symbolic,
+    lint_coverage,
     lint_description,
     lint_target,
     lint_targets,
 )
 from .intervals import Interval, check_asserts
+from .sarif import export_sarif, sarif_log
 
 __all__ = [
     "CODES",
@@ -43,9 +47,14 @@ __all__ = [
     "LintReport",
     "Severity",
     "check_asserts",
+    "clear_lint_cache",
+    "export_sarif",
     "lint_all",
     "lint_binding",
+    "lint_binding_symbolic",
+    "lint_coverage",
     "lint_description",
     "lint_target",
     "lint_targets",
+    "sarif_log",
 ]

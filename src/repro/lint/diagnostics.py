@@ -12,7 +12,9 @@ Code ranges:
 * ``1xx`` — bit-width checks (:mod:`repro.lint.widths`),
 * ``2xx`` — structural and dataflow checks (:mod:`repro.lint.checks`),
 * ``3xx`` — interval-domain constraint prechecks
-  (:mod:`repro.lint.intervals` / :func:`repro.lint.engine.lint_binding`).
+  (:mod:`repro.lint.intervals` / :func:`repro.lint.engine.lint_binding`),
+* ``4xx`` — symbolic equivalence findings (:mod:`repro.symbolic` via
+  :func:`repro.lint.engine.lint_binding` with ``symbolic=True``).
 
 Diagnostics are plain frozen dataclasses anchored to the
 :class:`~repro.isdl.errors.SourceLocation` the parser attached to the
@@ -58,6 +60,9 @@ CODES: Dict[str, str] = {
     "E302": "fixed operand value does not fit the register's width",
     "E303": "empty range constraint (lo > hi)",
     "E304": "assert is statically violated for every value allowed by the constraints",
+    # -- symbolic equivalence prover (repro.symbolic) -------------------
+    "E401": "symbolic execution refuted the binding: a concrete counterexample scenario disagrees",
+    "W402": "symbolic equivalence verdict is unknown (budget exceeded or unsupported construct); sampling still applies",
 }
 
 

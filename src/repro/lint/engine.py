@@ -23,6 +23,7 @@ import importlib
 import weakref
 from typing import Callable, Dict, List, Optional, Tuple
 
+from .. import obs
 from ..isdl import ast
 from ..semantics.values import width_bits
 from .checks import check_dataflow, check_structure
@@ -124,6 +125,32 @@ def _input_intervals_for_operator(binding) -> Dict[str, Interval]:
 #: verification.
 _BINDING_MEMO: Dict[int, Tuple["weakref.ref", Tuple[Diagnostic, ...]]] = {}
 
+#: Content-keyed pre-flight cache: ``(code_epoch, binding_digest) ->
+#: diagnostics``.  Where :data:`_BINDING_MEMO` only helps when the very
+#: same binding *object* is re-linted, this layer recognises an
+#: equivalent binding reconstructed from scratch — pooled batch shards
+#: replay the same analyses per shard and used to re-run the full
+#: pre-flight every time.  The ``code_epoch`` component ties entries to
+#: the analysis source, so an edited checker never serves stale
+#: diagnostics.
+_CONTENT_CACHE: Dict[Tuple[str, str], Tuple[Diagnostic, ...]] = {}
+
+
+def clear_lint_cache() -> None:
+    """Drop the content-keyed pre-flight cache (tests, code reloads)."""
+    _CONTENT_CACHE.clear()
+
+
+def _content_key(binding) -> Optional[Tuple[str, str]]:
+    """The (code epoch, binding digest) cache key, or None if unkeyable."""
+    try:
+        from ..analysis.binding import binding_digest
+        from ..provenance import code_epoch
+
+        return (code_epoch(), binding_digest(binding))
+    except Exception:
+        return None
+
 
 def lint_binding(binding) -> List[Diagnostic]:
     """Statically check a binding's constraints against its descriptions.
@@ -135,7 +162,16 @@ def lint_binding(binding) -> List[Diagnostic]:
     cached = _BINDING_MEMO.get(key)
     if cached is not None and cached[0]() is binding:
         return list(cached[1])
-    diagnostics = _lint_binding_uncached(binding)
+    content_key = _content_key(binding)
+    if content_key is not None and content_key in _CONTENT_CACHE:
+        obs.inc("repro_lint_cache_hits_total", kind="lint")
+        diagnostics = list(_CONTENT_CACHE[content_key])
+    else:
+        if content_key is not None:
+            obs.inc("repro_lint_cache_misses_total", kind="lint")
+        diagnostics = _lint_binding_uncached(binding)
+        if content_key is not None:
+            _CONTENT_CACHE[content_key] = tuple(diagnostics)
     try:
         ref = weakref.ref(
             binding, lambda _ref, _key=key: _BINDING_MEMO.pop(_key, None)
@@ -144,6 +180,43 @@ def lint_binding(binding) -> List[Diagnostic]:
         return diagnostics
     _BINDING_MEMO[key] = (ref, tuple(diagnostics))
     return diagnostics
+
+
+def lint_binding_symbolic(binding, spec, **budgets) -> List[Diagnostic]:
+    """Symbolic equivalence findings for a binding (E401 / W402).
+
+    Deliberately *not* part of :func:`lint_binding`: the default
+    pre-flight gates (`verify_binding`, the batch runner) treat any
+    diagnostic as fatal, and a W402 "unknown" must never block a
+    binding that differential sampling can still cover.  Callers opt in
+    explicitly (``repro lint --symbolic``, the prove CLI).
+
+    Returns an empty list when the prover *proves* equivalence.
+    """
+    from ..symbolic import PROVED, REFUTED, prove_binding
+
+    report = prove_binding(binding, spec, **budgets)
+    name = binding.augmented_instruction.name
+    if report.verdict == REFUTED:
+        inputs = dict(sorted(report.counterexample.inputs.items()))
+        return [
+            make(
+                "E401",
+                f"symbolic divergence: {report.message} "
+                f"(counterexample inputs {inputs})",
+                name,
+            )
+        ]
+    if report.verdict != PROVED:
+        return [
+            make(
+                "W402",
+                f"symbolic equivalence unknown: {report.reason}; "
+                "differential sampling still applies",
+                name,
+            )
+        ]
+    return []
 
 
 def _lint_binding_uncached(binding) -> List[Diagnostic]:
@@ -304,3 +377,45 @@ def lint_target(name: str) -> LintReport:
 def lint_all() -> List[LintReport]:
     """Lint every catalog target, in stable name order."""
     return [lint_target(name) for name in sorted(lint_targets())]
+
+
+def lint_coverage() -> List[Dict[str, object]]:
+    """What ``lint --all`` covers, including what it *cannot* cover.
+
+    One row per catalog machine and per language module, in stable
+    order.  Machines that exist only as catalog stubs — a Table 1 entry
+    with no ISDL description module, or a module with no modeled
+    mnemonics — report ``status: "no-descriptions"`` instead of being
+    silently absent from the target list (``repro lint --all`` and
+    ``repro stats`` used to omit them entirely, which read as "clean"
+    rather than "never checked").
+    """
+    from ..machines import catalog
+
+    rows: List[Dict[str, object]] = []
+    for machine in sorted(catalog.MACHINE_KEYS):
+        if machine in catalog.DESCRIPTION_MODULES:
+            targets = [
+                f"{machine}:{mnemonic}"
+                for mnemonic in catalog.modeled_mnemonics(machine)
+            ]
+        else:
+            targets = []
+        rows.append(
+            {
+                "name": machine,
+                "kind": "machine",
+                "status": "ok" if targets else "no-descriptions",
+                "targets": targets,
+            }
+        )
+    for module_name, loaders in sorted(LANGUAGE_LOADERS.items()):
+        rows.append(
+            {
+                "name": module_name,
+                "kind": "language",
+                "status": "ok",
+                "targets": [f"{module_name}:{loader}" for loader in loaders],
+            }
+        )
+    return rows

@@ -1,0 +1,114 @@
+"""SARIF 2.1.0 export for lint reports.
+
+`SARIF <https://docs.oasis-open.org/sarif/sarif/v2.1.0/sarif-v2.1.0.html>`_
+is the interchange format GitHub code scanning ingests; CI uploads the
+output of ``repro lint --all --format sarif`` as a code-scanning
+artifact so lint findings surface next to the diff instead of inside a
+job log.
+
+The document is deterministic: rules are every registered code in
+sorted order (so the rule table is stable even when a run is clean),
+results follow the report order :func:`repro.lint.engine.lint_all`
+already fixes, and the JSON text is rendered with sorted keys.
+Suppressed findings are carried as SARIF ``suppressions`` entries
+rather than dropped, mirroring how :class:`~repro.lint.diagnostics\
+.LintReport` keeps them visible.
+"""
+
+from __future__ import annotations
+
+import json
+from typing import Dict, Iterable, List, Optional
+
+from .diagnostics import CODES, Diagnostic, LintReport
+
+#: SARIF schema pin — part of the output contract, asserted by tests.
+SARIF_VERSION = "2.1.0"
+SARIF_SCHEMA = (
+    "https://raw.githubusercontent.com/oasis-tcs/sarif-spec/master/"
+    "Schemata/sarif-schema-2.1.0.json"
+)
+
+_LEVELS = {"warning": "warning", "error": "error"}
+
+
+def _rules() -> List[Dict[str, object]]:
+    return [
+        {
+            "id": code,
+            "name": code,
+            "shortDescription": {"text": summary},
+            "defaultConfiguration": {
+                "level": "error" if code.startswith("E") else "warning"
+            },
+        }
+        for code, summary in sorted(CODES.items())
+    ]
+
+
+def _result(
+    diagnostic: Diagnostic,
+    target: str,
+    justification: Optional[str] = None,
+) -> Dict[str, object]:
+    message = diagnostic.message
+    if diagnostic.routine:
+        message += f" (in {diagnostic.routine})"
+    location: Dict[str, object] = {
+        "physicalLocation": {
+            "artifactLocation": {"uri": target},
+        },
+        "logicalLocations": [
+            {"name": diagnostic.description, "kind": "module"}
+        ],
+    }
+    if diagnostic.location is not None:
+        location["physicalLocation"]["region"] = {
+            "startLine": max(1, diagnostic.location.line),
+            "startColumn": max(1, diagnostic.location.column),
+        }
+    result: Dict[str, object] = {
+        "ruleId": diagnostic.code,
+        "level": _LEVELS[diagnostic.severity.value],
+        "message": {"text": message},
+        "locations": [location],
+    }
+    if justification is not None:
+        result["suppressions"] = [
+            {"kind": "inSource", "justification": justification}
+        ]
+    return result
+
+
+def sarif_log(reports: Iterable[LintReport]) -> Dict[str, object]:
+    """The SARIF document (as a JSON-ready dict) for a set of reports."""
+    results: List[Dict[str, object]] = []
+    for report in reports:
+        for diagnostic in report.diagnostics:
+            results.append(_result(diagnostic, report.target))
+        for diagnostic, justification in report.suppressed:
+            results.append(_result(diagnostic, report.target, justification))
+    return {
+        "$schema": SARIF_SCHEMA,
+        "version": SARIF_VERSION,
+        "runs": [
+            {
+                "tool": {
+                    "driver": {
+                        "name": "repro-lint",
+                        "informationUri": "https://example.invalid/repro",
+                        "rules": _rules(),
+                    }
+                },
+                "results": results,
+                "columnKind": "utf16CodeUnits",
+            }
+        ],
+    }
+
+
+def export_sarif(reports: Iterable[LintReport]) -> str:
+    """Canonical SARIF text (sorted keys, two-space indent, ASCII)."""
+    return json.dumps(
+        sarif_log(reports), sort_keys=True, indent=2, ensure_ascii=True
+    )

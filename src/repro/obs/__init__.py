@@ -30,10 +30,12 @@ from .metrics import (
     BUCKET_BOUNDS,
     COUNTERS,
     GAUGES,
+    HISTOGRAM_BOUNDS,
     HISTOGRAMS,
     METRICS_SCHEMA,
     SPAN_PHASES,
     MetricsRegistry,
+    bounds_for,
     counter_value,
     diff_snapshots,
     empty_snapshot,
@@ -44,10 +46,12 @@ __all__ = [
     "BUCKET_BOUNDS",
     "COUNTERS",
     "GAUGES",
+    "HISTOGRAM_BOUNDS",
     "HISTOGRAMS",
     "METRICS_SCHEMA",
     "SPAN_PHASES",
     "MetricsRegistry",
+    "bounds_for",
     "active",
     "collecting",
     "counter_value",
@@ -99,19 +103,19 @@ def collecting(
         _registry = previous
 
 
-def inc(name: str, value: int = 1, **labels: str) -> None:
+def inc(name: str, value: int = 1, /, **labels: str) -> None:
     registry = _registry
     if registry is not None:
         registry.inc(name, value, **labels)
 
 
-def gauge_set(name: str, value: float, **labels: str) -> None:
+def gauge_set(name: str, value: float, /, **labels: str) -> None:
     registry = _registry
     if registry is not None:
         registry.gauge_set(name, value, **labels)
 
 
-def observe(name: str, value: float, **labels: str) -> None:
+def observe(name: str, value: float, /, **labels: str) -> None:
     registry = _registry
     if registry is not None:
         registry.observe(name, value, **labels)

@@ -21,11 +21,11 @@ import json
 from typing import Dict, List, Mapping, Tuple
 
 from .metrics import (
-    BUCKET_BOUNDS,
     COUNTERS,
     GAUGES,
     HISTOGRAMS,
     _samples,
+    bounds_for,
 )
 
 
@@ -104,12 +104,13 @@ def export_prometheus(snapshot: Mapping[str, object]) -> str:
     for name in sorted(HISTOGRAMS):
         lines.append("# HELP %s %s" % (name, HISTOGRAMS[name]))
         lines.append("# TYPE %s histogram" % name)
+        bounds = bounds_for(name)
         samples = by_name.get(name, [])
         if not samples:
             samples = [
                 {
                     "labels": {},
-                    "buckets": [0] * (len(BUCKET_BOUNDS) + 1),
+                    "buckets": [0] * (len(bounds) + 1),
                     "sum": 0.0,
                     "count": 0,
                 }
@@ -118,7 +119,7 @@ def export_prometheus(snapshot: Mapping[str, object]) -> str:
             labels = sample.get("labels", {})
             cumulative = 0
             buckets = list(sample["buckets"])
-            for bound, bucket_count in zip(BUCKET_BOUNDS, buckets):
+            for bound, bucket_count in zip(bounds, buckets):
                 cumulative += int(bucket_count)
                 lines.append(
                     "%s_bucket%s %d"

@@ -41,7 +41,7 @@ from typing import Dict, Iterable, List, Mapping, Optional, Tuple
 #: Snapshot schema identifier.
 METRICS_SCHEMA = "repro.metrics/1"
 
-#: Fixed histogram bucket upper bounds (seconds, ``le`` semantics: a
+#: Default histogram bucket upper bounds (seconds, ``le`` semantics: a
 #: value lands in the first bucket whose bound is >= the value).  One
 #: implicit ``+Inf`` bucket follows the last bound.
 BUCKET_BOUNDS: Tuple[float, ...] = (
@@ -61,6 +61,20 @@ BUCKET_BOUNDS: Tuple[float, ...] = (
     10.0,
     30.0,
 )
+
+#: Per-family bucket bounds for histograms that measure something other
+#: than seconds.  Families not listed here use :data:`BUCKET_BOUNDS`.
+#: Changing a family's bounds is a snapshot-schema change for that
+#: family (merge checks bucket layout), so bounds are fixed per name.
+HISTOGRAM_BOUNDS: Dict[str, Tuple[float, ...]] = {
+    "repro_prove_term_nodes": (16, 64, 256, 1024, 4096, 16384, 65536),
+    "repro_prove_unroll_iterations": (1, 2, 4, 8, 16, 32, 64, 128),
+}
+
+
+def bounds_for(name: str) -> Tuple[float, ...]:
+    """The bucket upper bounds of one histogram family."""
+    return HISTOGRAM_BOUNDS.get(name, BUCKET_BOUNDS)
 
 #: Declared counter metrics: name -> help text.
 COUNTERS: Dict[str, str] = {
@@ -120,6 +134,17 @@ COUNTERS: Dict[str, str] = {
     "repro_provenance_store_writes_total": (
         "Verdict artifacts recorded into the provenance store."
     ),
+    "repro_prove_verdicts_total": (
+        "Symbolic equivalence proof attempts, by verdict "
+        "(proved, refuted, unknown)."
+    ),
+    "repro_lint_cache_hits_total": (
+        "Binding lint/prove lookups served from the content-keyed "
+        "cache, by kind."
+    ),
+    "repro_lint_cache_misses_total": (
+        "Binding lint/prove lookups that ran the checker, by kind."
+    ),
 }
 
 #: Declared gauge metrics: name -> help text.
@@ -128,12 +153,25 @@ GAUGES: Dict[str, str] = {
         "Fraction of the most recent batch's entries served from the "
         "provenance store (0.0 when the store was cold or disabled)."
     ),
+    "repro_lint_coverage_targets": (
+        "Lintable targets per catalog machine or language module, by "
+        "name and status; catalog-only stubs report 0 targets with "
+        "status no-descriptions instead of being absent."
+    ),
 }
 
 #: Declared histogram metrics: name -> help text.
 HISTOGRAMS: Dict[str, str] = {
     "repro_phase_seconds": (
         "Wall-clock duration of one instrumented phase (span), by phase."
+    ),
+    "repro_prove_term_nodes": (
+        "Term nodes interned per symbolic proof attempt (both "
+        "descriptions share one intern table)."
+    ),
+    "repro_prove_unroll_iterations": (
+        "Concrete loop iterations executed per symbolic proof attempt "
+        "across all bounded-unroll attempts."
     ),
 }
 
@@ -145,6 +183,7 @@ SPAN_PHASES: Tuple[str, ...] = (
     "compile",
     "replay",
     "match",
+    "prove",
     "verify",
     "shard",
     "batch",
@@ -158,19 +197,20 @@ def _label_key(labels: Mapping[str, str]) -> _LabelKey:
 
 
 class _Histogram:
-    """Bucketed duration accumulator with fixed bounds."""
+    """Bucketed value accumulator with fixed per-family bounds."""
 
-    __slots__ = ("buckets", "total", "count")
+    __slots__ = ("bounds", "buckets", "total", "count")
 
-    def __init__(self) -> None:
-        self.buckets: List[int] = [0] * (len(BUCKET_BOUNDS) + 1)
+    def __init__(self, bounds: Tuple[float, ...] = BUCKET_BOUNDS) -> None:
+        self.bounds = bounds
+        self.buckets: List[int] = [0] * (len(bounds) + 1)
         self.total = 0.0
         self.count = 0
 
     def observe(self, value: float) -> None:
         # ``le`` semantics: a value equal to a bound belongs to that
         # bound's bucket; values above the last bound go to +Inf.
-        self.buckets[bisect_left(BUCKET_BOUNDS, value)] += 1
+        self.buckets[bisect_left(self.bounds, value)] += 1
         self.total += value
         self.count += 1
 
@@ -224,7 +264,7 @@ class MetricsRegistry:
 
     # -- recording ------------------------------------------------------
 
-    def inc(self, name: str, value: int = 1, **labels: str) -> None:
+    def inc(self, name: str, value: int = 1, /, **labels: str) -> None:
         if name not in COUNTERS:
             raise ValueError("undeclared counter metric %r" % name)
         key = _label_key(labels)
@@ -232,14 +272,14 @@ class MetricsRegistry:
             series = self._counters.setdefault(name, {})
             series[key] = series.get(key, 0) + value
 
-    def gauge_set(self, name: str, value: float, **labels: str) -> None:
+    def gauge_set(self, name: str, value: float, /, **labels: str) -> None:
         if name not in GAUGES:
             raise ValueError("undeclared gauge metric %r" % name)
         key = _label_key(labels)
         with self._lock:
             self._gauges.setdefault(name, {})[key] = float(value)
 
-    def observe(self, name: str, value: float, **labels: str) -> None:
+    def observe(self, name: str, value: float, /, **labels: str) -> None:
         if name not in HISTOGRAMS:
             raise ValueError("undeclared histogram metric %r" % name)
         key = _label_key(labels)
@@ -247,7 +287,7 @@ class MetricsRegistry:
             series = self._histograms.setdefault(name, {})
             histogram = series.get(key)
             if histogram is None:
-                histogram = series[key] = _Histogram()
+                histogram = series[key] = _Histogram(bounds_for(name))
             histogram.observe(value)
 
     def span(self, phase: str, **labels: str) -> _Span:
@@ -312,7 +352,7 @@ class MetricsRegistry:
                 series = self._histograms.setdefault(name, {})
                 histogram = series.get(key)
                 if histogram is None:
-                    histogram = series[key] = _Histogram()
+                    histogram = series[key] = _Histogram(bounds_for(name))
                 incoming = list(sample["buckets"])
                 if len(incoming) != len(histogram.buckets):
                     raise ValueError(
@@ -406,7 +446,7 @@ def diff_snapshots(
 
 
 def counter_value(
-    snapshot: Mapping[str, object], name: str, **labels: str
+    snapshot: Mapping[str, object], name: str, /, **labels: str
 ) -> int:
     """Sum of a counter's samples matching ``labels`` (subset match)."""
     wanted = set(_label_key(labels))
@@ -420,7 +460,7 @@ def counter_value(
 
 
 def gauge_value(
-    snapshot: Mapping[str, object], name: str, **labels: str
+    snapshot: Mapping[str, object], name: str, /, **labels: str
 ) -> Optional[float]:
     """A gauge's value for exactly ``labels``, or None when unset."""
     wanted = _label_key(labels)

@@ -76,8 +76,15 @@ def verdict_key(
     seed: int,
     verify: bool,
     epoch: Optional[str] = None,
+    symbolic: bool = False,
 ) -> Dict[str, object]:
-    """The lookup key for one entry's memoized verdict."""
+    """The lookup key for one entry's memoized verdict.
+
+    ``symbolic`` is part of the key because the symbolic fast path
+    changes how a verdict was reached (a proved binding runs a reduced
+    confirmation window): a verdict computed one way must never answer
+    a lookup planned the other way.
+    """
     return {
         "schema": STORE_SCHEMA,
         "name": name,
@@ -88,6 +95,7 @@ def verdict_key(
         "trials": trials,
         "seed": seed,
         "verify": verify,
+        "symbolic": symbolic,
     }
 
 

@@ -1,0 +1,64 @@
+"""Symbolic bit-vector equivalence proving for ISDL descriptions.
+
+This package upgrades the reproduction's equivalence story from
+"sampled and never disagreed" to "proved, refuted with a replaying
+counterexample, or honestly unknown":
+
+* :mod:`repro.symbolic.terms` — the width-tracked bit-vector term
+  domain: hash-consed terms, a normalizing rewrite engine (linear
+  sums, comparison canonicalization, truncation elimination driven by
+  the lint interval domain, store/select simplification), and interval
+  refinement for path conditions;
+* :mod:`repro.symbolic.executor` — a bounded symbolic executor
+  mirroring the reference interpreter's semantics, with branch merging
+  via ``ite`` terms and loop handling by bounded unrolling plus
+  regular-loop summarization into uninterpreted summary applications;
+* :mod:`repro.symbolic.prover` — :func:`prove_binding`, which runs a
+  binding's two final descriptions over shared input variables and
+  compares the resulting terms; refutations are extracted as concrete
+  scenarios and validated by replaying them through the ordinary
+  differential-trial machinery.
+
+See ``docs/symbolic.md`` for the term domain, budgets, and verdict
+semantics, and DESIGN.md §10 for how the prover slots into the
+lint → prove → sample verification pipeline.
+"""
+
+from .executor import SymbolicExecutor, SymResult
+from .prover import (
+    PROVED,
+    REFUTED,
+    UNKNOWN,
+    VERDICTS,
+    ProveReport,
+    clear_prove_cache,
+    prove_binding,
+    replay_counterexample,
+)
+from .terms import (
+    BudgetExceeded,
+    SymbolicError,
+    Term,
+    TermBuilder,
+    Unsupported,
+    evaluate,
+)
+
+__all__ = [
+    "PROVED",
+    "REFUTED",
+    "UNKNOWN",
+    "VERDICTS",
+    "BudgetExceeded",
+    "ProveReport",
+    "SymResult",
+    "SymbolicError",
+    "SymbolicExecutor",
+    "Term",
+    "TermBuilder",
+    "Unsupported",
+    "clear_prove_cache",
+    "evaluate",
+    "prove_binding",
+    "replay_counterexample",
+]

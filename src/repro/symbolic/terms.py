@@ -1,0 +1,736 @@
+"""Width-tracked bit-vector terms for bounded symbolic execution.
+
+The prover's whole job is deciding whether two ISDL descriptions
+compute the *same function* of their free inputs.  The term domain is
+built so that equal functions normalize to the **same interned object**
+whenever the rewriter can see it:
+
+* terms are hash-consed in a per-:class:`TermBuilder` table, so
+  structural equality is pointer identity (two independently executed
+  descriptions that build ``Var(Len) - 1`` both hold the same object);
+* arithmetic normalizes into a linear-combination ``sum`` form
+  (constant plus coefficient-weighted terms, ordered by creation), so
+  ``a + b`` and ``b + a`` — or ``(x - 1) + 1`` and ``x`` — are one term;
+* width truncation (``trunc``) is *provisional*: an interval analysis
+  rides along with every term, and a truncation whose operand provably
+  fits the width is never materialized.  This is the one semantic gap
+  between a ``: integer`` operator variable and a ``<15:0>`` machine
+  register, so eliminating redundant masks is what turns
+  alpha-equivalent descriptions into identical terms;
+* memory is a store chain over a free array variable; ``select``
+  resolves through stores at identical or provably disjoint addresses.
+
+Loops summarize into uninterpreted ``loop(digest, index, args...)``
+applications (see :mod:`repro.symbolic.executor`); :func:`term_key`
+serializes terms with loop-local slot renaming so two alpha-equivalent
+loop bodies digest identically.
+
+Everything here is *bounded*: interning more than ``max_nodes`` terms
+raises :class:`BudgetExceeded`, which the prover reports as an honest
+``unknown`` verdict rather than a timeout.
+"""
+
+from __future__ import annotations
+
+import hashlib
+from contextlib import contextmanager
+from typing import Dict, Iterator, List, Mapping, Optional, Tuple
+
+from ..lint.intervals import FALSE as IV_FALSE
+from ..lint.intervals import TRUE as IV_TRUE
+from ..lint.intervals import Interval
+from ..lint.intervals import compare as interval_compare
+
+__all__ = [
+    "BudgetExceeded",
+    "SymbolicError",
+    "Term",
+    "TermBuilder",
+    "Unsupported",
+    "evaluate",
+    "term_key",
+]
+
+
+class SymbolicError(Exception):
+    """Base of every honest give-up in the symbolic layer.
+
+    Carries a one-line ``reason`` that surfaces in ``unknown`` verdicts
+    and W402 diagnostics.
+    """
+
+    def __init__(self, reason: str):
+        super().__init__(reason)
+        self.reason = reason
+
+
+class BudgetExceeded(SymbolicError):
+    """A term-node, statement, or unroll budget ran out."""
+
+
+class Unsupported(SymbolicError):
+    """The description uses a shape the executor does not model."""
+
+
+class Term:
+    """One interned node of the term DAG.
+
+    Identity *is* equality: the builder guarantees one object per
+    ``(kind, args)``, so ``a is b`` answers structural equality in
+    O(1).  ``serial`` is the creation index — a deterministic total
+    order used to canonicalize commutative operands.
+    """
+
+    __slots__ = ("kind", "args", "serial")
+
+    def __init__(self, kind: str, args: Tuple, serial: int):
+        self.kind = kind
+        self.args = args
+        self.serial = serial
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"Term#{self.serial}({self.kind}, {self.args!r})"
+
+
+#: Comparison negation, used when a branch condition is assumed false.
+_NEGATE = {"=": "<>", "<>": "=", "<": ">=", "<=": ">", ">": "<=", ">=": "<"}
+
+#: Symmetric comparison operators whose operands may be reordered.
+_SYMMETRIC = ("=", "<>")
+
+#: Three-valued truth of a term under the interval analysis.
+TRUE, FALSE, MAYBE = "TRUE", "FALSE", "MAYBE"
+
+
+def _intersect(a: Interval, b: Interval) -> Optional[Interval]:
+    """Intersection of two intervals, or ``None`` when empty.
+
+    :class:`~repro.lint.intervals.Interval` refuses to *construct* an
+    empty interval, so emptiness must be decided before building — this
+    is the single choke point where "refinement proves the path
+    infeasible" becomes observable.
+    """
+    lo = a.lo if b.lo is None else (b.lo if a.lo is None else max(a.lo, b.lo))
+    hi = a.hi if b.hi is None else (b.hi if a.hi is None else min(a.hi, b.hi))
+    if lo is not None and hi is not None and lo > hi:
+        return None
+    return Interval(lo, hi)
+
+
+class TermBuilder:
+    """Intern table, rewrite engine, and interval oracle for one prove.
+
+    One builder is shared by *both* sides of an equivalence query so
+    that their terms land in one intern table; the per-prove lifetime
+    keeps node budgets deterministic.
+    """
+
+    def __init__(self, max_nodes: int = 200_000):
+        self.max_nodes = max_nodes
+        self._interned: Dict[Tuple, Term] = {}
+        self._base: Dict[Term, Interval] = {}
+        self._refinements: List[Dict[Term, Interval]] = []
+        self._loop_serial = 0
+
+    # ------------------------------------------------------------------
+    # interning
+
+    @property
+    def node_count(self) -> int:
+        """Number of distinct terms interned so far."""
+        return len(self._interned)
+
+    def _intern(self, kind: str, args: Tuple) -> Term:
+        key = (kind, args)
+        term = self._interned.get(key)
+        if term is None:
+            if len(self._interned) >= self.max_nodes:
+                raise BudgetExceeded(
+                    f"term budget exceeded ({self.max_nodes} nodes)"
+                )
+            term = Term(kind, args, len(self._interned))
+            self._interned[key] = term
+        return term
+
+    def fresh_loop_serial(self) -> int:
+        """A new identity for one loop summarization pass's slots."""
+        self._loop_serial += 1
+        return self._loop_serial
+
+    # ------------------------------------------------------------------
+    # leaves
+
+    def const(self, value: int) -> Term:
+        return self._intern("const", (int(value),))
+
+    def var(self, name: str, interval: Optional[Interval] = None) -> Term:
+        term = self._intern("var", (name,))
+        if interval is not None:
+            self._base[term] = interval
+        return term
+
+    def memvar(self, name: str = "M0") -> Term:
+        """The free array variable standing for initial memory."""
+        return self._intern("memvar", (name,))
+
+    def slot(self, loop_serial: int, index, interval: Optional[Interval]) -> Term:
+        """A loop-carried value at iteration start (``index`` = canon
+        position of the written name, or ``"mem"``)."""
+        term = self._intern("slot", (loop_serial, index))
+        if interval is not None:
+            self._base[term] = interval
+        return term
+
+    def loopout(
+        self,
+        digest: str,
+        index,
+        args: Tuple[Term, ...],
+        interval: Optional[Interval] = None,
+    ) -> Term:
+        """The value of output ``index`` of a summarized loop."""
+        term = self._intern("loop", (digest, index) + tuple(args))
+        if interval is not None and term not in self._base:
+            self._base[term] = interval
+        return term
+
+    def value(self, term: Term) -> Optional[int]:
+        """The concrete value of a constant term, else ``None``."""
+        if term.kind == "const":
+            return term.args[0]
+        return None
+
+    # ------------------------------------------------------------------
+    # linear arithmetic
+
+    def _linear(self, term: Term) -> Tuple[int, Tuple[Tuple[Term, int], ...]]:
+        """``term`` as ``const + sum(coeff * part)`` (parts sorted)."""
+        if term.kind == "const":
+            return term.args[0], ()
+        if term.kind == "sum":
+            return term.args[0], term.args[1]
+        return 0, ((term, 1),)
+
+    def _make_sum(self, const: int, parts: Dict[Term, int]) -> Term:
+        live = [(t, c) for t, c in parts.items() if c != 0]
+        if not live:
+            return self.const(const)
+        live.sort(key=lambda pair: pair[0].serial)
+        if const == 0 and len(live) == 1 and live[0][1] == 1:
+            return live[0][0]
+        return self._intern("sum", (const, tuple(live)))
+
+    def add(self, a: Term, b: Term) -> Term:
+        ca, pa = self._linear(a)
+        cb, pb = self._linear(b)
+        parts: Dict[Term, int] = dict(pa)
+        for term, coeff in pb:
+            parts[term] = parts.get(term, 0) + coeff
+        return self._make_sum(ca + cb, parts)
+
+    def neg(self, a: Term) -> Term:
+        return self.scale(a, -1)
+
+    def sub(self, a: Term, b: Term) -> Term:
+        return self.add(a, self.neg(b))
+
+    def scale(self, a: Term, k: int) -> Term:
+        if k == 0:
+            return self.const(0)
+        c, pairs = self._linear(a)
+        return self._make_sum(c * k, {t: coeff * k for t, coeff in pairs})
+
+    def mul(self, a: Term, b: Term) -> Term:
+        va, vb = self.value(a), self.value(b)
+        if va is not None and vb is not None:
+            return self.const(va * vb)
+        if va is not None:
+            return self.scale(b, va)
+        if vb is not None:
+            return self.scale(a, vb)
+        if a.serial > b.serial:
+            a, b = b, a
+        return self._intern("mul", (a, b))
+
+    # ------------------------------------------------------------------
+    # comparisons and booleans
+
+    def cmp(self, op: str, a: Term, b: Term) -> Term:
+        va, vb = self.value(a), self.value(b)
+        if va is not None and vb is not None:
+            from ..semantics.values import apply_binop
+
+            return self.const(apply_binop(op, va, vb))
+        verdict = interval_compare(op, self.interval(a), self.interval(b))
+        if verdict == IV_TRUE:
+            return self.const(1)
+        if verdict == IV_FALSE:
+            return self.const(0)
+        if op in (">", ">="):
+            op = "<" if op == ">" else "<="
+            a, b = b, a
+        if op in _SYMMETRIC and a.serial > b.serial:
+            a, b = b, a
+        return self._intern("cmp", (op, a, b))
+
+    def ne0(self, term: Term) -> Term:
+        """Canonical 0/1 flag for a term's truthiness."""
+        value = self.value(term)
+        if value is not None:
+            return self.const(1 if value != 0 else 0)
+        interval = self.interval(term)
+        if (
+            interval.lo is not None
+            and interval.hi is not None
+            and 0 <= interval.lo
+            and interval.hi <= 1
+        ):
+            return term
+        return self.cmp("<>", term, self.const(0))
+
+    def not_(self, term: Term) -> Term:
+        value = self.value(term)
+        if value is not None:
+            return self.const(0 if value != 0 else 1)
+        if term.kind == "cmp":
+            op, a, b = term.args
+            return self.cmp(_NEGATE[op], a, b)
+        return self.cmp("=", term, self.const(0))
+
+    def and_(self, a: Term, b: Term) -> Term:
+        da, db = self.decide(a), self.decide(b)
+        if da == FALSE or db == FALSE:
+            return self.const(0)
+        if da == TRUE:
+            return self.ne0(b)
+        if db == TRUE:
+            return self.ne0(a)
+        return self.mul(self.ne0(a), self.ne0(b))
+
+    def or_(self, a: Term, b: Term) -> Term:
+        da, db = self.decide(a), self.decide(b)
+        if da == TRUE or db == TRUE:
+            return self.const(1)
+        if da == FALSE:
+            return self.ne0(b)
+        if db == FALSE:
+            return self.ne0(a)
+        return self.ne0(self.add(self.ne0(a), self.ne0(b)))
+
+    # ------------------------------------------------------------------
+    # width truncation
+
+    def trunc(self, bits: int, term: Term) -> Term:
+        value = self.value(term)
+        if value is not None:
+            return self.const(value & ((1 << bits) - 1))
+        if self.interval(term).fits_bits(bits):
+            return term
+        if term.kind == "trunc":
+            inner_bits, inner = term.args
+            if inner_bits <= bits:
+                return term
+            return self.trunc(bits, inner)
+        return self._intern("trunc", (bits, term))
+
+    # ------------------------------------------------------------------
+    # conditionals
+
+    def ite(self, cond: Term, then: Term, els: Term) -> Term:
+        if then is els:
+            return then
+        verdict = self.decide(cond)
+        if verdict == TRUE:
+            return then
+        if verdict == FALSE:
+            return els
+        return self._intern("ite", (cond, then, els))
+
+    # ------------------------------------------------------------------
+    # memory
+
+    def store(self, mem: Term, addr: Term, value: Term) -> Term:
+        # Memory.write masks to a byte; the mask is part of the store.
+        return self._intern("store", (mem, addr, self.trunc(8, value)))
+
+    def select(self, mem: Term, addr: Term) -> Term:
+        cursor = mem
+        while cursor.kind == "store":
+            base, stored_addr, stored_value = cursor.args
+            if stored_addr is addr:
+                return stored_value
+            if self._disjoint(addr, stored_addr):
+                cursor = base
+                continue
+            break
+        term = self._intern("select", (cursor, addr))
+        if term not in self._base:
+            self._base[term] = Interval(0, 255)
+        return term
+
+    def _disjoint(self, a: Term, b: Term) -> bool:
+        """True when two addresses provably never alias."""
+        ca, pa = self._linear(a)
+        cb, pb = self._linear(b)
+        if pa == pb:
+            return ca != cb
+        return self.interval(a).never_intersects(self.interval(b))
+
+    # ------------------------------------------------------------------
+    # interval oracle
+
+    def interval(self, term: Term) -> Interval:
+        return self._interval(term, {})
+
+    def _interval(self, term: Term, memo: Dict[Term, Interval]) -> Interval:
+        hit = memo.get(term)
+        if hit is not None:
+            return hit
+        result = None
+        for overlay in reversed(self._refinements):
+            result = overlay.get(term)
+            if result is not None:
+                break
+        if result is None:
+            result = self._structural_interval(term, memo)
+        memo[term] = result
+        return result
+
+    def _structural_interval(
+        self, term: Term, memo: Dict[Term, Interval]
+    ) -> Interval:
+        kind = term.kind
+        if kind == "const":
+            return Interval.const(term.args[0])
+        if kind in ("var", "slot", "loop", "select", "memvar", "store"):
+            return self._base.get(term, Interval.top())
+        if kind == "sum":
+            const, pairs = term.args
+            acc = Interval.const(const)
+            for part, coeff in pairs:
+                acc = acc.add(
+                    self._interval(part, memo).mul(Interval.const(coeff))
+                )
+            return acc
+        if kind == "mul":
+            a, b = term.args
+            return self._interval(a, memo).mul(self._interval(b, memo))
+        if kind == "cmp":
+            return Interval.boolean()
+        if kind == "ite":
+            _, then, els = term.args
+            return self._interval(then, memo).join(self._interval(els, memo))
+        if kind == "trunc":
+            return Interval.from_bits(term.args[0])
+        raise Unsupported(f"no interval for term kind {kind!r}")
+
+    def decide(self, term: Term) -> str:
+        """Three-valued truth of ``term`` under the current intervals."""
+        value = self.value(term)
+        if value is not None:
+            return TRUE if value != 0 else FALSE
+        interval = self.interval(term)
+        if (interval.lo is not None and interval.lo > 0) or (
+            interval.hi is not None and interval.hi < 0
+        ):
+            return TRUE
+        if interval.lo == 0 and interval.hi == 0:
+            return FALSE
+        return MAYBE
+
+    # ------------------------------------------------------------------
+    # path refinement
+
+    def refine(self, cond: Term, want_true: bool) -> Optional[Dict[Term, Interval]]:
+        """Interval overlay implied by assuming ``cond`` is true/false.
+
+        Returns ``None`` when the assumption is infeasible under the
+        current intervals (an empty interval would be required) — the
+        caller prunes that branch instead of executing it.
+        """
+        overlay: Dict[Term, Interval] = {}
+        self._refinements.append(overlay)
+        try:
+            feasible = self._refine(cond, want_true, overlay)
+        finally:
+            self._refinements.pop()
+        return overlay if feasible else None
+
+    def _refine(
+        self, term: Term, want_true: bool, overlay: Dict[Term, Interval]
+    ) -> bool:
+        value = self.value(term)
+        if value is not None:
+            return (value != 0) == want_true
+        if term.kind == "cmp":
+            op, a, b = term.args
+            if not want_true:
+                op = _NEGATE[op]
+            return self._refine_cmp(op, a, b, overlay)
+        if term.kind == "mul" and want_true:
+            # product != 0 iff both factors are nonzero.
+            a, b = term.args
+            return self._refine(a, True, overlay) and self._refine(
+                b, True, overlay
+            )
+        op = "<>" if want_true else "="
+        return self._refine_cmp(op, term, self.const(0), overlay)
+
+    def _narrow(
+        self, term: Term, bound: Interval, overlay: Dict[Term, Interval]
+    ) -> bool:
+        if term.kind == "const":
+            return _intersect(self.interval(term), bound) is not None
+        with self.refined(overlay):
+            current = self.interval(term)
+        narrowed = _intersect(current, bound)
+        if narrowed is None:
+            return False
+        overlay[term] = narrowed
+        return True
+
+    def _refine_cmp(
+        self, op: str, a: Term, b: Term, overlay: Dict[Term, Interval]
+    ) -> bool:
+        with self.refined(overlay):
+            ia, ib = self.interval(a), self.interval(b)
+        if op == "=":
+            meet = _intersect(ia, ib)
+            if meet is None:
+                return False
+            if not (self._narrow(a, meet, overlay) and self._narrow(b, meet, overlay)):
+                return False
+            # sum of non-negative parts equal to zero: every part is zero.
+            if (
+                meet.lo == 0
+                and meet.hi == 0
+                and a.kind == "sum"
+                and a.args[0] >= 0
+            ):
+                const, pairs = a.args
+                positive = all(coeff > 0 for _, coeff in pairs)
+                with self.refined(overlay):
+                    grounded = positive and all(
+                        self.interval(part).lo is not None
+                        and self.interval(part).lo >= 0
+                        for part, _ in pairs
+                    )
+                if grounded:
+                    if const != 0:
+                        return False
+                    for part, _ in pairs:
+                        if not self._refine(part, False, overlay):
+                            return False
+            return True
+        if op == "<>":
+            for one, other_iv in ((a, ib), (b, ia)):
+                if not other_iv.is_const():
+                    continue
+                pinned = other_iv.lo
+                with self.refined(overlay):
+                    current = self.interval(one)
+                lo, hi = current.lo, current.hi
+                if lo == pinned and hi == pinned:
+                    return False
+                if lo == pinned:
+                    lo = pinned + 1
+                elif hi == pinned:
+                    hi = pinned - 1
+                else:
+                    continue
+                if not self._narrow(one, Interval(lo, hi), overlay):
+                    return False
+            return True
+        if op == "<":
+            upper = Interval(None, ib.hi - 1) if ib.hi is not None else Interval.top()
+            lower = Interval(ia.lo + 1, None) if ia.lo is not None else Interval.top()
+        elif op == "<=":
+            upper = Interval(None, ib.hi) if ib.hi is not None else Interval.top()
+            lower = Interval(ia.lo, None) if ia.lo is not None else Interval.top()
+        elif op == ">":
+            return self._refine_cmp("<", b, a, overlay)
+        elif op == ">=":
+            return self._refine_cmp("<=", b, a, overlay)
+        else:  # pragma: no cover - parser limits the operator set
+            raise Unsupported(f"cannot refine comparison {op!r}")
+        return self._narrow(a, upper, overlay) and self._narrow(b, lower, overlay)
+
+    @contextmanager
+    def refined(self, overlay: Dict[Term, Interval]) -> Iterator[None]:
+        """Apply a refinement overlay for the duration of a block."""
+        self._refinements.append(overlay)
+        try:
+            yield
+        finally:
+            self._refinements.pop()
+
+    @contextmanager
+    def refinement_scope(self) -> Iterator[None]:
+        """Pop every refinement pushed inside the block on exit."""
+        depth = len(self._refinements)
+        try:
+            yield
+        finally:
+            del self._refinements[depth:]
+
+    def push_refinement(self, overlay: Dict[Term, Interval]) -> None:
+        """Add an ambient refinement (scoped by ``refinement_scope``)."""
+        self._refinements.append(overlay)
+
+
+# ---------------------------------------------------------------------------
+# canonical serialization
+
+
+def term_key(
+    term: Term,
+    rename: Optional[Dict[int, int]] = None,
+    memo: Optional[Dict[Term, str]] = None,
+) -> str:
+    """A canonical string for ``term``.
+
+    ``rename`` maps loop serials to dense indices in first-appearance
+    order, so two summaries built from alpha-equivalent loop bodies —
+    whose slots were interned under different serials — serialize
+    identically.  Share one ``rename``/``memo`` pair across all keys
+    that go into one digest.
+    """
+    if rename is None:
+        rename = {}
+    if memo is None:
+        memo = {}
+    return _serialize(term, rename, memo)
+
+
+def _serialize(term: Term, rename: Dict[int, int], memo: Dict[Term, str]) -> str:
+    hit = memo.get(term)
+    if hit is not None:
+        return hit
+    kind = term.kind
+    if kind == "const":
+        text = "c%d" % term.args[0]
+    elif kind == "var":
+        text = "v(%s)" % term.args[0]
+    elif kind == "memvar":
+        text = "(mem %s)" % term.args[0]
+    elif kind == "slot":
+        serial, index = term.args
+        canon = rename.setdefault(serial, len(rename))
+        text = "s%d:%s" % (canon, index)
+    elif kind == "sum":
+        const, pairs = term.args
+        text = "(+ %d %s)" % (
+            const,
+            " ".join(
+                "(%d %s)" % (coeff, _serialize(part, rename, memo))
+                for part, coeff in pairs
+            ),
+        )
+    elif kind == "mul":
+        a, b = term.args
+        text = "(* %s %s)" % (
+            _serialize(a, rename, memo),
+            _serialize(b, rename, memo),
+        )
+    elif kind == "cmp":
+        op, a, b = term.args
+        text = "(%s %s %s)" % (
+            op,
+            _serialize(a, rename, memo),
+            _serialize(b, rename, memo),
+        )
+    elif kind == "ite":
+        cond, then, els = term.args
+        text = "(ite %s %s %s)" % (
+            _serialize(cond, rename, memo),
+            _serialize(then, rename, memo),
+            _serialize(els, rename, memo),
+        )
+    elif kind == "trunc":
+        text = "(t%d %s)" % (term.args[0], _serialize(term.args[1], rename, memo))
+    elif kind == "store":
+        mem, addr, value = term.args
+        text = "(st %s %s %s)" % (
+            _serialize(mem, rename, memo),
+            _serialize(addr, rename, memo),
+            _serialize(value, rename, memo),
+        )
+    elif kind == "select":
+        mem, addr = term.args
+        text = "(sel %s %s)" % (
+            _serialize(mem, rename, memo),
+            _serialize(addr, rename, memo),
+        )
+    elif kind == "loop":
+        digest, index = term.args[0], term.args[1]
+        text = "(loop %s %s %s)" % (
+            digest,
+            index,
+            " ".join(_serialize(arg, rename, memo) for arg in term.args[2:]),
+        )
+    else:  # pragma: no cover - exhaustive over the builder's kinds
+        raise Unsupported(f"cannot serialize term kind {kind!r}")
+    memo[term] = text
+    return text
+
+
+def digest_keys(keys: List[str]) -> str:
+    """SHA-256 over an ordered list of canonical keys."""
+    payload = "\x1f".join(keys).encode("utf-8")
+    return hashlib.sha256(payload).hexdigest()
+
+
+# ---------------------------------------------------------------------------
+# concrete evaluation (tests and counterexample triage)
+
+
+def evaluate(
+    term: Term,
+    inputs: Mapping[str, int],
+    memory: Optional[Mapping[int, int]] = None,
+) -> int:
+    """Concretely evaluate a loop-free term.
+
+    ``inputs`` maps free-variable names to values; ``memory`` backs the
+    initial memory array.  Loop summaries and slots have no concrete
+    reading here — callers replay those through a real engine instead.
+    """
+    memory = memory or {}
+    memo: Dict[Term, object] = {}
+
+    def run(t: Term):
+        hit = memo.get(t)
+        if hit is not None:
+            return hit
+        kind = t.kind
+        if kind == "const":
+            result: object = t.args[0]
+        elif kind == "var":
+            result = int(inputs.get(t.args[0], 0))
+        elif kind == "memvar":
+            result = dict(memory)
+        elif kind == "sum":
+            const, pairs = t.args
+            result = const + sum(coeff * run(part) for part, coeff in pairs)
+        elif kind == "mul":
+            result = run(t.args[0]) * run(t.args[1])
+        elif kind == "cmp":
+            from ..semantics.values import apply_binop
+
+            result = apply_binop(t.args[0], run(t.args[1]), run(t.args[2]))
+        elif kind == "ite":
+            result = run(t.args[1]) if run(t.args[0]) != 0 else run(t.args[2])
+        elif kind == "trunc":
+            result = run(t.args[1]) & ((1 << t.args[0]) - 1)
+        elif kind == "store":
+            image = dict(run(t.args[0]))
+            image[run(t.args[1])] = run(t.args[2]) & 0xFF
+            result = image
+        elif kind == "select":
+            result = run(t.args[0]).get(run(t.args[1]), 0)
+        else:
+            raise Unsupported(f"cannot evaluate term kind {kind!r}")
+        memo[t] = result
+        return result
+
+    return run(term)

@@ -1,0 +1,75 @@
+"""Coverage reporting: catalog-only stub machines must be visible."""
+
+import json
+
+from repro.__main__ import main
+from repro.lint import lint_coverage
+
+
+class TestLintCoverage:
+    def test_every_catalog_machine_has_a_row(self):
+        from repro.machines import catalog
+
+        rows = lint_coverage()
+        machine_rows = {r["name"]: r for r in rows if r["kind"] == "machine"}
+        assert set(machine_rows) == set(catalog.MACHINE_KEYS)
+
+    def test_stub_machine_reports_no_descriptions(self):
+        rows = {r["name"]: r for r in lint_coverage()}
+        univac = rows["univac1100"]
+        assert univac["kind"] == "machine"
+        assert univac["status"] == "no-descriptions"
+        assert univac["targets"] == []
+
+    def test_modeled_machines_report_their_targets(self):
+        rows = {r["name"]: r for r in lint_coverage()}
+        assert rows["eclipse"]["status"] == "ok"
+        assert "eclipse:cmv" in rows["eclipse"]["targets"]
+        assert rows["i8086"]["status"] == "ok"
+        assert any(t.startswith("i8086:") for t in rows["i8086"]["targets"])
+
+    def test_language_modules_are_covered(self):
+        rows = {r["name"]: r for r in lint_coverage() if r["kind"] == "language"}
+        assert "pascal" in rows
+        assert "pascal:sassign" in rows["pascal"]["targets"]
+
+    def test_rows_are_stably_ordered(self):
+        assert lint_coverage() == lint_coverage()
+
+
+class TestCoverageCli:
+    def test_json_payload_carries_coverage(self, capsys):
+        assert main(["lint", "--all", "--format", "json"]) == 0
+        payload = json.loads(capsys.readouterr().out)
+        names = {row["name"] for row in payload["coverage"]}
+        assert "univac1100" in names
+
+    def test_text_mode_prints_stub_machines(self, capsys):
+        assert main(["lint", "--all"]) == 0
+        out = capsys.readouterr().out
+        assert "univac1100: no-descriptions" in out
+
+    def test_single_target_mode_omits_coverage(self, capsys):
+        assert main(["lint", "i8086:scasb", "--format", "json"]) == 0
+        payload = json.loads(capsys.readouterr().out)
+        assert "coverage" not in payload
+
+
+class TestStatsCoverageGauges:
+    def test_stats_sets_coverage_gauges(self):
+        from repro import api
+        from repro.analysis.config import RunConfig
+
+        stats = api.stats(["scasb_rigel"], RunConfig(trials=8))
+        assert (
+            stats.gauge(
+                "repro_lint_coverage_targets",
+                name="univac1100",
+                status="no-descriptions",
+            )
+            == 0
+        )
+        eclipse = stats.gauge(
+            "repro_lint_coverage_targets", name="eclipse", status="ok"
+        )
+        assert eclipse is not None and eclipse >= 1

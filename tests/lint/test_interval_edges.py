@@ -1,0 +1,131 @@
+"""Interval-domain edge cases the symbolic prover leans on.
+
+The prover's truncation elimination and path pruning are only as sound
+as :class:`repro.lint.intervals.Interval`: a wrong ``fits_bits`` at a
+width boundary would silently merge inequivalent descriptions, and a
+wrong emptiness decision would prune a feasible path.  These tests pin
+the boundary behaviour: full-width shifts (multiplication by powers of
+two), wrap-around at declared width boundaries, and empty-interval
+propagation through ``exit_when`` conditions.
+"""
+
+import pytest
+
+from repro.lint.intervals import FALSE, MAYBE, TRUE, Interval, compare
+from repro.symbolic import TermBuilder
+
+
+class TestFullWidthShifts:
+    """Multiplication by 2**k is ISDL's shift; widths must track it."""
+
+    def test_shift_fills_exactly_the_widened_width(self):
+        byte = Interval(0, 255)
+        shifted = byte.mul(Interval.const(256))
+        assert shifted == Interval(0, 255 * 256)
+        assert shifted.fits_bits(16)
+        assert not shifted.fits_bits(15)
+
+    def test_shift_out_of_declared_width(self):
+        byte = Interval(0, 255)
+        assert not byte.mul(Interval.const(2)).fits_bits(8)
+
+    def test_shift_by_full_width_keeps_zero_only(self):
+        assert Interval.const(0).mul(Interval.const(1 << 16)) == Interval.const(0)
+        assert Interval.const(0).fits_bits(1)
+
+    def test_open_interval_shift_stays_open(self):
+        top = Interval.top()
+        assert top.mul(Interval.const(256)) == top
+        assert not top.fits_bits(64)
+
+    def test_negative_scale_flips_bounds(self):
+        assert Interval(1, 3).mul(Interval.const(-2)) == Interval(-6, -2)
+
+    def test_trunc_drops_only_at_exact_width(self):
+        builder = TermBuilder()
+        exact = builder.var("a", Interval(0, 255))
+        over = builder.var("b", Interval(0, 256))
+        assert builder.trunc(8, exact) is exact
+        assert builder.trunc(8, over).kind == "trunc"
+
+
+class TestWrapAround:
+    """Values that cross a declared width boundary must not be merged
+    with their untruncated twins."""
+
+    def test_increment_at_the_top_of_the_width(self):
+        builder = TermBuilder()
+        x = builder.var("x", Interval(0, 255))
+        bumped = builder.add(x, builder.const(1))  # [1, 256]: may wrap
+        assert builder.trunc(8, bumped).kind == "trunc"
+
+    def test_decrement_at_zero_wraps(self):
+        builder = TermBuilder()
+        x = builder.var("x", Interval(0, 255))
+        dropped = builder.sub(x, builder.const(1))  # [-1, 254]: may wrap
+        assert builder.trunc(8, dropped).kind == "trunc"
+
+    def test_decrement_of_positive_range_does_not_wrap(self):
+        builder = TermBuilder()
+        x = builder.var("x", Interval(1, 255))
+        assert builder.trunc(8, builder.sub(x, builder.const(1))) is (
+            builder.sub(x, builder.const(1))
+        )
+
+    def test_fits_bits_boundaries(self):
+        assert Interval(0, 255).fits_bits(8)
+        assert not Interval(0, 256).fits_bits(8)
+        assert not Interval(-1, 0).fits_bits(8)
+        assert Interval(0, 0).fits_bits(1)
+        assert not Interval.top().fits_bits(64)
+
+    def test_from_bits_round_trips(self):
+        assert Interval.from_bits(8) == Interval(0, 255)
+        assert Interval.from_bits(None) == Interval.top()
+        assert Interval.from_bits(8).fits_bits(8)
+
+
+class TestEmptyIntervalPropagation:
+    """An empty refinement marks a path (or loop exit) infeasible; the
+    Interval class itself refuses to construct the empty interval, so
+    emptiness must surface as a *decision*, never a value."""
+
+    def test_empty_interval_cannot_be_constructed(self):
+        with pytest.raises(ValueError):
+            Interval(5, 3)
+
+    def test_exit_when_equality_outside_the_range_is_infeasible(self):
+        builder = TermBuilder()
+        counter = builder.var("cx", Interval(1, 8))
+        exit_cond = builder.cmp("=", counter, builder.const(0))
+        # The oracle decides the exit never fires on this range...
+        assert builder.value(exit_cond) == 0
+        # ...and assuming it anyway is an empty refinement.
+        fresh = TermBuilder()
+        undecided = fresh.var("cx", Interval(0, 8))
+        cond = fresh.cmp("=", undecided, fresh.const(9))
+        assert fresh.refine(cond, want_true=True) is None
+
+    def test_exit_when_narrows_the_fallthrough_range(self):
+        builder = TermBuilder()
+        counter = builder.var("cx", Interval(0, 8))
+        cond = builder.cmp("=", counter, builder.const(0))
+        overlay = builder.refine(cond, want_true=False)
+        assert overlay is not None
+        with builder.refined(overlay):
+            # Falling through `exit_when (cx = 0)` leaves cx in [1, 8];
+            # the successor decrement then provably cannot wrap.
+            assert builder.interval(counter).lo == 1
+            decremented = builder.sub(counter, builder.const(1))
+            assert builder.trunc(16, decremented) is decremented
+
+    def test_compare_three_valued_logic_at_boundaries(self):
+        assert compare("<", Interval(0, 4), Interval(5, 9)) == TRUE
+        assert compare("<", Interval(0, 5), Interval(5, 9)) == MAYBE
+        assert compare("=", Interval(0, 4), Interval(5, 9)) == FALSE
+        assert compare("=", Interval(4, 4), Interval(4, 4)) == TRUE
+
+    def test_never_intersects_is_strict(self):
+        assert Interval(0, 4).never_intersects(Interval(5, 9))
+        assert not Interval(0, 5).never_intersects(Interval(5, 9))
+        assert not Interval.top().never_intersects(Interval(5, 9))

@@ -1,0 +1,92 @@
+"""SARIF export: deterministic 2.1.0 documents for code scanning."""
+
+import json
+
+from repro.__main__ import main
+from repro.isdl import parse_description
+from repro.lint import export_sarif, lint_description, sarif_log
+from repro.lint.diagnostics import CODES, LintReport
+from repro.lint.sarif import SARIF_SCHEMA, SARIF_VERSION
+
+DIRTY_ISDL = """
+demo.instruction := begin
+    ** REGISTERS **
+        al<7:0>
+    ** EXECUTE **
+        demo.execute() := begin
+            input (al);
+            al <- 999;
+            output (al);
+        end
+end
+"""
+
+
+def dirty_report():
+    description = parse_description(DIRTY_ISDL)
+    report = lint_description(description, target="demo.isdl")
+    assert not report.clean, "fixture must be dirty"
+    return report
+
+
+class TestSarifDocument:
+    def test_schema_and_version_are_pinned(self):
+        log = sarif_log([dirty_report()])
+        assert log["version"] == SARIF_VERSION == "2.1.0"
+        assert log["$schema"] == SARIF_SCHEMA
+        assert len(log["runs"]) == 1
+
+    def test_rules_cover_every_registered_code(self):
+        log = sarif_log([])
+        rules = log["runs"][0]["tool"]["driver"]["rules"]
+        assert [rule["id"] for rule in rules] == sorted(CODES)
+        for rule in rules:
+            assert rule["shortDescription"]["text"] == CODES[rule["id"]]
+            expected = "error" if rule["id"].startswith("E") else "warning"
+            assert rule["defaultConfiguration"]["level"] == expected
+
+    def test_results_carry_location_and_level(self):
+        log = sarif_log([dirty_report()])
+        results = log["runs"][0]["results"]
+        assert results, "dirty report must produce results"
+        for result in results:
+            assert result["ruleId"] in CODES
+            assert result["level"] in ("error", "warning")
+            location = result["locations"][0]["physicalLocation"]
+            assert location["artifactLocation"]["uri"] == "demo.isdl"
+            assert location["region"]["startLine"] >= 1
+
+    def test_suppressed_findings_become_suppressions(self):
+        dirty = dirty_report()
+        report = LintReport(
+            target="demo.isdl",
+            diagnostics=(),
+            suppressed=tuple(
+                (d, "known fixture") for d in dirty.diagnostics
+            ),
+        )
+        results = sarif_log([report])["runs"][0]["results"]
+        assert results
+        for result in results:
+            (suppression,) = result["suppressions"]
+            assert suppression["justification"] == "known fixture"
+
+    def test_export_is_deterministic_json(self):
+        text = export_sarif([dirty_report()])
+        assert json.loads(text)["version"] == "2.1.0"
+        assert text == export_sarif([dirty_report()])
+
+
+class TestSarifCli:
+    def test_dirty_file_exits_1_with_valid_sarif(self, tmp_path, capsys):
+        path = tmp_path / "demo.isdl"
+        path.write_text(DIRTY_ISDL)
+        assert main(["lint", str(path), "--format", "sarif"]) == 1
+        payload = json.loads(capsys.readouterr().out)
+        assert payload["version"] == "2.1.0"
+        assert payload["runs"][0]["results"]
+
+    def test_clean_target_exits_0_with_empty_results(self, capsys):
+        assert main(["lint", "i8086:scasb", "--format", "sarif"]) == 0
+        payload = json.loads(capsys.readouterr().out)
+        assert payload["runs"][0]["results"] == []

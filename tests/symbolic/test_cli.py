@@ -1,0 +1,56 @@
+"""CLI surface for the prover: ``repro prove`` and ``lint --symbolic``."""
+
+import json
+
+from repro.__main__ import main
+
+
+class TestProveCommand:
+    def test_single_name_text(self, capsys):
+        assert main(["prove", "scasb_rigel"]) == 0
+        out = capsys.readouterr().out
+        assert "proved" in out
+        assert "scasb_rigel" in out
+        assert "1/1 proved" in out
+
+    def test_json_payload(self, capsys):
+        assert main(["prove", "movsb_pascal", "scasb_rigel", "--json"]) == 0
+        payload = json.loads(capsys.readouterr().out)
+        assert payload["schema"] == "repro.prove/1"
+        assert payload["seed"] == 1982
+        assert payload["summary"]["proved"] == 2
+        assert payload["summary"]["refuted"] == 0
+        names = {result["name"] for result in payload["results"]}
+        assert names == {"movsb_pascal", "scasb_rigel"}
+
+    def test_skipped_entries_are_reported(self, capsys):
+        assert main(["prove", "srl_listsearch"]) == 0
+        out = capsys.readouterr().out
+        assert "skipped" in out
+
+    def test_no_names_is_usage_error(self, capsys):
+        assert main(["prove"]) == 2
+
+    def test_unknown_name_is_usage_error(self, capsys):
+        assert main(["prove", "no_such_analysis"]) == 2
+
+    def test_seed_is_recorded(self, capsys):
+        assert main(["prove", "movsb_pascal", "--seed", "7", "--json"]) == 0
+        payload = json.loads(capsys.readouterr().out)
+        assert payload["seed"] == 7
+
+
+class TestLintSymbolicFlag:
+    def test_symbolic_rows_appear(self, capsys):
+        assert main(["lint", "i8086:movsb", "--symbolic"]) == 0
+        out = capsys.readouterr().out
+        assert "binding:" in out
+
+    def test_verify_symbolic_flag(self, capsys):
+        assert (
+            main(["verify", "movsb_pascal", "--trials", "40", "--symbolic"])
+            == 0
+        )
+        out = capsys.readouterr().out
+        # The confirmation window ran instead of the full sweep.
+        assert "verified=16" in out

@@ -1,0 +1,173 @@
+"""Executor-vs-interpreter tests: the symbolic run must agree with the
+reference interpreter on every concrete point of its input domain.
+
+Each test symbolically executes a small parsed description with free
+input variables, then concretely evaluates the resulting terms on
+sample points and compares against :func:`repro.semantics.interpreter\
+.run_description` on the same points.
+"""
+
+import pytest
+
+from repro.isdl import parse_description
+from repro.lint.intervals import Interval
+from repro.semantics import run_description
+from repro.symbolic import SymbolicExecutor, TermBuilder, evaluate
+
+
+def make(body, regs="x<7:0>, y<15:0>, cx<15:0>"):
+    return parse_description(
+        f"""
+        t.op := begin
+            ** S **
+                {regs}
+            ** P **
+                t.execute() := begin
+                    {body}
+                end
+        end
+        """
+    )
+
+
+def agree(desc, points, *, bounds):
+    """Symbolic outputs must evaluate to the interpreter's outputs."""
+    builder = TermBuilder()
+    env = {
+        name: builder.var(name, Interval(lo, hi))
+        for name, (lo, hi) in bounds.items()
+    }
+    result = SymbolicExecutor(desc, builder).run(env)
+    for inputs in points:
+        expected = run_description(desc, inputs).outputs
+        got = tuple(evaluate(term, inputs) for term in result.outputs)
+        assert got == expected, f"diverged on {inputs}"
+    return result
+
+
+class TestLoopFree:
+    def test_arithmetic(self):
+        desc = make("input (x); y <- x * 3 + 2; output (y, y - x);")
+        agree(
+            desc,
+            [{"x": 0}, {"x": 5}, {"x": 255}],
+            bounds={"x": (0, 255)},
+        )
+
+    def test_branch_merges_into_ite(self):
+        desc = make(
+            "input (x);"
+            " if x < 10 then y <- x + 1; else y <- x - 1; end_if;"
+            " output (y);"
+        )
+        result = agree(
+            desc,
+            [{"x": 0}, {"x": 9}, {"x": 10}, {"x": 200}],
+            bounds={"x": (0, 255)},
+        )
+        assert result.outputs[0].kind == "ite"
+
+    def test_infeasible_branch_is_pruned(self):
+        desc = make(
+            "input (x);"
+            " if x < 10 then y <- 1; else y <- 2; end_if;"
+            " output (y);"
+        )
+        builder = TermBuilder()
+        env = {"x": builder.var("x", Interval(0, 5))}
+        result = SymbolicExecutor(desc, builder).run(env)
+        # x < 10 always holds on [0, 5]: no ite, just the then-arm.
+        assert builder.value(result.outputs[0]) == 1
+
+    def test_register_truncation_on_store(self):
+        desc = make("input (x); x <- x + 1; output (x);")
+        agree(desc, [{"x": 255}, {"x": 0}], bounds={"x": (0, 255)})
+
+    def test_memory_roundtrip(self):
+        desc = make("input (x); Mb[ 20 ] <- x; output (Mb[ 20 ]);")
+        agree(desc, [{"x": 0}, {"x": 77}], bounds={"x": (0, 255)})
+
+    def test_concrete_inputs_fold_to_constants(self):
+        desc = make("input (x); output (x + x);")
+        builder = TermBuilder()
+        result = SymbolicExecutor(desc, builder).run({"x": builder.const(21)})
+        assert builder.value(result.outputs[0]) == 42
+
+
+class TestLoops:
+    def test_constant_counter_unrolls(self):
+        desc = make(
+            "input (x); cx <- 3;"
+            " repeat exit_when (cx = 0); x <- x + 2; cx <- cx - 1; end_repeat;"
+            " output (x, cx);"
+        )
+        executor_result = agree(
+            desc, [{"x": 4}, {"x": 250}], bounds={"x": (0, 253)}
+        )
+        builder = TermBuilder()
+        executor = SymbolicExecutor(desc, builder)
+        executor.run({"x": builder.var("x", Interval(0, 200))})
+        assert executor.max_unroll_depth >= 3
+        assert executor_result.outputs[1].kind == "const"
+
+    def test_statement_budget_is_honest(self):
+        desc = make(
+            "input (x); cx <- 50;"
+            " repeat exit_when (cx = 0); cx <- cx - 1; end_repeat;"
+            " output (cx);"
+        )
+        builder = TermBuilder()
+        from repro.symbolic import BudgetExceeded
+
+        with pytest.raises(BudgetExceeded):
+            SymbolicExecutor(desc, builder, max_stmts=5).run(
+                {"x": builder.var("x", Interval(0, 255))}
+            )
+
+    def test_alpha_equivalent_loops_summarize_identically(self):
+        body_a = (
+            "input (cx); x <- 0;"
+            " repeat exit_when (cx = 0); x <- x + 1; cx <- cx - 1; end_repeat;"
+            " output (x);"
+        )
+        # Same loop modulo register naming (y for x).
+        body_b = (
+            "input (cx); y <- 0;"
+            " repeat exit_when (cx = 0); y <- y + 1; cx <- cx - 1; end_repeat;"
+            " output (y);"
+        )
+        builder = TermBuilder()
+        count = builder.var("cx", Interval(0, 64))
+        result_a = SymbolicExecutor(make(body_a), builder).run({"cx": count})
+        result_b = SymbolicExecutor(make(body_b), builder).run({"cx": count})
+        assert result_a.outputs == result_b.outputs
+
+    def test_different_strides_summarize_differently(self):
+        body_a = (
+            "input (cx); x <- 0;"
+            " repeat exit_when (cx = 0); x <- x + 1; cx <- cx - 1; end_repeat;"
+            " output (x);"
+        )
+        body_b = body_a.replace("x <- x + 1", "x <- x + 2")
+        builder = TermBuilder()
+        count = builder.var("cx", Interval(0, 64))
+        result_a = SymbolicExecutor(make(body_a), builder).run({"cx": count})
+        result_b = SymbolicExecutor(make(body_b), builder).run({"cx": count})
+        assert result_a.outputs != result_b.outputs
+
+
+class TestExitWhenRefinement:
+    def test_exit_condition_narrows_fallthrough_state(self):
+        # After `exit_when (x = 0)` falls through, x is provably
+        # nonzero: the executor unrolling relies on empty-interval
+        # propagation to decide the exit on the next pass.
+        desc = make(
+            "input (x); cx <- 1;"
+            " repeat exit_when (cx = 0); cx <- cx - 1; end_repeat;"
+            " output (cx);"
+        )
+        builder = TermBuilder()
+        result = SymbolicExecutor(desc, builder).run(
+            {"x": builder.var("x", Interval(0, 255))}
+        )
+        assert builder.value(result.outputs[0]) == 0

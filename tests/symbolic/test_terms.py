@@ -1,0 +1,214 @@
+"""Term-domain tests: interning, normalization, intervals, budgets.
+
+The prover's soundness rests on two properties pinned here: (1) the
+rewrite engine only merges terms that denote equal functions (checked
+by concretely evaluating both shapes), and (2) every give-up is an
+exception, never a silently wrong term.
+"""
+
+import pytest
+
+from repro.lint.intervals import Interval
+from repro.symbolic import BudgetExceeded, TermBuilder, evaluate
+from repro.symbolic.terms import term_key
+
+
+@pytest.fixture()
+def b():
+    return TermBuilder()
+
+
+class TestInterning:
+    def test_structural_equality_is_identity(self, b):
+        x = b.var("x")
+        assert b.add(x, b.const(1)) is b.add(b.const(1), x)
+
+    def test_distinct_terms_are_distinct(self, b):
+        assert b.add(b.var("x"), b.const(1)) is not b.add(b.var("x"), b.const(2))
+
+    def test_node_count_tracks_interned_terms(self, b):
+        before = b.node_count
+        b.add(b.var("x"), b.const(1))
+        assert b.node_count > before
+        after = b.node_count
+        b.add(b.var("x"), b.const(1))  # fully memoized
+        assert b.node_count == after
+
+
+class TestLinearNormalization:
+    def test_add_then_subtract_cancels(self, b):
+        x = b.var("x")
+        assert b.add(b.sub(x, b.const(1)), b.const(1)) is x
+
+    def test_doubling_equals_scaling(self, b):
+        x = b.var("x")
+        assert b.add(x, x) is b.scale(x, 2)
+
+    def test_constant_folding(self, b):
+        assert b.value(b.add(b.const(3), b.const(4))) == 7
+        assert b.value(b.mul(b.const(3), b.const(4))) == 12
+
+    def test_multiplication_distributes_over_sums(self, b):
+        x = b.var("x")
+        lhs = b.mul(b.const(2), b.add(x, b.const(1)))
+        rhs = b.add(b.scale(x, 2), b.const(2))
+        assert lhs is rhs
+
+    def test_sum_evaluates_correctly(self, b):
+        x, y = b.var("x"), b.var("y")
+        term = b.add(b.scale(x, 3), b.sub(y, b.const(5)))
+        assert evaluate(term, {"x": 7, "y": 2}) == 3 * 7 + 2 - 5
+
+
+class TestComparisons:
+    def test_gt_canonicalizes_to_lt(self, b):
+        x, y = b.var("x"), b.var("y")
+        assert b.cmp(">", x, y) is b.cmp("<", y, x)
+
+    def test_symmetric_operands_ordered(self, b):
+        x, y = b.var("x"), b.var("y")
+        assert b.cmp("=", y, x) is b.cmp("=", x, y)
+
+    def test_interval_decides_comparison(self, b):
+        x = b.var("x", Interval(1, 5))
+        assert b.value(b.cmp(">", x, b.const(0))) == 1
+        assert b.value(b.cmp("=", x, b.const(9))) == 0
+
+    def test_undecided_comparison_stays_symbolic(self, b):
+        x = b.var("x", Interval(0, 5))
+        term = b.cmp("=", x, b.const(3))
+        assert term.kind == "cmp"
+        assert evaluate(term, {"x": 3}) == 1
+        assert evaluate(term, {"x": 4}) == 0
+
+    def test_not_negates_comparison_in_place(self, b):
+        x = b.var("x", Interval(0, 5))
+        term = b.cmp("<", x, b.const(3))
+        assert b.not_(term) is b.cmp(">=", x, b.const(3))
+
+
+class TestTruncation:
+    def test_fitting_interval_drops_the_mask(self, b):
+        x = b.var("x", Interval(0, 255))
+        assert b.trunc(8, x) is x
+
+    def test_boundary_overflow_keeps_the_mask(self, b):
+        x = b.var("x", Interval(0, 256))
+        assert b.trunc(8, x).kind == "trunc"
+
+    def test_constant_truncates(self, b):
+        assert b.value(b.trunc(8, b.const(300))) == 44
+
+    def test_nested_trunc_collapses_to_narrowest(self, b):
+        x = b.var("x")
+        assert b.trunc(8, b.trunc(16, x)) is b.trunc(8, x)
+        assert b.trunc(16, b.trunc(8, x)) is b.trunc(8, x)
+
+    def test_trunc_evaluates_as_mask(self, b):
+        x = b.var("x")
+        assert evaluate(b.trunc(8, x), {"x": 300}) == 300 & 0xFF
+
+
+class TestMemory:
+    def test_select_of_store_at_same_address(self, b):
+        mem, addr = b.memvar(), b.var("a")
+        value = b.var("v", Interval(0, 255))
+        assert b.select(b.store(mem, addr, value), addr) is value
+
+    def test_select_reaches_through_disjoint_store(self, b):
+        mem = b.memvar()
+        stored = b.store(mem, b.const(10), b.var("v"))
+        read = b.select(stored, b.const(20))
+        assert read is b.select(mem, b.const(20))
+
+    def test_select_blocks_on_possible_alias(self, b):
+        mem = b.memvar()
+        stored = b.store(mem, b.var("a"), b.var("v"))
+        read = b.select(stored, b.var("other"))
+        assert read.kind == "select"
+        assert read.args[0] is stored
+
+    def test_store_masks_value_to_a_byte(self, b):
+        mem = b.memvar()
+        stored = b.store(mem, b.const(0), b.const(300))
+        assert b.value(stored.args[2]) == 44
+
+    def test_store_select_evaluate(self, b):
+        mem = b.memvar()
+        image = b.store(b.store(mem, b.const(1), b.const(7)), b.const(2), b.const(9))
+        assert evaluate(b.select(image, b.const(1)), {}, {1: 3}) == 7
+        assert evaluate(b.select(image, b.const(5)), {}, {5: 3}) == 3
+
+
+class TestIte:
+    def test_equal_arms_collapse(self, b):
+        x = b.var("x", Interval(0, 5))
+        cond = b.cmp("=", x, b.const(3))
+        assert b.ite(cond, x, x) is x
+
+    def test_decided_condition_selects_arm(self, b):
+        x = b.var("x", Interval(1, 5))
+        then, els = b.var("t"), b.var("e")
+        assert b.ite(b.cmp(">", x, b.const(0)), then, els) is then
+        assert b.ite(b.cmp("<", x, b.const(0)), then, els) is els
+
+    def test_ite_evaluates_by_condition(self, b):
+        x = b.var("x", Interval(0, 9))
+        term = b.ite(b.cmp("<", x, b.const(5)), b.const(1), b.const(2))
+        assert evaluate(term, {"x": 3}) == 1
+        assert evaluate(term, {"x": 7}) == 2
+
+
+class TestBudget:
+    def test_node_budget_raises(self):
+        tiny = TermBuilder(max_nodes=4)
+        with pytest.raises(BudgetExceeded):
+            for i in range(10):
+                tiny.const(i)
+
+    def test_memoized_terms_do_not_consume_budget(self):
+        tiny = TermBuilder(max_nodes=2)
+        for _ in range(10):
+            tiny.const(1)  # one node, interned once
+        assert tiny.node_count == 1
+
+
+class TestSerialization:
+    def test_slot_rename_gives_alpha_equivalent_keys(self, b):
+        iv = Interval(0, 255)
+        first = b.slot(b.fresh_loop_serial(), 0, iv)
+        second = b.slot(b.fresh_loop_serial(), 0, iv)
+        assert first is not second
+        assert term_key(first) == term_key(second)
+
+    def test_shared_rename_keeps_slots_distinct(self, b):
+        serial_a, serial_b = b.fresh_loop_serial(), b.fresh_loop_serial()
+        rename, memo = {}, {}
+        key_a = term_key(b.slot(serial_a, 0, None), rename, memo)
+        key_b = term_key(b.slot(serial_b, 0, None), rename, memo)
+        assert key_a != key_b
+
+    def test_keys_are_deterministic(self, b):
+        x = b.var("x")
+        term = b.add(b.scale(x, 2), b.const(1))
+        assert term_key(term) == term_key(term)
+
+
+class TestRefinement:
+    def test_equality_pins_the_variable(self, b):
+        x = b.var("x", Interval(0, 9))
+        overlay = b.refine(b.cmp("=", x, b.const(3)), want_true=True)
+        assert overlay is not None
+        with b.refined(overlay):
+            assert b.interval(x).lo == 3 and b.interval(x).hi == 3
+
+    def test_infeasible_assumption_returns_none(self, b):
+        x = b.var("x", Interval(1, 2))
+        assert b.refine(b.cmp("=", x, b.const(5)), want_true=True) is None
+
+    def test_false_branch_refines_complement(self, b):
+        x = b.var("x", Interval(0, 9))
+        overlay = b.refine(b.cmp("<", x, b.const(5)), want_true=False)
+        assert overlay is not None
+        with b.refined(overlay):
+            assert b.interval(x).lo == 5
