@@ -9,6 +9,8 @@ Usage::
     python -m repro trace scasb_rigel      # print the recorded derivation
     python -m repro replay --all           # re-check derivations (drift gate)
     python -m repro stats --format prom    # instrumented run -> metrics
+    python -m repro serve --port 8137      # analysis-as-a-service (HTTP/JSON)
+    python -m repro loadtest --clients 8   # load-test it -> BENCH_service.json
     python -m repro lint --all             # static-check every description
     python -m repro prove --all            # symbolic equivalence verdicts
     python -m repro figures                # regenerate figures 2-5
@@ -102,6 +104,16 @@ def _default_cache_dir():
     return os.environ.get(STORE_ENV_VAR) or DEFAULT_STORE_DIR
 
 
+def _add_store_backend(parser, default="dir") -> None:
+    parser.add_argument(
+        "--store-backend",
+        choices=["dir", "sqlite"],
+        default=default,
+        help="provenance store layout: one-file-per-artifact tree or a "
+        "single WAL database (default: %(default)s)",
+    )
+
+
 def cmd_batch(args) -> int:
     from . import api
 
@@ -116,6 +128,7 @@ def cmd_batch(args) -> int:
         jobs=args.jobs,
         timeout=args.timeout,
         cache_dir=cache_dir,
+        store_backend=args.store_backend,
     )
     try:
         with _metrics_scope(args.metrics_out):
@@ -214,6 +227,7 @@ def cmd_stats(args) -> int:
             trials=args.trials,
             seed=args.seed,
             cache_dir=cache_dir,
+            store_backend=args.store_backend,
         )
         try:
             result = api.stats(args.names or None, config)
@@ -270,7 +284,11 @@ def cmd_trace(args) -> int:
     if not args.no_cache:
         cache_dir = args.cache_dir or _default_cache_dir()
     try:
-        result = api.trace(args.name, cache_dir=cache_dir)
+        result = api.trace(
+            args.name,
+            cache_dir=cache_dir,
+            store_backend=None if cache_dir is None else args.store_backend,
+        )
     except api.UnknownAnalysisError as error:
         print(str(error), file=sys.stderr)
         return 2
@@ -296,7 +314,9 @@ def cmd_replay(args) -> int:
         cache_dir = args.cache_dir or _default_cache_dir()
     try:
         result = api.replay(
-            None if args.all else args.names, cache_dir=cache_dir
+            None if args.all else args.names,
+            cache_dir=cache_dir,
+            store_backend=None if cache_dir is None else args.store_backend,
         )
     except api.UnknownAnalysisError as error:
         print(str(error), file=sys.stderr)
@@ -488,6 +508,69 @@ def cmd_prove(args) -> int:
     return 1 if counts["refuted"] else 0
 
 
+def cmd_serve(args) -> int:
+    import asyncio
+
+    from .service import AnalysisService, ServiceConfig
+
+    cache_dir = None
+    if not args.no_cache:
+        cache_dir = args.cache_dir or _default_cache_dir()
+    config = ServiceConfig(
+        host=args.host,
+        port=args.port,
+        queue_limit=args.queue_limit,
+        request_timeout=args.timeout or None,
+        cache_dir=cache_dir,
+        store_backend=args.store_backend,
+        jobs=args.jobs,
+        trials=args.trials,
+    )
+    service = AnalysisService(config)
+
+    async def _serve() -> None:
+        await service.start()
+        print(
+            "repro service on http://%s:%d (store: %s, backend: %s)"
+            % (
+                config.host,
+                service.port,
+                cache_dir or "<disabled>",
+                config.store_backend,
+            ),
+            flush=True,
+        )
+        try:
+            await service.serve_forever()
+        finally:
+            await service.stop()
+
+    try:
+        asyncio.run(_serve())
+    except KeyboardInterrupt:
+        pass
+    return 0
+
+
+def cmd_loadtest(args) -> int:
+    from .service import run_loadtest
+
+    report = run_loadtest(
+        args.url,
+        clients=args.clients,
+        requests_per_client=args.requests,
+        trials=args.trials,
+        store_backend=args.store_backend,
+        cache_dir=args.cache_dir,
+        out=args.out,
+    )
+    if args.json:
+        print(report.to_json())
+    else:
+        print("\n".join(report.summary_lines()))
+    return 0 if not report.errors else 1
+
+
 def cmd_figures(_args) -> int:
     from .analyses.scasb_rigel import INFO, augment_scasb, simplify_scasb
     from .analysis import AnalysisSession
@@ -644,6 +727,7 @@ def main(argv=None) -> int:
         action="store_true",
         help="disable the provenance cache; replay and verify everything",
     )
+    _add_store_backend(p_batch)
     p_batch.add_argument(
         "--metrics-out",
         default=None,
@@ -668,6 +752,7 @@ def main(argv=None) -> int:
         action="store_true",
         help="ignore stored traces; record a fresh derivation",
     )
+    _add_store_backend(p_trace)
 
     p_replay = sub.add_parser(
         "replay", help="re-apply recorded derivations with digest checks"
@@ -686,6 +771,7 @@ def main(argv=None) -> int:
         action="store_true",
         help="ignore stored traces; self-check fresh derivations",
     )
+    _add_store_backend(p_replay)
 
     p_verify = sub.add_parser(
         "verify", help="differentially verify named analyses"
@@ -783,6 +869,78 @@ def main(argv=None) -> int:
         action="store_true",
         help="disable the provenance cache for the instrumented run",
     )
+    _add_store_backend(p_stats)
+
+    p_serve = sub.add_parser(
+        "serve", help="run the analysis service (asyncio HTTP/JSON)"
+    )
+    p_serve.add_argument("--host", default="127.0.0.1")
+    p_serve.add_argument(
+        "--port", type=int, default=8137, help="0 binds an ephemeral port"
+    )
+    p_serve.add_argument(
+        "--cache-dir",
+        default=None,
+        help="provenance store root (default: $REPRO_CACHE_DIR or .repro-cache)",
+    )
+    p_serve.add_argument(
+        "--no-cache",
+        action="store_true",
+        help="serve without a provenance store (every request re-runs)",
+    )
+    _add_store_backend(p_serve, default="sqlite")
+    p_serve.add_argument(
+        "--queue-limit",
+        type=int,
+        default=8,
+        help="concurrent analysis requests before 429 backpressure",
+    )
+    p_serve.add_argument(
+        "--timeout",
+        type=float,
+        default=60.0,
+        help="per-request timeout in seconds (504 past it); 0 disables",
+    )
+    p_serve.add_argument(
+        "--jobs",
+        type=int,
+        default=1,
+        help="default batch parallelism (request bodies may override)",
+    )
+    p_serve.add_argument(
+        "--trials", type=int, default=120, help="default verification trials"
+    )
+
+    p_loadtest = sub.add_parser(
+        "loadtest", help="load-test the analysis service"
+    )
+    p_loadtest.add_argument(
+        "--url",
+        default=None,
+        help="target service URL (default: hermetic in-process server)",
+    )
+    p_loadtest.add_argument("--clients", type=int, default=8)
+    p_loadtest.add_argument(
+        "--requests", type=int, default=25, help="requests per client"
+    )
+    p_loadtest.add_argument(
+        "--trials", type=int, default=12, help="verification trials per batch"
+    )
+    _add_store_backend(p_loadtest, default="sqlite")
+    p_loadtest.add_argument(
+        "--cache-dir",
+        default=None,
+        help="hermetic mode store root (default: a temporary directory)",
+    )
+    p_loadtest.add_argument(
+        "--out",
+        default=None,
+        metavar="FILE",
+        help="write the BENCH_service.json payload here",
+    )
+    p_loadtest.add_argument(
+        "--json", action="store_true", help="print the JSON payload"
+    )
 
     sub.add_parser("list", help="list available analyses")
 
@@ -852,6 +1010,8 @@ def main(argv=None) -> int:
         "verify": cmd_verify,
         "bench": cmd_bench,
         "stats": cmd_stats,
+        "serve": cmd_serve,
+        "loadtest": cmd_loadtest,
         "list": cmd_list,
         "lint": cmd_lint,
         "prove": cmd_prove,

@@ -52,6 +52,13 @@ class RunConfig:
     #: replays its concrete counterexample as the failing trial, and an
     #: *unknown* verdict falls back to the full differential sweep.
     symbolic: bool = False
+    #: provenance-store storage backend under ``cache_dir``: ``"dir"``
+    #: (the historical one-file-per-artifact tree, the default — all
+    #: PR 4-7 behaviour and stored digests unchanged) or ``"sqlite"``
+    #: (one WAL database, safe for many concurrent processes — what
+    #: the analysis service runs on).  Verdict keys do not mention the
+    #: backend, so reports are byte-identical across backends.
+    store_backend: str = "dir"
 
     def resolve_engine(self, gate: Optional[str] = None) -> ExecutionEngine:
         """The concrete engine this plan runs on."""

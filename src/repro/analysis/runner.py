@@ -12,10 +12,12 @@ This module turns the one-shot replay into a service-shaped pipeline:
 * the catalog is decomposed into *jobs* — one replay job per analysis
   plus, for verified analyses, one job per contiguous *shard* of its
   randomized trials (:func:`shard_plan`);
-* jobs run on a :class:`concurrent.futures.ProcessPoolExecutor` with a
-  configurable worker count and per-job timeout, and every job returns
-  a structured success/failure record instead of aborting the batch on
-  the first exception;
+* jobs run on the *persistent* process pool shared with the analysis
+  service (:mod:`repro.analysis.pool`) with a configurable worker
+  count and per-job timeout, and every job returns a structured
+  success/failure record instead of aborting the batch on the first
+  exception; the pool outlives the batch, so back-to-back pooled runs
+  reuse live, cache-warm workers instead of re-forking;
 * shard seeds derive deterministically from the single root seed (see
   :func:`repro.semantics.randomgen.derive_seed`), so scenario ``i`` is
   the same machine state whether it runs in shard 0 of 1 or shard 3 of
@@ -99,6 +101,12 @@ class ShardSpec:
     engine: str = DEFAULT_ENGINE
     #: run the symbolic prove-then-sample fast path in each shard.
     symbolic: bool = False
+    #: collect a metrics delta for this job even when the executing
+    #: process has no fork-inherited registry.  Set by the pool path at
+    #: submission time: a *persistent* pool's workers may predate the
+    #: parent's ``obs.collecting()`` window, so worker-side collection
+    #: must be requested explicitly rather than inherited by fork.
+    collect: bool = False
 
 
 @dataclass
@@ -415,6 +423,13 @@ def execute_shard(spec: ShardSpec) -> Dict[str, object]:
     started = time.perf_counter()
     misses_before = _cache_miss_count()
     registry = obs.active()
+    local_collect = None
+    if registry is None and spec.collect:
+        # A persistent-pool worker forked before collection was turned
+        # on in the parent: install a job-local registry so the delta
+        # this shard produces still rides the record back.
+        local_collect = obs.collecting()
+        registry = local_collect.__enter__()
     metrics_before = registry.snapshot() if registry is not None else None
     record: Dict[str, object] = {
         "name": spec.name,
@@ -474,6 +489,8 @@ def execute_shard(spec: ShardSpec) -> Dict[str, object]:
         record["metrics"] = diff_snapshots(
             metrics_before, registry.snapshot()
         )
+    if local_collect is not None:
+        local_collect.__exit__(None, None, None)
     return record
 
 
@@ -664,7 +681,16 @@ def _run_pool(
     jobs: int,
     timeout: Optional[float],
 ) -> Dict[Tuple[str, int], Optional[Dict[str, object]]]:
-    """Execute ``specs`` on a process pool with per-job timeouts.
+    """Execute ``specs`` on the persistent process pool with timeouts.
+
+    The pool comes from :mod:`repro.analysis.pool` and **outlives this
+    call**: the first pooled batch spawns it, later batches reuse it —
+    together with every parse/compile/replay cache its workers have
+    warmed.  When a fresh pool is spawned, the parent's caches are
+    preloaded *before* the first submission so the lazily forked
+    workers inherit them copy-on-write (:func:`preload_caches`); a
+    reused pool skips the preload — its workers are already warm (or
+    will replay on demand, memoized per process).
 
     Submission is throttled to the number of free worker slots, so a
     job's dispatch time is (to within scheduler noise) the time its
@@ -673,26 +699,50 @@ def _run_pool(
 
     A running process task cannot be preempted: a job that misses its
     deadline is recorded as timed out and its worker slot is written
-    off (the abandoned worker keeps running until process teardown; the
-    pool is shut down without waiting on it).  Jobs that can no longer
-    be scheduled because every slot has been written off are reported
-    as timed out too.  A worker crash breaks the whole pool, so the
-    crashed job and all still-unfinished jobs are recorded with a
-    distinct ``BrokenProcessPool`` error, never as timeouts.
+    off (the abandoned worker keeps running; the pool is *invalidated*
+    at the end, so the next pooled run starts fresh).  Jobs that can
+    no longer be scheduled because every slot has been written off are
+    reported as timed out too.  A worker crash breaks the whole pool,
+    so the crashed job and all still-unfinished jobs are recorded with
+    a distinct ``BrokenProcessPool`` error, never as timeouts — and
+    the broken pool is likewise invalidated rather than reused.
     """
+    import dataclasses
+
+    from .pool import get_pool
+
+    manager = get_pool()
+    pool, fresh = manager.acquire(jobs)
+    if fresh:
+        preload_caches(specs)
+    # A persistent pool's workers may have forked before this run's
+    # metrics window opened, so worker-side collection is requested
+    # per job instead of relying on fork-inherited registries.
+    collect = obs.enabled()
     records: Dict[Tuple[str, int], Optional[Dict[str, object]]] = {}
     queue = list(specs)
     pending: Dict[concurrent.futures.Future, Tuple[ShardSpec, float]] = {}
     abandoned = 0  # slots held by timed-out jobs that cannot be preempted
     broken = False
-    pool = concurrent.futures.ProcessPoolExecutor(max_workers=jobs)
     try:
         while queue or pending:
             while queue and not broken and len(pending) < jobs - abandoned:
                 spec = queue.pop(0)
+                job = (
+                    dataclasses.replace(spec, collect=True)
+                    if collect and not spec.collect
+                    else spec
+                )
                 try:
-                    future = pool.submit(execute_shard, spec)
-                except concurrent.futures.process.BrokenProcessPool:
+                    future = pool.submit(execute_shard, job)
+                except (
+                    RuntimeError,
+                    concurrent.futures.process.BrokenProcessPool,
+                ):
+                    # BrokenProcessPool: a worker died.  RuntimeError:
+                    # the executor was shut down underneath us (e.g. a
+                    # concurrent invalidation).  Either way this pool
+                    # cannot take more work.
                     broken = True
                     records[(spec.name, spec.offset)] = _error_record(
                         spec, _BROKEN_POOL_ERROR
@@ -746,7 +796,11 @@ def _run_pool(
                         abandoned += 1
                     records[(spec.name, spec.offset)] = None
     finally:
-        pool.shutdown(wait=False, cancel_futures=True)
+        if broken or abandoned:
+            # Damaged pools are never reused: a crash poisons the
+            # executor and an abandoned worker is still chewing on a
+            # timed-out job.  The next pooled run spawns fresh.
+            manager.invalidate(pool)
     return records
 
 
@@ -780,9 +834,13 @@ def run_batch(
 
     ``engine`` selects the verification substrate (see
     :mod:`repro.semantics.engine`); the JSON report is byte-identical
-    across engines by construction.  In parallel mode the parse and
-    compile caches are warmed in the parent before the pool forks, so
-    workers start hot (:func:`preload_caches`).
+    across engines by construction.  Parallel mode draws workers from
+    the persistent pool (:mod:`repro.analysis.pool`): the first pooled
+    run warms the parent's parse and compile caches before the pool's
+    workers fork (:func:`preload_caches`), and later runs reuse the
+    live workers — and their accumulated caches — outright.  A run
+    fully served from the verdict store schedules no jobs and touches
+    no pool at all, whatever ``jobs`` says.
 
     ``cache_dir`` names a provenance store root and turns on the
     incremental mode: entries whose verdict key is already memoized
@@ -823,7 +881,7 @@ def run_batch(
         if cfg.cache_dir is not None:
             from ..provenance import TraceStore, code_epoch
 
-            store = TraceStore(cfg.cache_dir)
+            store = TraceStore(cfg.cache_dir, backend=cfg.store_backend)
             epoch = code_epoch()
             for entry in entries:
                 key = entry_verdict_key(
@@ -855,11 +913,14 @@ def run_batch(
         )
         _clear_replay_cache()
         records: Dict[Tuple[str, int], Optional[Dict[str, object]]] = {}
-        if cfg.jobs == 1:
+        if cfg.jobs == 1 or not specs:
+            # Serial runs never construct a pool, and neither does a
+            # pooled run whose every entry was served from the verdict
+            # store — a warm request must not pay for process spin-up
+            # it will not use (the spawn counter stays flat).
             for spec in specs:
                 records[(spec.name, spec.offset)] = execute_shard(spec)
         else:
-            preload_caches(specs)
             records = _run_pool(specs, cfg.jobs, cfg.timeout)
             if obs.enabled():
                 # Pool workers mutated *their* registries, not ours:

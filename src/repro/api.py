@@ -345,17 +345,24 @@ def trace(
     name: str,
     *,
     cache_dir=None,
+    store_backend: Optional[str] = None,
 ) -> Optional[TraceResult]:
     """The recorded derivation for ``name``, or None if there is none.
 
     Prefers the provenance store (``cache_dir``; pass None to skip the
     store and always re-derive) and falls back to recording a fresh
-    derivation, mirroring ``repro trace``.
+    derivation, mirroring ``repro trace``.  ``store_backend`` picks the
+    storage layout under ``cache_dir`` (``"dir"``/``"sqlite"``); None
+    auto-detects from what is on disk.
     """
     from .provenance import TraceStore, trace_for
 
     _module_for(name)
-    store = None if cache_dir is None else TraceStore(cache_dir)
+    store = (
+        None
+        if cache_dir is None
+        else TraceStore(cache_dir, backend=store_backend)
+    )
     recorded, origin = trace_for(store, name)
     if recorded is None:
         return None
@@ -397,6 +404,7 @@ def replay(
     names: Optional[Sequence[str]] = None,
     *,
     cache_dir=None,
+    store_backend: Optional[str] = None,
 ) -> ReplayResult:
     """Re-apply recorded derivations step by step with digest checks.
 
@@ -404,12 +412,18 @@ def replay(
     ``cache_dir``) are checked against the *current* code and input
     descriptions, so any drift since recording surfaces as a failed
     entry — this is the drift gate behind ``repro replay``.
+    ``store_backend`` picks the storage layout under ``cache_dir``
+    (``"dir"``/``"sqlite"``); None auto-detects from what is on disk.
     """
     from .provenance import TraceStore, replay_analysis, trace_for
     from .transform import ReplayDivergenceError, TransformError
 
     entries = resolve_names(names)
-    store = None if cache_dir is None else TraceStore(cache_dir)
+    store = (
+        None
+        if cache_dir is None
+        else TraceStore(cache_dir, backend=store_backend)
+    )
     verdicts: List[ReplayEntry] = []
     for entry in entries:
         module = importlib.import_module(f"repro.analyses.{entry.name}")

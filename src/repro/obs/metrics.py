@@ -145,6 +145,23 @@ COUNTERS: Dict[str, str] = {
     "repro_lint_cache_misses_total": (
         "Binding lint/prove lookups that ran the checker, by kind."
     ),
+    "repro_pool_spawn_total": (
+        "Persistent worker pools (re)spawned: a fresh set of worker "
+        "processes came up because none existed, the previous pool was "
+        "too small, or it was invalidated after a timeout or crash."
+    ),
+    "repro_pool_reuse_total": (
+        "Pooled batch runs served by an already-running persistent "
+        "worker pool (no process spin-up)."
+    ),
+    "repro_service_requests_total": (
+        "HTTP requests completed by the analysis service, by endpoint "
+        "and status code."
+    ),
+    "repro_service_rejected_total": (
+        "HTTP requests rejected with 429 because the service's bounded "
+        "request queue was full, by endpoint."
+    ),
 }
 
 #: Declared gauge metrics: name -> help text.
@@ -172,6 +189,10 @@ HISTOGRAMS: Dict[str, str] = {
     "repro_prove_unroll_iterations": (
         "Concrete loop iterations executed per symbolic proof attempt "
         "across all bounded-unroll attempts."
+    ),
+    "repro_service_request_seconds": (
+        "Wall-clock duration of one admitted service request from "
+        "admission to response, by endpoint."
     ),
 }
 

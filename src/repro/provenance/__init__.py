@@ -25,6 +25,15 @@ from .schema import (
     canonical_json,
     strip_durations,
 )
+from .backend import (
+    BACKENDS,
+    DirBackend,
+    SqliteBackend,
+    StoreBackend,
+    StoreBackendError,
+    detect_backend,
+    make_backend,
+)
 from .replay import replay_analysis, stored_trace, trace_for
 from .store import (
     DEFAULT_STORE_DIR,
@@ -32,6 +41,7 @@ from .store import (
     STORE_SCHEMA,
     TraceStore,
     code_epoch,
+    migrate_store,
     verdict_key,
 )
 
@@ -44,10 +54,18 @@ __all__ = [
     "analysis_trace_digest",
     "canonical_json",
     "strip_durations",
+    "BACKENDS",
     "DEFAULT_STORE_DIR",
+    "DirBackend",
     "STORE_ENV_VAR",
     "STORE_SCHEMA",
+    "SqliteBackend",
+    "StoreBackend",
+    "StoreBackendError",
     "TraceStore",
     "code_epoch",
+    "detect_backend",
+    "make_backend",
+    "migrate_store",
     "verdict_key",
 ]

@@ -1,6 +1,8 @@
 """Content-addressed provenance store.
 
-Layout (all JSON, all atomic tmp-file + rename writes)::
+Logical layout (the ``dir`` backend's on-disk shape; the ``sqlite``
+backend stores the same records in one WAL database — see
+:mod:`repro.provenance.backend`)::
 
     <root>/
       objects/<aa>/<digest[2:]>.json   content-addressed artifacts
@@ -9,7 +11,7 @@ Layout (all JSON, all atomic tmp-file + rename writes)::
 
 *Objects* are immutable verdict artifacts: the full two-sided analysis
 trace, the JSON-ready result fields the batch report needs, and the
-key that produced them.  An object's file name is the SHA-256 of its
+key that produced them.  An object's name is the SHA-256 of its
 canonical JSON, so equal artifacts coincide and a corrupted artifact
 is detectable by re-hashing.
 
@@ -21,6 +23,11 @@ conservatively invalidates every cached verdict), and the
 verification plan (engine identity, trials, seed, verify flag).
 ``repro batch`` looks a key up before planning any work: a hit skips
 both transformation replay and verification for that entry.
+
+The storage backend is **not** part of the verdict key: a verdict is
+the same verdict wherever it is stored, which is why a dir store and
+a sqlite store answer identical lookups with identical artifacts (and
+why a batch report is byte-identical across backends).
 """
 
 from __future__ import annotations
@@ -28,12 +35,18 @@ from __future__ import annotations
 import hashlib
 import json
 import os
-import tempfile
 from functools import lru_cache
 from pathlib import Path
 from typing import Dict, Optional
 
 from .. import obs
+from .backend import (
+    BACKENDS,
+    StoreBackend,
+    detect_backend,
+    make_backend,
+    migrate_backend,
+)
 from .schema import canonical_json
 
 #: Version tag for stored verdict artifacts; bump to orphan old caches.
@@ -103,49 +116,48 @@ def _digest_text(text: str) -> str:
     return hashlib.sha256(text.encode("utf-8")).hexdigest()
 
 
-def _atomic_write(path: Path, text: str) -> None:
-    path.parent.mkdir(parents=True, exist_ok=True)
-    fd, tmp_name = tempfile.mkstemp(
-        dir=str(path.parent), prefix=".tmp-", suffix=".json"
-    )
-    try:
-        with os.fdopen(fd, "w", encoding="utf-8") as handle:
-            handle.write(text)
-        os.replace(tmp_name, str(path))
-    except BaseException:
-        try:
-            os.unlink(tmp_name)
-        except OSError:
-            pass
-        raise
-
-
 class TraceStore:
-    """Content-addressed store of verdict artifacts under one root."""
+    """Content-addressed store of verdict artifacts under one root.
 
-    def __init__(self, root: os.PathLike):
+    ``backend`` selects the storage substrate (see
+    :data:`~repro.provenance.backend.BACKENDS`): ``"dir"`` is the
+    historical directory tree, ``"sqlite"`` one WAL database shared
+    safely by many processes.  ``None`` auto-detects — a root holding
+    a ``store.sqlite`` file opens as sqlite, anything else (including
+    a fresh root) as dir — so existing stores keep working unflagged.
+    """
+
+    def __init__(self, root: os.PathLike, backend: Optional[str] = None):
         self.root = Path(root)
+        resolved = backend if backend is not None else detect_backend(root)
+        self._backend: StoreBackend = make_backend(resolved, self.root)
+
+    @property
+    def backend_name(self) -> str:
+        """The active backend's registered name."""
+        return self._backend.name
+
+    def close(self) -> None:
+        """Release backend resources (sqlite connections; dir: no-op)."""
+        self._backend.close()
 
     # -- raw objects ----------------------------------------------------
 
     def _object_path(self, digest: str) -> Path:
+        """Dir-backend object location (test/debug support)."""
         return self.root / "objects" / digest[:2] / f"{digest[2:]}.json"
 
     def put_object(self, payload: Dict[str, object]) -> str:
         """Store a JSON payload; returns its content digest."""
         text = canonical_json(payload)
         digest = _digest_text(text)
-        path = self._object_path(digest)
-        if not path.exists():
-            _atomic_write(path, text)
+        self._backend.put_object(digest, text)
         return digest
 
     def get_object(self, digest: str) -> Optional[Dict[str, object]]:
         """Load an object, or None when absent or corrupted."""
-        path = self._object_path(digest)
-        try:
-            text = path.read_text(encoding="utf-8")
-        except OSError:
+        text = self._backend.get_object_text(digest)
+        if text is None:
             return None
         try:
             return json.loads(text)
@@ -154,33 +166,39 @@ class TraceStore:
 
     # -- the verdict index ----------------------------------------------
 
+    def _key_digest(self, key: Dict[str, object]) -> str:
+        return _digest_text(canonical_json(key))
+
     def _key_path(self, key: Dict[str, object]) -> Path:
-        key_digest = _digest_text(canonical_json(key))
-        return self.root / "index" / "keys" / f"{key_digest}.json"
+        """Dir-backend key-pointer location (test/debug support)."""
+        return self.root / "index" / "keys" / f"{self._key_digest(key)}.json"
 
     def _name_path(self, name: str) -> Path:
+        """Dir-backend by-name-pointer location (test/debug support)."""
         return self.root / "index" / "by-name" / f"{name}.json"
 
     def record_verdict(
         self, key: Dict[str, object], payload: Dict[str, object]
     ) -> str:
-        """Store an artifact and index it by key and analysis name."""
+        """Store an artifact and index it by key and analysis name.
+
+        The object lands before any pointer names it (no reader can
+        follow a pointer to a missing artifact), and both pointers go
+        to the backend as one group — atomically together on sqlite,
+        individually atomic last-writer-wins on dir.
+        """
         obs.inc("repro_provenance_store_writes_total")
         digest = self.put_object(payload)
-        pointer = canonical_json({"object": digest})
-        _atomic_write(self._key_path(key), pointer)
+        pointers = [("key", self._key_digest(key), digest)]
         name = key.get("name")
         if isinstance(name, str) and name:
-            _atomic_write(self._name_path(name), pointer)
+            pointers.append(("name", name, digest))
+        self._backend.set_pointers(pointers)
         return digest
 
-    def _resolve(self, pointer_path: Path) -> Optional[Dict[str, object]]:
-        try:
-            pointer = json.loads(pointer_path.read_text(encoding="utf-8"))
-        except (OSError, json.JSONDecodeError):
-            return None
-        digest = pointer.get("object")
-        if not isinstance(digest, str):
+    def _resolve(self, kind: str, name: str) -> Optional[Dict[str, object]]:
+        digest = self._backend.get_pointer(kind, name)
+        if digest is None:
             return None
         return self.get_object(digest)
 
@@ -188,12 +206,12 @@ class TraceStore:
         self, key: Dict[str, object]
     ) -> Optional[Dict[str, object]]:
         """The memoized artifact for a key, or None (a cache miss)."""
-        payload = self._resolve(self._key_path(key))
+        payload = self._resolve("key", self._key_digest(key))
         if payload is None:
             obs.inc("repro_provenance_store_misses_total")
             return None
-        # Defence in depth: the pointer file is mutable state, so
-        # re-check that the artifact really answers this key.
+        # Defence in depth: the pointer is mutable state, so re-check
+        # that the artifact really answers this key.
         if payload.get("key") != key:
             obs.inc("repro_provenance_store_misses_total")
             return None
@@ -202,11 +220,34 @@ class TraceStore:
 
     def latest_for(self, name: str) -> Optional[Dict[str, object]]:
         """The most recently recorded artifact for an analysis name."""
-        return self._resolve(self._name_path(name))
+        return self._resolve("name", name)
 
     def names(self):
         """All analysis names with a by-name pointer, sorted."""
-        directory = self.root / "index" / "by-name"
-        if not directory.is_dir():
-            return []
-        return sorted(path.stem for path in directory.glob("*.json"))
+        return self._backend.pointer_names("name")
+
+
+def migrate_store(
+    source: TraceStore, target: TraceStore
+) -> int:
+    """Copy ``source``'s full contents into ``target``.
+
+    The canonical dir→sqlite migration path: every content-addressed
+    object and every index pointer carries over, so the target answers
+    exactly the lookups the source did — warm verdicts stay warm and
+    ``repro replay`` digests are unchanged.  Returns the number of
+    objects copied.
+    """
+    return migrate_backend(source._backend, target._backend)
+
+
+__all__ = [
+    "BACKENDS",
+    "DEFAULT_STORE_DIR",
+    "STORE_ENV_VAR",
+    "STORE_SCHEMA",
+    "TraceStore",
+    "code_epoch",
+    "migrate_store",
+    "verdict_key",
+]

@@ -1,0 +1,123 @@
+"""The persistent worker pool: reuse, respawn, and the no-pool paths."""
+
+import pytest
+
+from repro import obs
+from repro.analysis.config import RunConfig
+from repro.analysis.pool import PersistentPool, get_pool, shutdown_pool
+from repro.analysis.runner import run_batch
+
+NAMES = ["scasb_rigel", "movsb_pascal"]
+
+
+@pytest.fixture(autouse=True)
+def fresh_global_pool():
+    """Each test starts and ends with no live global pool."""
+    shutdown_pool()
+    yield
+    shutdown_pool()
+
+
+def counters(registry):
+    snapshot = registry.snapshot()
+    return (
+        obs.counter_value(snapshot, "repro_pool_spawn_total"),
+        obs.counter_value(snapshot, "repro_pool_reuse_total"),
+    )
+
+
+class TestPersistentPool:
+    def test_first_acquire_spawns(self):
+        pool = PersistentPool()
+        with obs.collecting() as registry:
+            executor, fresh = pool.acquire(2)
+            assert fresh
+            assert pool.workers == 2
+            assert counters(registry) == (1, 0)
+        pool.shutdown()
+
+    def test_second_acquire_reuses(self):
+        pool = PersistentPool()
+        with obs.collecting() as registry:
+            first, _ = pool.acquire(2)
+            second, fresh = pool.acquire(2)
+            assert second is first and not fresh
+            third, fresh = pool.acquire(1)  # smaller demand also fits
+            assert third is first and not fresh
+            assert counters(registry) == (1, 2)
+        pool.shutdown()
+
+    def test_larger_demand_respawns(self):
+        pool = PersistentPool()
+        with obs.collecting() as registry:
+            first, _ = pool.acquire(1)
+            second, fresh = pool.acquire(2)
+            assert fresh and second is not first
+            assert pool.workers == 2
+            assert counters(registry) == (2, 0)
+        pool.shutdown()
+
+    def test_invalidate_forces_fresh_spawn(self):
+        pool = PersistentPool()
+        executor, _ = pool.acquire(2)
+        pool.invalidate(executor)
+        assert pool.workers == 0
+        replacement, fresh = pool.acquire(2)
+        assert fresh and replacement is not executor
+        pool.shutdown()
+
+    def test_invalidate_spares_newer_pool(self):
+        pool = PersistentPool()
+        stale, _ = pool.acquire(1)
+        current, _ = pool.acquire(2)  # respawned: ``stale`` is gone
+        pool.invalidate(stale)
+        live, fresh = pool.acquire(2)
+        assert live is current and not fresh
+        pool.shutdown()
+
+    def test_acquire_rejects_zero_workers(self):
+        pool = PersistentPool()
+        with pytest.raises(ValueError):
+            pool.acquire(0)
+
+
+class TestRunnerIntegration:
+    def test_serial_run_never_touches_pool(self, tmp_path):
+        with obs.collecting() as registry:
+            run_batch(
+                names=NAMES,
+                config=RunConfig(jobs=1, trials=6, cache_dir=tmp_path),
+            )
+            assert counters(registry) == (0, 0)
+        assert get_pool().workers == 0
+
+    def test_warm_pooled_run_skips_pool(self, tmp_path):
+        config = RunConfig(jobs=2, trials=6, cache_dir=tmp_path)
+        with obs.collecting() as registry:
+            run_batch(names=NAMES, config=config)  # cold: spawns
+            assert counters(registry) == (1, 0)
+            report = run_batch(names=NAMES, config=config)  # warm: no pool
+            assert counters(registry) == (1, 0)
+        assert report.cache_hits == len(NAMES)
+
+    def test_cold_pooled_runs_reuse_one_pool(self, tmp_path):
+        with obs.collecting() as registry:
+            for seed in (3, 4, 5):
+                run_batch(
+                    names=NAMES,
+                    config=RunConfig(
+                        jobs=2, trials=6, seed=seed, cache_dir=tmp_path
+                    ),
+                )
+            spawned, reused = counters(registry)
+            assert spawned == 1
+            assert reused == 2
+
+    def test_pooled_and_serial_reports_agree(self, tmp_path):
+        serial = run_batch(
+            names=NAMES, config=RunConfig(jobs=1, trials=6)
+        ).to_json()
+        pooled = run_batch(
+            names=NAMES, config=RunConfig(jobs=2, trials=6)
+        ).to_json()
+        assert serial == pooled

@@ -210,3 +210,66 @@ def test_design_doc_covers_observability_layer():
         "repro_provenance_hit_rate",
     ):
         assert needle in text, needle
+
+
+def test_service_docs_cover_every_endpoint():
+    from repro.service.server import ENDPOINTS
+
+    text = (DOCS / "service.md").read_text()
+    for endpoint in ENDPOINTS:
+        assert f"`/{endpoint}`" in text, endpoint
+
+
+def test_service_docs_cover_contracts_and_bench_schema():
+    from repro.service.loadtest import BENCH_SCHEMA
+
+    text = (DOCS / "service.md").read_text()
+    for needle in (
+        "repro serve",
+        "repro loadtest",
+        "`429` +\n`Retry-After: 1`",
+        "`504`",
+        "--queue-limit",
+        "--timeout",
+        f"`{BENCH_SCHEMA}`",
+        "BENCH_service.json",
+        "repro_pool_spawn_total",
+        "repro_pool_reuse_total",
+        "repro_service_rejected_total",
+        "PersistentPool",
+    ):
+        assert needle in text, needle
+
+
+def test_provenance_docs_cover_storage_backends():
+    from repro.provenance.backend import BACKENDS, SQLITE_FILENAME
+
+    text = (DOCS / "provenance.md").read_text()
+    assert "## Storage backends" in text
+    for backend in BACKENDS:
+        assert f"**`{backend}`**" in text, backend
+    for needle in (
+        f"`{SQLITE_FILENAME}`",
+        "--store-backend {dir,sqlite}",
+        "migrate_store",
+        "byte-identical across backends",
+    ):
+        assert needle in text, needle
+
+
+def test_design_doc_covers_service_layer():
+    design = DOCS.parent / "DESIGN.md"
+    text = design.read_text()
+    assert "## 11. Analysis as a service" in text
+    for needle in (
+        "PersistentPool",
+        "StoreBackend",
+        "repro_pool_spawn_total",
+        "repro_pool_reuse_total",
+        "`429`",
+        "`504`",
+        "BENCH_service.json",
+        "docs/service.md",
+        "docs/provenance.md",
+    ):
+        assert needle in text, needle
