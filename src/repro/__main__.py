@@ -16,6 +16,7 @@ Usage::
     python -m repro figures                # regenerate figures 2-5
     python -m repro failures               # the documented failures
     python -m repro compile i8086          # demo codegen + simulation
+    python -m repro machines --format json # spec-derived machine registry
     python -m repro list                   # available analyses
 
 Every subcommand that *runs* things is a thin wrapper over the typed
@@ -238,6 +239,49 @@ def cmd_stats(args) -> int:
         print(result.to_prometheus(), end="")
     else:
         print(result.to_json())
+    return 0
+
+
+def cmd_machines(args) -> int:
+    from . import api
+    from .analysis import format_table
+
+    result = api.machines()
+    if args.format == "json":
+        print(result.to_json())
+        return 0
+    rows = []
+    for info in result.machines:
+        iterated = info.cost["iterated"]
+        rows.append(
+            (
+                info.key,
+                info.name,
+                str(info.word_bits),
+                str(info.instructions),
+                str(info.modeled),
+                str(info.simulated),
+                str(info.fuzz_cases),
+                str(len(iterated)),
+                "paper" if info.paper else "extension",
+            )
+        )
+    print(
+        format_table(
+            rows,
+            (
+                "Key",
+                "Machine",
+                "Bits",
+                "Instr",
+                "Modeled",
+                "Sim",
+                "Fuzz",
+                "Iterated",
+                "Source",
+            ),
+        )
+    )
     return 0
 
 
@@ -944,6 +988,16 @@ def main(argv=None) -> int:
 
     sub.add_parser("list", help="list available analyses")
 
+    p_machines = sub.add_parser(
+        "machines", help="spec-derived machine registry with coverage"
+    )
+    p_machines.add_argument(
+        "--format",
+        choices=["text", "json"],
+        default="text",
+        help="coverage table or the repro.machines/1 JSON payload",
+    )
+
     p_lint = sub.add_parser(
         "lint", help="static-check ISDL descriptions"
     )
@@ -1013,6 +1067,7 @@ def main(argv=None) -> int:
         "serve": cmd_serve,
         "loadtest": cmd_loadtest,
         "list": cmd_list,
+        "machines": cmd_machines,
         "lint": cmd_lint,
         "prove": cmd_prove,
         "analyze": cmd_analyze,

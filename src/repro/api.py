@@ -9,7 +9,9 @@ functions returning plain typed results:
 * :func:`batch` — run the catalog (or a subset) as a parallel batch;
 * :func:`trace` — one analysis's recorded derivation trace;
 * :func:`replay` — re-apply recorded derivations with digest checks;
-* :func:`stats` — run an instrumented batch and return its metrics.
+* :func:`stats` — run an instrumented batch and return its metrics;
+* :func:`machines` — the spec-derived machine registry with coverage
+  and cost-model summaries.
 
 The CLI subcommands are thin wrappers over these functions (argument
 parsing and printing only), so scripting a workflow never means
@@ -42,6 +44,8 @@ from .analysis.runner import (
 __all__ = [
     "AnalyzeResult",
     "BatchResult",
+    "MachineInfo",
+    "MachinesResult",
     "ProveResult",
     "ReplayEntry",
     "ReplayResult",
@@ -52,6 +56,7 @@ __all__ = [
     "VerifyResult",
     "analyze",
     "batch",
+    "machines",
     "prove",
     "replay",
     "stats",
@@ -507,7 +512,9 @@ def stats(
     (``repro_lint_coverage_targets``) for every catalog machine and
     language module, so catalog-only stub machines (no ISDL
     descriptions to lint) show up as ``status="no-descriptions"``
-    rows instead of being silently absent.
+    rows instead of being silently absent — plus the per-machine
+    spec-coverage gauges (``repro_machine_coverage``) behind the CI
+    coverage gate.
     """
     from .lint import lint_coverage
 
@@ -520,4 +527,113 @@ def stats(
                 name=str(row["name"]),
                 status=str(row["status"]),
             )
+        for info in machines().machines:
+            for kind, value in (
+                ("instructions", info.instructions),
+                ("modeled", info.modeled),
+                ("reconstructed", info.reconstructed),
+                ("simulated", info.simulated),
+                ("fuzz_cases", info.fuzz_cases),
+            ):
+                obs.gauge_set(
+                    "repro_machine_coverage",
+                    value,
+                    machine=info.key,
+                    kind=kind,
+                )
         return StatsResult(snapshot=registry.snapshot())
+
+
+# ---------------------------------------------------------------------------
+# machines
+
+
+@dataclass(frozen=True)
+class MachineInfo:
+    """One machine's spec-derived summary row."""
+
+    key: str
+    name: str
+    manufacturer: str
+    word_bits: int
+    paper: bool
+    instructions: int
+    modeled: int
+    reconstructed: int
+    simulated: int
+    operations: int
+    fuzz_cases: int
+    #: :func:`repro.machines.spec.cost_summary` of the operation table.
+    cost: Dict[str, object]
+
+    def to_dict(self) -> Dict[str, object]:
+        return {
+            "key": self.key,
+            "name": self.name,
+            "manufacturer": self.manufacturer,
+            "word_bits": self.word_bits,
+            "paper": self.paper,
+            "instructions": self.instructions,
+            "modeled": self.modeled,
+            "reconstructed": self.reconstructed,
+            "simulated": self.simulated,
+            "operations": self.operations,
+            "fuzz_cases": self.fuzz_cases,
+            "cost": self.cost,
+        }
+
+
+@dataclass(frozen=True)
+class MachinesResult:
+    """The machine registry as data: what ``repro machines`` prints."""
+
+    machines: Tuple[MachineInfo, ...]
+
+    def machine(self, key: str) -> MachineInfo:
+        for info in self.machines:
+            if info.key == key:
+                return info
+        raise KeyError(f"unknown machine {key!r}")
+
+    def to_json(self) -> str:
+        """Byte-identical to ``repro machines --format json``."""
+        import json
+
+        payload = {
+            "schema": "repro.machines/1",
+            "machines": [info.to_dict() for info in self.machines],
+        }
+        return json.dumps(payload, indent=2, sort_keys=True)
+
+
+def machines() -> MachinesResult:
+    """Spec-derived machine list with coverage and cost summaries.
+
+    One row per registered machine spec (paper sample first), counting
+    catalog instructions, modeled/reconstructed/simulated splits, the
+    operation table, and the differential-fuzz cases — the same
+    numbers ``repro stats`` exports as ``repro_machine_coverage``
+    gauges.
+    """
+    from .machines.registry import all_specs
+    from .machines.spec import cost_summary
+
+    rows = []
+    for spec in all_specs():
+        rows.append(
+            MachineInfo(
+                key=spec.key,
+                name=spec.name,
+                manufacturer=spec.manufacturer,
+                word_bits=spec.word_bits,
+                paper=spec.paper,
+                instructions=spec.count,
+                modeled=len(spec.modeled()),
+                reconstructed=len(spec.reconstructed()),
+                simulated=len(spec.simulated()),
+                operations=len(spec.operations),
+                fuzz_cases=len(spec.fuzz),
+                cost=cost_summary(spec),
+            )
+        )
+    return MachinesResult(machines=tuple(rows))

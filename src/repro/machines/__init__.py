@@ -1,6 +1,8 @@
-"""Target machines: instruction descriptions, Table 1 catalog, simulators."""
+"""Target machines: declarative specs, Table 1 catalog, generated simulators."""
 
 from .catalog import (
+    ALL_MACHINES,
+    EXTENSION_MACHINES,
     MACHINES,
     PAPER_COUNTS,
     PAPER_TOTAL,
@@ -12,16 +14,24 @@ from .catalog import (
     table1_rows,
     total_count,
 )
+from .registry import all_specs, machine_spec
 from .simbase import SimResult, SimulationError, Simulator
+from .spec import MachineSpec, SpecError
 
 __all__ = [
+    "ALL_MACHINES",
+    "EXTENSION_MACHINES",
     "MACHINES",
     "PAPER_COUNTS",
     "PAPER_TOTAL",
     "Machine",
+    "MachineSpec",
+    "SpecError",
+    "all_specs",
     "instruction_named",
     "load_description",
     "machine_named",
+    "machine_spec",
     "modeled_mnemonics",
     "table1_rows",
     "total_count",

@@ -1,117 +1,16 @@
-"""Burroughs B4800 subset simulator.
+"""Burroughs B4800 simulator, generated from the declarative machine
+spec.
 
-A small accumulator-style subset sufficient for the list-search
-codegen: address/register loads, byte memory access, branches, and the
-``srl`` search-linked-list instruction itself (link field at offset 0,
-as the paper's §1 describes).  Cycle figures are representative of a
-mid-1970s mid-range machine: slowish primitive operations, a
-microcoded search that beats the equivalent loop comfortably.
+``srl`` — search linked list, the paper's §1 showpiece — runs on the
+shared ``list_search`` kind (:mod:`repro.machines.specsim`); the
+B4800's register file, costs, and operation table are data in
+:mod:`repro.machines.b4800.spec`.
 """
 
 from __future__ import annotations
 
-from ...asm import Imm, Instr, MemRef, Reg
-from ..simbase import SimulationError, Simulator
+from ..specsim import spec_simulator
+from .spec import SPEC
 
-
-class B4800Simulator(Simulator):
-    """Executes the B4800 subset."""
-
-    REGISTERS = ("ra", "rb", "rc", "rd", "re", "rf")
-    WIDTH_BITS = 16
-
-    COSTS = {
-        "ld": 6,  # load register (immediate / register / memory byte)
-        "st": 8,  # store byte
-        "add": 6,
-        "sub": 6,
-        "cmp": 6,
-        "br": 8,
-        "brz": 8,
-        "brnz": 8,
-        "srl": 20,  # search linked list: setup
-        "mva": 14,  # move alphanumeric: setup
-    }
-
-    SRL_PER_NODE = 12
-    MVA_PER_BYTE = 4
-
-    def execute(self, instr: Instr, state) -> None:
-        mnemonic = instr.mnemonic
-        regs = state["regs"]
-        flags = state["flags"]
-        memory = state["memory"]
-
-        if mnemonic == "ld":
-            dst, src = instr.operands
-            if isinstance(src, MemRef):
-                addr = regs[src.base.name] + src.disp
-                self.write_reg(dst, memory.read(addr), state)
-            else:
-                self.write_reg(dst, self.read(src, state), state)
-            state["cycles"] += self.cost(mnemonic)
-            return
-        if mnemonic == "st":
-            src, dst = instr.operands
-            if not isinstance(dst, MemRef):
-                raise SimulationError("st needs a memory destination")
-            addr = regs[dst.base.name] + dst.disp
-            memory.write(addr, self.read(src, state) & 0xFF)
-            state["cycles"] += self.cost(mnemonic)
-            return
-        if mnemonic in ("add", "sub"):
-            dst, src = instr.operands
-            left = self.read(dst, state)
-            right = self.read(src, state)
-            value = left + right if mnemonic == "add" else left - right
-            self.write_reg(dst, value, state)
-            flags["z"] = 1 if (value & self._mask) == 0 else 0
-            state["cycles"] += self.cost(mnemonic)
-            return
-        if mnemonic == "cmp":
-            left, right = instr.operands
-            flags["z"] = (
-                1 if self.read(left, state) == self.read(right, state) else 0
-            )
-            state["cycles"] += self.cost(mnemonic)
-            return
-        if mnemonic == "br":
-            state["cycles"] += self.cost(mnemonic)
-            self.branch(instr.operands[0], state)
-            return
-        if mnemonic in ("brz", "brnz"):
-            state["cycles"] += self.cost(mnemonic)
-            taken = flags["z"] == 1 if mnemonic == "brz" else flags["z"] == 0
-            if taken:
-                self.branch(instr.operands[0], state)
-            return
-        if mnemonic == "srl":
-            # srl head_reg, key_reg, offset_reg: follows links at offset
-            # 0 until the byte at (node + offset) equals the key; leaves
-            # the found node (or 0) in ra.
-            head_op, key_op, offset_op = instr.operands
-            node = self.read(head_op, state)
-            key = self.read(key_op, state)
-            offset = self.read(offset_op, state)
-            state["cycles"] += self.cost(mnemonic)
-            while node != 0:
-                state["cycles"] += self.SRL_PER_NODE
-                if memory.read(node + offset) == key:
-                    break
-                node = memory.read(node)  # link field FIRST in the record
-            regs["ra"] = node & self._mask
-            flags["z"] = 1 if node == 0 else 0
-            return
-        if mnemonic == "mva":
-            # mva dst, src, lencode: moves (lencode & 0xFF) + 1 bytes —
-            # the length field encodes count - 1, like the IBM 370 mvc
-            # (paper footnote 5).
-            dst_op, src_op, len_op = instr.operands
-            dst = self.read(dst_op, state)
-            src = self.read(src_op, state)
-            count = (self.read(len_op, state) & 0xFF) + 1
-            state["cycles"] += self.cost(mnemonic) + self.MVA_PER_BYTE * count
-            for offset in range(count):
-                memory.write(dst + offset, memory.read(src + offset))
-            return
-        raise SimulationError(f"B4800: unknown mnemonic {mnemonic!r}")
+#: Executes the B4800 subset; drop-in for the old hand-written class.
+B4800Simulator = spec_simulator(SPEC)

@@ -1,0 +1,98 @@
+"""Declarative spec for the Burroughs B4800.
+
+A small accumulator-style subset sufficient for the list-search
+codegen, plus the paper's §1 showpiece: ``srl``, search linked list
+(link field at offset 0).  Cycle figures are representative of a
+mid-1970s mid-range machine — slowish primitive operations, a
+microcoded search that beats the equivalent loop comfortably.  Table 1
+reports 16 string/list instructions for the B4800; beyond the two
+modeled ones and the two named in the paper's prose (``lnk``/
+``ulnk``), the entries are representative reconstructions.
+"""
+
+from __future__ import annotations
+
+from ..spec import CostSpec, FuzzCase, InstructionSpec, MachineSpec, OpSpec
+
+SPEC = MachineSpec(
+    key="b4800",
+    name="Burroughs B4800",
+    manufacturer="Burroughs",
+    word_bits=16,
+    registers=("ra", "rb", "rc", "rd", "re", "rf"),
+    sim_name="B4800",
+    load_op="ld",
+    description_module="repro.machines.b4800.descriptions",
+    instructions=(
+        InstructionSpec("srl", "search linked list", modeled=True, sim_op="srl"),
+        InstructionSpec(
+            "mva",
+            "move alphanumeric (length encoded minus one)",
+            modeled=True,
+            sim_op="mva",
+        ),
+        InstructionSpec("lnk", "link list element", reconstructed=True),
+        InstructionSpec("ulnk", "unlink list element", reconstructed=True),
+        InstructionSpec("mvn", "move numeric", reconstructed=True),
+        InstructionSpec("mvr", "move repeated", reconstructed=True),
+        InstructionSpec("mvl", "move with length", reconstructed=True),
+        InstructionSpec("cmn", "compare numeric", reconstructed=True),
+        InstructionSpec("cma", "compare alphanumeric", reconstructed=True),
+        InstructionSpec("sea", "search for character equal", reconstructed=True),
+        InstructionSpec("sne", "search for character not equal", reconstructed=True),
+        InstructionSpec("tws", "translate while searching", reconstructed=True),
+        InstructionSpec("trn", "translate", reconstructed=True),
+        InstructionSpec("edt", "edit", reconstructed=True),
+        InstructionSpec("mfd", "move with format and delimiters", reconstructed=True),
+        InstructionSpec("scn", "scan string", reconstructed=True),
+    ),
+    operations=(
+        # load register (immediate / register / memory byte)
+        OpSpec("ld", "move", CostSpec(6)),
+        OpSpec("st", "byte_store", CostSpec(8)),
+        OpSpec("add", "alu", CostSpec(6), {"op": "add"}),
+        OpSpec("sub", "alu", CostSpec(6), {"op": "sub"}),
+        OpSpec("cmp", "compare", CostSpec(6)),
+        OpSpec("br", "jump", CostSpec(8)),
+        OpSpec("brz", "branch", CostSpec(8), {"flag": "z", "want": 1}),
+        OpSpec("brnz", "branch", CostSpec(8), {"flag": "z", "want": 0}),
+        OpSpec(
+            "srl",
+            "list_search",
+            CostSpec(20, per_unit=12, unit="node"),
+            {"result": "ra"},
+        ),
+        OpSpec("mva", "block_move_lc", CostSpec(14, per_unit=4, unit="byte")),
+    ),
+    fuzz=(
+        FuzzCase(
+            name="srl",
+            sim_op="srl",
+            # the linked_list directive injects head/key/offs vars.
+            memory=(("linked_list",),),
+            isdl_inputs=(
+                ("ptr", ("var", "head")),
+                ("key", ("var", "key")),
+                ("offs", ("var", "offs")),
+            ),
+            params=(
+                ("head", ("var", "head")),
+                ("key", ("var", "key")),
+                ("offs", ("var", "offs")),
+            ),
+            operands=(("param", "head"), ("param", "key"), ("param", "offs")),
+            outputs=(("reg", "ra"),),
+        ),
+        FuzzCase(
+            name="mva",
+            sim_op="mva",
+            # encoded length: moves code + 1 bytes
+            vars=(("len", ("int", 0, 12)),),
+            memory=(("string", 16, 16), ("string", 300, 16)),
+            isdl_inputs=(("a1", 300), ("a2", 16), ("len", ("var", "len"))),
+            params=(("dst", 300), ("src", 16), ("len", ("var", "len"))),
+            operands=(("param", "dst"), ("param", "src"), ("param", "len")),
+            outputs=(),
+        ),
+    ),
+)

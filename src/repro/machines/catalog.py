@@ -13,6 +13,15 @@ real mnemonics are used.  The paper reports only *counts* for the rest;
 those entries carry representative mnemonics flagged
 ``reconstructed=True`` so downstream users can tell documented fact
 from reconstruction.
+
+The catalog is no longer hand-maintained: every :class:`Machine` here
+is generated from its declarative :class:`~repro.machines.spec.MachineSpec`
+(see :mod:`repro.machines.registry`), the same data source that
+generates the simulators, the lint coverage rows, and the
+differential-fuzz matrix.  Machines added beyond the paper's sample
+(Z80, M68000) appear in :data:`EXTENSION_MACHINES` and the lookup
+functions, but never in :data:`MACHINES` or Table 1 — the paper's
+counts are a fixed historical fact.
 """
 
 from __future__ import annotations
@@ -20,7 +29,10 @@ from __future__ import annotations
 import importlib
 from dataclasses import dataclass
 from functools import lru_cache
-from typing import Dict, Optional, Tuple
+from typing import Dict, Tuple
+
+from . import registry
+from .spec import MachineSpec
 
 
 @dataclass(frozen=True)
@@ -39,7 +51,7 @@ class ExoticInstruction:
 
 @dataclass(frozen=True)
 class Machine:
-    """One of the six sampled machines."""
+    """One catalogued machine."""
 
     name: str
     manufacturer: str
@@ -50,129 +62,34 @@ class Machine:
         return len(self.instructions)
 
 
-def _instr(name, operation, modeled=False, reconstructed=False):
-    return ExoticInstruction(name, operation, modeled, reconstructed)
-
-
-INTEL_8086 = Machine(
-    name="Intel 8086",
-    manufacturer="Intel",
-    instructions=(
-        _instr("movsb", "string move", modeled=True),
-        _instr("cmpsb", "string compare", modeled=True),
-        _instr("scasb", "string search", modeled=True),
-        _instr("lodsb", "string load"),
-        _instr("stosb", "string store / fill", modeled=True),
-        _instr("xlat", "table translate"),
-    ),
-)
-
-DG_ECLIPSE = Machine(
-    name="DG Eclipse",
-    manufacturer="Data General",
-    instructions=(
-        _instr("cmv", "character move (sign-encoded direction)", modeled=True),
-        _instr("cmp", "character compare"),
-        _instr("ctr", "character translate"),
-        _instr("cmt", "character move until true"),
-        _instr("edit", "string edit"),
-    ),
-)
-
-UNIVAC_1100 = Machine(
-    name="Univac 1100",
-    manufacturer="Sperry Univac",
-    instructions=tuple(
-        _instr(name, operation, reconstructed=True)
-        for name, operation in (
-            ("bt", "block transfer"),
-            ("btt", "block transfer and translate"),
-            ("bim", "byte incremental move"),
-            ("bimt", "byte incremental move and translate"),
-            ("bicl", "byte incremental compare limit"),
-            ("bde", "byte decimal edit"),
-            ("bdsub", "byte decimal subtract"),
-            ("bdadd", "byte decimal add"),
-            ("sfs", "search forward for sentinel"),
-            ("sfc", "search forward for character"),
-            ("sne", "search not equal"),
-            ("se", "search equal"),
-            ("sle", "search less or equal"),
-            ("sg", "search greater"),
-            ("sw", "search within limits"),
-            ("snw", "search not within limits"),
-            ("mse", "masked search equal"),
-            ("msne", "masked search not equal"),
-            ("msle", "masked search less or equal"),
-            ("msg", "masked search greater"),
-            ("bf", "byte fill"),
-        )
-    ),
-)
-
-IBM_370 = Machine(
-    name="IBM 370",
-    manufacturer="IBM",
-    instructions=(
-        _instr("mvc", "move characters", modeled=True),
-        _instr("mvcl", "move characters long"),
-        _instr("clc", "compare logical characters", modeled=True),
-        _instr("clcl", "compare logical characters long"),
-        _instr("tr", "translate", modeled=True),
-        _instr("trt", "translate and test"),
-        _instr("ed", "edit"),
-    ),
-)
-
-BURROUGHS_B4800 = Machine(
-    name="Burroughs B4800",
-    manufacturer="Burroughs",
-    instructions=(
-        _instr("srl", "search linked list", modeled=True),
-        _instr("mva", "move alphanumeric (length encoded minus one)", modeled=True),
-        _instr("lnk", "link list element", reconstructed=True),
-        _instr("ulnk", "unlink list element", reconstructed=True),
+def machine_from_spec(spec: MachineSpec) -> Machine:
+    """Project a machine spec onto its catalog record."""
+    return Machine(
+        name=spec.name,
+        manufacturer=spec.manufacturer,
+        instructions=tuple(
+            ExoticInstruction(
+                name=instruction.mnemonic,
+                operation=instruction.operation,
+                modeled=instruction.modeled,
+                reconstructed=instruction.reconstructed,
+            )
+            for instruction in spec.instructions
+        ),
     )
-    + tuple(
-        _instr(name, operation, reconstructed=True)
-        for name, operation in (
-            ("mvn", "move numeric"),
-            
-            ("mvr", "move repeated"),
-            ("mvl", "move with length"),
-            ("cmn", "compare numeric"),
-            ("cma", "compare alphanumeric"),
-            ("sea", "search for character equal"),
-            ("sne", "search for character not equal"),
-            ("tws", "translate while searching"),
-            ("trn", "translate"),
-            ("edt", "edit"),
-            ("mfd", "move with format and delimiters"),
-            ("scn", "scan string"),
-        )
-    ),
-)
 
-VAX_11 = Machine(
-    name="VAX-11",
-    manufacturer="DEC",
-    instructions=(
-        _instr("movc3", "move character 3-operand", modeled=True),
-        _instr("movc5", "move character 5-operand (with fill)", modeled=True),
-        _instr("cmpc3", "compare characters 3-operand", modeled=True),
-        _instr("cmpc5", "compare characters 5-operand"),
-        _instr("locc", "locate character", modeled=True),
-        _instr("skpc", "skip character", modeled=True),
-        _instr("scanc", "scan for character in set"),
-        _instr("spanc", "span characters in set"),
-        _instr("matchc", "match characters"),
-        _instr("movtc", "move translated characters"),
-        _instr("movtuc", "move translated until character"),
-        _instr("crc", "cyclic redundancy check"),
-    ),
-)
 
-#: All six machines, in the paper's Table 1 order.
+INTEL_8086 = machine_from_spec(registry.machine_spec("i8086"))
+DG_ECLIPSE = machine_from_spec(registry.machine_spec("eclipse"))
+UNIVAC_1100 = machine_from_spec(registry.machine_spec("univac1100"))
+IBM_370 = machine_from_spec(registry.machine_spec("ibm370"))
+BURROUGHS_B4800 = machine_from_spec(registry.machine_spec("b4800"))
+VAX_11 = machine_from_spec(registry.machine_spec("vax11"))
+
+ZILOG_Z80 = machine_from_spec(registry.machine_spec("z80"))
+MOTOROLA_68000 = machine_from_spec(registry.machine_spec("m68000"))
+
+#: The paper's six machines, in Table 1 order.
 MACHINES: Tuple[Machine, ...] = (
     INTEL_8086,
     DG_ECLIPSE,
@@ -181,6 +98,12 @@ MACHINES: Tuple[Machine, ...] = (
     BURROUGHS_B4800,
     VAX_11,
 )
+
+#: Machines added beyond the paper's sample, as pure spec data.
+EXTENSION_MACHINES: Tuple[Machine, ...] = (ZILOG_Z80, MOTOROLA_68000)
+
+#: Every catalogued machine, paper sample first.
+ALL_MACHINES: Tuple[Machine, ...] = MACHINES + EXTENSION_MACHINES
 
 #: Table 1's per-machine counts, as printed in the paper.
 PAPER_COUNTS: Dict[str, int] = {
@@ -217,29 +140,22 @@ def total_count() -> int:
 
 #: machine key -> module holding its ISDL description loaders.
 DESCRIPTION_MODULES: Dict[str, str] = {
-    "i8086": "repro.machines.i8086.descriptions",
-    "vax11": "repro.machines.vax11.descriptions",
-    "ibm370": "repro.machines.ibm370.descriptions",
-    "b4800": "repro.machines.b4800.descriptions",
-    "eclipse": "repro.machines.eclipse.descriptions",
+    spec.key: spec.description_module
+    for spec in registry.all_specs()
+    if spec.description_module is not None
 }
 
-#: machine key -> Table 1 machine name.
+#: machine key -> catalog machine name (Table 1 names plus extensions).
 MACHINE_KEYS: Dict[str, str] = {
-    "i8086": "Intel 8086",
-    "eclipse": "DG Eclipse",
-    "univac1100": "Univac 1100",
-    "ibm370": "IBM 370",
-    "b4800": "Burroughs B4800",
-    "vax11": "VAX-11",
+    spec.key: spec.name for spec in registry.all_specs()
 }
 
 
 @lru_cache(maxsize=None)
 def machine_named(name: str) -> Machine:
-    """The catalog entry for a Table 1 name or a short machine key."""
+    """The catalog entry for a machine name or a short machine key."""
     full = MACHINE_KEYS.get(name, name)
-    for machine in MACHINES:
+    for machine in ALL_MACHINES:
         if machine.name == full:
             return machine
     raise KeyError(f"unknown machine {name!r}")

@@ -1,0 +1,33 @@
+"""Declarative spec for the Data General Eclipse.
+
+The Eclipse is catalog-and-descriptions only: ``cmv`` (character move
+with sign-encoded direction — the paper's §4.1 example of an operand
+*encoding* exotic behaviour) carries a full ISDL description the
+analyses transform, but no generated code targets the Eclipse, so the
+spec defines no simulator operation table.  The remaining Table 1
+entries are the paper's named Eclipse string instructions, catalogued
+``modeled=False`` so lint coverage and ``repro stats`` report them
+honestly.
+"""
+
+from __future__ import annotations
+
+from ..spec import InstructionSpec, MachineSpec
+
+SPEC = MachineSpec(
+    key="eclipse",
+    name="DG Eclipse",
+    manufacturer="Data General",
+    word_bits=16,
+    registers=("ac0", "ac1", "ac2", "ac3"),
+    description_module="repro.machines.eclipse.descriptions",
+    instructions=(
+        InstructionSpec(
+            "cmv", "character move (sign-encoded direction)", modeled=True
+        ),
+        InstructionSpec("cmp", "character compare"),
+        InstructionSpec("ctr", "character translate"),
+        InstructionSpec("cmt", "character move until true"),
+        InstructionSpec("edit", "string edit"),
+    ),
+)

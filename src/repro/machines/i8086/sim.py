@@ -1,145 +1,17 @@
-"""Intel 8086 subset simulator with a representative cycle model.
+"""Intel 8086 simulator, generated from the declarative machine spec.
 
-Covers the instructions the code generator emits: register moves and
-arithmetic, byte loads/stores, conditional branches, the direction-flag
-control, and the repeat-prefixed string instructions (``rep movsb``,
-``repne scasb``, ``repe cmpsb``) with their documented
-base-plus-per-iteration timings (8086 timing tables: movs 17/rep,
-scas 15/rep, cmps 22/rep, 9 cycles for the rep setup).
+The bespoke ``execute()`` dispatch this module used to carry lives in
+the shared kind library now (:mod:`repro.machines.specsim`); the
+8086-specific facts — register file, the documented
+base-plus-per-iteration string timings (movs 17/rep, scas 15/rep,
+cmps 22/rep, 9 cycles for the rep setup), which register is the
+counter — are data in :mod:`repro.machines.i8086.spec`.
 """
 
 from __future__ import annotations
 
-from ...asm import Imm, Instr, MemRef, Reg
-from ..simbase import SimulationError, Simulator
+from ..specsim import spec_simulator
+from .spec import SPEC
 
-
-class I8086Simulator(Simulator):
-    """Executes the 8086 subset."""
-
-    REGISTERS = ("ax", "bx", "cx", "dx", "si", "di", "bp", "al")
-    WIDTH_BITS = 16
-
-    COSTS = {
-        "mov": 4,  # worst of reg,imm(4)/reg,reg(2); memory forms below
-        "movb_load": 10,
-        "movb_store": 10,
-        "add": 3,
-        "sub": 3,
-        "inc": 2,
-        "dec": 2,
-        "cmp": 3,
-        "jmp": 15,
-        "jz": 8,
-        "jnz": 8,
-        "cld": 2,
-        "rep_movsb": 9,
-        "rep_stosb": 9,
-        "repne_scasb": 9,
-        "repe_cmpsb": 9,
-    }
-
-    MOVS_PER_REP = 17
-    STOS_PER_REP = 10
-    SCAS_PER_REP = 15
-    CMPS_PER_REP = 22
-
-    def execute(self, instr: Instr, state) -> None:
-        mnemonic = instr.mnemonic
-        regs = state["regs"]
-        flags = state["flags"]
-        memory = state["memory"]
-
-        if mnemonic == "mov":
-            dst, src = instr.operands
-            if isinstance(dst, MemRef):
-                addr = regs[dst.base.name] + dst.disp
-                memory.write(addr, self.read(src, state))
-                state["cycles"] += self.COSTS["movb_store"]
-                return
-            if isinstance(src, MemRef):
-                state["cycles"] += self.COSTS["movb_load"]
-            else:
-                state["cycles"] += self.COSTS["mov"]
-            self.write_reg(dst, self.read(src, state), state)
-            return
-        if mnemonic in ("add", "sub"):
-            dst, src = instr.operands
-            left = self.read(dst, state)
-            right = self.read(src, state)
-            value = left + right if mnemonic == "add" else left - right
-            self.write_reg(dst, value, state)
-            flags["z"] = 1 if (value & self._mask) == 0 else 0
-            state["cycles"] += self.cost(mnemonic)
-            return
-        if mnemonic in ("inc", "dec"):
-            (dst,) = instr.operands
-            delta = 1 if mnemonic == "inc" else -1
-            value = self.read(dst, state) + delta
-            self.write_reg(dst, value, state)
-            flags["z"] = 1 if (value & self._mask) == 0 else 0
-            state["cycles"] += self.cost(mnemonic)
-            return
-        if mnemonic == "cmp":
-            left, right = instr.operands
-            flags["z"] = (
-                1 if self.read(left, state) == self.read(right, state) else 0
-            )
-            state["cycles"] += self.cost(mnemonic)
-            return
-        if mnemonic == "jmp":
-            state["cycles"] += self.cost(mnemonic)
-            self.branch(instr.operands[0], state)
-            return
-        if mnemonic in ("jz", "jnz"):
-            state["cycles"] += self.cost(mnemonic)
-            taken = flags["z"] == 1 if mnemonic == "jz" else flags["z"] == 0
-            if taken:
-                self.branch(instr.operands[0], state)
-            return
-        if mnemonic == "cld":
-            flags["d"] = 0
-            state["cycles"] += self.cost(mnemonic)
-            return
-        if mnemonic == "rep_movsb":
-            state["cycles"] += self.cost(mnemonic)
-            while regs["cx"] != 0:
-                memory.write(regs["di"], memory.read(regs["si"]))
-                regs["si"] = (regs["si"] + 1) & self._mask
-                regs["di"] = (regs["di"] + 1) & self._mask
-                regs["cx"] = (regs["cx"] - 1) & self._mask
-                state["cycles"] += self.MOVS_PER_REP
-            return
-        if mnemonic == "rep_stosb":
-            state["cycles"] += self.cost(mnemonic)
-            while regs["cx"] != 0:
-                memory.write(regs["di"], regs["al"])
-                regs["di"] = (regs["di"] + 1) & self._mask
-                regs["cx"] = (regs["cx"] - 1) & self._mask
-                state["cycles"] += self.STOS_PER_REP
-            return
-        if mnemonic == "repne_scasb":
-            state["cycles"] += self.cost(mnemonic)
-            while regs["cx"] != 0:
-                regs["cx"] = (regs["cx"] - 1) & self._mask
-                byte = memory.read(regs["di"])
-                regs["di"] = (regs["di"] + 1) & self._mask
-                flags["z"] = 1 if byte == regs["al"] else 0
-                state["cycles"] += self.SCAS_PER_REP
-                if flags["z"]:
-                    break
-            return
-        if mnemonic == "repe_cmpsb":
-            state["cycles"] += self.cost(mnemonic)
-            while regs["cx"] != 0:
-                regs["cx"] = (regs["cx"] - 1) & self._mask
-                first = memory.read(regs["si"])
-                second = memory.read(regs["di"])
-                regs["si"] = (regs["si"] + 1) & self._mask
-                regs["di"] = (regs["di"] + 1) & self._mask
-                flags["z"] = 1 if first == second else 0
-                state["cycles"] += self.CMPS_PER_REP
-                if not flags["z"]:
-                    break
-            return
-        raise SimulationError(f"8086: unknown mnemonic {mnemonic!r}")
+#: Executes the 8086 subset; drop-in for the old hand-written class.
+I8086Simulator = spec_simulator(SPEC)

@@ -1,0 +1,150 @@
+"""Declarative spec for the Intel 8086.
+
+Everything the repo knows about the 8086 — Table 1 catalog entries,
+simulator operation table with the documented base-plus-per-iteration
+timings (8086 timing tables: movs 17/rep, scas 15/rep, cmps 22/rep,
+9 cycles for the rep setup), and the differential-fuzz scenarios — in
+one validated data object.
+"""
+
+from __future__ import annotations
+
+from ..spec import CostSpec, FuzzCase, InstructionSpec, MachineSpec, OpSpec
+
+SPEC = MachineSpec(
+    key="i8086",
+    name="Intel 8086",
+    manufacturer="Intel",
+    word_bits=16,
+    registers=("ax", "bx", "cx", "dx", "si", "di", "bp", "al"),
+    sim_name="8086",
+    load_op="mov",
+    description_module="repro.machines.i8086.descriptions",
+    instructions=(
+        InstructionSpec("movsb", "string move", modeled=True, sim_op="rep_movsb"),
+        InstructionSpec("cmpsb", "string compare", modeled=True, sim_op="repe_cmpsb"),
+        InstructionSpec("scasb", "string search", modeled=True, sim_op="repne_scasb"),
+        InstructionSpec("lodsb", "string load"),
+        InstructionSpec("stosb", "string store / fill", modeled=True, sim_op="rep_stosb"),
+        InstructionSpec("xlat", "table translate"),
+    ),
+    operations=(
+        # worst of reg,imm(4)/reg,reg(2); memory forms cost 10.
+        OpSpec(
+            "mov",
+            "move",
+            CostSpec(4),
+            {"load_cost": 10, "store_cost": 10},
+        ),
+        OpSpec("add", "alu", CostSpec(3), {"op": "add"}),
+        OpSpec("sub", "alu", CostSpec(3), {"op": "sub"}),
+        OpSpec("inc", "step", CostSpec(2), {"delta": 1}),
+        OpSpec("dec", "step", CostSpec(2), {"delta": -1}),
+        OpSpec("cmp", "compare", CostSpec(3)),
+        OpSpec("jmp", "jump", CostSpec(15)),
+        OpSpec("jz", "branch", CostSpec(8), {"flag": "z", "want": 1}),
+        OpSpec("jnz", "branch", CostSpec(8), {"flag": "z", "want": 0}),
+        OpSpec("cld", "set_flag", CostSpec(2), {"flag": "d", "value": 0}),
+        OpSpec(
+            "rep_movsb",
+            "rep_move",
+            CostSpec(9, per_unit=17, unit="rep"),
+            {"src": "si", "dst": "di", "count": "cx", "step": 1},
+        ),
+        OpSpec(
+            "rep_stosb",
+            "rep_fill",
+            CostSpec(9, per_unit=10, unit="rep"),
+            {"dst": "di", "count": "cx", "value": "al", "step": 1},
+        ),
+        OpSpec(
+            "repne_scasb",
+            "rep_scan",
+            CostSpec(9, per_unit=15, unit="rep"),
+            {"ptr": "di", "count": "cx", "key": "al", "step": 1},
+        ),
+        OpSpec(
+            "repe_cmpsb",
+            "rep_compare",
+            CostSpec(9, per_unit=22, unit="rep"),
+            {"src": "si", "dst": "di", "count": "cx", "step": 1},
+        ),
+    ),
+    fuzz=(
+        FuzzCase(
+            name="movsb",
+            sim_op="rep_movsb",
+            vars=(("cx", ("int", 0, 12)),),
+            memory=(("string", 16, 16), ("string", 300, 16)),
+            isdl_inputs=(
+                ("rf", 1),
+                ("df", 0),
+                ("si", 16),
+                ("di", 300),
+                ("cx", ("var", "cx")),
+            ),
+            params=(("si", 16), ("di", 300), ("cx", ("var", "cx"))),
+            setup=(("si", ("param", "si")), ("di", ("param", "di")), ("cx", ("param", "cx"))),
+            outputs=(("reg", "si"), ("reg", "di"), ("reg", "cx")),
+        ),
+        FuzzCase(
+            name="scasb",
+            sim_op="repne_scasb",
+            vars=(
+                ("cx", ("int", 0, 12)),
+                ("al", ("byte_from", 16, 16)),
+            ),
+            memory=(("string", 16, 16),),
+            isdl_inputs=(
+                ("rf", 1),
+                ("rfz", 0),
+                ("df", 0),
+                ("zf", 0),
+                ("di", 16),
+                ("cx", ("var", "cx")),
+                ("al", ("var", "al")),
+            ),
+            params=(("di", 16), ("cx", ("var", "cx")), ("al", ("var", "al"))),
+            setup=(("di", ("param", "di")), ("cx", ("param", "cx")), ("al", ("param", "al"))),
+            outputs=(("flag", "z"), ("reg", "di"), ("reg", "cx")),
+        ),
+        FuzzCase(
+            name="cmpsb",
+            sim_op="repe_cmpsb",
+            vars=(("cx", ("int", 0, 12)),),
+            memory=(
+                ("string", 16, 16),
+                ("string", 300, 16),
+                ("mirror_maybe", 300, 16, 16),
+            ),
+            isdl_inputs=(
+                ("rf", 1),
+                ("rfz", 1),
+                ("df", 0),
+                ("zf", 0),
+                ("si", 16),
+                ("di", 300),
+                ("cx", ("var", "cx")),
+            ),
+            params=(("si", 16), ("di", 300), ("cx", ("var", "cx"))),
+            setup=(("si", ("param", "si")), ("di", ("param", "di")), ("cx", ("param", "cx"))),
+            outputs=(("flag", "z"), ("reg", "si"), ("reg", "di"), ("reg", "cx")),
+        ),
+        FuzzCase(
+            name="stosb",
+            sim_op="rep_stosb",
+            vars=(("cx", ("int", 0, 12)), ("al", ("byte",))),
+            memory=(("string", 40, 16),),
+            isdl_inputs=(
+                ("rf", 1),
+                ("df", 0),
+                ("al", ("var", "al")),
+                ("cx", ("var", "cx")),
+                ("di", 40),
+            ),
+            params=(("di", 40), ("cx", ("var", "cx")), ("al", ("var", "al"))),
+            setup=(("di", ("param", "di")), ("cx", ("param", "cx")), ("al", ("param", "al"))),
+            outputs=(("reg", "di"), ("reg", "cx")),
+        ),
+    ),
+)

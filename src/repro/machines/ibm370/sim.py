@@ -1,149 +1,16 @@
-"""IBM 370 subset simulator with a representative cycle model.
+"""IBM 370 simulator, generated from the declarative machine spec.
 
-Covers register loads/arithmetic, byte insert/store (``ic``/``stc``),
-branches (including ``bct``, branch-on-count — the natural decomposed
-loop shape on the 370), and ``mvc`` with its length-code-minus-one
-field: the instruction operand carries the encoded field value and the
-simulator moves ``field + 1`` bytes, exactly the quirk the §4.2 coding
-constraint exists for.
+``mvc`` moves ``field + 1`` bytes for an encoded length field — the
+quirk the paper's §4.2 coding constraint exists for — via the shared
+``block_move_lc`` kind (:mod:`repro.machines.specsim`); the 370's
+costs and operation table are data in
+:mod:`repro.machines.ibm370.spec`.
 """
 
 from __future__ import annotations
 
-from ...asm import Imm, Instr, MemRef, Reg
-from ..simbase import SimulationError, Simulator
+from ..specsim import spec_simulator
+from .spec import SPEC
 
-
-class Ibm370Simulator(Simulator):
-    """Executes the IBM 370 subset."""
-
-    REGISTERS = tuple(f"r{i}" for i in range(16))
-    WIDTH_BITS = 32
-
-    COSTS = {
-        "la": 3,  # load address (constant/parameter into register)
-        "lr": 2,  # register move
-        "ar": 2,
-        "sr": 2,
-        "ic": 8,  # insert character (byte load)
-        "stc": 8,  # store character
-        "cr": 3,
-        "ltr": 2,  # load and test
-        "b": 5,
-        "bz": 5,
-        "bnz": 5,
-        "bct": 6,  # decrement and branch if nonzero
-        "mvc": 12,
-        "clc": 10,
-        "tr": 15,
-    }
-
-    MVC_PER_BYTE = 2
-    CLC_PER_BYTE = 2
-    TR_PER_BYTE = 3
-
-    def execute(self, instr: Instr, state) -> None:
-        mnemonic = instr.mnemonic
-        regs = state["regs"]
-        flags = state["flags"]
-        memory = state["memory"]
-
-        if mnemonic in ("la", "lr"):
-            dst, src = instr.operands
-            self.write_reg(dst, self.read(src, state), state)
-            state["cycles"] += self.cost(mnemonic)
-            return
-        if mnemonic in ("ar", "sr"):
-            dst, src = instr.operands
-            left = self.read(dst, state)
-            right = self.read(src, state)
-            value = left + right if mnemonic == "ar" else left - right
-            self.write_reg(dst, value, state)
-            flags["z"] = 1 if (value & self._mask) == 0 else 0
-            state["cycles"] += self.cost(mnemonic)
-            return
-        if mnemonic == "ic":
-            dst, src = instr.operands
-            if not isinstance(src, MemRef):
-                raise SimulationError("ic needs a memory source")
-            addr = regs[src.base.name] + src.disp
-            self.write_reg(dst, memory.read(addr), state)
-            state["cycles"] += self.cost(mnemonic)
-            return
-        if mnemonic == "stc":
-            src, dst = instr.operands
-            if not isinstance(dst, MemRef):
-                raise SimulationError("stc needs a memory destination")
-            addr = regs[dst.base.name] + dst.disp
-            memory.write(addr, self.read(src, state) & 0xFF)
-            state["cycles"] += self.cost(mnemonic)
-            return
-        if mnemonic == "cr":
-            left, right = instr.operands
-            flags["z"] = (
-                1 if self.read(left, state) == self.read(right, state) else 0
-            )
-            state["cycles"] += self.cost(mnemonic)
-            return
-        if mnemonic == "ltr":
-            dst, src = instr.operands
-            value = self.read(src, state)
-            self.write_reg(dst, value, state)
-            flags["z"] = 1 if value == 0 else 0
-            state["cycles"] += self.cost(mnemonic)
-            return
-        if mnemonic == "b":
-            state["cycles"] += self.cost(mnemonic)
-            self.branch(instr.operands[0], state)
-            return
-        if mnemonic in ("bz", "bnz"):
-            state["cycles"] += self.cost(mnemonic)
-            taken = flags["z"] == 1 if mnemonic == "bz" else flags["z"] == 0
-            if taken:
-                self.branch(instr.operands[0], state)
-            return
-        if mnemonic == "bct":
-            counter, target = instr.operands
-            value = (self.read(counter, state) - 1) & self._mask
-            self.write_reg(counter, value, state)
-            state["cycles"] += self.cost(mnemonic)
-            if value != 0:
-                self.branch(target, state)
-            return
-        if mnemonic == "tr":
-            d1_op, d2_op, length_op = instr.operands
-            d1 = self.read(d1_op, state)
-            d2 = self.read(d2_op, state)
-            count = (self.read(length_op, state) & 0xFF) + 1
-            state["cycles"] += self.cost(mnemonic) + self.TR_PER_BYTE * count
-            for offset in range(count):
-                byte = memory.read(d1 + offset)
-                memory.write(d1 + offset, memory.read(d2 + byte))
-            return
-        if mnemonic == "clc":
-            c1_op, c2_op, length_op = instr.operands
-            c1 = self.read(c1_op, state)
-            c2 = self.read(c2_op, state)
-            count = (self.read(length_op, state) & 0xFF) + 1
-            equal = True
-            compared = 0
-            for offset in range(count):
-                compared += 1
-                if memory.read(c1 + offset) != memory.read(c2 + offset):
-                    equal = False
-                    break
-            state["cycles"] += self.cost(mnemonic) + self.CLC_PER_BYTE * compared
-            flags["z"] = 1 if equal else 0
-            return
-        if mnemonic == "mvc":
-            dst_op, src_op, length_op = instr.operands
-            dst = self.read(dst_op, state)
-            src = self.read(src_op, state)
-            # The operand is the encoded length field: moves field + 1.
-            field_value = self.read(length_op, state)
-            count = (field_value & 0xFF) + 1
-            state["cycles"] += self.cost(mnemonic) + self.MVC_PER_BYTE * count
-            for offset in range(count):
-                memory.write(dst + offset, memory.read(src + offset))
-            return
-        raise SimulationError(f"IBM 370: unknown mnemonic {mnemonic!r}")
+#: Executes the IBM 370 subset; drop-in for the old hand-written class.
+Ibm370Simulator = spec_simulator(SPEC)

@@ -1,0 +1,94 @@
+"""Declarative spec for the IBM 370.
+
+``mvc`` carries its length-code-minus-one field: the instruction
+operand is the encoded field value and the simulator moves
+``field + 1`` bytes — exactly the quirk the paper's §4.2 coding
+constraint exists for.  ``bct`` (branch on count) is the natural
+decomposed-loop shape on the 370, so it rides in the operation table
+alongside the exotic block instructions.
+"""
+
+from __future__ import annotations
+
+from ..spec import CostSpec, FuzzCase, InstructionSpec, MachineSpec, OpSpec
+
+SPEC = MachineSpec(
+    key="ibm370",
+    name="IBM 370",
+    manufacturer="IBM",
+    word_bits=32,
+    registers=tuple(f"r{i}" for i in range(16)),
+    sim_name="IBM 370",
+    load_op="la",
+    description_module="repro.machines.ibm370.descriptions",
+    instructions=(
+        InstructionSpec("mvc", "move characters", modeled=True, sim_op="mvc"),
+        InstructionSpec("mvcl", "move characters long"),
+        InstructionSpec(
+            "clc", "compare logical characters", modeled=True, sim_op="clc"
+        ),
+        InstructionSpec("clcl", "compare logical characters long"),
+        InstructionSpec("tr", "translate", modeled=True, sim_op="tr"),
+        InstructionSpec("trt", "translate and test"),
+        InstructionSpec("ed", "edit"),
+    ),
+    operations=(
+        # load address (constant/parameter into register)
+        OpSpec("la", "move", CostSpec(3)),
+        OpSpec("lr", "move", CostSpec(2)),
+        OpSpec("ar", "alu", CostSpec(2), {"op": "add"}),
+        OpSpec("sr", "alu", CostSpec(2), {"op": "sub"}),
+        OpSpec("ic", "byte_load", CostSpec(8)),
+        OpSpec("stc", "byte_store", CostSpec(8)),
+        OpSpec("cr", "compare", CostSpec(3)),
+        OpSpec("ltr", "move_test", CostSpec(2)),
+        OpSpec("b", "jump", CostSpec(5)),
+        OpSpec("bz", "branch", CostSpec(5), {"flag": "z", "want": 1}),
+        OpSpec("bnz", "branch", CostSpec(5), {"flag": "z", "want": 0}),
+        # decrement and branch if nonzero
+        OpSpec("bct", "count_branch", CostSpec(6)),
+        OpSpec("mvc", "block_move_lc", CostSpec(12, per_unit=2, unit="byte")),
+        OpSpec(
+            "clc", "block_compare_lc", CostSpec(10, per_unit=2, unit="byte")
+        ),
+        OpSpec("tr", "translate_lc", CostSpec(15, per_unit=3, unit="byte")),
+    ),
+    fuzz=(
+        FuzzCase(
+            name="mvc",
+            sim_op="mvc",
+            # encoded length: moves code + 1 bytes
+            vars=(("len", ("int", 0, 12)),),
+            memory=(("string", 16, 16), ("string", 300, 16)),
+            isdl_inputs=(("d1", 300), ("d2", 16), ("len", ("var", "len"))),
+            params=(("dst", 300), ("src", 16), ("len", ("var", "len"))),
+            operands=(("param", "dst"), ("param", "src"), ("param", "len")),
+            outputs=(),
+        ),
+        FuzzCase(
+            name="clc",
+            sim_op="clc",
+            vars=(("len", ("int", 0, 12)),),
+            memory=(
+                ("string", 16, 16),
+                ("string", 300, 16),
+                ("mirror_maybe", 300, 16, 16),
+            ),
+            isdl_inputs=(("c1", 16), ("c2", 300), ("len", ("var", "len"))),
+            params=(("c1", 16), ("c2", 300), ("len", ("var", "len"))),
+            operands=(("param", "c1"), ("param", "c2"), ("param", "len")),
+            outputs=(("flag", "z"),),
+        ),
+        FuzzCase(
+            name="tr",
+            sim_op="tr",
+            vars=(("len", ("int", 0, 12)),),
+            # 256-byte translate table at 1024, string at 16.
+            memory=(("string", 16, 16), ("table", 1024)),
+            isdl_inputs=(("d1", 16), ("d2", 1024), ("len", ("var", "len"))),
+            params=(("d1", 16), ("d2", 1024), ("len", ("var", "len"))),
+            operands=(("param", "d1"), ("param", "d2"), ("param", "len")),
+            outputs=(),
+        ),
+    ),
+)

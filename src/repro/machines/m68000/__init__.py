@@ -1,0 +1,11 @@
+"""Motorola 68000: exotic-instruction descriptions and spec-generated
+simulator — added as pure data (no machine-specific simulator code)."""
+
+from ..specsim import spec_simulator
+from .descriptions import cmpm, tas
+from .spec import SPEC
+
+#: Executes the 68000 subset, generated entirely from the spec.
+M68000Simulator = spec_simulator(SPEC)
+
+__all__ = ["SPEC", "M68000Simulator", "cmpm", "tas"]

@@ -1,0 +1,88 @@
+"""ISDL descriptions of the Motorola 68000 exotica we model.
+
+The 68000's exotic instructions are mostly *addressing-mode* exotica
+(``movem``'s register masks, ``movep``'s alternate-byte transfers)
+that the catalog records but the analyses do not yet transform.  The
+two modeled here are the ones the paper's machinery speaks to
+directly:
+
+* ``cmpm`` — the string-compare *step*: compare two memory bytes
+  through address registers and post-increment both.  It is the body
+  of the ``dbra``-driven compare loop, i.e. the 68000's answer to
+  ``cmpsb`` without the repeat prefix.
+* ``tas`` — test-and-set: an indivisible read-modify-write that tests
+  a byte and sets its high bit.  The read/decide/write shape is the
+  minimal case of the paper's "state observed then conditionally
+  rewritten" pattern.
+"""
+
+from __future__ import annotations
+
+from functools import lru_cache
+
+from ...isdl import ast, parse_description
+
+CMPM_TEXT = """
+cmpm.instruction := begin
+    ! compare memory byte to memory byte, postincrement both
+    ** SOURCE.ACCESS **
+        a0<31:0>,                       ! first operand address
+        a1<31:0>                        ! second operand address
+    ** STATE **
+        zf<>                            ! zero (equal) flag
+    ** STRING.PROCESS **
+        cmpm.execute() := begin
+            input (a0, a1);
+            if (Mb[ a0 ] - Mb[ a1 ]) = 0
+            then
+                zf <- 1;
+            else
+                zf <- 0;
+            end_if;
+            a0 <- a0 + 1;               ! postincrement addressing
+            a1 <- a1 + 1;
+            output (zf, a0, a1);
+        end
+end
+"""
+
+TAS_TEXT = """
+tas.instruction := begin
+    ! test a byte and set its high bit, indivisibly
+    ** SOURCE.ACCESS **
+        addr<31:0>                      ! operand address
+    ** STATE **
+        val<7:0>,                       ! the byte under test
+        zf<>                            ! zero flag from the test
+    ** STRING.PROCESS **
+        tas.execute() := begin
+            input (addr);
+            val <- Mb[ addr ];
+            if val = 0
+            then
+                zf <- 1;
+            else
+                zf <- 0;
+            end_if;
+            if val < 128
+            then
+                Mb[ addr ] <- val + 128;    ! set bit 7
+            else
+                Mb[ addr ] <- val;          ! already set
+            end_if;
+            output (zf);
+        end
+end
+"""
+
+
+@lru_cache(maxsize=None)
+def cmpm() -> ast.Description:
+    """The cmpm (compare memory, postincrement) instruction."""
+    return parse_description(CMPM_TEXT)
+
+
+@lru_cache(maxsize=None)
+def tas() -> ast.Description:
+    """The tas (test and set) instruction."""
+    return parse_description(TAS_TEXT)

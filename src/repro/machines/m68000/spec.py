@@ -1,0 +1,96 @@
+"""Declarative spec for the Motorola 68000.
+
+Like the Z80, the 68000 is added as pure data: ``cmpm`` runs on the
+shared ``mem_compare_step`` kind and ``tas`` on ``test_and_set``; no
+68000-specific simulator code exists.  The catalog also records the
+68000 exotica the analyses do not yet transform — ``movem``'s
+register-mask operand, ``movep``'s alternate-byte transfers, the
+``dbra`` loop primitive, and ``chk``'s trapping bound check — as
+``modeled=False`` so coverage reporting stays honest.
+
+Cycle figures are the published best-case timings (``cmpm`` 12,
+``tas`` 14 register-indirect).  ``paper=False``: the 68000 postdates
+the paper's Table 1 sample.
+"""
+
+from __future__ import annotations
+
+from ..spec import CostSpec, FuzzCase, InstructionSpec, MachineSpec, OpSpec
+
+SPEC = MachineSpec(
+    key="m68000",
+    name="Motorola 68000",
+    manufacturer="Motorola",
+    word_bits=32,
+    registers=(
+        "d0", "d1", "d2", "d3", "d4", "d5", "d6", "d7",
+        "a0", "a1", "a2", "a3", "a4", "a5", "a6",
+    ),
+    paper=False,
+    sim_name="68000",
+    load_op="move",
+    description_module="repro.machines.m68000.descriptions",
+    instructions=(
+        InstructionSpec(
+            "cmpm",
+            "compare memory, postincrement",
+            modeled=True,
+            sim_op="cmpm",
+        ),
+        InstructionSpec(
+            "tas", "test and set, indivisible", modeled=True, sim_op="tas"
+        ),
+        InstructionSpec("movem", "move multiple registers (mask operand)"),
+        InstructionSpec("movep", "move peripheral (alternate bytes)"),
+        InstructionSpec("dbra", "decrement and branch"),
+        InstructionSpec("chk", "check register against bounds, trap"),
+    ),
+    operations=(
+        OpSpec("move", "move", CostSpec(4)),
+        OpSpec("cmp", "compare", CostSpec(4)),
+        OpSpec("bra", "jump", CostSpec(10)),
+        OpSpec("beq", "branch", CostSpec(10), {"flag": "z", "want": 1}),
+        OpSpec("bne", "branch", CostSpec(10), {"flag": "z", "want": 0}),
+        OpSpec("cmpm", "mem_compare_step", CostSpec(12), {"step": 1}),
+        OpSpec("tas", "test_and_set", CostSpec(14)),
+    ),
+    fuzz=(
+        FuzzCase(
+            name="cmpm",
+            sim_op="cmpm",
+            vars=(
+                ("a0addr", ("choice", (16, 17, 18, 19))),
+                ("a1addr", ("choice", (300, 301, 302, 303))),
+            ),
+            # mirror biases the compared bytes toward equality.
+            memory=(("string", 16, 8), ("mirror_maybe", 300, 16, 8)),
+            isdl_inputs=(
+                ("a0", ("var", "a0addr")),
+                ("a1", ("var", "a1addr")),
+            ),
+            params=(
+                ("a0", ("var", "a0addr")),
+                ("a1", ("var", "a1addr")),
+            ),
+            setup=(("a0", ("param", "a0")), ("a1", ("param", "a1"))),
+            operands=(("reg", "a0"), ("reg", "a1")),
+            outputs=(("flag", "z"), ("reg", "a0"), ("reg", "a1")),
+        ),
+        FuzzCase(
+            name="tas",
+            sim_op="tas",
+            vars=(
+                ("addr", ("int", 16, 31)),
+                # bias the byte toward the decision boundaries: zero
+                # (sets Z) and values with bit 7 already set.
+                ("val", ("choice", (0, 0, 5, 127, 128, 200, 255))),
+            ),
+            memory=(("cell", ("var", "addr"), ("var", "val")),),
+            isdl_inputs=(("addr", ("var", "addr")),),
+            params=(("addr", ("var", "addr")),),
+            setup=(("a0", ("param", "addr")),),
+            operands=(("mem", "a0"),),
+            outputs=(("flag", "z"),),
+        ),
+    ),
+)

@@ -34,6 +34,9 @@ class SimResult:
     registers: Dict[str, int]
     memory: Memory
     results: Dict[str, int] = field(default_factory=dict)
+    #: condition flags at exit ("z", ...); lets differential checks
+    #: compare flag outputs without materializing them through branches.
+    flags: Dict[str, int] = field(default_factory=dict)
 
 
 class Simulator:
@@ -129,6 +132,7 @@ class Simulator:
             registers=dict(state["regs"]),
             memory=state["memory"],
             results=dict(state["results"]),
+            flags=dict(state["flags"]),
         )
 
     def branch(self, target, state) -> None:

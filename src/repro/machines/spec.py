@@ -1,0 +1,418 @@
+"""Declarative machine specifications.
+
+The paper's premise is retargetability: §2 samples six machines and
+argues that recognising exotic instructions should be a matter of
+*describing* a machine, not programming one.  Before this module the
+repo contradicted that premise — each machine was hand-smeared across
+four layers (a bespoke ``execute()`` dispatch in ``sim.py``, ISDL
+loaders in ``descriptions.py``, catalog literals in ``catalog.py``,
+and lint coverage rows) and two Table 1 machines stayed stubs because
+writing a simulator by hand was the bottleneck.
+
+A :class:`MachineSpec` is the single data source.  From one frozen,
+validated object the rest of the system *generates*:
+
+* the simulator — :func:`repro.machines.specsim.spec_simulator` builds
+  a :class:`~repro.machines.simbase.Simulator` subclass that interprets
+  the spec's operation table through a shared kind library;
+* the Table 1 catalog — ``catalog.py`` turns ``instructions`` records
+  into :class:`~repro.machines.catalog.ExoticInstruction` objects;
+* lint coverage rows — modeled instructions become lint targets, and
+  machines with no descriptions report ``no-descriptions`` honestly;
+* the differential-fuzz matrix — ``fuzz`` cases drive the ISDL
+  executors against the generated simulator on randomized states.
+
+Validation is eager and precise: a defective spec raises
+:class:`SpecError` at construction (structure, operand shapes, cost
+rows) or at registry load (ISDL description resolution), and every
+message carries the exact field path — ``machines.z80.word_bits``,
+``machines.i8086.operations[3].params.count`` — so a typo'd cost-table
+key can never again be silently dead.
+"""
+
+from __future__ import annotations
+
+import importlib
+from dataclasses import dataclass, field
+from typing import Dict, Mapping, Optional, Tuple
+
+#: Register widths the semantics layer models (wrap-around masks).
+#: 36 is catalog-only honesty for the Univac 1100 — no simulator
+#: models it, but its spec should not have to lie about word size.
+ALLOWED_WIDTHS = (8, 16, 32, 36, 64)
+
+
+class SpecError(ValueError):
+    """A machine spec failed validation.
+
+    The message always starts with the exact field path of the
+    offending value (``machines.<key>.<field>[...]``).
+    """
+
+
+@dataclass(frozen=True)
+class CostSpec:
+    """Cycle cost of one operation: a base charge plus an optional
+    per-iteration term (``per_unit`` cycles per ``unit``)."""
+
+    base: int
+    per_unit: int = 0
+    #: what the per-iteration term is charged per: "byte", "rep",
+    #: "node", ... — documentation only, surfaced by ``repro machines``.
+    unit: str = ""
+
+
+@dataclass(frozen=True)
+class OpSpec:
+    """One row of the simulator operation table.
+
+    ``kind`` selects a handler from the shared kind library
+    (:data:`repro.machines.specsim.KINDS`); ``params`` fills the
+    handler's declared parameter signature (register names, step
+    directions, sub-costs).  The validator rejects unknown kinds,
+    missing or unknown params, and register params that name no
+    register of the machine.
+    """
+
+    mnemonic: str
+    kind: str
+    cost: CostSpec
+    params: Mapping[str, object] = field(default_factory=dict)
+
+
+@dataclass(frozen=True)
+class InstructionSpec:
+    """One Table 1 catalog record.
+
+    ``sim_op`` links the catalog entry to the operation-table mnemonic
+    that executes it (``movsb`` -> ``rep_movsb``); ``None`` means the
+    instruction is catalogued but has no executable semantics (either
+    ``modeled=False``, or modeled as ISDL only, like the VAX ``skpc``).
+    """
+
+    mnemonic: str
+    operation: str
+    modeled: bool = False
+    reconstructed: bool = False
+    sim_op: Optional[str] = None
+
+
+@dataclass(frozen=True)
+class FuzzCase:
+    """One differential-fuzz scenario, as pure data.
+
+    The fuzz driver (:mod:`repro.machines.fuzz`) evaluates ``vars`` and
+    ``memory`` with a seeded RNG, runs the ISDL description named
+    ``name`` under an execution engine with ``isdl_inputs``, runs the
+    spec simulator on a program of ``setup`` loads plus one ``sim_op``
+    instruction, and requires the declared ``outputs`` and the final
+    memories to agree.
+
+    Sources (``isdl_inputs`` values, ``params`` values, ``setup``
+    values) are either an ``int`` literal or ``("var", name)``.
+    Variable generators:
+
+    * ``("int", lo, hi)`` — uniform integer (counts, length codes);
+    * ``("byte",)`` — uniform byte;
+    * ``("byte_from", base, length)`` — 50% a byte already present in
+      ``memory[base:base+length]``, else uniform (biases searches
+      toward hits);
+    * ``("choice", (a, b, ...))`` — one of the listed literals.
+
+    Memory directives, evaluated in order before ``byte_from`` vars:
+
+    * ``("string", base, length)`` — random bytes;
+    * ``("mirror_maybe", dst, src, length)`` — with probability 0.5
+      copy the src region over the dst region (biases compares toward
+      equal prefixes);
+    * ``("table", base)`` — a random 256-entry translate table;
+    * ``("linked_list",)`` — a random single-byte-cell linked list;
+      injects the vars ``head``, ``key``, and ``offs``;
+    * ``("cell", addr_source, value_source)`` — a single byte cell at
+      an evaluated address (biases read-modify-write instructions like
+      ``tas`` toward interesting values).
+
+    Operands on the simulated instruction are ``("reg", name)``,
+    ``("param", name)``, ``("imm", value)``, or ``("mem", regname)``
+    — a memory reference through a register.
+
+    Outputs are ``("reg", name)`` or ``("flag", name)`` and are
+    compared positionally against the ISDL run's ``outputs`` tuple.
+    """
+
+    name: str
+    sim_op: str
+    isdl_inputs: Tuple[Tuple[str, object], ...]
+    vars: Tuple[Tuple[str, Tuple], ...] = ()
+    memory: Tuple[Tuple, ...] = ()
+    params: Tuple[Tuple[str, object], ...] = ()
+    setup: Tuple[Tuple[str, object], ...] = ()
+    operands: Tuple[Tuple[str, object], ...] = ()
+    outputs: Tuple[Tuple[str, str], ...] = ()
+
+
+@dataclass(frozen=True)
+class MachineSpec:
+    """One machine, fully described as data.
+
+    ``instructions`` is the ordered exotic-instruction catalog (Table 1
+    order); ``operations`` is the simulator operation table, including
+    the support operations (moves, ALU, branches) generated code needs
+    around the exotic ones.  Machines that are catalog-only (Eclipse,
+    Univac 1100) simply leave ``operations`` empty and ``sim_name``
+    unset — they still get honest catalog, lint, and stats rows.
+    """
+
+    key: str
+    name: str
+    manufacturer: str
+    word_bits: int
+    registers: Tuple[str, ...] = ()
+    #: True for the six machines of the paper's Table 1 sample.
+    paper: bool = True
+    #: prefix for simulator error messages ("8086", "VAX-11"); None
+    #: means the machine has no simulator.
+    sim_name: Optional[str] = None
+    #: the operation the fuzz driver uses to load parameters into
+    #: registers ("mov", "movl", "la", "ld").
+    load_op: Optional[str] = None
+    #: dotted module holding the ISDL description loaders, or None.
+    description_module: Optional[str] = None
+    instructions: Tuple[InstructionSpec, ...] = ()
+    operations: Tuple[OpSpec, ...] = ()
+    fuzz: Tuple[FuzzCase, ...] = ()
+
+    def __post_init__(self) -> None:
+        validate_spec(self)
+
+    # -- derived views --------------------------------------------------
+
+    @property
+    def count(self) -> int:
+        return len(self.instructions)
+
+    def operation(self, mnemonic: str) -> OpSpec:
+        for op in self.operations:
+            if op.mnemonic == mnemonic:
+                return op
+        raise KeyError(f"{self.key}: no operation {mnemonic!r}")
+
+    def modeled(self) -> Tuple[InstructionSpec, ...]:
+        return tuple(i for i in self.instructions if i.modeled)
+
+    def reconstructed(self) -> Tuple[InstructionSpec, ...]:
+        return tuple(i for i in self.instructions if i.reconstructed)
+
+    def simulated(self) -> Tuple[InstructionSpec, ...]:
+        """Catalog instructions with executable spec semantics."""
+        return tuple(i for i in self.instructions if i.sim_op is not None)
+
+
+# ---------------------------------------------------------------------------
+# Validation
+
+
+def _fail(path: str, problem: str) -> None:
+    raise SpecError(f"{path}: {problem}")
+
+
+def _check_int(path: str, value: object, minimum: int = 0) -> None:
+    if not isinstance(value, int) or isinstance(value, bool):
+        _fail(path, f"expected an integer, got {value!r}")
+    if value < minimum:
+        _fail(path, f"must be >= {minimum}, got {value}")
+
+
+def validate_spec(spec: MachineSpec) -> None:
+    """Structural validation; raises :class:`SpecError` with field paths.
+
+    Runs at construction time (``MachineSpec.__post_init__``), so a
+    defective spec module cannot even be imported.  ISDL description
+    resolution needs imports and is checked separately by
+    :func:`validate_descriptions` (the registry runs it at load).
+    """
+    from .specsim import KINDS  # deferred: specsim imports this module
+
+    root = f"machines.{spec.key}"
+    if not spec.key or not spec.key.isidentifier():
+        _fail(f"{root}.key", f"not a valid machine key: {spec.key!r}")
+    if spec.word_bits not in ALLOWED_WIDTHS:
+        _fail(
+            f"{root}.word_bits",
+            f"unsupported register width {spec.word_bits!r} "
+            f"(choose from {', '.join(map(str, ALLOWED_WIDTHS))})",
+        )
+
+    seen_regs = set()
+    for index, register in enumerate(spec.registers):
+        path = f"{root}.registers[{index}]"
+        if not isinstance(register, str) or not register:
+            _fail(path, f"expected a register name, got {register!r}")
+        if register in seen_regs:
+            _fail(path, f"duplicate register {register!r}")
+        seen_regs.add(register)
+
+    if spec.operations and spec.sim_name is None:
+        _fail(f"{root}.sim_name", "required when operations are defined")
+    if spec.operations and not spec.registers:
+        _fail(f"{root}.registers", "required when operations are defined")
+
+    op_names = set()
+    for index, op in enumerate(spec.operations):
+        path = f"{root}.operations[{index}]"
+        if op.mnemonic in op_names:
+            _fail(f"{path}.mnemonic", f"duplicate operation {op.mnemonic!r}")
+        if op.mnemonic == "setres":
+            _fail(f"{path}.mnemonic", "'setres' is reserved by the simulator")
+        op_names.add(op.mnemonic)
+        kind = KINDS.get(op.kind)
+        if kind is None:
+            _fail(
+                f"{path}.kind",
+                f"unknown kind {op.kind!r} "
+                f"(choose from {', '.join(sorted(KINDS))})",
+            )
+        _check_int(f"{path}.cost.base", op.cost.base)
+        _check_int(f"{path}.cost.per_unit", op.cost.per_unit)
+        for name in op.params:
+            if name not in kind.params:
+                _fail(
+                    f"{path}.params.{name}",
+                    f"kind {op.kind!r} takes no parameter {name!r}",
+                )
+        for name, (typename, required) in sorted(kind.params.items()):
+            if name not in op.params:
+                if required:
+                    _fail(
+                        f"{path}.params.{name}",
+                        f"kind {op.kind!r} requires parameter {name!r}",
+                    )
+                continue
+            value = op.params[name]
+            ppath = f"{path}.params.{name}"
+            if typename == "reg":
+                if value not in seen_regs:
+                    _fail(ppath, f"unknown register {value!r}")
+            elif typename == "int":
+                if not isinstance(value, int) or isinstance(value, bool):
+                    _fail(ppath, f"expected an integer, got {value!r}")
+            elif typename == "str":
+                if not isinstance(value, str):
+                    _fail(ppath, f"expected a string, got {value!r}")
+            elif typename == "bool":
+                if not isinstance(value, bool):
+                    _fail(ppath, f"expected a bool, got {value!r}")
+        for register in kind.regs:
+            if register not in seen_regs:
+                _fail(
+                    f"{path}.kind",
+                    f"kind {op.kind!r} needs register {register!r}, "
+                    f"which {spec.key} does not define",
+                )
+
+    if spec.load_op is not None and spec.load_op not in op_names:
+        _fail(f"{root}.load_op", f"unknown operation {spec.load_op!r}")
+
+    instr_names = set()
+    for index, instruction in enumerate(spec.instructions):
+        path = f"{root}.instructions[{index}]"
+        if instruction.mnemonic in instr_names:
+            _fail(
+                f"{path}.mnemonic",
+                f"duplicate instruction {instruction.mnemonic!r}",
+            )
+        instr_names.add(instruction.mnemonic)
+        if instruction.modeled and instruction.reconstructed:
+            _fail(
+                f"{path}.modeled",
+                "an instruction cannot be both modeled and reconstructed",
+            )
+        if instruction.modeled and spec.description_module is None:
+            _fail(
+                f"{path}.modeled",
+                f"modeled instruction {instruction.mnemonic!r} needs a "
+                "description_module",
+            )
+        if instruction.sim_op is not None and instruction.sim_op not in op_names:
+            _fail(
+                f"{path}.sim_op",
+                f"unknown operation {instruction.sim_op!r}",
+            )
+
+    for index, case in enumerate(spec.fuzz):
+        path = f"{root}.fuzz[{index}]"
+        if case.name not in instr_names:
+            _fail(f"{path}.name", f"unknown instruction {case.name!r}")
+        if case.sim_op not in op_names:
+            _fail(f"{path}.sim_op", f"unknown operation {case.sim_op!r}")
+        if case.setup and spec.load_op is None:
+            _fail(f"{path}.setup", "machine defines no load_op")
+        for sindex, (register, _) in enumerate(case.setup):
+            if register not in seen_regs:
+                _fail(
+                    f"{path}.setup[{sindex}]",
+                    f"unknown register {register!r}",
+                )
+        for oindex, (kind_tag, value) in enumerate(case.outputs):
+            opath = f"{path}.outputs[{oindex}]"
+            if kind_tag == "reg":
+                if value not in seen_regs:
+                    _fail(opath, f"unknown register {value!r}")
+            elif kind_tag != "flag":
+                _fail(opath, f"unknown output kind {kind_tag!r}")
+        for oindex, operand in enumerate(case.operands):
+            opath = f"{path}.operands[{oindex}]"
+            if operand[0] in ("reg", "mem") and operand[1] not in seen_regs:
+                _fail(opath, f"unknown register {operand[1]!r}")
+            elif operand[0] not in ("reg", "param", "imm", "mem"):
+                _fail(opath, f"unknown operand kind {operand[0]!r}")
+
+
+def validate_descriptions(spec: MachineSpec) -> None:
+    """Every modeled instruction resolves to an ISDL loader.
+
+    Import-level validation: catches a modeled catalog entry whose
+    description module lacks the loader (or whose loader is not
+    callable) with the exact instruction's field path.
+    """
+    if spec.description_module is None:
+        return
+    root = f"machines.{spec.key}"
+    try:
+        module = importlib.import_module(spec.description_module)
+    except ImportError as error:
+        _fail(
+            f"{root}.description_module",
+            f"cannot import {spec.description_module!r}: {error}",
+        )
+    for index, instruction in enumerate(spec.instructions):
+        if not instruction.modeled:
+            continue
+        loader = getattr(module, instruction.mnemonic, None)
+        if not callable(loader):
+            _fail(
+                f"{root}.instructions[{index}].description",
+                f"module {spec.description_module!r} has no loader "
+                f"{instruction.mnemonic!r}",
+            )
+
+
+def cost_summary(spec: MachineSpec) -> Dict[str, object]:
+    """A queryable summary of the machine's cost model.
+
+    Feeds ``repro machines`` and the ROADMAP's cost-driven-selection
+    work: base-cost range over the operation table plus the
+    per-iteration rows (the exotic instructions' asymptotic terms).
+    """
+    bases = [op.cost.base for op in spec.operations]
+    iterated = {
+        op.mnemonic: {"per_unit": op.cost.per_unit, "unit": op.cost.unit}
+        for op in spec.operations
+        if op.cost.per_unit
+    }
+    return {
+        "operations": len(spec.operations),
+        "base_min": min(bases) if bases else None,
+        "base_max": max(bases) if bases else None,
+        "iterated": iterated,
+    }

@@ -1,0 +1,550 @@
+"""Table-driven simulator: interprets a :class:`MachineSpec` operation
+table through the existing :class:`~repro.machines.simbase.Simulator`
+base.
+
+Every machine used to carry a bespoke ``execute()`` dispatch; the
+semantics those dispatches implemented fall into a small number of
+*kinds* (register moves, two- and three-operand ALU, flag branches,
+repeat-prefixed string operations, length-code block moves, the list
+search).  This module implements each kind once, with the
+machine-specific details — which register is the counter, which way
+the pointer steps, what the per-iteration cycle charge is — read from
+the spec's :class:`~repro.machines.spec.OpSpec` rows.
+
+Adding a machine therefore requires no new simulator code: Z80 and
+M68000 run entirely on the kind library below (``rep_move``,
+``rep_scan``, ``mem_compare_step``, ``test_and_set``).  Cycle charging
+replicates the original hand-written simulators exactly — the order of
+charges relative to memory traffic matters to none of the observable
+results, but byte-identical ``repro batch`` output requires identical
+totals, so each handler documents its charging discipline.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Callable, Dict, Tuple, Type
+
+from ..asm import Instr, MemRef
+from .simbase import SimulationError, Simulator
+from .spec import MachineSpec, OpSpec, SpecError
+
+
+@dataclass(frozen=True)
+class Kind:
+    """One semantics family of the kind library.
+
+    ``params`` declares the handler's signature — name to
+    ``(type, required)`` where type is ``reg``/``int``/``str``/``bool``
+    — and ``regs`` the register names the handler hard-codes (the VAX
+    string-instruction register protocol).  The spec validator checks
+    operation rows against both.
+    """
+
+    handler: Callable
+    params: Dict[str, Tuple[str, bool]] = field(default_factory=dict)
+    regs: Tuple[str, ...] = ()
+
+
+def _mem_addr(state, operand: MemRef) -> int:
+    return state["regs"][operand.base.name] + operand.disp
+
+
+# ---------------------------------------------------------------------------
+# Register transfer, ALU, and control kinds
+
+
+def _move(sim, op: OpSpec, instr: Instr, state) -> None:
+    """Register move; optional byte load/store forms.
+
+    ``store_cost`` enables the memory-destination form (8086 ``mov``,
+    VAX ``movb``); ``load_cost`` charges memory sources differently
+    from the base cost (8086 ``mov``).  Without them, memory sources
+    cost the base charge (VAX ``movl``, B4800 ``ld``) and memory
+    destinations are rejected by ``write_reg``.
+    """
+    dst, src = instr.operands
+    params = op.params
+    if isinstance(dst, MemRef) and "store_cost" in params:
+        state["memory"].write(_mem_addr(state, dst), sim.read(src, state))
+        state["cycles"] += params["store_cost"]
+        return
+    if isinstance(src, MemRef) and "load_cost" in params:
+        state["cycles"] += params["load_cost"]
+    else:
+        state["cycles"] += op.cost.base
+    sim.write_reg(dst, sim.read(src, state), state)
+
+
+def _alu(sim, op: OpSpec, instr: Instr, state) -> None:
+    """Add/subtract, two-operand (dst op= src) or three-operand."""
+    if op.params.get("form") == "3op":
+        dst, left, right = instr.operands
+        a = sim.read(left, state)
+        b = sim.read(right, state)
+    else:
+        dst, src = instr.operands
+        a = sim.read(dst, state)
+        b = sim.read(src, state)
+    value = a + b if op.params["op"] == "add" else a - b
+    sim.write_reg(dst, value, state)
+    state["flags"]["z"] = 1 if (value & sim._mask) == 0 else 0
+    state["cycles"] += op.cost.base
+
+
+def _step(sim, op: OpSpec, instr: Instr, state) -> None:
+    """Increment/decrement by ``delta``, setting Z."""
+    (dst,) = instr.operands
+    value = sim.read(dst, state) + op.params["delta"]
+    sim.write_reg(dst, value, state)
+    state["flags"]["z"] = 1 if (value & sim._mask) == 0 else 0
+    state["cycles"] += op.cost.base
+
+
+def _compare(sim, op: OpSpec, instr: Instr, state) -> None:
+    """Compare, setting Z (and L when ``less_flag`` — VAX ``cmpl``)."""
+    left, right = instr.operands
+    a = sim.read(left, state)
+    b = sim.read(right, state)
+    state["flags"]["z"] = 1 if a == b else 0
+    if op.params.get("less_flag"):
+        state["flags"]["l"] = 1 if a < b else 0
+    state["cycles"] += op.cost.base
+
+
+def _test(sim, op: OpSpec, instr: Instr, state) -> None:
+    """Test against zero (VAX ``tstl``)."""
+    (operand,) = instr.operands
+    state["flags"]["z"] = 1 if sim.read(operand, state) == 0 else 0
+    state["cycles"] += op.cost.base
+
+
+def _move_test(sim, op: OpSpec, instr: Instr, state) -> None:
+    """Move and test (IBM 370 ``ltr``)."""
+    dst, src = instr.operands
+    value = sim.read(src, state)
+    sim.write_reg(dst, value, state)
+    state["flags"]["z"] = 1 if value == 0 else 0
+    state["cycles"] += op.cost.base
+
+
+def _jump(sim, op: OpSpec, instr: Instr, state) -> None:
+    state["cycles"] += op.cost.base
+    sim.branch(instr.operands[0], state)
+
+
+def _branch(sim, op: OpSpec, instr: Instr, state) -> None:
+    """Conditional branch on a flag value."""
+    state["cycles"] += op.cost.base
+    if state["flags"].get(op.params["flag"], 0) == op.params["want"]:
+        sim.branch(instr.operands[0], state)
+
+
+def _count_branch(sim, op: OpSpec, instr: Instr, state) -> None:
+    """Decrement and branch if nonzero (IBM 370 ``bct``)."""
+    counter, target = instr.operands
+    value = (sim.read(counter, state) - 1) & sim._mask
+    sim.write_reg(counter, value, state)
+    state["cycles"] += op.cost.base
+    if value != 0:
+        sim.branch(target, state)
+
+
+def _set_flag(sim, op: OpSpec, instr: Instr, state) -> None:
+    """Set a flag to a constant (8086 ``cld``)."""
+    state["flags"][op.params["flag"]] = op.params["value"]
+    state["cycles"] += op.cost.base
+
+
+def _byte_load(sim, op: OpSpec, instr: Instr, state) -> None:
+    """Byte load from memory (IBM 370 ``ic``)."""
+    dst, src = instr.operands
+    if not isinstance(src, MemRef):
+        raise SimulationError(f"{op.mnemonic} needs a memory source")
+    sim.write_reg(dst, state["memory"].read(_mem_addr(state, src)), state)
+    state["cycles"] += op.cost.base
+
+
+def _byte_store(sim, op: OpSpec, instr: Instr, state) -> None:
+    """Byte store to memory (IBM 370 ``stc``, B4800 ``st``)."""
+    src, dst = instr.operands
+    if not isinstance(dst, MemRef):
+        raise SimulationError(f"{op.mnemonic} needs a memory destination")
+    state["memory"].write(
+        _mem_addr(state, dst), sim.read(src, state) & 0xFF
+    )
+    state["cycles"] += op.cost.base
+
+
+# ---------------------------------------------------------------------------
+# Repeat-prefixed string kinds (8086 rep group, Z80 block group)
+
+
+def _rep_move(sim, op: OpSpec, instr: Instr, state) -> None:
+    """Repeat string move: base charged once, per-rep inside the loop."""
+    params = op.params
+    regs = state["regs"]
+    memory = state["memory"]
+    step = params["step"]
+    state["cycles"] += op.cost.base
+    while regs[params["count"]] != 0:
+        memory.write(regs[params["dst"]], memory.read(regs[params["src"]]))
+        regs[params["src"]] = (regs[params["src"]] + step) & sim._mask
+        regs[params["dst"]] = (regs[params["dst"]] + step) & sim._mask
+        regs[params["count"]] = (regs[params["count"]] - 1) & sim._mask
+        state["cycles"] += op.cost.per_unit
+
+
+def _rep_fill(sim, op: OpSpec, instr: Instr, state) -> None:
+    """Repeat store of a register byte (8086 ``rep stosb``)."""
+    params = op.params
+    regs = state["regs"]
+    memory = state["memory"]
+    step = params["step"]
+    state["cycles"] += op.cost.base
+    while regs[params["count"]] != 0:
+        memory.write(regs[params["dst"]], regs[params["value"]])
+        regs[params["dst"]] = (regs[params["dst"]] + step) & sim._mask
+        regs[params["count"]] = (regs[params["count"]] - 1) & sim._mask
+        state["cycles"] += op.cost.per_unit
+
+
+def _rep_scan(sim, op: OpSpec, instr: Instr, state) -> None:
+    """Repeat scan for a key byte, stopping on match (``repne scasb``,
+    Z80 ``cpir``/``cpdr``)."""
+    params = op.params
+    regs = state["regs"]
+    memory = state["memory"]
+    flags = state["flags"]
+    step = params["step"]
+    state["cycles"] += op.cost.base
+    while regs[params["count"]] != 0:
+        regs[params["count"]] = (regs[params["count"]] - 1) & sim._mask
+        byte = memory.read(regs[params["ptr"]])
+        regs[params["ptr"]] = (regs[params["ptr"]] + step) & sim._mask
+        flags["z"] = 1 if byte == regs[params["key"]] else 0
+        state["cycles"] += op.cost.per_unit
+        if flags["z"]:
+            break
+
+
+def _rep_compare(sim, op: OpSpec, instr: Instr, state) -> None:
+    """Repeat compare of two strings, stopping on mismatch
+    (``repe cmpsb``)."""
+    params = op.params
+    regs = state["regs"]
+    memory = state["memory"]
+    flags = state["flags"]
+    step = params["step"]
+    state["cycles"] += op.cost.base
+    while regs[params["count"]] != 0:
+        regs[params["count"]] = (regs[params["count"]] - 1) & sim._mask
+        first = memory.read(regs[params["src"]])
+        second = memory.read(regs[params["dst"]])
+        regs[params["src"]] = (regs[params["src"]] + step) & sim._mask
+        regs[params["dst"]] = (regs[params["dst"]] + step) & sim._mask
+        flags["z"] = 1 if first == second else 0
+        state["cycles"] += op.cost.per_unit
+        if not flags["z"]:
+            break
+
+
+# ---------------------------------------------------------------------------
+# VAX character-string kinds (architected register protocol)
+
+
+def _movc3(sim, op: OpSpec, instr: Instr, state) -> None:
+    """VAX ``movc3``: overlap-safe move, R0-R3 protocol, Z set."""
+    regs = state["regs"]
+    memory = state["memory"]
+    length_op, src_op, dst_op = instr.operands
+    length = sim.read(length_op, state)
+    src = sim.read(src_op, state)
+    dst = sim.read(dst_op, state)
+    state["cycles"] += op.cost.base + op.cost.per_unit * length
+    if src < dst:
+        for offset in range(length - 1, -1, -1):
+            memory.write(dst + offset, memory.read(src + offset))
+    else:
+        for offset in range(length):
+            memory.write(dst + offset, memory.read(src + offset))
+    regs["r0"] = 0
+    regs["r1"] = (src + length) & sim._mask
+    regs["r2"] = 0
+    regs["r3"] = (dst + length) & sim._mask
+    state["flags"]["z"] = 1
+    return
+
+
+def _movc5(sim, op: OpSpec, instr: Instr, state) -> None:
+    """VAX ``movc5``: move with fill; per-byte cost over the
+    destination length."""
+    regs = state["regs"]
+    memory = state["memory"]
+    srclen_op, src_op, fill_op, dstlen_op, dst_op = instr.operands
+    srclen = sim.read(srclen_op, state)
+    src = sim.read(src_op, state)
+    fill = sim.read(fill_op, state)
+    dstlen = sim.read(dstlen_op, state)
+    dst = sim.read(dst_op, state)
+    moved = min(srclen, dstlen)
+    state["cycles"] += op.cost.base + op.cost.per_unit * dstlen
+    for offset in range(moved):
+        memory.write(dst + offset, memory.read(src + offset))
+    for offset in range(moved, dstlen):
+        memory.write(dst + offset, fill & 0xFF)
+    regs["r0"] = max(0, srclen - moved)
+    regs["r1"] = (src + moved) & sim._mask
+    regs["r2"] = 0
+    regs["r3"] = (dst + dstlen) & sim._mask
+
+
+def _locc(sim, op: OpSpec, instr: Instr, state) -> None:
+    """VAX ``locc``: per-byte charge *before* each compare."""
+    regs = state["regs"]
+    memory = state["memory"]
+    char_op, length_op, addr_op = instr.operands
+    char = sim.read(char_op, state)
+    length = sim.read(length_op, state)
+    addr = sim.read(addr_op, state)
+    state["cycles"] += op.cost.base
+    remaining = length
+    pointer = addr
+    while remaining != 0:
+        state["cycles"] += op.cost.per_unit
+        if memory.read(pointer) == char:
+            break
+        pointer += 1
+        remaining -= 1
+    regs["r0"] = remaining & sim._mask
+    regs["r1"] = pointer & sim._mask
+    state["flags"]["z"] = 1 if remaining == 0 else 0
+
+
+def _cmpc3(sim, op: OpSpec, instr: Instr, state) -> None:
+    """VAX ``cmpc3``: R0/R1/R3 protocol, Z on full-length equality."""
+    regs = state["regs"]
+    memory = state["memory"]
+    length_op, addr1_op, addr2_op = instr.operands
+    length = sim.read(length_op, state)
+    addr1 = sim.read(addr1_op, state)
+    addr2 = sim.read(addr2_op, state)
+    state["cycles"] += op.cost.base
+    remaining = length
+    p1, p2 = addr1, addr2
+    equal = True
+    while remaining != 0:
+        state["cycles"] += op.cost.per_unit
+        if memory.read(p1) != memory.read(p2):
+            equal = False
+            break
+        p1 += 1
+        p2 += 1
+        remaining -= 1
+    regs["r0"] = remaining & sim._mask
+    regs["r1"] = p1 & sim._mask
+    regs["r3"] = p2 & sim._mask
+    state["flags"]["z"] = 1 if equal else 0
+
+
+# ---------------------------------------------------------------------------
+# Length-code block kinds (IBM 370 SS format, B4800)
+
+
+def _block_move_lc(sim, op: OpSpec, instr: Instr, state) -> None:
+    """Block move with count-minus-one length code (``mvc``, ``mva``):
+    the operand carries ``count - 1`` (paper §4.2's coding constraint),
+    and the whole cost is charged up front."""
+    memory = state["memory"]
+    dst_op, src_op, length_op = instr.operands
+    dst = sim.read(dst_op, state)
+    src = sim.read(src_op, state)
+    count = (sim.read(length_op, state) & 0xFF) + 1
+    state["cycles"] += op.cost.base + op.cost.per_unit * count
+    for offset in range(count):
+        memory.write(dst + offset, memory.read(src + offset))
+
+
+def _block_compare_lc(sim, op: OpSpec, instr: Instr, state) -> None:
+    """Block compare with length code (``clc``): per-byte cost over the
+    bytes actually compared, charged after the loop."""
+    memory = state["memory"]
+    c1_op, c2_op, length_op = instr.operands
+    c1 = sim.read(c1_op, state)
+    c2 = sim.read(c2_op, state)
+    count = (sim.read(length_op, state) & 0xFF) + 1
+    equal = True
+    compared = 0
+    for offset in range(count):
+        compared += 1
+        if memory.read(c1 + offset) != memory.read(c2 + offset):
+            equal = False
+            break
+    state["cycles"] += op.cost.base + op.cost.per_unit * compared
+    state["flags"]["z"] = 1 if equal else 0
+
+
+def _translate_lc(sim, op: OpSpec, instr: Instr, state) -> None:
+    """Block translate with length code (``tr``)."""
+    memory = state["memory"]
+    d1_op, d2_op, length_op = instr.operands
+    d1 = sim.read(d1_op, state)
+    d2 = sim.read(d2_op, state)
+    count = (sim.read(length_op, state) & 0xFF) + 1
+    state["cycles"] += op.cost.base + op.cost.per_unit * count
+    for offset in range(count):
+        byte = memory.read(d1 + offset)
+        memory.write(d1 + offset, memory.read(d2 + byte))
+
+
+# ---------------------------------------------------------------------------
+# List and cell kinds (B4800 srl, M68000 cmpm/tas)
+
+
+def _list_search(sim, op: OpSpec, instr: Instr, state) -> None:
+    """Follow links (at offset 0) until the byte at ``node + offset``
+    equals the key; found node (or 0) lands in the ``result``
+    register (B4800 ``srl``, paper §1)."""
+    memory = state["memory"]
+    head_op, key_op, offset_op = instr.operands
+    node = sim.read(head_op, state)
+    key = sim.read(key_op, state)
+    offset = sim.read(offset_op, state)
+    state["cycles"] += op.cost.base
+    while node != 0:
+        state["cycles"] += op.cost.per_unit
+        if memory.read(node + offset) == key:
+            break
+        node = memory.read(node)  # link field FIRST in the record
+    state["regs"][op.params["result"]] = node & sim._mask
+    state["flags"]["z"] = 1 if node == 0 else 0
+
+
+def _mem_compare_step(sim, op: OpSpec, instr: Instr, state) -> None:
+    """Compare bytes at two register-held addresses, then step both
+    pointers (M68000 ``cmpm (ax)+,(ay)+``)."""
+    memory = state["memory"]
+    first_op, second_op = instr.operands
+    a1 = sim.read(first_op, state)
+    a2 = sim.read(second_op, state)
+    state["flags"]["z"] = 1 if memory.read(a1) == memory.read(a2) else 0
+    step = op.params["step"]
+    sim.write_reg(first_op, a1 + step, state)
+    sim.write_reg(second_op, a2 + step, state)
+    state["cycles"] += op.cost.base
+
+
+def _test_and_set(sim, op: OpSpec, instr: Instr, state) -> None:
+    """Read a byte, set Z from it, write it back with the high bit set
+    (M68000 ``tas`` — the indivisible semaphore primitive)."""
+    (dst,) = instr.operands
+    if not isinstance(dst, MemRef):
+        raise SimulationError(f"{op.mnemonic} needs a memory destination")
+    memory = state["memory"]
+    addr = _mem_addr(state, dst)
+    byte = memory.read(addr)
+    state["flags"]["z"] = 1 if byte == 0 else 0
+    memory.write(addr, byte | 0x80)
+    state["cycles"] += op.cost.base
+
+
+# ---------------------------------------------------------------------------
+# The kind registry
+
+_REG = ("reg", True)
+_INT = ("int", True)
+_STR = ("str", True)
+_OPT_INT = ("int", False)
+_OPT_STR = ("str", False)
+_OPT_BOOL = ("bool", False)
+
+KINDS: Dict[str, Kind] = {
+    "move": Kind(_move, {"load_cost": _OPT_INT, "store_cost": _OPT_INT}),
+    "alu": Kind(_alu, {"op": _STR, "form": _OPT_STR}),
+    "step": Kind(_step, {"delta": _INT}),
+    "compare": Kind(_compare, {"less_flag": _OPT_BOOL}),
+    "test": Kind(_test),
+    "move_test": Kind(_move_test),
+    "jump": Kind(_jump),
+    "branch": Kind(_branch, {"flag": _STR, "want": _INT}),
+    "count_branch": Kind(_count_branch),
+    "set_flag": Kind(_set_flag, {"flag": _STR, "value": _INT}),
+    "byte_load": Kind(_byte_load),
+    "byte_store": Kind(_byte_store),
+    "rep_move": Kind(
+        _rep_move,
+        {"src": _REG, "dst": _REG, "count": _REG, "step": _INT},
+    ),
+    "rep_fill": Kind(
+        _rep_fill,
+        {"dst": _REG, "count": _REG, "value": _REG, "step": _INT},
+    ),
+    "rep_scan": Kind(
+        _rep_scan,
+        {"ptr": _REG, "count": _REG, "key": _REG, "step": _INT},
+    ),
+    "rep_compare": Kind(
+        _rep_compare,
+        {"src": _REG, "dst": _REG, "count": _REG, "step": _INT},
+    ),
+    "movc3": Kind(_movc3, regs=("r0", "r1", "r2", "r3")),
+    "movc5": Kind(_movc5, regs=("r0", "r1", "r2", "r3")),
+    "locc": Kind(_locc, regs=("r0", "r1")),
+    "cmpc3": Kind(_cmpc3, regs=("r0", "r1", "r3")),
+    "block_move_lc": Kind(_block_move_lc),
+    "block_compare_lc": Kind(_block_compare_lc),
+    "translate_lc": Kind(_translate_lc),
+    "list_search": Kind(_list_search, {"result": _REG}),
+    "mem_compare_step": Kind(_mem_compare_step, {"step": _INT}),
+    "test_and_set": Kind(_test_and_set),
+}
+
+
+class SpecSimulator(Simulator):
+    """A :class:`Simulator` whose ``execute`` dispatches through the
+    machine spec's operation table.  Subclasses are generated by
+    :func:`spec_simulator`; the class attributes (``REGISTERS``,
+    ``WIDTH_BITS``, ``COSTS``) are derived from the spec so existing
+    callers see the same surface the hand-written simulators had."""
+
+    SPEC: MachineSpec = None  # type: ignore[assignment]
+    #: mnemonic -> (kind handler, OpSpec), built by spec_simulator.
+    DISPATCH: Dict[str, Tuple[Callable, OpSpec]] = {}
+
+    def execute(self, instr: Instr, state) -> None:
+        entry = self.DISPATCH.get(instr.mnemonic)
+        if entry is None:
+            raise SimulationError(
+                f"{self.SPEC.sim_name}: unknown mnemonic {instr.mnemonic!r}"
+            )
+        handler, op = entry
+        handler(self, op, instr, state)
+
+
+def spec_simulator(spec: MachineSpec) -> Type[SpecSimulator]:
+    """Generate the simulator class for one machine spec.
+
+    The returned class is a drop-in replacement for the hand-written
+    simulators: same ``REGISTERS``/``WIDTH_BITS``/``COSTS`` surface,
+    same error messages, same cycle accounting.
+    """
+    if not spec.operations:
+        raise SpecError(
+            f"machines.{spec.key}.operations: machine defines no "
+            "operations, so no simulator can be generated"
+        )
+    dispatch = {
+        op.mnemonic: (KINDS[op.kind].handler, op) for op in spec.operations
+    }
+    return type(
+        f"{spec.key.capitalize()}SpecSimulator",
+        (SpecSimulator,),
+        {
+            "__doc__": f"Generated simulator for the {spec.name} spec.",
+            "SPEC": spec,
+            "DISPATCH": dispatch,
+            "REGISTERS": tuple(spec.registers),
+            "WIDTH_BITS": spec.word_bits,
+            "COSTS": {op.mnemonic: op.cost.base for op in spec.operations},
+        },
+    )

@@ -1,1 +1,7 @@
-"""Univac 1100: catalog entries only (Table 1 reports 21 instructions)."""
+"""Univac 1100: spec-backed catalog entries (Table 1 reports 21
+instructions; all are reconstructed, none modeled — the spec says so
+explicitly instead of this package being an empty stub)."""
+
+from .spec import SPEC
+
+__all__ = ["SPEC"]

@@ -1,193 +1,17 @@
-"""VAX-11 subset simulator with a representative cycle model.
+"""VAX-11 simulator, generated from the declarative machine spec.
 
-Covers register moves/arithmetic, byte memory access, branches, and the
-four character-string instructions the bindings target.  The string
-instructions implement their architected register protocol — movc3
-leaves R0 = 0, R1 = src + len, R3 = dst + len — which is what the §6
-dedicated-register optimization exploits.  Setup costs are substantial
-(the VAX microcode sequences were long) and per-byte costs low, so the
-crossover against decomposed loops appears at realistic sizes.
+The character-string instructions implement their architected register
+protocol — movc3 leaves R0 = 0, R1 = src + len, R3 = dst + len — which
+is what the §6 dedicated-register optimization exploits.  The
+semantics live in the shared kind library
+(:mod:`repro.machines.specsim`); the VAX-specific costs and register
+protocol bindings are data in :mod:`repro.machines.vax11.spec`.
 """
 
 from __future__ import annotations
 
-from ...asm import Imm, Instr, MemRef, Reg
-from ..simbase import SimulationError, Simulator
+from ..specsim import spec_simulator
+from .spec import SPEC
 
-
-class Vax11Simulator(Simulator):
-    """Executes the VAX-11 subset."""
-
-    REGISTERS = tuple(f"r{i}" for i in range(12))
-    WIDTH_BITS = 32
-
-    COSTS = {
-        "movl": 4,
-        "movb_load": 6,
-        "movb_store": 6,
-        "addl3": 5,
-        "subl3": 5,
-        "incl": 4,
-        "decl": 4,
-        "cmpl": 4,
-        "tstl": 3,
-        "brb": 4,
-        "beql": 5,
-        "bneq": 5,
-        "blss": 5,
-        "bgeq": 5,
-        "movc3": 40,
-        "movc5": 50,
-        "locc": 30,
-        "cmpc3": 35,
-    }
-
-    MOVC_PER_BYTE = 3
-    LOCC_PER_BYTE = 4
-    CMPC_PER_BYTE = 5
-
-    def execute(self, instr: Instr, state) -> None:
-        mnemonic = instr.mnemonic
-        regs = state["regs"]
-        flags = state["flags"]
-        memory = state["memory"]
-
-        if mnemonic == "movl":
-            dst, src = instr.operands
-            self.write_reg(dst, self.read(src, state), state)
-            state["cycles"] += self.cost(mnemonic)
-            return
-        if mnemonic == "movb":
-            dst, src = instr.operands
-            if isinstance(dst, MemRef):
-                addr = regs[dst.base.name] + dst.disp
-                memory.write(addr, self.read(src, state))
-                state["cycles"] += self.COSTS["movb_store"]
-                return
-            state["cycles"] += self.COSTS["movb_load"]
-            self.write_reg(dst, self.read(src, state), state)
-            return
-        if mnemonic in ("addl3", "subl3"):
-            dst, left, right = instr.operands
-            a = self.read(left, state)
-            b = self.read(right, state)
-            value = a + b if mnemonic == "addl3" else a - b
-            self.write_reg(dst, value, state)
-            flags["z"] = 1 if (value & self._mask) == 0 else 0
-            state["cycles"] += self.cost(mnemonic)
-            return
-        if mnemonic in ("incl", "decl"):
-            (dst,) = instr.operands
-            delta = 1 if mnemonic == "incl" else -1
-            value = self.read(dst, state) + delta
-            self.write_reg(dst, value, state)
-            flags["z"] = 1 if (value & self._mask) == 0 else 0
-            state["cycles"] += self.cost(mnemonic)
-            return
-        if mnemonic == "cmpl":
-            left, right = instr.operands
-            a = self.read(left, state)
-            b = self.read(right, state)
-            flags["z"] = 1 if a == b else 0
-            flags["l"] = 1 if a < b else 0
-            state["cycles"] += self.cost(mnemonic)
-            return
-        if mnemonic == "tstl":
-            (operand,) = instr.operands
-            flags["z"] = 1 if self.read(operand, state) == 0 else 0
-            state["cycles"] += self.cost(mnemonic)
-            return
-        if mnemonic == "brb":
-            state["cycles"] += self.cost(mnemonic)
-            self.branch(instr.operands[0], state)
-            return
-        if mnemonic in ("beql", "bneq", "blss", "bgeq"):
-            state["cycles"] += self.cost(mnemonic)
-            if mnemonic == "beql":
-                taken = flags["z"] == 1
-            elif mnemonic == "bneq":
-                taken = flags["z"] == 0
-            elif mnemonic == "blss":
-                taken = flags.get("l", 0) == 1
-            else:
-                taken = flags.get("l", 0) == 0
-            if taken:
-                self.branch(instr.operands[0], state)
-            return
-        if mnemonic == "movc3":
-            length_op, src_op, dst_op = instr.operands
-            length = self.read(length_op, state)
-            src = self.read(src_op, state)
-            dst = self.read(dst_op, state)
-            state["cycles"] += self.cost(mnemonic) + self.MOVC_PER_BYTE * length
-            if src < dst:
-                for offset in range(length - 1, -1, -1):
-                    memory.write(dst + offset, memory.read(src + offset))
-            else:
-                for offset in range(length):
-                    memory.write(dst + offset, memory.read(src + offset))
-            regs["r0"] = 0
-            regs["r1"] = (src + length) & self._mask
-            regs["r2"] = 0
-            regs["r3"] = (dst + length) & self._mask
-            flags["z"] = 1
-            return
-        if mnemonic == "movc5":
-            srclen_op, src_op, fill_op, dstlen_op, dst_op = instr.operands
-            srclen = self.read(srclen_op, state)
-            src = self.read(src_op, state)
-            fill = self.read(fill_op, state)
-            dstlen = self.read(dstlen_op, state)
-            dst = self.read(dst_op, state)
-            moved = min(srclen, dstlen)
-            state["cycles"] += self.cost(mnemonic) + self.MOVC_PER_BYTE * dstlen
-            for offset in range(moved):
-                memory.write(dst + offset, memory.read(src + offset))
-            for offset in range(moved, dstlen):
-                memory.write(dst + offset, fill & 0xFF)
-            regs["r0"] = max(0, srclen - moved)
-            regs["r1"] = (src + moved) & self._mask
-            regs["r2"] = 0
-            regs["r3"] = (dst + dstlen) & self._mask
-            return
-        if mnemonic == "locc":
-            char_op, length_op, addr_op = instr.operands
-            char = self.read(char_op, state)
-            length = self.read(length_op, state)
-            addr = self.read(addr_op, state)
-            state["cycles"] += self.cost(mnemonic)
-            remaining = length
-            pointer = addr
-            while remaining != 0:
-                state["cycles"] += self.LOCC_PER_BYTE
-                if memory.read(pointer) == char:
-                    break
-                pointer += 1
-                remaining -= 1
-            regs["r0"] = remaining & self._mask
-            regs["r1"] = pointer & self._mask
-            flags["z"] = 1 if remaining == 0 else 0
-            return
-        if mnemonic == "cmpc3":
-            length_op, addr1_op, addr2_op = instr.operands
-            length = self.read(length_op, state)
-            addr1 = self.read(addr1_op, state)
-            addr2 = self.read(addr2_op, state)
-            state["cycles"] += self.cost(mnemonic)
-            remaining = length
-            p1, p2 = addr1, addr2
-            equal = True
-            while remaining != 0:
-                state["cycles"] += self.CMPC_PER_BYTE
-                if memory.read(p1) != memory.read(p2):
-                    equal = False
-                    break
-                p1 += 1
-                p2 += 1
-                remaining -= 1
-            regs["r0"] = remaining & self._mask
-            regs["r1"] = p1 & self._mask
-            regs["r3"] = p2 & self._mask
-            flags["z"] = 1 if equal else 0
-            return
-        raise SimulationError(f"VAX-11: unknown mnemonic {mnemonic!r}")
+#: Executes the VAX-11 subset; drop-in for the old hand-written class.
+Vax11Simulator = spec_simulator(SPEC)

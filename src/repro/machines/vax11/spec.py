@@ -1,0 +1,182 @@
+"""Declarative spec for the VAX-11.
+
+The character-string instructions carry their architected register
+protocol (movc3 leaves R0 = 0, R1 = src + len, R3 = dst + len — what
+the §6 dedicated-register optimization exploits).  Setup costs are
+substantial (the VAX microcode sequences were long) and per-byte costs
+low, so the crossover against decomposed loops appears at realistic
+sizes.
+
+``skpc`` is modeled as ISDL only (``sim_op=None``): the analyses
+transform its description, but no generated code targets it, so the
+simulator operation table omits it.
+"""
+
+from __future__ import annotations
+
+from ..spec import CostSpec, FuzzCase, InstructionSpec, MachineSpec, OpSpec
+
+SPEC = MachineSpec(
+    key="vax11",
+    name="VAX-11",
+    manufacturer="DEC",
+    word_bits=32,
+    registers=tuple(f"r{i}" for i in range(12)),
+    sim_name="VAX-11",
+    load_op="movl",
+    description_module="repro.machines.vax11.descriptions",
+    instructions=(
+        InstructionSpec(
+            "movc3", "move character 3-operand", modeled=True, sim_op="movc3"
+        ),
+        InstructionSpec(
+            "movc5",
+            "move character 5-operand (with fill)",
+            modeled=True,
+            sim_op="movc5",
+        ),
+        InstructionSpec(
+            "cmpc3", "compare characters 3-operand", modeled=True, sim_op="cmpc3"
+        ),
+        InstructionSpec("cmpc5", "compare characters 5-operand"),
+        InstructionSpec("locc", "locate character", modeled=True, sim_op="locc"),
+        InstructionSpec("skpc", "skip character", modeled=True),
+        InstructionSpec("scanc", "scan for character in set"),
+        InstructionSpec("spanc", "span characters in set"),
+        InstructionSpec("matchc", "match characters"),
+        InstructionSpec("movtc", "move translated characters"),
+        InstructionSpec("movtuc", "move translated until character"),
+        InstructionSpec("crc", "cyclic redundancy check"),
+    ),
+    operations=(
+        OpSpec("movl", "move", CostSpec(4)),
+        OpSpec("movb", "move", CostSpec(6), {"store_cost": 6}),
+        OpSpec("addl3", "alu", CostSpec(5), {"op": "add", "form": "3op"}),
+        OpSpec("subl3", "alu", CostSpec(5), {"op": "sub", "form": "3op"}),
+        OpSpec("incl", "step", CostSpec(4), {"delta": 1}),
+        OpSpec("decl", "step", CostSpec(4), {"delta": -1}),
+        OpSpec("cmpl", "compare", CostSpec(4), {"less_flag": True}),
+        OpSpec("tstl", "test", CostSpec(3)),
+        OpSpec("brb", "jump", CostSpec(4)),
+        OpSpec("beql", "branch", CostSpec(5), {"flag": "z", "want": 1}),
+        OpSpec("bneq", "branch", CostSpec(5), {"flag": "z", "want": 0}),
+        OpSpec("blss", "branch", CostSpec(5), {"flag": "l", "want": 1}),
+        OpSpec("bgeq", "branch", CostSpec(5), {"flag": "l", "want": 0}),
+        OpSpec("movc3", "movc3", CostSpec(40, per_unit=3, unit="byte")),
+        OpSpec("movc5", "movc5", CostSpec(50, per_unit=3, unit="byte")),
+        OpSpec("locc", "locc", CostSpec(30, per_unit=4, unit="byte")),
+        OpSpec("cmpc3", "cmpc3", CostSpec(35, per_unit=5, unit="byte")),
+    ),
+    fuzz=(
+        FuzzCase(
+            name="movc3",
+            sim_op="movc3",
+            vars=(
+                ("len", ("int", 0, 12)),
+                ("src", ("choice", (16, 20, 300))),
+                ("dst", ("choice", (16, 20, 24, 400))),
+            ),
+            # Sometimes overlapping: both sides must take the same
+            # direction.
+            memory=(
+                ("string", ("var", "src"), 16),
+                ("string", ("var", "dst"), 16),
+            ),
+            isdl_inputs=(
+                ("len", ("var", "len")),
+                ("srcaddr", ("var", "src")),
+                ("dstaddr", ("var", "dst")),
+            ),
+            params=(
+                ("len", ("var", "len")),
+                ("src", ("var", "src")),
+                ("dst", ("var", "dst")),
+            ),
+            operands=(("param", "len"), ("param", "src"), ("param", "dst")),
+            outputs=(("reg", "r0"), ("reg", "r1"), ("reg", "r3")),
+        ),
+        FuzzCase(
+            name="movc5",
+            sim_op="movc5",
+            vars=(
+                ("srclen", ("int", 0, 12)),
+                ("dstlen", ("int", 0, 12)),
+                ("fill", ("byte",)),
+            ),
+            memory=(("string", 16, 16), ("string", 300, 16)),
+            isdl_inputs=(
+                ("srclen", ("var", "srclen")),
+                ("srcaddr", 16),
+                ("fill", ("var", "fill")),
+                ("dstlen", ("var", "dstlen")),
+                ("dstaddr", 300),
+            ),
+            params=(
+                ("srclen", ("var", "srclen")),
+                ("src", 16),
+                ("fill", ("var", "fill")),
+                ("dstlen", ("var", "dstlen")),
+                ("dst", 300),
+            ),
+            operands=(
+                ("param", "srclen"),
+                ("param", "src"),
+                ("param", "fill"),
+                ("param", "dstlen"),
+                ("param", "dst"),
+            ),
+            # ISDL outputs (srclen, srcaddr, dstlen, dstaddr) land in
+            # the architected result registers R0-R3.
+            outputs=(
+                ("reg", "r0"),
+                ("reg", "r1"),
+                ("reg", "r2"),
+                ("reg", "r3"),
+            ),
+        ),
+        FuzzCase(
+            name="locc",
+            sim_op="locc",
+            vars=(
+                ("len", ("int", 0, 12)),
+                ("char", ("byte_from", 16, 16)),
+            ),
+            memory=(("string", 16, 16),),
+            isdl_inputs=(
+                ("char", ("var", "char")),
+                ("len", ("var", "len")),
+                ("addr", 16),
+            ),
+            params=(
+                ("char", ("var", "char")),
+                ("len", ("var", "len")),
+                ("addr", 16),
+            ),
+            operands=(("param", "char"), ("param", "len"), ("param", "addr")),
+            outputs=(("reg", "r0"), ("reg", "r1")),
+        ),
+        FuzzCase(
+            name="cmpc3",
+            sim_op="cmpc3",
+            vars=(("len", ("int", 0, 12)),),
+            memory=(
+                ("string", 16, 16),
+                ("string", 300, 16),
+                ("mirror_maybe", 300, 16, 16),
+            ),
+            isdl_inputs=(
+                ("len", ("var", "len")),
+                ("addr1", 16),
+                ("addr2", 300),
+            ),
+            params=(("len", ("var", "len")), ("a1", 16), ("a2", 300)),
+            operands=(("param", "len"), ("param", "a1"), ("param", "a2")),
+            outputs=(
+                ("flag", "z"),
+                ("reg", "r0"),
+                ("reg", "r1"),
+                ("reg", "r3"),
+            ),
+        ),
+    ),
+)

@@ -1,0 +1,11 @@
+"""Zilog Z80: block-instruction descriptions and spec-generated
+simulator — added as pure data (no machine-specific simulator code)."""
+
+from ..specsim import spec_simulator
+from .descriptions import cpdr, cpir, lddr, ldir
+from .spec import SPEC
+
+#: Executes the Z80 subset, generated entirely from the spec.
+Z80Simulator = spec_simulator(SPEC)
+
+__all__ = ["SPEC", "Z80Simulator", "cpdr", "cpir", "lddr", "ldir"]

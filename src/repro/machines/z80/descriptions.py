@@ -1,0 +1,156 @@
+"""ISDL descriptions of the Zilog Z80 block instructions.
+
+The Z80's block group (``ldir``/``lddr``/``cpir``/``cpdr``) is the
+microprocessor generation's take on the paper's repeat-prefixed string
+instructions: HL is the source/scan pointer, DE the destination, BC
+the counter, and the R suffix repeats until BC reaches zero (the
+compare forms also stop on a match, like ``repne scasb``).  The
+descriptions follow the style of the 8086 figures — ``fetch`` access
+routines that advance their pointer — without the 8086's
+direction-flag machinery, since direction is part of the opcode
+(``ldir`` vs ``lddr``).
+"""
+
+from __future__ import annotations
+
+from functools import lru_cache
+
+from ...isdl import ast, parse_description
+
+LDIR_TEXT = """
+ldir.instruction := begin
+    ! block move, ascending addresses, repeat until bc = 0
+    ** SOURCE.ACCESS **
+        hl<15:0>,                       ! source string address
+        de<15:0>,                       ! destination string address
+        bc<15:0>,                       ! byte counter
+        fetch()<7:0> := begin           ! fetch source character
+            fetch <- Mb[ hl ];
+            hl <- hl + 1;               ! ascending addresses
+        end
+    ** STRING.PROCESS **
+        ldir.execute() := begin
+            input (hl, de, bc);
+            repeat
+                exit_when (bc = 0);
+                bc <- bc - 1;
+                Mb[ de ] <- fetch();
+                de <- de + 1;
+            end_repeat;
+            output (hl, de, bc);
+        end
+end
+"""
+
+LDDR_TEXT = """
+lddr.instruction := begin
+    ! block move, descending addresses, repeat until bc = 0
+    ** SOURCE.ACCESS **
+        hl<15:0>,                       ! source string address
+        de<15:0>,                       ! destination string address
+        bc<15:0>,                       ! byte counter
+        fetch()<7:0> := begin           ! fetch source character
+            fetch <- Mb[ hl ];
+            hl <- hl - 1;               ! descending addresses
+        end
+    ** STRING.PROCESS **
+        lddr.execute() := begin
+            input (hl, de, bc);
+            repeat
+                exit_when (bc = 0);
+                bc <- bc - 1;
+                Mb[ de ] <- fetch();
+                de <- de - 1;
+            end_repeat;
+            output (hl, de, bc);
+        end
+end
+"""
+
+CPIR_TEXT = """
+cpir.instruction := begin
+    ! block scan for the accumulator byte, ascending addresses
+    ** SOURCE.ACCESS **
+        hl<15:0>,                       ! scan pointer
+        bc<15:0>,                       ! byte counter
+        fetch()<7:0> := begin           ! fetch scanned character
+            fetch <- Mb[ hl ];
+            hl <- hl + 1;
+        end
+    ** STATE **
+        a<7:0>,                         ! character sought
+        zf<>                            ! last compare zero flag
+    ** STRING.PROCESS **
+        cpir.execute() := begin
+            input (a, zf, hl, bc);
+            repeat
+                exit_when (bc = 0);
+                bc <- bc - 1;
+                if (a - fetch()) = 0
+                then
+                    zf <- 1;
+                else
+                    zf <- 0;
+                end_if;
+                exit_when (zf = 1);     ! stop on match
+            end_repeat;
+            output (zf, hl, bc);
+        end
+end
+"""
+
+CPDR_TEXT = """
+cpdr.instruction := begin
+    ! block scan for the accumulator byte, descending addresses
+    ** SOURCE.ACCESS **
+        hl<15:0>,                       ! scan pointer
+        bc<15:0>,                       ! byte counter
+        fetch()<7:0> := begin           ! fetch scanned character
+            fetch <- Mb[ hl ];
+            hl <- hl - 1;
+        end
+    ** STATE **
+        a<7:0>,                         ! character sought
+        zf<>                            ! last compare zero flag
+    ** STRING.PROCESS **
+        cpdr.execute() := begin
+            input (a, zf, hl, bc);
+            repeat
+                exit_when (bc = 0);
+                bc <- bc - 1;
+                if (a - fetch()) = 0
+                then
+                    zf <- 1;
+                else
+                    zf <- 0;
+                end_if;
+                exit_when (zf = 1);     ! stop on match
+            end_repeat;
+            output (zf, hl, bc);
+        end
+end
+"""
+
+
+@lru_cache(maxsize=None)
+def ldir() -> ast.Description:
+    """The ldir (block move, ascending) instruction."""
+    return parse_description(LDIR_TEXT)
+
+
+@lru_cache(maxsize=None)
+def lddr() -> ast.Description:
+    """The lddr (block move, descending) instruction."""
+    return parse_description(LDDR_TEXT)
+
+
+@lru_cache(maxsize=None)
+def cpir() -> ast.Description:
+    """The cpir (block scan, ascending) instruction."""
+    return parse_description(CPIR_TEXT)
+
+
+@lru_cache(maxsize=None)
+def cpdr() -> ast.Description:
+    """The cpdr (block scan, descending) instruction."""
+    return parse_description(CPDR_TEXT)

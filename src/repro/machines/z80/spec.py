@@ -1,0 +1,164 @@
+"""Declarative spec for the Zilog Z80 — the "adding a machine is a
+data exercise" demonstration (docs/machines.md walks through it).
+
+No Z80-specific simulator code exists: the block instructions run on
+the shared ``rep_move``/``rep_scan`` kinds, parameterized with the
+Z80's register protocol (HL source, DE destination, BC counter) and
+step direction.  Cycle figures are the documented T-state counts
+(21 per repeated iteration; ``ld r, n`` is 7).
+
+The Z80 postdates the paper's sample, so ``paper=False``: it extends
+the catalog without disturbing Table 1's counts.
+"""
+
+from __future__ import annotations
+
+from ..spec import CostSpec, FuzzCase, InstructionSpec, MachineSpec, OpSpec
+
+SPEC = MachineSpec(
+    key="z80",
+    name="Zilog Z80",
+    manufacturer="Zilog",
+    word_bits=16,
+    # Register pairs are modeled as single 16-bit registers; A rides
+    # along for the compare forms' key byte.
+    registers=("a", "bc", "de", "hl"),
+    paper=False,
+    sim_name="Z80",
+    load_op="ld",
+    description_module="repro.machines.z80.descriptions",
+    instructions=(
+        InstructionSpec("ldi", "block move step, ascending"),
+        InstructionSpec(
+            "ldir", "block move, ascending", modeled=True, sim_op="ldir"
+        ),
+        InstructionSpec("ldd", "block move step, descending"),
+        InstructionSpec(
+            "lddr", "block move, descending", modeled=True, sim_op="lddr"
+        ),
+        InstructionSpec("cpi", "block scan step, ascending"),
+        InstructionSpec(
+            "cpir", "block scan, ascending", modeled=True, sim_op="cpir"
+        ),
+        InstructionSpec("cpd", "block scan step, descending"),
+        InstructionSpec(
+            "cpdr", "block scan, descending", modeled=True, sim_op="cpdr"
+        ),
+    ),
+    operations=(
+        OpSpec("ld", "move", CostSpec(7)),
+        OpSpec("inc", "step", CostSpec(6), {"delta": 1}),
+        OpSpec("dec", "step", CostSpec(6), {"delta": -1}),
+        OpSpec("cp", "compare", CostSpec(4)),
+        OpSpec("jp", "jump", CostSpec(10)),
+        OpSpec("jr_z", "branch", CostSpec(12), {"flag": "z", "want": 1}),
+        OpSpec("jr_nz", "branch", CostSpec(12), {"flag": "z", "want": 0}),
+        OpSpec(
+            "ldir",
+            "rep_move",
+            CostSpec(16, per_unit=21, unit="rep"),
+            {"src": "hl", "dst": "de", "count": "bc", "step": 1},
+        ),
+        OpSpec(
+            "lddr",
+            "rep_move",
+            CostSpec(16, per_unit=21, unit="rep"),
+            {"src": "hl", "dst": "de", "count": "bc", "step": -1},
+        ),
+        OpSpec(
+            "cpir",
+            "rep_scan",
+            CostSpec(16, per_unit=21, unit="rep"),
+            {"ptr": "hl", "count": "bc", "key": "a", "step": 1},
+        ),
+        OpSpec(
+            "cpdr",
+            "rep_scan",
+            CostSpec(16, per_unit=21, unit="rep"),
+            {"ptr": "hl", "count": "bc", "key": "a", "step": -1},
+        ),
+    ),
+    fuzz=(
+        FuzzCase(
+            name="ldir",
+            sim_op="ldir",
+            vars=(("bc", ("int", 0, 12)),),
+            memory=(("string", 16, 16), ("string", 300, 16)),
+            isdl_inputs=(
+                ("hl", 16),
+                ("de", 300),
+                ("bc", ("var", "bc")),
+            ),
+            params=(("hl", 16), ("de", 300), ("bc", ("var", "bc"))),
+            setup=(
+                ("hl", ("param", "hl")),
+                ("de", ("param", "de")),
+                ("bc", ("param", "bc")),
+            ),
+            outputs=(("reg", "hl"), ("reg", "de"), ("reg", "bc")),
+        ),
+        FuzzCase(
+            name="lddr",
+            sim_op="lddr",
+            vars=(("bc", ("int", 0, 12)),),
+            # descending: start at the high end of each region.
+            memory=(("string", 16, 16), ("string", 300, 16)),
+            isdl_inputs=(
+                ("hl", 31),
+                ("de", 315),
+                ("bc", ("var", "bc")),
+            ),
+            params=(("hl", 31), ("de", 315), ("bc", ("var", "bc"))),
+            setup=(
+                ("hl", ("param", "hl")),
+                ("de", ("param", "de")),
+                ("bc", ("param", "bc")),
+            ),
+            outputs=(("reg", "hl"), ("reg", "de"), ("reg", "bc")),
+        ),
+        FuzzCase(
+            name="cpir",
+            sim_op="cpir",
+            vars=(
+                ("bc", ("int", 0, 12)),
+                ("a", ("byte_from", 16, 16)),
+            ),
+            memory=(("string", 16, 16),),
+            isdl_inputs=(
+                ("a", ("var", "a")),
+                ("zf", 0),
+                ("hl", 16),
+                ("bc", ("var", "bc")),
+            ),
+            params=(("a", ("var", "a")), ("hl", 16), ("bc", ("var", "bc"))),
+            setup=(
+                ("a", ("param", "a")),
+                ("hl", ("param", "hl")),
+                ("bc", ("param", "bc")),
+            ),
+            outputs=(("flag", "z"), ("reg", "hl"), ("reg", "bc")),
+        ),
+        FuzzCase(
+            name="cpdr",
+            sim_op="cpdr",
+            vars=(
+                ("bc", ("int", 0, 12)),
+                ("a", ("byte_from", 16, 16)),
+            ),
+            memory=(("string", 16, 16),),
+            isdl_inputs=(
+                ("a", ("var", "a")),
+                ("zf", 0),
+                ("hl", 31),
+                ("bc", ("var", "bc")),
+            ),
+            params=(("a", ("var", "a")), ("hl", 31), ("bc", ("var", "bc"))),
+            setup=(
+                ("a", ("param", "a")),
+                ("hl", ("param", "hl")),
+                ("bc", ("param", "bc")),
+            ),
+            outputs=(("flag", "z"), ("reg", "hl"), ("reg", "bc")),
+        ),
+    ),
+)

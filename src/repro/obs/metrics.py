@@ -175,6 +175,12 @@ GAUGES: Dict[str, str] = {
         "name and status; catalog-only stubs report 0 targets with "
         "status no-descriptions instead of being absent."
     ),
+    "repro_machine_coverage": (
+        "Per-machine spec coverage, by machine key and kind "
+        "(instructions, modeled, reconstructed, simulated, fuzz_cases); "
+        "generated from the machine specs, so the CI coverage gate "
+        "catches a machine losing modeled instructions or fuzz cases."
+    ),
 }
 
 #: Declared histogram metrics: name -> help text.

@@ -1,0 +1,70 @@
+"""The machines facade and its CLI wrapper.
+
+``api.machines()`` is the typed surface behind ``repro machines``; the
+CLI prints either the coverage table or the same JSON bytes
+``MachinesResult.to_json`` returns, following the facade contract the
+other subcommands pin in :mod:`tests.api.test_facade`.
+"""
+
+import json
+
+from repro import api
+from repro.__main__ import main
+from repro.machines.registry import ALL_KEYS
+
+
+class TestMachinesFacade:
+    def test_one_row_per_registered_spec(self):
+        result = api.machines()
+        assert tuple(info.key for info in result.machines) == ALL_KEYS
+
+    def test_rows_carry_the_coverage_split(self):
+        info = api.machines().machine("i8086")
+        assert info.instructions == 6
+        assert info.modeled == 4
+        assert info.simulated == 4
+        assert info.fuzz_cases == 4
+        assert info.paper
+
+    def test_catalog_only_machines_report_honest_zeroes(self):
+        univac = api.machines().machine("univac1100")
+        assert univac.instructions == 21
+        assert univac.modeled == 0
+        assert univac.simulated == 0
+        assert univac.reconstructed == 21
+        assert univac.cost["operations"] == 0
+
+    def test_extensions_are_flagged(self):
+        result = api.machines()
+        assert not result.machine("z80").paper
+        assert not result.machine("m68000").paper
+        assert result.machine("z80").simulated == 4
+
+    def test_cost_summary_surfaces_iterated_terms(self):
+        cost = api.machines().machine("vax11").cost
+        assert cost["iterated"]["movc3"] == {"per_unit": 3, "unit": "byte"}
+
+    def test_unknown_key_raises(self):
+        import pytest
+
+        with pytest.raises(KeyError):
+            api.machines().machine("pdp11")
+
+    def test_json_payload_is_schema_tagged(self):
+        payload = json.loads(api.machines().to_json())
+        assert payload["schema"] == "repro.machines/1"
+        assert len(payload["machines"]) == len(ALL_KEYS)
+
+
+class TestMachinesCli:
+    def test_text_table(self, capsys):
+        assert main(["machines"]) == 0
+        out = capsys.readouterr().out
+        assert "Intel 8086" in out
+        assert "Zilog Z80" in out
+        assert "extension" in out
+
+    def test_json_byte_identical_to_facade(self, capsys):
+        assert main(["machines", "--format", "json"]) == 0
+        out = capsys.readouterr().out
+        assert out == api.machines().to_json() + "\n"

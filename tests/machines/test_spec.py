@@ -1,0 +1,391 @@
+"""The declarative machine-spec layer: validation and generation.
+
+Three claims pinned here:
+
+* a defective spec cannot be constructed — the validator raises
+  :class:`~repro.machines.spec.SpecError` naming the exact field path
+  of the offending value, so a typo'd cost row or register name never
+  becomes silently dead data;
+* the spec-generated catalog is object-for-object identical to the
+  hand-written literal catalog it replaced (the literal is embedded
+  below as the fixed point of the refactor), and the Table 1 counts
+  are exactly the paper's;
+* every registry spec is self-consistent: operation tables resolve
+  through the kind library, and every modeled instruction has a
+  loadable ISDL description.
+"""
+
+import pytest
+
+from repro.machines import catalog
+from repro.machines.registry import (
+    ALL_KEYS,
+    EXTENSION_KEYS,
+    PAPER_KEYS,
+    all_specs,
+    machine_spec,
+)
+from repro.machines.spec import (
+    CostSpec,
+    FuzzCase,
+    InstructionSpec,
+    MachineSpec,
+    OpSpec,
+    SpecError,
+    validate_descriptions,
+)
+
+
+def _spec(**overrides):
+    """A minimal valid machine spec to plant defects into."""
+    fields = dict(
+        key="demo",
+        name="Demo",
+        manufacturer="Demo Corp",
+        word_bits=16,
+        registers=("r1", "r2", "r3"),
+        sim_name="DEMO",
+        load_op="ld",
+        operations=(
+            OpSpec("ld", "move", CostSpec(4)),
+            OpSpec(
+                "blit",
+                "rep_move",
+                CostSpec(9, per_unit=17, unit="rep"),
+                {"src": "r1", "dst": "r2", "count": "r3", "step": 1},
+            ),
+        ),
+        instructions=(InstructionSpec("blit", "block move", sim_op="blit"),),
+    )
+    fields.update(overrides)
+    return MachineSpec(**fields)
+
+
+class TestPlantedDefects:
+    def test_valid_baseline_constructs(self):
+        assert _spec().count == 1
+
+    def test_bad_word_width_names_the_field(self):
+        with pytest.raises(SpecError) as error:
+            _spec(word_bits=13)
+        assert str(error.value).startswith(
+            "machines.demo.word_bits: unsupported register width 13"
+        )
+
+    def test_unknown_register_in_cost_row_names_the_param(self):
+        with pytest.raises(SpecError) as error:
+            _spec(
+                operations=(
+                    OpSpec("ld", "move", CostSpec(4)),
+                    OpSpec(
+                        "blit",
+                        "rep_move",
+                        CostSpec(9),
+                        {"src": "r1", "dst": "r2", "count": "zz", "step": 1},
+                    ),
+                )
+            )
+        assert (
+            str(error.value)
+            == "machines.demo.operations[1].params.count: "
+            "unknown register 'zz'"
+        )
+
+    def test_negative_cost_names_the_field(self):
+        with pytest.raises(SpecError) as error:
+            _spec(operations=(OpSpec("ld", "move", CostSpec(-1)),))
+        assert str(error.value).startswith(
+            "machines.demo.operations[0].cost.base:"
+        )
+
+    def test_unknown_kind_lists_the_library(self):
+        with pytest.raises(SpecError) as error:
+            _spec(operations=(OpSpec("ld", "warp", CostSpec(4)),))
+        message = str(error.value)
+        assert message.startswith("machines.demo.operations[0].kind:")
+        assert "rep_move" in message  # the library is enumerated
+
+    def test_missing_required_kind_param(self):
+        with pytest.raises(SpecError) as error:
+            _spec(
+                operations=(
+                    OpSpec("ld", "move", CostSpec(4)),
+                    OpSpec("blit", "rep_move", CostSpec(9), {"step": 1}),
+                )
+            )
+        assert "machines.demo.operations[1].params." in str(error.value)
+
+    def test_duplicate_register(self):
+        with pytest.raises(SpecError) as error:
+            _spec(registers=("r1", "r2", "r1"))
+        assert str(error.value).startswith("machines.demo.registers[2]:")
+
+    def test_unknown_sim_op_on_instruction(self):
+        with pytest.raises(SpecError) as error:
+            _spec(
+                instructions=(
+                    InstructionSpec("blit", "block move", sim_op="blot"),
+                )
+            )
+        assert str(error.value).startswith(
+            "machines.demo.instructions[0].sim_op:"
+        )
+
+    def test_modeled_needs_a_description_module(self):
+        with pytest.raises(SpecError) as error:
+            _spec(
+                instructions=(
+                    InstructionSpec("blit", "block move", modeled=True),
+                )
+            )
+        assert str(error.value).startswith(
+            "machines.demo.instructions[0].modeled:"
+        )
+
+    def test_modeled_and_reconstructed_are_exclusive(self):
+        with pytest.raises(SpecError) as error:
+            _spec(
+                description_module="repro.machines.i8086.descriptions",
+                instructions=(
+                    InstructionSpec(
+                        "blit",
+                        "block move",
+                        modeled=True,
+                        reconstructed=True,
+                    ),
+                ),
+            )
+        assert str(error.value).startswith(
+            "machines.demo.instructions[0].modeled:"
+        )
+
+    def test_unknown_load_op(self):
+        with pytest.raises(SpecError) as error:
+            _spec(load_op="fetch")
+        assert (
+            str(error.value)
+            == "machines.demo.load_op: unknown operation 'fetch'"
+        )
+
+    def test_fuzz_case_unknown_sim_op(self):
+        with pytest.raises(SpecError) as error:
+            _spec(
+                fuzz=(
+                    FuzzCase(name="blit", sim_op="blot", isdl_inputs=()),
+                )
+            )
+        assert str(error.value).startswith("machines.demo.fuzz[0].sim_op:")
+
+    def test_fuzz_output_unknown_register(self):
+        with pytest.raises(SpecError) as error:
+            _spec(
+                fuzz=(
+                    FuzzCase(
+                        name="blit",
+                        sim_op="blit",
+                        isdl_inputs=(),
+                        outputs=(("reg", "zz"),),
+                    ),
+                )
+            )
+        assert (
+            str(error.value)
+            == "machines.demo.fuzz[0].outputs[0]: unknown register 'zz'"
+        )
+
+    def test_fuzz_mem_operand_unknown_register(self):
+        with pytest.raises(SpecError) as error:
+            _spec(
+                fuzz=(
+                    FuzzCase(
+                        name="blit",
+                        sim_op="blit",
+                        isdl_inputs=(),
+                        operands=(("mem", "zz"),),
+                    ),
+                )
+            )
+        assert (
+            str(error.value)
+            == "machines.demo.fuzz[0].operands[0]: unknown register 'zz'"
+        )
+
+    def test_description_resolution_names_the_instruction(self):
+        spec = _spec(
+            description_module="repro.machines.i8086.descriptions",
+            instructions=(
+                InstructionSpec("blit", "block move", modeled=True),
+            ),
+        )
+        with pytest.raises(SpecError) as error:
+            validate_descriptions(spec)
+        assert str(error.value).startswith(
+            "machines.demo.instructions[0].description:"
+        )
+
+    def test_unimportable_description_module(self):
+        spec = _spec(description_module="repro.machines.no_such_module")
+        with pytest.raises(SpecError) as error:
+            validate_descriptions(spec)
+        assert str(error.value).startswith(
+            "machines.demo.description_module:"
+        )
+
+
+# The hand-written catalog this refactor replaced, embedded as
+# (name, operation, modeled, reconstructed) rows: the generated
+# catalog must reproduce it object for object.
+PRE_REFACTOR_CATALOG = {
+    "Intel 8086": (
+        ("movsb", "string move", True, False),
+        ("cmpsb", "string compare", True, False),
+        ("scasb", "string search", True, False),
+        ("lodsb", "string load", False, False),
+        ("stosb", "string store / fill", True, False),
+        ("xlat", "table translate", False, False),
+    ),
+    "DG Eclipse": (
+        ("cmv", "character move (sign-encoded direction)", True, False),
+        ("cmp", "character compare", False, False),
+        ("ctr", "character translate", False, False),
+        ("cmt", "character move until true", False, False),
+        ("edit", "string edit", False, False),
+    ),
+    "Univac 1100": (
+        ("bt", "block transfer", False, True),
+        ("btt", "block transfer and translate", False, True),
+        ("bim", "byte incremental move", False, True),
+        ("bimt", "byte incremental move and translate", False, True),
+        ("bicl", "byte incremental compare limit", False, True),
+        ("bde", "byte decimal edit", False, True),
+        ("bdsub", "byte decimal subtract", False, True),
+        ("bdadd", "byte decimal add", False, True),
+        ("sfs", "search forward for sentinel", False, True),
+        ("sfc", "search forward for character", False, True),
+        ("sne", "search not equal", False, True),
+        ("se", "search equal", False, True),
+        ("sle", "search less or equal", False, True),
+        ("sg", "search greater", False, True),
+        ("sw", "search within limits", False, True),
+        ("snw", "search not within limits", False, True),
+        ("mse", "masked search equal", False, True),
+        ("msne", "masked search not equal", False, True),
+        ("msle", "masked search less or equal", False, True),
+        ("msg", "masked search greater", False, True),
+        ("bf", "byte fill", False, True),
+    ),
+    "IBM 370": (
+        ("mvc", "move characters", True, False),
+        ("mvcl", "move characters long", False, False),
+        ("clc", "compare logical characters", True, False),
+        ("clcl", "compare logical characters long", False, False),
+        ("tr", "translate", True, False),
+        ("trt", "translate and test", False, False),
+        ("ed", "edit", False, False),
+    ),
+    "Burroughs B4800": (
+        ("srl", "search linked list", True, False),
+        ("mva", "move alphanumeric (length encoded minus one)", True, False),
+        ("lnk", "link list element", False, True),
+        ("ulnk", "unlink list element", False, True),
+        ("mvn", "move numeric", False, True),
+        ("mvr", "move repeated", False, True),
+        ("mvl", "move with length", False, True),
+        ("cmn", "compare numeric", False, True),
+        ("cma", "compare alphanumeric", False, True),
+        ("sea", "search for character equal", False, True),
+        ("sne", "search for character not equal", False, True),
+        ("tws", "translate while searching", False, True),
+        ("trn", "translate", False, True),
+        ("edt", "edit", False, True),
+        ("mfd", "move with format and delimiters", False, True),
+        ("scn", "scan string", False, True),
+    ),
+    "VAX-11": (
+        ("movc3", "move character 3-operand", True, False),
+        ("movc5", "move character 5-operand (with fill)", True, False),
+        ("cmpc3", "compare characters 3-operand", True, False),
+        ("cmpc5", "compare characters 5-operand", False, False),
+        ("locc", "locate character", True, False),
+        ("skpc", "skip character", True, False),
+        ("scanc", "scan for character in set", False, False),
+        ("spanc", "span characters in set", False, False),
+        ("matchc", "match characters", False, False),
+        ("movtc", "move translated characters", False, False),
+        ("movtuc", "move translated until character", False, False),
+        ("crc", "cyclic redundancy check", False, False),
+    ),
+}
+
+
+class TestGeneratedCatalog:
+    def test_object_equal_to_pre_refactor_literal(self):
+        assert len(catalog.MACHINES) == len(PRE_REFACTOR_CATALOG) == 6
+        for machine in catalog.MACHINES:
+            expected = PRE_REFACTOR_CATALOG[machine.name]
+            actual = tuple(
+                (i.name, i.operation, i.modeled, i.reconstructed)
+                for i in machine.instructions
+            )
+            assert actual == expected, machine.name
+
+    def test_counts_match_table1_exactly(self):
+        counts = {m.name: m.count for m in catalog.MACHINES}
+        assert counts == {
+            "Intel 8086": 6,
+            "DG Eclipse": 5,
+            "Univac 1100": 21,
+            "IBM 370": 7,
+            "Burroughs B4800": 16,
+            "VAX-11": 12,
+        }
+        assert catalog.total_count() == catalog.PAPER_TOTAL == 67
+
+    def test_extensions_never_enter_table1(self):
+        extension_names = {m.name for m in catalog.EXTENSION_MACHINES}
+        assert extension_names == {"Zilog Z80", "Motorola 68000"}
+        assert not extension_names & {m.name for m in catalog.MACHINES}
+        assert all(
+            name not in catalog.PAPER_COUNTS for name in extension_names
+        )
+
+    def test_extension_machines_resolve_by_key_and_name(self):
+        assert catalog.machine_named("z80").name == "Zilog Z80"
+        assert catalog.machine_named("Motorola 68000").count == 6
+        assert catalog.instruction_named("m68000", "tas").modeled
+
+    def test_machine_keys_cover_the_registry(self):
+        assert set(catalog.MACHINE_KEYS) == set(ALL_KEYS)
+
+
+class TestRegistryConsistency:
+    def test_every_spec_loads_and_resolves_descriptions(self):
+        # machine_spec() runs validate_descriptions; constructing the
+        # spec module ran validate_spec.  Either raising fails here.
+        assert len(all_specs()) == len(PAPER_KEYS) + len(EXTENSION_KEYS)
+
+    def test_key_matches_registry_row(self):
+        for key in ALL_KEYS:
+            assert machine_spec(key).key == key
+
+    def test_simulated_instructions_resolve_to_operations(self):
+        for spec in all_specs():
+            operation_names = {op.mnemonic for op in spec.operations}
+            for instruction in spec.simulated():
+                assert instruction.sim_op in operation_names
+
+    def test_generated_costs_cover_the_operation_table(self):
+        from repro.machines.fuzz import simulator_class
+
+        for spec in all_specs():
+            if not spec.operations:
+                continue
+            cls = simulator_class(spec.key)
+            assert set(cls.COSTS) == {op.mnemonic for op in spec.operations}
+            assert set(cls.DISPATCH) == set(cls.COSTS)
+
+    def test_paper_flag_partitions_the_registry(self):
+        for key in PAPER_KEYS:
+            assert machine_spec(key).paper
+        for key in EXTENSION_KEYS:
+            assert not machine_spec(key).paper
